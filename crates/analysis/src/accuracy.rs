@@ -1,0 +1,327 @@
+//! Figure 4: relative accuracy of the four inference strategies.
+//!
+//! The paper samples 200 domains (a) uniformly and (b) with unique MX
+//! records from each of the three corpora — always restricted to domains
+//! with live SMTP servers, "to ensure a fair comparison across different
+//! methods" — labels them by hand (our generator emits the labels), and
+//! counts how many each strategy identifies correctly, plus how many the
+//! priority-based approach examined in step 4.
+
+use mx_corpus::{GroundTruth, TruthCategory};
+use mx_dns::Name;
+use mx_infer::{CompanyMap, InferenceResult, ObservationSet, Pipeline, Strategy};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::Serialize;
+
+/// How the evaluation sample was drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum SampleKind {
+    /// Uniform over SMTP-reachable domains.
+    Uniform,
+    /// Additionally, no two sampled domains share a primary MX exchange.
+    UniqueMx,
+}
+
+impl SampleKind {
+    /// Display label matching the paper's x-axis.
+    pub fn label(self) -> &'static str {
+        match self {
+            SampleKind::Uniform => "random",
+            SampleKind::UniqueMx => "w/ unique MX",
+        }
+    }
+}
+
+/// Results for one (strategy, sample) cell of Figure 4.
+#[derive(Debug, Clone, Serialize)]
+pub struct AccuracyCell {
+    /// The strategy evaluated.
+    pub strategy: Strategy,
+    /// How the sample was drawn.
+    pub sample: SampleKind,
+    /// Domains in the sample.
+    pub sample_size: usize,
+    /// Correctly attributed domains.
+    pub correct: usize,
+    /// Sampled domains whose MX the step-4 check examined (priority-based
+    /// strategy only; zero otherwise).
+    pub examined: usize,
+}
+
+impl AccuracyCell {
+    /// Fraction of the sample attributed correctly.
+    pub fn accuracy(&self) -> f64 {
+        self.correct as f64 / self.sample_size.max(1) as f64
+    }
+}
+
+/// The full Figure 4 panel for one dataset.
+#[derive(Debug, Clone, Serialize)]
+pub struct AccuracyReport {
+    /// One cell per (strategy, sample kind).
+    pub cells: Vec<AccuracyCell>,
+}
+
+impl AccuracyReport {
+    /// The cell for one (strategy, sample kind) pair.
+    pub fn cell(&self, strategy: Strategy, sample: SampleKind) -> &AccuracyCell {
+        self.cells
+            .iter()
+            .find(|c| c.strategy == strategy && c.sample == sample)
+            .expect("cell exists")
+    }
+}
+
+/// Draw the evaluation sample: `n` SMTP-reachable domains, optionally with
+/// pairwise-distinct primary MX exchanges, deterministically from `seed`.
+pub fn sample_domains(
+    obs: &ObservationSet,
+    truth: &GroundTruth,
+    kind: SampleKind,
+    n: usize,
+    seed: u64,
+) -> Vec<Name> {
+    // Eligible: live SMTP per ground truth (the paper selects "domains
+    // with SMTP servers").
+    let by_name: std::collections::HashMap<&Name, &mx_infer::DomainObservation> =
+        obs.domains.iter().map(|d| (&d.domain, d)).collect();
+    let mut eligible: Vec<&Name> = obs
+        .domains
+        .iter()
+        .map(|d| &d.domain)
+        .filter(|name| truth.of(name).is_some_and(|t| t.has_smtp))
+        .collect();
+    eligible.sort();
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    eligible.shuffle(&mut rng);
+    let mut out = Vec::with_capacity(n);
+    let mut seen_mx: std::collections::HashSet<&Name> = Default::default();
+    for name in eligible {
+        if out.len() == n {
+            break;
+        }
+        if kind == SampleKind::UniqueMx {
+            let d = by_name[name];
+            let primaries = d.mx.primary_targets();
+            if primaries.iter().any(|t| seen_mx.contains(&t.exchange)) {
+                continue;
+            }
+            for t in primaries {
+                seen_mx.insert(&t.exchange);
+            }
+        }
+        out.push(name.clone());
+    }
+    out
+}
+
+/// Is the strategy's answer for `domain` correct per ground truth?
+///
+/// The paper labels domains with their mail *provider* (the operating
+/// company); a company may legitimately surface under any of its provider
+/// IDs (a `googlemail.com` MX is still Google). Correctness therefore
+/// compares at the company level via the provider-ID → company map, which
+/// also leaves unmapped long-tail IDs compared verbatim.
+pub fn is_correct(
+    result: &InferenceResult,
+    truth: &GroundTruth,
+    companies: &CompanyMap,
+    domain: &Name,
+) -> bool {
+    let Some(t) = truth.of(domain) else {
+        return false;
+    };
+    let Some(expected) = &t.expected_provider_id else {
+        return false;
+    };
+    let Some(a) = result.domain(domain) else {
+        return false;
+    };
+    match a.shares.as_slice() {
+        [s] => companies.company_or_id(&s.provider) == companies.company_or_id(expected),
+        _ => false,
+    }
+}
+
+/// Run the full Figure 4 evaluation for one dataset snapshot.
+pub fn evaluate(
+    obs: &ObservationSet,
+    truth: &GroundTruth,
+    knowledge: mx_infer::ProviderKnowledge,
+    companies: &CompanyMap,
+    n: usize,
+    seed: u64,
+) -> AccuracyReport {
+    // One inference run per strategy over the full dataset.
+    let results: Vec<(Strategy, InferenceResult)> = Strategy::ALL
+        .iter()
+        .map(|&s| {
+            let p = match s {
+                Strategy::PriorityBased => Pipeline::priority_based(knowledge.clone()),
+                other => Pipeline::new(other),
+            };
+            (s, p.run(obs))
+        })
+        .collect();
+
+    let mut cells = Vec::new();
+    for kind in [SampleKind::Uniform, SampleKind::UniqueMx] {
+        let sample = sample_domains(obs, truth, kind, n, seed ^ kind as u64);
+        for (strategy, result) in &results {
+            let correct = sample
+                .iter()
+                .filter(|d| is_correct(result, truth, companies, d))
+                .count();
+            let examined = if *strategy == Strategy::PriorityBased {
+                let examined_set: std::collections::HashSet<&Name> =
+                    result.misid.examined.iter().collect();
+                sample
+                    .iter()
+                    .filter(|domain| {
+                        result.domain(domain).is_some_and(|a| {
+                            // The domain is "examined" when any of its
+                            // primary MX names was.
+                            obs.domains
+                                .iter()
+                                .find(|d| &d.domain == *domain)
+                                .is_some_and(|d| {
+                                    d.mx.primary_targets()
+                                        .iter()
+                                        .any(|t| examined_set.contains(&t.exchange))
+                                })
+                                && !a.shares.is_empty()
+                        })
+                    })
+                    .count()
+            } else {
+                0
+            };
+            cells.push(AccuracyCell {
+                strategy: *strategy,
+                sample: kind,
+                sample_size: sample.len(),
+                correct,
+                examined,
+            });
+        }
+    }
+    AccuracyReport { cells }
+}
+
+/// Per-category accuracy diagnostics (not in the paper; useful to see
+/// where each strategy fails).
+pub fn accuracy_by_category(
+    result: &InferenceResult,
+    truth: &GroundTruth,
+    companies: &CompanyMap,
+) -> Vec<(TruthCategory, usize, usize)> {
+    let mut by_cat: std::collections::HashMap<TruthCategory, (usize, usize)> = Default::default();
+    for name in result.domains.keys() {
+        let Some(t) = truth.of(name) else { continue };
+        if !t.has_smtp {
+            continue;
+        }
+        let entry = by_cat.entry(t.category).or_insert((0, 0));
+        entry.1 += 1;
+        if is_correct(result, truth, companies, name) {
+            entry.0 += 1;
+        }
+    }
+    let mut out: Vec<(TruthCategory, usize, usize)> = by_cat
+        .into_iter()
+        .map(|(c, (ok, total))| (c, ok, total))
+        .collect();
+    out.sort_by_key(|(c, _, _)| format!("{c:?}"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mx_corpus::{company_map, provider_knowledge, Dataset, ScenarioConfig, Study};
+
+    fn setup() -> (mx_corpus::World, ObservationSet) {
+        let study = Study::generate(ScenarioConfig::small(31));
+        let world = study.world_at(8);
+        let data = crate::observe::observe_world(&world);
+        let obs = data.dataset(Dataset::Alexa).unwrap().clone();
+        (world, obs)
+    }
+
+    #[test]
+    fn priority_beats_mx_only() {
+        let (world, obs) = setup();
+        let report = evaluate(
+            &obs,
+            &world.truth,
+            provider_knowledge(10),
+            &company_map(),
+            150,
+            99,
+        );
+        let prio = report.cell(Strategy::PriorityBased, SampleKind::Uniform);
+        let mx = report.cell(Strategy::MxOnly, SampleKind::Uniform);
+        assert!(prio.accuracy() > 0.9, "priority accuracy {:.3}", prio.accuracy());
+        assert!(
+            prio.correct >= mx.correct,
+            "priority {} vs mx {}",
+            prio.correct,
+            mx.correct
+        );
+        // Unique-MX sampling hurts MX-only much more.
+        let mx_u = report.cell(Strategy::MxOnly, SampleKind::UniqueMx);
+        let prio_u = report.cell(Strategy::PriorityBased, SampleKind::UniqueMx);
+        assert!(
+            prio_u.correct > mx_u.correct,
+            "unique-mx: priority {} vs mx {}",
+            prio_u.correct,
+            mx_u.correct
+        );
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_smtp_only() {
+        let (world, obs) = setup();
+        let s1 = sample_domains(&obs, &world.truth, SampleKind::Uniform, 100, 7);
+        let s2 = sample_domains(&obs, &world.truth, SampleKind::Uniform, 100, 7);
+        assert_eq!(s1, s2);
+        assert_eq!(s1.len(), 100);
+        for d in &s1 {
+            assert!(world.truth.of(d).unwrap().has_smtp);
+        }
+    }
+
+    #[test]
+    fn unique_mx_sample_has_distinct_exchanges() {
+        let (world, obs) = setup();
+        let s = sample_domains(&obs, &world.truth, SampleKind::UniqueMx, 100, 7);
+        let mut seen = std::collections::HashSet::new();
+        for name in &s {
+            let d = obs.domains.iter().find(|d| &d.domain == name).unwrap();
+            for t in d.mx.primary_targets() {
+                assert!(seen.insert(t.exchange.clone()), "duplicate MX {}", t.exchange);
+            }
+        }
+    }
+
+    #[test]
+    fn category_diagnostics() {
+        let (world, obs) = setup();
+        let p = Pipeline::priority_based(provider_knowledge(10));
+        let result = p.run(&obs);
+        let cats = accuracy_by_category(&result, &world.truth, &company_map());
+        assert!(!cats.is_empty());
+        // Company-backed domains must be near-perfect.
+        let company = cats
+            .iter()
+            .find(|(c, _, _)| *c == TruthCategory::Company)
+            .unwrap();
+        assert!(
+            company.1 as f64 / company.2 as f64 > 0.9,
+            "company accuracy {}/{}",
+            company.1,
+            company.2
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! Figure 7: the Sankey churn of Alexa domains between the first and last
+//! snapshot.
+
+use std::collections::HashMap;
+
+use mx_dns::Name;
+use mx_infer::{CompanyMap, InferenceResult, ObservationSet};
+use mx_psl::PublicSuffixList;
+use serde::Serialize;
+
+/// The seven categories of Figure 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+pub enum ChurnCategory {
+    /// Hosted by Google.
+    Google,
+    /// Hosted by Microsoft.
+    Microsoft,
+    /// Hosted by Yandex.
+    Yandex,
+    /// Any other provider ranked in the top 100 (by credited weight at the
+    /// *starting* snapshot).
+    Top100,
+    /// Provider ID equals the domain's own registered domain.
+    SelfHosted,
+    /// Everything else.
+    Others,
+    /// No responding SMTP server.
+    NoSmtp,
+}
+
+impl ChurnCategory {
+    /// All seven, in the figure's order.
+    pub const ALL: [ChurnCategory; 7] = [
+        ChurnCategory::Google,
+        ChurnCategory::Microsoft,
+        ChurnCategory::Yandex,
+        ChurnCategory::Top100,
+        ChurnCategory::SelfHosted,
+        ChurnCategory::Others,
+        ChurnCategory::NoSmtp,
+    ];
+
+    /// Display label matching the figure.
+    pub fn label(self) -> &'static str {
+        match self {
+            ChurnCategory::Google => "Google",
+            ChurnCategory::Microsoft => "Microsoft",
+            ChurnCategory::Yandex => "Yandex",
+            ChurnCategory::Top100 => "Top100",
+            ChurnCategory::SelfHosted => "Self-Hosted",
+            ChurnCategory::Others => "Others",
+            ChurnCategory::NoSmtp => "No SMTP",
+        }
+    }
+}
+
+/// The flow matrix between two snapshots.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct ChurnMatrix {
+    /// `flows[(from, to)]` = number of domains.
+    pub flows: HashMap<(ChurnCategory, ChurnCategory), usize>,
+    /// Total domains classified.
+    pub total: usize,
+}
+
+impl ChurnMatrix {
+    /// Number of domains moving `from -> to`.
+    pub fn flow(&self, from: ChurnCategory, to: ChurnCategory) -> usize {
+        self.flows.get(&(from, to)).copied().unwrap_or(0)
+    }
+
+    /// Domains in `cat` at the start.
+    pub fn outgoing_total(&self, cat: ChurnCategory) -> usize {
+        ChurnCategory::ALL
+            .iter()
+            .map(|to| self.flow(cat, *to))
+            .sum()
+    }
+
+    /// Domains in `cat` at the end.
+    pub fn incoming_total(&self, cat: ChurnCategory) -> usize {
+        ChurnCategory::ALL
+            .iter()
+            .map(|from| self.flow(*from, cat))
+            .sum()
+    }
+
+    /// Domains that stayed in `cat`.
+    pub fn retained(&self, cat: ChurnCategory) -> usize {
+        self.flow(cat, cat)
+    }
+}
+
+/// Classify one domain under a result.
+pub fn classify(
+    result: &InferenceResult,
+    obs: &ObservationSet,
+    companies: &CompanyMap,
+    top100: &std::collections::HashSet<String>,
+    psl: &PublicSuffixList,
+    domain: &Name,
+) -> ChurnCategory {
+    let Some(a) = result.domain(domain) else {
+        return ChurnCategory::NoSmtp;
+    };
+    if a.shares.is_empty() || !a.has_smtp {
+        return ChurnCategory::NoSmtp;
+    }
+    let _ = obs;
+    if mx_infer::domainid::is_self_hosted(a, psl) {
+        return ChurnCategory::SelfHosted;
+    }
+    // Dominant share decides.
+    let top = a
+        .shares
+        .iter()
+        .max_by(|x, y| x.weight.total_cmp(&y.weight))
+        .expect("non-empty");
+    let company = companies.company_or_id(&top.provider);
+    match company {
+        "Google" => ChurnCategory::Google,
+        "Microsoft" => ChurnCategory::Microsoft,
+        "Yandex" => ChurnCategory::Yandex,
+        other if top100.contains(other) => ChurnCategory::Top100,
+        _ => ChurnCategory::Others,
+    }
+}
+
+/// The top-100 provider set (by credited weight) at the starting snapshot,
+/// excluding the big three.
+pub fn top100_set(
+    result: &InferenceResult,
+    companies: &CompanyMap,
+) -> std::collections::HashSet<String> {
+    let mut weights: HashMap<String, f64> = HashMap::new();
+    for a in result.domains.values() {
+        for s in &a.shares {
+            *weights
+                .entry(companies.company_or_id(&s.provider).to_string())
+                .or_insert(0.0) += s.weight;
+        }
+    }
+    let mut rows: Vec<(String, f64)> = weights.into_iter().collect();
+    rows.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    rows.iter()
+        .filter(|(c, _)| !matches!(c.as_str(), "Google" | "Microsoft" | "Yandex"))
+        .take(100)
+        .map(|(c, _)| c.clone())
+        .collect()
+}
+
+/// Compute the flow matrix between two snapshots of the same domain list.
+pub fn churn_matrix(
+    start: (&InferenceResult, &ObservationSet),
+    end: (&InferenceResult, &ObservationSet),
+    companies: &CompanyMap,
+) -> ChurnMatrix {
+    let psl = PublicSuffixList::builtin();
+    let top100 = top100_set(start.0, companies);
+    let mut m = ChurnMatrix::default();
+    for d in &start.1.domains {
+        let from = classify(start.0, start.1, companies, &top100, &psl, &d.domain);
+        let to = classify(end.0, end.1, companies, &top100, &psl, &d.domain);
+        *m.flows.entry((from, to)).or_insert(0) += 1;
+        m.total += 1;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mx_corpus::{company_map, provider_knowledge, Dataset, ScenarioConfig, Study};
+    use mx_infer::Pipeline;
+
+    #[test]
+    fn churn_matrix_structure() {
+        let study = Study::generate(ScenarioConfig::small(51));
+        let pipeline = Pipeline::priority_based(provider_knowledge(10));
+        let companies = company_map();
+
+        let w0 = study.world_at(0);
+        let d0 = crate::observe::observe_world(&w0);
+        let obs0 = d0.dataset(Dataset::Alexa).unwrap();
+        let r0 = pipeline.run(obs0);
+
+        let w8 = study.world_at(8);
+        let d8 = crate::observe::observe_world(&w8);
+        let obs8 = d8.dataset(Dataset::Alexa).unwrap();
+        let r8 = pipeline.run(obs8);
+
+        let m = churn_matrix((&r0, obs0), (&r8, obs8), &companies);
+        assert_eq!(m.total, 800);
+        // Totals are a partition on both sides.
+        let out_sum: usize = ChurnCategory::ALL.iter().map(|c| m.outgoing_total(*c)).sum();
+        let in_sum: usize = ChurnCategory::ALL.iter().map(|c| m.incoming_total(*c)).sum();
+        assert_eq!(out_sum, 800);
+        assert_eq!(in_sum, 800);
+        // Google retains the bulk of its domains and gains overall.
+        assert!(m.retained(ChurnCategory::Google) > 100);
+        assert!(
+            m.incoming_total(ChurnCategory::Google) >= m.outgoing_total(ChurnCategory::Google)
+        );
+        // Self-hosted shrinks.
+        assert!(
+            m.incoming_total(ChurnCategory::SelfHosted)
+                < m.outgoing_total(ChurnCategory::SelfHosted)
+        );
+        // Some ex-self-hosted domains land on Google/Microsoft.
+        let to_big = m.flow(ChurnCategory::SelfHosted, ChurnCategory::Google)
+            + m.flow(ChurnCategory::SelfHosted, ChurnCategory::Microsoft);
+        assert!(to_big > 0, "self-hosted -> big two flows present");
+    }
+}

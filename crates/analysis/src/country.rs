@@ -1,0 +1,116 @@
+//! Figure 8: mail-provider preferences by ccTLD.
+
+use std::collections::HashMap;
+
+use mx_corpus::DomainRecord;
+use mx_infer::{CompanyMap, InferenceResult};
+use serde::Serialize;
+
+/// The providers Figure 8 tracks.
+pub const FIG8_PROVIDERS: [&str; 4] = ["Google", "Microsoft", "Tencent", "Yandex"];
+
+/// The fifteen ccTLDs of Figure 8, in the paper's order.
+pub const FIG8_CCTLDS: [&str; 15] = [
+    "br", "ar", "uk", "fr", "de", "it", "es", "ro", "ca", "au", "ru", "cn", "jp", "in", "sg",
+];
+
+/// The ccTLD × provider share matrix.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct CountryMatrix {
+    /// `(cctld, provider) -> (weight, share of the ccTLD's domains)`.
+    pub cells: HashMap<(String, String), (f64, f64)>,
+    /// Domains per ccTLD.
+    pub totals: HashMap<String, usize>,
+}
+
+impl CountryMatrix {
+    /// Share of `provider` among `cctld` domains.
+    pub fn share(&self, cctld: &str, provider: &str) -> f64 {
+        self.cells
+            .get(&(cctld.to_string(), provider.to_string()))
+            .map(|(_, s)| *s)
+            .unwrap_or(0.0)
+    }
+
+    /// Number of domains under `cctld`.
+    pub fn total(&self, cctld: &str) -> usize {
+        self.totals.get(cctld).copied().unwrap_or(0)
+    }
+}
+
+/// Compute the matrix over an inference result, using the population's
+/// ccTLD annotations.
+pub fn country_matrix(
+    result: &InferenceResult,
+    records: &[DomainRecord],
+    companies: &CompanyMap,
+) -> CountryMatrix {
+    let mut m = CountryMatrix::default();
+    for rec in records {
+        let Some(cc) = rec.cctld else { continue };
+        if !FIG8_CCTLDS.contains(&cc) {
+            continue;
+        }
+        *m.totals.entry(cc.to_string()).or_insert(0) += 1;
+        let Some(a) = result.domain(&rec.name) else {
+            continue;
+        };
+        for s in &a.shares {
+            let company = companies.company_or_id(&s.provider);
+            if FIG8_PROVIDERS.contains(&company) {
+                let cell = m
+                    .cells
+                    .entry((cc.to_string(), company.to_string()))
+                    .or_insert((0.0, 0.0));
+                cell.0 += s.weight;
+            }
+        }
+    }
+    // Convert weights to shares.
+    for ((cc, _), cell) in m.cells.iter_mut() {
+        let total = m.totals.get(cc).copied().unwrap_or(0).max(1);
+        cell.1 = cell.0 / total as f64;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mx_corpus::{company_map, provider_knowledge, Dataset, ScenarioConfig, Study};
+    use mx_infer::Pipeline;
+
+    #[test]
+    fn national_biases_visible() {
+        let study = Study::generate(ScenarioConfig {
+            seed: 61,
+            alexa_size: 4000,
+            com_size: 100,
+            gov_size: 50,
+        });
+        let world = study.world_at(8);
+        let data = crate::observe::observe_world(&world);
+        let obs = data.dataset(Dataset::Alexa).unwrap();
+        let result = Pipeline::priority_based(provider_knowledge(10)).run(obs);
+        let m = country_matrix(&result, &study.populations[0].domains, &company_map());
+        // Yandex strong in .ru, negligible in .br.
+        assert!(
+            m.share("ru", "Yandex") > 0.10,
+            "yandex .ru share {:.3}",
+            m.share("ru", "Yandex")
+        );
+        assert!(m.share("br", "Yandex") < 0.03);
+        // Tencent essentially only in .cn.
+        assert!(m.share("cn", "Tencent") > 0.10);
+        assert!(m.share("de", "Tencent") < 0.02);
+        // US providers widely used outside the US (e.g. .br), but
+        // suppressed in .cn.
+        let br_us = m.share("br", "Google") + m.share("br", "Microsoft");
+        assert!(br_us > 0.3, ".br US share {br_us:.3}");
+        assert!(m.share("cn", "Google") < 0.05);
+        // Totals populated for all fifteen ccTLDs.
+        for cc in FIG8_CCTLDS {
+            assert!(m.total(cc) > 0, "no domains under .{cc}");
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Table 4: the data-availability breakdown of a snapshot.
+
+use mx_infer::{DomainObservation, ObservationSet, ScanStatus};
+use serde::Serialize;
+
+/// The mutually-exclusive availability categories of Table 4, applied in
+/// order: a domain lands in the first category that describes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum CoverageCategory {
+    /// No MX target resolved to an address.
+    NoMxIp,
+    /// Addresses exist, but none appears in the scan data at all.
+    NoCensys,
+    /// Scanned, but no port-25 application data anywhere.
+    NoPort25,
+    /// SMTP data, but no valid (browser-trusted) certificate anywhere.
+    NoValidCert,
+    /// A valid certificate, but no valid Banner/EHLO-derived FQDN pair.
+    NoValidBanner,
+    /// Everything available.
+    Complete,
+}
+
+impl CoverageCategory {
+    /// All six, in Table 4's row order.
+    pub const ALL: [CoverageCategory; 6] = [
+        CoverageCategory::NoMxIp,
+        CoverageCategory::NoCensys,
+        CoverageCategory::NoPort25,
+        CoverageCategory::NoValidCert,
+        CoverageCategory::NoValidBanner,
+        CoverageCategory::Complete,
+    ];
+
+    /// Row label as printed in Table 4.
+    pub fn label(self) -> &'static str {
+        match self {
+            CoverageCategory::NoMxIp => "No MX IP",
+            CoverageCategory::NoCensys => "No Censys",
+            CoverageCategory::NoPort25 => "No Port 25 Data",
+            CoverageCategory::NoValidCert => "No Valid SSL Cert.",
+            CoverageCategory::NoValidBanner => "No Valid Banner/EHLO",
+            CoverageCategory::Complete => "No Missing Data",
+        }
+    }
+}
+
+/// Per-category counts for one dataset snapshot.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct CoverageBreakdown {
+    /// Per-category counts, in [`CoverageCategory::ALL`] order.
+    pub counts: Vec<(CoverageCategory, usize)>,
+    /// Total domains classified.
+    pub total: usize,
+}
+
+impl CoverageBreakdown {
+    /// Count of one category.
+    pub fn count(&self, c: CoverageCategory) -> usize {
+        self.counts
+            .iter()
+            .find(|(cc, _)| *cc == c)
+            .map(|(_, n)| *n)
+            .unwrap_or(0)
+    }
+}
+
+/// Classify one domain.
+pub fn classify(obs: &ObservationSet, d: &DomainObservation) -> CoverageCategory {
+    let addrs: Vec<_> = d
+        .mx
+        .targets()
+        .iter()
+        .flat_map(|t| t.addrs.iter().copied())
+        .collect();
+    if addrs.is_empty() {
+        return CoverageCategory::NoMxIp;
+    }
+    let ip_obs: Vec<_> = addrs.iter().filter_map(|a| obs.ip(*a)).collect();
+    if ip_obs
+        .iter()
+        .all(|o| o.scan == ScanStatus::NotCovered)
+    {
+        return CoverageCategory::NoCensys;
+    }
+    if !ip_obs.iter().any(|o| matches!(o.scan, ScanStatus::Smtp(_))) {
+        return CoverageCategory::NoPort25;
+    }
+    if !ip_obs.iter().any(|o| o.cert_valid) {
+        return CoverageCategory::NoValidCert;
+    }
+    let banner_ok = ip_obs.iter().any(|o| {
+        o.scan.data().is_some_and(|data| {
+            let b = data.banner_host().is_some_and(mx_smtp::valid_fqdn);
+            let e = data.ehlo_host().is_some_and(mx_smtp::valid_fqdn);
+            b && e
+        })
+    });
+    if !banner_ok {
+        return CoverageCategory::NoValidBanner;
+    }
+    CoverageCategory::Complete
+}
+
+/// Classify every domain of a dataset snapshot.
+pub fn breakdown(obs: &ObservationSet) -> CoverageBreakdown {
+    let mut counts: Vec<(CoverageCategory, usize)> = CoverageCategory::ALL
+        .iter()
+        .map(|c| (*c, 0usize))
+        .collect();
+    for d in &obs.domains {
+        let c = classify(obs, d);
+        let slot = counts
+            .iter_mut()
+            .find(|(cc, _)| *cc == c)
+            .expect("all categories present");
+        slot.1 += 1;
+    }
+    CoverageBreakdown {
+        counts,
+        total: obs.domains.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mx_corpus::{Dataset, ScenarioConfig, Study};
+
+    #[test]
+    fn categories_cover_small_world() {
+        let study = Study::generate(ScenarioConfig::small(11));
+        let world = study.world_at(8);
+        let data = crate::observe::observe_world(&world);
+        let alexa = data.dataset(Dataset::Alexa).unwrap();
+        let b = breakdown(alexa);
+        assert_eq!(b.total, 800);
+        let sum: usize = b.counts.iter().map(|(_, n)| n).sum();
+        assert_eq!(sum, b.total, "categories are a partition");
+        assert!(b.count(CoverageCategory::Complete) > 300, "complete majority");
+        assert!(b.count(CoverageCategory::NoMxIp) > 0, "dangling MX present");
+        assert!(
+            b.count(CoverageCategory::NoValidCert) > 20,
+            "no-cert bucket populated: {}",
+            b.count(CoverageCategory::NoValidCert)
+        );
+        assert!(b.count(CoverageCategory::NoPort25) > 0, "no-smtp bucket");
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(CoverageCategory::NoMxIp.label(), "No MX IP");
+        assert_eq!(CoverageCategory::Complete.label(), "No Missing Data");
+    }
+}

@@ -1,0 +1,41 @@
+//! # mx-analysis — the study's analyses
+//!
+//! Everything §4–§5 of the paper computes, over the simulated Internet:
+//!
+//! * [`observe`] — data gathering (§4.3): run the OpenINTEL-style DNS
+//!   measurement and the Censys-style port-25 scan over a materialised
+//!   [`mx_corpus::World`], join them with prefix2as data and certificate
+//!   validation into per-dataset [`mx_infer::ObservationSet`]s;
+//! * [`accuracy`] — §3.3 / Figure 4: sample labelled domains, run all four
+//!   inference strategies, score them against ground truth;
+//! * [`coverage`] — Table 4: the data-availability breakdown;
+//! * [`market`] — Figure 5 / Tables 5–6: company market shares, Alexa rank
+//!   strata, federal vs non-federal `.gov`, provider-ID listings;
+//! * [`longitudinal`] — Figure 6: per-snapshot market-share series for top
+//!   companies, e-mail security companies, web-hosting companies and
+//!   self-hosted domains;
+//! * [`churn`] — Figure 7: category flows between the first and last
+//!   snapshot;
+//! * [`country`] — Figure 8: provider preference by ccTLD;
+//! * [`report`] — plain-text table/series rendering shared by the
+//!   experiment binaries.
+
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod churn;
+pub mod country;
+pub mod coverage;
+pub mod longitudinal;
+pub mod market;
+pub mod observe;
+pub mod report;
+
+pub use accuracy::{AccuracyCell, AccuracyReport, SampleKind};
+pub use churn::{ChurnCategory, ChurnMatrix};
+pub use country::CountryMatrix;
+pub use coverage::{CoverageBreakdown, CoverageCategory};
+pub use longitudinal::{LongitudinalSeries, SeriesPoint};
+pub use market::{MarketShare, MarketShareRow};
+pub use observe::{observe_world, SnapshotData};
+pub use report::{pct, Table};

@@ -1,0 +1,166 @@
+//! Figure 6: market-share time series, 2017–2021.
+
+use mx_corpus::{company_map, provider_knowledge, Dataset, Study};
+use mx_infer::{CompanyMap, Pipeline, ProviderKnowledge};
+use mx_psl::PublicSuffixList;
+use serde::Serialize;
+
+use crate::market;
+use crate::observe;
+
+/// One point of one company's series.
+#[derive(Debug, Clone, Serialize)]
+pub struct SeriesPoint {
+    /// Snapshot label (`2017-06`).
+    pub date: String,
+    /// Credited domain weight.
+    pub weight: f64,
+    /// Share of the dataset population at that snapshot.
+    pub share: f64,
+}
+
+/// The longitudinal series of one dataset (Figure 6 column).
+#[derive(Debug, Clone, Serialize)]
+pub struct LongitudinalSeries {
+    /// The corpus the series covers.
+    pub dataset: Dataset,
+    /// company -> series over snapshots.
+    pub companies: Vec<(String, Vec<SeriesPoint>)>,
+    /// Self-hosted domain counts per snapshot.
+    pub self_hosted: Vec<SeriesPoint>,
+    /// Combined share of the five largest (at the last snapshot) companies.
+    pub top5_total: Vec<SeriesPoint>,
+    /// Snapshot labels, in order.
+    pub dates: Vec<String>,
+}
+
+impl LongitudinalSeries {
+    /// The series of one company, if tracked.
+    pub fn company(&self, name: &str) -> Option<&[SeriesPoint]> {
+        self.companies
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s.as_slice())
+    }
+}
+
+/// The companies the paper's Figure 6 highlights per panel.
+pub fn security_companies() -> [&'static str; 5] {
+    ["ProofPoint", "Mimecast", "Barracuda", "Cisco", "AppRiver"]
+}
+
+/// Figure 6c/f/i's web-hosting companies.
+pub fn hosting_companies() -> [&'static str; 5] {
+    ["GoDaddy", "OVH", "UnitedInternet", "Ukraine.ua", "NameCheap"]
+}
+
+/// Run the full study for one dataset across all its snapshots, tracking
+/// `tracked` companies (plus self-hosted and top-5 totals).
+pub fn run_series(
+    study: &Study,
+    dataset: Dataset,
+    tracked: &[&str],
+    knowledge: &ProviderKnowledge,
+    companies: &CompanyMap,
+) -> LongitudinalSeries {
+    let psl = PublicSuffixList::builtin();
+    let pipeline = Pipeline::priority_based(knowledge.clone());
+    let mut series: Vec<(String, Vec<SeriesPoint>)> = tracked
+        .iter()
+        .map(|c| (c.to_string(), Vec::new()))
+        .collect();
+    let mut self_hosted = Vec::new();
+    let mut top5_total = Vec::new();
+    let mut dates = Vec::new();
+
+    for k in 0..mx_corpus::SNAPSHOT_DATES.len() {
+        let world = study.world_at(k);
+        let data = observe::observe_world(&world);
+        let Some(obs) = data.dataset(dataset) else {
+            continue; // .gov before June 2018
+        };
+        let result = pipeline.run(obs);
+        let shares = market::market_share(&result, companies, None);
+        let date = world.date.ym_label();
+        dates.push(date.clone());
+        for (name, points) in &mut series {
+            let row = shares.rows.iter().find(|r| &r.company == name);
+            points.push(SeriesPoint {
+                date: date.clone(),
+                weight: row.map(|r| r.weight).unwrap_or(0.0),
+                share: row.map(|r| r.share).unwrap_or(0.0),
+            });
+        }
+        let sh = market::self_hosted_count(&result, &psl);
+        self_hosted.push(SeriesPoint {
+            date: date.clone(),
+            weight: sh as f64,
+            share: sh as f64 / shares.total_domains.max(1) as f64,
+        });
+        top5_total.push(SeriesPoint {
+            date,
+            weight: shares.top(5).iter().map(|r| r.weight).sum(),
+            share: shares.top_share(5),
+        });
+    }
+
+    LongitudinalSeries {
+        dataset,
+        companies: series,
+        self_hosted,
+        top5_total,
+        dates,
+    }
+}
+
+/// Convenience: run the Figure 6 top-companies panel for a dataset with the
+/// default knowledge/company map.
+pub fn default_series(study: &Study, dataset: Dataset, tracked: &[&str]) -> LongitudinalSeries {
+    run_series(
+        study,
+        dataset,
+        tracked,
+        &provider_knowledge(10),
+        &company_map(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mx_corpus::ScenarioConfig;
+
+    #[test]
+    fn alexa_trends_match_figure6() {
+        let study = Study::generate(ScenarioConfig::small(41));
+        let s = default_series(&study, Dataset::Alexa, &["Google", "Microsoft"]);
+        assert_eq!(s.dates.len(), 9);
+        let google = s.company("Google").unwrap();
+        assert_eq!(google.len(), 9);
+        // Growth, allowing sampling noise at this small scale.
+        assert!(
+            google[8].share > google[0].share - 0.01,
+            "google {} -> {}",
+            google[0].share,
+            google[8].share
+        );
+        // Self-hosted declines.
+        let sh = &s.self_hosted;
+        assert!(
+            sh[8].share < sh[0].share,
+            "self-hosted {} -> {}",
+            sh[0].share,
+            sh[8].share
+        );
+        // Top-5 total grows (consolidation).
+        assert!(s.top5_total[8].share > s.top5_total[0].share - 0.01);
+    }
+
+    #[test]
+    fn gov_series_has_seven_points() {
+        let study = Study::generate(ScenarioConfig::small(41));
+        let s = default_series(&study, Dataset::Gov, &["Microsoft"]);
+        assert_eq!(s.dates.len(), 7);
+        assert_eq!(s.dates[0], "2018-06");
+    }
+}

@@ -1,0 +1,219 @@
+//! Figure 5 / Table 6: market shares of companies, with Alexa rank strata
+//! and the federal/non-federal `.gov` split; Table 5: provider-ID listing.
+
+use std::collections::{BTreeSet, HashMap};
+
+use mx_corpus::DomainRecord;
+use mx_dns::Name;
+use mx_infer::{CompanyMap, InferenceResult, ProviderId};
+use serde::Serialize;
+
+/// One company's share.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MarketShareRow {
+    /// Company display name (or bare provider ID for the long tail).
+    pub company: String,
+    /// Credited domain weight (fractional because of split credit).
+    pub weight: f64,
+    /// Share of the population (weight / total domains).
+    pub share: f64,
+}
+
+/// Market-share summary over a set of domains.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct MarketShare {
+    /// Rows sorted by weight, descending.
+    pub rows: Vec<MarketShareRow>,
+    /// Domains the shares are computed over.
+    pub total_domains: usize,
+}
+
+impl MarketShare {
+    /// The top `n` rows.
+    pub fn top(&self, n: usize) -> &[MarketShareRow] {
+        &self.rows[..n.min(self.rows.len())]
+    }
+
+    /// Share of one company (0 when absent).
+    pub fn share_of(&self, company: &str) -> f64 {
+        self.rows
+            .iter()
+            .find(|r| r.company == company)
+            .map(|r| r.share)
+            .unwrap_or(0.0)
+    }
+
+    /// Combined share of the top `n` companies (Figure 6's "Top5 Total").
+    pub fn top_share(&self, n: usize) -> f64 {
+        self.top(n).iter().map(|r| r.share).sum()
+    }
+}
+
+/// Compute company market shares over (optionally a subset of) the domains
+/// in an inference result.
+pub fn market_share(
+    result: &InferenceResult,
+    companies: &CompanyMap,
+    filter: Option<&dyn Fn(&Name) -> bool>,
+) -> MarketShare {
+    let mut weights: HashMap<String, f64> = HashMap::new();
+    let mut total = 0usize;
+    for (name, a) in &result.domains {
+        if let Some(f) = filter {
+            if !f(name) {
+                continue;
+            }
+        }
+        total += 1;
+        for s in &a.shares {
+            let company = companies.company_or_id(&s.provider).to_string();
+            *weights.entry(company).or_insert(0.0) += s.weight;
+        }
+    }
+    let mut rows: Vec<MarketShareRow> = weights
+        .into_iter()
+        .map(|(company, weight)| MarketShareRow {
+            company,
+            weight,
+            share: weight / total.max(1) as f64,
+        })
+        .collect();
+    rows.sort_by(|a, b| b.weight.total_cmp(&a.weight).then(a.company.cmp(&b.company)));
+    MarketShare {
+        rows,
+        total_domains: total,
+    }
+}
+
+/// Count of self-hosted domains (provider ID equals the domain's
+/// registered domain, §5.2.1).
+pub fn self_hosted_count(result: &InferenceResult, psl: &mx_psl::PublicSuffixList) -> usize {
+    result
+        .domains
+        .values()
+        .filter(|a| a.has_smtp && mx_infer::domainid::is_self_hosted(a, psl))
+        .count()
+}
+
+/// Build a rank filter for Figure 5's Alexa strata (`rank <= cutoff`).
+pub fn rank_filter(
+    records: &[DomainRecord],
+    cutoff: u32,
+) -> impl Fn(&Name) -> bool + '_ {
+    let set: BTreeSet<Name> = records
+        .iter()
+        .filter(|r| r.rank.is_some_and(|rk| rk <= cutoff))
+        .map(|r| r.name.clone())
+        .collect();
+    move |n: &Name| set.contains(n)
+}
+
+/// Build a federal/non-federal filter for `.gov` (Figure 5 bottom row).
+pub fn federal_filter(
+    records: &[DomainRecord],
+    federal: bool,
+) -> impl Fn(&Name) -> bool + '_ {
+    let set: BTreeSet<Name> = records
+        .iter()
+        .filter(|r| r.federal == federal)
+        .map(|r| r.name.clone())
+        .collect();
+    move |n: &Name| set.contains(n)
+}
+
+/// Table 5: provider IDs observed for a company, with the ASNs their
+/// infrastructure answered from.
+pub fn provider_ids_of_company(
+    result: &InferenceResult,
+    obs: &mx_infer::ObservationSet,
+    companies: &CompanyMap,
+    company: &str,
+) -> Vec<mx_infer::ProviderIdRow> {
+    let mut rows: HashMap<ProviderId, BTreeSet<u32>> = HashMap::new();
+    for a in result.mx_assignments.values() {
+        if companies.company_of(&a.provider) != Some(company) {
+            continue;
+        }
+        let entry = rows.entry(a.provider.clone()).or_default();
+        for ip in &a.addrs {
+            if let Some(asn) = obs.ip(*ip).and_then(|o| o.asn) {
+                entry.insert(asn);
+            }
+        }
+    }
+    let mut out: Vec<mx_infer::ProviderIdRow> = rows
+        .into_iter()
+        .map(|(provider_id, asns)| mx_infer::ProviderIdRow { provider_id, asns })
+        .collect();
+    out.sort_by(|a, b| a.provider_id.cmp(&b.provider_id));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mx_corpus::{company_map, provider_knowledge, Dataset, ScenarioConfig, Study};
+    use mx_infer::Pipeline;
+
+    fn run() -> (Study, InferenceResult, mx_infer::ObservationSet) {
+        let study = Study::generate(ScenarioConfig::small(21));
+        let world = study.world_at(8);
+        let data = crate::observe::observe_world(&world);
+        let obs = data.dataset(Dataset::Alexa).unwrap().clone();
+        let pipeline = Pipeline::priority_based(provider_knowledge(10));
+        let result = pipeline.run(&obs);
+        (study, result, obs)
+    }
+
+    #[test]
+    fn google_tops_alexa() {
+        let (_, result, _) = run();
+        let shares = market_share(&result, &company_map(), None);
+        assert_eq!(shares.total_domains, 800);
+        assert_eq!(shares.rows[0].company, "Google");
+        assert!(shares.share_of("Google") > 0.18);
+        assert!(shares.share_of("Microsoft") > 0.05);
+        assert!(shares.top_share(5) > 0.3);
+    }
+
+    #[test]
+    fn rank_strata_filter() {
+        let (study, result, _) = run();
+        let records = &study.populations[0].domains;
+        let cutoff = 10_000;
+        let expected = records
+            .iter()
+            .filter(|r| r.rank.is_some_and(|rk| rk <= cutoff))
+            .count();
+        let f = rank_filter(records, cutoff);
+        let shares = market_share(&result, &company_map(), Some(&f));
+        assert_eq!(shares.total_domains, expected);
+        assert!(expected > 0 && expected < records.len());
+    }
+
+    #[test]
+    fn table5_lists_provider_ids() {
+        let (_, result, obs) = run();
+        let rows = provider_ids_of_company(&result, &obs, &company_map(), "Microsoft");
+        assert!(!rows.is_empty());
+        for r in &rows {
+            assert!(
+                ["outlook.com", "office365.us", "hotmail.com"]
+                    .contains(&r.provider_id.as_str()),
+                "{:?}",
+                r.provider_id
+            );
+            assert!(r.asns.contains(&8075), "Microsoft AS present: {:?}", r.asns);
+        }
+    }
+
+    #[test]
+    fn self_hosted_detection_runs() {
+        let (_, result, _) = run();
+        let psl = mx_psl::PublicSuffixList::builtin();
+        let n = self_hosted_count(&result, &psl);
+        // Alexa 2021: ~7.9% self-hosted (plus VPS/fake corrected cases).
+        let frac = n as f64 / 800.0;
+        assert!((0.02..0.20).contains(&frac), "self-hosted fraction {frac}");
+    }
+}

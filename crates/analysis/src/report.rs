@@ -1,0 +1,131 @@
+//! Plain-text rendering shared by the experiment binaries.
+
+use std::fmt::Write as _;
+
+/// Format a fraction as a percentage with one decimal (`28.5%`).
+pub fn pct(frac: f64) -> String {
+    format!("{:.1}%", frac * 100.0)
+}
+
+/// A simple left-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// An empty table with a title.
+    pub fn new(title: impl Into<String>) -> Table {
+        Table {
+            title: title.into(),
+            headers: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Set the header row (builder style).
+    pub fn headers<I, S>(mut self, headers: I) -> Table
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.headers = headers.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Append one data row.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Table
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render to a string with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.headers.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        for row in std::iter::once(&self.headers).chain(&self.rows) {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "== {} ==", self.title);
+        }
+        let render_row = |row: &[String]| -> String {
+            let mut line = String::new();
+            for (i, cell) in row.iter().enumerate() {
+                let _ = write!(line, "{:<width$}  ", cell, width = widths[i]);
+            }
+            line.trim_end().to_string()
+        };
+        if !self.headers.is_empty() {
+            let _ = writeln!(out, "{}", render_row(&self.headers));
+            let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+            let _ = writeln!(out, "{}", "-".repeat(total));
+        }
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", render_row(row));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct(0.285), "28.5%");
+        assert_eq!(pct(0.0), "0.0%");
+        assert_eq!(pct(1.0), "100.0%");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("Top providers").headers(["Rank", "Company", "Share"]);
+        t.row(["1", "Google", "28.5%"]);
+        t.row(["2", "Microsoft", "10.8%"]);
+        let s = t.render();
+        assert!(s.contains("== Top providers =="));
+        assert!(s.contains("Google"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header + separator + 2 rows + title.
+        assert_eq!(lines.len(), 5);
+        // Columns aligned: "Microsoft" starts at the same offset.
+        let c1 = lines[3].find("Google").unwrap();
+        let c2 = lines[4].find("Microsoft").unwrap();
+        assert_eq!(c1, c2);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::new("empty");
+        assert!(t.is_empty());
+        assert_eq!(t.render(), "== empty ==\n");
+    }
+}

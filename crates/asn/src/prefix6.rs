@@ -1,0 +1,279 @@
+//! IPv6 CIDR prefixes and longest-prefix matching.
+//!
+//! The paper's method "is based on IPv4 addresses. We imagine future work
+//! extending this method to incorporate IPv6 addresses" (§3.4). This
+//! module provides the routing-table foundation for that extension: the
+//! IPv6 analogues of [`crate::Ipv4Prefix`] and [`crate::PrefixTrie`].
+
+use std::fmt;
+use std::net::Ipv6Addr;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::prefix::PrefixError;
+
+/// A validated IPv6 CIDR prefix (network address + length).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Ipv6Prefix {
+    bits: u128,
+    len: u8,
+}
+
+fn mask6(bits: u128, len: u8) -> u128 {
+    if len == 0 {
+        0
+    } else {
+        bits & (u128::MAX << (128 - len))
+    }
+}
+
+impl Ipv6Prefix {
+    /// Construct, rejecting host bits below the mask.
+    pub fn new(addr: Ipv6Addr, len: u8) -> Result<Self, PrefixError> {
+        if len > 128 {
+            return Err(PrefixError::BadLength(len));
+        }
+        let bits = u128::from(addr);
+        if mask6(bits, len) != bits {
+            // Reuse the v4 error shape; report the masked network address.
+            return Err(PrefixError::Parse(format!("{addr}/{len} has host bits set")));
+        }
+        Ok(Ipv6Prefix { bits, len })
+    }
+
+    /// Construct, silently clearing host bits.
+    pub fn new_truncating(addr: Ipv6Addr, len: u8) -> Result<Self, PrefixError> {
+        if len > 128 {
+            return Err(PrefixError::BadLength(len));
+        }
+        Ok(Ipv6Prefix {
+            bits: mask6(u128::from(addr), len),
+            len,
+        })
+    }
+
+    /// The default route `::/0`.
+    pub fn default_route() -> Self {
+        Ipv6Prefix { bits: 0, len: 0 }
+    }
+
+    /// Network address.
+    pub fn network(&self) -> Ipv6Addr {
+        Ipv6Addr::from(self.bits)
+    }
+
+    /// Prefix length.
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// Always false: a prefix denotes at least one address.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Does this prefix contain `addr`?
+    pub fn contains(&self, addr: Ipv6Addr) -> bool {
+        mask6(u128::from(addr), self.len) == self.bits
+    }
+
+    /// Does this prefix fully contain `other`?
+    pub fn covers(&self, other: &Ipv6Prefix) -> bool {
+        self.len <= other.len && mask6(other.bits, self.len) == self.bits
+    }
+
+    /// Bit `i` (0 = most significant) of the network address.
+    pub fn bit(&self, i: u8) -> bool {
+        debug_assert!(i < 128);
+        self.bits & (1u128 << (127 - i)) != 0
+    }
+}
+
+impl fmt::Display for Ipv6Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.network(), self.len)
+    }
+}
+
+impl FromStr for Ipv6Prefix {
+    type Err = PrefixError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr, len) = s
+            .split_once('/')
+            .ok_or_else(|| PrefixError::Parse(s.to_string()))?;
+        let addr: Ipv6Addr = addr
+            .parse()
+            .map_err(|_| PrefixError::Parse(s.to_string()))?;
+        let len: u8 = len.parse().map_err(|_| PrefixError::Parse(s.to_string()))?;
+        Ipv6Prefix::new(addr, len)
+    }
+}
+
+#[derive(Debug)]
+struct Node6<V> {
+    value: Option<V>,
+    children: [Option<Box<Node6<V>>>; 2],
+}
+
+impl<V> Default for Node6<V> {
+    fn default() -> Self {
+        Node6 {
+            value: None,
+            children: [None, None],
+        }
+    }
+}
+
+/// A binary trie mapping [`Ipv6Prefix`]es to values with longest-prefix
+/// matching; the 128-bit sibling of [`crate::PrefixTrie`].
+#[derive(Debug)]
+pub struct Ipv6Trie<V> {
+    root: Node6<V>,
+    len: usize,
+}
+
+impl<V> Default for Ipv6Trie<V> {
+    fn default() -> Self {
+        Ipv6Trie {
+            root: Node6::default(),
+            len: 0,
+        }
+    }
+}
+
+impl<V> Ipv6Trie<V> {
+    /// An empty trie.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored prefixes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no prefixes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert (replacing) the value for `prefix`. Returns the old value.
+    pub fn insert(&mut self, prefix: Ipv6Prefix, value: V) -> Option<V> {
+        let mut node = &mut self.root;
+        for i in 0..prefix.len() {
+            let b = prefix.bit(i) as usize;
+            node = node.children[b].get_or_insert_with(Default::default);
+        }
+        let old = node.value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Exact-match lookup.
+    pub fn get(&self, prefix: &Ipv6Prefix) -> Option<&V> {
+        let mut node = &self.root;
+        for i in 0..prefix.len() {
+            let b = prefix.bit(i) as usize;
+            node = node.children[b].as_deref()?;
+        }
+        node.value.as_ref()
+    }
+
+    /// Longest-prefix-match for an address.
+    pub fn lookup(&self, addr: Ipv6Addr) -> Option<(Ipv6Prefix, &V)> {
+        let bits = u128::from(addr);
+        let mut node = &self.root;
+        let mut best: Option<(u8, &V)> = node.value.as_ref().map(|v| (0, v));
+        for i in 0..128u8 {
+            let b = ((bits >> (127 - i)) & 1) as usize;
+            match node.children[b].as_deref() {
+                Some(child) => {
+                    node = child;
+                    if let Some(v) = node.value.as_ref() {
+                        best = Some((i + 1, v));
+                    }
+                }
+                None => break,
+            }
+        }
+        best.map(|(len, v)| {
+            let p = Ipv6Prefix::new_truncating(addr, len).expect("len <= 128");
+            (p, v)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Ipv6Prefix {
+        s.parse().unwrap()
+    }
+
+    fn a(s: &str) -> Ipv6Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_display_roundtrip() {
+        let x = p("2001:db8::/32");
+        assert_eq!(x.to_string(), "2001:db8::/32");
+        assert_eq!(x.len(), 32);
+    }
+
+    #[test]
+    fn rejects_bad_prefixes() {
+        assert!("2001:db8::1/32".parse::<Ipv6Prefix>().is_err(), "host bits");
+        assert!("2001:db8::/129".parse::<Ipv6Prefix>().is_err());
+        assert!("not-an-addr/32".parse::<Ipv6Prefix>().is_err());
+        let t = Ipv6Prefix::new_truncating(a("2001:db8::1"), 32).unwrap();
+        assert_eq!(t, p("2001:db8::/32"));
+    }
+
+    #[test]
+    fn contains_and_covers() {
+        let x = p("2001:db8::/32");
+        assert!(x.contains(a("2001:db8:ffff::1")));
+        assert!(!x.contains(a("2001:db9::1")));
+        assert!(x.covers(&p("2001:db8:1::/48")));
+        assert!(!p("2001:db8:1::/48").covers(&x));
+        assert!(Ipv6Prefix::default_route().contains(a("::1")));
+    }
+
+    #[test]
+    fn trie_lpm() {
+        let mut t = Ipv6Trie::new();
+        t.insert(p("2001:db8::/32"), "coarse");
+        t.insert(p("2001:db8:1::/48"), "mid");
+        t.insert(p("2001:db8:1:2::/64"), "fine");
+        assert_eq!(t.lookup(a("2001:db8:1:2::25")).unwrap().1, &"fine");
+        assert_eq!(t.lookup(a("2001:db8:1:3::25")).unwrap().1, &"mid");
+        assert_eq!(t.lookup(a("2001:db8:9::25")).unwrap().1, &"coarse");
+        assert_eq!(t.lookup(a("2001:db9::1")), None);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn trie_exact_and_replace() {
+        let mut t = Ipv6Trie::new();
+        assert_eq!(t.insert(p("2001:db8::/32"), 1), None);
+        assert_eq!(t.insert(p("2001:db8::/32"), 2), Some(1));
+        assert_eq!(t.get(&p("2001:db8::/32")), Some(&2));
+        assert_eq!(t.get(&p("2001:db8::/33")), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn host_route_128() {
+        let mut t = Ipv6Trie::new();
+        t.insert(p("2001:db8::25/128"), "host");
+        t.insert(p("2001:db8::/64"), "net");
+        assert_eq!(t.lookup(a("2001:db8::25")).unwrap().1, &"host");
+        assert_eq!(t.lookup(a("2001:db8::26")).unwrap().1, &"net");
+    }
+}

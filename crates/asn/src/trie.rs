@@ -1,0 +1,214 @@
+//! A binary longest-prefix-match trie over IPv4 prefixes.
+
+use std::net::Ipv4Addr;
+
+use crate::prefix::Ipv4Prefix;
+
+#[derive(Debug)]
+struct Node<V> {
+    value: Option<V>,
+    children: [Option<Box<Node<V>>>; 2],
+}
+
+impl<V> Default for Node<V> {
+    fn default() -> Self {
+        Node {
+            value: None,
+            children: [None, None],
+        }
+    }
+}
+
+/// A binary trie mapping [`Ipv4Prefix`]es to values, supporting exact and
+/// longest-prefix-match lookups. One bit per level; depth ≤ 32.
+#[derive(Debug)]
+pub struct PrefixTrie<V> {
+    root: Node<V>,
+    len: usize,
+}
+
+impl<V> Default for PrefixTrie<V> {
+    fn default() -> Self {
+        PrefixTrie {
+            root: Node::default(),
+            len: 0,
+        }
+    }
+}
+
+impl<V> PrefixTrie<V> {
+    /// An empty trie.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored prefixes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no prefixes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert (replacing) the value for `prefix`. Returns the old value.
+    pub fn insert(&mut self, prefix: Ipv4Prefix, value: V) -> Option<V> {
+        let mut node = &mut self.root;
+        for i in 0..prefix.len() {
+            let b = prefix.bit(i) as usize;
+            node = node.children[b].get_or_insert_with(Default::default);
+        }
+        let old = node.value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Exact-match lookup.
+    pub fn get(&self, prefix: &Ipv4Prefix) -> Option<&V> {
+        let mut node = &self.root;
+        for i in 0..prefix.len() {
+            let b = prefix.bit(i) as usize;
+            node = node.children[b].as_deref()?;
+        }
+        node.value.as_ref()
+    }
+
+    /// Longest-prefix-match for an address: the most specific stored prefix
+    /// containing it, with its value.
+    pub fn lookup(&self, addr: Ipv4Addr) -> Option<(Ipv4Prefix, &V)> {
+        let bits = u32::from(addr);
+        let mut node = &self.root;
+        let mut best: Option<(u8, &V)> = node.value.as_ref().map(|v| (0, v));
+        for i in 0..32u8 {
+            let b = ((bits >> (31 - i)) & 1) as usize;
+            match node.children[b].as_deref() {
+                Some(child) => {
+                    node = child;
+                    if let Some(v) = node.value.as_ref() {
+                        best = Some((i + 1, v));
+                    }
+                }
+                None => break,
+            }
+        }
+        best.map(|(len, v)| {
+            let p = Ipv4Prefix::new_truncating(addr, len).expect("len <= 32");
+            (p, v)
+        })
+    }
+
+    /// All stored (prefix, value) pairs in lexicographic prefix order.
+    pub fn iter(&self) -> Vec<(Ipv4Prefix, &V)> {
+        let mut out = Vec::with_capacity(self.len);
+        walk(&self.root, 0, 0, &mut out);
+        out
+    }
+}
+
+fn walk<'a, V>(node: &'a Node<V>, bits: u32, depth: u8, out: &mut Vec<(Ipv4Prefix, &'a V)>) {
+    if let Some(v) = &node.value {
+        let p = Ipv4Prefix::new_truncating(Ipv4Addr::from(bits), depth).expect("depth <= 32");
+        out.push((p, v));
+    }
+    for (i, child) in node.children.iter().enumerate() {
+        if let Some(c) = child {
+            let next = if depth < 32 && i == 1 {
+                bits | (1 << (31 - depth))
+            } else {
+                bits
+            };
+            walk(c, next, depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn a(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn insert_and_exact_get() {
+        let mut t = PrefixTrie::new();
+        assert!(t.is_empty());
+        t.insert(p("10.0.0.0/8"), 100);
+        t.insert(p("10.1.0.0/16"), 200);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(&p("10.0.0.0/8")), Some(&100));
+        assert_eq!(t.get(&p("10.1.0.0/16")), Some(&200));
+        assert_eq!(t.get(&p("10.2.0.0/16")), None);
+    }
+
+    #[test]
+    fn replace_returns_old() {
+        let mut t = PrefixTrie::new();
+        assert_eq!(t.insert(p("10.0.0.0/8"), 1), None);
+        assert_eq!(t.insert(p("10.0.0.0/8"), 2), Some(1));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), "coarse");
+        t.insert(p("10.1.0.0/16"), "mid");
+        t.insert(p("10.1.2.0/24"), "fine");
+        assert_eq!(t.lookup(a("10.1.2.3")).unwrap().1, &"fine");
+        assert_eq!(t.lookup(a("10.1.9.9")).unwrap().1, &"mid");
+        assert_eq!(t.lookup(a("10.9.9.9")).unwrap().1, &"coarse");
+        assert_eq!(t.lookup(a("11.0.0.1")), None);
+    }
+
+    #[test]
+    fn lookup_reports_matched_prefix() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("192.0.2.0/24"), ());
+        let (m, _) = t.lookup(a("192.0.2.77")).unwrap();
+        assert_eq!(m, p("192.0.2.0/24"));
+    }
+
+    #[test]
+    fn default_route_matches_everything() {
+        let mut t = PrefixTrie::new();
+        t.insert(Ipv4Prefix::default_route(), 0);
+        assert!(t.lookup(a("8.8.8.8")).is_some());
+        t.insert(p("8.0.0.0/8"), 8);
+        assert_eq!(t.lookup(a("8.8.8.8")).unwrap().1, &8);
+        assert_eq!(t.lookup(a("9.9.9.9")).unwrap().1, &0);
+    }
+
+    #[test]
+    fn host_routes() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("198.51.100.25/32"), "host");
+        t.insert(p("198.51.100.0/24"), "net");
+        assert_eq!(t.lookup(a("198.51.100.25")).unwrap().1, &"host");
+        assert_eq!(t.lookup(a("198.51.100.26")).unwrap().1, &"net");
+    }
+
+    #[test]
+    fn iter_returns_all() {
+        let mut t = PrefixTrie::new();
+        let prefixes = ["10.0.0.0/8", "10.1.0.0/16", "192.0.2.0/24", "0.0.0.0/0"];
+        for (i, s) in prefixes.iter().enumerate() {
+            t.insert(p(s), i);
+        }
+        let all = t.iter();
+        assert_eq!(all.len(), 4);
+        let mut got: Vec<String> = all.iter().map(|(pfx, _)| pfx.to_string()).collect();
+        got.sort();
+        let mut want: Vec<String> = prefixes.iter().map(|s| s.to_string()).collect();
+        want.sort();
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests: the LPM trie agrees with a naive linear scan.
+
+use std::net::Ipv4Addr;
+
+use mx_asn::{Ipv4Prefix, PrefixTrie};
+use proptest::prelude::*;
+
+fn arb_prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(bits, len)| {
+        Ipv4Prefix::new_truncating(Ipv4Addr::from(bits), len).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Trie LPM result equals the naive "most specific containing prefix"
+    /// computed by linear scan.
+    #[test]
+    fn trie_matches_linear_scan(
+        prefixes in prop::collection::vec(arb_prefix(), 1..40),
+        addr in any::<u32>().prop_map(Ipv4Addr::from),
+    ) {
+        let mut trie = PrefixTrie::new();
+        for (i, p) in prefixes.iter().enumerate() {
+            trie.insert(*p, i);
+        }
+        // Linear scan: most specific (longest) containing prefix; on ties
+        // the later insert wins in the trie, so dedupe by prefix keeping
+        // the last index.
+        let mut best: Option<(Ipv4Prefix, usize)> = None;
+        for (i, p) in prefixes.iter().enumerate() {
+            if p.contains(addr) {
+                match best {
+                    Some((bp, _)) if bp.len() > p.len() => {}
+                    Some((bp, _)) if bp.len() == p.len() && bp == *p => {
+                        best = Some((*p, i)); // replacement
+                    }
+                    Some((bp, _)) if bp.len() == p.len() => {
+                        // distinct prefixes of equal length cannot both
+                        // contain the same address
+                        unreachable!("two distinct /{} contain {}", bp.len(), addr);
+                    }
+                    _ => best = Some((*p, i)),
+                }
+            }
+        }
+        let got = trie.lookup(addr).map(|(p, v)| (p, *v));
+        prop_assert_eq!(got, best);
+    }
+
+    /// Every inserted prefix is exactly retrievable, and lookup of its
+    /// network address matches it or something more specific.
+    #[test]
+    fn inserted_prefixes_found(prefixes in prop::collection::vec(arb_prefix(), 1..30)) {
+        let mut trie = PrefixTrie::new();
+        for (i, p) in prefixes.iter().enumerate() {
+            trie.insert(*p, i);
+        }
+        for p in &prefixes {
+            prop_assert!(trie.get(p).is_some());
+            let (m, _) = trie.lookup(p.network()).expect("network addr must match");
+            prop_assert!(m.len() >= p.len() || m.covers(p));
+        }
+    }
+
+    /// iter() returns exactly the distinct inserted prefixes.
+    #[test]
+    fn iter_complete(prefixes in prop::collection::vec(arb_prefix(), 1..30)) {
+        let mut trie = PrefixTrie::new();
+        for p in &prefixes {
+            trie.insert(*p, ());
+        }
+        let mut distinct: Vec<Ipv4Prefix> = prefixes.clone();
+        distinct.sort();
+        distinct.dedup();
+        let mut got: Vec<Ipv4Prefix> = trie.iter().into_iter().map(|(p, _)| p).collect();
+        got.sort();
+        prop_assert_eq!(got, distinct);
+    }
+
+    /// Prefix parse/display round trip.
+    #[test]
+    fn prefix_display_roundtrip(p in arb_prefix()) {
+        let p2: Ipv4Prefix = p.to_string().parse().unwrap();
+        prop_assert_eq!(p, p2);
+    }
+}

@@ -1,0 +1,136 @@
+//! Criterion micro-benchmarks of the substrates: DNS wire codec, LPM trie,
+//! PSL lookups, SMTP sessions, certificate grouping.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use std::net::Ipv4Addr;
+
+use mx_asn::{Ipv4Prefix, PrefixTrie};
+use mx_dns::{dns_name, Message, RData, Record, RecordType};
+use mx_psl::PublicSuffixList;
+use mx_smtp::{Connection, SmtpClient, SmtpServer, SmtpServerConfig};
+
+fn bench_dns_wire(c: &mut Criterion) {
+    let mut m = Message::query(1, dns_name!("example.com"), RecordType::Mx);
+    m.header.qr = true;
+    for i in 0..8 {
+        m.answers.push(Record::new(
+            dns_name!("example.com"),
+            3600,
+            RData::Mx {
+                preference: 10 * (i as u16 + 1),
+                exchange: dns_name!(&format!("mx{i}.provider.example.com")),
+            },
+        ));
+        m.additionals.push(Record::new(
+            dns_name!(&format!("mx{i}.provider.example.com")),
+            300,
+            RData::A(Ipv4Addr::new(192, 0, 2, i as u8 + 1)),
+        ));
+    }
+    let bytes = m.encode().unwrap();
+    let mut g = c.benchmark_group("dns_wire");
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("encode", |b| b.iter(|| black_box(&m).encode().unwrap()));
+    g.bench_function("decode", |b| {
+        b.iter(|| Message::decode(black_box(&bytes)).unwrap())
+    });
+    g.bench_function("roundtrip", |b| {
+        b.iter(|| Message::decode(&black_box(&m).encode().unwrap()).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_lpm_trie(c: &mut Criterion) {
+    let mut trie = PrefixTrie::new();
+    let mut x = 1u32;
+    for i in 0..10_000u32 {
+        // Cheap LCG for spread-out prefixes.
+        x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+        let len = 8 + (i % 17) as u8;
+        let p = Ipv4Prefix::new_truncating(Ipv4Addr::from(x), len).unwrap();
+        trie.insert(p, i);
+    }
+    let addrs: Vec<Ipv4Addr> = (0..1024u32)
+        .map(|i| Ipv4Addr::from(i.wrapping_mul(4_000_037)))
+        .collect();
+    let mut g = c.benchmark_group("lpm_trie");
+    g.throughput(Throughput::Elements(addrs.len() as u64));
+    g.bench_function("lookup_1k_addrs_10k_prefixes", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for a in &addrs {
+                if trie.lookup(*a).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    g.finish();
+}
+
+fn bench_psl(c: &mut Criterion) {
+    let psl = PublicSuffixList::builtin();
+    let names = [
+        "aspmx.l.google.com",
+        "mail.example.co.uk",
+        "a.b.c.example.com.br",
+        "mx1.smtp.goog",
+        "deep.sub.domain.example.kawasaki.jp",
+        "mailstore1.secureserver.net",
+    ];
+    let mut g = c.benchmark_group("psl");
+    g.throughput(Throughput::Elements(names.len() as u64));
+    g.bench_function("registered_domain", |b| {
+        b.iter(|| {
+            for n in &names {
+                black_box(psl.registered_domain(black_box(n)));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_smtp_session(c: &mut Criterion) {
+    let chain = vec![mx_cert::CertificateBuilder::new(1, mx_cert::KeyId(1))
+        .common_name("mx.bench.example")
+        .self_signed()];
+    let config = SmtpServerConfig::with_tls("mx.bench.example", chain);
+    c.bench_function("smtp_scan_session", |b| {
+        b.iter(|| {
+            let conn = Connection::open(SmtpServer::new(config.clone()));
+            let mut client = SmtpClient::connect(conn).unwrap();
+            client.ehlo("scanner.bench").unwrap();
+            let chain = client.starttls().unwrap();
+            client.ehlo("scanner.bench").unwrap();
+            client.quit().unwrap();
+            black_box(chain.len())
+        })
+    });
+}
+
+fn bench_smtp_delivery(c: &mut Criterion) {
+    let config = SmtpServerConfig::plain("mx.bench.example");
+    let body = "Subject: bench\r\n\r\n".to_string() + &"payload line\r\n".repeat(50);
+    c.bench_function("smtp_message_delivery", |b| {
+        b.iter(|| {
+            let conn = Connection::open(SmtpServer::new(config.clone()));
+            let mut client = SmtpClient::connect(conn).unwrap();
+            client.ehlo("sender.bench").unwrap();
+            client
+                .send_mail("a@bench.example", &["b@mx.bench.example"], &body)
+                .unwrap();
+            client.quit().unwrap();
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_dns_wire,
+    bench_lpm_trie,
+    bench_psl,
+    bench_smtp_session,
+    bench_smtp_delivery
+);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Ablation experiments: data-source value and the step-4 confidence
+//! threshold. `MX_SCALE=small` for a fast run.
+
+use mx_bench::{exp_ablation, ExperimentCtx};
+
+fn main() {
+    let mut ctx = ExperimentCtx::from_env();
+    println!("{}", exp_ablation(&mut ctx));
+}

@@ -1,0 +1,34 @@
+//! Run every experiment and write the combined report to stdout and to
+//! `results/experiments.txt` (plus per-experiment files) for EXPERIMENTS.md.
+
+use std::fs;
+use std::time::Instant;
+
+use mx_bench::*;
+
+fn main() {
+    let t0 = Instant::now();
+    let mut ctx = ExperimentCtx::from_env();
+    fs::create_dir_all("results").ok();
+    let mut combined = String::new();
+    let experiments: Vec<(&str, String)> = vec![
+        ("tables123", exp_tables123()),
+        ("fig4", exp_fig4(&mut ctx)),
+        ("table4", exp_table4(&mut ctx)),
+        ("table5", exp_table5(&mut ctx)),
+        ("fig5", exp_fig5(&mut ctx)),
+        ("fig7", exp_fig7(&mut ctx)),
+        ("fig8", exp_fig8(&mut ctx)),
+        ("table6", exp_table6(&mut ctx)),
+        ("spf", exp_spf(&mut ctx)),
+        ("ablation", exp_ablation(&mut ctx)),
+        ("fig6", exp_fig6(&mut ctx)),
+    ];
+    for (name, out) in &experiments {
+        println!("##### {name} #####\n{out}");
+        combined.push_str(&format!("##### {name} #####\n{out}\n"));
+        fs::write(format!("results/{name}.txt"), out).expect("write result");
+    }
+    fs::write("results/experiments.txt", &combined).expect("write combined");
+    eprintln!("all experiments done in {:.1?}", t0.elapsed());
+}

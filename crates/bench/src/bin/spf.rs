@@ -1,0 +1,9 @@
+//! Extension experiment: SPF-based eventual-provider discovery
+//! (the paper's §3.4 future work). `MX_SCALE=small` for a fast run.
+
+use mx_bench::{exp_spf, ExperimentCtx};
+
+fn main() {
+    let mut ctx = ExperimentCtx::from_env();
+    println!("{}", exp_spf(&mut ctx));
+}

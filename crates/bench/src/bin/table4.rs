@@ -1,0 +1,9 @@
+//! Regenerate the paper's table4 output. Set `MX_SCALE=small` for a fast
+//! run, `MX_SEED=<n>` to vary the world.
+
+use mx_bench::{exp_table4, ExperimentCtx};
+
+fn main() {
+    let mut ctx = ExperimentCtx::from_env();
+    println!("{}", exp_table4(&mut ctx));
+}

@@ -1,0 +1,5 @@
+//! Tables 1–3 (§3.1): the motivating example domains, end to end.
+
+fn main() {
+    println!("{}", mx_bench::exp_tables123());
+}

@@ -1,0 +1,13 @@
+//! # mx-bench — the experiment harness
+//!
+//! One function per table/figure of the paper's evaluation; the `src/bin`
+//! binaries are thin wrappers so each experiment can be regenerated with
+//! `cargo run -p mx-bench --release --bin <name>`. Set `MX_SCALE=small`
+//! for a fast run or `MX_SCALE=study` (default) for the calibrated scale;
+//! `MX_SEED` overrides the seed (default 42).
+
+pub mod experiments;
+pub mod runner;
+
+pub use experiments::*;
+pub use runner::{scale_from_env, ExperimentCtx};

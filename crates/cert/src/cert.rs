@@ -1,0 +1,301 @@
+//! The certificate structure and builder.
+
+use std::fmt;
+
+use mx_dns::Timestamp;
+use serde::{Deserialize, Serialize};
+
+use crate::fingerprint::Fingerprint;
+
+/// Identifier of a (simulated) key pair. Whoever knows the `KeyId` can sign
+/// with it; the simulation never leaks CA `KeyId`s to host configurations,
+/// which is what makes forged certificates detectable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct KeyId(pub u64);
+
+/// A simulated signature: a keyed hash of the to-be-signed bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Signature {
+    /// The key that (claims to have) produced the signature.
+    pub signer: KeyId,
+    /// Keyed hash over the TBS bytes.
+    pub value: u64,
+}
+
+impl Signature {
+    /// Sign `tbs` with `key`.
+    pub fn sign(key: KeyId, tbs: Fingerprint) -> Signature {
+        Signature {
+            signer: key,
+            value: tbs.chain(&key.0.to_be_bytes()).0,
+        }
+    }
+
+    /// Verify against `tbs` assuming the signer key is authentic.
+    pub fn verify(&self, tbs: Fingerprint) -> bool {
+        tbs.chain(&self.signer.0.to_be_bytes()).0 == self.value
+    }
+}
+
+/// A certificate: the fields of X.509 the measurement methodology reads.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Certificate {
+    /// Issuer-assigned serial number.
+    pub serial: u64,
+    /// Subject common name (hostname for leaves, CA name for CAs). Real
+    /// certificates may omit the CN entirely.
+    pub subject_cn: Option<String>,
+    /// Subject alternative names (DNS names, lower-cased).
+    pub sans: Vec<String>,
+    /// Issuer common name (informational; chain linking uses keys).
+    pub issuer_cn: String,
+    /// The subject's public key.
+    pub subject_key: KeyId,
+    /// Validity window start.
+    pub not_before: Timestamp,
+    /// Validity window end (inclusive).
+    pub not_after: Timestamp,
+    /// Basic-constraints CA flag.
+    pub is_ca: bool,
+    /// The issuer's signature over the TBS content.
+    pub signature: Signature,
+}
+
+impl Certificate {
+    /// The to-be-signed fingerprint: everything except the signature.
+    pub fn tbs_fingerprint(&self) -> Fingerprint {
+        let mut fp = Fingerprint::of(&self.serial.to_be_bytes());
+        if let Some(cn) = &self.subject_cn {
+            fp = fp.chain(cn.as_bytes());
+        }
+        for san in &self.sans {
+            fp = fp.chain(b"|").chain(san.as_bytes());
+        }
+        fp = fp.chain(self.issuer_cn.as_bytes());
+        fp = fp.chain(&self.subject_key.0.to_be_bytes());
+        fp = fp.chain(&self.not_before.secs().to_be_bytes());
+        fp = fp.chain(&self.not_after.secs().to_be_bytes());
+        fp.chain(&[self.is_ca as u8])
+    }
+
+    /// Full-content fingerprint (identity for dedup/grouping).
+    pub fn fingerprint(&self) -> Fingerprint {
+        self.tbs_fingerprint()
+            .chain(&self.signature.signer.0.to_be_bytes())
+            .chain(&self.signature.value.to_be_bytes())
+    }
+
+    /// All DNS names on the certificate: CN (if it looks like a name) plus
+    /// SANs, deduplicated, lower-cased, in stable order. This is the name
+    /// set the paper's certificate-grouping step consumes.
+    pub fn dns_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = Vec::new();
+        if let Some(cn) = &self.subject_cn {
+            names.push(cn.to_ascii_lowercase());
+        }
+        for san in &self.sans {
+            names.push(san.to_ascii_lowercase());
+        }
+        names.dedup();
+        let mut seen = std::collections::HashSet::new();
+        names.retain(|n| seen.insert(n.clone()));
+        names
+    }
+
+    /// Is the certificate self-signed (issuer == subject and the signature
+    /// verifies under the subject's own key)?
+    pub fn is_self_signed(&self) -> bool {
+        self.signature.signer == self.subject_key && self.signature.verify(self.tbs_fingerprint())
+    }
+
+    /// Is `now` within the validity window?
+    pub fn time_valid(&self, now: Timestamp) -> bool {
+        self.not_before <= now && now <= self.not_after
+    }
+}
+
+impl fmt::Display for Certificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CN={} (SANs: {}) issuer={} [{}..{}]",
+            self.subject_cn.as_deref().unwrap_or("<none>"),
+            self.sans.join(","),
+            self.issuer_cn,
+            self.not_before,
+            self.not_after
+        )
+    }
+}
+
+/// Builder for certificates. Construction does not sign; signing happens
+/// via a [`crate::CertificateAuthority`] or [`CertificateBuilder::self_signed`].
+#[derive(Debug, Clone)]
+pub struct CertificateBuilder {
+    serial: u64,
+    subject_cn: Option<String>,
+    sans: Vec<String>,
+    subject_key: KeyId,
+    not_before: Timestamp,
+    not_after: Timestamp,
+    is_ca: bool,
+}
+
+impl CertificateBuilder {
+    /// Start a builder for a subject key.
+    pub fn new(serial: u64, subject_key: KeyId) -> Self {
+        CertificateBuilder {
+            serial,
+            subject_cn: None,
+            sans: Vec::new(),
+            subject_key,
+            not_before: Timestamp(0),
+            not_after: Timestamp(u64::MAX),
+            is_ca: false,
+        }
+    }
+
+    /// Set the subject common name (lower-cased).
+    pub fn common_name(mut self, cn: impl Into<String>) -> Self {
+        self.subject_cn = Some(cn.into().to_ascii_lowercase());
+        self
+    }
+
+    /// Add one subject alternative name.
+    pub fn san(mut self, san: impl Into<String>) -> Self {
+        self.sans.push(san.into().to_ascii_lowercase());
+        self
+    }
+
+    /// Add several subject alternative names.
+    pub fn sans<I: IntoIterator<Item = S>, S: Into<String>>(mut self, sans: I) -> Self {
+        for s in sans {
+            self.sans.push(s.into().to_ascii_lowercase());
+        }
+        self
+    }
+
+    /// Set the validity window.
+    pub fn validity(mut self, not_before: Timestamp, not_after: Timestamp) -> Self {
+        self.not_before = not_before;
+        self.not_after = not_after;
+        self
+    }
+
+    /// Set the basic-constraints CA flag.
+    pub fn ca(mut self, is_ca: bool) -> Self {
+        self.is_ca = is_ca;
+        self
+    }
+
+    /// Finish as a certificate signed by `issuer_key` under `issuer_cn`.
+    pub fn signed_by(self, issuer_cn: impl Into<String>, issuer_key: KeyId) -> Certificate {
+        let mut cert = Certificate {
+            serial: self.serial,
+            subject_cn: self.subject_cn,
+            sans: self.sans,
+            issuer_cn: issuer_cn.into(),
+            subject_key: self.subject_key,
+            not_before: self.not_before,
+            not_after: self.not_after,
+            is_ca: self.is_ca,
+            signature: Signature {
+                signer: issuer_key,
+                value: 0,
+            },
+        };
+        cert.signature = Signature::sign(issuer_key, cert.tbs_fingerprint());
+        cert
+    }
+
+    /// Finish as a self-signed certificate.
+    pub fn self_signed(self) -> Certificate {
+        let key = self.subject_key;
+        let cn = self
+            .subject_cn
+            .clone()
+            .unwrap_or_else(|| "self-signed".to_string());
+        self.signed_by(cn, key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(y: i64) -> Timestamp {
+        Timestamp::from_ymd(y, 1, 1)
+    }
+
+    #[test]
+    fn sign_and_verify() {
+        let cert = CertificateBuilder::new(1, KeyId(42))
+            .common_name("mx.google.com")
+            .san("aspmx2.googlemail.com")
+            .validity(ts(2020), ts(2022))
+            .signed_by("Sim Root CA", KeyId(7));
+        assert!(cert.signature.verify(cert.tbs_fingerprint()));
+        assert!(!cert.is_self_signed());
+    }
+
+    #[test]
+    fn tamper_breaks_signature() {
+        let mut cert = CertificateBuilder::new(1, KeyId(42))
+            .common_name("mx.google.com")
+            .signed_by("Sim Root CA", KeyId(7));
+        cert.subject_cn = Some("mx.evil.com".into());
+        assert!(!cert.signature.verify(cert.tbs_fingerprint()));
+    }
+
+    #[test]
+    fn forged_signer_detectable() {
+        // An attacker who does not hold KeyId(7) signs with their own key
+        // but claims the root's name: the signature verifies under *their*
+        // key, so chain validation (which checks key linkage) will fail.
+        let forged = CertificateBuilder::new(1, KeyId(42))
+            .common_name("mx.google.com")
+            .signed_by("Sim Root CA", KeyId(666));
+        assert_eq!(forged.signature.signer, KeyId(666));
+    }
+
+    #[test]
+    fn self_signed_detection() {
+        let ss = CertificateBuilder::new(9, KeyId(5))
+            .common_name("mail.smallbiz.example")
+            .self_signed();
+        assert!(ss.is_self_signed());
+    }
+
+    #[test]
+    fn time_validity() {
+        let cert = CertificateBuilder::new(1, KeyId(1))
+            .common_name("x")
+            .validity(ts(2020), ts(2021))
+            .self_signed();
+        assert!(!cert.time_valid(ts(2019)));
+        assert!(cert.time_valid(ts(2020)));
+        assert!(cert.time_valid(Timestamp::from_ymd(2020, 7, 1)));
+        assert!(!cert.time_valid(ts(2022)));
+    }
+
+    #[test]
+    fn dns_names_dedup_and_lowercase() {
+        let cert = CertificateBuilder::new(1, KeyId(1))
+            .common_name("MX.Provider.COM")
+            .san("mx.provider.com")
+            .san("mx2.provider.com")
+            .self_signed();
+        assert_eq!(
+            cert.dns_names(),
+            vec!["mx.provider.com".to_string(), "mx2.provider.com".to_string()]
+        );
+    }
+
+    #[test]
+    fn fingerprint_distinguishes() {
+        let a = CertificateBuilder::new(1, KeyId(1)).common_name("a").self_signed();
+        let b = CertificateBuilder::new(1, KeyId(1)).common_name("b").self_signed();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), a.clone().fingerprint());
+    }
+}

@@ -1,0 +1,98 @@
+//! RFC 6125 host-name matching for certificate names.
+
+/// Does a presented certificate name (`pattern`, possibly with a leading
+/// wildcard label) match `host`?
+///
+/// Rules implemented (RFC 6125 §6.4.3, as applied by browsers):
+///
+/// * comparison is case-insensitive, trailing dots stripped;
+/// * a wildcard is only honoured as the complete leftmost label
+///   (`*.example.com`), never partial (`f*.example.com` is treated as a
+///   literal and never matches) and never alone (`*` matches nothing);
+/// * the wildcard matches exactly one label: `*.example.com` matches
+///   `mx.example.com` but neither `example.com` nor `a.b.example.com`;
+/// * wildcards require at least two labels after the `*` so `*.com` cannot
+///   match whole TLDs.
+pub fn host_matches(pattern: &str, host: &str) -> bool {
+    let pattern = pattern.trim_end_matches('.').to_ascii_lowercase();
+    let host = host.trim_end_matches('.').to_ascii_lowercase();
+    if pattern.is_empty() || host.is_empty() {
+        return false;
+    }
+    if let Some(suffix) = pattern.strip_prefix("*.") {
+        // Wildcard base must itself have >= 2 labels.
+        if suffix.split('.').count() < 2 || suffix.contains('*') {
+            return false;
+        }
+        match host.split_once('.') {
+            Some((first, rest)) => !first.is_empty() && !first.contains('*') && rest == suffix,
+            None => false,
+        }
+    } else {
+        // Literal match; patterns containing '*' elsewhere never match.
+        if pattern.contains('*') {
+            return false;
+        }
+        pattern == host
+    }
+}
+
+/// Does any of the certificate's names match `host`? Per RFC 6125, when
+/// SANs are present the CN must be ignored; we take the full name list with
+/// that rule already applied by the caller, or apply it here given both.
+pub fn any_matches<'a, I: IntoIterator<Item = &'a str>>(names: I, host: &str) -> bool {
+    names.into_iter().any(|n| host_matches(n, host))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match_case_insensitive() {
+        assert!(host_matches("mx.Google.com", "MX.google.COM"));
+        assert!(host_matches("mx.google.com.", "mx.google.com"));
+        assert!(!host_matches("mx.google.com", "mx2.google.com"));
+    }
+
+    #[test]
+    fn wildcard_one_label() {
+        assert!(host_matches("*.mailspamprotection.com", "se26.mailspamprotection.com"));
+        assert!(!host_matches("*.mailspamprotection.com", "mailspamprotection.com"));
+        assert!(!host_matches(
+            "*.mailspamprotection.com",
+            "a.b.mailspamprotection.com"
+        ));
+    }
+
+    #[test]
+    fn wildcard_not_partial() {
+        assert!(!host_matches("f*.example.com", "foo.example.com"));
+        assert!(!host_matches("*oo.example.com", "foo.example.com"));
+    }
+
+    #[test]
+    fn wildcard_not_tld_wide() {
+        assert!(!host_matches("*.com", "example.com"));
+        assert!(!host_matches("*", "example.com"));
+    }
+
+    #[test]
+    fn empty_never_matches() {
+        assert!(!host_matches("", "example.com"));
+        assert!(!host_matches("example.com", ""));
+    }
+
+    #[test]
+    fn any_matches_over_list() {
+        let names = ["mx.google.com", "*.googlemail.com"];
+        assert!(any_matches(names.iter().copied(), "aspmx.googlemail.com"));
+        assert!(any_matches(names.iter().copied(), "mx.google.com"));
+        assert!(!any_matches(names.iter().copied(), "mx.yahoo.com"));
+    }
+
+    #[test]
+    fn host_with_wildcard_never_matches() {
+        assert!(!host_matches("*.example.com", "*.example.com"));
+    }
+}

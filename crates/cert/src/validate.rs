@@ -1,0 +1,356 @@
+//! Chain validation: "trusted by a major browser".
+
+use std::fmt;
+
+use mx_dns::Timestamp;
+
+use crate::ca::TrustStore;
+use crate::cert::Certificate;
+use crate::name_match::any_matches;
+
+/// Why a chain failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// Empty chain presented.
+    EmptyChain,
+    /// The leaf's names do not cover the expected host.
+    HostMismatch {
+        /// The host we tried to match.
+        host: String,
+    },
+    /// A certificate in the chain is outside its validity window.
+    Expired {
+        /// Position in the chain (0 = leaf).
+        index: usize,
+        /// The validation time.
+        now: Timestamp,
+    },
+    /// A non-leaf chain element lacks the CA flag.
+    NotACa {
+        /// Position in the chain (0 = leaf).
+        index: usize,
+    },
+    /// A signature does not verify or does not link to the next cert's key.
+    BrokenLink {
+        /// Position in the chain (0 = leaf).
+        index: usize,
+    },
+    /// The chain does not terminate at a trusted root.
+    UntrustedRoot,
+    /// The leaf is self-signed (and not itself a trust anchor).
+    SelfSigned,
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::EmptyChain => write!(f, "empty certificate chain"),
+            ValidationError::HostMismatch { host } => {
+                write!(f, "certificate does not cover host {host}")
+            }
+            ValidationError::Expired { index, now } => {
+                write!(f, "certificate {index} not valid at {now}")
+            }
+            ValidationError::NotACa { index } => write!(f, "certificate {index} is not a CA"),
+            ValidationError::BrokenLink { index } => {
+                write!(f, "signature of certificate {index} does not verify/link")
+            }
+            ValidationError::UntrustedRoot => write!(f, "chain does not reach a trusted root"),
+            ValidationError::SelfSigned => write!(f, "self-signed certificate"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Validate a presented chain (leaf first) for `host` at time `now`
+/// against `trust`.
+///
+/// Checks, in the order a browser applies them:
+///
+/// 1. non-empty chain; leaf name coverage of `host` (SANs preferred over
+///    CN when SANs are present, per RFC 6125 §6.4.4);
+/// 2. every certificate within its validity window;
+/// 3. every certificate's signature verifies, each signer key equals the
+///    next certificate's subject key, and intermediates carry the CA flag;
+/// 4. the chain anchors in `trust`: either the last certificate *is* a
+///    trusted root, or its signature was produced by a trusted root key
+///    (chain sent without the root, the common server configuration).
+///
+/// Self-signed leaves fail with [`ValidationError::SelfSigned`] unless
+/// explicitly anchored.
+pub fn validate_chain(
+    chain: &[Certificate],
+    trust: &TrustStore,
+    now: Timestamp,
+    host: &str,
+) -> Result<(), ValidationError> {
+    let leaf = chain.first().ok_or(ValidationError::EmptyChain)?;
+
+    // 1. Host coverage.
+    let names: Vec<&str> = if leaf.sans.is_empty() {
+        leaf.subject_cn.iter().map(|s| s.as_str()).collect()
+    } else {
+        leaf.sans.iter().map(|s| s.as_str()).collect()
+    };
+    if !any_matches(names, host) {
+        return Err(ValidationError::HostMismatch {
+            host: host.to_string(),
+        });
+    }
+
+    chain_trusted(chain, trust, now)
+}
+
+/// Validate a chain's trust, validity and linkage without checking host
+/// coverage. This is how scan-derived certificates are judged ("trusted by
+/// a major browser", paper §3.2.2): scans connect by IP address, so there
+/// is no expected hostname to match against.
+pub fn chain_trusted(
+    chain: &[Certificate],
+    trust: &TrustStore,
+    now: Timestamp,
+) -> Result<(), ValidationError> {
+    if chain.is_empty() {
+        return Err(ValidationError::EmptyChain);
+    }
+
+    // 2. Validity windows.
+    for (i, c) in chain.iter().enumerate() {
+        if !c.time_valid(now) {
+            return Err(ValidationError::Expired { index: i, now });
+        }
+    }
+
+    // 3. Link structure.
+    for (i, c) in chain.iter().enumerate() {
+        if !c.signature.verify(c.tbs_fingerprint()) {
+            return Err(ValidationError::BrokenLink { index: i });
+        }
+        if i > 0 && !c.is_ca {
+            return Err(ValidationError::NotACa { index: i });
+        }
+        if let Some(next) = chain.get(i + 1) {
+            if c.signature.signer != next.subject_key {
+                return Err(ValidationError::BrokenLink { index: i });
+            }
+        }
+    }
+
+    // 4. Anchoring.
+    let last = chain.last().expect("non-empty");
+    if trust.is_trusted_root(last) {
+        return Ok(());
+    }
+    if trust.is_trusted_key(last.signature.signer) && !last.is_self_signed() {
+        return Ok(());
+    }
+    if last.is_self_signed() {
+        return Err(ValidationError::SelfSigned);
+    }
+    Err(ValidationError::UntrustedRoot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ca::CertificateAuthority;
+    use crate::cert::{CertificateBuilder, KeyId};
+
+    fn ts(y: i64) -> Timestamp {
+        Timestamp::from_ymd(y, 1, 1)
+    }
+
+    struct Pki {
+        root: CertificateAuthority,
+        trust: TrustStore,
+    }
+
+    fn pki() -> Pki {
+        let root = CertificateAuthority::new_root("Sim Root CA", KeyId(1), (ts(2010), ts(2040)));
+        let mut trust = TrustStore::new();
+        trust.add_root(&root);
+        Pki { root, trust }
+    }
+
+    #[test]
+    fn valid_leaf_without_root_in_chain() {
+        let mut p = pki();
+        // Like the real Gmail certificate, the CN is repeated in the SANs.
+        let leaf = p.root.issue_server(
+            KeyId(100),
+            Some("mx.google.com"),
+            &["mx.google.com", "aspmx2.googlemail.com"],
+            (ts(2020), ts(2023)),
+        );
+        assert_eq!(
+            validate_chain(std::slice::from_ref(&leaf), &p.trust, ts(2021), "mx.google.com"),
+            Ok(())
+        );
+        assert_eq!(
+            validate_chain(&[leaf], &p.trust, ts(2021), "aspmx2.googlemail.com"),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn san_preferred_over_cn() {
+        let mut p = pki();
+        let leaf = p.root.issue_server(
+            KeyId(100),
+            Some("cn-only.example.com"),
+            &["san.example.com"],
+            (ts(2020), ts(2023)),
+        );
+        assert_eq!(
+            validate_chain(std::slice::from_ref(&leaf), &p.trust, ts(2021), "cn-only.example.com"),
+            Err(ValidationError::HostMismatch {
+                host: "cn-only.example.com".into()
+            })
+        );
+        assert!(validate_chain(&[leaf], &p.trust, ts(2021), "san.example.com").is_ok());
+    }
+
+    #[test]
+    fn cn_used_when_no_sans() {
+        let mut p = pki();
+        let leaf =
+            p.root
+                .issue_server(KeyId(100), Some("mail.example.com"), &[], (ts(2020), ts(2023)));
+        assert!(validate_chain(&[leaf], &p.trust, ts(2021), "mail.example.com").is_ok());
+    }
+
+    #[test]
+    fn wildcard_leaf() {
+        let mut p = pki();
+        let leaf = p.root.issue_server(
+            KeyId(100),
+            Some("*.mailspamprotection.com"),
+            &[],
+            (ts(2020), ts(2023)),
+        );
+        assert!(validate_chain(
+            &[leaf],
+            &p.trust,
+            ts(2021),
+            "se26.mailspamprotection.com"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn expired_rejected() {
+        let mut p = pki();
+        let leaf =
+            p.root
+                .issue_server(KeyId(100), Some("mx.example.com"), &[], (ts(2018), ts(2019)));
+        assert_eq!(
+            validate_chain(&[leaf], &p.trust, ts(2021), "mx.example.com"),
+            Err(ValidationError::Expired {
+                index: 0,
+                now: ts(2021)
+            })
+        );
+    }
+
+    #[test]
+    fn self_signed_rejected() {
+        let p = pki();
+        let leaf = CertificateBuilder::new(1, KeyId(50))
+            .common_name("mx.selfhosted.com")
+            .validity(ts(2020), ts(2025))
+            .self_signed();
+        assert_eq!(
+            validate_chain(&[leaf], &p.trust, ts(2021), "mx.selfhosted.com"),
+            Err(ValidationError::SelfSigned)
+        );
+    }
+
+    #[test]
+    fn untrusted_ca_rejected() {
+        let mut rogue =
+            CertificateAuthority::new_root("Rogue CA", KeyId(99), (ts(2010), ts(2040)));
+        let p = pki();
+        let leaf =
+            rogue.issue_server(KeyId(100), Some("mx.example.com"), &[], (ts(2020), ts(2023)));
+        assert_eq!(
+            validate_chain(&[leaf], &p.trust, ts(2021), "mx.example.com"),
+            Err(ValidationError::UntrustedRoot)
+        );
+    }
+
+    #[test]
+    fn intermediate_chain_validates() {
+        let mut p = pki();
+        let mut inter = CertificateAuthority::new_intermediate(
+            &mut p.root,
+            "Sim Intermediate CA",
+            KeyId(2),
+            (ts(2015), ts(2035)),
+        );
+        let leaf =
+            inter.issue_server(KeyId(100), Some("mx.example.com"), &[], (ts(2020), ts(2023)));
+        let chain = vec![leaf, inter.certificate().clone()];
+        assert_eq!(
+            validate_chain(&chain, &p.trust, ts(2021), "mx.example.com"),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn chain_with_root_included_validates() {
+        let mut p = pki();
+        let leaf =
+            p.root
+                .issue_server(KeyId(100), Some("mx.example.com"), &[], (ts(2020), ts(2023)));
+        let chain = vec![leaf, p.root.certificate().clone()];
+        assert_eq!(
+            validate_chain(&chain, &p.trust, ts(2021), "mx.example.com"),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn shuffled_chain_rejected() {
+        let mut p = pki();
+        let mut inter = CertificateAuthority::new_intermediate(
+            &mut p.root,
+            "Sim Intermediate CA",
+            KeyId(2),
+            (ts(2015), ts(2035)),
+        );
+        let leaf =
+            inter.issue_server(KeyId(100), Some("mx.example.com"), &[], (ts(2020), ts(2023)));
+        // Wrong order: intermediate first. Host match fails (intermediate
+        // CN), which is the browser behaviour too.
+        let chain = vec![inter.certificate().clone(), leaf];
+        assert!(validate_chain(&chain, &p.trust, ts(2021), "mx.example.com").is_err());
+    }
+
+    #[test]
+    fn non_ca_intermediate_rejected() {
+        let mut p = pki();
+        let fake_inter =
+            p.root
+                .issue_server(KeyId(2), Some("not-a-ca.example"), &[], (ts(2015), ts(2035)));
+        // Leaf "signed" by the non-CA's key.
+        let leaf = CertificateBuilder::new(77, KeyId(100))
+            .common_name("mx.example.com")
+            .validity(ts(2020), ts(2023))
+            .signed_by("not-a-ca.example", KeyId(2));
+        let chain = vec![leaf, fake_inter];
+        assert_eq!(
+            validate_chain(&chain, &p.trust, ts(2021), "mx.example.com"),
+            Err(ValidationError::NotACa { index: 1 })
+        );
+    }
+
+    #[test]
+    fn empty_chain_rejected() {
+        let p = pki();
+        assert_eq!(
+            validate_chain(&[], &p.trust, ts(2021), "mx.example.com"),
+            Err(ValidationError::EmptyChain)
+        );
+    }
+}

@@ -1,0 +1,322 @@
+//! Step 1 — certificate preprocessing: occurrence counting, grouping by
+//! shared FQDN, representative-name selection (paper §3.2.1).
+
+use std::collections::HashMap;
+
+use mx_cert::{Certificate, Fingerprint};
+use mx_psl::PublicSuffixList;
+
+use crate::input::ObservationSet;
+
+/// Identifier of a certificate group (index into [`CertGroups`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GroupId(pub usize);
+
+/// The output of certificate preprocessing.
+#[derive(Debug, Clone, Default)]
+pub struct CertGroups {
+    /// Certificate fingerprint -> group.
+    membership: HashMap<Fingerprint, GroupId>,
+    /// Group -> representative name (a registered domain).
+    representatives: Vec<String>,
+    /// Global occurrence count of each registered domain across all valid
+    /// certificates (step 1.1).
+    pub registered_domain_counts: HashMap<String, usize>,
+}
+
+impl CertGroups {
+    /// The group a certificate belongs to, if it was seen during
+    /// preprocessing.
+    pub fn group_of(&self, cert: &Certificate) -> Option<GroupId> {
+        self.membership.get(&cert.fingerprint()).copied()
+    }
+
+    /// The representative (registered-domain) name of a group.
+    pub fn representative(&self, group: GroupId) -> &str {
+        &self.representatives[group.0]
+    }
+
+    /// The representative name for a certificate directly.
+    pub fn representative_of(&self, cert: &Certificate) -> Option<&str> {
+        self.group_of(cert).map(|g| self.representative(g))
+    }
+
+    /// Number of groups formed.
+    pub fn group_count(&self) -> usize {
+        self.representatives.len()
+    }
+
+    /// Number of distinct certificates processed.
+    pub fn cert_count(&self) -> usize {
+        self.membership.len()
+    }
+}
+
+/// Union-find over certificate indices.
+struct Dsu {
+    parent: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Dsu {
+        Dsu {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// Run certificate preprocessing over every *valid* certificate in the
+/// observation set.
+///
+/// 1.1 For each (certificate, FQDN) pair over Subject CN and SANs, count
+///     the FQDN's registered domain.
+/// 1.2 Group certificates sharing at least one FQDN (transitively).
+/// 1.3 Each group's representative is its most frequent registered domain
+///     by the global counts (ties broken lexicographically so runs are
+///     deterministic).
+pub fn preprocess(obs: &ObservationSet, psl: &PublicSuffixList) -> CertGroups {
+    // Distinct valid certificates, in deterministic order.
+    let mut certs: Vec<&Certificate> = Vec::new();
+    let mut seen: HashMap<Fingerprint, usize> = HashMap::new();
+    let mut ips_sorted: Vec<_> = obs.ips.values().collect();
+    ips_sorted.sort_by_key(|o| o.ip);
+    for ipobs in ips_sorted {
+        if let Some(cert) = ipobs.valid_cert() {
+            seen.entry(cert.fingerprint()).or_insert_with(|| {
+                certs.push(cert);
+                certs.len() - 1
+            });
+        }
+    }
+
+    // 1.1 Count registered domains across all (cert, fqdn) pairs.
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    let names_of: Vec<Vec<String>> = certs.iter().map(|c| c.dns_names()).collect();
+    for names in &names_of {
+        for fqdn in names {
+            // Strip a wildcard label before extracting the registered part.
+            let base = fqdn.strip_prefix("*.").unwrap_or(fqdn);
+            if let Some(rd) = psl.registered_domain(base) {
+                *counts.entry(rd).or_insert(0) += 1;
+            }
+        }
+    }
+
+    // 1.2 Union certificates sharing any FQDN.
+    let mut dsu = Dsu::new(certs.len());
+    let mut by_fqdn: HashMap<&str, usize> = HashMap::new();
+    for (i, names) in names_of.iter().enumerate() {
+        for fqdn in names {
+            match by_fqdn.get(fqdn.as_str()) {
+                Some(&j) => dsu.union(i, j),
+                None => {
+                    by_fqdn.insert(fqdn, i);
+                }
+            }
+        }
+    }
+
+    // 1.3 Representative per group root.
+    let mut group_ids: HashMap<usize, GroupId> = HashMap::new();
+    let mut group_members: Vec<Vec<usize>> = Vec::new();
+    for i in 0..certs.len() {
+        let root = dsu.find(i);
+        let gid = *group_ids.entry(root).or_insert_with(|| {
+            group_members.push(Vec::new());
+            GroupId(group_members.len() - 1)
+        });
+        group_members[gid.0].push(i);
+    }
+    let mut representatives = vec![String::new(); group_members.len()];
+    for (gid, members) in group_members.iter().enumerate() {
+        let mut best: Option<(&str, usize)> = None;
+        for &i in members {
+            for fqdn in &names_of[i] {
+                let base = fqdn.strip_prefix("*.").unwrap_or(fqdn);
+                let Some(rd) = psl.registered_domain(base) else {
+                    continue;
+                };
+                let count = counts.get(&rd).copied().unwrap_or(0);
+                // Find the stored key to borrow a stable &str.
+                let key = counts.get_key_value(&rd).map(|(k, _)| k.as_str()).unwrap();
+                best = Some(match best {
+                    None => (key, count),
+                    Some((bk, bc)) if count > bc || (count == bc && key < bk) => (key, count),
+                    Some(b) => b,
+                });
+            }
+        }
+        // A certificate with no extractable registered domain falls back to
+        // its CN or a fingerprint token; such certs never drive provider
+        // inference in practice.
+        representatives[gid] = match best {
+            Some((name, _)) => name.to_string(),
+            None => group_members[gid]
+                .first()
+                .and_then(|&i| certs[i].subject_cn.clone())
+                .unwrap_or_else(|| format!("cert-group-{gid}")),
+        };
+    }
+
+    let membership = seen
+        .into_iter()
+        .map(|(fp, idx)| (fp, group_ids[&dsu.find(idx)]))
+        .collect();
+
+    CertGroups {
+        membership,
+        representatives,
+        registered_domain_counts: counts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::{IpObservation, ScanStatus};
+    use mx_cert::{CertificateBuilder, KeyId};
+    use mx_smtp::{SmtpScanData, StartTlsOutcome};
+    use std::net::Ipv4Addr;
+
+    fn obs_with(certs: Vec<(&str, Certificate)>) -> ObservationSet {
+        let mut obs = ObservationSet::new();
+        for (ip, cert) in certs {
+            let ip: Ipv4Addr = ip.parse().unwrap();
+            obs.ips.insert(
+                ip,
+                IpObservation {
+                    ip,
+                    asn: None,
+                    scan: ScanStatus::Smtp(SmtpScanData {
+                        banner: "x ESMTP".into(),
+                        ehlo: None,
+                        ehlo_keywords: vec![],
+                        starttls: StartTlsOutcome::Completed {
+                            chain: vec![cert.clone()],
+                        },
+                    }),
+                    leaf_cert: Some(cert),
+                    cert_valid: true,
+                },
+            );
+        }
+        obs
+    }
+
+    fn cert(serial: u64, cn: &str, sans: &[&str]) -> Certificate {
+        let mut b = CertificateBuilder::new(serial, KeyId(serial)).common_name(cn);
+        for s in sans {
+            b = b.san(*s);
+        }
+        b.self_signed()
+    }
+
+    #[test]
+    fn paper_table3_example() {
+        // Two provider certs sharing FQDNs, one VPS cert alone.
+        let c1 = cert(1, "mx1.provider.com", &["mx1.provider.com", "mx2.provider.com"]);
+        let c2 = cert(2, "mx2.provider.com", &["mx2.provider.com", "mx1.provider.com"]);
+        let c3 = cert(3, "myvps.provider.com", &[]);
+        let obs = obs_with(vec![
+            ("1.2.3.4", c1.clone()),
+            ("2.3.4.5", c2.clone()),
+            ("3.4.5.6", c3.clone()),
+        ]);
+        let groups = preprocess(&obs, &PublicSuffixList::builtin());
+        assert_eq!(groups.cert_count(), 3);
+        assert_eq!(groups.group_count(), 2);
+        // Counts: c1 contributes 2, c2 contributes 2, c3 contributes 1.
+        assert_eq!(groups.registered_domain_counts["provider.com"], 5);
+        // Shared-FQDN certs merged; representative is provider.com.
+        assert_eq!(groups.group_of(&c1), groups.group_of(&c2));
+        assert_ne!(groups.group_of(&c1), groups.group_of(&c3));
+        assert_eq!(groups.representative_of(&c1), Some("provider.com"));
+        assert_eq!(groups.representative_of(&c3), Some("provider.com"));
+    }
+
+    #[test]
+    fn transitive_grouping() {
+        let a = cert(1, "a.x.com", &["b.x.com"]);
+        let b = cert(2, "b.x.com", &["c.x.com"]);
+        let c = cert(3, "c.x.com", &[]);
+        let obs = obs_with(vec![("1.1.1.1", a.clone()), ("2.2.2.2", b), ("3.3.3.3", c.clone())]);
+        let groups = preprocess(&obs, &PublicSuffixList::builtin());
+        assert_eq!(groups.group_count(), 1);
+        assert_eq!(groups.group_of(&a), groups.group_of(&c));
+    }
+
+    #[test]
+    fn representative_is_most_common_registered_domain() {
+        // A cert naming both google.com (common, via other certs) and
+        // obscure.net: the group representative must be google.com.
+        let g1 = cert(1, "mx1.google.com", &["mx2.google.com"]);
+        let g2 = cert(2, "mx3.google.com", &["mx4.google.com"]);
+        let mixed = cert(3, "mx1.google.com", &["mail.obscure.net"]);
+        let obs = obs_with(vec![
+            ("1.1.1.1", g1),
+            ("2.2.2.2", g2),
+            ("3.3.3.3", mixed.clone()),
+        ]);
+        let groups = preprocess(&obs, &PublicSuffixList::builtin());
+        assert_eq!(groups.representative_of(&mixed), Some("google.com"));
+    }
+
+    #[test]
+    fn wildcard_cn_counts_base_domain() {
+        let w = cert(1, "*.mailspamprotection.com", &[]);
+        let obs = obs_with(vec![("1.1.1.1", w.clone())]);
+        let groups = preprocess(&obs, &PublicSuffixList::builtin());
+        assert_eq!(
+            groups.representative_of(&w),
+            Some("mailspamprotection.com")
+        );
+    }
+
+    #[test]
+    fn invalid_certs_excluded() {
+        let c = cert(1, "mx.provider.com", &[]);
+        let mut obs = obs_with(vec![("1.1.1.1", c.clone())]);
+        obs.ips.get_mut(&"1.1.1.1".parse().unwrap()).unwrap().cert_valid = false;
+        let groups = preprocess(&obs, &PublicSuffixList::builtin());
+        assert_eq!(groups.cert_count(), 0);
+        assert_eq!(groups.representative_of(&c), None);
+    }
+
+    #[test]
+    fn same_cert_on_many_ips_counted_once() {
+        let c = cert(1, "mx.provider.com", &["mx2.provider.com"]);
+        let obs = obs_with(vec![
+            ("1.1.1.1", c.clone()),
+            ("2.2.2.2", c.clone()),
+            ("3.3.3.3", c.clone()),
+        ]);
+        let groups = preprocess(&obs, &PublicSuffixList::builtin());
+        assert_eq!(groups.cert_count(), 1);
+        assert_eq!(groups.registered_domain_counts["provider.com"], 2);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let c1 = cert(1, "a.tie.com", &[]);
+        let c2 = cert(2, "b.other.com", &["a.tie.com"]);
+        let obs = obs_with(vec![("1.1.1.1", c1), ("2.2.2.2", c2)]);
+        let g1 = preprocess(&obs, &PublicSuffixList::builtin());
+        let g2 = preprocess(&obs, &PublicSuffixList::builtin());
+        assert_eq!(g1.representatives, g2.representatives);
+    }
+}

@@ -1,0 +1,148 @@
+//! Aggregating provider IDs into companies (paper §4.4, Table 5).
+//!
+//! "A single company may have multiple provider IDs" — `outlook.com`,
+//! `office365.us`, `hotmail.com` all belong to Microsoft. The company map
+//! holds this (manually curated in the paper; emitted by the catalog in
+//! our reproduction) and supports the reverse listing of Table 5.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use mx_asn::Asn;
+use serde::{Deserialize, Serialize};
+
+use crate::ipid::ProviderId;
+
+/// A Table 5 row: a provider ID with the ASNs it was observed from.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProviderIdRow {
+    /// The provider ID.
+    pub provider_id: ProviderId,
+    /// ASes its infrastructure answered from.
+    pub asns: BTreeSet<Asn>,
+}
+
+/// Provider-ID → company mapping.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CompanyMap {
+    id_to_company: HashMap<ProviderId, String>,
+}
+
+impl CompanyMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a provider ID as belonging to `company`.
+    pub fn insert(&mut self, provider_id: impl Into<String>, company: impl Into<String>) {
+        self.id_to_company
+            .insert(ProviderId::new(provider_id), company.into());
+    }
+
+    /// The company operating `id`, if known.
+    pub fn company_of(&self, id: &ProviderId) -> Option<&str> {
+        self.id_to_company.get(id).map(String::as_str)
+    }
+
+    /// The company operating `id`, or the provider ID itself for the long
+    /// tail of unmapped providers (the paper reports those by their
+    /// registered domain, e.g. `hhs.gov` in Table 6).
+    pub fn company_or_id<'a>(&'a self, id: &'a ProviderId) -> &'a str {
+        self.company_of(id).unwrap_or(id.as_str())
+    }
+
+    /// Number of mapped IDs.
+    pub fn len(&self) -> usize {
+        self.id_to_company.len()
+    }
+
+    /// True when no IDs are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.id_to_company.is_empty()
+    }
+
+    /// All provider IDs mapped to `company`, sorted (Table 5 layout).
+    pub fn ids_of(&self, company: &str) -> Vec<&ProviderId> {
+        let mut ids: Vec<&ProviderId> = self
+            .id_to_company
+            .iter()
+            .filter(|(_, c)| c.as_str() == company)
+            .map(|(id, _)| id)
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// Companies in sorted order.
+    pub fn companies(&self) -> BTreeSet<&str> {
+        self.id_to_company.values().map(String::as_str).collect()
+    }
+
+    /// Aggregate per-provider weights into per-company weights.
+    pub fn aggregate_weights(
+        &self,
+        provider_weights: &HashMap<ProviderId, f64>,
+    ) -> BTreeMap<String, f64> {
+        let mut out: BTreeMap<String, f64> = BTreeMap::new();
+        for (id, w) in provider_weights {
+            *out.entry(self.company_or_id(id).to_string()).or_insert(0.0) += w;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> CompanyMap {
+        let mut m = CompanyMap::new();
+        m.insert("outlook.com", "Microsoft");
+        m.insert("office365.us", "Microsoft");
+        m.insert("hotmail.com", "Microsoft");
+        m.insert("google.com", "Google");
+        m.insert("googlemail.com", "Google");
+        m.insert("pphosted.com", "ProofPoint");
+        m
+    }
+
+    #[test]
+    fn lookup_and_fallback() {
+        let m = map();
+        assert_eq!(m.company_of(&ProviderId::new("outlook.com")), Some("Microsoft"));
+        assert_eq!(m.company_of(&ProviderId::new("OUTLOOK.COM")), Some("Microsoft"));
+        let unknown = ProviderId::new("hhs.gov");
+        assert_eq!(m.company_of(&unknown), None);
+        assert_eq!(m.company_or_id(&unknown), "hhs.gov");
+    }
+
+    #[test]
+    fn reverse_listing() {
+        let m = map();
+        let ids = m.ids_of("Microsoft");
+        let names: Vec<&str> = ids.iter().map(|i| i.as_str()).collect();
+        assert_eq!(names, vec!["hotmail.com", "office365.us", "outlook.com"]);
+        assert_eq!(m.ids_of("Nobody").len(), 0);
+    }
+
+    #[test]
+    fn aggregate_weights_merges_ids() {
+        let m = map();
+        let mut w = HashMap::new();
+        w.insert(ProviderId::new("outlook.com"), 10.0);
+        w.insert(ProviderId::new("hotmail.com"), 5.0);
+        w.insert(ProviderId::new("google.com"), 7.0);
+        w.insert(ProviderId::new("tail.example"), 1.0);
+        let agg = m.aggregate_weights(&w);
+        assert!((agg["Microsoft"] - 15.0).abs() < 1e-9);
+        assert!((agg["Google"] - 7.0).abs() < 1e-9);
+        assert!((agg["tail.example"] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn companies_sorted() {
+        let m = map();
+        let companies: Vec<&str> = m.companies().into_iter().collect();
+        assert_eq!(companies, vec!["Google", "Microsoft", "ProofPoint"]);
+    }
+}

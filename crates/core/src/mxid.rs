@@ -1,0 +1,191 @@
+//! Step 3 — provider ID of an MX record (paper §3.2.3).
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use mx_dns::Name;
+use mx_psl::PublicSuffixList;
+use serde::{Deserialize, Serialize};
+
+use crate::ipid::{IpIds, ProviderId};
+
+/// Which data source produced an MX record's provider ID.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IdSource {
+    /// All resolved IPs agreed on a certificate-derived ID.
+    Certificate,
+    /// All resolved IPs agreed on a Banner/EHLO-derived ID.
+    Banner,
+    /// Fallback: the registered domain of the MX name itself.
+    MxRecord,
+}
+
+/// The provider attribution of one MX exchange name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MxAssignment {
+    /// The MX exchange name.
+    pub exchange: Name,
+    /// The inferred provider.
+    pub provider: ProviderId,
+    /// Which data source produced the ID.
+    pub source: IdSource,
+    /// The IPs the exchange resolved to at measurement time.
+    pub addrs: Vec<Ipv4Addr>,
+    /// Was the assignment rewritten by the step-4 misidentification check?
+    pub corrected: bool,
+}
+
+/// Assign a provider ID to an MX exchange given the IDs of its IPs.
+///
+/// * every resolved IP carries the same cert ID → that ID (`Certificate`);
+/// * else every resolved IP carries the same banner ID → that (`Banner`);
+/// * else the registered domain of the MX name (`MxRecord`); when the name
+///   has no registrable part (e.g. a bare TLD) the name itself is used.
+pub fn assign_mx_id(
+    exchange: &Name,
+    addrs: &[Ipv4Addr],
+    ip_ids: &HashMap<Ipv4Addr, IpIds>,
+    psl: &PublicSuffixList,
+) -> (ProviderId, IdSource) {
+    let ids: Vec<Option<&IpIds>> = addrs.iter().map(|a| ip_ids.get(a)).collect();
+
+    // All IPs must have a cert ID and agree.
+    if !addrs.is_empty() {
+        let certs: Vec<Option<&ProviderId>> = ids
+            .iter()
+            .map(|i| i.and_then(|i| i.from_cert.as_ref()))
+            .collect();
+        if certs.iter().all(Option::is_some) {
+            let first = certs[0].expect("all some");
+            if certs.iter().all(|c| c.expect("all some") == first) {
+                return (first.clone(), IdSource::Certificate);
+            }
+        }
+        let banners: Vec<Option<&ProviderId>> = ids
+            .iter()
+            .map(|i| i.and_then(|i| i.from_banner.as_ref()))
+            .collect();
+        if banners.iter().all(Option::is_some) {
+            let first = banners[0].expect("all some");
+            if banners.iter().all(|b| b.expect("all some") == first) {
+                return (first.clone(), IdSource::Banner);
+            }
+        }
+    }
+
+    (mx_fallback_id(exchange, psl), IdSource::MxRecord)
+}
+
+/// The MX-record fallback ID: the registered domain of the exchange name.
+pub fn mx_fallback_id(exchange: &Name, psl: &PublicSuffixList) -> ProviderId {
+    match psl.registered_domain(&exchange.to_dotted()) {
+        Some(rd) => ProviderId::new(rd),
+        None => ProviderId::new(exchange.to_dotted()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mx_dns::dns_name;
+
+    fn ids(cert: Option<&str>, banner: Option<&str>) -> IpIds {
+        IpIds {
+            from_cert: cert.map(ProviderId::new),
+            from_banner: banner.map(ProviderId::new),
+        }
+    }
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn psl() -> PublicSuffixList {
+        PublicSuffixList::builtin()
+    }
+
+    #[test]
+    fn cert_agreement_wins() {
+        let mut m = HashMap::new();
+        m.insert(ip("1.1.1.1"), ids(Some("google.com"), Some("other.com")));
+        m.insert(ip("2.2.2.2"), ids(Some("google.com"), None));
+        let (id, src) = assign_mx_id(
+            &dns_name!("mailhost.gsipartners.com"),
+            &[ip("1.1.1.1"), ip("2.2.2.2")],
+            &m,
+            &psl(),
+        );
+        assert_eq!(id, ProviderId::new("google.com"));
+        assert_eq!(src, IdSource::Certificate);
+    }
+
+    #[test]
+    fn cert_disagreement_falls_to_banner() {
+        let mut m = HashMap::new();
+        m.insert(ip("1.1.1.1"), ids(Some("a.com"), Some("shared.com")));
+        m.insert(ip("2.2.2.2"), ids(Some("b.com"), Some("shared.com")));
+        let (id, src) = assign_mx_id(
+            &dns_name!("mx.cust.com"),
+            &[ip("1.1.1.1"), ip("2.2.2.2")],
+            &m,
+            &psl(),
+        );
+        assert_eq!(id, ProviderId::new("shared.com"));
+        assert_eq!(src, IdSource::Banner);
+    }
+
+    #[test]
+    fn partial_cert_coverage_falls_to_banner() {
+        let mut m = HashMap::new();
+        m.insert(ip("1.1.1.1"), ids(Some("a.com"), Some("shared.com")));
+        m.insert(ip("2.2.2.2"), ids(None, Some("shared.com")));
+        let (id, src) = assign_mx_id(
+            &dns_name!("mx.cust.com"),
+            &[ip("1.1.1.1"), ip("2.2.2.2")],
+            &m,
+            &psl(),
+        );
+        assert_eq!(id, ProviderId::new("shared.com"));
+        assert_eq!(src, IdSource::Banner);
+    }
+
+    #[test]
+    fn no_agreement_falls_to_mx_registered_domain() {
+        let mut m = HashMap::new();
+        m.insert(ip("1.1.1.1"), ids(None, Some("a.com")));
+        m.insert(ip("2.2.2.2"), ids(None, Some("b.com")));
+        let (id, src) = assign_mx_id(
+            &dns_name!("mx.selfhosted.co.uk"),
+            &[ip("1.1.1.1"), ip("2.2.2.2")],
+            &m,
+            &psl(),
+        );
+        assert_eq!(id, ProviderId::new("selfhosted.co.uk"));
+        assert_eq!(src, IdSource::MxRecord);
+    }
+
+    #[test]
+    fn unresolved_mx_uses_fallback() {
+        let m = HashMap::new();
+        let (id, src) = assign_mx_id(&dns_name!("mx.dangling.com"), &[], &m, &psl());
+        assert_eq!(id, ProviderId::new("dangling.com"));
+        assert_eq!(src, IdSource::MxRecord);
+    }
+
+    #[test]
+    fn unscanned_ips_use_fallback() {
+        // IPs with no entry in the ID map (no Censys coverage).
+        let m = HashMap::new();
+        let (id, src) =
+            assign_mx_id(&dns_name!("aspmx.l.google.com"), &[ip("9.9.9.9")], &m, &psl());
+        assert_eq!(id, ProviderId::new("google.com"));
+        assert_eq!(src, IdSource::MxRecord);
+    }
+
+    #[test]
+    fn bare_public_suffix_mx_keeps_name() {
+        let m = HashMap::new();
+        let (id, _) = assign_mx_id(&dns_name!("com"), &[], &m, &psl());
+        assert_eq!(id, ProviderId::new("com"));
+    }
+}

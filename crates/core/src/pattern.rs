@@ -1,0 +1,131 @@
+//! A minimal hostname glob matcher for the misidentification heuristics.
+//!
+//! Paper §3.2.4: "GoDaddy uses specific hostnames for their dedicated
+//! servers (e.g. `mailstore1.secureserver.net`) and different patterns for
+//! VPS servers (e.g. `s1-2-3.secureserver.net`)". The heuristics published
+//! with the paper's code match such shapes; we implement the small pattern
+//! language they need rather than pulling in a regex engine:
+//!
+//! * literal characters match themselves (case-insensitively);
+//! * `*` matches any run (possibly empty) of characters **within a label**
+//!   (never across a dot);
+//! * `#` matches one or more ASCII digits.
+
+use serde::{Deserialize, Serialize};
+
+/// A compiled hostname pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pattern {
+    source: String,
+}
+
+impl Pattern {
+    /// Compile a pattern (infallible; the language has no invalid forms).
+    /// A trailing dot is stripped, mirroring host normalisation.
+    pub fn new(source: impl Into<String>) -> Pattern {
+        Pattern {
+            source: source
+                .into()
+                .to_ascii_lowercase()
+                .trim_end_matches('.')
+                .to_string(),
+        }
+    }
+
+    /// The pattern text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Does the pattern match the whole of `host`?
+    pub fn matches(&self, host: &str) -> bool {
+        let host = host.trim_end_matches('.').to_ascii_lowercase();
+        matches_at(self.source.as_bytes(), host.as_bytes())
+    }
+}
+
+fn matches_at(pat: &[u8], text: &[u8]) -> bool {
+    match pat.first() {
+        None => text.is_empty(),
+        Some(b'*') => {
+            // Try consuming 0..n non-dot characters.
+            let rest = &pat[1..];
+            let mut i = 0;
+            loop {
+                if matches_at(rest, &text[i..]) {
+                    return true;
+                }
+                if i >= text.len() || text[i] == b'.' {
+                    return false;
+                }
+                i += 1;
+            }
+        }
+        Some(b'#') => {
+            // One or more digits.
+            let mut i = 0;
+            while i < text.len() && text[i].is_ascii_digit() {
+                i += 1;
+                if matches_at(&pat[1..], &text[i..]) {
+                    return true;
+                }
+            }
+            false
+        }
+        Some(&c) => match text.first() {
+            Some(&t) if t == c => matches_at(&pat[1..], &text[1..]),
+            _ => false,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal() {
+        let p = Pattern::new("mailstore1.secureserver.net");
+        assert!(p.matches("mailstore1.secureserver.net"));
+        assert!(p.matches("MAILSTORE1.SecureServer.NET."));
+        assert!(!p.matches("mailstore2.secureserver.net"));
+    }
+
+    #[test]
+    fn star_within_label() {
+        let p = Pattern::new("vps*.secureserver.net");
+        assert!(p.matches("vps123.secureserver.net"));
+        assert!(p.matches("vps.secureserver.net"));
+        assert!(!p.matches("vps1.extra.secureserver.net"), "no dot crossing");
+        assert!(!p.matches("avps1.secureserver.net"));
+    }
+
+    #[test]
+    fn digits() {
+        let p = Pattern::new("s#-#-#.secureserver.net");
+        assert!(p.matches("s1-2-3.secureserver.net"));
+        assert!(p.matches("s192-168-1.secureserver.net"));
+        assert!(!p.matches("s1-2-x.secureserver.net"));
+        assert!(!p.matches("s--3.secureserver.net"), "# needs >= 1 digit");
+    }
+
+    #[test]
+    fn mixed() {
+        let p = Pattern::new("ip-#-#-#-#.*.compute.internal");
+        assert!(p.matches("ip-10-0-1-2.ec2.compute.internal"));
+        assert!(!p.matches("ip-10-0-1-2.compute.internal"));
+    }
+
+    #[test]
+    fn star_greedy_backtracks() {
+        let p = Pattern::new("*store#.secureserver.net");
+        assert!(p.matches("mailstore1.secureserver.net"));
+        assert!(p.matches("store2.secureserver.net"));
+    }
+
+    #[test]
+    fn empty_pattern_matches_empty() {
+        assert!(Pattern::new("").matches(""));
+        assert!(!Pattern::new("").matches("x"));
+    }
+}

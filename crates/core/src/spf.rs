@@ -1,0 +1,267 @@
+//! SPF-based eventual-provider discovery — the paper's stated future work.
+//!
+//! §3.4: *"the flow of exchanging e-mail could involve multiple hops, and
+//! we only observe the first step of delivery using DNS MX records. [...]
+//! Certain heuristics, such as SPF records, might help discover the
+//! eventual e-mail provider. However, this is not the focus of our work
+//! and we leave this as future work."*
+//!
+//! A domain fronted by a filtering service (ProofPoint, Mimecast, ...)
+//! still has to *authorise its real mail platform to send on its behalf*,
+//! which it does in its SPF policy (RFC 7208) — typically
+//! `v=spf1 include:spf.protection.outlook.com -all` for a
+//! Microsoft-backed domain behind a filter. This module implements:
+//!
+//! * an RFC 7208 record parser ([`SpfRecord::parse`]): versions,
+//!   qualifiers, the directive set (`all`, `include`, `a`, `mx`, `ip4`,
+//!   `ip6`, `exists`, `ptr`) and the `redirect` modifier;
+//! * [`eventual_providers`]: the registered domains of `include`/
+//!   `redirect` targets — candidate *eventual* providers behind the
+//!   MX-visible one.
+
+use mx_psl::PublicSuffixList;
+use serde::{Deserialize, Serialize};
+
+use crate::ipid::ProviderId;
+
+/// RFC 7208 qualifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Qualifier {
+    /// `+` (default).
+    Pass,
+    /// `-`
+    Fail,
+    /// `~`
+    SoftFail,
+    /// `?`
+    Neutral,
+}
+
+/// RFC 7208 mechanisms (arguments kept as written, lower-cased).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mechanism {
+    /// Matches everything (the policy terminator).
+    All,
+    /// Recursively evaluate another domain's policy.
+    Include(String),
+    /// The A records of the domain (or the named domain).
+    A(Option<String>),
+    /// The MX targets of the domain (or the named domain).
+    Mx(Option<String>),
+    /// An IPv4 network in CIDR form.
+    Ip4(String),
+    /// An IPv6 network in CIDR form.
+    Ip6(String),
+    /// An existence check against a constructed name.
+    Exists(String),
+    /// Reverse-DNS validation (discouraged but still seen).
+    Ptr(Option<String>),
+}
+
+/// A parsed SPF record.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SpfRecord {
+    /// The directive list, in policy order.
+    pub terms: Vec<(Qualifier, Mechanism)>,
+    /// The `redirect=` modifier target, if present.
+    pub redirect: Option<String>,
+}
+
+impl SpfRecord {
+    /// Parse a TXT string. Returns `None` unless it starts with the
+    /// `v=spf1` version tag. Unknown modifiers are skipped (RFC 7208
+    /// §6); malformed mechanisms abort the parse (a receiver would
+    /// permerror).
+    pub fn parse(txt: &str) -> Option<SpfRecord> {
+        let mut parts = txt.split_ascii_whitespace();
+        if !parts.next()?.eq_ignore_ascii_case("v=spf1") {
+            return None;
+        }
+        let mut record = SpfRecord::default();
+        for term in parts {
+            let lower = term.to_ascii_lowercase();
+            // Modifiers contain '='.
+            if let Some((name, value)) = lower.split_once('=') {
+                if name == "redirect" {
+                    record.redirect = Some(value.to_string());
+                }
+                // exp= and unknown modifiers are ignored.
+                continue;
+            }
+            let (qualifier, body) = match lower.as_bytes().first()? {
+                b'+' => (Qualifier::Pass, &lower[1..]),
+                b'-' => (Qualifier::Fail, &lower[1..]),
+                b'~' => (Qualifier::SoftFail, &lower[1..]),
+                b'?' => (Qualifier::Neutral, &lower[1..]),
+                _ => (Qualifier::Pass, lower.as_str()),
+            };
+            let (name, arg) = match body.split_once(':') {
+                Some((n, a)) => (n, Some(a.to_string())),
+                None => (body, None),
+            };
+            let mechanism = match (name, arg) {
+                ("all", None) => Mechanism::All,
+                ("include", Some(d)) if !d.is_empty() => Mechanism::Include(d),
+                ("a", d) => Mechanism::A(strip_cidr(d)),
+                ("mx", d) => Mechanism::Mx(strip_cidr(d)),
+                ("ip4", Some(net)) if !net.is_empty() => Mechanism::Ip4(net),
+                ("ip6", Some(net)) if !net.is_empty() => Mechanism::Ip6(net),
+                ("exists", Some(d)) if !d.is_empty() => Mechanism::Exists(d),
+                ("ptr", d) => Mechanism::Ptr(d),
+                // a/mx dual-CIDR form `a/24`.
+                (other, None) if other.starts_with("a/") => {
+                    Mechanism::A(None)
+                }
+                (other, None) if other.starts_with("mx/") => {
+                    Mechanism::Mx(None)
+                }
+                _ => return None,
+            };
+            record.terms.push((qualifier, mechanism));
+        }
+        Some(record)
+    }
+
+    /// Domains named by `include` mechanisms plus the `redirect` target.
+    pub fn referenced_domains(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = self
+            .terms
+            .iter()
+            .filter_map(|(_, m)| match m {
+                Mechanism::Include(d) => Some(d.as_str()),
+                _ => None,
+            })
+            .collect();
+        if let Some(r) = &self.redirect {
+            out.push(r.as_str());
+        }
+        out
+    }
+
+    /// Does the policy end in a hard or soft fail (a fully-specified
+    /// sender policy, typical of managed-provider templates)?
+    pub fn is_strict(&self) -> bool {
+        self.terms.iter().any(|(q, m)| {
+            *m == Mechanism::All && matches!(q, Qualifier::Fail | Qualifier::SoftFail)
+        })
+    }
+}
+
+fn strip_cidr(arg: Option<String>) -> Option<String> {
+    arg.map(|a| a.split('/').next().unwrap_or("").to_string())
+        .filter(|a| !a.is_empty())
+}
+
+/// Candidate *eventual* providers: the registered domains of the record's
+/// include/redirect targets, deduplicated, excluding the domain's own
+/// registered domain (self-references carry no outsourcing information).
+pub fn eventual_providers(
+    record: &SpfRecord,
+    own_domain: &str,
+    psl: &PublicSuffixList,
+) -> Vec<ProviderId> {
+    let own_rd = psl.registered_domain(own_domain);
+    let mut out: Vec<ProviderId> = Vec::new();
+    for d in record.referenced_domains() {
+        let Some(rd) = psl.registered_domain(d) else {
+            continue;
+        };
+        if Some(&rd) == own_rd.as_ref() {
+            continue;
+        }
+        let id = ProviderId::new(rd);
+        if !out.contains(&id) {
+            out.push(id);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_typical_google_record() {
+        let r = SpfRecord::parse("v=spf1 include:_spf.google.com ~all").unwrap();
+        assert_eq!(r.terms.len(), 2);
+        assert_eq!(
+            r.terms[0],
+            (Qualifier::Pass, Mechanism::Include("_spf.google.com".into()))
+        );
+        assert_eq!(r.terms[1], (Qualifier::SoftFail, Mechanism::All));
+        assert!(r.is_strict());
+        assert_eq!(r.referenced_domains(), vec!["_spf.google.com"]);
+    }
+
+    #[test]
+    fn parses_qualifiers_and_mechanisms() {
+        let r = SpfRecord::parse(
+            "v=spf1 +mx a:mail.example.com ip4:192.0.2.0/24 ip6:2001:db8::/32 ?exists:%{i}.rbl.example -all",
+        )
+        .unwrap();
+        assert_eq!(r.terms.len(), 6);
+        assert_eq!(r.terms[0], (Qualifier::Pass, Mechanism::Mx(None)));
+        assert_eq!(
+            r.terms[1],
+            (Qualifier::Pass, Mechanism::A(Some("mail.example.com".into())))
+        );
+        assert_eq!(r.terms[2], (Qualifier::Pass, Mechanism::Ip4("192.0.2.0/24".into())));
+        assert_eq!(r.terms[5], (Qualifier::Fail, Mechanism::All));
+    }
+
+    #[test]
+    fn redirect_modifier() {
+        let r = SpfRecord::parse("v=spf1 redirect=_spf.provider.net").unwrap();
+        assert_eq!(r.redirect.as_deref(), Some("_spf.provider.net"));
+        assert_eq!(r.referenced_domains(), vec!["_spf.provider.net"]);
+        assert!(!r.is_strict());
+    }
+
+    #[test]
+    fn rejects_non_spf_txt() {
+        assert!(SpfRecord::parse("google-site-verification=abc").is_none());
+        assert!(SpfRecord::parse("v=DMARC1; p=none").is_none());
+        assert!(SpfRecord::parse("").is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_mechanism() {
+        assert!(SpfRecord::parse("v=spf1 include: -all").is_none());
+        assert!(SpfRecord::parse("v=spf1 bogus:xyz -all").is_none());
+    }
+
+    #[test]
+    fn unknown_modifiers_ignored() {
+        let r = SpfRecord::parse("v=spf1 exp=explain.example.com include:x.example -all").unwrap();
+        assert_eq!(r.terms.len(), 2);
+    }
+
+    #[test]
+    fn a_mx_with_cidr() {
+        let r = SpfRecord::parse("v=spf1 a:mail.example.com/24 mx/24 -all").unwrap();
+        assert_eq!(
+            r.terms[0],
+            (Qualifier::Pass, Mechanism::A(Some("mail.example.com".into())))
+        );
+        assert_eq!(r.terms[1], (Qualifier::Pass, Mechanism::Mx(None)));
+    }
+
+    #[test]
+    fn eventual_provider_extraction() {
+        let psl = PublicSuffixList::builtin();
+        let r = SpfRecord::parse(
+            "v=spf1 include:_spf.google.com include:spf.protection.outlook.com include:spf.corp.example.com -all",
+        )
+        .unwrap();
+        let ids = eventual_providers(&r, "corp.example.com", &psl);
+        let names: Vec<&str> = ids.iter().map(|i| i.as_str()).collect();
+        assert_eq!(names, vec!["google.com", "outlook.com"], "self reference excluded");
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let r = SpfRecord::parse("V=SPF1 INCLUDE:_SPF.Google.COM -ALL").unwrap();
+        assert_eq!(r.referenced_domains(), vec!["_spf.google.com"]);
+    }
+}

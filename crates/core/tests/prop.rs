@@ -1,0 +1,177 @@
+//! Property tests for the inference crate: total parsers, invariant
+//! weights, deterministic pipelines.
+
+use std::net::Ipv4Addr;
+
+use mx_dns::Name;
+use mx_infer::Strategy as InferStrategy;
+use mx_infer::{
+    DomainObservation, IpObservation, MxObservation, MxTargetObs, ObservationSet, Pattern,
+    Pipeline, ScanStatus, SpfRecord,
+};
+use mx_smtp::{SmtpScanData, StartTlsOutcome};
+use proptest::prelude::*;
+
+fn arb_name() -> impl Strategy<Value = Name> {
+    "[a-z]{1,8}(\\.[a-z]{1,8}){1,2}".prop_map(|s| Name::parse(&s).unwrap())
+}
+
+fn arb_ip() -> impl Strategy<Value = Ipv4Addr> {
+    any::<u32>().prop_map(Ipv4Addr::from)
+}
+
+fn arb_scan() -> impl Strategy<Value = ScanStatus> {
+    prop_oneof![
+        Just(ScanStatus::NotCovered),
+        Just(ScanStatus::NoSmtp),
+        ("[ -~]{0,40}", proptest::option::of("[ -~]{0,40}")).prop_map(|(banner, ehlo)| {
+            ScanStatus::Smtp(SmtpScanData {
+                banner,
+                ehlo,
+                ehlo_keywords: vec![],
+                starttls: StartTlsOutcome::NotOffered,
+            })
+        }),
+    ]
+}
+
+fn arb_observation_set() -> impl Strategy<Value = ObservationSet> {
+    (
+        prop::collection::vec((arb_name(), prop::collection::vec((0u16..50, arb_name(), prop::collection::vec(arb_ip(), 0..3)), 0..4)), 0..12),
+        prop::collection::vec((arb_ip(), arb_scan()), 0..12),
+    )
+        .prop_map(|(domains, ips)| {
+            let mut set = ObservationSet::new();
+            let mut seen = std::collections::HashSet::new();
+            for (domain, targets) in domains {
+                if !seen.insert(domain.clone()) {
+                    continue;
+                }
+                let targets: Vec<MxTargetObs> = targets
+                    .into_iter()
+                    .map(|(preference, exchange, addrs)| MxTargetObs {
+                        preference,
+                        exchange,
+                        addrs,
+                    })
+                    .collect();
+                let mx = if targets.is_empty() {
+                    MxObservation::NoMx
+                } else {
+                    MxObservation::Targets(targets)
+                };
+                set.domains.push(DomainObservation { domain, mx });
+            }
+            for (ip, scan) in ips {
+                set.ips.insert(
+                    ip,
+                    IpObservation {
+                        ip,
+                        asn: None,
+                        scan,
+                        leaf_cert: None,
+                        cert_valid: false,
+                    },
+                );
+            }
+            set
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The SPF parser is total over arbitrary text.
+    #[test]
+    fn spf_parser_total(txt in "[ -~]{0,120}") {
+        let _ = SpfRecord::parse(&txt);
+        let spf = format!("v=spf1 {txt}");
+        if let Some(r) = SpfRecord::parse(&spf) {
+            // Referenced domains are all lower-case tokens from the input.
+            for d in r.referenced_domains() {
+                let lower = d.to_ascii_lowercase();
+                prop_assert_eq!(d, lower.as_str());
+            }
+        }
+    }
+
+    /// The glob matcher is total and literal patterns match themselves.
+    #[test]
+    fn pattern_total_and_literal(pat in "[a-z0-9.#*-]{0,30}", text in "[a-z0-9.-]{0,30}") {
+        let p = Pattern::new(pat.clone());
+        let _ = p.matches(&text);
+        if !pat.contains('*') && !pat.contains('#') {
+            prop_assert!(p.matches(&pat));
+        }
+    }
+
+    /// Every strategy, on arbitrary observation sets: runs to completion,
+    /// attributes every domain, and share weights per domain sum to 1 (or
+    /// are empty for MX-less domains).
+    #[test]
+    fn pipeline_total_and_weights_sum(obs in arb_observation_set()) {
+        for strategy in InferStrategy::ALL {
+            let result = Pipeline::new(strategy).run(&obs);
+            prop_assert_eq!(result.domains.len(), obs.domains.len());
+            for d in &obs.domains {
+                let a = result.domain(&d.domain).unwrap();
+                match d.mx {
+                    MxObservation::Targets(_) => {
+                        let sum: f64 = a.shares.iter().map(|s| s.weight).sum();
+                        prop_assert!(
+                            a.shares.is_empty() || (sum - 1.0).abs() < 1e-9,
+                            "weights sum {sum}"
+                        );
+                    }
+                    _ => prop_assert!(a.shares.is_empty()),
+                }
+            }
+        }
+    }
+
+    /// The pipeline is a pure function of its input.
+    #[test]
+    fn pipeline_deterministic(obs in arb_observation_set()) {
+        let a = Pipeline::new(InferStrategy::PriorityBased).run(&obs);
+        let b = Pipeline::new(InferStrategy::PriorityBased).run(&obs);
+        let norm = |r: &mx_infer::InferenceResult| {
+            let mut v: Vec<(String, String)> = r
+                .domains
+                .iter()
+                .map(|(d, a)| {
+                    (
+                        d.to_string(),
+                        a.shares
+                            .iter()
+                            .map(|s| format!("{}:{}", s.provider, s.weight))
+                            .collect::<Vec<_>>()
+                            .join("|"),
+                    )
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        prop_assert_eq!(norm(&a), norm(&b));
+    }
+
+    /// MX-only inference never depends on scan data: erasing all scans
+    /// leaves its result unchanged.
+    #[test]
+    fn mx_only_ignores_scans(obs in arb_observation_set()) {
+        let with = Pipeline::new(InferStrategy::MxOnly).run(&obs);
+        let mut stripped = obs.clone();
+        for o in stripped.ips.values_mut() {
+            o.scan = ScanStatus::NotCovered;
+            o.leaf_cert = None;
+            o.cert_valid = false;
+        }
+        let without = Pipeline::new(InferStrategy::MxOnly).run(&stripped);
+        for d in &obs.domains {
+            let a = with.domain(&d.domain).unwrap();
+            let b = without.domain(&d.domain).unwrap();
+            prop_assert_eq!(&a.shares.iter().map(|s| &s.provider).collect::<Vec<_>>(),
+                            &b.shares.iter().map(|s| &s.provider).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,510 @@
+//! The company catalog: the real mail-service companies the paper names,
+//! with the attributes the simulation needs to imitate their
+//! infrastructure (Tables 5 and 6, Figures 5, 6 and 8).
+
+use serde::{Deserialize, Serialize};
+
+/// What kind of service the company sells (paper §5.1–5.2 distinguishes
+/// mail hosting, e-mail security filtering, and web hosting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ServiceKind {
+    /// Full mailbox hosting (Google, Microsoft, Yandex, ...).
+    MailHosting,
+    /// Inbound filtering in front of customer servers (ProofPoint, ...).
+    EmailSecurity,
+    /// Web hosting with bundled default mail (GoDaddy, OVH, ...).
+    WebHosting,
+    /// Government agencies operating mail for sibling agencies
+    /// (hhs.gov, treasury.gov in Table 6).
+    GovAgency,
+}
+
+/// Static description of one company.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct CompanySpec {
+    /// Display name, as in the paper's tables.
+    pub name: &'static str,
+    /// What kind of service the company sells.
+    pub kind: ServiceKind,
+    /// ISO country of incorporation (drives Figure 8's jurisdiction story).
+    pub country: &'static str,
+    /// The AS its mail infrastructure announces from.
+    pub asn: u32,
+    /// Provider IDs (registered domains) the company operates; the first
+    /// is the primary infrastructure domain used for MX hosts and certs.
+    pub provider_ids: &'static [&'static str],
+    /// MX hostnames offered to customers, under the primary domain
+    /// (e.g. `aspmx.l` -> `aspmx.l.google.com`).
+    pub mx_host_prefixes: &'static [&'static str],
+    /// Number of distinct server IPs backing the MX hosts.
+    pub servers: u16,
+    /// Does the infrastructure present a valid CA-signed certificate?
+    pub tls: bool,
+    /// Does the company rent out VPSes that may claim hostnames under its
+    /// domain (the GoDaddy `secureserver.net` situation)?
+    pub rents_vps: bool,
+}
+
+impl CompanySpec {
+    /// The primary infrastructure domain (first provider ID).
+    pub fn infra_domain(&self) -> &'static str {
+        self.provider_ids[0]
+    }
+
+    /// The certificate CN the infrastructure presents.
+    pub fn cert_cn(&self) -> String {
+        format!("mx.{}", self.infra_domain())
+    }
+}
+
+/// Find a company by display name.
+pub fn by_name(name: &str) -> Option<&'static CompanySpec> {
+    CATALOG.iter().find(|c| c.name == name)
+}
+
+/// The catalog. ASNs and provider IDs follow the paper (Table 5) and
+/// public routing data where the paper does not list them; exact numbers
+/// only matter for internal consistency.
+pub const CATALOG: &[CompanySpec] = &[
+    CompanySpec {
+        name: "Google",
+        kind: ServiceKind::MailHosting,
+        country: "US",
+        asn: 15169,
+        provider_ids: &["google.com", "googlemail.com", "smtp.goog"],
+        mx_host_prefixes: &["aspmx.l", "alt1.aspmx.l", "alt2.aspmx.l", "alt3.aspmx.l"],
+        servers: 24,
+        tls: true,
+        rents_vps: false,
+    },
+    CompanySpec {
+        name: "Microsoft",
+        kind: ServiceKind::MailHosting,
+        country: "US",
+        asn: 8075,
+        provider_ids: &["outlook.com", "office365.us", "hotmail.com"],
+        mx_host_prefixes: &["mail.protection", "mx1", "mx2"],
+        servers: 20,
+        tls: true,
+        rents_vps: false,
+    },
+    CompanySpec {
+        name: "Yandex",
+        kind: ServiceKind::MailHosting,
+        country: "RU",
+        asn: 13238,
+        provider_ids: &["yandex.net", "yandex.ru"],
+        mx_host_prefixes: &["mx"],
+        servers: 8,
+        tls: true,
+        rents_vps: false,
+    },
+    CompanySpec {
+        name: "Tencent",
+        kind: ServiceKind::MailHosting,
+        country: "CN",
+        asn: 45090,
+        provider_ids: &["qq.com", "exmail.qq.com"],
+        mx_host_prefixes: &["mxbiz1", "mxbiz2"],
+        servers: 8,
+        tls: true,
+        rents_vps: false,
+    },
+    CompanySpec {
+        name: "Mail.Ru",
+        kind: ServiceKind::MailHosting,
+        country: "RU",
+        asn: 47764,
+        provider_ids: &["mail.ru"],
+        mx_host_prefixes: &["mxs"],
+        servers: 6,
+        tls: true,
+        rents_vps: false,
+    },
+    CompanySpec {
+        name: "Zoho",
+        kind: ServiceKind::MailHosting,
+        country: "US",
+        asn: 2639,
+        provider_ids: &["zoho.com"],
+        mx_host_prefixes: &["mx", "mx2"],
+        servers: 6,
+        tls: true,
+        rents_vps: false,
+    },
+    CompanySpec {
+        name: "Yahoo",
+        kind: ServiceKind::MailHosting,
+        country: "US",
+        asn: 36647,
+        provider_ids: &["yahoodns.net", "yahoo.com"],
+        mx_host_prefixes: &["mta5.am0.yahoodns", "mta6.am0.yahoodns"],
+        servers: 6,
+        tls: true,
+        rents_vps: false,
+    },
+    CompanySpec {
+        name: "ProtonMail",
+        kind: ServiceKind::MailHosting,
+        country: "CH",
+        asn: 62371,
+        provider_ids: &["protonmail.ch"],
+        mx_host_prefixes: &["mail", "mailsec"],
+        servers: 4,
+        tls: true,
+        rents_vps: false,
+    },
+    CompanySpec {
+        name: "ProofPoint",
+        kind: ServiceKind::EmailSecurity,
+        country: "US",
+        asn: 22843,
+        provider_ids: &["pphosted.com", "ppe-hosted.com", "ppops.net", "gpphosted.com"],
+        mx_host_prefixes: &["mx0a", "mx0b"],
+        servers: 12,
+        tls: true,
+        rents_vps: false,
+    },
+    CompanySpec {
+        name: "Mimecast",
+        kind: ServiceKind::EmailSecurity,
+        country: "US",
+        asn: 30031,
+        provider_ids: &["mimecast.com"],
+        mx_host_prefixes: &["us-smtp-inbound-1", "us-smtp-inbound-2", "eu-smtp-inbound-1"],
+        servers: 8,
+        tls: true,
+        rents_vps: false,
+    },
+    CompanySpec {
+        name: "Barracuda",
+        kind: ServiceKind::EmailSecurity,
+        country: "US",
+        asn: 15324,
+        provider_ids: &["barracudanetworks.com", "ess.barracudanetworks.com"],
+        mx_host_prefixes: &["d1", "d2"],
+        servers: 6,
+        tls: true,
+        rents_vps: false,
+    },
+    CompanySpec {
+        name: "Cisco",
+        kind: ServiceKind::EmailSecurity,
+        country: "US",
+        asn: 16417,
+        provider_ids: &["iphmx.com"],
+        mx_host_prefixes: &["esa1", "esa2"],
+        servers: 6,
+        tls: true,
+        rents_vps: false,
+    },
+    CompanySpec {
+        name: "AppRiver",
+        kind: ServiceKind::EmailSecurity,
+        country: "US",
+        asn: 27357,
+        provider_ids: &["arsmtp.com"],
+        mx_host_prefixes: &["mx1", "mx2"],
+        servers: 4,
+        tls: true,
+        rents_vps: false,
+    },
+    CompanySpec {
+        name: "MessageLabs",
+        kind: ServiceKind::EmailSecurity,
+        country: "US",
+        asn: 21345,
+        provider_ids: &["messagelabs.com"],
+        mx_host_prefixes: &["cluster1", "cluster2"],
+        servers: 4,
+        tls: true,
+        rents_vps: false,
+    },
+    CompanySpec {
+        name: "Sophos",
+        kind: ServiceKind::EmailSecurity,
+        country: "GB",
+        asn: 31898,
+        provider_ids: &["sophos.com"],
+        mx_host_prefixes: &["mx-01", "mx-02"],
+        servers: 4,
+        tls: true,
+        rents_vps: false,
+    },
+    CompanySpec {
+        name: "TrendMicro",
+        kind: ServiceKind::EmailSecurity,
+        country: "JP",
+        asn: 13886,
+        provider_ids: &["tmes.trendmicro.eu"],
+        mx_host_prefixes: &["in"],
+        servers: 4,
+        tls: true,
+        rents_vps: false,
+    },
+    CompanySpec {
+        name: "Solarwinds",
+        kind: ServiceKind::EmailSecurity,
+        country: "US",
+        asn: 397630,
+        provider_ids: &["antispamcloud.com"],
+        mx_host_prefixes: &["mx1", "mx2"],
+        servers: 4,
+        tls: true,
+        rents_vps: false,
+    },
+    CompanySpec {
+        name: "IntermediaCloud",
+        kind: ServiceKind::MailHosting,
+        country: "US",
+        asn: 16406,
+        provider_ids: &["intermedia.net"],
+        mx_host_prefixes: &["mx1", "mx2"],
+        servers: 4,
+        tls: true,
+        rents_vps: false,
+    },
+    CompanySpec {
+        name: "Rackspace",
+        kind: ServiceKind::MailHosting,
+        country: "US",
+        asn: 33070,
+        provider_ids: &["emailsrvr.com"],
+        mx_host_prefixes: &["mx1", "mx2"],
+        servers: 6,
+        tls: true,
+        rents_vps: false,
+    },
+    CompanySpec {
+        name: "GoDaddy",
+        kind: ServiceKind::WebHosting,
+        country: "US",
+        asn: 26496,
+        provider_ids: &["secureserver.net"],
+        mx_host_prefixes: &["smtp", "mailstore1"],
+        servers: 10,
+        tls: true,
+        rents_vps: true,
+    },
+    CompanySpec {
+        name: "OVH",
+        kind: ServiceKind::WebHosting,
+        country: "FR",
+        asn: 16276,
+        provider_ids: &["ovh.net"],
+        mx_host_prefixes: &["mx1", "mx2", "mxb"],
+        servers: 8,
+        tls: true,
+        rents_vps: true,
+    },
+    CompanySpec {
+        name: "UnitedInternet",
+        kind: ServiceKind::WebHosting,
+        country: "DE",
+        asn: 8560,
+        provider_ids: &["kundenserver.de", "ui-dns.de"],
+        mx_host_prefixes: &["mx00", "mx01"],
+        servers: 8,
+        tls: true,
+        rents_vps: false,
+    },
+    CompanySpec {
+        name: "EIG",
+        kind: ServiceKind::WebHosting,
+        country: "US",
+        asn: 46606,
+        provider_ids: &["websitewelcome.com", "bluehost.com"],
+        mx_host_prefixes: &["gateway", "mail"],
+        servers: 8,
+        tls: true,
+        rents_vps: true,
+    },
+    CompanySpec {
+        name: "NameCheap",
+        kind: ServiceKind::WebHosting,
+        country: "US",
+        asn: 22612,
+        provider_ids: &["privateemail.com", "registrar-servers.com"],
+        mx_host_prefixes: &["mx1", "mx2"],
+        servers: 6,
+        tls: true,
+        rents_vps: false,
+    },
+    CompanySpec {
+        name: "Tucows",
+        kind: ServiceKind::WebHosting,
+        country: "CA",
+        asn: 15348,
+        provider_ids: &["hostedemail.com"],
+        mx_host_prefixes: &["mx"],
+        servers: 4,
+        tls: true,
+        rents_vps: false,
+    },
+    CompanySpec {
+        name: "Strato",
+        kind: ServiceKind::WebHosting,
+        country: "DE",
+        asn: 6724,
+        provider_ids: &["rzone.de"],
+        mx_host_prefixes: &["smtpin"],
+        servers: 4,
+        tls: true,
+        rents_vps: false,
+    },
+    CompanySpec {
+        name: "Web.com Group",
+        kind: ServiceKind::WebHosting,
+        country: "US",
+        asn: 19871,
+        provider_ids: &["netsolmail.net"],
+        mx_host_prefixes: &["mail"],
+        servers: 4,
+        tls: true,
+        rents_vps: false,
+    },
+    CompanySpec {
+        name: "Aruba",
+        kind: ServiceKind::WebHosting,
+        country: "IT",
+        asn: 31034,
+        provider_ids: &["aruba.it", "arubabusiness.it"],
+        mx_host_prefixes: &["mx", "mxavas"],
+        servers: 4,
+        tls: true,
+        rents_vps: false,
+    },
+    CompanySpec {
+        name: "SiteGround",
+        kind: ServiceKind::WebHosting,
+        country: "BG",
+        asn: 396982,
+        provider_ids: &["sgvps.net", "siteground.com"],
+        mx_host_prefixes: &["mx10", "mx20"],
+        servers: 4,
+        tls: true,
+        rents_vps: true,
+    },
+    CompanySpec {
+        name: "Ukraine.ua",
+        kind: ServiceKind::WebHosting,
+        country: "UA",
+        asn: 200000,
+        provider_ids: &["ukraine.com.ua"],
+        mx_host_prefixes: &["mx1", "mx2"],
+        servers: 4,
+        tls: true,
+        rents_vps: false,
+    },
+    CompanySpec {
+        name: "Beget",
+        kind: ServiceKind::WebHosting,
+        country: "RU",
+        asn: 198610,
+        provider_ids: &["beget.com"],
+        mx_host_prefixes: &["mx1", "mx2"],
+        servers: 4,
+        tls: true,
+        rents_vps: false,
+    },
+    CompanySpec {
+        name: "hhs.gov",
+        kind: ServiceKind::GovAgency,
+        country: "US",
+        asn: 1999,
+        provider_ids: &["hhs.gov"],
+        mx_host_prefixes: &["mailgw1", "mailgw2"],
+        servers: 2,
+        tls: true,
+        rents_vps: false,
+    },
+    CompanySpec {
+        name: "treasury.gov",
+        kind: ServiceKind::GovAgency,
+        country: "US",
+        asn: 1998,
+        provider_ids: &["treasury.gov"],
+        mx_host_prefixes: &["mailhub1", "mailhub2"],
+        servers: 2,
+        tls: true,
+        rents_vps: false,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn catalog_is_consistent() {
+        let mut names = HashSet::new();
+        let mut asns = HashSet::new();
+        for c in CATALOG {
+            assert!(names.insert(c.name), "duplicate company {}", c.name);
+            assert!(asns.insert(c.asn), "duplicate ASN {} ({})", c.asn, c.name);
+            assert!(!c.provider_ids.is_empty(), "{} has no provider ids", c.name);
+            assert!(
+                !c.mx_host_prefixes.is_empty(),
+                "{} has no MX hosts",
+                c.name
+            );
+            assert!(c.servers >= 1);
+        }
+    }
+
+    #[test]
+    fn provider_ids_unique_across_companies() {
+        let mut seen = HashSet::new();
+        for c in CATALOG {
+            for id in c.provider_ids {
+                assert!(seen.insert(*id), "provider id {id} appears twice");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_table5_companies_present() {
+        let ms = by_name("Microsoft").unwrap();
+        assert!(ms.provider_ids.contains(&"outlook.com"));
+        assert!(ms.provider_ids.contains(&"office365.us"));
+        assert!(ms.provider_ids.contains(&"hotmail.com"));
+        let pp = by_name("ProofPoint").unwrap();
+        assert!(pp.provider_ids.contains(&"pphosted.com"));
+        assert!(pp.provider_ids.contains(&"ppe-hosted.com"));
+        assert_eq!(pp.kind, ServiceKind::EmailSecurity);
+    }
+
+    #[test]
+    fn kinds_cover_all_sectors() {
+        for kind in [
+            ServiceKind::MailHosting,
+            ServiceKind::EmailSecurity,
+            ServiceKind::WebHosting,
+            ServiceKind::GovAgency,
+        ] {
+            assert!(
+                CATALOG.iter().any(|c| c.kind == kind),
+                "no company of kind {kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn infra_domains_and_cns() {
+        let g = by_name("Google").unwrap();
+        assert_eq!(g.infra_domain(), "google.com");
+        assert_eq!(g.cert_cn(), "mx.google.com");
+        assert_eq!(g.country, "US");
+        let y = by_name("Yandex").unwrap();
+        assert_eq!(y.country, "RU");
+        let t = by_name("Tencent").unwrap();
+        assert_eq!(t.country, "CN");
+    }
+
+    #[test]
+    fn godaddy_rents_vps() {
+        assert!(by_name("GoDaddy").unwrap().rents_vps);
+        assert!(!by_name("Google").unwrap().rents_vps);
+    }
+}

@@ -1,0 +1,352 @@
+//! Domain-name populations for the three corpora.
+
+use mx_dns::Name;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The three target-domain corpora of the study (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dataset {
+    /// Stable subset of the Alexa Top 1M (popular domains, mixed TLDs).
+    Alexa,
+    /// Stable random `.com` registrations.
+    Com,
+    /// All `.gov` domains (restricted TLD).
+    Gov,
+}
+
+impl Dataset {
+    /// The three corpora, in the paper's presentation order.
+    pub const ALL: [Dataset; 3] = [Dataset::Alexa, Dataset::Com, Dataset::Gov];
+
+    /// Label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Dataset::Alexa => "Alexa",
+            Dataset::Com => "COM",
+            Dataset::Gov => "GOV",
+        }
+    }
+}
+
+/// One generated domain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct DomainRecord {
+    /// The registrable domain name.
+    pub name: Name,
+    /// Which corpus the domain belongs to.
+    pub dataset: Dataset,
+    /// 1-based Alexa rank (Alexa dataset only).
+    pub rank: Option<u32>,
+    /// The ccTLD (`ru`, `de`, ...) when the domain sits under one; `None`
+    /// for gTLDs.
+    pub cctld: Option<&'static str>,
+    /// Federal vs non-federal (`.gov` only; Figure 5 splits these).
+    pub federal: bool,
+}
+
+/// A generated population for one dataset.
+#[derive(Debug, Clone, Serialize)]
+pub struct Population {
+    /// Which corpus this is.
+    pub dataset: Dataset,
+    /// The generated domains, in stable order.
+    pub domains: Vec<DomainRecord>,
+}
+
+impl Population {
+    /// All names, in order.
+    pub fn names(&self) -> Vec<Name> {
+        self.domains.iter().map(|d| d.name.clone()).collect()
+    }
+
+    /// Number of domains.
+    pub fn len(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// True when the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.domains.is_empty()
+    }
+}
+
+/// TLD mix of the Alexa corpus: (tld, is_cctld, weight). Figure 8 needs
+/// meaningful counts for its fifteen ccTLDs; the `.ru` share is sizeable
+/// (the paper: "the presence of many .ru domains in the long tail").
+const ALEXA_TLDS: &[(&str, bool, f64)] = &[
+    ("com", false, 40.0),
+    ("net", false, 4.0),
+    ("org", false, 5.0),
+    ("io", false, 1.5),
+    ("co", false, 1.0),
+    ("info", false, 1.0),
+    ("ru", true, 10.5),
+    ("de", true, 5.5),
+    ("uk", true, 3.5),
+    ("br", true, 3.0),
+    ("jp", true, 3.5),
+    ("fr", true, 2.5),
+    ("it", true, 2.5),
+    ("in", true, 2.0),
+    ("cn", true, 2.5),
+    ("ca", true, 1.5),
+    ("au", true, 1.5),
+    ("es", true, 1.5),
+    ("ua", true, 1.2),
+    ("ar", true, 1.0),
+    ("ro", true, 1.0),
+    ("sg", true, 0.8),
+    ("nl", true, 1.0),
+    ("pl", true, 1.0),
+    ("se", true, 0.5),
+];
+
+/// Second-level labels for ccTLDs that register under them (e.g. `co.uk`).
+fn cctld_second_level(tld: &str) -> Option<&'static str> {
+    match tld {
+        "uk" => Some("co.uk"),
+        "br" => Some("com.br"),
+        "ar" => Some("com.ar"),
+        "au" => Some("com.au"),
+        "cn" => Some("com.cn"),
+        "in" => Some("co.in"),
+        "jp" => Some("co.jp"),
+        "sg" => Some("com.sg"),
+        _ => None,
+    }
+}
+
+/// Pronounceable random label: alternating consonant/vowel syllables.
+fn random_label(rng: &mut SmallRng, min_syllables: usize, max_syllables: usize) -> String {
+    const CONSONANTS: &[u8] = b"bcdfghjklmnpqrstvwz";
+    const VOWELS: &[u8] = b"aeiou";
+    let syllables = rng.gen_range(min_syllables..=max_syllables);
+    let mut s = String::new();
+    for _ in 0..syllables {
+        s.push(CONSONANTS[rng.gen_range(0..CONSONANTS.len())] as char);
+        s.push(VOWELS[rng.gen_range(0..VOWELS.len())] as char);
+        if rng.gen_bool(0.3) {
+            s.push(CONSONANTS[rng.gen_range(0..CONSONANTS.len())] as char);
+        }
+    }
+    s
+}
+
+fn pick_weighted<'a>(rng: &mut SmallRng, items: &'a [(&'a str, bool, f64)]) -> &'a (&'a str, bool, f64) {
+    let total: f64 = items.iter().map(|(_, _, w)| w).sum();
+    let mut x = rng.gen_range(0.0..total);
+    for item in items {
+        x -= item.2;
+        if x <= 0.0 {
+            return item;
+        }
+    }
+    items.last().expect("non-empty")
+}
+
+/// The Alexa list covers ranks up to one million.
+pub const ALEXA_MAX_RANK: u32 = 1_000_000;
+
+/// Map the `i`-th of `n` stable domains to an Alexa rank. Stability
+/// correlates with popularity, so the stable corpus over-represents top
+/// ranks; the power-law mapping puts ~1% of stable domains in the top 1k
+/// and ~21% in the top 100k, leaving a long tail — matching the strata
+/// proportions the paper's Figure 5 relies on.
+pub fn stable_rank(i: usize, n: usize) -> u32 {
+    let f = i as f64 / n as f64;
+    ((f.powf(1.5) * ALEXA_MAX_RANK as f64).ceil() as u32).max(1)
+}
+
+/// Generate the Alexa population: `n` stable domains with ranks spread
+/// over the full Alexa range via [`stable_rank`], with the calibrated TLD
+/// mix.
+pub fn alexa(n: usize, seed: u64) -> Population {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xA1E7A);
+    let mut domains = Vec::with_capacity(n);
+    let mut used = std::collections::HashSet::new();
+    for idx in 1..=n as u32 {
+        let rank = stable_rank(idx as usize, n);
+        let (tld, is_cc, _) = pick_weighted(&mut rng, ALEXA_TLDS);
+        let suffix = if *is_cc {
+            // Half the ccTLD registrations sit under the second level.
+            match cctld_second_level(tld) {
+                Some(sl) if rng.gen_bool(0.5) => sl.to_string(),
+                _ => tld.to_string(),
+            }
+        } else {
+            tld.to_string()
+        };
+        let name = loop {
+            let label = random_label(&mut rng, 2, 4);
+            let candidate = format!("{label}.{suffix}");
+            if used.insert(candidate.clone()) {
+                break candidate;
+            }
+        };
+        domains.push(DomainRecord {
+            name: Name::parse(&name).expect("generated names are valid"),
+            dataset: Dataset::Alexa,
+            rank: Some(rank),
+            cctld: if *is_cc { Some(tld) } else { None },
+            federal: false,
+        });
+    }
+    Population {
+        dataset: Dataset::Alexa,
+        domains,
+    }
+}
+
+/// Generate the random-`.com` population.
+pub fn com(n: usize, seed: u64) -> Population {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xC00);
+    let mut used = std::collections::HashSet::new();
+    let mut domains = Vec::with_capacity(n);
+    while domains.len() < n {
+        let label = random_label(&mut rng, 2, 5);
+        let name = format!("{label}.com");
+        if used.insert(name.clone()) {
+            domains.push(DomainRecord {
+                name: Name::parse(&name).expect("valid"),
+                dataset: Dataset::Com,
+                rank: None,
+                cctld: None,
+                federal: false,
+            });
+        }
+    }
+    Population {
+        dataset: Dataset::Com,
+        domains,
+    }
+}
+
+/// Generate the `.gov` population; roughly a third of `.gov` domains are
+/// federal (the rest are state/local).
+pub fn gov(n: usize, seed: u64) -> Population {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x60F);
+    let mut used = std::collections::HashSet::new();
+    let mut domains = Vec::with_capacity(n);
+    while domains.len() < n {
+        let federal = rng.gen_bool(0.35);
+        let label = random_label(&mut rng, 2, 4);
+        let name = if federal {
+            format!("{label}.gov")
+        } else {
+            // State/local style: e.g. cityofX, Xcounty.
+            match rng.gen_range(0..3) {
+                0 => format!("cityof{label}.gov"),
+                1 => format!("{label}county.gov"),
+                _ => format!("{label}.gov"),
+            }
+        };
+        if used.insert(name.clone()) {
+            domains.push(DomainRecord {
+                name: Name::parse(&name).expect("valid"),
+                dataset: Dataset::Gov,
+                rank: None,
+                cctld: None,
+                federal,
+            });
+        }
+    }
+    Population {
+        dataset: Dataset::Gov,
+        domains,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn deterministic_generation() {
+        let a = alexa(500, 7);
+        let b = alexa(500, 7);
+        assert_eq!(a.domains, b.domains);
+        let c = alexa(500, 8);
+        assert_ne!(a.domains, c.domains);
+    }
+
+    #[test]
+    fn alexa_ranks_and_tlds() {
+        let p = alexa(2000, 42);
+        assert_eq!(p.len(), 2000);
+        // Ranks spread across the full Alexa range, monotonically, with
+        // the top strata over-represented relative to uniform.
+        assert!(p.domains[0].rank.unwrap() < 100);
+        assert_eq!(p.domains[1999].rank, Some(ALEXA_MAX_RANK));
+        assert!(p
+            .domains
+            .windows(2)
+            .all(|w| w[0].rank.unwrap() <= w[1].rank.unwrap()));
+        let top1k = p.domains.iter().filter(|d| d.rank.unwrap() <= 1_000).count();
+        assert!((10..=40).contains(&top1k), "top-1k count {top1k}");
+        let mut by_tld: HashMap<&str, usize> = HashMap::new();
+        for d in &p.domains {
+            if let Some(cc) = d.cctld {
+                *by_tld.entry(cc).or_insert(0) += 1;
+            }
+        }
+        assert!(by_tld["ru"] > 100, ".ru tail present: {:?}", by_tld.get("ru"));
+        for cc in ["de", "uk", "br", "jp", "cn"] {
+            assert!(by_tld.get(cc).copied().unwrap_or(0) > 20, "{cc} missing");
+        }
+    }
+
+    #[test]
+    fn names_unique_and_valid() {
+        let p = com(3000, 1);
+        let mut seen = std::collections::HashSet::new();
+        for d in &p.domains {
+            assert!(seen.insert(d.name.clone()), "duplicate {}", d.name);
+            assert!(d.name.to_dotted().ends_with(".com"));
+        }
+    }
+
+    #[test]
+    fn gov_federal_split() {
+        let p = gov(1000, 3);
+        let federal = p.domains.iter().filter(|d| d.federal).count();
+        assert!(
+            (250..=450).contains(&federal),
+            "federal count {federal} out of expected range"
+        );
+        assert!(p.domains.iter().all(|d| d.name.to_dotted().ends_with(".gov")));
+    }
+
+    #[test]
+    fn cctld_second_levels_used() {
+        let p = alexa(3000, 9);
+        let co_uk = p
+            .domains
+            .iter()
+            .filter(|d| d.name.to_dotted().ends_with(".co.uk"))
+            .count();
+        let bare_uk = p
+            .domains
+            .iter()
+            .filter(|d| d.cctld == Some("uk"))
+            .count();
+        assert!(co_uk > 0, "no .co.uk names generated");
+        assert!(co_uk < bare_uk, "some bare .uk names too");
+    }
+
+    #[test]
+    fn psl_agrees_with_generated_names() {
+        // Every generated name is a registrable domain per our PSL.
+        let psl = mx_psl::PublicSuffixList::builtin();
+        for d in alexa(1000, 11).domains {
+            let n = d.name.to_dotted();
+            assert_eq!(
+                psl.registered_domain(&n).as_deref(),
+                Some(n.as_str()),
+                "{n} should be its own registered domain"
+            );
+        }
+    }
+}

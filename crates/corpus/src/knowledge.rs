@@ -1,0 +1,104 @@
+//! The `mx-infer` configuration that accompanies the methodology: the
+//! provider-ID → company map (§4.4) and the misidentification heuristics
+//! (§3.2.4), both derived from the catalog exactly as the paper publishes
+//! its curated lists alongside its code.
+
+use mx_infer::{CompanyMap, Pattern, ProviderKnowledge, ProviderProfile};
+
+use crate::catalog::CATALOG;
+
+/// Build the provider-ID → company map from the catalog, including the
+/// conventional self-ID of each company's primary domain.
+pub fn company_map() -> CompanyMap {
+    let mut map = CompanyMap::new();
+    for c in CATALOG {
+        for id in c.provider_ids {
+            map.insert(*id, c.name);
+        }
+    }
+    map
+}
+
+/// Build the misidentification knowledge: every catalog company is a
+/// "large provider" whose low-confidence attributions get examined, with
+/// its AS set; VPS-renting web hosts additionally carry the published
+/// VPS/dedicated hostname patterns.
+pub fn provider_knowledge(confidence_threshold: usize) -> ProviderKnowledge {
+    let mut k = ProviderKnowledge::new(confidence_threshold);
+    for c in CATALOG {
+        let infra = c.infra_domain();
+        let (vps_patterns, dedicated_patterns) = if c.rents_vps {
+            (
+                vec![
+                    Pattern::new(format!("vps*.{infra}")),
+                    Pattern::new(format!("s#-#-#.{infra}")),
+                    Pattern::new(format!("ip-#-#-#-#.{infra}")),
+                ],
+                vec![
+                    Pattern::new(format!("mailstore#.{infra}")),
+                    Pattern::new(format!("smtp.{infra}")),
+                    Pattern::new(format!("mx.{infra}")),
+                    Pattern::new(format!("mx#.{infra}")),
+                    Pattern::new(format!("gateway#.{infra}")),
+                    Pattern::new(format!("shared#.{infra}")),
+                ],
+            )
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        // Register the profile under every provider ID the company uses.
+        for id in c.provider_ids {
+            k.add(
+                *id,
+                ProviderProfile {
+                    asns: [c.asn].into_iter().collect(),
+                    vps_patterns: vps_patterns.clone(),
+                    dedicated_patterns: dedicated_patterns.clone(),
+                },
+            );
+        }
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mx_infer::ProviderId;
+
+    #[test]
+    fn map_covers_catalog() {
+        let map = company_map();
+        assert_eq!(map.company_of(&ProviderId::new("google.com")), Some("Google"));
+        assert_eq!(map.company_of(&ProviderId::new("outlook.com")), Some("Microsoft"));
+        assert_eq!(
+            map.company_of(&ProviderId::new("pphosted.com")),
+            Some("ProofPoint")
+        );
+        assert_eq!(
+            map.company_of(&ProviderId::new("secureserver.net")),
+            Some("GoDaddy")
+        );
+        assert!(map.len() > 40, "many provider ids: {}", map.len());
+    }
+
+    #[test]
+    fn knowledge_has_vps_patterns_for_renters() {
+        let k = provider_knowledge(10);
+        let gd = &k.profiles[&ProviderId::new("secureserver.net")];
+        assert!(!gd.vps_patterns.is_empty());
+        assert!(gd.vps_patterns.iter().any(|p| p.matches("s1-2-3.secureserver.net")));
+        assert!(gd
+            .dedicated_patterns
+            .iter()
+            .any(|p| p.matches("mailstore1.secureserver.net")));
+        let g = &k.profiles[&ProviderId::new("google.com")];
+        assert!(g.vps_patterns.is_empty());
+        assert!(g.asns.contains(&15169));
+    }
+
+    #[test]
+    fn threshold_propagates() {
+        assert_eq!(provider_knowledge(7).confidence_threshold, 7);
+    }
+}

@@ -1,0 +1,50 @@
+//! # mx-corpus — the synthetic mail ecosystem
+//!
+//! The paper measures the real Internet through OpenINTEL and Censys; those
+//! longitudinal corpora are unavailable, so this crate generates a
+//! **synthetic Internet-scale mail ecosystem** calibrated against the
+//! numbers the paper itself publishes, and materialises it as an
+//! `mx-net::SimNet` that the measurement pipeline (DNS resolution + port-25
+//! scanning + inference) runs against for real.
+//!
+//! Components:
+//!
+//! * [`catalog`] — ~30 real companies (Google, Microsoft, ProofPoint,
+//!   GoDaddy, ...) with their service kind, country, ASNs, provider IDs,
+//!   MX host shapes and TLS/banner behaviour (Tables 5/6 of the paper);
+//! * [`shares`] — per-dataset market-share tables for June 2017 and June
+//!   2021, linearly interpolated across the nine snapshots (Figures 5/6);
+//! * [`domains`] — domain-name populations for the three corpora: Alexa
+//!   (rank-stratified, ccTLD mix per Figure 8), random `.com`, `.gov`
+//!   (federal/non-federal);
+//! * [`evolution`] — the longitudinal churn model: per-snapshot provider
+//!   assignments with sticky transitions (Figure 7);
+//! * [`worldgen`] — materialisation: provider server farms in the right
+//!   ASes with the right certificates and banners, customer zones in every
+//!   MX idiom the paper discusses (named provider MX, custom-host MX on
+//!   provider IPs, web-hosting default `mx.<domain>`, VPS-with-hosting-
+//!   company-certificates, forged `mx.google.com` banners, no-SMTP web
+//!   IPs, dangling MX), fault plans reproducing Table 4's coverage gaps,
+//!   and **ground truth** for accuracy evaluation;
+//! * [`knowledge`] — the `mx-infer` configuration the paper publishes with
+//!   its code: the provider-ID → company map and the misidentification
+//!   heuristics (AS sets, VPS hostname patterns).
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod domains;
+pub mod evolution;
+pub mod knowledge;
+pub mod scenario;
+pub mod shares;
+pub mod worldgen;
+
+pub use catalog::{CompanySpec, ServiceKind, CATALOG};
+pub use domains::{Dataset, DomainRecord, Population};
+pub use evolution::{Assignment, CertQuality, MxStyle, ProviderChoice, Timeline};
+pub use knowledge::{company_map, provider_knowledge};
+pub use scenario::{ScenarioConfig, SNAPSHOT_DATES};
+pub use shares::{share_table, ShareRow};
+pub use scenario::GOV_START_SNAPSHOT;
+pub use worldgen::{GroundTruth, Study, TruthCategory, TruthRecord, World};

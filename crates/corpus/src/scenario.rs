@@ -1,0 +1,102 @@
+//! Scenario configuration: sizes, seed and snapshot dates.
+
+use mx_dns::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// The nine semi-annual snapshot dates of the study, June 2017 – June 2021
+/// (§4: "nine separate days of data, equally spaced over a four-year
+/// period"). `.gov` coverage starts at index [`GOV_START_SNAPSHOT`]
+/// (June 2018), giving it seven snapshots.
+pub const SNAPSHOT_DATES: [(i64, u32, u32); 9] = [
+    (2017, 6, 8),
+    (2017, 12, 8),
+    (2018, 6, 8),
+    (2018, 12, 8),
+    (2019, 6, 8),
+    (2019, 12, 8),
+    (2020, 6, 8),
+    (2020, 12, 8),
+    (2021, 6, 8),
+];
+
+/// First snapshot index with `.gov` data.
+pub const GOV_START_SNAPSHOT: usize = 2;
+
+/// Sizes and seed of a simulated study.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// The master seed every stochastic choice flows from.
+    pub seed: u64,
+    /// Stable Alexa corpus size (paper: 93,538).
+    pub alexa_size: usize,
+    /// Stable `.com` corpus size (paper: 580,537).
+    pub com_size: usize,
+    /// `.gov` corpus size (paper: 3,496).
+    pub gov_size: usize,
+}
+
+impl ScenarioConfig {
+    /// Tiny scale for unit tests (seconds).
+    pub fn small(seed: u64) -> Self {
+        ScenarioConfig {
+            seed,
+            alexa_size: 800,
+            com_size: 1_200,
+            gov_size: 300,
+        }
+    }
+
+    /// The default experiment scale: large enough for stable percentages
+    /// and meaningful strata/ccTLD counts, small enough to run all nine
+    /// snapshots in minutes. Ratios follow the paper (Alexa : com : gov).
+    pub fn study(seed: u64) -> Self {
+        ScenarioConfig {
+            seed,
+            alexa_size: 12_000,
+            com_size: 18_000,
+            gov_size: 2_000,
+        }
+    }
+
+    /// All snapshot timestamps.
+    pub fn snapshot_times() -> Vec<Timestamp> {
+        SNAPSHOT_DATES
+            .iter()
+            .map(|&(y, m, d)| Timestamp::from_ymd(y, m, d))
+            .collect()
+    }
+
+    /// Study time `t ∈ [0, 1]` of snapshot `k`.
+    pub fn study_t(k: usize) -> f64 {
+        k as f64 / (SNAPSHOT_DATES.len() - 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_snapshots_semiannual() {
+        let ts = ScenarioConfig::snapshot_times();
+        assert_eq!(ts.len(), 9);
+        assert_eq!(ts[0].to_string(), "2017-06-08");
+        assert_eq!(ts[8].to_string(), "2021-06-08");
+        for w in ts.windows(2) {
+            let days = (w[1].secs() - w[0].secs()) / 86_400;
+            assert!((180..=186).contains(&days), "gap of {days} days");
+        }
+    }
+
+    #[test]
+    fn study_t_endpoints() {
+        assert_eq!(ScenarioConfig::study_t(0), 0.0);
+        assert_eq!(ScenarioConfig::study_t(8), 1.0);
+        assert!((ScenarioConfig::study_t(4) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gov_has_seven_snapshots() {
+        assert_eq!(SNAPSHOT_DATES.len() - GOV_START_SNAPSHOT, 7);
+    }
+}

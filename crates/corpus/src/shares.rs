@@ -1,0 +1,411 @@
+//! Market-share calibration tables.
+//!
+//! Each dataset gets a start (June 2017) and end (June 2021) share per
+//! company/category, linearly interpolated across the study. Values are
+//! calibrated to the paper: Figure 5 and Table 6 pin the June 2021
+//! endpoints; Figure 6's curves pin the 2017 endpoints and slopes
+//! (Google 26.2%→28.5% and Microsoft 7.9%→10.8% in Alexa, self-hosted
+//! 11.7%→7.9%, rising security services, declining hosting defaults);
+//! Table 4 pins the no-SMTP and dangling-MX rates; Figure 8 pins the
+//! ccTLD modulation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::domains::Dataset;
+
+/// What a share row describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum ShareKey {
+    /// A catalog company, by display name.
+    Company(&'static str),
+    /// The domain runs its own mail server (§5.2.1's Self-Hosting curve;
+    /// includes the VPS and forged-banner sub-modes).
+    SelfHosted,
+    /// The MX points at infrastructure that does not speak SMTP
+    /// (the `jeniustoto.net` case; lands in Table 4's "No Port 25" bucket).
+    NoMail,
+    /// The MX name does not resolve (Table 4's "No MX IP" bucket).
+    Dangling,
+    /// The long tail of small, unnamed providers.
+    SmallProviders,
+}
+
+/// One calibrated share row: percent of the dataset at the study's start
+/// and end.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ShareRow {
+    /// Who the share belongs to.
+    pub key: ShareKey,
+    /// Percent of the dataset in June 2017.
+    pub start_pct: f64,
+    /// Percent of the dataset in June 2021.
+    pub end_pct: f64,
+}
+
+const fn row(key: ShareKey, start_pct: f64, end_pct: f64) -> ShareRow {
+    ShareRow {
+        key,
+        start_pct,
+        end_pct,
+    }
+}
+
+use ShareKey::*;
+
+/// Alexa-stable calibration (93,538 domains in the paper).
+static ALEXA: &[ShareRow] = &[
+    row(Company("Google"), 26.2, 28.5),
+    row(Company("Microsoft"), 7.9, 10.8),
+    row(Company("Yandex"), 3.9, 4.5),
+    row(Company("ProofPoint"), 1.6, 3.0),
+    row(Company("Mimecast"), 0.8, 2.1),
+    row(Company("GoDaddy"), 2.2, 1.5),
+    row(Company("Zoho"), 0.9, 1.3),
+    row(Company("Tencent"), 0.7, 0.9),
+    row(Company("Cisco"), 0.75, 0.8),
+    row(Company("Rackspace"), 0.9, 0.8),
+    row(Company("Barracuda"), 0.45, 0.6),
+    row(Company("Mail.Ru"), 0.6, 0.6),
+    row(Company("Beget"), 0.3, 0.4),
+    row(Company("MessageLabs"), 0.5, 0.4),
+    row(Company("OVH"), 0.5, 0.4),
+    row(Company("UnitedInternet"), 0.9, 0.6),
+    row(Company("Ukraine.ua"), 0.2, 0.25),
+    row(Company("NameCheap"), 0.2, 0.3),
+    row(Company("AppRiver"), 0.1, 0.15),
+    row(Company("Yahoo"), 0.3, 0.2),
+    row(Company("Aruba"), 0.35, 0.3),
+    row(Company("Strato"), 0.35, 0.28),
+    row(Company("Tucows"), 0.2, 0.18),
+    row(SelfHosted, 11.7, 7.9),
+    row(NoMail, 4.0, 3.5),
+    row(Dangling, 1.8, 1.8),
+];
+
+/// Random-`.com` calibration (580,537 domains in the paper).
+static COM: &[ShareRow] = &[
+    row(Company("GoDaddy"), 31.5, 29.0),
+    row(Company("Google"), 8.2, 9.4),
+    row(Company("Microsoft"), 4.3, 5.8),
+    row(Company("UnitedInternet"), 5.3, 4.6),
+    row(Company("EIG"), 1.7, 1.5),
+    row(Company("OVH"), 1.3, 1.3),
+    row(Company("NameCheap"), 0.9, 1.1),
+    row(Company("Tucows"), 1.0, 1.0),
+    row(Company("Strato"), 1.0, 0.9),
+    row(Company("Rackspace"), 0.9, 0.8),
+    row(Company("Web.com Group"), 0.8, 0.7),
+    row(Company("Aruba"), 0.7, 0.7),
+    row(Company("Yahoo"), 0.7, 0.6),
+    row(Company("SiteGround"), 0.3, 0.6),
+    row(Company("Tencent"), 0.5, 0.6),
+    row(Company("ProofPoint"), 0.15, 0.35),
+    row(Company("Mimecast"), 0.08, 0.25),
+    row(Company("Barracuda"), 0.1, 0.15),
+    row(Company("Cisco"), 0.08, 0.1),
+    row(Company("AppRiver"), 0.05, 0.08),
+    row(Company("Zoho"), 0.25, 0.35),
+    row(Company("Yandex"), 0.3, 0.35),
+    row(SelfHosted, 0.45, 0.32),
+    row(NoMail, 10.0, 9.0),
+    row(Dangling, 4.0, 4.0),
+];
+
+/// `.gov` calibration (3,496 domains in the paper; data starts June 2018).
+static GOV: &[ShareRow] = &[
+    row(Company("Microsoft"), 24.0, 32.1),
+    row(Company("Google"), 10.5, 9.6),
+    row(Company("Barracuda"), 6.0, 8.0),
+    row(Company("ProofPoint"), 3.0, 4.4),
+    row(Company("Mimecast"), 1.2, 2.5),
+    row(Company("AppRiver"), 1.2, 1.7),
+    row(Company("Rackspace"), 1.2, 1.4),
+    row(Company("Cisco"), 1.2, 1.4),
+    row(Company("GoDaddy"), 1.2, 0.9),
+    row(Company("Sophos"), 0.6, 0.8),
+    row(Company("Solarwinds"), 0.6, 0.8),
+    row(Company("IntermediaCloud"), 0.6, 0.7),
+    row(Company("TrendMicro"), 0.5, 0.6),
+    row(Company("hhs.gov"), 0.6, 0.6),
+    row(Company("treasury.gov"), 0.5, 0.5),
+    row(SelfHosted, 14.0, 9.0),
+    row(NoMail, 6.0, 5.5),
+    row(Dangling, 1.4, 1.4),
+];
+
+/// The calibrated rows for a dataset (excluding the implicit small-provider
+/// remainder).
+pub fn share_table(dataset: Dataset) -> &'static [ShareRow] {
+    match dataset {
+        Dataset::Alexa => ALEXA,
+        Dataset::Com => COM,
+        Dataset::Gov => GOV,
+    }
+}
+
+/// The full distribution at time `t ∈ [0, 1]` (0 = June 2017, 1 = June
+/// 2021), with the remainder assigned to [`ShareKey::SmallProviders`].
+/// Weights are fractions summing to 1.
+pub fn distribution(dataset: Dataset, t: f64) -> Vec<(ShareKey, f64)> {
+    let t = t.clamp(0.0, 1.0);
+    let mut out: Vec<(ShareKey, f64)> = share_table(dataset)
+        .iter()
+        .map(|r| {
+            let pct = r.start_pct + (r.end_pct - r.start_pct) * t;
+            (r.key, pct / 100.0)
+        })
+        .collect();
+    let named: f64 = out.iter().map(|(_, w)| w).sum();
+    assert!(
+        named < 0.999,
+        "calibration overflow for {dataset:?}: named shares sum to {named}"
+    );
+    out.push((SmallProviders, 1.0 - named));
+    out
+}
+
+/// Alexa rank strata (Figure 5 splits the top 1k/10k/100k/1M).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RankStratum {
+    /// Alexa ranks 1–1,000.
+    Top1k,
+    /// Ranks 1,001–10,000.
+    Top10k,
+    /// Ranks 10,001–100,000.
+    Top100k,
+    /// Everything beyond rank 100,000.
+    Tail,
+}
+
+impl RankStratum {
+    /// Classify a 1-based Alexa rank.
+    pub fn of(rank: u32) -> RankStratum {
+        match rank {
+            0..=1_000 => RankStratum::Top1k,
+            1_001..=10_000 => RankStratum::Top10k,
+            10_001..=100_000 => RankStratum::Top100k,
+            _ => RankStratum::Tail,
+        }
+    }
+}
+
+/// Fraction of the stable Alexa corpus in each stratum under
+/// [`crate::domains::stable_rank`]'s mapping; used to normalise the rank
+/// multipliers so dataset-wide aggregates stay on the calibrated shares.
+const STRATUM_POPULATION: [f64; 4] = [0.010, 0.036, 0.169, 0.785];
+
+/// Popularity-dependent preference multipliers (Figure 5: security
+/// services concentrate among large sites; Yandex and hosting defaults in
+/// the long tail). Each multiplier row is normalised so its
+/// population-weighted mean is 1 — the aggregate market shares stay
+/// pinned to the calibration while the strata differ.
+pub fn rank_multiplier(stratum: RankStratum, key: &ShareKey) -> f64 {
+    use crate::catalog::{by_name, ServiceKind};
+    let idx = match stratum {
+        RankStratum::Top1k => 0,
+        RankStratum::Top10k => 1,
+        RankStratum::Top100k => 2,
+        RankStratum::Tail => 3,
+    };
+    let raw: [f64; 4] = match key {
+        Company(name) => {
+            let Some(c) = by_name(name) else { return 1.0 };
+            match c.kind {
+                ServiceKind::EmailSecurity => [4.0, 2.5, 1.2, 0.5],
+                ServiceKind::WebHosting => [0.3, 0.6, 1.0, 1.3],
+                ServiceKind::MailHosting if *name == "Yandex" || *name == "Mail.Ru" => {
+                    [0.4, 0.7, 0.9, 1.3]
+                }
+                ServiceKind::MailHosting if *name == "Google" => [1.1, 1.1, 1.0, 0.95],
+                _ => return 1.0,
+            }
+        }
+        SelfHosted => [1.6, 1.3, 1.0, 0.9],
+        NoMail | Dangling => [0.3, 0.6, 1.0, 1.2],
+        SmallProviders => return 1.0,
+    };
+    let mean: f64 = raw
+        .iter()
+        .zip(STRATUM_POPULATION)
+        .map(|(m, w)| m * w)
+        .sum();
+    raw[idx] / mean
+}
+
+/// ccTLD preference multipliers (Figure 8: Google/Microsoft widely used
+/// abroad, Yandex and Tencent essentially confined to .ru/.cn; local
+/// hosting companies dominate their home ccTLD).
+pub fn cctld_multiplier(cctld: &str, key: &ShareKey) -> f64 {
+    let company = match key {
+        Company(name) => *name,
+        SelfHosted => {
+            return match cctld {
+                "jp" | "de" => 1.4,
+                "ru" | "cn" => 1.2,
+                _ => 1.0,
+            }
+        }
+        _ => return 1.0,
+    };
+    match (cctld, company) {
+        // Russia: local providers dominate, US providers present but lower.
+        ("ru", "Yandex") => 8.0,
+        ("ru", "Mail.Ru") => 8.0,
+        ("ru", "Beget") => 5.0,
+        ("ru", "Google") => 0.55,
+        ("ru", "Microsoft") => 0.5,
+        ("ru", "GoDaddy") => 0.2,
+        // China: Tencent at home, US providers marginal.
+        ("cn", "Tencent") => 25.0,
+        ("cn", "Google") => 0.03,
+        ("cn", "Microsoft") => 0.35,
+        ("cn", "Yandex") => 0.1,
+        // Germany.
+        ("de", "UnitedInternet") => 6.0,
+        ("de", "Strato") => 6.0,
+        ("de", "Google") => 0.8,
+        // France.
+        ("fr", "OVH") => 7.0,
+        // United Kingdom.
+        ("uk", "Microsoft") => 1.4,
+        ("uk", "Mimecast") => 2.5,
+        ("uk", "Google") => 1.2,
+        // Brazil / Argentina: heavy US mail-provider use (Figure 8's 65%).
+        ("br", "Google") => 1.9,
+        ("br", "Microsoft") => 1.4,
+        ("ar", "Google") => 1.8,
+        ("ar", "Microsoft") => 1.3,
+        // Italy.
+        ("it", "Aruba") => 9.0,
+        // Canada.
+        ("ca", "Google") => 1.3,
+        ("ca", "Microsoft") => 1.3,
+        ("ca", "Tucows") => 3.0,
+        // Australia.
+        ("au", "Google") => 1.2,
+        ("au", "Microsoft") => 1.5,
+        // Japan: more self/local hosting, some TrendMicro.
+        ("jp", "TrendMicro") => 4.0,
+        ("jp", "Google") => 0.9,
+        // India: Google and Zoho strong.
+        ("in", "Google") => 1.5,
+        ("in", "Zoho") => 5.0,
+        // Singapore.
+        ("sg", "Google") => 1.3,
+        ("sg", "Microsoft") => 1.3,
+        // Spain / Romania: mild US preference.
+        ("es", "Google") => 1.2,
+        ("ro", "Google") => 1.1,
+        // Ukraine.
+        ("ua", "Ukraine.ua") => 15.0,
+        ("ua", "Yandex") => 1.5,
+        _ => 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::by_name;
+
+    #[test]
+    fn tables_reference_real_companies() {
+        for ds in [Dataset::Alexa, Dataset::Com, Dataset::Gov] {
+            for r in share_table(ds) {
+                if let Company(name) = r.key {
+                    assert!(by_name(name).is_some(), "{name} not in catalog");
+                }
+                assert!(r.start_pct >= 0.0 && r.end_pct >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn distributions_sum_to_one() {
+        for ds in [Dataset::Alexa, Dataset::Com, Dataset::Gov] {
+            for t in [0.0, 0.25, 0.5, 0.75, 1.0] {
+                let d = distribution(ds, t);
+                let sum: f64 = d.iter().map(|(_, w)| w).sum();
+                assert!((sum - 1.0).abs() < 1e-9, "{ds:?} t={t}: {sum}");
+                assert!(d.iter().all(|(_, w)| *w >= 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn paper_endpoints() {
+        let d0 = distribution(Dataset::Alexa, 0.0);
+        let d1 = distribution(Dataset::Alexa, 1.0);
+        let get = |d: &[(ShareKey, f64)], name: &str| {
+            d.iter()
+                .find(|(k, _)| matches!(k, Company(n) if *n == name))
+                .map(|(_, w)| *w * 100.0)
+                .unwrap()
+        };
+        assert!((get(&d0, "Google") - 26.2).abs() < 1e-9);
+        assert!((get(&d1, "Google") - 28.5).abs() < 1e-9);
+        assert!((get(&d1, "Microsoft") - 10.8).abs() < 1e-9);
+        let self0 = d0.iter().find(|(k, _)| *k == SelfHosted).unwrap().1 * 100.0;
+        let self1 = d1.iter().find(|(k, _)| *k == SelfHosted).unwrap().1 * 100.0;
+        assert!((self0 - 11.7).abs() < 1e-9);
+        assert!((self1 - 7.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interpolation_midpoint() {
+        let d = distribution(Dataset::Alexa, 0.5);
+        let g = d
+            .iter()
+            .find(|(k, _)| matches!(k, Company("Google")))
+            .unwrap()
+            .1
+            * 100.0;
+        assert!((g - 27.35).abs() < 1e-9);
+    }
+
+    #[test]
+    fn com_dominated_by_godaddy() {
+        let d = distribution(Dataset::Com, 1.0);
+        let top = d
+            .iter()
+            .filter(|(k, _)| matches!(k, Company(_)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        assert!(matches!(top.0, Company("GoDaddy")));
+    }
+
+    #[test]
+    fn gov_dominated_by_microsoft() {
+        let d = distribution(Dataset::Gov, 1.0);
+        let top = d
+            .iter()
+            .filter(|(k, _)| matches!(k, Company(_)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        assert!(matches!(top.0, Company("Microsoft")));
+    }
+
+    #[test]
+    fn rank_strata_classification() {
+        assert_eq!(RankStratum::of(1), RankStratum::Top1k);
+        assert_eq!(RankStratum::of(1000), RankStratum::Top1k);
+        assert_eq!(RankStratum::of(1001), RankStratum::Top10k);
+        assert_eq!(RankStratum::of(100_001), RankStratum::Tail);
+    }
+
+    #[test]
+    fn security_prefers_top_ranks() {
+        let top = rank_multiplier(RankStratum::Top1k, &Company("ProofPoint"));
+        let tail = rank_multiplier(RankStratum::Tail, &Company("ProofPoint"));
+        assert!(top > 1.0 && tail < 1.0);
+    }
+
+    #[test]
+    fn cctld_isolation_of_yandex_tencent() {
+        assert!(cctld_multiplier("ru", &Company("Yandex")) > 5.0);
+        assert!(cctld_multiplier("cn", &Company("Tencent")) > 5.0);
+        assert!(cctld_multiplier("cn", &Company("Google")) < 0.1);
+        assert_eq!(cctld_multiplier("br", &Company("Yandex")), 1.0);
+        assert!(cctld_multiplier("br", &Company("Google")) > 1.5);
+    }
+}

@@ -1,0 +1,321 @@
+//! An iterative resolver: full referral chasing from root hints.
+//!
+//! The stub resolver ([`crate::StubResolver`]) trusts one recursive server,
+//! which is how OpenINTEL-style platforms are usually fronted. This module
+//! implements what that recursive server does internally: start at the
+//! root name servers, follow referrals (NS records + glue) down the
+//! delegation tree, and restart for out-of-zone CNAME targets — RFC 1034
+//! §5.3.3.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use crate::message::{Message, Rcode};
+use crate::name::Name;
+use crate::resolver::{ResolveError, Transport};
+use crate::rr::{RData, Record, RecordType};
+
+/// Upper bound on referrals followed for one query.
+const MAX_REFERRALS: usize = 24;
+/// Upper bound on cross-zone CNAME restarts.
+const MAX_RESTARTS: usize = 8;
+
+/// An iterative resolver over a [`Transport`], seeded with root hints.
+pub struct IterativeResolver<T: Transport> {
+    transport: T,
+    /// Addresses of the root name servers.
+    roots: Vec<Ipv4Addr>,
+    next_id: std::cell::Cell<u16>,
+}
+
+impl<T: Transport> IterativeResolver<T> {
+    /// Build a resolver with the given root-server addresses.
+    pub fn new(transport: T, roots: Vec<Ipv4Addr>) -> Self {
+        assert!(!roots.is_empty(), "need at least one root hint");
+        IterativeResolver {
+            transport,
+            roots,
+            next_id: std::cell::Cell::new(1),
+        }
+    }
+
+    fn fresh_id(&self) -> u16 {
+        let id = self.next_id.get();
+        self.next_id.set(id.wrapping_add(1).max(1));
+        id
+    }
+
+    /// Resolve (name, rtype), following referrals and CNAMEs. Returns all
+    /// matching records (empty = NODATA).
+    pub fn resolve(&self, name: &Name, rtype: RecordType) -> Result<Vec<Record>, ResolveError> {
+        let mut target = name.clone();
+        let mut out: Vec<Record> = Vec::new();
+        for _restart in 0..MAX_RESTARTS {
+            match self.resolve_once(&target, rtype)? {
+                Outcome::Answer(mut rs) => {
+                    out.append(&mut rs);
+                    return Ok(out);
+                }
+                Outcome::Cname(chain, next) => {
+                    out.extend(chain);
+                    target = next;
+                }
+                Outcome::NoData => return Ok(out),
+            }
+        }
+        Err(ResolveError::CnameChainTooLong(name.clone()))
+    }
+
+    /// One full descent from the roots for a single owner name.
+    fn resolve_once(&self, name: &Name, rtype: RecordType) -> Result<Outcome, ResolveError> {
+        let mut servers: Vec<Ipv4Addr> = self.roots.clone();
+        // Glue learned from referrals: NS target name -> addresses.
+        let mut glue: HashMap<Name, Vec<Ipv4Addr>> = HashMap::new();
+        for _hop in 0..MAX_REFERRALS {
+            let server = *servers.first().ok_or_else(|| {
+                ResolveError::Network("referral without reachable name servers".into())
+            })?;
+            let query = Message::query(self.fresh_id(), name.clone(), rtype);
+            let resp = self.transport.query(server, &query)?;
+            match resp.header.rcode {
+                Rcode::NoError => {}
+                Rcode::NxDomain => return Err(ResolveError::NxDomain(name.clone())),
+                rc => return Err(ResolveError::ServerFailure(rc)),
+            }
+
+            // Answer section: direct answers and/or a CNAME chain element.
+            let direct: Vec<Record> = resp
+                .answers
+                .iter()
+                .filter(|r| r.rtype() == rtype && &r.name == name)
+                .cloned()
+                .collect();
+            if !direct.is_empty() {
+                return Ok(Outcome::Answer(resp.answers.clone()));
+            }
+            if let Some(cname) = resp
+                .answers
+                .iter()
+                .find(|r| r.rtype() == RecordType::Cname)
+            {
+                let next = match &cname.rdata {
+                    RData::Cname(t) => t.clone(),
+                    _ => unreachable!("CNAME rtype has CNAME rdata"),
+                };
+                // In-zone chains may already carry the final answer.
+                let tail: Vec<Record> = resp
+                    .answers
+                    .iter()
+                    .filter(|r| r.rtype() == rtype)
+                    .cloned()
+                    .collect();
+                if !tail.is_empty() {
+                    return Ok(Outcome::Answer(resp.answers.clone()));
+                }
+                return Ok(Outcome::Cname(resp.answers.clone(), next));
+            }
+
+            // Referral: authority NS records point further down.
+            let ns_targets: Vec<Name> = resp
+                .authorities
+                .iter()
+                .filter_map(|r| match &r.rdata {
+                    RData::Ns(t) => Some(t.clone()),
+                    _ => None,
+                })
+                .collect();
+            if ns_targets.is_empty() {
+                // Authoritative NODATA (SOA in authority or nothing).
+                return Ok(Outcome::NoData);
+            }
+            for r in &resp.additionals {
+                if let RData::A(a) = r.rdata {
+                    glue.entry(r.name.clone()).or_default().push(a);
+                }
+            }
+            let mut next_servers = Vec::new();
+            for t in &ns_targets {
+                if let Some(addrs) = glue.get(t) {
+                    next_servers.extend(addrs.iter().copied());
+                }
+            }
+            if next_servers.is_empty() {
+                return Err(ResolveError::Network(format!(
+                    "glueless referral to {:?}",
+                    ns_targets
+                        .iter()
+                        .map(Name::to_string)
+                        .collect::<Vec<_>>()
+                )));
+            }
+            next_servers.sort();
+            next_servers.dedup();
+            servers = next_servers;
+        }
+        Err(ResolveError::Network("referral loop".into()))
+    }
+}
+
+enum Outcome {
+    Answer(Vec<Record>),
+    Cname(Vec<Record>, Name),
+    NoData,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dns_name;
+    use crate::server::Authority;
+    use crate::zone::Zone;
+
+    /// A transport routing queries to per-IP authorities — a miniature
+    /// delegation tree: root -> com -> example.com.
+    struct MultiServer {
+        servers: HashMap<Ipv4Addr, Authority>,
+    }
+
+    impl Transport for MultiServer {
+        fn query(&self, server: Ipv4Addr, q: &Message) -> Result<Message, ResolveError> {
+            match self.servers.get(&server) {
+                Some(a) => Ok(a.answer(q)),
+                None => Err(ResolveError::Network(format!("no server at {server}"))),
+            }
+        }
+    }
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn tree() -> MultiServer {
+        let mut servers = HashMap::new();
+
+        // Root zone: delegates com. to the TLD server, with glue.
+        let mut root = Zone::new(Name::root());
+        root.add_rr(dns_name!("com"), 3600, RData::Ns(dns_name!("a.gtld.net")));
+        root.add_rr(dns_name!("a.gtld.net"), 3600, RData::A(ip("10.0.0.2")));
+        let mut root_auth = Authority::new();
+        root_auth.add_zone(root);
+        servers.insert(ip("10.0.0.1"), root_auth);
+
+        // com zone: delegates example.com, with glue.
+        let mut com = Zone::new(dns_name!("com"));
+        com.add_rr(
+            dns_name!("example.com"),
+            3600,
+            RData::Ns(dns_name!("ns1.example.com")),
+        );
+        com.add_rr(dns_name!("ns1.example.com"), 3600, RData::A(ip("10.0.0.3")));
+        let mut com_auth = Authority::new();
+        com_auth.add_zone(com);
+        servers.insert(ip("10.0.0.2"), com_auth);
+
+        // example.com zone: the answers.
+        let mut ex = Zone::new(dns_name!("example.com"));
+        ex.add_rr(
+            dns_name!("example.com"),
+            300,
+            RData::Mx {
+                preference: 10,
+                exchange: dns_name!("mx.example.com"),
+            },
+        );
+        ex.add_rr(dns_name!("mx.example.com"), 300, RData::A(ip("192.0.2.25")));
+        ex.add_rr(
+            dns_name!("www.example.com"),
+            300,
+            RData::Cname(dns_name!("cdn.example.com")),
+        );
+        ex.add_rr(dns_name!("cdn.example.com"), 300, RData::A(ip("192.0.2.80")));
+        ex.add_rr(
+            dns_name!("ext.example.com"),
+            300,
+            RData::Cname(dns_name!("target.other.com")),
+        );
+        let mut ex_auth = Authority::new();
+        ex_auth.add_zone(ex);
+        servers.insert(ip("10.0.0.3"), ex_auth);
+
+        // other.com for the cross-zone CNAME restart (delegated from com).
+        let mut com_auth2 = servers.remove(&ip("10.0.0.2")).unwrap();
+        let com_zone = com_auth2.zone_mut(&dns_name!("com")).unwrap();
+        com_zone.add_rr(
+            dns_name!("other.com"),
+            3600,
+            RData::Ns(dns_name!("ns1.other.com")),
+        );
+        com_zone.add_rr(dns_name!("ns1.other.com"), 3600, RData::A(ip("10.0.0.4")));
+        servers.insert(ip("10.0.0.2"), com_auth2);
+        let mut other = Zone::new(dns_name!("other.com"));
+        other.add_rr(
+            dns_name!("target.other.com"),
+            300,
+            RData::A(ip("192.0.2.99")),
+        );
+        let mut other_auth = Authority::new();
+        other_auth.add_zone(other);
+        servers.insert(ip("10.0.0.4"), other_auth);
+
+        MultiServer { servers }
+    }
+
+    fn resolver() -> IterativeResolver<MultiServer> {
+        IterativeResolver::new(tree(), vec![ip("10.0.0.1")])
+    }
+
+    #[test]
+    fn follows_referrals_from_root() {
+        let r = resolver();
+        let rs = r.resolve(&dns_name!("example.com"), RecordType::Mx).unwrap();
+        assert!(rs
+            .iter()
+            .any(|rec| matches!(&rec.rdata, RData::Mx { exchange, .. }
+                if exchange == &dns_name!("mx.example.com"))));
+    }
+
+    #[test]
+    fn in_zone_cname_answered_in_one_descent() {
+        let r = resolver();
+        let rs = r.resolve(&dns_name!("www.example.com"), RecordType::A).unwrap();
+        assert!(rs.iter().any(|rec| rec.rdata == RData::A(ip("192.0.2.80"))));
+        assert!(rs.iter().any(|rec| matches!(rec.rdata, RData::Cname(_))));
+    }
+
+    #[test]
+    fn cross_zone_cname_restarts_from_root() {
+        let r = resolver();
+        let rs = r.resolve(&dns_name!("ext.example.com"), RecordType::A).unwrap();
+        assert!(rs.iter().any(|rec| rec.rdata == RData::A(ip("192.0.2.99"))));
+    }
+
+    #[test]
+    fn nxdomain_propagates() {
+        let r = resolver();
+        assert!(matches!(
+            r.resolve(&dns_name!("missing.example.com"), RecordType::A),
+            Err(ResolveError::NxDomain(_))
+        ));
+    }
+
+    #[test]
+    fn nodata_is_empty() {
+        let r = resolver();
+        let rs = r.resolve(&dns_name!("mx.example.com"), RecordType::Mx).unwrap();
+        assert!(rs.is_empty());
+    }
+
+    #[test]
+    fn glueless_referral_is_an_error() {
+        let mut ms = tree();
+        // Strip the glue from the root zone.
+        let root_auth = ms.servers.get_mut(&ip("10.0.0.1")).unwrap();
+        let z = root_auth.zone_mut(&Name::root()).unwrap();
+        z.remove(&dns_name!("a.gtld.net"), RecordType::A);
+        let r = IterativeResolver::new(ms, vec![ip("10.0.0.1")]);
+        assert!(matches!(
+            r.resolve(&dns_name!("example.com"), RecordType::Mx),
+            Err(ResolveError::Network(_))
+        ));
+    }
+}

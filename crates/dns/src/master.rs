@@ -1,0 +1,629 @@
+//! RFC 1035 §5 master-file (zone file) parsing.
+//!
+//! Supports the subset real zone files use in practice: `$ORIGIN` and
+//! `$TTL` directives, `@` for the origin, relative and absolute names,
+//! blank owner fields (repeat the previous owner), `;` comments,
+//! parenthesised multi-line SOA records, quoted TXT strings, and the
+//! record types the measurement needs (SOA, NS, A, AAAA, CNAME, MX, TXT,
+//! PTR). Class defaults to `IN` and may be written explicitly.
+//!
+//! ```
+//! use mx_dns::{master, RecordType};
+//!
+//! let zone = master::parse_zone(r#"
+//! $ORIGIN example.com.
+//! $TTL 3600
+//! @       IN SOA ns1 hostmaster ( 2021060800 7200 900 1209600 300 )
+//! @       IN MX 10 aspmx.l.google.com.
+//! mail    IN A  192.0.2.25
+//! www     300 IN CNAME web
+//! "#).unwrap();
+//! assert_eq!(zone.origin().to_string(), "example.com");
+//! assert_eq!(zone.record_count(), 3);
+//! ```
+
+use std::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+use crate::name::{Name, NameError};
+use crate::rr::{RData, Record, RecordType, Soa};
+use crate::zone::Zone;
+
+/// Errors while parsing a master file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MasterError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for MasterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "zone file line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for MasterError {}
+
+fn err(line: usize, message: impl Into<String>) -> MasterError {
+    MasterError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// A token with the line it came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Token {
+    line: usize,
+    text: String,
+    /// Was the token quoted? (TXT strings keep spaces and case.)
+    quoted: bool,
+    /// Did a newline precede this token (outside parentheses)?
+    starts_line: bool,
+}
+
+/// Tokenise: handle comments, quotes and parenthesised continuations.
+fn tokenize(text: &str) -> Result<Vec<Token>, MasterError> {
+    let mut tokens = Vec::new();
+    let mut depth = 0usize;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let mut chars = raw.chars().peekable();
+        let mut fresh_line = depth == 0;
+        // Leading whitespace on a fresh line means "no owner field": emit
+        // an empty-owner marker so the grammar can repeat the last owner.
+        if fresh_line && raw.starts_with([' ', '\t']) && !raw.trim().is_empty() {
+            tokens.push(Token {
+                line,
+                text: String::new(),
+                quoted: false,
+                starts_line: true,
+            });
+            fresh_line = false;
+        }
+        while let Some(&c) = chars.peek() {
+            match c {
+                ';' => break, // comment to end of line
+                c if c.is_whitespace() => {
+                    chars.next();
+                }
+                '(' => {
+                    depth += 1;
+                    chars.next();
+                }
+                ')' => {
+                    depth = depth
+                        .checked_sub(1)
+                        .ok_or_else(|| err(line, "unbalanced ')'"))?;
+                    chars.next();
+                }
+                '"' => {
+                    chars.next();
+                    let mut s = String::new();
+                    loop {
+                        match chars.next() {
+                            Some('"') => break,
+                            Some('\\') => match chars.next() {
+                                Some(e) => s.push(e),
+                                None => return Err(err(line, "dangling escape")),
+                            },
+                            Some(c) => s.push(c),
+                            None => return Err(err(line, "unterminated string")),
+                        }
+                    }
+                    tokens.push(Token {
+                        line,
+                        text: s,
+                        quoted: true,
+                        starts_line: fresh_line,
+                    });
+                    fresh_line = false;
+                }
+                _ => {
+                    let mut s = String::new();
+                    while let Some(&c) = chars.peek() {
+                        if c.is_whitespace() || c == ';' || c == '(' || c == ')' || c == '"' {
+                            break;
+                        }
+                        s.push(c);
+                        chars.next();
+                    }
+                    tokens.push(Token {
+                        line,
+                        text: s,
+                        quoted: false,
+                        starts_line: fresh_line,
+                    });
+                    fresh_line = false;
+                }
+            }
+        }
+    }
+    if depth != 0 {
+        return Err(err(text.lines().count(), "unbalanced '('"));
+    }
+    Ok(tokens)
+}
+
+/// One logical entry: the tokens of one record or directive.
+fn split_entries(tokens: Vec<Token>) -> Vec<Vec<Token>> {
+    let mut entries: Vec<Vec<Token>> = Vec::new();
+    for t in tokens {
+        if t.starts_line || entries.is_empty() {
+            entries.push(Vec::new());
+        }
+        entries.last_mut().expect("just pushed").push(t);
+    }
+    entries.retain(|e| !e.is_empty());
+    entries
+}
+
+/// Resolve a possibly-relative name against the origin.
+fn resolve_name(text: &str, origin: &Name, line: usize) -> Result<Name, MasterError> {
+    if text == "@" {
+        return Ok(origin.clone());
+    }
+    let absolute = text.ends_with('.');
+    let name = Name::parse(text)
+        .map_err(|e: NameError| err(line, format!("bad name {text:?}: {e}")))?;
+    if absolute {
+        Ok(name)
+    } else {
+        name.join(origin)
+            .map_err(|e| err(line, format!("name too long: {e}")))
+    }
+}
+
+/// Parse a complete zone file. The origin comes from `$ORIGIN` (required
+/// unless every name is absolute and the first record is the zone apex
+/// SOA, in which case the SOA owner becomes the origin).
+pub fn parse_zone(text: &str) -> Result<Zone, MasterError> {
+    let tokens = tokenize(text)?;
+    let entries = split_entries(tokens);
+
+    let mut origin: Option<Name> = None;
+    let mut default_ttl: u32 = 3600;
+    let mut last_owner: Option<Name> = None;
+    let mut records: Vec<Record> = Vec::new();
+    let mut soa: Option<(Name, Soa, u32)> = None;
+
+    for entry in entries {
+        let line = entry[0].line;
+        let first = &entry[0];
+        // Directives.
+        if !first.quoted && first.text.eq_ignore_ascii_case("$ORIGIN") {
+            let arg = entry
+                .get(1)
+                .ok_or_else(|| err(line, "$ORIGIN needs a name"))?;
+            let name = Name::parse(&arg.text)
+                .map_err(|e| err(line, format!("bad $ORIGIN: {e}")))?;
+            origin = Some(name);
+            continue;
+        }
+        if !first.quoted && first.text.eq_ignore_ascii_case("$TTL") {
+            let arg = entry.get(1).ok_or_else(|| err(line, "$TTL needs a value"))?;
+            default_ttl = arg
+                .text
+                .parse()
+                .map_err(|_| err(line, format!("bad $TTL {:?}", arg.text)))?;
+            continue;
+        }
+
+        // Owner field (may be empty = repeat previous).
+        let owner = if first.text.is_empty() {
+            last_owner
+                .clone()
+                .ok_or_else(|| err(line, "no previous owner to repeat"))?
+        } else {
+            let fallback_origin = Name::root();
+            let o = origin.as_ref().unwrap_or(&fallback_origin);
+            resolve_name(&first.text, o, line)?
+        };
+        let mut idx = 1usize;
+
+        // Optional TTL and class, in either order.
+        let mut ttl = default_ttl;
+        let mut rtype: Option<RecordType> = None;
+        while idx < entry.len() {
+            let t = &entry[idx].text;
+            if !entry[idx].quoted {
+                if let Ok(v) = t.parse::<u32>() {
+                    ttl = v;
+                    idx += 1;
+                    continue;
+                }
+                if t.eq_ignore_ascii_case("IN") || t.eq_ignore_ascii_case("CH") {
+                    idx += 1;
+                    continue;
+                }
+                rtype = Some(match t.to_ascii_uppercase().as_str() {
+                    "SOA" => RecordType::Soa,
+                    "NS" => RecordType::Ns,
+                    "A" => RecordType::A,
+                    "AAAA" => RecordType::Aaaa,
+                    "CNAME" => RecordType::Cname,
+                    "MX" => RecordType::Mx,
+                    "TXT" => RecordType::Txt,
+                    "PTR" => RecordType::Ptr,
+                    other => return Err(err(line, format!("unsupported type {other}"))),
+                });
+                idx += 1;
+                break;
+            }
+            return Err(err(line, "unexpected quoted string before type"));
+        }
+        let rtype = rtype.ok_or_else(|| err(line, "missing record type"))?;
+        let rest = &entry[idx..];
+        let origin_for_rdata = origin.clone().unwrap_or_else(Name::root);
+
+        let rdata = match rtype {
+            RecordType::A => {
+                let a = rdata_field(rest, 0, line, "address")?;
+                RData::A(a.text.parse::<Ipv4Addr>().map_err(|_| {
+                    err(line, format!("bad IPv4 address {:?}", a.text))
+                })?)
+            }
+            RecordType::Aaaa => {
+                let a = rdata_field(rest, 0, line, "address")?;
+                RData::Aaaa(a.text.parse::<Ipv6Addr>().map_err(|_| {
+                    err(line, format!("bad IPv6 address {:?}", a.text))
+                })?)
+            }
+            RecordType::Ns => RData::Ns(resolve_name(
+                &rdata_field(rest, 0, line, "nsdname")?.text,
+                &origin_for_rdata,
+                line,
+            )?),
+            RecordType::Cname => RData::Cname(resolve_name(
+                &rdata_field(rest, 0, line, "target")?.text,
+                &origin_for_rdata,
+                line,
+            )?),
+            RecordType::Ptr => RData::Ptr(resolve_name(
+                &rdata_field(rest, 0, line, "target")?.text,
+                &origin_for_rdata,
+                line,
+            )?),
+            RecordType::Mx => {
+                let pref = rdata_field(rest, 0, line, "preference")?;
+                let exchange = rdata_field(rest, 1, line, "exchange")?;
+                RData::Mx {
+                    preference: pref
+                        .text
+                        .parse()
+                        .map_err(|_| err(line, format!("bad preference {:?}", pref.text)))?,
+                    exchange: if exchange.text == "." {
+                        Name::root()
+                    } else {
+                        resolve_name(&exchange.text, &origin_for_rdata, line)?
+                    },
+                }
+            }
+            RecordType::Txt => {
+                if rest.is_empty() {
+                    return Err(err(line, "TXT needs at least one string"));
+                }
+                RData::Txt(rest.iter().map(|t| t.text.clone()).collect())
+            }
+            RecordType::Soa => {
+                if rest.len() != 7 {
+                    return Err(err(line, format!("SOA needs 7 fields, got {}", rest.len())));
+                }
+                let num = |i: usize, what: &str| -> Result<u32, MasterError> {
+                    rest[i]
+                        .text
+                        .parse()
+                        .map_err(|_| err(line, format!("bad SOA {what} {:?}", rest[i].text)))
+                };
+                let soa_data = Soa {
+                    mname: resolve_name(&rest[0].text, &origin_for_rdata, line)?,
+                    rname: resolve_name(&rest[1].text, &origin_for_rdata, line)?,
+                    serial: num(2, "serial")?,
+                    refresh: num(3, "refresh")?,
+                    retry: num(4, "retry")?,
+                    expire: num(5, "expire")?,
+                    minimum: num(6, "minimum")?,
+                };
+                soa = Some((owner.clone(), soa_data, ttl));
+                last_owner = Some(owner);
+                continue;
+            }
+            other => return Err(err(line, format!("unsupported type {other}"))),
+        };
+        records.push(Record::new(owner.clone(), ttl, rdata));
+        last_owner = Some(owner);
+    }
+
+    // Determine the zone origin: explicit $ORIGIN, else the SOA owner.
+    let origin = match (origin, &soa) {
+        (Some(o), _) => o,
+        (None, Some((owner, _, _))) => owner.clone(),
+        (None, None) => {
+            return Err(err(1, "zone needs $ORIGIN or an SOA record"));
+        }
+    };
+    let mut zone = Zone::new(origin.clone());
+    if let Some((owner, soa_data, _ttl)) = soa {
+        if owner != origin {
+            return Err(err(1, format!("SOA owner {owner} is not the origin {origin}")));
+        }
+        zone.set_soa(soa_data);
+    }
+    for r in records {
+        if !r.name.is_subdomain_of(&origin) {
+            return Err(err(
+                1,
+                format!("record owner {} outside zone {origin}", r.name),
+            ));
+        }
+        zone.add(r);
+    }
+    Ok(zone)
+}
+
+fn rdata_field<'a>(
+    rest: &'a [Token],
+    i: usize,
+    line: usize,
+    what: &str,
+) -> Result<&'a Token, MasterError> {
+    rest.get(i)
+        .ok_or_else(|| err(line, format!("missing {what}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dns_name;
+    use crate::zone::ZoneLookup;
+
+    const SAMPLE: &str = r#"
+; example.com zone
+$ORIGIN example.com.
+$TTL 3600
+@       IN SOA ns1 hostmaster.example.com. (
+            2021060800 ; serial
+            7200       ; refresh
+            900        ; retry
+            1209600    ; expire
+            300 )      ; minimum
+@       IN NS  ns1
+@       IN MX  10 aspmx.l.google.com.
+        IN MX  20 alt1.aspmx.l.google.com.
+ns1     IN A   192.0.2.53
+mail    600 IN A 192.0.2.25
+mail    IN AAAA 2001:db8::25
+www     IN CNAME web
+web     IN A   192.0.2.80
+txt     IN TXT "v=spf1 include:_spf.google.com ~all" "second string"
+rev     IN PTR host.example.com.
+nullmx  IN MX 0 .
+"#;
+
+    #[test]
+    fn parses_complete_zone() {
+        let zone = parse_zone(SAMPLE).unwrap();
+        assert_eq!(zone.origin(), &dns_name!("example.com"));
+        assert_eq!(zone.soa().serial, 2021060800);
+        assert_eq!(zone.soa().minimum, 300);
+        // Record count: NS + 2 MX + A + A + AAAA + CNAME + A + TXT + PTR + MX0
+        assert_eq!(zone.record_count(), 11);
+    }
+
+    #[test]
+    fn blank_owner_repeats_previous() {
+        let zone = parse_zone(SAMPLE).unwrap();
+        match zone.lookup(&dns_name!("example.com"), RecordType::Mx) {
+            ZoneLookup::Answer(rs) => assert_eq!(rs.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn relative_and_absolute_names() {
+        let zone = parse_zone(SAMPLE).unwrap();
+        match zone.lookup(&dns_name!("mail.example.com"), RecordType::A) {
+            ZoneLookup::Answer(rs) => assert_eq!(rs[0].ttl, 600),
+            other => panic!("{other:?}"),
+        }
+        match zone.lookup(&dns_name!("example.com"), RecordType::Mx) {
+            ZoneLookup::Answer(rs) => {
+                // Absolute exchange kept as written.
+                assert!(rs.iter().any(|r| matches!(
+                    &r.rdata,
+                    RData::Mx { exchange, .. } if exchange == &dns_name!("aspmx.l.google.com")
+                )));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn txt_strings_and_ptr() {
+        let zone = parse_zone(SAMPLE).unwrap();
+        match zone.lookup(&dns_name!("txt.example.com"), RecordType::Txt) {
+            ZoneLookup::Answer(rs) => {
+                assert_eq!(
+                    rs[0].rdata,
+                    RData::Txt(vec![
+                        "v=spf1 include:_spf.google.com ~all".into(),
+                        "second string".into()
+                    ])
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn null_mx() {
+        let zone = parse_zone(SAMPLE).unwrap();
+        match zone.lookup(&dns_name!("nullmx.example.com"), RecordType::Mx) {
+            ZoneLookup::Answer(rs) => {
+                assert_eq!(
+                    rs[0].rdata,
+                    RData::Mx {
+                        preference: 0,
+                        exchange: Name::root()
+                    }
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn origin_from_soa_when_no_directive() {
+        let zone = parse_zone(
+            "example.org. 3600 IN SOA ns1.example.org. h.example.org. 1 2 3 4 5\n\
+             example.org. IN A 192.0.2.1\n",
+        )
+        .unwrap();
+        assert_eq!(zone.origin(), &dns_name!("example.org"));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_zone("$ORIGIN example.com.\nbad IN A not-an-ip\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bad IPv4"));
+
+        let e = parse_zone("$ORIGIN x.com.\n@ IN SOA a b 1 2 3\n").unwrap_err();
+        assert!(e.message.contains("SOA needs 7"));
+
+        let e = parse_zone("@ IN A 1.2.3.4\n").unwrap_err();
+        assert!(e.message.contains("$ORIGIN"));
+    }
+
+    #[test]
+    fn unbalanced_parens_rejected() {
+        assert!(parse_zone("$ORIGIN x.\n@ IN SOA a b ( 1 2 3 4 5\n").is_err());
+        assert!(parse_zone("$ORIGIN x.\n@ IN A ) 1.2.3.4\n").is_err());
+    }
+
+    #[test]
+    fn comments_everywhere() {
+        let zone = parse_zone(
+            "; leading comment\n$ORIGIN c.com. ; trailing\n@ IN A 192.0.2.1 ; addr\n",
+        )
+        .unwrap();
+        assert_eq!(zone.record_count(), 1);
+    }
+
+    #[test]
+    fn roundtrip_into_authority() {
+        use crate::message::Message;
+        use crate::server::Authority;
+        let zone = parse_zone(SAMPLE).unwrap();
+        let mut auth = Authority::new();
+        auth.add_zone(zone);
+        let q = Message::query(1, dns_name!("example.com"), RecordType::Mx);
+        let resp = auth.answer(&q);
+        assert_eq!(resp.answers.len(), 2);
+        // The exchanges live outside this authority: no glue expected.
+        assert!(resp.additionals.is_empty());
+    }
+}
+
+/// Serialise a zone back to master-file text. `parse_zone(to_master(z))`
+/// reconstructs an equivalent zone (same origin, SOA and record multiset).
+pub fn to_master(zone: &Zone) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "$ORIGIN {}.", zone.origin().to_dotted());
+    let soa = zone.soa();
+    let _ = writeln!(
+        out,
+        "@ {} IN SOA {}. {}. {} {} {} {} {}",
+        zone.soa_record().ttl,
+        soa.mname.to_dotted(),
+        soa.rname.to_dotted(),
+        soa.serial,
+        soa.refresh,
+        soa.retry,
+        soa.expire,
+        soa.minimum
+    );
+    for r in zone.iter() {
+        let owner = if r.name == *zone.origin() {
+            "@".to_string()
+        } else {
+            format!("{}.", r.name.to_dotted())
+        };
+        let rdata = match &r.rdata {
+            RData::A(a) => format!("A {a}"),
+            RData::Aaaa(a) => format!("AAAA {a}"),
+            RData::Ns(n) => format!("NS {}.", n.to_dotted()),
+            RData::Cname(n) => format!("CNAME {}.", n.to_dotted()),
+            RData::Ptr(n) => format!("PTR {}.", n.to_dotted()),
+            RData::Mx {
+                preference,
+                exchange,
+            } => {
+                if exchange.is_root() {
+                    format!("MX {preference} .")
+                } else {
+                    format!("MX {preference} {}.", exchange.to_dotted())
+                }
+            }
+            RData::Txt(strings) => {
+                let quoted: Vec<String> = strings
+                    .iter()
+                    .map(|s| format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\"")))
+                    .collect();
+                format!("TXT {}", quoted.join(" "))
+            }
+            RData::Soa(_) | RData::Opaque { .. } => continue,
+        };
+        let _ = writeln!(out, "{owner} {} IN {rdata}", r.ttl);
+    }
+    out
+}
+
+#[cfg(test)]
+mod serialize_tests {
+    use super::*;
+    
+
+    fn sorted_records(z: &Zone) -> Vec<String> {
+        let mut v: Vec<String> = z.iter().map(|r| r.to_string()).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn roundtrip_preserves_zone() {
+        let original = parse_zone(
+            r#"
+$ORIGIN rt.example.
+$TTL 600
+@     IN SOA ns1 hostmaster 7 1 2 3 4
+@     IN MX 10 aspmx.l.google.com.
+@     IN MX 0 .
+@     IN TXT "v=spf1 include:_spf.google.com ~all"
+mx    IN A 192.0.2.1
+mx    IN AAAA 2001:db8::1
+www   IN CNAME mx
+deep.sub IN A 192.0.2.2
+"#,
+        )
+        .unwrap();
+        let text = to_master(&original);
+        let reparsed = parse_zone(&text).unwrap();
+        assert_eq!(reparsed.origin(), original.origin());
+        assert_eq!(reparsed.soa(), original.soa());
+        assert_eq!(sorted_records(&reparsed), sorted_records(&original));
+    }
+
+    #[test]
+    fn txt_quoting_survives() {
+        let original = parse_zone(
+            "$ORIGIN q.example.\n@ IN SOA a b 1 2 3 4 5\n@ IN TXT \"has \\\"quotes\\\" inside\"\n",
+        )
+        .unwrap();
+        let reparsed = parse_zone(&to_master(&original)).unwrap();
+        assert_eq!(sorted_records(&reparsed), sorted_records(&original));
+    }
+}

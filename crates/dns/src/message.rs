@@ -1,0 +1,588 @@
+//! DNS messages: header, question and full encode/decode.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::name::Name;
+use crate::rr::{RData, Record, RecordClass, RecordType, Soa};
+use crate::wire::{WireError, WireReader, WireWriter};
+
+/// Operation codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Opcode {
+    /// Standard query.
+    Query,
+    /// Server status request.
+    Status,
+    /// Zone-change notification.
+    Notify,
+    /// Dynamic update.
+    Update,
+    /// Any other opcode, carried numerically.
+    Other(u8),
+}
+
+impl Opcode {
+    /// Numeric opcode.
+    pub fn code(self) -> u8 {
+        match self {
+            Opcode::Query => 0,
+            Opcode::Status => 2,
+            Opcode::Notify => 4,
+            Opcode::Update => 5,
+            Opcode::Other(c) => c & 0x0F,
+        }
+    }
+
+    /// Decode a numeric opcode.
+    pub fn from_code(c: u8) -> Opcode {
+        match c & 0x0F {
+            0 => Opcode::Query,
+            2 => Opcode::Status,
+            4 => Opcode::Notify,
+            5 => Opcode::Update,
+            c => Opcode::Other(c),
+        }
+    }
+}
+
+/// Response codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Rcode {
+    /// Success.
+    NoError,
+    /// Malformed query.
+    FormErr,
+    /// Server-side failure.
+    ServFail,
+    /// The queried name does not exist.
+    NxDomain,
+    /// Opcode not implemented.
+    NotImp,
+    /// Policy refusal.
+    Refused,
+    /// Any other rcode, carried numerically.
+    Other(u8),
+}
+
+impl Rcode {
+    /// Numeric response code.
+    pub fn code(self) -> u8 {
+        match self {
+            Rcode::NoError => 0,
+            Rcode::FormErr => 1,
+            Rcode::ServFail => 2,
+            Rcode::NxDomain => 3,
+            Rcode::NotImp => 4,
+            Rcode::Refused => 5,
+            Rcode::Other(c) => c & 0x0F,
+        }
+    }
+
+    /// Decode a numeric response code.
+    pub fn from_code(c: u8) -> Rcode {
+        match c & 0x0F {
+            0 => Rcode::NoError,
+            1 => Rcode::FormErr,
+            2 => Rcode::ServFail,
+            3 => Rcode::NxDomain,
+            4 => Rcode::NotImp,
+            5 => Rcode::Refused,
+            c => Rcode::Other(c),
+        }
+    }
+}
+
+impl fmt::Display for Rcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rcode::NoError => write!(f, "NOERROR"),
+            Rcode::FormErr => write!(f, "FORMERR"),
+            Rcode::ServFail => write!(f, "SERVFAIL"),
+            Rcode::NxDomain => write!(f, "NXDOMAIN"),
+            Rcode::NotImp => write!(f, "NOTIMP"),
+            Rcode::Refused => write!(f, "REFUSED"),
+            Rcode::Other(c) => write!(f, "RCODE{c}"),
+        }
+    }
+}
+
+/// Message header (flags are expanded into fields).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Header {
+    /// Transaction id, echoed by responses.
+    pub id: u16,
+    /// Is this a response?
+    pub qr: bool,
+    /// Operation code.
+    pub opcode: Opcode,
+    /// Authoritative answer.
+    pub aa: bool,
+    /// Truncation.
+    pub tc: bool,
+    /// Recursion desired.
+    pub rd: bool,
+    /// Recursion available.
+    pub ra: bool,
+    /// Response code.
+    pub rcode: Rcode,
+}
+
+impl Header {
+    /// A query header with a given transaction id.
+    pub fn query(id: u16) -> Header {
+        Header {
+            id,
+            qr: false,
+            opcode: Opcode::Query,
+            aa: false,
+            tc: false,
+            rd: true,
+            ra: false,
+            rcode: Rcode::NoError,
+        }
+    }
+
+    fn flags(&self) -> u16 {
+        let mut f = 0u16;
+        if self.qr {
+            f |= 1 << 15;
+        }
+        f |= (self.opcode.code() as u16) << 11;
+        if self.aa {
+            f |= 1 << 10;
+        }
+        if self.tc {
+            f |= 1 << 9;
+        }
+        if self.rd {
+            f |= 1 << 8;
+        }
+        if self.ra {
+            f |= 1 << 7;
+        }
+        f |= self.rcode.code() as u16;
+        f
+    }
+
+    fn from_flags(id: u16, f: u16) -> Header {
+        Header {
+            id,
+            qr: f & (1 << 15) != 0,
+            opcode: Opcode::from_code(((f >> 11) & 0x0F) as u8),
+            aa: f & (1 << 10) != 0,
+            tc: f & (1 << 9) != 0,
+            rd: f & (1 << 8) != 0,
+            ra: f & (1 << 7) != 0,
+            rcode: Rcode::from_code((f & 0x0F) as u8),
+        }
+    }
+}
+
+/// A question section entry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Question {
+    /// The name being asked about.
+    pub name: Name,
+    /// Requested record type.
+    pub qtype: RecordType,
+    /// Requested class.
+    pub qclass: RecordClass,
+}
+
+impl Question {
+    /// A class-IN question.
+    pub fn new(name: Name, qtype: RecordType) -> Question {
+        Question {
+            name,
+            qtype,
+            qclass: RecordClass::In,
+        }
+    }
+}
+
+impl fmt::Display for Question {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} IN {}", self.name, self.qtype)
+    }
+}
+
+/// A complete DNS message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Message {
+    /// Header with flags and codes.
+    pub header: Header,
+    /// Question section.
+    pub questions: Vec<Question>,
+    /// Answer section.
+    pub answers: Vec<Record>,
+    /// Authority section (SOA/NS records).
+    pub authorities: Vec<Record>,
+    /// Additional section (e.g. glue addresses).
+    pub additionals: Vec<Record>,
+}
+
+impl Message {
+    /// Build a standard recursive query for one question.
+    pub fn query(id: u16, name: Name, qtype: RecordType) -> Message {
+        Message {
+            header: Header::query(id),
+            questions: vec![Question::new(name, qtype)],
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        }
+    }
+
+    /// Start a response mirroring this query's id, question and RD bit.
+    pub fn response(&self) -> Message {
+        let mut h = self.header;
+        h.qr = true;
+        h.aa = false;
+        h.ra = false;
+        Message {
+            header: h,
+            questions: self.questions.clone(),
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        }
+    }
+
+    /// First question, if any.
+    pub fn question(&self) -> Option<&Question> {
+        self.questions.first()
+    }
+
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
+        let mut w = WireWriter::new();
+        w.put_u16(self.header.id)?;
+        w.put_u16(self.header.flags())?;
+        w.put_u16(self.questions.len() as u16)?;
+        w.put_u16(self.answers.len() as u16)?;
+        w.put_u16(self.authorities.len() as u16)?;
+        w.put_u16(self.additionals.len() as u16)?;
+        for q in &self.questions {
+            w.put_name(&q.name)?;
+            w.put_u16(q.qtype.code())?;
+            w.put_u16(q.qclass.code())?;
+        }
+        for r in self
+            .answers
+            .iter()
+            .chain(&self.authorities)
+            .chain(&self.additionals)
+        {
+            encode_record(&mut w, r)?;
+        }
+        Ok(w.into_bytes())
+    }
+
+    /// Decode from wire bytes; rejects trailing garbage.
+    pub fn decode(data: &[u8]) -> Result<Message, WireError> {
+        let mut r = WireReader::new(data);
+        let id = r.get_u16()?;
+        let flags = r.get_u16()?;
+        let header = Header::from_flags(id, flags);
+        let qd = r.get_u16()? as usize;
+        let an = r.get_u16()? as usize;
+        let ns = r.get_u16()? as usize;
+        let ar = r.get_u16()? as usize;
+        let mut questions = Vec::with_capacity(qd);
+        for _ in 0..qd {
+            let name = r.get_name()?;
+            let qtype = RecordType::from_code(r.get_u16()?);
+            let qclass = RecordClass::from_code(r.get_u16()?);
+            questions.push(Question {
+                name,
+                qtype,
+                qclass,
+            });
+        }
+        let mut sections = [
+            Vec::with_capacity(an),
+            Vec::with_capacity(ns),
+            Vec::with_capacity(ar),
+        ];
+        for (idx, count) in [an, ns, ar].into_iter().enumerate() {
+            for _ in 0..count {
+                sections[idx].push(decode_record(&mut r)?);
+            }
+        }
+        if r.remaining() != 0 {
+            return Err(WireError::TrailingBytes(r.remaining()));
+        }
+        let [answers, authorities, additionals] = sections;
+        Ok(Message {
+            header,
+            questions,
+            answers,
+            authorities,
+            additionals,
+        })
+    }
+}
+
+fn encode_record(w: &mut WireWriter, r: &Record) -> Result<(), WireError> {
+    w.put_name(&r.name)?;
+    w.put_u16(r.rtype().code())?;
+    w.put_u16(r.class.code())?;
+    w.put_u32(r.ttl)?;
+    let slot = w.reserve_u16()?;
+    let start = w.len();
+    match &r.rdata {
+        RData::A(a) => w.put_ipv4(*a)?,
+        RData::Aaaa(a) => w.put_ipv6(*a)?,
+        RData::Ns(n) | RData::Cname(n) | RData::Ptr(n) => w.put_name(n)?,
+        RData::Soa(s) => {
+            w.put_name(&s.mname)?;
+            w.put_name(&s.rname)?;
+            w.put_u32(s.serial)?;
+            w.put_u32(s.refresh)?;
+            w.put_u32(s.retry)?;
+            w.put_u32(s.expire)?;
+            w.put_u32(s.minimum)?;
+        }
+        RData::Mx {
+            preference,
+            exchange,
+        } => {
+            w.put_u16(*preference)?;
+            w.put_name(exchange)?;
+        }
+        RData::Txt(strings) => {
+            for s in strings {
+                w.put_char_string(s)?;
+            }
+        }
+        RData::Opaque { data, .. } => w.put_bytes(data)?,
+    }
+    let len = w.len() - start;
+    w.patch_u16(slot, len as u16);
+    Ok(())
+}
+
+fn decode_record(r: &mut WireReader<'_>) -> Result<Record, WireError> {
+    let name = r.get_name()?;
+    let rtype = RecordType::from_code(r.get_u16()?);
+    let class = RecordClass::from_code(r.get_u16()?);
+    let ttl = r.get_u32()?;
+    let rdlen = r.get_u16()? as usize;
+    let end = r.pos() + rdlen;
+    let rdata = match rtype {
+        RecordType::A => RData::A(r.get_ipv4()?),
+        RecordType::Aaaa => RData::Aaaa(r.get_ipv6()?),
+        RecordType::Ns => RData::Ns(r.get_name()?),
+        RecordType::Cname => RData::Cname(r.get_name()?),
+        RecordType::Ptr => RData::Ptr(r.get_name()?),
+        RecordType::Soa => RData::Soa(Soa {
+            mname: r.get_name()?,
+            rname: r.get_name()?,
+            serial: r.get_u32()?,
+            refresh: r.get_u32()?,
+            retry: r.get_u32()?,
+            expire: r.get_u32()?,
+            minimum: r.get_u32()?,
+        }),
+        RecordType::Mx => RData::Mx {
+            preference: r.get_u16()?,
+            exchange: r.get_name()?,
+        },
+        RecordType::Txt => {
+            let mut strings = Vec::new();
+            while r.pos() < end {
+                strings.push(r.get_char_string()?);
+            }
+            RData::Txt(strings)
+        }
+        other => RData::Opaque {
+            rtype: other.code(),
+            data: r.get_bytes(rdlen)?.to_vec(),
+        },
+    };
+    if r.pos() != end {
+        return Err(WireError::BadRdLength {
+            declared: rdlen as u16,
+            actual: r.pos().abs_diff(end - rdlen),
+        });
+    }
+    Ok(Record {
+        name,
+        class,
+        ttl,
+        rdata,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dns_name;
+    use std::net::Ipv4Addr;
+
+    fn sample_message() -> Message {
+        let mut m = Message::query(0x1234, dns_name!("example.com"), RecordType::Mx);
+        let mut resp = m.response();
+        resp.header.aa = true;
+        resp.answers.push(Record::new(
+            dns_name!("example.com"),
+            3600,
+            RData::Mx {
+                preference: 10,
+                exchange: dns_name!("mx1.provider.com"),
+            },
+        ));
+        resp.answers.push(Record::new(
+            dns_name!("example.com"),
+            3600,
+            RData::Mx {
+                preference: 20,
+                exchange: dns_name!("mx2.provider.com"),
+            },
+        ));
+        resp.additionals.push(Record::new(
+            dns_name!("mx1.provider.com"),
+            300,
+            RData::A(Ipv4Addr::new(192, 0, 2, 1)),
+        ));
+        m = resp;
+        m
+    }
+
+    #[test]
+    fn header_flags_roundtrip() {
+        let h = Header {
+            id: 7,
+            qr: true,
+            opcode: Opcode::Query,
+            aa: true,
+            tc: false,
+            rd: true,
+            ra: true,
+            rcode: Rcode::NxDomain,
+        };
+        let h2 = Header::from_flags(7, h.flags());
+        assert_eq!(h, h2);
+    }
+
+    #[test]
+    fn message_roundtrip() {
+        let m = sample_message();
+        let bytes = m.encode().unwrap();
+        let m2 = Message::decode(&bytes).unwrap();
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn compression_shrinks_encoding() {
+        let m = sample_message();
+        let bytes = m.encode().unwrap();
+        // Without compression "provider.com" and "example.com" would repeat.
+        // 3 answer/additional names + question name: generous bound check.
+        assert!(bytes.len() < 110, "got {} bytes", bytes.len());
+    }
+
+    #[test]
+    fn all_rdata_types_roundtrip() {
+        let records = vec![
+            Record::new(dns_name!("a.test"), 60, RData::A("1.2.3.4".parse().unwrap())),
+            Record::new(dns_name!("b.test"), 60, RData::Aaaa("2001:db8::1".parse().unwrap())),
+            Record::new(dns_name!("c.test"), 60, RData::Ns(dns_name!("ns1.test"))),
+            Record::new(dns_name!("d.test"), 60, RData::Cname(dns_name!("target.test"))),
+            Record::new(dns_name!("e.test"), 60, RData::Ptr(dns_name!("host.test"))),
+            Record::new(
+                dns_name!("f.test"),
+                60,
+                RData::Soa(Soa {
+                    mname: dns_name!("ns1.test"),
+                    rname: dns_name!("hostmaster.test"),
+                    serial: 2021060800,
+                    refresh: 7200,
+                    retry: 900,
+                    expire: 1209600,
+                    minimum: 300,
+                }),
+            ),
+            Record::new(
+                dns_name!("g.test"),
+                60,
+                RData::Mx {
+                    preference: 0,
+                    exchange: Name::root(),
+                },
+            ),
+            Record::new(
+                dns_name!("h.test"),
+                60,
+                RData::Txt(vec!["v=spf1 -all".into(), "second".into()]),
+            ),
+            Record::new(
+                dns_name!("i.test"),
+                60,
+                RData::Opaque {
+                    rtype: 99,
+                    data: vec![1, 2, 3, 4, 5],
+                },
+            ),
+        ];
+        let mut m = Message::query(1, dns_name!("test"), RecordType::Any);
+        m.header.qr = true;
+        m.answers = records;
+        let bytes = m.encode().unwrap();
+        let m2 = Message::decode(&bytes).unwrap();
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = sample_message().encode().unwrap();
+        bytes.push(0);
+        assert_eq!(
+            Message::decode(&bytes).unwrap_err(),
+            WireError::TrailingBytes(1)
+        );
+    }
+
+    #[test]
+    fn truncated_message_rejected() {
+        let bytes = sample_message().encode().unwrap();
+        for cut in [1, 5, 12, 20, bytes.len() - 1] {
+            assert!(Message::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn rcode_display() {
+        assert_eq!(Rcode::NxDomain.to_string(), "NXDOMAIN");
+        assert_eq!(Rcode::NoError.to_string(), "NOERROR");
+    }
+
+    #[test]
+    fn null_mx_encodes() {
+        // RFC 7505 null MX: preference 0, root exchange.
+        let mut m = Message::query(2, dns_name!("nomail.test"), RecordType::Mx);
+        m.header.qr = true;
+        m.answers.push(Record::new(
+            dns_name!("nomail.test"),
+            60,
+            RData::Mx {
+                preference: 0,
+                exchange: Name::root(),
+            },
+        ));
+        let bytes = m.encode().unwrap();
+        let m2 = Message::decode(&bytes).unwrap();
+        match &m2.answers[0].rdata {
+            RData::Mx {
+                preference,
+                exchange,
+            } => {
+                assert_eq!(*preference, 0);
+                assert!(exchange.is_root());
+            }
+            other => panic!("unexpected rdata {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! Domain names with RFC 1035 semantics.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum length of a single label, in bytes (RFC 1035 §2.3.4).
+pub const MAX_LABEL_LEN: usize = 63;
+/// Maximum length of a name on the wire, in bytes, including length octets
+/// and the root label (RFC 1035 §2.3.4).
+pub const MAX_NAME_LEN: usize = 255;
+
+/// Errors constructing a [`Name`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NameError {
+    /// A label was empty (e.g. `a..b`).
+    EmptyLabel,
+    /// A label exceeded [`MAX_LABEL_LEN`] bytes.
+    LabelTooLong(String),
+    /// The whole name exceeded [`MAX_NAME_LEN`] wire bytes.
+    NameTooLong,
+    /// A label contained a byte we do not accept (whitespace, control,
+    /// non-ASCII or a dot inside a label).
+    BadByte(u8),
+}
+
+impl fmt::Display for NameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NameError::EmptyLabel => write!(f, "empty label"),
+            NameError::LabelTooLong(l) => write!(f, "label too long: {l:?}"),
+            NameError::NameTooLong => write!(f, "name exceeds 255 wire bytes"),
+            NameError::BadByte(b) => write!(f, "invalid byte {b:#04x} in name"),
+        }
+    }
+}
+
+impl std::error::Error for NameError {}
+
+/// A fully-qualified domain name.
+///
+/// Labels are stored lower-cased (DNS comparisons are case-insensitive per
+/// RFC 4343) and without the trailing root dot; the root name has zero
+/// labels. `Name` implements `Ord` by the canonical right-to-left label
+/// order so that related names sort near each other.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Name {
+    labels: Vec<String>,
+}
+
+impl Name {
+    /// The root name (zero labels).
+    pub fn root() -> Self {
+        Name { labels: Vec::new() }
+    }
+
+    /// Parse a dotted name. Accepts an optional trailing dot; `"."` and `""`
+    /// both denote the root. Underscores and hyphens are accepted anywhere
+    /// (measurement reality: `_dmarc`, hosts with leading digits, etc.).
+    pub fn parse(s: &str) -> Result<Self, NameError> {
+        let s = s.strip_suffix('.').unwrap_or(s);
+        if s.is_empty() {
+            return Ok(Self::root());
+        }
+        let mut labels = Vec::new();
+        for raw in s.split('.') {
+            if raw.is_empty() {
+                return Err(NameError::EmptyLabel);
+            }
+            if raw.len() > MAX_LABEL_LEN {
+                return Err(NameError::LabelTooLong(raw.to_string()));
+            }
+            for &b in raw.as_bytes() {
+                let ok = b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'*';
+                if !ok {
+                    return Err(NameError::BadByte(b));
+                }
+            }
+            labels.push(raw.to_ascii_lowercase());
+        }
+        let name = Name { labels };
+        if name.wire_len() > MAX_NAME_LEN {
+            return Err(NameError::NameTooLong);
+        }
+        Ok(name)
+    }
+
+    /// Construct from pre-validated labels (used by the wire decoder).
+    pub(crate) fn from_labels(labels: Vec<String>) -> Result<Self, NameError> {
+        let name = Name { labels };
+        if name.wire_len() > MAX_NAME_LEN {
+            return Err(NameError::NameTooLong);
+        }
+        Ok(name)
+    }
+
+    /// The labels, left to right (`www`, `example`, `com`).
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Number of labels; 0 for the root.
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Is this the root name?
+    pub fn is_root(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Wire-format length in bytes (length octets + label bytes + root 0).
+    pub fn wire_len(&self) -> usize {
+        1 + self.labels.iter().map(|l| l.len() + 1).sum::<usize>()
+    }
+
+    /// The parent name (one label removed from the left); `None` at root.
+    pub fn parent(&self) -> Option<Name> {
+        if self.labels.is_empty() {
+            None
+        } else {
+            Some(Name {
+                labels: self.labels[1..].to_vec(),
+            })
+        }
+    }
+
+    /// Prepend `label`, returning the child name.
+    pub fn child(&self, label: &str) -> Result<Name, NameError> {
+        let mut labels = Vec::with_capacity(self.labels.len() + 1);
+        let l = label.to_ascii_lowercase();
+        if l.is_empty() {
+            return Err(NameError::EmptyLabel);
+        }
+        if l.len() > MAX_LABEL_LEN {
+            return Err(NameError::LabelTooLong(l));
+        }
+        labels.push(l);
+        labels.extend_from_slice(&self.labels);
+        Self::from_labels(labels)
+    }
+
+    /// Join two names: `self` becomes the leftmost part (`mail` + `foo.com`
+    /// = `mail.foo.com`).
+    pub fn join(&self, suffix: &Name) -> Result<Name, NameError> {
+        let mut labels = self.labels.clone();
+        labels.extend_from_slice(&suffix.labels);
+        Self::from_labels(labels)
+    }
+
+    /// True if `self` equals `other` or is a descendant of it. The root is
+    /// an ancestor of everything.
+    pub fn is_subdomain_of(&self, other: &Name) -> bool {
+        if other.labels.len() > self.labels.len() {
+            return false;
+        }
+        self.labels
+            .iter()
+            .rev()
+            .zip(other.labels.iter().rev())
+            .all(|(a, b)| a == b)
+    }
+
+    /// Strict-descendant test: subdomain but not equal.
+    pub fn is_strict_subdomain_of(&self, other: &Name) -> bool {
+        self.labels.len() > other.labels.len() && self.is_subdomain_of(other)
+    }
+
+    /// The leftmost label, if any.
+    pub fn first_label(&self) -> Option<&str> {
+        self.labels.first().map(|s| s.as_str())
+    }
+
+    /// Replace the leftmost label with `*` (used for wildcard synthesis).
+    pub fn to_wildcard(&self) -> Option<Name> {
+        self.parent().and_then(|p| p.child("*").ok())
+    }
+
+    /// Is the leftmost label `*`?
+    pub fn is_wildcard(&self) -> bool {
+        self.first_label() == Some("*")
+    }
+
+    /// Dotted string without trailing dot; `.` for the root.
+    pub fn to_dotted(&self) -> String {
+        if self.labels.is_empty() {
+            ".".to_string()
+        } else {
+            self.labels.join(".")
+        }
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_dotted())
+    }
+}
+
+impl FromStr for Name {
+    type Err = NameError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Name::parse(s)
+    }
+}
+
+impl Ord for Name {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Canonical DNS order: compare labels right to left.
+        self.labels
+            .iter()
+            .rev()
+            .cmp(other.labels.iter().rev())
+    }
+}
+
+impl PartialOrd for Name {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Convenience: `name!("example.com")`-style construction in tests and
+/// generators; panics on invalid input.
+#[macro_export]
+macro_rules! dns_name {
+    ($s:expr) => {
+        $crate::Name::parse($s).expect("valid DNS name literal")
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        let n = Name::parse("WWW.Example.COM.").unwrap();
+        assert_eq!(n.to_string(), "www.example.com");
+        assert_eq!(n.label_count(), 3);
+        assert_eq!(Name::parse(".").unwrap(), Name::root());
+        assert_eq!(Name::root().to_string(), ".");
+    }
+
+    #[test]
+    fn rejects_bad_names() {
+        assert_eq!(Name::parse("a..b"), Err(NameError::EmptyLabel));
+        assert!(matches!(
+            Name::parse(&format!("{}.com", "x".repeat(64))),
+            Err(NameError::LabelTooLong(_))
+        ));
+        assert!(matches!(Name::parse("a b.com"), Err(NameError::BadByte(_))));
+        let long = vec!["abcdefgh"; 32].join("."); // 32*9 + 1 > 255
+        assert_eq!(Name::parse(&long), Err(NameError::NameTooLong));
+    }
+
+    #[test]
+    fn case_insensitive_eq() {
+        assert_eq!(
+            Name::parse("MX.Google.COM").unwrap(),
+            Name::parse("mx.google.com").unwrap()
+        );
+    }
+
+    #[test]
+    fn hierarchy() {
+        let n = dns_name!("mail.example.com");
+        assert_eq!(n.parent().unwrap(), dns_name!("example.com"));
+        assert!(n.is_subdomain_of(&dns_name!("example.com")));
+        assert!(n.is_subdomain_of(&dns_name!("com")));
+        assert!(n.is_subdomain_of(&Name::root()));
+        assert!(n.is_subdomain_of(&n));
+        assert!(!n.is_strict_subdomain_of(&n));
+        assert!(!dns_name!("example.com").is_subdomain_of(&n));
+        assert!(!dns_name!("badexample.com").is_subdomain_of(&dns_name!("example.com")));
+    }
+
+    #[test]
+    fn child_and_join() {
+        let base = dns_name!("example.com");
+        assert_eq!(base.child("mx1").unwrap(), dns_name!("mx1.example.com"));
+        assert_eq!(
+            dns_name!("a.b").join(&dns_name!("c.d")).unwrap(),
+            dns_name!("a.b.c.d")
+        );
+    }
+
+    #[test]
+    fn wildcards() {
+        let n = dns_name!("host.example.com");
+        assert_eq!(n.to_wildcard().unwrap(), dns_name!("*.example.com"));
+        assert!(dns_name!("*.example.com").is_wildcard());
+        assert!(!n.is_wildcard());
+    }
+
+    #[test]
+    fn ordering_groups_siblings() {
+        let mut v = vec![
+            dns_name!("b.example.com"),
+            dns_name!("example.org"),
+            dns_name!("a.example.com"),
+            dns_name!("example.com"),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                dns_name!("example.com"),
+                dns_name!("a.example.com"),
+                dns_name!("b.example.com"),
+                dns_name!("example.org"),
+            ]
+        );
+    }
+
+    #[test]
+    fn wire_len() {
+        assert_eq!(Name::root().wire_len(), 1);
+        assert_eq!(dns_name!("com").wire_len(), 5);
+        assert_eq!(dns_name!("example.com").wire_len(), 13);
+    }
+}

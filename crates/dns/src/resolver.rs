@@ -1,0 +1,541 @@
+//! A caching stub resolver and the MX-resolution convenience used by the
+//! OpenINTEL-style measurement layer.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use crate::clock::SimClock;
+use crate::message::{Message, Rcode};
+use crate::name::Name;
+use crate::rr::{RData, Record, RecordType};
+
+/// How a resolution attempt failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolveError {
+    /// The name does not exist (NXDOMAIN), possibly cached.
+    NxDomain(Name),
+    /// Transport-level failure (server unreachable, malformed reply).
+    Network(String),
+    /// The server answered with an error rcode other than NXDOMAIN.
+    ServerFailure(Rcode),
+    /// A CNAME chain exceeded the hop budget.
+    CnameChainTooLong(Name),
+}
+
+impl fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResolveError::NxDomain(n) => write!(f, "NXDOMAIN for {n}"),
+            ResolveError::Network(e) => write!(f, "network error: {e}"),
+            ResolveError::ServerFailure(rc) => write!(f, "server failure: {rc}"),
+            ResolveError::CnameChainTooLong(n) => write!(f, "CNAME chain too long at {n}"),
+        }
+    }
+}
+
+impl std::error::Error for ResolveError {}
+
+/// Abstract query transport: `mx-net` implements this over the simulated
+/// Internet; tests implement it with an in-process [`crate::Authority`].
+pub trait Transport {
+    /// Send `query` to `server` and return its response.
+    fn query(&self, server: Ipv4Addr, query: &Message) -> Result<Message, ResolveError>;
+}
+
+impl<T: Transport + ?Sized> Transport for &T {
+    fn query(&self, server: Ipv4Addr, query: &Message) -> Result<Message, ResolveError> {
+        (**self).query(server, query)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum CacheEntry {
+    Positive { records: Vec<Record>, expires: u64 },
+    Negative { rcode: Rcode, expires: u64 },
+}
+
+/// One MX target after full resolution: preference, exchange name and the
+/// IPv4 addresses the exchange resolves to (empty when resolution failed —
+/// the paper's "No MX IP" bucket in Table 4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MxTarget {
+    /// MX preference (lowest wins).
+    pub preference: u16,
+    /// The exchange hostname from the MX record.
+    pub exchange: Name,
+    /// IPv4 addresses the exchange resolved to.
+    pub addrs: Vec<Ipv4Addr>,
+}
+
+/// Result of resolving a domain's mail setup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MxResolution {
+    /// The domain whose mail setup was resolved.
+    pub domain: Name,
+    /// Sorted by (preference, exchange).
+    pub targets: Vec<MxTarget>,
+    /// RFC 7505 null MX (`0 .`) published — domain explicitly receives no
+    /// mail.
+    pub null_mx: bool,
+}
+
+impl MxResolution {
+    /// Targets sharing the lowest (most preferred) preference value — the
+    /// paper's "primary MX record(s)" used for provider attribution.
+    pub fn primary_targets(&self) -> &[MxTarget] {
+        let Some(best) = self.targets.first().map(|t| t.preference) else {
+            return &[];
+        };
+        let end = self
+            .targets
+            .iter()
+            .position(|t| t.preference != best)
+            .unwrap_or(self.targets.len());
+        &self.targets[..end]
+    }
+
+    /// True when no usable MX target exists.
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+}
+
+/// A caching stub resolver.
+///
+/// * positive answers cached per (name, type) until the smallest record TTL
+///   expires;
+/// * NXDOMAIN / NODATA cached per RFC 2308 using the SOA negative TTL when
+///   the server provided one;
+/// * CNAME chains chased across queries with a hop budget;
+/// * deterministic transaction ids (a simple counter) so simulations are
+///   reproducible.
+pub struct StubResolver<T: Transport> {
+    transport: T,
+    server: Ipv4Addr,
+    clock: SimClock,
+    cache: RefCell<HashMap<(Name, RecordType), CacheEntry>>,
+    next_id: RefCell<u16>,
+    stats: RefCell<ResolverStats>,
+}
+
+/// Counters exposed for tests and reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResolverStats {
+    /// Queries that went to the transport.
+    pub queries_sent: u64,
+    /// Answers served from the positive cache.
+    pub cache_hits: u64,
+    /// Answers served from the negative cache.
+    pub negative_hits: u64,
+}
+
+impl<T: Transport> StubResolver<T> {
+    /// Create a resolver speaking to `server` via `transport`.
+    pub fn new(transport: T, server: Ipv4Addr, clock: SimClock) -> Self {
+        StubResolver {
+            transport,
+            server,
+            clock,
+            cache: RefCell::new(HashMap::new()),
+            next_id: RefCell::new(1),
+            stats: RefCell::new(ResolverStats::default()),
+        }
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> ResolverStats {
+        *self.stats.borrow()
+    }
+
+    /// Drop all cached entries.
+    pub fn flush_cache(&self) {
+        self.cache.borrow_mut().clear();
+    }
+
+    fn fresh_id(&self) -> u16 {
+        let mut id = self.next_id.borrow_mut();
+        let v = *id;
+        *id = id.wrapping_add(1).max(1);
+        v
+    }
+
+    /// Resolve (name, rtype) to the matching records, following CNAMEs.
+    pub fn resolve(&self, name: &Name, rtype: RecordType) -> Result<Vec<Record>, ResolveError> {
+        let mut current = name.clone();
+        let mut out: Vec<Record> = Vec::new();
+        for _hop in 0..12 {
+            let records = self.resolve_one(&current, rtype)?;
+            // Partition into target-type records and CNAMEs for `current`.
+            let mut next: Option<Name> = None;
+            for r in records {
+                match &r.rdata {
+                    RData::Cname(t) if r.rtype() != rtype
+                        && r.name == current => {
+                            next = Some(t.clone());
+                        }
+                    _ if rtype == RecordType::Any
+                        || (r.rtype() == rtype && r.name == current) => {
+                            out.push(r);
+                        }
+                    _ => {}
+                }
+            }
+            if !out.is_empty() {
+                return Ok(out);
+            }
+            match next {
+                Some(t) => current = t,
+                None => return Ok(out), // NODATA
+            }
+        }
+        Err(ResolveError::CnameChainTooLong(name.clone()))
+    }
+
+    /// One cache-aware query without cross-query CNAME chasing. Returns all
+    /// answer-section records (which may include in-zone CNAME chains).
+    fn resolve_one(
+        &self,
+        name: &Name,
+        rtype: RecordType,
+    ) -> Result<Vec<Record>, ResolveError> {
+        let key = (name.clone(), rtype);
+        let now = self.clock.now().secs();
+        if let Some(entry) = self.cache.borrow().get(&key) {
+            match entry {
+                CacheEntry::Positive { records, expires } if *expires > now => {
+                    self.stats.borrow_mut().cache_hits += 1;
+                    return Ok(records.clone());
+                }
+                CacheEntry::Negative { rcode, expires } if *expires > now => {
+                    self.stats.borrow_mut().negative_hits += 1;
+                    return match rcode {
+                        Rcode::NxDomain => Err(ResolveError::NxDomain(name.clone())),
+                        _ => Ok(Vec::new()), // cached NODATA
+                    };
+                }
+                _ => {}
+            }
+        }
+        let query = Message::query(self.fresh_id(), name.clone(), rtype);
+        self.stats.borrow_mut().queries_sent += 1;
+        let resp = self.transport.query(self.server, &query)?;
+        if resp.header.id != query.header.id {
+            return Err(ResolveError::Network("transaction id mismatch".into()));
+        }
+        match resp.header.rcode {
+            Rcode::NoError => {}
+            Rcode::NxDomain => {
+                let ttl = negative_ttl(&resp).unwrap_or(300);
+                self.cache.borrow_mut().insert(
+                    key,
+                    CacheEntry::Negative {
+                        rcode: Rcode::NxDomain,
+                        expires: now + ttl as u64,
+                    },
+                );
+                return Err(ResolveError::NxDomain(name.clone()));
+            }
+            rc => return Err(ResolveError::ServerFailure(rc)),
+        }
+        let records = resp.answers.clone();
+        if records.is_empty() {
+            let ttl = negative_ttl(&resp).unwrap_or(300);
+            self.cache.borrow_mut().insert(
+                key,
+                CacheEntry::Negative {
+                    rcode: Rcode::NoError,
+                    expires: now + ttl as u64,
+                },
+            );
+            return Ok(Vec::new());
+        }
+        let min_ttl = records.iter().map(|r| r.ttl).min().unwrap_or(0).max(1);
+        self.cache.borrow_mut().insert(
+            key,
+            CacheEntry::Positive {
+                records: records.clone(),
+                expires: now + min_ttl as u64,
+            },
+        );
+        Ok(records)
+    }
+
+    /// Resolve A records for `name`, following CNAMEs.
+    pub fn resolve_a(&self, name: &Name) -> Result<Vec<Ipv4Addr>, ResolveError> {
+        let rs = self.resolve(name, RecordType::A)?;
+        Ok(rs
+            .iter()
+            .filter_map(|r| match r.rdata {
+                RData::A(a) => Some(a),
+                _ => None,
+            })
+            .collect())
+    }
+
+    /// The full MX resolution for a domain: fetch MX records, then resolve
+    /// each exchange's A records. Per-exchange failures yield empty `addrs`
+    /// rather than failing the whole resolution (matching how OpenINTEL
+    /// records partial data).
+    pub fn resolve_mx(&self, domain: &Name) -> Result<MxResolution, ResolveError> {
+        let records = self.resolve(domain, RecordType::Mx)?;
+        let mut targets: Vec<MxTarget> = Vec::new();
+        let mut null_mx = false;
+        for r in &records {
+            if let RData::Mx {
+                preference,
+                exchange,
+            } = &r.rdata
+            {
+                if exchange.is_root() {
+                    null_mx = true;
+                    continue;
+                }
+                let addrs = self.resolve_a(exchange).unwrap_or_default();
+                targets.push(MxTarget {
+                    preference: *preference,
+                    exchange: exchange.clone(),
+                    addrs,
+                });
+            }
+        }
+        targets.sort_by(|a, b| {
+            a.preference
+                .cmp(&b.preference)
+                .then_with(|| a.exchange.cmp(&b.exchange))
+        });
+        Ok(MxResolution {
+            domain: domain.clone(),
+            targets,
+            null_mx,
+        })
+    }
+}
+
+/// Extract the RFC 2308 negative TTL from a response's SOA, if present.
+fn negative_ttl(resp: &Message) -> Option<u32> {
+    resp.authorities.iter().find_map(|r| match &r.rdata {
+        RData::Soa(soa) => Some(r.ttl.min(soa.minimum)),
+        _ => None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dns_name;
+    use crate::server::Authority;
+    use crate::zone::Zone;
+    use std::cell::Cell;
+
+    /// In-process transport over an Authority, with a query counter.
+    struct Direct<'a> {
+        auth: &'a Authority,
+        calls: Cell<u64>,
+    }
+
+    impl Transport for Direct<'_> {
+        fn query(&self, _server: Ipv4Addr, q: &Message) -> Result<Message, ResolveError> {
+            self.calls.set(self.calls.get() + 1);
+            Ok(self.auth.answer(q))
+        }
+    }
+
+    fn world() -> Authority {
+        let mut a = Authority::new();
+        let mut z = Zone::new(dns_name!("example.com"));
+        z.add_rr(
+            dns_name!("example.com"),
+            3600,
+            RData::Mx {
+                preference: 10,
+                exchange: dns_name!("mx1.provider.net"),
+            },
+        );
+        z.add_rr(
+            dns_name!("example.com"),
+            3600,
+            RData::Mx {
+                preference: 20,
+                exchange: dns_name!("backup.example.com"),
+            },
+        );
+        z.add_rr(
+            dns_name!("backup.example.com"),
+            300,
+            RData::A("192.0.2.2".parse().unwrap()),
+        );
+        z.add_rr(
+            dns_name!("www.example.com"),
+            300,
+            RData::Cname(dns_name!("cdn.provider.net")),
+        );
+        a.add_zone(z);
+        let mut p = Zone::new(dns_name!("provider.net"));
+        p.add_rr(
+            dns_name!("mx1.provider.net"),
+            300,
+            RData::A("198.51.100.25".parse().unwrap()),
+        );
+        p.add_rr(
+            dns_name!("cdn.provider.net"),
+            300,
+            RData::A("198.51.100.80".parse().unwrap()),
+        );
+        a.add_zone(p);
+        let mut n = Zone::new(dns_name!("nullmx.test"));
+        n.add_rr(
+            dns_name!("nullmx.test"),
+            300,
+            RData::Mx {
+                preference: 0,
+                exchange: Name::root(),
+            },
+        );
+        a.add_zone(n);
+        a
+    }
+
+    fn resolver<'a>(auth: &'a Authority, clock: SimClock) -> StubResolver<Direct<'a>> {
+        StubResolver::new(
+            Direct {
+                auth,
+                calls: Cell::new(0),
+            },
+            Ipv4Addr::new(10, 0, 0, 53),
+            clock,
+        )
+    }
+
+    #[test]
+    fn resolve_mx_full() {
+        let auth = world();
+        let r = resolver(&auth, SimClock::new());
+        let mx = r.resolve_mx(&dns_name!("example.com")).unwrap();
+        assert_eq!(mx.targets.len(), 2);
+        assert_eq!(mx.targets[0].exchange, dns_name!("mx1.provider.net"));
+        assert_eq!(
+            mx.targets[0].addrs,
+            vec!["198.51.100.25".parse::<Ipv4Addr>().unwrap()]
+        );
+        assert_eq!(mx.primary_targets().len(), 1);
+        assert!(!mx.null_mx);
+    }
+
+    #[test]
+    fn cross_zone_cname_chase() {
+        let auth = world();
+        let r = resolver(&auth, SimClock::new());
+        let addrs = r.resolve_a(&dns_name!("www.example.com")).unwrap();
+        assert_eq!(addrs, vec!["198.51.100.80".parse::<Ipv4Addr>().unwrap()]);
+    }
+
+    #[test]
+    fn positive_cache_hits() {
+        let auth = world();
+        let clock = SimClock::new();
+        let r = resolver(&auth, clock.clone());
+        r.resolve_a(&dns_name!("mx1.provider.net")).unwrap();
+        r.resolve_a(&dns_name!("mx1.provider.net")).unwrap();
+        let s = r.stats();
+        assert_eq!(s.queries_sent, 1);
+        assert_eq!(s.cache_hits, 1);
+    }
+
+    #[test]
+    fn cache_expires_with_clock() {
+        let auth = world();
+        let clock = SimClock::new();
+        let r = resolver(&auth, clock.clone());
+        r.resolve_a(&dns_name!("mx1.provider.net")).unwrap();
+        clock.advance_secs(301); // ttl is 300
+        r.resolve_a(&dns_name!("mx1.provider.net")).unwrap();
+        assert_eq!(r.stats().queries_sent, 2);
+    }
+
+    #[test]
+    fn negative_cache() {
+        let auth = world();
+        let r = resolver(&auth, SimClock::new());
+        let e = r.resolve_a(&dns_name!("missing.example.com")).unwrap_err();
+        assert!(matches!(e, ResolveError::NxDomain(_)));
+        let e = r.resolve_a(&dns_name!("missing.example.com")).unwrap_err();
+        assert!(matches!(e, ResolveError::NxDomain(_)));
+        let s = r.stats();
+        assert_eq!(s.queries_sent, 1);
+        assert_eq!(s.negative_hits, 1);
+    }
+
+    #[test]
+    fn nodata_is_empty_not_error() {
+        let auth = world();
+        let r = resolver(&auth, SimClock::new());
+        let rs = r.resolve(&dns_name!("backup.example.com"), RecordType::Mx).unwrap();
+        assert!(rs.is_empty());
+    }
+
+    #[test]
+    fn null_mx_detected() {
+        let auth = world();
+        let r = resolver(&auth, SimClock::new());
+        let mx = r.resolve_mx(&dns_name!("nullmx.test")).unwrap();
+        assert!(mx.null_mx);
+        assert!(mx.is_empty());
+        assert!(mx.primary_targets().is_empty());
+    }
+
+    #[test]
+    fn primary_targets_split_same_preference() {
+        let mut auth = Authority::new();
+        let mut z = Zone::new(dns_name!("multi.test"));
+        for ex in ["mx-a.multi.test", "mx-b.multi.test", "mx-c.multi.test"] {
+            z.add_rr(
+                dns_name!("multi.test"),
+                300,
+                RData::Mx {
+                    preference: 10,
+                    exchange: dns_name!(ex),
+                },
+            );
+            z.add_rr(dns_name!(ex), 300, RData::A("192.0.2.9".parse().unwrap()));
+        }
+        z.add_rr(
+            dns_name!("multi.test"),
+            300,
+            RData::Mx {
+                preference: 20,
+                exchange: dns_name!("mx-backup.multi.test"),
+            },
+        );
+        z.add_rr(
+            dns_name!("mx-backup.multi.test"),
+            300,
+            RData::A("192.0.2.10".parse().unwrap()),
+        );
+        auth.add_zone(z);
+        let r = resolver(&auth, SimClock::new());
+        let mx = r.resolve_mx(&dns_name!("multi.test")).unwrap();
+        assert_eq!(mx.targets.len(), 4);
+        assert_eq!(mx.primary_targets().len(), 3);
+    }
+
+    #[test]
+    fn missing_exchange_yields_empty_addrs() {
+        let mut auth = Authority::new();
+        let mut z = Zone::new(dns_name!("dangling.test"));
+        z.add_rr(
+            dns_name!("dangling.test"),
+            300,
+            RData::Mx {
+                preference: 10,
+                exchange: dns_name!("gone.dangling.test"),
+            },
+        );
+        auth.add_zone(z);
+        let r = resolver(&auth, SimClock::new());
+        let mx = r.resolve_mx(&dns_name!("dangling.test")).unwrap();
+        assert_eq!(mx.targets.len(), 1);
+        assert!(mx.targets[0].addrs.is_empty(), "dangling MX: no addresses");
+    }
+}

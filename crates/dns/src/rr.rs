@@ -1,0 +1,319 @@
+//! Resource records: types, classes and RDATA.
+
+use std::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+use serde::{Deserialize, Serialize};
+
+use crate::name::Name;
+
+/// DNS record types (the subset the measurement needs, plus QTYPEs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RecordType {
+    /// IPv4 host address (RFC 1035).
+    A,
+    /// Authoritative name server.
+    Ns,
+    /// Canonical-name alias.
+    Cname,
+    /// Start of authority.
+    Soa,
+    /// Pointer (reverse mapping).
+    Ptr,
+    /// Mail exchanger — the record this whole study revolves around.
+    Mx,
+    /// Text strings (SPF policies live here).
+    Txt,
+    /// IPv6 host address (RFC 3596).
+    Aaaa,
+    /// QTYPE `*` (ANY).
+    Any,
+    /// Anything else, carried numerically so unknown records survive a
+    /// decode/encode round trip.
+    Other(u16),
+}
+
+impl RecordType {
+    /// Numeric type code (RFC 1035 / 3596).
+    pub fn code(self) -> u16 {
+        match self {
+            RecordType::A => 1,
+            RecordType::Ns => 2,
+            RecordType::Cname => 5,
+            RecordType::Soa => 6,
+            RecordType::Ptr => 12,
+            RecordType::Mx => 15,
+            RecordType::Txt => 16,
+            RecordType::Aaaa => 28,
+            RecordType::Any => 255,
+            RecordType::Other(c) => c,
+        }
+    }
+
+    /// From a numeric code.
+    pub fn from_code(code: u16) -> RecordType {
+        match code {
+            1 => RecordType::A,
+            2 => RecordType::Ns,
+            5 => RecordType::Cname,
+            6 => RecordType::Soa,
+            12 => RecordType::Ptr,
+            15 => RecordType::Mx,
+            16 => RecordType::Txt,
+            28 => RecordType::Aaaa,
+            255 => RecordType::Any,
+            c => RecordType::Other(c),
+        }
+    }
+}
+
+impl fmt::Display for RecordType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordType::A => write!(f, "A"),
+            RecordType::Ns => write!(f, "NS"),
+            RecordType::Cname => write!(f, "CNAME"),
+            RecordType::Soa => write!(f, "SOA"),
+            RecordType::Ptr => write!(f, "PTR"),
+            RecordType::Mx => write!(f, "MX"),
+            RecordType::Txt => write!(f, "TXT"),
+            RecordType::Aaaa => write!(f, "AAAA"),
+            RecordType::Any => write!(f, "ANY"),
+            RecordType::Other(c) => write!(f, "TYPE{c}"),
+        }
+    }
+}
+
+/// DNS classes. Only `IN` matters here; others are carried numerically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RecordClass {
+    /// The Internet class (the only one in practical use).
+    In,
+    /// QCLASS `*`.
+    Any,
+    /// Any other class, carried numerically.
+    Other(u16),
+}
+
+impl RecordClass {
+    /// Numeric class code.
+    pub fn code(self) -> u16 {
+        match self {
+            RecordClass::In => 1,
+            RecordClass::Any => 255,
+            RecordClass::Other(c) => c,
+        }
+    }
+
+    /// Decode a numeric class code.
+    pub fn from_code(code: u16) -> RecordClass {
+        match code {
+            1 => RecordClass::In,
+            255 => RecordClass::Any,
+            c => RecordClass::Other(c),
+        }
+    }
+}
+
+/// Start-of-authority data.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Soa {
+    /// Primary master server name.
+    pub mname: Name,
+    /// Responsible mailbox, encoded as a name.
+    pub rname: Name,
+    /// Zone version.
+    pub serial: u32,
+    /// Secondary refresh interval (seconds).
+    pub refresh: u32,
+    /// Retry interval after a failed refresh (seconds).
+    pub retry: u32,
+    /// When secondaries discard the zone (seconds).
+    pub expire: u32,
+    /// Minimum TTL; also the negative-caching TTL (RFC 2308).
+    pub minimum: u32,
+}
+
+/// Typed RDATA.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RData {
+    /// IPv4 address.
+    A(Ipv4Addr),
+    /// IPv6 address.
+    Aaaa(Ipv6Addr),
+    /// Name-server target.
+    Ns(Name),
+    /// Alias target.
+    Cname(Name),
+    /// Reverse-mapping target.
+    Ptr(Name),
+    /// Start-of-authority data.
+    Soa(Soa),
+    /// Mail exchanger: lower preference = higher priority; the root name
+    /// with preference 0 is the RFC 7505 null MX.
+    Mx {
+        /// Preference value (lowest wins).
+        preference: u16,
+        /// The receiving MTA's hostname.
+        exchange: Name,
+    },
+    /// One or more character strings, each at most 255 bytes.
+    Txt(Vec<String>),
+    /// Unknown type, raw bytes.
+    Opaque {
+        /// Numeric record type.
+        rtype: u16,
+        /// Raw RDATA bytes.
+        data: Vec<u8>,
+    },
+}
+
+impl RData {
+    /// The record type this RDATA belongs to.
+    pub fn rtype(&self) -> RecordType {
+        match self {
+            RData::A(_) => RecordType::A,
+            RData::Aaaa(_) => RecordType::Aaaa,
+            RData::Ns(_) => RecordType::Ns,
+            RData::Cname(_) => RecordType::Cname,
+            RData::Ptr(_) => RecordType::Ptr,
+            RData::Soa(_) => RecordType::Soa,
+            RData::Mx { .. } => RecordType::Mx,
+            RData::Txt(_) => RecordType::Txt,
+            RData::Opaque { rtype, .. } => RecordType::from_code(*rtype),
+        }
+    }
+}
+
+impl fmt::Display for RData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RData::A(a) => write!(f, "{a}"),
+            RData::Aaaa(a) => write!(f, "{a}"),
+            RData::Ns(n) => write!(f, "{n}"),
+            RData::Cname(n) => write!(f, "{n}"),
+            RData::Ptr(n) => write!(f, "{n}"),
+            RData::Soa(s) => write!(
+                f,
+                "{} {} {} {} {} {} {}",
+                s.mname, s.rname, s.serial, s.refresh, s.retry, s.expire, s.minimum
+            ),
+            RData::Mx {
+                preference,
+                exchange,
+            } => write!(f, "{preference} {exchange}"),
+            RData::Txt(strings) => {
+                let quoted: Vec<String> = strings.iter().map(|s| format!("{s:?}")).collect();
+                write!(f, "{}", quoted.join(" "))
+            }
+            RData::Opaque { rtype, data } => write!(f, "\\# TYPE{} {} bytes", rtype, data.len()),
+        }
+    }
+}
+
+/// A full resource record.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Record {
+    /// Owner name.
+    pub name: Name,
+    /// Record class (almost always `IN`).
+    pub class: RecordClass,
+    /// Time to live, seconds.
+    pub ttl: u32,
+    /// Typed record data.
+    pub rdata: RData,
+}
+
+impl Record {
+    /// Convenience constructor for class-IN records.
+    pub fn new(name: Name, ttl: u32, rdata: RData) -> Record {
+        Record {
+            name,
+            class: RecordClass::In,
+            ttl,
+            rdata,
+        }
+    }
+
+    /// The record's type.
+    pub fn rtype(&self) -> RecordType {
+        self.rdata.rtype()
+    }
+}
+
+impl fmt::Display for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} IN {} {}",
+            self.name,
+            self.ttl,
+            self.rtype(),
+            self.rdata
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dns_name;
+
+    #[test]
+    fn type_codes_roundtrip() {
+        for t in [
+            RecordType::A,
+            RecordType::Ns,
+            RecordType::Cname,
+            RecordType::Soa,
+            RecordType::Ptr,
+            RecordType::Mx,
+            RecordType::Txt,
+            RecordType::Aaaa,
+            RecordType::Any,
+            RecordType::Other(999),
+        ] {
+            assert_eq!(RecordType::from_code(t.code()), t);
+        }
+        // Known types decode to the named variant, not Other.
+        assert_eq!(RecordType::from_code(15), RecordType::Mx);
+    }
+
+    #[test]
+    fn class_codes_roundtrip() {
+        for c in [RecordClass::In, RecordClass::Any, RecordClass::Other(4)] {
+            assert_eq!(RecordClass::from_code(c.code()), c);
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        let r = Record::new(
+            dns_name!("example.com"),
+            3600,
+            RData::Mx {
+                preference: 10,
+                exchange: dns_name!("aspmx.l.google.com"),
+            },
+        );
+        assert_eq!(r.to_string(), "example.com 3600 IN MX 10 aspmx.l.google.com");
+        let a = Record::new(dns_name!("mx.foo.com"), 60, RData::A("1.2.3.4".parse().unwrap()));
+        assert_eq!(a.to_string(), "mx.foo.com 60 IN A 1.2.3.4");
+    }
+
+    #[test]
+    fn rdata_type_mapping() {
+        assert_eq!(
+            RData::Txt(vec!["v=spf1".into()]).rtype(),
+            RecordType::Txt
+        );
+        assert_eq!(
+            RData::Opaque {
+                rtype: 99,
+                data: vec![1, 2]
+            }
+            .rtype(),
+            RecordType::Other(99)
+        );
+    }
+}

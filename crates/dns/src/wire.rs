@@ -1,0 +1,479 @@
+//! DNS wire-format primitives: a cursor-based reader and writer with RFC
+//! 1035 §4.1.4 name compression on both paths.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+use crate::name::{Name, NameError, MAX_LABEL_LEN};
+
+/// Hard cap on a DNS message we will produce or accept. Generous enough for
+/// any simulated response while still bounding memory.
+pub const MAX_MESSAGE_LEN: usize = 16 * 1024;
+
+/// Errors while encoding or decoding wire data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Read past the end of the buffer.
+    Truncated,
+    /// A compression pointer pointed forward or formed a loop.
+    BadPointer,
+    /// A label length octet used the reserved 0b10/0b01 prefixes.
+    BadLabelLength(u8),
+    /// Name-level validation failed (too long, bad bytes).
+    BadName(NameError),
+    /// RDLENGTH disagreed with the actual RDATA encoding.
+    BadRdLength {
+        /// The RDLENGTH value from the wire.
+        declared: u16,
+        /// Bytes the RDATA decode actually consumed.
+        actual: usize,
+    },
+    /// A TXT character-string exceeded 255 bytes.
+    StringTooLong(usize),
+    /// Message exceeded [`MAX_MESSAGE_LEN`] while encoding.
+    MessageTooLong,
+    /// Trailing bytes after a complete message (strict decode).
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated message"),
+            WireError::BadPointer => write!(f, "bad compression pointer"),
+            WireError::BadLabelLength(b) => write!(f, "reserved label length {b:#04x}"),
+            WireError::BadName(e) => write!(f, "invalid name: {e}"),
+            WireError::BadRdLength { declared, actual } => {
+                write!(f, "RDLENGTH {declared} != actual {actual}")
+            }
+            WireError::StringTooLong(n) => write!(f, "character-string of {n} bytes"),
+            WireError::MessageTooLong => write!(f, "message exceeds {MAX_MESSAGE_LEN} bytes"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<NameError> for WireError {
+    fn from(e: NameError) -> Self {
+        WireError::BadName(e)
+    }
+}
+
+/// Wire writer with name compression.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+    /// Suffix (as dotted string) -> offset of its first occurrence.
+    compress: HashMap<String, u16>,
+}
+
+impl WireWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current length of the encoded buffer.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consume the writer, returning the bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    fn check_len(&self) -> Result<(), WireError> {
+        if self.buf.len() > MAX_MESSAGE_LEN {
+            Err(WireError::MessageTooLong)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) -> Result<(), WireError> {
+        self.buf.push(v);
+        self.check_len()
+    }
+
+    /// Append a big-endian u16.
+    pub fn put_u16(&mut self, v: u16) -> Result<(), WireError> {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self.check_len()
+    }
+
+    /// Append a big-endian u32.
+    pub fn put_u32(&mut self, v: u32) -> Result<(), WireError> {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self.check_len()
+    }
+
+    /// Append raw bytes.
+    pub fn put_bytes(&mut self, v: &[u8]) -> Result<(), WireError> {
+        self.buf.extend_from_slice(v);
+        self.check_len()
+    }
+
+    /// Append an IPv4 address (4 bytes).
+    pub fn put_ipv4(&mut self, a: Ipv4Addr) -> Result<(), WireError> {
+        self.put_bytes(&a.octets())
+    }
+
+    /// Append an IPv6 address (16 bytes).
+    pub fn put_ipv6(&mut self, a: Ipv6Addr) -> Result<(), WireError> {
+        self.put_bytes(&a.octets())
+    }
+
+    /// A `<character-string>`: one length octet then up to 255 bytes.
+    pub fn put_char_string(&mut self, s: &str) -> Result<(), WireError> {
+        let b = s.as_bytes();
+        if b.len() > 255 {
+            return Err(WireError::StringTooLong(b.len()));
+        }
+        self.put_u8(b.len() as u8)?;
+        self.put_bytes(b)
+    }
+
+    /// Encode a name, emitting a compression pointer to the longest
+    /// already-encoded suffix when possible and registering new suffixes.
+    pub fn put_name(&mut self, name: &Name) -> Result<(), WireError> {
+        let labels = name.labels();
+        for i in 0..labels.len() {
+            let suffix = labels[i..].join(".");
+            if let Some(&off) = self.compress.get(&suffix) {
+                // Pointers must fit in 14 bits.
+                debug_assert!(off < 0x4000);
+                self.put_u16(0xC000 | off)?;
+                return Ok(());
+            }
+            let here = self.buf.len();
+            if here < 0x4000 {
+                self.compress.insert(suffix, here as u16);
+            }
+            let label = &labels[i];
+            debug_assert!(label.len() <= MAX_LABEL_LEN);
+            self.put_u8(label.len() as u8)?;
+            self.put_bytes(label.as_bytes())?;
+        }
+        self.put_u8(0) // root label
+    }
+
+    /// Encode a name with no compression (used inside RDATA where some
+    /// implementations choke on pointers; our SOA/MX use compression, which
+    /// RFC 1035 permits for well-known types, but TXT-like blobs must not).
+    pub fn put_name_uncompressed(&mut self, name: &Name) -> Result<(), WireError> {
+        for label in name.labels() {
+            self.put_u8(label.len() as u8)?;
+            self.put_bytes(label.as_bytes())?;
+        }
+        self.put_u8(0)
+    }
+
+    /// Reserve a u16 slot (e.g. RDLENGTH), returning its offset for
+    /// [`WireWriter::patch_u16`].
+    pub fn reserve_u16(&mut self) -> Result<usize, WireError> {
+        let off = self.buf.len();
+        self.put_u16(0)?;
+        Ok(off)
+    }
+
+    /// Back-patch a previously reserved u16.
+    pub fn patch_u16(&mut self, offset: usize, v: u16) {
+        self.buf[offset..offset + 2].copy_from_slice(&v.to_be_bytes());
+    }
+}
+
+/// Wire reader over a full message (needed for pointer resolution).
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// A reader over a full message buffer.
+    pub fn new(data: &'a [u8]) -> Self {
+        WireReader { data, pos: 0 }
+    }
+
+    /// Current cursor position.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes remaining after the cursor.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Read one byte.
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        let v = *self.data.get(self.pos).ok_or(WireError::Truncated)?;
+        self.pos += 1;
+        Ok(v)
+    }
+
+    /// Read a big-endian u16.
+    pub fn get_u16(&mut self) -> Result<u16, WireError> {
+        let b = self
+            .data
+            .get(self.pos..self.pos + 2)
+            .ok_or(WireError::Truncated)?;
+        self.pos += 2;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    /// Read a big-endian u32.
+    pub fn get_u32(&mut self) -> Result<u32, WireError> {
+        let b = self
+            .data
+            .get(self.pos..self.pos + 4)
+            .ok_or(WireError::Truncated)?;
+        self.pos += 4;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read `n` raw bytes.
+    pub fn get_bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let b = self
+            .data
+            .get(self.pos..self.pos + n)
+            .ok_or(WireError::Truncated)?;
+        self.pos += n;
+        Ok(b)
+    }
+
+    /// Read an IPv4 address (4 bytes).
+    pub fn get_ipv4(&mut self) -> Result<Ipv4Addr, WireError> {
+        let b = self.get_bytes(4)?;
+        Ok(Ipv4Addr::new(b[0], b[1], b[2], b[3]))
+    }
+
+    /// Read an IPv6 address (16 bytes).
+    pub fn get_ipv6(&mut self) -> Result<Ipv6Addr, WireError> {
+        let b = self.get_bytes(16)?;
+        let mut o = [0u8; 16];
+        o.copy_from_slice(b);
+        Ok(Ipv6Addr::from(o))
+    }
+
+    /// Read a `<character-string>` (length octet + bytes).
+    pub fn get_char_string(&mut self) -> Result<String, WireError> {
+        let len = self.get_u8()? as usize;
+        let b = self.get_bytes(len)?;
+        // DNS character-strings are bytes; we keep them lossily as UTF-8.
+        Ok(String::from_utf8_lossy(b).into_owned())
+    }
+
+    /// Decode a possibly-compressed name starting at the cursor. Pointers
+    /// must point strictly backwards, which also bounds the loop.
+    pub fn get_name(&mut self) -> Result<Name, WireError> {
+        let mut labels: Vec<String> = Vec::new();
+        let mut pos = self.pos;
+        let mut jumped = false;
+        let mut end_pos = self.pos; // cursor after the in-line part
+        let mut min_ptr = self.data.len(); // each pointer must decrease
+        loop {
+            let len = *self.data.get(pos).ok_or(WireError::Truncated)?;
+            match len & 0xC0 {
+                0x00 => {
+                    pos += 1;
+                    if len == 0 {
+                        if !jumped {
+                            end_pos = pos;
+                        }
+                        break;
+                    }
+                    let b = self
+                        .data
+                        .get(pos..pos + len as usize)
+                        .ok_or(WireError::Truncated)?;
+                    pos += len as usize;
+                    if !jumped {
+                        end_pos = pos;
+                    }
+                    let label = String::from_utf8_lossy(b).to_ascii_lowercase();
+                    labels.push(label);
+                    if labels.len() > 128 {
+                        return Err(WireError::BadName(NameError::NameTooLong));
+                    }
+                }
+                0xC0 => {
+                    let b2 = *self.data.get(pos + 1).ok_or(WireError::Truncated)?;
+                    if !jumped {
+                        end_pos = pos + 2;
+                    }
+                    let target = (((len & 0x3F) as usize) << 8) | b2 as usize;
+                    if target >= min_ptr || target >= pos {
+                        return Err(WireError::BadPointer);
+                    }
+                    min_ptr = target;
+                    pos = target;
+                    jumped = true;
+                }
+                other => return Err(WireError::BadLabelLength(other)),
+            }
+        }
+        self.pos = end_pos;
+        Name::from_labels(labels).map_err(WireError::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dns_name;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut w = WireWriter::new();
+        w.put_u8(7).unwrap();
+        w.put_u16(0xBEEF).unwrap();
+        w.put_u32(0xDEADBEEF).unwrap();
+        w.put_ipv4("10.1.2.3".parse().unwrap()).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u16().unwrap(), 0xBEEF);
+        assert_eq!(r.get_u32().unwrap(), 0xDEADBEEF);
+        assert_eq!(r.get_ipv4().unwrap(), "10.1.2.3".parse::<Ipv4Addr>().unwrap());
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn name_roundtrip_uncompressed() {
+        let mut w = WireWriter::new();
+        w.put_name(&dns_name!("mx1.provider.com")).unwrap();
+        let bytes = w.into_bytes();
+        assert_eq!(bytes[0], 3); // "mx1"
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.get_name().unwrap(), dns_name!("mx1.provider.com"));
+    }
+
+    #[test]
+    fn compression_emits_pointer_and_decodes() {
+        let mut w = WireWriter::new();
+        w.put_name(&dns_name!("mx1.provider.com")).unwrap();
+        let first_len = w.len();
+        w.put_name(&dns_name!("mx2.provider.com")).unwrap();
+        let bytes = w.into_bytes();
+        // Second name: 1 len + 3 bytes "mx2" + 2-byte pointer = 6 bytes.
+        assert_eq!(bytes.len() - first_len, 6);
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.get_name().unwrap(), dns_name!("mx1.provider.com"));
+        assert_eq!(r.get_name().unwrap(), dns_name!("mx2.provider.com"));
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn identical_name_is_a_pure_pointer() {
+        let mut w = WireWriter::new();
+        w.put_name(&dns_name!("a.example.com")).unwrap();
+        let first = w.len();
+        w.put_name(&dns_name!("a.example.com")).unwrap();
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len() - first, 2);
+        let mut r = WireReader::new(&bytes);
+        r.get_name().unwrap();
+        assert_eq!(r.get_name().unwrap(), dns_name!("a.example.com"));
+    }
+
+    #[test]
+    fn root_name() {
+        let mut w = WireWriter::new();
+        w.put_name(&Name::root()).unwrap();
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0]);
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.get_name().unwrap(), Name::root());
+    }
+
+    #[test]
+    fn forward_pointer_rejected() {
+        // Pointer to offset 2 from offset 0: forward -> invalid.
+        let bytes = [0xC0, 0x02, 0x00];
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.get_name().unwrap_err(), WireError::BadPointer);
+    }
+
+    #[test]
+    fn pointer_loop_rejected() {
+        // name at 0: label "a" then pointer to itself at 0 -> loop.
+        let bytes = [0x01, b'a', 0xC0, 0x00];
+        let mut r = WireReader::new(&bytes);
+        assert!(matches!(
+            r.get_name().unwrap_err(),
+            WireError::BadPointer | WireError::BadName(_)
+        ));
+    }
+
+    #[test]
+    fn reserved_label_bits_rejected() {
+        let bytes = [0x80, 0x01];
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.get_name().unwrap_err(), WireError::BadLabelLength(0x80));
+    }
+
+    #[test]
+    fn truncated_name_rejected() {
+        let bytes = [0x05, b'a', b'b'];
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.get_name().unwrap_err(), WireError::Truncated);
+    }
+
+    #[test]
+    fn char_string_roundtrip() {
+        let mut w = WireWriter::new();
+        w.put_char_string("v=spf1 include:_spf.google.com ~all").unwrap();
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(
+            r.get_char_string().unwrap(),
+            "v=spf1 include:_spf.google.com ~all"
+        );
+    }
+
+    #[test]
+    fn char_string_too_long() {
+        let mut w = WireWriter::new();
+        let s = "x".repeat(256);
+        assert_eq!(
+            w.put_char_string(&s).unwrap_err(),
+            WireError::StringTooLong(256)
+        );
+    }
+
+    #[test]
+    fn patch_u16() {
+        let mut w = WireWriter::new();
+        let slot = w.reserve_u16().unwrap();
+        w.put_u32(1).unwrap();
+        w.patch_u16(slot, 0x1234);
+        let bytes = w.into_bytes();
+        assert_eq!(&bytes[0..2], &[0x12, 0x34]);
+    }
+
+    #[test]
+    fn names_after_pointer_keep_cursor() {
+        // Encode two names, decode them, then a trailing u16 must still be
+        // readable at the right position.
+        let mut w = WireWriter::new();
+        w.put_name(&dns_name!("example.com")).unwrap();
+        w.put_name(&dns_name!("mail.example.com")).unwrap();
+        w.put_u16(0xAAAA).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        r.get_name().unwrap();
+        r.get_name().unwrap();
+        assert_eq!(r.get_u16().unwrap(), 0xAAAA);
+    }
+}

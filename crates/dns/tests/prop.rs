@@ -1,0 +1,184 @@
+//! Property-based tests: arbitrary messages survive an encode/decode round
+//! trip, names compress losslessly, and the zone lookup invariants hold.
+
+use std::net::Ipv4Addr;
+
+use mx_dns::{
+    dns_name, Message, Name, RData, Record, RecordType, WireReader, WireWriter, Zone, ZoneLookup,
+};
+use proptest::prelude::*;
+
+fn arb_label() -> impl Strategy<Value = String> {
+    "[a-z]([a-z0-9_-]{0,10}[a-z0-9])?".prop_map(|s| s)
+}
+
+fn arb_name() -> impl Strategy<Value = Name> {
+    prop::collection::vec(arb_label(), 0..5)
+        .prop_map(|ls| Name::parse(&ls.join(".")).expect("generated labels are valid"))
+}
+
+fn arb_ipv4() -> impl Strategy<Value = Ipv4Addr> {
+    any::<u32>().prop_map(Ipv4Addr::from)
+}
+
+fn arb_rdata() -> impl Strategy<Value = RData> {
+    prop_oneof![
+        arb_ipv4().prop_map(RData::A),
+        any::<u128>().prop_map(|v| RData::Aaaa(v.into())),
+        arb_name().prop_map(RData::Ns),
+        arb_name().prop_map(RData::Cname),
+        arb_name().prop_map(RData::Ptr),
+        (any::<u16>(), arb_name()).prop_map(|(preference, exchange)| RData::Mx {
+            preference,
+            exchange
+        }),
+        prop::collection::vec("[ -~]{0,40}", 1..3).prop_map(RData::Txt),
+        // Range chosen to avoid codes the decoder parses structurally.
+        (100u16..200, prop::collection::vec(any::<u8>(), 0..32)).prop_map(|(rtype, data)| {
+            RData::Opaque { rtype, data }
+        }),
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    (arb_name(), 0u32..1_000_000, arb_rdata())
+        .prop_map(|(name, ttl, rdata)| Record::new(name, ttl, rdata))
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    (
+        any::<u16>(),
+        arb_name(),
+        prop::collection::vec(arb_record(), 0..6),
+        prop::collection::vec(arb_record(), 0..3),
+        prop::collection::vec(arb_record(), 0..3),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(id, qname, ans, auth, add, qr, aa)| {
+            let mut m = Message::query(id, qname, RecordType::Mx);
+            m.header.qr = qr;
+            m.header.aa = aa;
+            m.answers = ans;
+            m.authorities = auth;
+            m.additionals = add;
+            m
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Encode → decode is the identity on messages.
+    #[test]
+    fn message_roundtrip(m in arb_message()) {
+        let bytes = m.encode().unwrap();
+        let m2 = Message::decode(&bytes).unwrap();
+        prop_assert_eq!(m, m2);
+    }
+
+    /// A sequence of names, encoded with compression into one buffer,
+    /// decodes back to the same sequence.
+    #[test]
+    fn name_sequence_roundtrip(names in prop::collection::vec(arb_name(), 1..12)) {
+        let mut w = WireWriter::new();
+        for n in &names {
+            w.put_name(n).unwrap();
+        }
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        for n in &names {
+            prop_assert_eq!(&r.get_name().unwrap(), n);
+        }
+        prop_assert_eq!(r.remaining(), 0);
+    }
+
+    /// Compression never grows the encoding beyond the uncompressed form.
+    #[test]
+    fn compression_never_expands(names in prop::collection::vec(arb_name(), 1..10)) {
+        let mut wc = WireWriter::new();
+        let mut wu = WireWriter::new();
+        for n in &names {
+            wc.put_name(n).unwrap();
+            wu.put_name_uncompressed(n).unwrap();
+        }
+        prop_assert!(wc.len() <= wu.len());
+    }
+
+    /// The decoder never panics on arbitrary bytes.
+    #[test]
+    fn decoder_is_total(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        let _ = Message::decode(&bytes);
+    }
+
+    /// Zone lookups: any added (name, A) pair is found, and unknown
+    /// siblings under the same zone yield NXDOMAIN or NODATA, never a panic.
+    #[test]
+    fn zone_lookup_total(labels in prop::collection::vec(arb_label(), 1..20),
+                         probe in arb_label()) {
+        let origin = dns_name!("zone.test");
+        let mut z = Zone::new(origin.clone());
+        for l in &labels {
+            let name = origin.child(l).unwrap();
+            z.add_rr(name, 300, RData::A(Ipv4Addr::new(192, 0, 2, 1)));
+        }
+        for l in &labels {
+            let name = origin.child(l).unwrap();
+            match z.lookup(&name, RecordType::A) {
+                ZoneLookup::Answer(rs) => prop_assert!(!rs.is_empty()),
+                other => return Err(TestCaseError::fail(format!("{other:?}"))),
+            }
+        }
+        let r = z.lookup(&origin.child(&probe).unwrap(), RecordType::A);
+        prop_assert!(matches!(
+            r,
+            ZoneLookup::Answer(_) | ZoneLookup::NxDomain | ZoneLookup::NoData
+        ));
+    }
+}
+
+fn arb_zone() -> impl Strategy<Value = mx_dns::Zone> {
+    let origin = dns_name!("prop.example");
+    prop::collection::vec(
+        (
+            arb_label(),
+            prop_oneof![
+                arb_ipv4().prop_map(RData::A),
+                (0u16..100, arb_label()).prop_map(|(preference, l)| RData::Mx {
+                    preference,
+                    exchange: Name::parse(&format!("{l}.prop.example")).unwrap(),
+                }),
+                "[ -!#-~]{0,30}".prop_map(|s| RData::Txt(vec![s])),
+                arb_label().prop_map(|l| RData::Cname(
+                    Name::parse(&format!("{l}.prop.example")).unwrap()
+                )),
+            ],
+            60u32..86_400,
+        ),
+        0..15,
+    )
+    .prop_map(move |records| {
+        let mut z = mx_dns::Zone::new(origin.clone());
+        for (label, rdata, ttl) in records {
+            let name = origin.child(&label).unwrap();
+            z.add_rr(name, ttl, rdata);
+        }
+        z
+    })
+}
+
+proptest! {
+    /// Any generated zone survives a master-file round trip.
+    #[test]
+    fn master_file_roundtrip(zone in arb_zone()) {
+        let text = mx_dns::to_master(&zone);
+        let reparsed = mx_dns::parse_zone(&text).unwrap();
+        prop_assert_eq!(reparsed.origin(), zone.origin());
+        let norm = |z: &mx_dns::Zone| {
+            let mut v: Vec<String> = z.iter().map(|r| r.to_string()).collect();
+            v.sort();
+            v
+        };
+        prop_assert_eq!(norm(&reparsed), norm(&zone));
+    }
+}

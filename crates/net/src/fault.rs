@@ -1,0 +1,138 @@
+//! Deterministic fault injection.
+//!
+//! Table 4 of the paper partitions each snapshot's domains by data
+//! availability: *No Censys* (the IP never appears in scan data — owner
+//! opt-out or persistent scanner blind spot), *No Port 25 Data* (scanned,
+//! but the port was closed or the scan failed that day), and further
+//! degradations (no valid certificate, no valid banner/EHLO). The fault
+//! plan reproduces these modes deterministically from a seed so each
+//! simulated snapshot has realistic, reproducible holes.
+
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+
+use mx_cert::fnv1a;
+use serde::{Deserialize, Serialize};
+
+/// Deterministic per-IP fault configuration.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// IPs whose owner requested exclusion from scanning: they never appear
+    /// in scan snapshots at all ("No Censys").
+    pub blocked_ips: HashSet<Ipv4Addr>,
+    /// IPs that never answer on the network (blackholed/unrouted).
+    pub unreachable_ips: HashSet<Ipv4Addr>,
+    /// Probability in `[0, 1]` that a given (ip, epoch) scan attempt fails
+    /// transiently even though the host is up.
+    pub scan_failure_rate: f64,
+    /// Seed mixed into every deterministic coin flip.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// A plan with no faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Deterministic uniform draw in [0,1) for a keyed event.
+    fn coin(&self, ip: Ipv4Addr, epoch: u64, salt: u64) -> f64 {
+        let mut key = [0u8; 24];
+        key[..4].copy_from_slice(&ip.octets());
+        key[4..12].copy_from_slice(&epoch.to_be_bytes());
+        key[12..20].copy_from_slice(&self.seed.to_be_bytes());
+        key[16..24].copy_from_slice(&salt.to_be_bytes());
+        (fnv1a(&key) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Is this IP excluded from scanning entirely?
+    pub fn is_blocked(&self, ip: Ipv4Addr) -> bool {
+        self.blocked_ips.contains(&ip)
+    }
+
+    /// Is this IP unreachable on the network?
+    pub fn is_unreachable(&self, ip: Ipv4Addr) -> bool {
+        self.unreachable_ips.contains(&ip)
+    }
+
+    /// Does the scan of `ip` in scan round `epoch` fail transiently?
+    pub fn scan_fails(&self, ip: Ipv4Addr, epoch: u64) -> bool {
+        self.scan_failure_rate > 0.0 && self.coin(ip, epoch, 0xC0FFEE) < self.scan_failure_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn block_and_unreachable_sets() {
+        let mut p = FaultPlan::none();
+        p.blocked_ips.insert(ip("192.0.2.1"));
+        p.unreachable_ips.insert(ip("192.0.2.2"));
+        assert!(p.is_blocked(ip("192.0.2.1")));
+        assert!(!p.is_blocked(ip("192.0.2.2")));
+        assert!(p.is_unreachable(ip("192.0.2.2")));
+    }
+
+    #[test]
+    fn scan_failure_deterministic() {
+        let p = FaultPlan {
+            scan_failure_rate: 0.5,
+            seed: 7,
+            ..FaultPlan::none()
+        };
+        let a = p.scan_fails(ip("10.0.0.1"), 3);
+        for _ in 0..10 {
+            assert_eq!(p.scan_fails(ip("10.0.0.1"), 3), a);
+        }
+    }
+
+    #[test]
+    fn scan_failure_rate_approximate() {
+        let p = FaultPlan {
+            scan_failure_rate: 0.2,
+            seed: 42,
+            ..FaultPlan::none()
+        };
+        let mut fails = 0;
+        let n = 10_000;
+        for i in 0..n {
+            let addr = Ipv4Addr::from(0x0a00_0000u32 + i);
+            if p.scan_fails(addr, 0) {
+                fails += 1;
+            }
+        }
+        let rate = fails as f64 / n as f64;
+        assert!((rate - 0.2).abs() < 0.02, "observed {rate}");
+    }
+
+    #[test]
+    fn zero_rate_never_fails() {
+        let p = FaultPlan::none();
+        assert!(!p.scan_fails(ip("10.0.0.1"), 0));
+    }
+
+    #[test]
+    fn different_epochs_differ() {
+        let p = FaultPlan {
+            scan_failure_rate: 0.5,
+            seed: 1,
+            ..FaultPlan::none()
+        };
+        // Across many IPs, epoch 0 and epoch 1 decisions must not be
+        // identical wholesale.
+        let mut diff = 0;
+        for i in 0..1000u32 {
+            let addr = Ipv4Addr::from(0x0b00_0000 + i);
+            if p.scan_fails(addr, 0) != p.scan_fails(addr, 1) {
+                diff += 1;
+            }
+        }
+        assert!(diff > 100, "only {diff} decisions changed across epochs");
+    }
+}

@@ -1,0 +1,314 @@
+//! The Censys-like Internet scanner.
+//!
+//! For every target IP the scanner opens a real SMTP session over the
+//! simulated network, records the banner, sends EHLO, records the response,
+//! attempts STARTTLS when advertised, records the presented certificate
+//! chain, and politely QUITs. Coverage gaps (owner opt-outs, transient
+//! failures, closed ports) mirror the modes the paper attributes to Censys
+//! in §4.2.2 and Table 4.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use mx_smtp::{ClientError, Extension, SmtpClient, SmtpScanData, StartTlsOutcome};
+use serde::{Deserialize, Serialize};
+
+use crate::simnet::{ConnectError, SimNet};
+
+/// Port-25 state observed for one IP.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PortState {
+    /// TCP connect failed (host down / refused).
+    Closed,
+    /// Connected, but the application-layer conversation failed before a
+    /// banner was captured.
+    NoBanner,
+    /// Full or partial application data captured.
+    Open(SmtpScanData),
+}
+
+impl PortState {
+    /// Application data, if any.
+    pub fn data(&self) -> Option<&SmtpScanData> {
+        match self {
+            PortState::Open(d) => Some(d),
+            _ => None,
+        }
+    }
+}
+
+/// One scan round's results. IPs absent from `results` were not covered at
+/// all (blocked by owner request, or the scanner failed that round) — the
+/// "No Censys" bucket.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ScanSnapshot {
+    /// Scan round number (one per simulated snapshot date).
+    pub epoch: u64,
+    /// Per-IP port state; absent IPs were not covered at all.
+    pub results: HashMap<Ipv4Addr, PortState>,
+}
+
+impl ScanSnapshot {
+    /// Was the IP covered by this scan at all?
+    pub fn covered(&self, ip: Ipv4Addr) -> bool {
+        self.results.contains_key(&ip)
+    }
+
+    /// The port state, if covered.
+    pub fn get(&self, ip: Ipv4Addr) -> Option<&PortState> {
+        self.results.get(&ip)
+    }
+
+    /// Application data for an IP, if the port was open and spoke SMTP.
+    pub fn data(&self, ip: Ipv4Addr) -> Option<&SmtpScanData> {
+        self.get(ip).and_then(PortState::data)
+    }
+
+    /// Count of IPs with open, speaking SMTP servers.
+    pub fn open_count(&self) -> usize {
+        self.results
+            .values()
+            .filter(|s| matches!(s, PortState::Open(_)))
+            .count()
+    }
+}
+
+/// The scanner. Stateless besides configuration.
+#[derive(Debug, Clone)]
+pub struct Scanner {
+    /// The client identity used in EHLO (Censys scans identify themselves).
+    pub ehlo_name: String,
+    /// Number of worker threads for large scans.
+    pub parallelism: usize,
+}
+
+impl Default for Scanner {
+    fn default() -> Self {
+        Scanner {
+            ehlo_name: "scanner.sim.internal".into(),
+            parallelism: 4,
+        }
+    }
+}
+
+impl Scanner {
+    /// A scanner with default identity and parallelism.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scan one IP, honouring the fault plan.
+    /// Returns `None` when the IP is not covered this round ("No Censys").
+    pub fn scan_ip(&self, net: &SimNet, ip: Ipv4Addr, epoch: u64) -> Option<PortState> {
+        let faults = net.faults();
+        if faults.is_blocked(ip) || faults.scan_fails(ip, epoch) {
+            return None;
+        }
+        let conn = match net.connect_smtp(ip) {
+            Ok(c) => c,
+            Err(ConnectError::NoRoute(_))
+            | Err(ConnectError::Unreachable(_))
+            | Err(ConnectError::PortClosed(_)) => return Some(PortState::Closed),
+        };
+        let (mut client, _greeted_ok) = match SmtpClient::connect_raw(conn) {
+            Ok(pair) => pair,
+            Err(_) => return Some(PortState::NoBanner),
+        };
+        let banner = strip_code(client.banner());
+        let mut data = SmtpScanData {
+            banner,
+            ehlo: None,
+            ehlo_keywords: Vec::new(),
+            starttls: StartTlsOutcome::NotOffered,
+        };
+        match client.ehlo(&self.ehlo_name) {
+            Ok((reply, extensions)) => {
+                data.ehlo = Some(reply.lines[0].clone());
+                data.ehlo_keywords = reply.lines[1..].to_vec();
+                if extensions.contains(&Extension::StartTls) {
+                    data.starttls = match client.starttls() {
+                        Ok(chain) => StartTlsOutcome::Completed { chain },
+                        Err(ClientError::TlsFailed(_)) => StartTlsOutcome::Failed,
+                        Err(_) => StartTlsOutcome::Failed,
+                    };
+                }
+            }
+            Err(_) => {
+                // Banner captured; EHLO failed (tarpit or closed mid-way).
+            }
+        }
+        let _ = client.quit();
+        Some(PortState::Open(data))
+    }
+
+    /// Scan a set of IPs, in parallel when large.
+    pub fn scan(&self, net: &SimNet, ips: &[Ipv4Addr], epoch: u64) -> ScanSnapshot {
+        let mut snapshot = ScanSnapshot {
+            epoch,
+            results: HashMap::with_capacity(ips.len()),
+        };
+        if ips.len() < 256 || self.parallelism <= 1 {
+            for &ip in ips {
+                if let Some(state) = self.scan_ip(net, ip, epoch) {
+                    snapshot.results.insert(ip, state);
+                }
+            }
+            return snapshot;
+        }
+        let chunks: Vec<&[Ipv4Addr]> = ips.chunks(ips.len().div_ceil(self.parallelism)).collect();
+        let results: Vec<Vec<(Ipv4Addr, PortState)>> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    s.spawn(move |_| {
+                        chunk
+                            .iter()
+                            .filter_map(|&ip| self.scan_ip(net, ip, epoch).map(|st| (ip, st)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scan worker panicked"))
+                .collect()
+        })
+        .expect("scan scope");
+        for part in results {
+            snapshot.results.extend(part);
+        }
+        snapshot
+    }
+
+    /// Scan every SMTP-capable host attached to the network (plus any
+    /// explicitly provided silent hosts are naturally covered through
+    /// `host_ips`). This is the "Internet-wide" sweep.
+    pub fn sweep(&self, net: &SimNet, epoch: u64) -> ScanSnapshot {
+        let mut ips: Vec<Ipv4Addr> = net.host_ips().collect();
+        ips.sort();
+        self.scan(net, &ips, epoch)
+    }
+}
+
+/// The banner/EHLO text without the reply code prefix.
+fn strip_code(reply: &mx_smtp::Reply) -> String {
+    reply.first_line().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultPlan;
+    use mx_cert::{CertificateBuilder, KeyId};
+    use mx_dns::SimClock;
+    use mx_smtp::{ServerQuirks, SmtpServerConfig};
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn net_with_hosts() -> SimNet {
+        let mut b = SimNet::builder(SimClock::new());
+        // TLS-enabled provider server.
+        let chain = vec![CertificateBuilder::new(1, KeyId(5))
+            .common_name("mx.provider.com")
+            .self_signed()];
+        b.smtp_host(
+            ip("10.0.0.1"),
+            SmtpServerConfig::with_tls("mx.provider.com", chain),
+        );
+        // Plain server with a junk banner.
+        let mut junk = SmtpServerConfig::plain("IP-10-0-0-2");
+        junk.ehlo_host = "IP-10-0-0-2".into();
+        b.smtp_host(ip("10.0.0.2"), junk);
+        // Web server, no SMTP.
+        b.silent_host(ip("10.0.0.3"));
+        // Tarpit.
+        let mut tarpit = SmtpServerConfig::plain("busy.example");
+        tarpit.quirks = ServerQuirks {
+            close_on_connect: true,
+            starttls_rejects: false,
+        };
+        b.smtp_host(ip("10.0.0.4"), tarpit);
+        b.build()
+    }
+
+    #[test]
+    fn sweep_captures_everything() {
+        let net = net_with_hosts();
+        let snap = Scanner::new().sweep(&net, 0);
+        assert_eq!(snap.results.len(), 4);
+        // Provider: full data with cert chain.
+        let d = snap.data(ip("10.0.0.1")).unwrap();
+        assert_eq!(d.banner_host(), Some("mx.provider.com"));
+        assert_eq!(d.ehlo_host(), Some("mx.provider.com"));
+        let chain = d.starttls.chain().unwrap();
+        assert_eq!(chain[0].subject_cn.as_deref(), Some("mx.provider.com"));
+        // Junk banner captured verbatim.
+        let d2 = snap.data(ip("10.0.0.2")).unwrap();
+        assert_eq!(d2.banner_host(), Some("IP-10-0-0-2"));
+        assert_eq!(d2.starttls, StartTlsOutcome::NotOffered);
+        // No SMTP -> Closed.
+        assert_eq!(snap.get(ip("10.0.0.3")), Some(&PortState::Closed));
+        // Tarpit: 421 banner captured, no EHLO data.
+        let d4 = snap.data(ip("10.0.0.4")).unwrap();
+        assert!(d4.banner.contains("busy.example"));
+        assert_eq!(d4.ehlo, None);
+    }
+
+    #[test]
+    fn blocked_ips_missing_from_snapshot() {
+        let mut b = SimNet::builder(SimClock::new());
+        b.smtp_host(ip("10.0.0.1"), SmtpServerConfig::plain("a.example"));
+        b.smtp_host(ip("10.0.0.2"), SmtpServerConfig::plain("b.example"));
+        let mut faults = FaultPlan::none();
+        faults.blocked_ips.insert(ip("10.0.0.2"));
+        b.faults(faults);
+        let net = b.build();
+        let snap = Scanner::new().sweep(&net, 0);
+        assert!(snap.covered(ip("10.0.0.1")));
+        assert!(!snap.covered(ip("10.0.0.2")), "opt-out honoured");
+    }
+
+    #[test]
+    fn transient_failures_vary_by_epoch() {
+        let mut b = SimNet::builder(SimClock::new());
+        for i in 0..200u32 {
+            let addr = Ipv4Addr::from(0x0a01_0000 + i);
+            b.smtp_host(addr, SmtpServerConfig::plain(format!("h{i}.example")));
+        }
+        let mut faults = FaultPlan::none();
+        faults.scan_failure_rate = 0.3;
+        faults.seed = 11;
+        b.faults(faults);
+        let net = b.build();
+        let s0 = Scanner::new().sweep(&net, 0);
+        let s1 = Scanner::new().sweep(&net, 1);
+        assert!(s0.results.len() < 200 && s0.results.len() > 100);
+        assert_ne!(
+            s0.results.keys().collect::<std::collections::BTreeSet<_>>(),
+            s1.results.keys().collect::<std::collections::BTreeSet<_>>()
+        );
+    }
+
+    #[test]
+    fn parallel_scan_equals_serial() {
+        let mut b = SimNet::builder(SimClock::new());
+        let mut ips = Vec::new();
+        for i in 0..600u32 {
+            let addr = Ipv4Addr::from(0x0a02_0000 + i);
+            b.smtp_host(addr, SmtpServerConfig::plain(format!("h{i}.par.example")));
+            ips.push(addr);
+        }
+        let net = b.build();
+        let mut serial = Scanner::new();
+        serial.parallelism = 1;
+        let par = Scanner::new();
+        let a = serial.scan(&net, &ips, 0);
+        let c = par.scan(&net, &ips, 0);
+        assert_eq!(a.results.len(), c.results.len());
+        for (ip, st) in &a.results {
+            assert_eq!(c.results.get(ip), Some(st));
+        }
+    }
+}

@@ -1,0 +1,395 @@
+//! Built-in snapshot of the Public Suffix List.
+//!
+//! This is a curated subset of the real list sufficient for the study's
+//! corpora: all gTLDs and ccTLDs that appear in the paper's datasets
+//! (`.com`, `.gov`, the Alexa long tail, the fifteen ccTLDs of Figure 8)
+//! plus the multi-label public suffixes under them that mail-provider
+//! hostnames commonly use (`co.uk`, `com.br`, `com.cn`, `co.jp`, ...), and
+//! the classic wildcard/exception examples so the full algorithm is
+//! exercised. Arbitrary additional rules can be layered on with
+//! [`crate::PublicSuffixList::add_rule`] or by parsing a full list file.
+
+/// PSL snapshot in the standard file format.
+pub const BUILTIN_RULES: &str = r#"
+// ===BEGIN ICANN DOMAINS===
+// Generic TLDs
+com
+net
+org
+gov
+edu
+mil
+int
+info
+biz
+name
+pro
+aero
+coop
+museum
+travel
+jobs
+mobi
+tel
+asia
+xxx
+cloud
+online
+site
+shop
+store
+tech
+dev
+app
+io
+co
+me
+tv
+cc
+ws
+goog
+email
+// gov/edu style second-levels
+fed.us
+state.us
+k12.us
+// United Kingdom
+uk
+co.uk
+org.uk
+gov.uk
+ac.uk
+net.uk
+ltd.uk
+plc.uk
+me.uk
+sch.uk
+nhs.uk
+police.uk
+// Brazil
+br
+com.br
+net.br
+org.br
+gov.br
+edu.br
+mil.br
+art.br
+blog.br
+eco.br
+// Argentina
+ar
+com.ar
+net.ar
+org.ar
+gob.ar
+edu.ar
+// France
+fr
+asso.fr
+com.fr
+gouv.fr
+nom.fr
+prd.fr
+tm.fr
+// Germany
+de
+// Italy
+it
+gov.it
+edu.it
+// Spain
+es
+com.es
+nom.es
+org.es
+gob.es
+edu.es
+// Romania
+ro
+com.ro
+org.ro
+tm.ro
+nt.ro
+nom.ro
+info.ro
+rec.ro
+arts.ro
+firm.ro
+store.ro
+www.ro
+// Canada
+ca
+gc.ca
+// Australia
+au
+com.au
+net.au
+org.au
+edu.au
+gov.au
+asn.au
+id.au
+// Russia
+ru
+com.ru
+net.ru
+org.ru
+pp.ru
+msk.ru
+spb.ru
+// China
+cn
+com.cn
+net.cn
+org.cn
+gov.cn
+edu.cn
+ac.cn
+mil.cn
+ah.cn
+bj.cn
+gd.cn
+sh.cn
+zj.cn
+// Japan
+jp
+ac.jp
+ad.jp
+co.jp
+ed.jp
+go.jp
+gr.jp
+lg.jp
+ne.jp
+or.jp
+*.kawasaki.jp
+!city.kawasaki.jp
+// India
+in
+co.in
+firm.in
+net.in
+org.in
+gen.in
+ind.in
+ac.in
+edu.in
+res.in
+gov.in
+mil.in
+nic.in
+// Singapore
+sg
+com.sg
+net.sg
+org.sg
+gov.sg
+edu.sg
+per.sg
+// Netherlands
+nl
+// Ukraine
+ua
+com.ua
+net.ua
+org.ua
+edu.ua
+gov.ua
+in.ua
+kiev.ua
+// Poland
+pl
+com.pl
+net.pl
+org.pl
+edu.pl
+gov.pl
+// Czechia
+cz
+// Sweden
+se
+// Norway
+no
+// Denmark
+dk
+// Finland
+fi
+// Belgium
+be
+// Austria
+at
+co.at
+or.at
+// Switzerland
+ch
+// Portugal
+pt
+com.pt
+org.pt
+edu.pt
+gov.pt
+// Greece
+gr
+com.gr
+edu.gr
+net.gr
+org.gr
+gov.gr
+// Turkey
+tr
+com.tr
+net.tr
+org.tr
+gov.tr
+edu.tr
+// Mexico
+mx
+com.mx
+net.mx
+org.mx
+gob.mx
+edu.mx
+// Chile
+cl
+gob.cl
+gov.cl
+// Colombia
+// (co is also used as a generic TLD; listed above)
+com.co
+net.co
+org.co
+gov.co
+edu.co
+// South Korea
+kr
+co.kr
+ne.kr
+or.kr
+re.kr
+go.kr
+ac.kr
+// Taiwan
+tw
+com.tw
+net.tw
+org.tw
+gov.tw
+edu.tw
+// Hong Kong
+hk
+com.hk
+net.hk
+org.hk
+gov.hk
+edu.hk
+// South Africa
+za
+co.za
+net.za
+org.za
+gov.za
+ac.za
+// Israel
+il
+co.il
+net.il
+org.il
+gov.il
+ac.il
+// New Zealand
+nz
+co.nz
+net.nz
+org.nz
+govt.nz
+ac.nz
+// Ireland
+ie
+gov.ie
+// Cook Islands (classic wildcard + exception)
+ck
+*.ck
+!www.ck
+// ===END ICANN DOMAINS===
+// ===BEGIN PRIVATE DOMAINS===
+// Hosting platforms whose customers get subdomains; relevant because VPS
+// certificates live under these (see paper §3.1.4).
+blogspot.com
+appspot.com
+herokuapp.com
+github.io
+gitlab.io
+netlify.app
+vercel.app
+web.app
+firebaseapp.com
+azurewebsites.net
+cloudfront.net
+amazonaws.com
+s3.amazonaws.com
+elasticbeanstalk.com
+wordpress.com
+weebly.com
+wixsite.com
+fastly.net
+akamaized.net
+// ===END PRIVATE DOMAINS===
+"#;
+
+#[cfg(test)]
+mod tests {
+    use crate::PublicSuffixList;
+
+    #[test]
+    fn builtin_parses() {
+        let l = PublicSuffixList::builtin();
+        assert!(l.len() > 150, "expected a substantial snapshot, got {}", l.len());
+    }
+
+    #[test]
+    fn builtin_spot_checks() {
+        let l = PublicSuffixList::builtin();
+        for (name, want) in [
+            ("aspmx.l.google.com", "google.com"),
+            ("mx1.smtp.goog", "smtp.goog"),
+            ("mail.example.co.uk", "example.co.uk"),
+            ("a.b.example.com.br", "example.com.br"),
+            ("mx.example.com.cn", "example.com.cn"),
+            ("smtp.example.de", "example.de"),
+            ("mx.example.ru", "example.ru"),
+            ("foo.bar.example.in", "example.in"),
+            ("mailstore1.secureserver.net", "secureserver.net"),
+        ] {
+            assert_eq!(
+                l.registered_domain(name).as_deref(),
+                Some(want),
+                "registered_domain({name})"
+            );
+        }
+    }
+
+    #[test]
+    fn builtin_private_section() {
+        let l = PublicSuffixList::builtin();
+        assert_eq!(
+            l.registered_domain("myapp.herokuapp.com").as_deref(),
+            Some("myapp.herokuapp.com"),
+            "private suffixes make the customer label the registrable part"
+        );
+        assert!(l.is_public_suffix("github.io"));
+    }
+
+    #[test]
+    fn builtin_gov_and_fed() {
+        let l = PublicSuffixList::builtin();
+        assert_eq!(
+            l.registered_domain("mail.treasury.gov").as_deref(),
+            Some("treasury.gov")
+        );
+        assert_eq!(
+            l.registered_domain("x.y.fed.us").as_deref(),
+            Some("y.fed.us")
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! # mx-psl — Public Suffix List engine
+//!
+//! The paper's methodology (§3.2.1 of *Who's Got Your Mail?*, IMC '21)
+//! repeatedly reduces fully-qualified domain names to their **registered
+//! domain** ("eTLD+1") using the [Public Suffix List]: when counting
+//! registered-domain occurrences across certificates, when deriving provider
+//! IDs from Banner/EHLO hostnames, and when falling back to the registered
+//! part of an MX record.
+//!
+//! This crate is a from-scratch implementation of the PSL algorithm as
+//! specified at <https://publicsuffix.org/list/>:
+//!
+//! * rules are domain suffixes, matched against the right-most labels of a
+//!   candidate name;
+//! * `*` labels match exactly one label;
+//! * rules starting with `!` are *exception* rules and defeat any matching
+//!   wildcard rule;
+//! * if no rule matches, the implicit rule `*` prevails (the bare TLD is the
+//!   public suffix);
+//! * among matching rules the exception rule wins, otherwise the rule with
+//!   the most labels.
+//!
+//! The **registered domain** of a name is the public suffix plus one more
+//! label; a name that *is* a public suffix has no registered domain.
+//!
+//! A built-in snapshot of the list (ICANN TLDs plus the multi-label suffixes
+//! that matter for the study's corpora, e.g. `co.uk`, `com.br`, `com.cn`) is
+//! available via [`PublicSuffixList::builtin`]; arbitrary lists can be parsed
+//! from the standard file format with [`PublicSuffixList::parse`].
+//!
+//! ```
+//! use mx_psl::PublicSuffixList;
+//!
+//! let psl = PublicSuffixList::builtin();
+//! assert_eq!(psl.registered_domain("mx1.provider.com"), Some("provider.com".into()));
+//! assert_eq!(psl.registered_domain("a.b.example.co.uk"), Some("example.co.uk".into()));
+//! assert_eq!(psl.registered_domain("co.uk"), None); // is itself a public suffix
+//! ```
+//!
+//! [Public Suffix List]: https://publicsuffix.org
+
+#![warn(missing_docs)]
+
+mod builtin;
+mod list;
+mod rule;
+
+pub use builtin::BUILTIN_RULES;
+pub use list::{PslError, PublicSuffixList};
+pub use rule::{Rule, RuleKind};
+
+/// Normalise a domain-name string for PSL processing: lower-case ASCII,
+/// strip one trailing dot. Returns `None` for names that are empty, start
+/// with a dot, contain empty labels, or contain whitespace.
+pub fn normalize(name: &str) -> Option<String> {
+    let name = name.strip_suffix('.').unwrap_or(name);
+    if name.is_empty() {
+        return None;
+    }
+    let lower = name.to_ascii_lowercase();
+    if lower
+        .split('.')
+        .any(|l| l.is_empty() || l.chars().any(|c| c.is_whitespace()))
+    {
+        return None;
+    }
+    Some(lower)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_basic() {
+        assert_eq!(normalize("Example.COM"), Some("example.com".into()));
+        assert_eq!(normalize("example.com."), Some("example.com".into()));
+        assert_eq!(normalize(""), None);
+        assert_eq!(normalize("."), None);
+        assert_eq!(normalize("a..b"), None);
+        assert_eq!(normalize("a b.com"), None);
+    }
+}

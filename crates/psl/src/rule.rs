@@ -1,0 +1,177 @@
+//! PSL rule representation and parsing.
+
+use std::fmt;
+
+/// The kind of a PSL rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuleKind {
+    /// A plain suffix rule such as `com` or `co.uk`.
+    Normal,
+    /// A wildcard rule such as `*.ck` — the `*` matches exactly one label.
+    Wildcard,
+    /// An exception rule such as `!www.ck`; defeats matching wildcard rules.
+    Exception,
+}
+
+/// One parsed rule from the Public Suffix List.
+///
+/// Labels are stored lower-cased, in their written (left-to-right) order.
+/// A leading `!` (exception marker) is stripped and recorded in
+/// [`Rule::kind`]. Wildcard labels are stored literally as `*`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Rule {
+    labels: Vec<String>,
+    kind: RuleKind,
+}
+
+impl Rule {
+    /// Parse a single PSL line known to be a rule (not a comment or blank).
+    ///
+    /// Returns `None` for malformed rules (empty labels, embedded
+    /// whitespace, bare `!`).
+    pub fn parse(line: &str) -> Option<Rule> {
+        let line = line.trim();
+        let (kind_hint, body) = match line.strip_prefix('!') {
+            Some(rest) => (Some(RuleKind::Exception), rest),
+            None => (None, line),
+        };
+        let body = body.strip_suffix('.').unwrap_or(body);
+        if body.is_empty() {
+            return None;
+        }
+        let labels: Vec<String> = body
+            .split('.')
+            .map(|l| l.trim().to_ascii_lowercase())
+            .collect();
+        if labels
+            .iter()
+            .any(|l| l.is_empty() || l.chars().any(char::is_whitespace))
+        {
+            return None;
+        }
+        let kind = match kind_hint {
+            Some(k) => k,
+            None if labels.iter().any(|l| l == "*") => RuleKind::Wildcard,
+            None => RuleKind::Normal,
+        };
+        // An exception rule must have at least two labels: the algorithm
+        // strips its leftmost label to obtain the public suffix.
+        if kind == RuleKind::Exception && labels.len() < 2 {
+            return None;
+        }
+        Some(Rule { labels, kind })
+    }
+
+    /// The rule's labels in written order (left to right).
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// The rule kind.
+    pub fn kind(&self) -> RuleKind {
+        self.kind
+    }
+
+    /// Number of labels in the rule (the `*` counts as one label).
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True if the rule has no labels (never produced by [`Rule::parse`]).
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Does this rule match `name_labels` (a name's labels, written order)?
+    ///
+    /// Per the PSL algorithm a rule matches when the name has at least as
+    /// many labels as the rule and, comparing right-to-left, every rule
+    /// label equals the name label or is `*`.
+    pub fn matches(&self, name_labels: &[&str]) -> bool {
+        if name_labels.len() < self.labels.len() {
+            return false;
+        }
+        self.labels
+            .iter()
+            .rev()
+            .zip(name_labels.iter().rev())
+            .all(|(r, n)| r == "*" || r == n)
+    }
+
+    /// Length of the public suffix (in labels) this rule implies for a
+    /// matching name: the rule length, minus one for exception rules.
+    pub fn suffix_len(&self) -> usize {
+        match self.kind {
+            RuleKind::Exception => self.labels.len() - 1,
+            _ => self.labels.len(),
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.kind == RuleKind::Exception {
+            write!(f, "!")?;
+        }
+        write!(f, "{}", self.labels.join("."))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_normal() {
+        let r = Rule::parse("co.uk").unwrap();
+        assert_eq!(r.kind(), RuleKind::Normal);
+        assert_eq!(r.labels(), &["co".to_string(), "uk".to_string()]);
+        assert_eq!(r.suffix_len(), 2);
+    }
+
+    #[test]
+    fn parse_wildcard() {
+        let r = Rule::parse("*.ck").unwrap();
+        assert_eq!(r.kind(), RuleKind::Wildcard);
+        assert_eq!(r.suffix_len(), 2);
+    }
+
+    #[test]
+    fn parse_exception() {
+        let r = Rule::parse("!www.ck").unwrap();
+        assert_eq!(r.kind(), RuleKind::Exception);
+        assert_eq!(r.suffix_len(), 1);
+        assert_eq!(r.to_string(), "!www.ck");
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(Rule::parse("").is_none());
+        assert!(Rule::parse("!").is_none());
+        assert!(Rule::parse("a..b").is_none());
+        assert!(Rule::parse("!com").is_none(), "single-label exception");
+    }
+
+    #[test]
+    fn parse_case_and_dot_normalisation() {
+        let r = Rule::parse("Co.UK.").unwrap();
+        assert_eq!(r.to_string(), "co.uk");
+    }
+
+    #[test]
+    fn matches_right_aligned() {
+        let r = Rule::parse("co.uk").unwrap();
+        assert!(r.matches(&["example", "co", "uk"]));
+        assert!(r.matches(&["co", "uk"]));
+        assert!(!r.matches(&["uk"]));
+        assert!(!r.matches(&["example", "com"]));
+    }
+
+    #[test]
+    fn wildcard_matches_one_label() {
+        let r = Rule::parse("*.ck").unwrap();
+        assert!(r.matches(&["foo", "ck"]));
+        assert!(r.matches(&["a", "foo", "ck"]));
+        assert!(!r.matches(&["ck"]));
+    }
+}

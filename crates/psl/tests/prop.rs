@@ -1,0 +1,71 @@
+//! Property-based tests for the PSL engine.
+
+use mx_psl::{normalize, PublicSuffixList, Rule};
+use proptest::prelude::*;
+
+fn label() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9-]{0,8}[a-z0-9]".prop_map(|s| s)
+}
+
+fn name(max_labels: usize) -> impl Strategy<Value = String> {
+    prop::collection::vec(label(), 1..=max_labels).prop_map(|ls| ls.join("."))
+}
+
+proptest! {
+    /// The public suffix is always a (dot-boundary) suffix of the name.
+    #[test]
+    fn suffix_is_suffix(n in name(6)) {
+        let l = PublicSuffixList::builtin();
+        let s = l.public_suffix(&n).unwrap();
+        let norm = normalize(&n).unwrap();
+        let ok = norm == s || norm.ends_with(&format!(".{}", s));
+        prop_assert!(ok, "suffix {} not a suffix of {}", s, norm);
+    }
+
+    /// The registered domain, when present, is public suffix + one label,
+    /// and is itself a suffix of the name.
+    #[test]
+    fn registered_is_suffix_plus_one(n in name(6)) {
+        let l = PublicSuffixList::builtin();
+        let norm = normalize(&n).unwrap();
+        let s = l.public_suffix(&n).unwrap();
+        match l.registered_domain(&n) {
+            None => prop_assert_eq!(&norm, &s),
+            Some(rd) => {
+                let ok = norm == rd || norm.ends_with(&format!(".{}", rd));
+                prop_assert!(ok, "rd {} not a suffix of {}", rd, norm);
+                prop_assert!(rd.ends_with(&s));
+                prop_assert_eq!(
+                    rd.split('.').count(),
+                    s.split('.').count() + 1
+                );
+            }
+        }
+    }
+
+    /// registered_domain is idempotent: applying it to its own output is a
+    /// fixed point.
+    #[test]
+    fn registered_domain_idempotent(n in name(6)) {
+        let l = PublicSuffixList::builtin();
+        if let Some(rd) = l.registered_domain(&n) {
+            prop_assert_eq!(l.registered_domain(&rd), Some(rd.clone()));
+        }
+    }
+
+    /// Lookup is case-insensitive and ignores a trailing dot.
+    #[test]
+    fn case_and_dot_insensitive(n in name(5)) {
+        let l = PublicSuffixList::builtin();
+        let upper = format!("{}.", n.to_ascii_uppercase());
+        prop_assert_eq!(l.registered_domain(&n), l.registered_domain(&upper));
+    }
+
+    /// Every parsed rule round-trips through Display.
+    #[test]
+    fn rule_display_roundtrip(n in name(4)) {
+        let r = Rule::parse(&n).unwrap();
+        let r2 = Rule::parse(&r.to_string()).unwrap();
+        prop_assert_eq!(r, r2);
+    }
+}

@@ -1,0 +1,240 @@
+//! SMTP client: drives a [`Connection`] through the session phases the
+//! Censys-like scanner needs (banner, EHLO, STARTTLS) and, for end-to-end
+//! tests, full message submission.
+
+use std::fmt;
+
+use mx_cert::Certificate;
+
+use crate::extensions::Extension;
+use crate::reply::{Reply, ReplyCode};
+use crate::transport::{Connection, LineError};
+
+/// Client-side errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// Transport failure.
+    Line(LineError),
+    /// The server replied with an unexpected code.
+    Unexpected {
+        /// What the client expected (for diagnostics).
+        want: &'static str,
+        /// The reply actually received.
+        got: Reply,
+    },
+    /// STARTTLS negotiation failed (refused or handshake failure).
+    TlsFailed(Option<Reply>),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Line(e) => write!(f, "transport: {e}"),
+            ClientError::Unexpected { want, got } => {
+                write!(f, "expected {want}, got {got}")
+            }
+            ClientError::TlsFailed(Some(r)) => write!(f, "STARTTLS refused: {r}"),
+            ClientError::TlsFailed(None) => write!(f, "TLS handshake failed"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<LineError> for ClientError {
+    fn from(e: LineError) -> Self {
+        ClientError::Line(e)
+    }
+}
+
+/// A synchronous SMTP client over an in-memory connection.
+#[derive(Debug)]
+pub struct SmtpClient {
+    conn: Connection,
+    banner: Reply,
+}
+
+impl SmtpClient {
+    /// Open the connection and read the banner. Fails if the server closes
+    /// immediately with a non-220 greeting — the greeting is still captured
+    /// in the error path via [`SmtpClient::connect_raw`].
+    pub fn connect(conn: Connection) -> Result<SmtpClient, ClientError> {
+        let (client, ok) = Self::connect_raw(conn)?;
+        if ok {
+            Ok(client)
+        } else {
+            Err(ClientError::Unexpected {
+                want: "220 greeting",
+                got: client.banner,
+            })
+        }
+    }
+
+    /// Open the connection, reading whatever greeting arrives; the bool is
+    /// whether it was a 220. Scanners use this to capture 4xx banners too.
+    pub fn connect_raw(mut conn: Connection) -> Result<(SmtpClient, bool), ClientError> {
+        let banner = conn.read_reply()?;
+        let ok = banner.code == ReplyCode::READY;
+        Ok((SmtpClient { conn, banner }, ok))
+    }
+
+    /// The server's greeting.
+    pub fn banner(&self) -> &Reply {
+        &self.banner
+    }
+
+    /// Send EHLO, returning the full reply and parsed extensions.
+    pub fn ehlo(&mut self, client_name: &str) -> Result<(Reply, Vec<Extension>), ClientError> {
+        self.conn.write_line(&format!("EHLO {client_name}"))?;
+        let reply = self.conn.read_reply()?;
+        if reply.code != ReplyCode::OK {
+            return Err(ClientError::Unexpected {
+                want: "250 to EHLO",
+                got: reply,
+            });
+        }
+        let extensions = reply.lines[1..].iter().map(|l| Extension::parse(l)).collect();
+        Ok((reply, extensions))
+    }
+
+    /// Negotiate STARTTLS and return the certificate chain the server
+    /// presented.
+    pub fn starttls(&mut self) -> Result<Vec<Certificate>, ClientError> {
+        self.conn.write_line("STARTTLS")?;
+        let reply = self.conn.read_reply()?;
+        if reply.code != ReplyCode::READY {
+            return Err(ClientError::TlsFailed(Some(reply)));
+        }
+        self.conn
+            .tls_handshake()
+            .ok_or(ClientError::TlsFailed(None))
+    }
+
+    /// Submit a complete message (EHLO must have been sent).
+    pub fn send_mail(
+        &mut self,
+        from: &str,
+        to: &[&str],
+        body: &str,
+    ) -> Result<Reply, ClientError> {
+        self.command_expect(&format!("MAIL FROM:<{from}>"), ReplyCode::OK, "250 to MAIL")?;
+        for rcpt in to {
+            self.command_expect(&format!("RCPT TO:<{rcpt}>"), ReplyCode::OK, "250 to RCPT")?;
+        }
+        self.command_expect("DATA", ReplyCode::START_MAIL_INPUT, "354 to DATA")?;
+        for line in body.split('\n') {
+            let line = line.trim_end_matches('\r');
+            // Dot-stuffing.
+            if let Some(rest) = line.strip_prefix('.') {
+                self.conn.write_line(&format!("..{rest}"))?;
+            } else {
+                self.conn.write_line(line)?;
+            }
+        }
+        self.conn.write_line(".")?;
+        let reply = self.conn.read_reply()?;
+        if reply.code != ReplyCode::OK {
+            return Err(ClientError::Unexpected {
+                want: "250 after data",
+                got: reply,
+            });
+        }
+        Ok(reply)
+    }
+
+    /// Send QUIT and consume the 221.
+    pub fn quit(&mut self) -> Result<Reply, ClientError> {
+        self.conn.write_line("QUIT")?;
+        Ok(self.conn.read_reply()?)
+    }
+
+    /// Access the underlying connection (tests).
+    pub fn connection(&self) -> &Connection {
+        &self.conn
+    }
+
+    fn command_expect(
+        &mut self,
+        line: &str,
+        want_code: ReplyCode,
+        want: &'static str,
+    ) -> Result<Reply, ClientError> {
+        self.conn.write_line(line)?;
+        let reply = self.conn.read_reply()?;
+        if reply.code != want_code {
+            return Err(ClientError::Unexpected { want, got: reply });
+        }
+        Ok(reply)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{ServerQuirks, SmtpServer, SmtpServerConfig};
+    use mx_cert::{CertificateBuilder, KeyId};
+
+    fn tls_server(host: &str) -> SmtpServer {
+        let chain = vec![CertificateBuilder::new(1, KeyId(9))
+            .common_name(host)
+            .self_signed()];
+        SmtpServer::new(SmtpServerConfig::with_tls(host, chain))
+    }
+
+    #[test]
+    fn full_session_with_starttls_and_mail() {
+        let conn = Connection::open(tls_server("mx.provider.com"));
+        let mut c = SmtpClient::connect(conn).unwrap();
+        assert!(c.banner().first_line().starts_with("mx.provider.com"));
+        let (_, exts) = c.ehlo("scanner.example").unwrap();
+        assert!(exts.contains(&Extension::StartTls));
+        let chain = c.starttls().unwrap();
+        assert_eq!(chain[0].subject_cn.as_deref(), Some("mx.provider.com"));
+        // RFC 3207: must EHLO again after the handshake.
+        let (_, exts) = c.ehlo("scanner.example").unwrap();
+        assert!(!exts.contains(&Extension::StartTls));
+        c.send_mail("a@b.test", &["x@provider.com"], "Subject: hi\r\n\r\n.dot line\r\nbye")
+            .unwrap();
+        let server = c.connection().server();
+        let msgs = server.accepted_messages();
+        assert_eq!(msgs.len(), 1);
+        assert!(msgs[0].over_tls);
+        assert_eq!(msgs[0].body, "Subject: hi\r\n\r\n.dot line\r\nbye");
+        c.quit().unwrap();
+    }
+
+    #[test]
+    fn starttls_refused_surfaces_reply() {
+        let conn = Connection::open(SmtpServer::new(SmtpServerConfig::plain("mx.plain.com")));
+        let mut c = SmtpClient::connect(conn).unwrap();
+        c.ehlo("scanner.example").unwrap();
+        match c.starttls() {
+            Err(ClientError::TlsFailed(Some(r))) => assert_eq!(r.code.0, 454),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn tarpit_banner_captured() {
+        let mut cfg = SmtpServerConfig::plain("busy.example.com");
+        cfg.quirks = ServerQuirks {
+            close_on_connect: true,
+            starttls_rejects: false,
+        };
+        let conn = Connection::open(SmtpServer::new(cfg));
+        let (client, ok) = SmtpClient::connect_raw(conn).unwrap();
+        assert!(!ok);
+        assert_eq!(client.banner().code.0, 421);
+    }
+
+    #[test]
+    fn connect_rejects_non_220_in_strict_mode() {
+        let mut cfg = SmtpServerConfig::plain("busy.example.com");
+        cfg.quirks.close_on_connect = true;
+        let conn = Connection::open(SmtpServer::new(cfg));
+        assert!(matches!(
+            SmtpClient::connect(conn),
+            Err(ClientError::Unexpected { .. })
+        ));
+    }
+}

@@ -1,0 +1,326 @@
+//! SMTP command grammar (RFC 5321 §4.1).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A reverse-path/forward-path: the address inside `MAIL FROM:<...>` /
+/// `RCPT TO:<...>`. The null reverse path `<>` is represented by an empty
+/// mailbox.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MailPath {
+    /// `user@domain`, or empty for the null path.
+    pub mailbox: String,
+}
+
+impl MailPath {
+    /// The null reverse path `<>`.
+    pub fn null() -> MailPath {
+        MailPath {
+            mailbox: String::new(),
+        }
+    }
+
+    /// A path for `mailbox`.
+    pub fn new(mailbox: impl Into<String>) -> MailPath {
+        MailPath {
+            mailbox: mailbox.into(),
+        }
+    }
+
+    /// The domain part, if any.
+    pub fn domain(&self) -> Option<&str> {
+        self.mailbox.rsplit_once('@').map(|(_, d)| d)
+    }
+
+    /// Is this the null path?
+    pub fn is_null(&self) -> bool {
+        self.mailbox.is_empty()
+    }
+}
+
+impl fmt::Display for MailPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}>", self.mailbox)
+    }
+}
+
+/// A parsed SMTP command.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Command {
+    /// Legacy greeting (RFC 821).
+    Helo {
+        /// The client's claimed identity.
+        client: String,
+    },
+    /// Extended greeting (RFC 5321).
+    Ehlo {
+        /// The client's claimed identity.
+        client: String,
+    },
+    /// Start a mail transaction.
+    MailFrom {
+        /// Reverse path (`<>` allowed).
+        path: MailPath,
+        /// ESMTP parameters such as `SIZE=1234`.
+        params: Vec<String>,
+    },
+    /// Add a recipient.
+    RcptTo {
+        /// Forward path.
+        path: MailPath,
+        /// ESMTP parameters.
+        params: Vec<String>,
+    },
+    /// Begin message transfer.
+    Data,
+    /// Abort the current transaction.
+    Rset,
+    /// No-op keep-alive.
+    Noop,
+    /// Close the session.
+    Quit,
+    /// Upgrade to TLS (RFC 3207).
+    StartTls,
+    /// Verify a mailbox.
+    Vrfy {
+        /// The mailbox or user being verified.
+        target: String,
+    },
+    /// Request help text.
+    Help,
+    /// Authenticate (RFC 4954).
+    Auth {
+        /// SASL mechanism name, upper-cased.
+        mechanism: String,
+        /// Optional initial response.
+        initial: Option<String>,
+    },
+    /// Anything unrecognised (kept verbatim for 500 replies).
+    Unknown {
+        /// The raw command line.
+        line: String,
+    },
+}
+
+impl Command {
+    /// Parse one command line (without CRLF). Verbs are case-insensitive.
+    pub fn parse(line: &str) -> Command {
+        let trimmed = line.trim_end();
+        let (verb, rest) = match trimmed.split_once(|c: char| c.is_ascii_whitespace()) {
+            Some((v, r)) => (v, r.trim_start()),
+            None => (trimmed, ""),
+        };
+        match verb.to_ascii_uppercase().as_str() {
+            "HELO" => Command::Helo {
+                client: rest.to_string(),
+            },
+            "EHLO" => Command::Ehlo {
+                client: rest.to_string(),
+            },
+            "MAIL" => parse_path_command(rest, "FROM")
+                .map(|(path, params)| Command::MailFrom { path, params })
+                .unwrap_or(Command::Unknown {
+                    line: trimmed.to_string(),
+                }),
+            "RCPT" => parse_path_command(rest, "TO")
+                .map(|(path, params)| Command::RcptTo { path, params })
+                .unwrap_or(Command::Unknown {
+                    line: trimmed.to_string(),
+                }),
+            "DATA" => Command::Data,
+            "RSET" => Command::Rset,
+            "NOOP" => Command::Noop,
+            "QUIT" => Command::Quit,
+            "STARTTLS" => Command::StartTls,
+            "VRFY" => Command::Vrfy {
+                target: rest.to_string(),
+            },
+            "HELP" => Command::Help,
+            "AUTH" => {
+                let mut parts = rest.split_ascii_whitespace();
+                match parts.next() {
+                    Some(mech) => Command::Auth {
+                        mechanism: mech.to_ascii_uppercase(),
+                        initial: parts.next().map(str::to_string),
+                    },
+                    None => Command::Unknown {
+                        line: trimmed.to_string(),
+                    },
+                }
+            }
+            _ => Command::Unknown {
+                line: trimmed.to_string(),
+            },
+        }
+    }
+
+    /// Serialize to the canonical wire form (without CRLF).
+    pub fn to_wire(&self) -> String {
+        match self {
+            Command::Helo { client } => format!("HELO {client}"),
+            Command::Ehlo { client } => format!("EHLO {client}"),
+            Command::MailFrom { path, params } => {
+                let mut s = format!("MAIL FROM:{path}");
+                for p in params {
+                    s.push(' ');
+                    s.push_str(p);
+                }
+                s
+            }
+            Command::RcptTo { path, params } => {
+                let mut s = format!("RCPT TO:{path}");
+                for p in params {
+                    s.push(' ');
+                    s.push_str(p);
+                }
+                s
+            }
+            Command::Data => "DATA".into(),
+            Command::Rset => "RSET".into(),
+            Command::Noop => "NOOP".into(),
+            Command::Quit => "QUIT".into(),
+            Command::StartTls => "STARTTLS".into(),
+            Command::Vrfy { target } => format!("VRFY {target}"),
+            Command::Help => "HELP".into(),
+            Command::Auth { mechanism, initial } => match initial {
+                Some(i) => format!("AUTH {mechanism} {i}"),
+                None => format!("AUTH {mechanism}"),
+            },
+            Command::Unknown { line } => line.clone(),
+        }
+    }
+}
+
+/// Parse `FROM:<path> [params]` / `TO:<path> [params]` (the keyword is
+/// case-insensitive; RFC 5321 permits no space before `<`).
+fn parse_path_command(rest: &str, keyword: &str) -> Option<(MailPath, Vec<String>)> {
+    let upper = rest.to_ascii_uppercase();
+    let prefix = format!("{keyword}:");
+    if !upper.starts_with(&prefix) {
+        return None;
+    }
+    let after = rest[prefix.len()..].trim_start();
+    let after = after.strip_prefix('<')?;
+    let (mailbox, tail) = after.split_once('>')?;
+    let params: Vec<String> = tail.split_ascii_whitespace().map(str::to_string).collect();
+    Some((MailPath::new(mailbox), params))
+}
+
+impl fmt::Display for Command {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_wire())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verbs_case_insensitive() {
+        assert_eq!(
+            Command::parse("ehlo bar.com"),
+            Command::Ehlo {
+                client: "bar.com".into()
+            }
+        );
+        assert_eq!(
+            Command::parse("EhLo bar.com"),
+            Command::Ehlo {
+                client: "bar.com".into()
+            }
+        );
+        assert_eq!(Command::parse("quit"), Command::Quit);
+        assert_eq!(Command::parse("STARTTLS"), Command::StartTls);
+    }
+
+    #[test]
+    fn mail_from_paths() {
+        assert_eq!(
+            Command::parse("MAIL FROM:<alice@example.com>"),
+            Command::MailFrom {
+                path: MailPath::new("alice@example.com"),
+                params: vec![]
+            }
+        );
+        assert_eq!(
+            Command::parse("mail from:<> SIZE=1000"),
+            Command::MailFrom {
+                path: MailPath::null(),
+                params: vec!["SIZE=1000".into()]
+            }
+        );
+    }
+
+    #[test]
+    fn rcpt_to() {
+        let c = Command::parse("RCPT TO:<bob@dest.example>");
+        match c {
+            Command::RcptTo { path, params } => {
+                assert_eq!(path.mailbox, "bob@dest.example");
+                assert_eq!(path.domain(), Some("dest.example"));
+                assert!(params.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_paths_are_unknown() {
+        assert!(matches!(
+            Command::parse("MAIL FROM alice@example.com"),
+            Command::Unknown { .. }
+        ));
+        assert!(matches!(
+            Command::parse("MAIL FROM:<unclosed"),
+            Command::Unknown { .. }
+        ));
+        assert!(matches!(Command::parse("FOO bar"), Command::Unknown { .. }));
+    }
+
+    #[test]
+    fn auth_parsing() {
+        assert_eq!(
+            Command::parse("AUTH LOGIN"),
+            Command::Auth {
+                mechanism: "LOGIN".into(),
+                initial: None
+            }
+        );
+        assert_eq!(
+            Command::parse("auth plain AGFsaWNlAHB3"),
+            Command::Auth {
+                mechanism: "PLAIN".into(),
+                initial: Some("AGFsaWNlAHB3".into())
+            }
+        );
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        for line in [
+            "EHLO bar.com",
+            "MAIL FROM:<a@b.c>",
+            "RCPT TO:<x@y.z> NOTIFY=NEVER",
+            "DATA",
+            "RSET",
+            "NOOP",
+            "QUIT",
+            "STARTTLS",
+            "VRFY postmaster",
+            "AUTH PLAIN abc",
+        ] {
+            let c = Command::parse(line);
+            assert!(!matches!(c, Command::Unknown { .. }), "{line}");
+            assert_eq!(Command::parse(&c.to_wire()), c, "{line}");
+        }
+    }
+
+    #[test]
+    fn null_path_display() {
+        assert_eq!(MailPath::null().to_string(), "<>");
+        assert!(MailPath::null().is_null());
+        assert_eq!(MailPath::null().domain(), None);
+    }
+}

@@ -1,0 +1,109 @@
+//! EHLO extension keywords (RFC 5321 §4.1.1.1, RFC 3207, RFC 1870, ...).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// An SMTP service extension advertised in the EHLO response.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Extension {
+    /// Opportunistic TLS upgrade (RFC 3207).
+    StartTls,
+    /// Command pipelining (RFC 2920).
+    Pipelining,
+    /// 8-bit MIME transport (RFC 6152).
+    EightBitMime,
+    /// Enhanced status codes (RFC 2034).
+    EnhancedStatusCodes,
+    /// UTF-8 addresses (RFC 6531).
+    SmtpUtf8,
+    /// Message size declaration (RFC 1870), with the optional maximum.
+    Size(Option<u64>),
+    /// SASL authentication (RFC 4954) with the offered mechanisms.
+    Auth(Vec<String>),
+    /// Unrecognised keyword, kept verbatim.
+    Other(String),
+}
+
+impl Extension {
+    /// Render the EHLO keyword line (without the reply-code prefix).
+    pub fn to_keyword_line(&self) -> String {
+        match self {
+            Extension::StartTls => "STARTTLS".into(),
+            Extension::Pipelining => "PIPELINING".into(),
+            Extension::EightBitMime => "8BITMIME".into(),
+            Extension::EnhancedStatusCodes => "ENHANCEDSTATUSCODES".into(),
+            Extension::SmtpUtf8 => "SMTPUTF8".into(),
+            Extension::Size(None) => "SIZE".into(),
+            Extension::Size(Some(n)) => format!("SIZE {n}"),
+            Extension::Auth(mechs) => format!("AUTH {}", mechs.join(" ")),
+            Extension::Other(s) => s.clone(),
+        }
+    }
+
+    /// Parse an EHLO keyword line.
+    pub fn parse(line: &str) -> Extension {
+        let mut parts = line.split_ascii_whitespace();
+        let kw = match parts.next() {
+            Some(kw) => kw.to_ascii_uppercase(),
+            None => return Extension::Other(line.to_string()),
+        };
+        match kw.as_str() {
+            "STARTTLS" => Extension::StartTls,
+            "PIPELINING" => Extension::Pipelining,
+            "8BITMIME" => Extension::EightBitMime,
+            "ENHANCEDSTATUSCODES" => Extension::EnhancedStatusCodes,
+            "SMTPUTF8" => Extension::SmtpUtf8,
+            "SIZE" => Extension::Size(parts.next().and_then(|n| n.parse().ok())),
+            "AUTH" => Extension::Auth(parts.map(|m| m.to_ascii_uppercase()).collect()),
+            _ => Extension::Other(line.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for Extension {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_keyword_line())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_known_keywords() {
+        assert_eq!(Extension::parse("STARTTLS"), Extension::StartTls);
+        assert_eq!(Extension::parse("starttls"), Extension::StartTls);
+        assert_eq!(Extension::parse("SIZE 35882577"), Extension::Size(Some(35882577)));
+        assert_eq!(Extension::parse("SIZE"), Extension::Size(None));
+        assert_eq!(
+            Extension::parse("AUTH LOGIN PLAIN XOAUTH2"),
+            Extension::Auth(vec!["LOGIN".into(), "PLAIN".into(), "XOAUTH2".into()])
+        );
+        assert_eq!(Extension::parse("8BITMIME"), Extension::EightBitMime);
+    }
+
+    #[test]
+    fn unknown_kept_verbatim() {
+        assert_eq!(
+            Extension::parse("X-EXPS GSSAPI"),
+            Extension::Other("X-EXPS GSSAPI".into())
+        );
+    }
+
+    #[test]
+    fn keyword_roundtrip() {
+        for e in [
+            Extension::StartTls,
+            Extension::Pipelining,
+            Extension::EightBitMime,
+            Extension::EnhancedStatusCodes,
+            Extension::SmtpUtf8,
+            Extension::Size(Some(1000)),
+            Extension::Auth(vec!["PLAIN".into()]),
+        ] {
+            assert_eq!(Extension::parse(&e.to_keyword_line()), e);
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! SMTP replies (RFC 5321 §4.2): three-digit codes, one or more text
+//! lines, multiline continuation syntax.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A three-digit SMTP reply code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ReplyCode(pub u16);
+
+impl ReplyCode {
+    /// 220 service ready (the banner).
+    pub const READY: ReplyCode = ReplyCode(220);
+    /// 221 closing connection.
+    pub const CLOSING: ReplyCode = ReplyCode(221);
+    /// 250 requested action completed.
+    pub const OK: ReplyCode = ReplyCode(250);
+    /// 354 start mail input.
+    pub const START_MAIL_INPUT: ReplyCode = ReplyCode(354);
+    /// 421 service not available.
+    pub const NOT_AVAILABLE: ReplyCode = ReplyCode(421);
+    /// 503 bad sequence of commands.
+    pub const BAD_SEQUENCE: ReplyCode = ReplyCode(503);
+    /// 500 syntax error.
+    pub const SYNTAX_ERROR: ReplyCode = ReplyCode(500);
+    /// 501 parameter syntax error.
+    pub const PARAM_SYNTAX_ERROR: ReplyCode = ReplyCode(501);
+    /// 502 command not implemented.
+    pub const NOT_IMPLEMENTED: ReplyCode = ReplyCode(502);
+    /// 454 TLS not available right now.
+    pub const TLS_NOT_AVAILABLE: ReplyCode = ReplyCode(454);
+    /// 550 mailbox unavailable.
+    pub const MAILBOX_UNAVAILABLE: ReplyCode = ReplyCode(550);
+
+    /// 2xx: positive completion.
+    pub fn is_positive(self) -> bool {
+        (200..300).contains(&self.0)
+    }
+
+    /// 3xx: positive intermediate (e.g. 354 after DATA).
+    pub fn is_intermediate(self) -> bool {
+        (300..400).contains(&self.0)
+    }
+
+    /// 4xx: transient negative.
+    pub fn is_transient_failure(self) -> bool {
+        (400..500).contains(&self.0)
+    }
+
+    /// 5xx: permanent negative.
+    pub fn is_permanent_failure(self) -> bool {
+        (500..600).contains(&self.0)
+    }
+}
+
+impl fmt::Display for ReplyCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A complete (possibly multiline) SMTP reply.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Reply {
+    /// The three-digit code, identical on every line.
+    pub code: ReplyCode,
+    /// At least one line; empty text is rendered as an empty line.
+    pub lines: Vec<String>,
+}
+
+impl Reply {
+    /// Single-line reply.
+    pub fn new(code: ReplyCode, text: impl Into<String>) -> Reply {
+        Reply {
+            code,
+            lines: vec![text.into()],
+        }
+    }
+
+    /// Multiline reply; panics on an empty line list.
+    pub fn multiline(code: ReplyCode, lines: Vec<String>) -> Reply {
+        assert!(!lines.is_empty(), "a reply needs at least one line");
+        Reply { code, lines }
+    }
+
+    /// First line's text.
+    pub fn first_line(&self) -> &str {
+        &self.lines[0]
+    }
+
+    /// Serialize to CRLF-terminated wire lines: `250-first`, …, `250 last`.
+    pub fn to_wire(&self) -> String {
+        let mut out = String::new();
+        for (i, line) in self.lines.iter().enumerate() {
+            let sep = if i + 1 == self.lines.len() { ' ' } else { '-' };
+            out.push_str(&format!("{}{}{}\r\n", self.code.0, sep, line));
+        }
+        out
+    }
+
+    /// Parse one wire line into (code, is_last, text). Returns `None` on
+    /// malformed lines.
+    pub fn parse_line(line: &str) -> Option<(ReplyCode, bool, &str)> {
+        let bytes = line.as_bytes();
+        if bytes.len() < 3 || !bytes[..3].iter().all(u8::is_ascii_digit) {
+            return None;
+        }
+        let code: u16 = line[..3].parse().ok()?;
+        if !(200..=599).contains(&code) && !(100..200).contains(&code) {
+            return None;
+        }
+        match bytes.get(3) {
+            None => Some((ReplyCode(code), true, "")),
+            Some(b' ') => Some((ReplyCode(code), true, &line[4..])),
+            Some(b'-') => Some((ReplyCode(code), false, &line[4..])),
+            Some(_) => None,
+        }
+    }
+
+    /// Accumulate wire lines into a full reply. Feed lines one at a time;
+    /// returns `Some(reply)` when the final line arrives, `Err` on
+    /// malformed or inconsistent codes.
+    pub fn parse(lines: &[&str]) -> Result<Reply, String> {
+        let mut code: Option<ReplyCode> = None;
+        let mut texts = Vec::new();
+        for (i, l) in lines.iter().enumerate() {
+            let (c, last, text) =
+                Self::parse_line(l).ok_or_else(|| format!("malformed reply line {l:?}"))?;
+            match code {
+                None => code = Some(c),
+                Some(prev) if prev != c => {
+                    return Err(format!("code changed {prev} -> {c} mid-reply"))
+                }
+                _ => {}
+            }
+            texts.push(text.to_string());
+            let is_final_input = i + 1 == lines.len();
+            if last != is_final_input {
+                return Err("continuation marker mismatch".into());
+            }
+        }
+        match code {
+            Some(code) => Ok(Reply { code, lines: texts }),
+            None => Err("empty reply".into()),
+        }
+    }
+}
+
+impl fmt::Display for Reply {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.code, self.first_line())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_classes() {
+        assert!(ReplyCode::OK.is_positive());
+        assert!(ReplyCode::START_MAIL_INPUT.is_intermediate());
+        assert!(ReplyCode::TLS_NOT_AVAILABLE.is_transient_failure());
+        assert!(ReplyCode::SYNTAX_ERROR.is_permanent_failure());
+    }
+
+    #[test]
+    fn single_line_wire() {
+        let r = Reply::new(ReplyCode::READY, "foo.com ESMTP Postfix");
+        assert_eq!(r.to_wire(), "220 foo.com ESMTP Postfix\r\n");
+    }
+
+    #[test]
+    fn multiline_wire() {
+        let r = Reply::multiline(
+            ReplyCode::OK,
+            vec!["foo.com greets bar.com".into(), "SIZE 35882577".into(), "STARTTLS".into()],
+        );
+        assert_eq!(
+            r.to_wire(),
+            "250-foo.com greets bar.com\r\n250-SIZE 35882577\r\n250 STARTTLS\r\n"
+        );
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let r = Reply::multiline(
+            ReplyCode::OK,
+            vec!["a".into(), "b".into(), "c".into()],
+        );
+        let wire = r.to_wire();
+        let lines: Vec<&str> = wire.trim_end().split("\r\n").collect();
+        assert_eq!(Reply::parse(&lines).unwrap(), r);
+    }
+
+    #[test]
+    fn parse_line_variants() {
+        assert_eq!(
+            Reply::parse_line("250 OK"),
+            Some((ReplyCode(250), true, "OK"))
+        );
+        assert_eq!(
+            Reply::parse_line("250-more"),
+            Some((ReplyCode(250), false, "more"))
+        );
+        assert_eq!(Reply::parse_line("220"), Some((ReplyCode(220), true, "")));
+        assert_eq!(Reply::parse_line("2x0 bad"), None);
+        assert_eq!(Reply::parse_line("999 bad"), None);
+        assert_eq!(Reply::parse_line("250_bad"), None);
+    }
+
+    #[test]
+    fn parse_rejects_inconsistent_codes() {
+        assert!(Reply::parse(&["250-a", "251 b"]).is_err());
+        assert!(Reply::parse(&["250-a", "250-b"]).is_err(), "missing final line");
+        assert!(Reply::parse(&[]).is_err());
+    }
+}

@@ -1,0 +1,633 @@
+//! The receiving-MTA session state machine.
+
+use mx_cert::Certificate;
+use serde::{Deserialize, Serialize};
+
+use crate::command::Command;
+use crate::extensions::Extension;
+use crate::reply::{Reply, ReplyCode};
+
+/// Deliberate misbehaviours observed in the wild (paper §3.1.3) that the
+/// corpus generator needs to reproduce.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerQuirks {
+    /// Respond `421` and close immediately on connect (busy/tarpit).
+    pub close_on_connect: bool,
+    /// Advertise STARTTLS but fail the upgrade with `454`.
+    pub starttls_rejects: bool,
+}
+
+/// Configuration of a simulated SMTP server.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SmtpServerConfig {
+    /// The identity string placed in the 220 banner. Usually an FQDN, but
+    /// deliberately arbitrary: misconfigured servers use `localhost`,
+    /// `IP-1-2-3-4`, or falsely claim someone else's hostname.
+    pub banner_host: String,
+    /// The identity in the EHLO response's first line. Usually equals
+    /// `banner_host`, but need not.
+    pub ehlo_host: String,
+    /// Free-text suffix after the banner hostname (`ESMTP Postfix`, ...).
+    pub banner_tag: String,
+    /// Extensions advertised in EHLO responses (STARTTLS is appended
+    /// automatically when `tls_chain` is set, unless quirks say otherwise).
+    pub extensions: Vec<Extension>,
+    /// Certificate chain presented on STARTTLS (leaf first). `None` means
+    /// no TLS support.
+    pub tls_chain: Option<Vec<Certificate>>,
+    /// Maximum accepted message size in bytes (RFC 1870). Advertised via
+    /// the SIZE extension and enforced against both the `MAIL FROM` SIZE
+    /// parameter and the actual DATA payload.
+    pub max_message_size: Option<u64>,
+    /// Deliberate misbehaviours for corner-case worlds.
+    pub quirks: ServerQuirks,
+}
+
+impl SmtpServerConfig {
+    /// A plain, well-behaved server with no TLS.
+    pub fn plain(host: impl Into<String>) -> Self {
+        let host = host.into();
+        SmtpServerConfig {
+            banner_host: host.clone(),
+            ehlo_host: host,
+            banner_tag: "ESMTP".into(),
+            extensions: vec![Extension::Pipelining, Extension::EightBitMime],
+            tls_chain: None,
+            max_message_size: None,
+            quirks: ServerQuirks::default(),
+        }
+    }
+
+    /// A well-behaved server presenting `chain` on STARTTLS.
+    pub fn with_tls(host: impl Into<String>, chain: Vec<Certificate>) -> Self {
+        let mut c = Self::plain(host);
+        c.tls_chain = Some(chain);
+        c
+    }
+
+    /// Does this configuration advertise STARTTLS?
+    pub fn advertises_starttls(&self) -> bool {
+        self.tls_chain.is_some() || self.quirks.starttls_rejects
+    }
+}
+
+/// Session protocol states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Connected; EHLO/HELO expected.
+    Greeted,
+    /// EHLO accepted; MAIL expected.
+    Ready,
+    /// MAIL accepted; RCPT expected.
+    MailFrom,
+    /// ≥1 RCPT accepted; more RCPT or DATA expected.
+    RcptTo,
+    /// Collecting message body until `.`.
+    Data,
+    /// QUIT processed.
+    Closed,
+}
+
+/// What the server wants the transport to do after processing input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerAction {
+    /// Replies to send, in order.
+    pub replies: Vec<Reply>,
+    /// Close the connection after sending them.
+    pub close: bool,
+}
+
+impl ServerAction {
+    fn reply(r: Reply) -> ServerAction {
+        ServerAction {
+            replies: vec![r],
+            close: false,
+        }
+    }
+
+    fn closing(r: Reply) -> ServerAction {
+        ServerAction {
+            replies: vec![r],
+            close: true,
+        }
+    }
+
+    fn none() -> ServerAction {
+        ServerAction {
+            replies: vec![],
+            close: false,
+        }
+    }
+}
+
+/// A message accepted by the server (for end-to-end delivery tests).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AcceptedMessage {
+    /// Envelope sender.
+    pub from: String,
+    /// Envelope recipients.
+    pub to: Vec<String>,
+    /// Message body, CRLF-joined, dot-unstuffed.
+    pub body: String,
+    /// Whether the session had completed STARTTLS when DATA finished.
+    pub over_tls: bool,
+}
+
+/// The SMTP server state machine. Pure: consumes lines, emits
+/// [`ServerAction`]s; no I/O.
+#[derive(Debug, Clone)]
+pub struct SmtpServer {
+    config: SmtpServerConfig,
+    state: State,
+    tls_active: bool,
+    mail_from: Option<String>,
+    rcpt_to: Vec<String>,
+    data_lines: Vec<String>,
+    accepted: Vec<AcceptedMessage>,
+}
+
+impl SmtpServer {
+    /// A fresh session over `config`.
+    pub fn new(config: SmtpServerConfig) -> SmtpServer {
+        SmtpServer {
+            config,
+            state: State::Greeted,
+            tls_active: false,
+            mail_from: None,
+            rcpt_to: Vec::new(),
+            data_lines: Vec::new(),
+            accepted: Vec::new(),
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &SmtpServerConfig {
+        &self.config
+    }
+
+    /// Messages accepted this session.
+    pub fn accepted_messages(&self) -> &[AcceptedMessage] {
+        &self.accepted
+    }
+
+    /// Has STARTTLS completed?
+    pub fn tls_active(&self) -> bool {
+        self.tls_active
+    }
+
+    /// Connection established: emit the banner (or 421-and-close).
+    pub fn on_connect(&mut self) -> ServerAction {
+        if self.config.quirks.close_on_connect {
+            self.state = State::Closed;
+            return ServerAction::closing(Reply::new(
+                ReplyCode::NOT_AVAILABLE,
+                format!("{} Service not available", self.config.banner_host),
+            ));
+        }
+        ServerAction::reply(Reply::new(
+            ReplyCode::READY,
+            format!("{} {}", self.config.banner_host, self.config.banner_tag),
+        ))
+    }
+
+    /// A command line exceeded the length limit.
+    pub fn on_overlong_line(&mut self) -> ServerAction {
+        if self.state == State::Data {
+            // Body lines are not commands; tolerate long ones.
+            return ServerAction::none();
+        }
+        ServerAction::reply(Reply::new(ReplyCode::SYNTAX_ERROR, "Line too long"))
+    }
+
+    /// Process one input line.
+    pub fn on_line(&mut self, line: &str) -> ServerAction {
+        if self.state == State::Data {
+            return self.on_data_line(line);
+        }
+        let cmd = Command::parse(line);
+        match cmd {
+            Command::Helo { .. } => {
+                self.reset_envelope();
+                self.state = State::Ready;
+                ServerAction::reply(Reply::new(
+                    ReplyCode::OK,
+                    self.config.ehlo_host.clone(),
+                ))
+            }
+            Command::Ehlo { .. } => {
+                self.reset_envelope();
+                self.state = State::Ready;
+                let mut lines = vec![format!("{} greets you", self.config.ehlo_host)];
+                for e in &self.config.extensions {
+                    lines.push(e.to_keyword_line());
+                }
+                if let Some(max) = self.config.max_message_size {
+                    lines.push(Extension::Size(Some(max)).to_keyword_line());
+                }
+                if self.config.advertises_starttls() && !self.tls_active {
+                    lines.push(Extension::StartTls.to_keyword_line());
+                }
+                ServerAction::reply(Reply::multiline(ReplyCode::OK, lines))
+            }
+            Command::StartTls => {
+                if self.tls_active {
+                    return ServerAction::reply(Reply::new(
+                        ReplyCode::BAD_SEQUENCE,
+                        "TLS already active",
+                    ));
+                }
+                if self.config.quirks.starttls_rejects || self.config.tls_chain.is_none() {
+                    return ServerAction::reply(Reply::new(
+                        ReplyCode::TLS_NOT_AVAILABLE,
+                        "TLS not available due to temporary reason",
+                    ));
+                }
+                ServerAction::reply(Reply::new(ReplyCode::READY, "Ready to start TLS"))
+            }
+            Command::MailFrom { path, params } => match self.state {
+                State::Ready => {
+                    // RFC 1870: reject declared sizes above our maximum.
+                    if let Some(max) = self.config.max_message_size {
+                        let declared = params.iter().find_map(|p| {
+                            p.to_ascii_uppercase()
+                                .strip_prefix("SIZE=")
+                                .and_then(|v| v.parse::<u64>().ok())
+                        });
+                        if declared.is_some_and(|d| d > max) {
+                            return ServerAction::reply(Reply::new(
+                                ReplyCode(552),
+                                "Message size exceeds fixed maximum",
+                            ));
+                        }
+                    }
+                    self.mail_from = Some(path.mailbox.clone());
+                    self.state = State::MailFrom;
+                    ServerAction::reply(Reply::new(ReplyCode::OK, "OK"))
+                }
+                State::Greeted => ServerAction::reply(Reply::new(
+                    ReplyCode::BAD_SEQUENCE,
+                    "Send EHLO first",
+                )),
+                _ => ServerAction::reply(Reply::new(
+                    ReplyCode::BAD_SEQUENCE,
+                    "Nested MAIL command",
+                )),
+            },
+            Command::RcptTo { path, .. } => match self.state {
+                State::MailFrom | State::RcptTo => {
+                    self.rcpt_to.push(path.mailbox.clone());
+                    self.state = State::RcptTo;
+                    ServerAction::reply(Reply::new(ReplyCode::OK, "OK"))
+                }
+                _ => ServerAction::reply(Reply::new(
+                    ReplyCode::BAD_SEQUENCE,
+                    "Need MAIL before RCPT",
+                )),
+            },
+            Command::Data => match self.state {
+                State::RcptTo => {
+                    self.state = State::Data;
+                    self.data_lines.clear();
+                    ServerAction::reply(Reply::new(
+                        ReplyCode::START_MAIL_INPUT,
+                        "End data with <CR><LF>.<CR><LF>",
+                    ))
+                }
+                _ => ServerAction::reply(Reply::new(
+                    ReplyCode::BAD_SEQUENCE,
+                    "Need RCPT before DATA",
+                )),
+            },
+            Command::Rset => {
+                self.reset_envelope();
+                if self.state != State::Greeted {
+                    self.state = State::Ready;
+                }
+                ServerAction::reply(Reply::new(ReplyCode::OK, "OK"))
+            }
+            Command::Noop => ServerAction::reply(Reply::new(ReplyCode::OK, "OK")),
+            Command::Quit => {
+                self.state = State::Closed;
+                ServerAction::closing(Reply::new(
+                    ReplyCode::CLOSING,
+                    format!("{} closing connection", self.config.banner_host),
+                ))
+            }
+            Command::Vrfy { .. } => ServerAction::reply(Reply::new(
+                ReplyCode(252),
+                "Cannot VRFY user, but will accept message",
+            )),
+            Command::Help => ServerAction::reply(Reply::new(
+                ReplyCode(214),
+                "See RFC 5321",
+            )),
+            Command::Auth { .. } => ServerAction::reply(Reply::new(
+                ReplyCode::NOT_IMPLEMENTED,
+                "Authentication not required on port 25",
+            )),
+            Command::Unknown { line } => ServerAction::reply(Reply::new(
+                ReplyCode::SYNTAX_ERROR,
+                format!("Unrecognized command: {line}"),
+            )),
+        }
+    }
+
+    fn on_data_line(&mut self, line: &str) -> ServerAction {
+        if line == "." {
+            let actual: u64 = self.data_lines.iter().map(|l| l.len() as u64 + 2).sum();
+            if self
+                .config
+                .max_message_size
+                .is_some_and(|max| actual > max)
+            {
+                self.data_lines.clear();
+                self.mail_from = None;
+                self.state = State::Ready;
+                return ServerAction::reply(Reply::new(
+                    ReplyCode(552),
+                    "Message size exceeds fixed maximum",
+                ));
+            }
+            let msg = AcceptedMessage {
+                from: self.mail_from.clone().unwrap_or_default(),
+                to: std::mem::take(&mut self.rcpt_to),
+                body: self.data_lines.join("\r\n"),
+                over_tls: self.tls_active,
+            };
+            self.accepted.push(msg);
+            self.data_lines.clear();
+            self.mail_from = None;
+            self.state = State::Ready;
+            return ServerAction::reply(Reply::new(ReplyCode::OK, "OK: queued"));
+        }
+        // Dot-unstuffing (RFC 5321 §4.5.2): strip one leading dot.
+        let stored = line.strip_prefix('.').unwrap_or(line);
+        self.data_lines.push(stored.to_string());
+        ServerAction::none()
+    }
+
+    /// The transport invokes this when the client initiates the handshake
+    /// after a 220 STARTTLS go-ahead. Returns the presented chain and
+    /// resets protocol state per RFC 3207 §4.2 ("the client MUST discard
+    /// any knowledge obtained from the server").
+    pub fn tls_handshake(&mut self) -> Option<Vec<Certificate>> {
+        let chain = self.config.tls_chain.clone()?;
+        self.tls_active = true;
+        self.reset_envelope();
+        self.state = State::Greeted;
+        Some(chain)
+    }
+
+    fn reset_envelope(&mut self) {
+        self.mail_from = None;
+        self.rcpt_to.clear();
+        self.data_lines.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(server: &mut SmtpServer, line: &str) -> Reply {
+        let mut a = server.on_line(line);
+        assert_eq!(a.replies.len(), 1, "one reply per command");
+        a.replies.remove(0)
+    }
+
+    #[test]
+    fn happy_path_delivery() {
+        let mut s = SmtpServer::new(SmtpServerConfig::plain("mx.example.com"));
+        let banner = s.on_connect();
+        assert_eq!(banner.replies[0].code, ReplyCode::READY);
+        assert_eq!(drive(&mut s, "EHLO client.test").code, ReplyCode::OK);
+        assert_eq!(
+            drive(&mut s, "MAIL FROM:<a@b.test>").code,
+            ReplyCode::OK
+        );
+        assert_eq!(drive(&mut s, "RCPT TO:<x@example.com>").code, ReplyCode::OK);
+        assert_eq!(
+            drive(&mut s, "DATA").code,
+            ReplyCode::START_MAIL_INPUT
+        );
+        assert_eq!(s.on_line("Subject: hi").replies.len(), 0);
+        assert_eq!(s.on_line("").replies.len(), 0);
+        assert_eq!(s.on_line("body text").replies.len(), 0);
+        assert_eq!(drive(&mut s, ".").code, ReplyCode::OK);
+        let msgs = s.accepted_messages();
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].from, "a@b.test");
+        assert_eq!(msgs[0].to, vec!["x@example.com".to_string()]);
+        assert_eq!(msgs[0].body, "Subject: hi\r\n\r\nbody text");
+        assert!(!msgs[0].over_tls);
+    }
+
+    #[test]
+    fn dot_unstuffing() {
+        let mut s = SmtpServer::new(SmtpServerConfig::plain("mx.example.com"));
+        s.on_connect();
+        drive(&mut s, "EHLO c");
+        drive(&mut s, "MAIL FROM:<a@b.c>");
+        drive(&mut s, "RCPT TO:<d@e.f>");
+        drive(&mut s, "DATA");
+        s.on_line("..leading dot");
+        drive(&mut s, ".");
+        assert_eq!(s.accepted_messages()[0].body, ".leading dot");
+    }
+
+    #[test]
+    fn command_sequencing_enforced() {
+        let mut s = SmtpServer::new(SmtpServerConfig::plain("mx.example.com"));
+        s.on_connect();
+        assert_eq!(
+            drive(&mut s, "MAIL FROM:<a@b.c>").code,
+            ReplyCode::BAD_SEQUENCE
+        );
+        drive(&mut s, "EHLO c");
+        assert_eq!(
+            drive(&mut s, "RCPT TO:<d@e.f>").code,
+            ReplyCode::BAD_SEQUENCE
+        );
+        assert_eq!(drive(&mut s, "DATA").code, ReplyCode::BAD_SEQUENCE);
+        drive(&mut s, "MAIL FROM:<a@b.c>");
+        assert_eq!(
+            drive(&mut s, "MAIL FROM:<again@b.c>").code,
+            ReplyCode::BAD_SEQUENCE
+        );
+    }
+
+    #[test]
+    fn ehlo_lists_extensions_and_starttls() {
+        let chain = vec![mx_cert::CertificateBuilder::new(1, mx_cert::KeyId(1))
+            .common_name("mx.example.com")
+            .self_signed()];
+        let mut s = SmtpServer::new(SmtpServerConfig::with_tls("mx.example.com", chain));
+        s.on_connect();
+        let r = drive(&mut s, "EHLO c");
+        assert!(r.lines.iter().any(|l| l == "STARTTLS"));
+        assert!(r.lines.iter().any(|l| l == "PIPELINING"));
+        assert!(r.lines[0].starts_with("mx.example.com"));
+    }
+
+    #[test]
+    fn starttls_flow_resets_state() {
+        let chain = vec![mx_cert::CertificateBuilder::new(1, mx_cert::KeyId(1))
+            .common_name("mx.example.com")
+            .self_signed()];
+        let mut s = SmtpServer::new(SmtpServerConfig::with_tls("mx.example.com", chain));
+        s.on_connect();
+        drive(&mut s, "EHLO c");
+        drive(&mut s, "MAIL FROM:<a@b.c>");
+        assert_eq!(drive(&mut s, "STARTTLS").code, ReplyCode::READY);
+        let presented = s.tls_handshake().unwrap();
+        assert_eq!(presented.len(), 1);
+        assert!(s.tls_active());
+        // Post-handshake: state reset, MAIL requires EHLO again.
+        assert_eq!(
+            drive(&mut s, "MAIL FROM:<a@b.c>").code,
+            ReplyCode::BAD_SEQUENCE
+        );
+        // And STARTTLS no longer advertised.
+        let r = drive(&mut s, "EHLO c");
+        assert!(!r.lines.iter().any(|l| l == "STARTTLS"));
+        assert_eq!(drive(&mut s, "STARTTLS").code, ReplyCode::BAD_SEQUENCE);
+    }
+
+    #[test]
+    fn starttls_without_tls_rejected() {
+        let mut s = SmtpServer::new(SmtpServerConfig::plain("mx.example.com"));
+        s.on_connect();
+        drive(&mut s, "EHLO c");
+        assert_eq!(
+            drive(&mut s, "STARTTLS").code,
+            ReplyCode::TLS_NOT_AVAILABLE
+        );
+    }
+
+    #[test]
+    fn starttls_rejecting_quirk() {
+        let chain = vec![mx_cert::CertificateBuilder::new(1, mx_cert::KeyId(1))
+            .common_name("mx.example.com")
+            .self_signed()];
+        let mut cfg = SmtpServerConfig::with_tls("mx.example.com", chain);
+        cfg.quirks.starttls_rejects = true;
+        let mut s = SmtpServer::new(cfg);
+        s.on_connect();
+        let r = drive(&mut s, "EHLO c");
+        assert!(r.lines.iter().any(|l| l == "STARTTLS"), "still advertised");
+        assert_eq!(
+            drive(&mut s, "STARTTLS").code,
+            ReplyCode::TLS_NOT_AVAILABLE
+        );
+    }
+
+    #[test]
+    fn close_on_connect_quirk() {
+        let mut cfg = SmtpServerConfig::plain("busy.example.com");
+        cfg.quirks.close_on_connect = true;
+        let mut s = SmtpServer::new(cfg);
+        let a = s.on_connect();
+        assert_eq!(a.replies[0].code, ReplyCode::NOT_AVAILABLE);
+        assert!(a.close);
+    }
+
+    #[test]
+    fn rset_clears_envelope() {
+        let mut s = SmtpServer::new(SmtpServerConfig::plain("mx.example.com"));
+        s.on_connect();
+        drive(&mut s, "EHLO c");
+        drive(&mut s, "MAIL FROM:<a@b.c>");
+        drive(&mut s, "RCPT TO:<d@e.f>");
+        assert_eq!(drive(&mut s, "RSET").code, ReplyCode::OK);
+        assert_eq!(drive(&mut s, "DATA").code, ReplyCode::BAD_SEQUENCE);
+        assert_eq!(drive(&mut s, "MAIL FROM:<a@b.c>").code, ReplyCode::OK);
+    }
+
+    #[test]
+    fn unknown_command_500() {
+        let mut s = SmtpServer::new(SmtpServerConfig::plain("mx.example.com"));
+        s.on_connect();
+        assert_eq!(drive(&mut s, "FROBNICATE").code, ReplyCode::SYNTAX_ERROR);
+    }
+
+    #[test]
+    fn misleading_banner_configurable() {
+        // A server falsely claiming to be Google (§3.1.3).
+        let mut cfg = SmtpServerConfig::plain("mx.google.com");
+        cfg.ehlo_host = "mx.google.com".into();
+        let mut s = SmtpServer::new(cfg);
+        let a = s.on_connect();
+        assert!(a.replies[0].first_line().starts_with("mx.google.com"));
+    }
+}
+
+#[cfg(test)]
+mod size_tests {
+    use super::*;
+
+    fn drive(server: &mut SmtpServer, line: &str) -> Reply {
+        let mut a = server.on_line(line);
+        assert_eq!(a.replies.len(), 1);
+        a.replies.remove(0)
+    }
+
+    fn sized_server(max: u64) -> SmtpServer {
+        let mut cfg = SmtpServerConfig::plain("mx.sized.example");
+        cfg.max_message_size = Some(max);
+        let mut s = SmtpServer::new(cfg);
+        s.on_connect();
+        s
+    }
+
+    #[test]
+    fn size_advertised_in_ehlo() {
+        let mut s = sized_server(1000);
+        let r = drive(&mut s, "EHLO c");
+        assert!(r.lines.iter().any(|l| l == "SIZE 1000"), "{:?}", r.lines);
+    }
+
+    #[test]
+    fn declared_size_over_max_rejected() {
+        let mut s = sized_server(1000);
+        drive(&mut s, "EHLO c");
+        assert_eq!(
+            drive(&mut s, "MAIL FROM:<a@b.c> SIZE=2000").code,
+            ReplyCode(552)
+        );
+        // Within limit: accepted.
+        assert_eq!(
+            drive(&mut s, "MAIL FROM:<a@b.c> SIZE=500").code,
+            ReplyCode::OK
+        );
+    }
+
+    #[test]
+    fn oversized_data_rejected_after_transfer() {
+        let mut s = sized_server(50);
+        drive(&mut s, "EHLO c");
+        drive(&mut s, "MAIL FROM:<a@b.c>");
+        drive(&mut s, "RCPT TO:<d@e.f>");
+        drive(&mut s, "DATA");
+        for _ in 0..10 {
+            s.on_line("0123456789");
+        }
+        assert_eq!(drive(&mut s, ".").code, ReplyCode(552));
+        assert!(s.accepted_messages().is_empty());
+        // Session recovers: a small message goes through.
+        drive(&mut s, "MAIL FROM:<a@b.c>");
+        drive(&mut s, "RCPT TO:<d@e.f>");
+        drive(&mut s, "DATA");
+        s.on_line("small");
+        assert_eq!(drive(&mut s, ".").code, ReplyCode::OK);
+        assert_eq!(s.accepted_messages().len(), 1);
+    }
+
+    #[test]
+    fn no_limit_accepts_anything() {
+        let mut s = SmtpServer::new(SmtpServerConfig::plain("mx.free.example"));
+        s.on_connect();
+        let r = drive(&mut s, "EHLO c");
+        assert!(!r.lines.iter().any(|l| l.starts_with("SIZE")));
+        drive(&mut s, "MAIL FROM:<a@b.c> SIZE=999999999");
+    }
+}

@@ -1,0 +1,217 @@
+//! In-memory transport with real CRLF framing.
+//!
+//! The simulation runs client and server in the same process, but the bytes
+//! exchanged are real: commands and replies are serialized to CRLF-framed
+//! lines, buffered, length-checked and re-parsed on the other side, so the
+//! codecs are exercised on every simulated connection.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::reply::Reply;
+use crate::server::{ServerAction, SmtpServer};
+
+/// Maximum accepted command-line length including CRLF (RFC 5321 §4.5.3.1.4
+/// allows 512 for command lines; extensions can raise it — we enforce the
+/// classic limit and reply 500 beyond it).
+pub const MAX_LINE_LEN: usize = 512;
+
+/// Line-framing errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LineError {
+    /// The peer closed the connection.
+    Closed,
+    /// No complete line available (would block).
+    WouldBlock,
+}
+
+impl fmt::Display for LineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LineError::Closed => write!(f, "connection closed"),
+            LineError::WouldBlock => write!(f, "no complete line buffered"),
+        }
+    }
+}
+
+impl std::error::Error for LineError {}
+
+/// A client-side handle to an SMTP server: an in-memory duplex byte pipe
+/// with the server state machine attached to the far end.
+#[derive(Debug)]
+pub struct Connection {
+    server: SmtpServer,
+    /// Bytes travelling server -> client, CRLF-framed.
+    s2c: VecDeque<u8>,
+    /// Partial line travelling client -> server.
+    c2s_partial: Vec<u8>,
+    open: bool,
+}
+
+impl Connection {
+    /// Open a connection: the server immediately emits its banner (or
+    /// closes, for tarpit configurations).
+    pub fn open(mut server: SmtpServer) -> Connection {
+        let action = server.on_connect();
+        let mut conn = Connection {
+            server,
+            s2c: VecDeque::new(),
+            c2s_partial: Vec::new(),
+            open: true,
+        };
+        conn.apply(action);
+        conn
+    }
+
+    /// Is the connection still open?
+    pub fn is_open(&self) -> bool {
+        self.open
+    }
+
+    fn apply(&mut self, action: ServerAction) {
+        for reply in action.replies {
+            for b in reply.to_wire().bytes() {
+                self.s2c.push_back(b);
+            }
+        }
+        if action.close {
+            self.open = false;
+        }
+    }
+
+    /// Write raw bytes client -> server; complete CRLF lines are delivered
+    /// to the server state machine as they form.
+    pub fn write(&mut self, bytes: &[u8]) -> Result<(), LineError> {
+        if !self.open {
+            return Err(LineError::Closed);
+        }
+        for &b in bytes {
+            self.c2s_partial.push(b);
+            let n = self.c2s_partial.len();
+            if n >= 2 && self.c2s_partial[n - 2] == b'\r' && self.c2s_partial[n - 1] == b'\n' {
+                let line_bytes: Vec<u8> = self.c2s_partial.drain(..).collect();
+                let action = if line_bytes.len() > MAX_LINE_LEN {
+                    self.server.on_overlong_line()
+                } else {
+                    let line = String::from_utf8_lossy(&line_bytes[..line_bytes.len() - 2])
+                        .into_owned();
+                    self.server.on_line(&line)
+                };
+                self.apply(action);
+                if !self.open {
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Write one line (CRLF appended).
+    pub fn write_line(&mut self, line: &str) -> Result<(), LineError> {
+        let mut bytes = line.as_bytes().to_vec();
+        bytes.extend_from_slice(b"\r\n");
+        self.write(&bytes)
+    }
+
+    /// Read one CRLF-framed line from the server, without the CRLF.
+    pub fn read_line(&mut self) -> Result<String, LineError> {
+        // Find CRLF in s2c.
+        let mut idx = None;
+        for i in 1..self.s2c.len() {
+            if self.s2c[i - 1] == b'\r' && self.s2c[i] == b'\n' {
+                idx = Some(i + 1);
+                break;
+            }
+        }
+        match idx {
+            Some(end) => {
+                let bytes: Vec<u8> = self.s2c.drain(..end).collect();
+                Ok(String::from_utf8_lossy(&bytes[..bytes.len() - 2]).into_owned())
+            }
+            None if !self.open && self.s2c.is_empty() => Err(LineError::Closed),
+            None => Err(LineError::WouldBlock),
+        }
+    }
+
+    /// Read a complete (possibly multiline) reply.
+    pub fn read_reply(&mut self) -> Result<Reply, LineError> {
+        let mut lines: Vec<String> = Vec::new();
+        loop {
+            let line = self.read_line()?;
+            let parsed = Reply::parse_line(&line);
+            let last = parsed.map(|(_, last, _)| last).unwrap_or(true);
+            lines.push(line);
+            if last {
+                break;
+            }
+        }
+        let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+        Reply::parse(&refs).map_err(|_| LineError::Closed)
+    }
+
+    /// Perform the (simulated) TLS handshake after a 220 STARTTLS go-ahead:
+    /// obtain the server's certificate chain and reset the server session
+    /// state per RFC 3207 §4.2. Returns `None` if the server has no usable
+    /// TLS configuration (handshake failure).
+    pub fn tls_handshake(&mut self) -> Option<Vec<mx_cert::Certificate>> {
+        let chain = self.server.tls_handshake()?;
+        Some(chain)
+    }
+
+    /// Direct access to the server (tests and diagnostics).
+    pub fn server(&self) -> &SmtpServer {
+        &self.server
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::SmtpServerConfig;
+
+    fn server() -> SmtpServer {
+        SmtpServer::new(SmtpServerConfig::plain("mx1.provider.com"))
+    }
+
+    #[test]
+    fn banner_available_on_open() {
+        let mut c = Connection::open(server());
+        let banner = c.read_reply().unwrap();
+        assert_eq!(banner.code.0, 220);
+        assert!(banner.first_line().starts_with("mx1.provider.com"));
+    }
+
+    #[test]
+    fn split_writes_assemble_lines() {
+        let mut c = Connection::open(server());
+        c.read_reply().unwrap();
+        c.write(b"EH").unwrap();
+        c.write(b"LO bar.com\r").unwrap();
+        assert_eq!(c.read_line().unwrap_err(), LineError::WouldBlock);
+        c.write(b"\n").unwrap();
+        let reply = c.read_reply().unwrap();
+        assert_eq!(reply.code.0, 250);
+    }
+
+    #[test]
+    fn overlong_line_rejected() {
+        let mut c = Connection::open(server());
+        c.read_reply().unwrap();
+        let long = format!("EHLO {}", "x".repeat(600));
+        c.write_line(&long).unwrap();
+        let reply = c.read_reply().unwrap();
+        assert_eq!(reply.code.0, 500);
+    }
+
+    #[test]
+    fn write_after_close_errors() {
+        let mut c = Connection::open(server());
+        c.read_reply().unwrap();
+        c.write_line("QUIT").unwrap();
+        let bye = c.read_reply().unwrap();
+        assert_eq!(bye.code.0, 221);
+        assert!(!c.is_open());
+        assert_eq!(c.write_line("NOOP").unwrap_err(), LineError::Closed);
+        assert_eq!(c.read_line().unwrap_err(), LineError::Closed);
+    }
+}

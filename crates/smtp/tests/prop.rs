@@ -1,0 +1,103 @@
+//! Property tests: codecs round-trip, and the server state machine is
+//! total (any byte stream gets a reply or a clean close, never a panic).
+
+use mx_smtp::{Command, Connection, Extension, Reply, ReplyCode, SmtpServer, SmtpServerConfig};
+use proptest::prelude::*;
+
+fn arb_text_line() -> impl Strategy<Value = String> {
+    // Printable ASCII without CR/LF.
+    "[ -~]{0,80}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Replies round-trip through the wire form.
+    #[test]
+    fn reply_roundtrip(code in 200u16..=599, lines in prop::collection::vec(arb_text_line(), 1..5)) {
+        let r = Reply::multiline(ReplyCode(code), lines);
+        let wire = r.to_wire();
+        let body = wire.strip_suffix("\r\n").unwrap();
+        let parsed_lines: Vec<&str> = body.split("\r\n").collect();
+        let r2 = Reply::parse(&parsed_lines).unwrap();
+        prop_assert_eq!(r, r2);
+    }
+
+    /// Commands round-trip through their canonical wire form.
+    #[test]
+    fn command_roundtrip(mailbox in "[a-z]{1,8}@[a-z]{1,8}\\.[a-z]{2,4}", client in "[a-z.]{1,20}") {
+        for cmd in [
+            Command::Ehlo { client: client.clone() },
+            Command::Helo { client: client.clone() },
+            Command::MailFrom { path: mx_smtp::MailPath::new(mailbox.clone()), params: vec![] },
+            Command::RcptTo { path: mx_smtp::MailPath::new(mailbox.clone()), params: vec![] },
+        ] {
+            prop_assert_eq!(Command::parse(&cmd.to_wire()), cmd);
+        }
+    }
+
+    /// Extension keyword lines round-trip.
+    #[test]
+    fn extension_roundtrip(size in proptest::option::of(0u64..u64::MAX / 2),
+                           mechs in prop::collection::vec("[A-Z0-9-]{2,10}", 1..4)) {
+        for e in [
+            Extension::Size(size),
+            Extension::Auth(mechs.clone()),
+            Extension::StartTls,
+        ] {
+            prop_assert_eq!(Extension::parse(&e.to_keyword_line()), e);
+        }
+    }
+
+    /// The server never panics and always stays consistent, whatever lines
+    /// it is fed.
+    #[test]
+    fn server_is_total(lines in prop::collection::vec(arb_text_line(), 0..30)) {
+        let mut server = SmtpServer::new(SmtpServerConfig::plain("mx.fuzz.example"));
+        let action = server.on_connect();
+        prop_assert!(!action.replies.is_empty());
+        for line in &lines {
+            let action = server.on_line(line);
+            // Every reply carries a syntactically valid code.
+            for r in &action.replies {
+                prop_assert!((200..600).contains(&r.code.0), "code {}", r.code);
+            }
+            if action.close {
+                break;
+            }
+        }
+    }
+
+    /// The transport never panics on arbitrary bytes and keeps framing.
+    #[test]
+    fn transport_is_total(chunks in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..40), 0..10)) {
+        let mut conn = Connection::open(SmtpServer::new(SmtpServerConfig::plain("mx.fuzz.example")));
+        let _ = conn.read_reply();
+        for chunk in &chunks {
+            if conn.write(chunk).is_err() {
+                break; // server closed: acceptable
+            }
+            // Drain whatever replies are available.
+            while let Ok(line) = conn.read_line() {
+                prop_assert!(!line.contains('\r') && !line.contains('\n'));
+            }
+        }
+    }
+
+    /// A full scripted session against arbitrary identities works whenever
+    /// the identities are syntactically plausible.
+    #[test]
+    fn scripted_session(host in "[a-z]{1,10}\\.[a-z]{2,5}") {
+        let config = SmtpServerConfig::plain(host.clone());
+        let conn = Connection::open(SmtpServer::new(config));
+        let mut client = mx_smtp::SmtpClient::connect(conn).unwrap();
+        prop_assert!(client.banner().first_line().starts_with(&host));
+        let (reply, _) = client.ehlo("probe.example").unwrap();
+        prop_assert_eq!(reply.code, ReplyCode::OK);
+        client.send_mail("a@b.cd", &["x@y.zw"], "hello\r\nworld").unwrap();
+        let server = client.connection().server();
+        prop_assert_eq!(server.accepted_messages().len(), 1);
+        prop_assert_eq!(server.accepted_messages()[0].body.as_str(), "hello\r\nworld");
+        client.quit().unwrap();
+    }
+}

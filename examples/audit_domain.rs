@@ -1,0 +1,139 @@
+//! Audit a single domain end-to-end, tracing every measurement step the
+//! paper's methodology takes: MX resolution, A resolution, the port-25
+//! SMTP conversation (banner, EHLO, STARTTLS certificate), ASN lookup, and
+//! finally the provider inference with its data source.
+//!
+//! Run with: `cargo run --release --example audit_domain [domain]`
+//! (defaults to auditing a handful of interesting domains in the world).
+
+use mxmap::analysis::observe::observe_world;
+use mxmap::corpus::{company_map, provider_knowledge, Dataset, ScenarioConfig, Study};
+use mxmap::dns::Name;
+use mxmap::infer::{IdSource, Pipeline};
+
+fn main() {
+    let study = Study::generate(ScenarioConfig::small(42));
+    let world = study.world_at(8);
+    let data = observe_world(&world);
+    let obs = data.dataset(Dataset::Alexa).expect("active");
+    let result = Pipeline::priority_based(provider_knowledge(10)).run(obs);
+    let companies = company_map();
+
+    let requested: Option<Name> = std::env::args()
+        .nth(1)
+        .and_then(|s| Name::parse(&s).ok());
+    let domains: Vec<Name> = match requested {
+        Some(d) => vec![d],
+        None => {
+            // Pick one domain per interesting ground-truth category.
+            let mut picks = Vec::new();
+            for cat in [
+                mxmap::corpus::TruthCategory::Company,
+                mxmap::corpus::TruthCategory::SelfHosted,
+                mxmap::corpus::TruthCategory::VpsSelfHosted,
+                mxmap::corpus::TruthCategory::FakeClaim,
+                mxmap::corpus::TruthCategory::NoMail,
+            ] {
+                let mut names: Vec<&Name> = world
+                    .truth
+                    .records
+                    .iter()
+                    .filter(|(n, t)| t.category == cat && obs.domains.iter().any(|d| &d.domain == *n))
+                    .map(|(n, _)| n)
+                    .collect();
+                names.sort();
+                if let Some(n) = names.first() {
+                    picks.push((*n).clone());
+                }
+            }
+            picks
+        }
+    };
+
+    for domain in &domains {
+        println!("================================================================");
+        println!("AUDIT: {domain}");
+        let Some(d) = obs.domains.iter().find(|d| &d.domain == domain) else {
+            println!("  not in the measured Alexa population");
+            continue;
+        };
+
+        // DNS view.
+        println!("  MX records:");
+        for t in d.mx.targets() {
+            println!("    pref {:>3}  {}", t.preference, t.exchange);
+            for a in &t.addrs {
+                let asn = obs
+                    .ip(*a)
+                    .and_then(|o| o.asn)
+                    .map(|asn| world.net.as_table().describe(asn))
+                    .unwrap_or_else(|| "unrouted".into());
+                println!("      -> {a}  [AS {asn}]");
+            }
+            if t.addrs.is_empty() {
+                println!("      -> (does not resolve)");
+            }
+        }
+
+        // Scan view.
+        for t in d.mx.primary_targets() {
+            for a in &t.addrs {
+                let Some(ipobs) = obs.ip(*a) else { continue };
+                match &ipobs.scan {
+                    mxmap::infer::ScanStatus::NotCovered => {
+                        println!("  {a}: not covered by the scan (opt-out or failure)")
+                    }
+                    mxmap::infer::ScanStatus::NoSmtp => {
+                        println!("  {a}: port 25 closed / no SMTP")
+                    }
+                    mxmap::infer::ScanStatus::Smtp(s) => {
+                        println!("  {a}: banner  = {:?}", s.banner);
+                        println!("       ehlo    = {:?}", s.ehlo.as_deref().unwrap_or("-"));
+                        match s.leaf_certificate() {
+                            Some(c) => println!(
+                                "       cert    = CN={:?} SANs={:?} (valid: {})",
+                                c.subject_cn.as_deref().unwrap_or("-"),
+                                c.sans,
+                                ipobs.cert_valid
+                            ),
+                            None => println!("       cert    = none"),
+                        }
+                    }
+                }
+            }
+        }
+
+        // Inference view.
+        let a = &result.domains[domain];
+        for share in &a.shares {
+            let source = match share.source {
+                IdSource::Certificate => "TLS certificate",
+                IdSource::Banner => "Banner/EHLO",
+                IdSource::MxRecord => "MX record",
+            };
+            println!(
+                "  INFERRED: {} (company: {}) via {} [weight {:.2}]",
+                share.provider,
+                companies.company_or_id(&share.provider),
+                source,
+                share.weight
+            );
+        }
+        if a.shares.is_empty() {
+            println!("  INFERRED: no provider (no usable MX)");
+        }
+
+        // Ground truth (only available in simulation!).
+        if let Some(t) = world.truth.of(domain) {
+            println!(
+                "  TRUTH: category {:?}, provider {}, live SMTP: {}",
+                t.category,
+                t.expected_provider_id
+                    .as_ref()
+                    .map(|p| p.to_string())
+                    .unwrap_or_else(|| "-".into()),
+                t.has_smtp
+            );
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! National provider bias (a miniature Figure 8): which countries' domains
+//! hand their mail — and hence legal jurisdiction — to which providers.
+//!
+//! Run with: `cargo run --release --example country_bias`
+
+use mxmap::analysis::country::{country_matrix, FIG8_CCTLDS, FIG8_PROVIDERS};
+use mxmap::analysis::observe::observe_world;
+use mxmap::analysis::{report::pct, Table};
+use mxmap::corpus::{company_map, provider_knowledge, Dataset, ScenarioConfig, Study};
+use mxmap::infer::Pipeline;
+
+fn main() {
+    // Larger Alexa slice so every ccTLD has a meaningful population.
+    let study = Study::generate(ScenarioConfig {
+        seed: 42,
+        alexa_size: 6000,
+        com_size: 100,
+        gov_size: 50,
+    });
+    let world = study.world_at(8);
+    let data = observe_world(&world);
+    let obs = data.dataset(Dataset::Alexa).expect("active");
+    let result = Pipeline::priority_based(provider_knowledge(10)).run(obs);
+    let m = country_matrix(&result, &study.populations[0].domains, &company_map());
+
+    let mut t = Table::new("Provider share by ccTLD (June 2021)").headers([
+        "ccTLD", "n", "Google", "Microsoft", "Tencent", "Yandex", "US total",
+    ]);
+    for cc in FIG8_CCTLDS {
+        let us = m.share(cc, "Google") + m.share(cc, "Microsoft");
+        t.row([
+            format!(".{cc}"),
+            m.total(cc).to_string(),
+            pct(m.share(cc, "Google")),
+            pct(m.share(cc, "Microsoft")),
+            pct(m.share(cc, "Tencent")),
+            pct(m.share(cc, "Yandex")),
+            pct(us),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // The paper's two takeaways, verified live.
+    let br_us = m.share("br", "Google") + m.share("br", "Microsoft");
+    println!("US providers' share of .br domains: {}", pct(br_us));
+    println!(
+        "Yandex outside .ru: {} (vs {} inside)",
+        pct(avg_outside(&m, "Yandex", "ru")),
+        pct(m.share("ru", "Yandex"))
+    );
+    println!(
+        "Tencent outside .cn: {} (vs {} inside)",
+        pct(avg_outside(&m, "Tencent", "cn")),
+        pct(m.share("cn", "Tencent"))
+    );
+    println!(
+        "\nTakeaway (§5.4): US-based providers attract customers worldwide; \
+         Yandex and Tencent serve almost exclusively their home ccTLDs."
+    );
+    let _ = FIG8_PROVIDERS;
+}
+
+fn avg_outside(m: &mxmap::analysis::CountryMatrix, provider: &str, home: &str) -> f64 {
+    let mut total = 0.0;
+    let mut n = 0;
+    for cc in FIG8_CCTLDS {
+        if cc != home {
+            total += m.share(cc, provider);
+            n += 1;
+        }
+    }
+    total / n as f64
+}

@@ -1,0 +1,60 @@
+//! # mxmap — Who's Got Your Mail? (IMC '21) in Rust
+//!
+//! A full reproduction of *"Who's Got Your Mail? Characterizing Mail
+//! Service Provider Usage"* (Liu et al., ACM IMC 2021): the paper's
+//! priority-based methodology for mapping Internet domains to the
+//! companies that actually operate their inbound mail, together with every
+//! substrate it runs on — a DNS implementation, an SMTP implementation, a
+//! certificate/PKI model, a Public Suffix List engine, an IPv4
+//! prefix-to-AS table, a simulated Internet with fault injection, and a
+//! calibrated synthetic mail ecosystem standing in for the unavailable
+//! OpenINTEL/Censys longitudinal corpora.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use mxmap::corpus::{ScenarioConfig, Study};
+//! use mxmap::analysis::observe::observe_world;
+//! use mxmap::infer::Pipeline;
+//!
+//! // A small world at the June 2021 snapshot.
+//! let study = Study::generate(ScenarioConfig::small(42));
+//! let world = study.world_at(8);
+//!
+//! // Measure it (DNS + port-25 scans) and infer providers.
+//! let data = observe_world(&world);
+//! let obs = data.dataset(mxmap::corpus::Dataset::Alexa).unwrap();
+//! let result = Pipeline::priority_based(mxmap::corpus::provider_knowledge(10)).run(obs);
+//! assert_eq!(result.domains.len(), obs.domains.len());
+//! ```
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and
+//! `cargo run -p mx-bench --bin all_experiments` for the harness that
+//! regenerates every table and figure of the paper.
+
+/// The paper's contribution: priority-based provider inference.
+pub use mx_infer as infer;
+
+/// Study analyses: market share, longitudinal trends, churn, accuracy.
+pub use mx_analysis as analysis;
+
+/// The synthetic calibrated mail ecosystem.
+pub use mx_corpus as corpus;
+
+/// The simulated Internet (scanner, OpenINTEL-style measurement, faults).
+pub use mx_net as net;
+
+/// DNS substrate (names, wire format, zones, resolver).
+pub use mx_dns as dns;
+
+/// SMTP substrate (commands, replies, state machines, scans).
+pub use mx_smtp as smtp;
+
+/// Certificate / PKI model.
+pub use mx_cert as cert;
+
+/// IPv4 prefix-to-AS mapping.
+pub use mx_asn as asn;
+
+/// Public Suffix List engine.
+pub use mx_psl as psl;

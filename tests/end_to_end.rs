@@ -1,0 +1,153 @@
+//! End-to-end integration tests spanning all crates: generate a world,
+//! measure it over the simulated Internet (real DNS wire format, real SMTP
+//! sessions), run the paper's inference, and check the study's headline
+//! results hold.
+
+use mxmap::analysis::observe::observe_world;
+use mxmap::analysis::{accuracy, coverage, market};
+use mxmap::corpus::{company_map, provider_knowledge, Dataset, ScenarioConfig, Study};
+use mxmap::infer::{Pipeline, Strategy};
+
+fn world_and_obs() -> (mxmap::corpus::World, mxmap::infer::ObservationSet) {
+    let study = Study::generate(ScenarioConfig::small(2024));
+    let world = study.world_at(8);
+    let data = observe_world(&world);
+    let obs = data.dataset(Dataset::Alexa).unwrap().clone();
+    (world, obs)
+}
+
+#[test]
+fn priority_based_is_most_accurate() {
+    let (world, obs) = world_and_obs();
+    let report = accuracy::evaluate(
+        &obs,
+        &world.truth,
+        provider_knowledge(10),
+        &company_map(),
+        200,
+        1,
+    );
+    use accuracy::SampleKind::*;
+    for kind in [Uniform, UniqueMx] {
+        let prio = report.cell(Strategy::PriorityBased, kind).correct;
+        let banner = report.cell(Strategy::BannerBased, kind).correct;
+        let cert = report.cell(Strategy::CertBased, kind).correct;
+        let mx = report.cell(Strategy::MxOnly, kind).correct;
+        assert!(prio >= banner, "{kind:?}: prio {prio} >= banner {banner}");
+        assert!(banner >= cert, "{kind:?}: banner {banner} >= cert {cert}");
+        assert!(cert >= mx, "{kind:?}: cert {cert} >= mx {mx}");
+        assert!(
+            prio as f64 / 200.0 > 0.95,
+            "{kind:?}: priority accuracy {}",
+            prio
+        );
+    }
+    // The unique-MX sample hurts the MX-only baseline hardest (Figure 4).
+    let mx_drop = report.cell(Strategy::MxOnly, Uniform).correct as i64
+        - report.cell(Strategy::MxOnly, UniqueMx).correct as i64;
+    let prio_drop = report.cell(Strategy::PriorityBased, Uniform).correct as i64
+        - report.cell(Strategy::PriorityBased, UniqueMx).correct as i64;
+    assert!(
+        mx_drop > prio_drop,
+        "unique-MX sampling should hurt MX-only more ({mx_drop} vs {prio_drop})"
+    );
+}
+
+#[test]
+fn coverage_is_a_partition_with_all_modes() {
+    let (_, obs) = world_and_obs();
+    let b = coverage::breakdown(&obs);
+    let sum: usize = b.counts.iter().map(|(_, n)| n).sum();
+    assert_eq!(sum, b.total);
+    assert!(b.count(coverage::CoverageCategory::NoMxIp) > 0);
+    assert!(b.count(coverage::CoverageCategory::NoPort25) > 0);
+    assert!(b.count(coverage::CoverageCategory::NoValidCert) > 0);
+    assert!(b.count(coverage::CoverageCategory::Complete) * 2 > b.total);
+}
+
+#[test]
+fn market_leaders_match_paper() {
+    let study = Study::generate(ScenarioConfig::small(2025));
+    let world = study.world_at(8);
+    let data = observe_world(&world);
+    let companies = company_map();
+    let pipeline = Pipeline::priority_based(provider_knowledge(10));
+    let expectations = [
+        (Dataset::Alexa, "Google"),
+        (Dataset::Com, "GoDaddy"),
+        (Dataset::Gov, "Microsoft"),
+    ];
+    for (ds, leader) in expectations {
+        let obs = data.dataset(ds).unwrap();
+        let result = pipeline.run(obs);
+        let shares = market::market_share(&result, &companies, None);
+        assert_eq!(
+            shares.rows[0].company, leader,
+            "{} leader should be {leader}",
+            ds.label()
+        );
+    }
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let run = || {
+        let study = Study::generate(ScenarioConfig::small(7));
+        let world = study.world_at(8);
+        let data = observe_world(&world);
+        let obs = data.dataset(Dataset::Alexa).unwrap().clone();
+        let result = Pipeline::priority_based(provider_knowledge(10)).run(&obs);
+        let mut rows: Vec<(String, String)> = result
+            .domains
+            .iter()
+            .map(|(d, a)| {
+                (
+                    d.to_string(),
+                    a.shares
+                        .iter()
+                        .map(|s| s.provider.to_string())
+                        .collect::<Vec<_>>()
+                        .join(","),
+                )
+            })
+            .collect();
+        rows.sort();
+        rows
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn misidentification_check_earns_its_keep() {
+    // Ablation: the same observations, priority-based with and without
+    // step 4. The corrections must strictly improve ground-truth accuracy.
+    let (world, obs) = world_and_obs();
+    let companies = company_map();
+    let with = Pipeline::priority_based(provider_knowledge(10)).run(&obs);
+    let without = Pipeline::new(Strategy::PriorityBased).run(&obs); // empty knowledge
+    let count_correct = |result: &mxmap::infer::InferenceResult| {
+        result
+            .domains
+            .keys()
+            .filter(|d| accuracy::is_correct(result, &world.truth, &companies, d))
+            .count()
+    };
+    let a = count_correct(&with);
+    let b = count_correct(&without);
+    assert!(a > b, "with misid check {a} > without {b}");
+    assert!(!with.misid.corrections.is_empty());
+    assert!(without.misid.corrections.is_empty());
+}
+
+#[test]
+fn null_and_dangling_domains_have_no_smtp() {
+    let (world, obs) = world_and_obs();
+    let result = Pipeline::priority_based(provider_knowledge(10)).run(&obs);
+    for (name, truth) in &world.truth.records {
+        if truth.category == mxmap::corpus::TruthCategory::Dangling {
+            if let Some(a) = result.domain(name) {
+                assert!(!a.has_smtp, "{name} is dangling but has_smtp");
+            }
+        }
+    }
+}
