@@ -10,12 +10,9 @@
 use mx_corpus::{GroundTruth, TruthCategory};
 use mx_dns::Name;
 use mx_infer::{CompanyMap, InferenceResult, ObservationSet, Pipeline, Strategy};
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use serde::Serialize;
 
 /// How the evaluation sample was drawn.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SampleKind {
     /// Uniform over SMTP-reachable domains.
     Uniform,
@@ -34,7 +31,7 @@ impl SampleKind {
 }
 
 /// Results for one (strategy, sample) cell of Figure 4.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AccuracyCell {
     /// The strategy evaluated.
     pub strategy: Strategy,
@@ -57,7 +54,7 @@ impl AccuracyCell {
 }
 
 /// The full Figure 4 panel for one dataset.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AccuracyReport {
     /// One cell per (strategy, sample kind).
     pub cells: Vec<AccuracyCell>,
@@ -93,8 +90,8 @@ pub fn sample_domains(
         .filter(|name| truth.of(name).is_some_and(|t| t.has_smtp))
         .collect();
     eligible.sort();
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
-    eligible.shuffle(&mut rng);
+    let mut rng = mx_rng::SmallRng::seed_from_u64(seed);
+    rng.shuffle(&mut eligible);
     let mut out = Vec::with_capacity(n);
     let mut seen_mx: std::collections::HashSet<&Name> = Default::default();
     for name in eligible {

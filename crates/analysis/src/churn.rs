@@ -6,10 +6,9 @@ use std::collections::HashMap;
 use mx_dns::Name;
 use mx_infer::{CompanyMap, InferenceResult, ObservationSet};
 use mx_psl::PublicSuffixList;
-use serde::Serialize;
 
 /// The seven categories of Figure 7.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ChurnCategory {
     /// Hosted by Google.
     Google,
@@ -55,7 +54,7 @@ impl ChurnCategory {
 }
 
 /// The flow matrix between two snapshots.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ChurnMatrix {
     /// `flows[(from, to)]` = number of domains.
     pub flows: HashMap<(ChurnCategory, ChurnCategory), usize>,

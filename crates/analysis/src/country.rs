@@ -4,7 +4,6 @@ use std::collections::HashMap;
 
 use mx_corpus::DomainRecord;
 use mx_infer::{CompanyMap, InferenceResult};
-use serde::Serialize;
 
 /// The providers Figure 8 tracks.
 pub const FIG8_PROVIDERS: [&str; 4] = ["Google", "Microsoft", "Tencent", "Yandex"];
@@ -15,7 +14,7 @@ pub const FIG8_CCTLDS: [&str; 15] = [
 ];
 
 /// The ccTLD × provider share matrix.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct CountryMatrix {
     /// `(cctld, provider) -> (weight, share of the ccTLD's domains)`.
     pub cells: HashMap<(String, String), (f64, f64)>,

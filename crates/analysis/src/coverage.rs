@@ -1,11 +1,10 @@
 //! Table 4: the data-availability breakdown of a snapshot.
 
 use mx_infer::{DomainObservation, ObservationSet, ScanStatus};
-use serde::Serialize;
 
 /// The mutually-exclusive availability categories of Table 4, applied in
 /// order: a domain lands in the first category that describes it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CoverageCategory {
     /// No MX target resolved to an address.
     NoMxIp,
@@ -46,7 +45,7 @@ impl CoverageCategory {
 }
 
 /// Per-category counts for one dataset snapshot.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct CoverageBreakdown {
     /// Per-category counts, in [`CoverageCategory::ALL`] order.
     pub counts: Vec<(CoverageCategory, usize)>,

@@ -20,6 +20,7 @@
 //! * [`report`] — plain-text table/series rendering shared by the
 //!   experiment binaries.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod accuracy;

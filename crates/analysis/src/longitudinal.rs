@@ -3,13 +3,12 @@
 use mx_corpus::{company_map, provider_knowledge, Dataset, Study};
 use mx_infer::{CompanyMap, Pipeline, ProviderKnowledge};
 use mx_psl::PublicSuffixList;
-use serde::Serialize;
 
 use crate::market;
 use crate::observe;
 
 /// One point of one company's series.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SeriesPoint {
     /// Snapshot label (`2017-06`).
     pub date: String,
@@ -20,7 +19,7 @@ pub struct SeriesPoint {
 }
 
 /// The longitudinal series of one dataset (Figure 6 column).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct LongitudinalSeries {
     /// The corpus the series covers.
     pub dataset: Dataset,

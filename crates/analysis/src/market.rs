@@ -6,10 +6,9 @@ use std::collections::{BTreeSet, HashMap};
 use mx_corpus::DomainRecord;
 use mx_dns::Name;
 use mx_infer::{CompanyMap, InferenceResult, ProviderId};
-use serde::Serialize;
 
 /// One company's share.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MarketShareRow {
     /// Company display name (or bare provider ID for the long tail).
     pub company: String,
@@ -20,7 +19,7 @@ pub struct MarketShareRow {
 }
 
 /// Market-share summary over a set of domains.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct MarketShare {
     /// Rows sorted by weight, descending.
     pub rows: Vec<MarketShareRow>,

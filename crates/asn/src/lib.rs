@@ -15,6 +15,7 @@
 //!   `addr\tlen\tasn` format, including multi-origin `a_b` and `a,b`
 //!   AS sets), LPM lookup and AS metadata ([`AsInfo`]).
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod prefix;

@@ -4,7 +4,6 @@ use std::fmt;
 use std::net::Ipv4Addr;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
 
 /// Errors constructing an [`Ipv4Prefix`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,7 +29,7 @@ impl fmt::Display for PrefixError {
 impl std::error::Error for PrefixError {}
 
 /// A validated IPv4 CIDR prefix (network address + length).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Ipv4Prefix {
     bits: u32,
     len: u8,

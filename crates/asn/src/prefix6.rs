@@ -9,12 +9,11 @@ use std::fmt;
 use std::net::Ipv6Addr;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
 
 use crate::prefix::PrefixError;
 
 /// A validated IPv6 CIDR prefix (network address + length).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Ipv6Prefix {
     bits: u128,
     len: u8,

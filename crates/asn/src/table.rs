@@ -4,7 +4,6 @@ use std::collections::HashMap;
 use std::fmt;
 use std::net::Ipv4Addr;
 
-use serde::{Deserialize, Serialize};
 
 use crate::prefix::{Ipv4Prefix, PrefixError};
 use crate::prefix6::{Ipv6Prefix, Ipv6Trie};
@@ -13,7 +12,7 @@ use crate::Asn;
 
 /// The origin of a prefix: one AS, or a multi-origin set (CAIDA encodes
 /// MOAS as `a_b` and AS sets as `a,b`; we preserve both as a set).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Origin {
     /// One origin AS.
     Single(Asn),
@@ -54,7 +53,7 @@ impl fmt::Display for Origin {
 
 /// Metadata about an AS (the paper's Table 5 lists AS numbers with their
 /// operating organisations).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AsInfo {
     /// The autonomous system number.
     pub asn: Asn,

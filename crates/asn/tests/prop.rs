@@ -1,26 +1,35 @@
 //! Property tests: the LPM trie agrees with a naive linear scan.
+//!
+//! Deterministic seeded generators over [`mx_rng`] replace `proptest`
+//! (offline build); each failure message carries the case number.
 
 use std::net::Ipv4Addr;
 
 use mx_asn::{Ipv4Prefix, PrefixTrie};
-use proptest::prelude::*;
+use mx_rng::SmallRng;
 
-fn arb_prefix() -> impl Strategy<Value = Ipv4Prefix> {
-    (any::<u32>(), 0u8..=32).prop_map(|(bits, len)| {
-        Ipv4Prefix::new_truncating(Ipv4Addr::from(bits), len).unwrap()
-    })
+const CASES: u64 = 256;
+
+fn gen_prefix(rng: &mut SmallRng) -> Ipv4Prefix {
+    let bits = rng.next_u32();
+    let len = rng.gen_range(0u8..=32);
+    Ipv4Prefix::new_truncating(Ipv4Addr::from(bits), len).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn gen_prefixes(rng: &mut SmallRng, max: usize) -> Vec<Ipv4Prefix> {
+    let n = rng.gen_range(1..max);
+    (0..n).map(|_| gen_prefix(rng)).collect()
+}
 
-    /// Trie LPM result equals the naive "most specific containing prefix"
-    /// computed by linear scan.
-    #[test]
-    fn trie_matches_linear_scan(
-        prefixes in prop::collection::vec(arb_prefix(), 1..40),
-        addr in any::<u32>().prop_map(Ipv4Addr::from),
-    ) {
+/// Trie LPM result equals the naive "most specific containing prefix"
+/// computed by linear scan.
+#[test]
+fn trie_matches_linear_scan() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xA52_0001 ^ case);
+        let prefixes = gen_prefixes(&mut rng, 40);
+        let addr = Ipv4Addr::from(rng.next_u32());
+
         let mut trie = PrefixTrie::new();
         for (i, p) in prefixes.iter().enumerate() {
             trie.insert(*p, i);
@@ -46,27 +55,35 @@ proptest! {
             }
         }
         let got = trie.lookup(addr).map(|(p, v)| (p, *v));
-        prop_assert_eq!(got, best);
+        assert_eq!(got, best, "case {case}");
     }
+}
 
-    /// Every inserted prefix is exactly retrievable, and lookup of its
-    /// network address matches it or something more specific.
-    #[test]
-    fn inserted_prefixes_found(prefixes in prop::collection::vec(arb_prefix(), 1..30)) {
+/// Every inserted prefix is exactly retrievable, and lookup of its
+/// network address matches it or something more specific.
+#[test]
+fn inserted_prefixes_found() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xA52_0002 ^ case);
+        let prefixes = gen_prefixes(&mut rng, 30);
         let mut trie = PrefixTrie::new();
         for (i, p) in prefixes.iter().enumerate() {
             trie.insert(*p, i);
         }
         for p in &prefixes {
-            prop_assert!(trie.get(p).is_some());
+            assert!(trie.get(p).is_some(), "case {case}: {p} not found");
             let (m, _) = trie.lookup(p.network()).expect("network addr must match");
-            prop_assert!(m.len() >= p.len() || m.covers(p));
+            assert!(m.len() >= p.len() || m.covers(p), "case {case}");
         }
     }
+}
 
-    /// iter() returns exactly the distinct inserted prefixes.
-    #[test]
-    fn iter_complete(prefixes in prop::collection::vec(arb_prefix(), 1..30)) {
+/// iter() returns exactly the distinct inserted prefixes.
+#[test]
+fn iter_complete() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xA52_0003 ^ case);
+        let prefixes = gen_prefixes(&mut rng, 30);
         let mut trie = PrefixTrie::new();
         for p in &prefixes {
             trie.insert(*p, ());
@@ -76,13 +93,17 @@ proptest! {
         distinct.dedup();
         let mut got: Vec<Ipv4Prefix> = trie.iter().into_iter().map(|(p, _)| p).collect();
         got.sort();
-        prop_assert_eq!(got, distinct);
+        assert_eq!(got, distinct, "case {case}");
     }
+}
 
-    /// Prefix parse/display round trip.
-    #[test]
-    fn prefix_display_roundtrip(p in arb_prefix()) {
+/// Prefix parse/display round trip.
+#[test]
+fn prefix_display_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xA52_0004 ^ case);
+        let p = gen_prefix(&mut rng);
         let p2: Ipv4Prefix = p.to_string().parse().unwrap();
-        prop_assert_eq!(p, p2);
+        assert_eq!(p, p2, "case {case}");
     }
 }

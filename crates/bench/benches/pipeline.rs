@@ -2,7 +2,8 @@
 //! materialisation, DNS measurement, scanning, and the four strategies
 //! (the ablation DESIGN.md calls out: what does each data source cost?).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mx_bench::microbench::{black_box, BenchmarkId, Criterion};
+use mx_bench::{criterion_group, criterion_main};
 
 use mx_analysis::observe::observe_world;
 use mx_corpus::{Dataset, ScenarioConfig, Study};

@@ -1,7 +1,8 @@
 //! Criterion micro-benchmarks of the substrates: DNS wire codec, LPM trie,
 //! PSL lookups, SMTP sessions, certificate grouping.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use mx_bench::microbench::{black_box, Criterion, Throughput};
+use mx_bench::{criterion_group, criterion_main};
 use std::net::Ipv4Addr;
 
 use mx_asn::{Ipv4Prefix, PrefixTrie};

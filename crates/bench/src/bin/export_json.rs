@@ -2,16 +2,17 @@
 //! (`results/experiments.json`), for downstream plotting.
 
 use mx_analysis::{accuracy, country, coverage, market};
+use mx_bench::json::Value;
+use mx_bench::obj;
 use mx_bench::ExperimentCtx;
 use mx_corpus::Dataset;
 use mx_infer::Strategy;
-use serde_json::json;
 
 fn main() {
     let mut ctx = ExperimentCtx::from_env();
     let k = ExperimentCtx::last_snapshot();
     let companies = ctx.companies.clone();
-    let mut root = serde_json::Map::new();
+    let mut root = Value::object();
 
     // Figure 4 accuracy cells.
     let mut fig4 = Vec::new();
@@ -22,18 +23,18 @@ fn main() {
         let (world, _) = ctx.snapshot(k);
         let report = accuracy::evaluate(&obs, &world.truth, knowledge, &companies, 200, seed);
         for c in &report.cells {
-            fig4.push(json!({
-                "dataset": ds.label(),
-                "strategy": c.strategy.label(),
-                "sample": c.sample.label(),
-                "n": c.sample_size,
-                "correct": c.correct,
-                "accuracy": c.accuracy(),
-                "examined": c.examined,
-            }));
+            fig4.push(obj! {
+                "dataset" => ds.label(),
+                "strategy" => c.strategy.label(),
+                "sample" => c.sample.label(),
+                "n" => c.sample_size,
+                "correct" => c.correct,
+                "accuracy" => c.accuracy(),
+                "examined" => c.examined,
+            });
         }
     }
-    root.insert("fig4_accuracy".into(), json!(fig4));
+    root.insert("fig4_accuracy", fig4);
 
     // Table 4 coverage.
     let mut table4 = Vec::new();
@@ -41,15 +42,15 @@ fn main() {
         let obs = ctx.observation(k, ds).expect("active").clone();
         let b = coverage::breakdown(&obs);
         for (cat, n) in &b.counts {
-            table4.push(json!({
-                "dataset": ds.label(),
-                "category": cat.label(),
-                "count": n,
-                "share": *n as f64 / b.total as f64,
-            }));
+            table4.push(obj! {
+                "dataset" => ds.label(),
+                "category" => cat.label(),
+                "count" => *n,
+                "share" => *n as f64 / b.total as f64,
+            });
         }
     }
-    root.insert("table4_coverage".into(), json!(table4));
+    root.insert("table4_coverage", table4);
 
     // Table 6 market shares.
     let mut table6 = Vec::new();
@@ -57,16 +58,16 @@ fn main() {
         let result = ctx.result(k, ds).clone();
         let shares = market::market_share(&result, &companies, None);
         for (rank, r) in shares.top(15).iter().enumerate() {
-            table6.push(json!({
-                "dataset": ds.label(),
-                "rank": rank + 1,
-                "company": r.company,
-                "weight": r.weight,
-                "share": r.share,
-            }));
+            table6.push(obj! {
+                "dataset" => ds.label(),
+                "rank" => rank + 1,
+                "company" => r.company.clone(),
+                "weight" => r.weight,
+                "share" => r.share,
+            });
         }
     }
-    root.insert("table6_top15".into(), json!(table6));
+    root.insert("table6_top15", table6);
 
     // Figure 8 country matrix.
     let records = ctx.study.populations[0].domains.clone();
@@ -75,24 +76,27 @@ fn main() {
     let mut fig8 = Vec::new();
     for cc in country::FIG8_CCTLDS {
         for provider in country::FIG8_PROVIDERS {
-            fig8.push(json!({
-                "cctld": cc,
-                "provider": provider,
-                "domains": m.total(cc),
-                "share": m.share(cc, provider),
-            }));
+            fig8.push(obj! {
+                "cctld" => cc,
+                "provider" => provider,
+                "domains" => m.total(cc),
+                "share" => m.share(cc, provider),
+            });
         }
     }
-    root.insert("fig8_country".into(), json!(fig8));
+    root.insert("fig8_country", fig8);
 
     // Strategy labels for completeness.
     root.insert(
-        "strategies".into(),
-        json!(Strategy::ALL.iter().map(|s| s.label()).collect::<Vec<_>>()),
+        "strategies",
+        Strategy::ALL
+            .iter()
+            .map(|s| s.label().to_string())
+            .collect::<Vec<_>>(),
     );
 
     std::fs::create_dir_all("results").ok();
-    let out = serde_json::to_string_pretty(&serde_json::Value::Object(root)).expect("serialize");
+    let out = root.to_string_pretty();
     std::fs::write("results/experiments.json", &out).expect("write");
     println!("wrote results/experiments.json ({} bytes)", out.len());
 }

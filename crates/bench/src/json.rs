@@ -1,0 +1,213 @@
+//! A minimal JSON value model and pretty printer.
+//!
+//! The offline build environment has no `serde_json`, and the experiment
+//! exporter only ever *writes* JSON, so this module implements the tiny
+//! subset we need: a [`Value`] tree, `From` conversions for the primitive
+//! types the experiments emit, and an RFC 8259-compliant serializer with
+//! two-space indentation. Object keys keep insertion order so exported
+//! files diff cleanly between runs.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any finite number (non-finite floats serialize as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// An empty object.
+    pub fn object() -> Value {
+        Value::Obj(Vec::new())
+    }
+
+    /// Insert (or append) a key into an object; no-op on non-objects.
+    pub fn insert(&mut self, key: &str, value: impl Into<Value>) {
+        if let Value::Obj(pairs) = self {
+            pairs.push((key.to_string(), value.into()));
+        }
+    }
+
+    /// Serialize with two-space indentation.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(n) => write_number(out, *n),
+            Value::Str(s) => write_escaped(out, s),
+            Value::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Value::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_number(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n == n.trunc() && n.abs() < 9e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Num(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Value {
+        Value::Arr(v)
+    }
+}
+impl From<Vec<String>> for Value {
+    fn from(v: Vec<String>) -> Value {
+        Value::Arr(v.into_iter().map(Value::from).collect())
+    }
+}
+
+macro_rules! impl_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Num(v as f64)
+            }
+        }
+    )*};
+}
+
+impl_from_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Build an object from `key => value` pairs.
+#[macro_export]
+macro_rules! obj {
+    ($($k:expr => $v:expr),* $(,)?) => {{
+        let mut o = $crate::json::Value::object();
+        $(o.insert($k, $v);)*
+        o
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_output_shape() {
+        let mut o = Value::object();
+        o.insert("name", "a\"b");
+        o.insert("n", 3usize);
+        o.insert("share", 0.5f64);
+        o.insert("items", Vec::<Value>::new());
+        let s = o.to_string_pretty();
+        assert!(s.starts_with("{\n  \"name\": \"a\\\"b\",\n"));
+        assert!(s.contains("\"n\": 3"));
+        assert!(s.contains("\"share\": 0.5"));
+        assert!(s.contains("\"items\": []"));
+        assert!(s.ends_with('}'));
+    }
+
+    #[test]
+    fn escapes_control_chars() {
+        let s = Value::Str("a\u{1}\tb".into()).to_string_pretty();
+        assert_eq!(s, "\"a\\u0001\\tb\"");
+    }
+
+    #[test]
+    fn non_finite_serializes_null() {
+        assert_eq!(Value::Num(f64::NAN).to_string_pretty(), "null");
+    }
+}

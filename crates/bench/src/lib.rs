@@ -6,7 +6,12 @@
 //! for a fast run or `MX_SCALE=study` (default) for the calibrated scale;
 //! `MX_SEED` overrides the seed (default 42).
 
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod experiments;
+pub mod json;
+pub mod microbench;
 pub mod runner;
 
 pub use experiments::*;

@@ -1,0 +1,173 @@
+//! A small criterion-shaped micro-benchmark harness.
+//!
+//! The offline build has no `criterion`, so this module supplies the
+//! subset of its API the bench targets use: `Criterion`,
+//! `benchmark_group`/`bench_function`/`bench_with_input`, `Throughput`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros. Timing is a fixed warm-up followed by a
+//! calibrated measurement window; results print as ns/iter plus derived
+//! throughput. It is intentionally simple — no statistics beyond the
+//! mean — but stable enough to compare hot-path changes run-to-run.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; forwards to [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Units for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A parameterised benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Label a case by its parameter value.
+    pub fn from_parameter(p: impl Display) -> Self {
+        BenchmarkId(p.to_string())
+    }
+}
+
+/// Drives one benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Time `f`: warm up ~50 ms, then run a window sized to ~250 ms.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let warmup = Duration::from_millis(50);
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < warmup {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warmup.as_secs_f64() / warm_iters.max(1) as f64;
+        let target_iters = ((0.25 / per_iter) as u64).clamp(1, 10_000_000);
+        let start = Instant::now();
+        for _ in 0..target_iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        self.ns_per_iter = elapsed * 1e9 / target_iters as f64;
+    }
+}
+
+/// Top-level harness handle, mirrored on criterion's `Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(name, b.ns_per_iter, None);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput unit.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Set the per-iteration throughput used for derived rates.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(&format!("{}/{}", self.name, name), b.ns_per_iter, self.throughput);
+        self
+    }
+
+    /// Run one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.0), b.ns_per_iter, self.throughput);
+        self
+    }
+
+    /// End the group (kept for criterion API parity).
+    pub fn finish(self) {}
+}
+
+fn report(name: &str, ns_per_iter: f64, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let mb_s = n as f64 / (ns_per_iter / 1e9) / 1e6;
+            format!("  ({mb_s:.1} MB/s)")
+        }
+        Some(Throughput::Elements(n)) => {
+            let elem_s = n as f64 / (ns_per_iter / 1e9);
+            format!("  ({elem_s:.0} elem/s)")
+        }
+        None => String::new(),
+    };
+    if ns_per_iter >= 1e6 {
+        let ms = ns_per_iter / 1e6;
+        println!("{name:<45} {ms:>12.3} ms/iter{rate}");
+    } else if ns_per_iter >= 1e3 {
+        let us = ns_per_iter / 1e3;
+        println!("{name:<45} {us:>12.3} µs/iter{rate}");
+    } else {
+        println!("{name:<45} {ns_per_iter:>12.1} ns/iter{rate}");
+    }
+}
+
+/// Collect benchmark functions under one name (criterion API parity).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($f:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::microbench::Criterion::default();
+            $($f(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

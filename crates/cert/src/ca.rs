@@ -3,14 +3,13 @@
 use std::collections::HashSet;
 
 use mx_dns::Timestamp;
-use serde::{Deserialize, Serialize};
 
 use crate::cert::{Certificate, CertificateBuilder, KeyId};
 use crate::fingerprint::Fingerprint;
 
 /// A certificate authority: a named key pair plus its own certificate
 /// (self-signed for roots, CA-signed for intermediates).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CertificateAuthority {
     name: String,
     key: KeyId,
@@ -100,7 +99,7 @@ impl CertificateAuthority {
 /// are identified by certificate fingerprint (with the key recorded so the
 /// validator can also anchor chains that end at a cert *signed by* a
 /// trusted root key without including the root itself).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TrustStore {
     root_fingerprints: HashSet<Fingerprint>,
     root_keys: HashSet<KeyId>,

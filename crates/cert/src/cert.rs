@@ -3,18 +3,17 @@
 use std::fmt;
 
 use mx_dns::Timestamp;
-use serde::{Deserialize, Serialize};
 
 use crate::fingerprint::Fingerprint;
 
 /// Identifier of a (simulated) key pair. Whoever knows the `KeyId` can sign
 /// with it; the simulation never leaks CA `KeyId`s to host configurations,
 /// which is what makes forged certificates detectable.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct KeyId(pub u64);
 
 /// A simulated signature: a keyed hash of the to-be-signed bytes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Signature {
     /// The key that (claims to have) produced the signature.
     pub signer: KeyId,
@@ -38,7 +37,7 @@ impl Signature {
 }
 
 /// A certificate: the fields of X.509 the measurement methodology reads.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Certificate {
     /// Issuer-assigned serial number.
     pub serial: u64,

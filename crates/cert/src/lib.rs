@@ -20,6 +20,7 @@
 //! * [`fingerprint`] — FNV-1a content fingerprints used to deduplicate and
 //!   group certificates.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ca;

@@ -138,7 +138,9 @@ pub fn chain_trusted(
     }
 
     // 4. Anchoring.
-    let last = chain.last().expect("non-empty");
+    let Some(last) = chain.last() else {
+        return Err(ValidationError::EmptyChain);
+    };
     if trust.is_trusted_root(last) {
         return Ok(());
     }

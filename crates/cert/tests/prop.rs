@@ -1,51 +1,84 @@
 //! Property tests for the PKI model: issuance/validation invariants and
 //! host-name matching.
+//!
+//! Deterministic seeded generators over [`mx_rng`] replace `proptest`
+//! (offline build); each failure message carries the case number.
 
 use mx_cert::{
     chain_trusted, host_matches, validate_chain, CertificateAuthority, CertificateBuilder, KeyId,
     TrustStore, ValidationError,
 };
 use mx_dns::Timestamp;
-use proptest::prelude::*;
+use mx_rng::SmallRng;
 
-fn arb_host() -> impl Strategy<Value = String> {
-    "[a-z]{1,8}(\\.[a-z]{1,8}){1,3}"
+const CASES: u64 = 128;
+
+fn gen_lower(rng: &mut SmallRng, min: usize, max: usize) -> String {
+    let n = rng.gen_range(min..=max);
+    (0..n)
+        .map(|_| char::from(rng.gen_range(b'a'..=b'z')))
+        .collect()
+}
+
+/// `[a-z]{1,8}(\.[a-z]{1,8}){1,3}`.
+fn gen_host(rng: &mut SmallRng) -> String {
+    let extra = rng.gen_range(1..=3usize);
+    let mut s = gen_lower(rng, 1, 8);
+    for _ in 0..extra {
+        s.push('.');
+        s.push_str(&gen_lower(rng, 1, 8));
+    }
+    s
 }
 
 fn ts(y: i64) -> Timestamp {
     Timestamp::from_ymd(y, 1, 1)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Anything a trusted CA issues validates for its own CN within its
-    /// window; tampering with any name breaks the signature.
-    #[test]
-    fn issued_certs_validate_and_tampering_breaks(host in arb_host(), key in 2u64..u64::MAX) {
+/// Anything a trusted CA issues validates for its own CN within its
+/// window; tampering with any name breaks the signature.
+#[test]
+fn issued_certs_validate_and_tampering_breaks() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xCE27_0001 ^ case);
+        let host = gen_host(&mut rng);
+        let key = rng.gen_range(2u64..u64::MAX);
         let mut ca = CertificateAuthority::new_root("Root", KeyId(1), (ts(2000), ts(2050)));
         let mut trust = TrustStore::new();
         trust.add_root(&ca);
         let leaf = ca.issue_server(KeyId(key), Some(&host), &[], (ts(2020), ts(2030)));
-        prop_assert_eq!(validate_chain(std::slice::from_ref(&leaf), &trust, ts(2025), &host), Ok(()));
-        prop_assert_eq!(chain_trusted(std::slice::from_ref(&leaf), &trust, ts(2025)), Ok(()));
+        assert_eq!(
+            validate_chain(std::slice::from_ref(&leaf), &trust, ts(2025), &host),
+            Ok(()),
+            "case {case}"
+        );
+        assert_eq!(
+            chain_trusted(std::slice::from_ref(&leaf), &trust, ts(2025)),
+            Ok(()),
+            "case {case}"
+        );
         // Outside the window.
         let expired = matches!(
             validate_chain(std::slice::from_ref(&leaf), &trust, ts(2031), &host),
             Err(ValidationError::Expired { .. })
         );
-        prop_assert!(expired);
+        assert!(expired, "case {case}");
         // Tampered subject.
         let mut evil = leaf;
         evil.subject_cn = Some(format!("evil-{host}"));
         let evil_host = format!("evil-{host}");
         let tampered_fails = validate_chain(&[evil], &trust, ts(2025), &evil_host).is_err();
-        prop_assert!(tampered_fails);
+        assert!(tampered_fails, "case {case}");
     }
+}
 
-    /// Self-signed certificates never validate against a CA trust store.
-    #[test]
-    fn self_signed_never_trusted(host in arb_host(), key in 2u64..u64::MAX) {
+/// Self-signed certificates never validate against a CA trust store.
+#[test]
+fn self_signed_never_trusted() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xCE27_0002 ^ case);
+        let host = gen_host(&mut rng);
+        let key = rng.gen_range(2u64..u64::MAX);
         let ca = CertificateAuthority::new_root("Root", KeyId(1), (ts(2000), ts(2050)));
         let mut trust = TrustStore::new();
         trust.add_root(&ca);
@@ -53,41 +86,55 @@ proptest! {
             .common_name(&host)
             .validity(ts(2020), ts(2030))
             .self_signed();
-        prop_assert!(chain_trusted(&[ss], &trust, ts(2025)).is_err());
+        assert!(chain_trusted(&[ss], &trust, ts(2025)).is_err(), "case {case}");
     }
+}
 
-    /// host_matches is reflexive on literal names and wildcard matching
-    /// covers exactly one extra label.
-    #[test]
-    fn name_matching_invariants(host in arb_host(), label in "[a-z]{1,8}") {
-        prop_assert!(host_matches(&host, &host));
-        prop_assert!(host_matches(&host.to_ascii_uppercase(), &host));
+/// host_matches is reflexive on literal names and wildcard matching
+/// covers exactly one extra label.
+#[test]
+fn name_matching_invariants() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xCE27_0003 ^ case);
+        let host = gen_host(&mut rng);
+        let label = gen_lower(&mut rng, 1, 8);
+        assert!(host_matches(&host, &host), "case {case}");
+        assert!(host_matches(&host.to_ascii_uppercase(), &host), "case {case}");
         // `*.host` matches `label.host` but not `host` or `a.label.host`.
         let pattern = format!("*.{host}");
         let child = format!("{label}.{host}");
         if host.split('.').count() >= 2 {
-            prop_assert!(host_matches(&pattern, &child));
-            prop_assert!(!host_matches(&pattern, &host));
+            assert!(host_matches(&pattern, &child), "case {case}");
+            assert!(!host_matches(&pattern, &host), "case {case}");
             let grandchild = format!("a.{child}");
-            prop_assert!(!host_matches(&pattern, &grandchild));
+            assert!(!host_matches(&pattern, &grandchild), "case {case}");
         }
     }
+}
 
-    /// Certificate fingerprints are stable and sensitive to every name.
-    #[test]
-    fn fingerprints_distinguish_names(host in arb_host(), other in arb_host()) {
+/// Certificate fingerprints are stable and sensitive to every name.
+#[test]
+fn fingerprints_distinguish_names() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xCE27_0004 ^ case);
+        let host = gen_host(&mut rng);
+        let other = gen_host(&mut rng);
         let a = CertificateBuilder::new(1, KeyId(1)).common_name(&host).self_signed();
         let b = CertificateBuilder::new(1, KeyId(1)).common_name(&other).self_signed();
-        prop_assert_eq!(a.fingerprint(), a.clone().fingerprint());
+        assert_eq!(a.fingerprint(), a.clone().fingerprint(), "case {case}");
         if host != other {
-            prop_assert_ne!(a.fingerprint(), b.fingerprint());
+            assert_ne!(a.fingerprint(), b.fingerprint(), "case {case}");
         }
     }
+}
 
-    /// A chain through an intermediate validates; reordering or swapping
-    /// in a different intermediate's key breaks it.
-    #[test]
-    fn intermediate_chains(host in arb_host()) {
+/// A chain through an intermediate validates; the leaf alone does not
+/// reach the root.
+#[test]
+fn intermediate_chains() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xCE27_0005 ^ case);
+        let host = gen_host(&mut rng);
         let mut root = CertificateAuthority::new_root("Root", KeyId(1), (ts(2000), ts(2050)));
         let mut inter =
             CertificateAuthority::new_intermediate(&mut root, "Inter", KeyId(2), (ts(2001), ts(2049)));
@@ -95,8 +142,8 @@ proptest! {
         trust.add_root(&root);
         let leaf = inter.issue_server(KeyId(3), Some(&host), &[], (ts(2020), ts(2030)));
         let chain = vec![leaf.clone(), inter.certificate().clone()];
-        prop_assert_eq!(validate_chain(&chain, &trust, ts(2025), &host), Ok(()));
+        assert_eq!(validate_chain(&chain, &trust, ts(2025), &host), Ok(()), "case {case}");
         // Leaf alone does not reach the root.
-        prop_assert!(validate_chain(&[leaf], &trust, ts(2025), &host).is_err());
+        assert!(validate_chain(&[leaf], &trust, ts(2025), &host).is_err(), "case {case}");
     }
 }

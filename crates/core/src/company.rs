@@ -8,12 +8,11 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use mx_asn::Asn;
-use serde::{Deserialize, Serialize};
 
 use crate::ipid::ProviderId;
 
 /// A Table 5 row: a provider ID with the ASNs it was observed from.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProviderIdRow {
     /// The provider ID.
     pub provider_id: ProviderId,
@@ -22,7 +21,7 @@ pub struct ProviderIdRow {
 }
 
 /// Provider-ID → company mapping.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct CompanyMap {
     id_to_company: HashMap<ProviderId, String>,
 }

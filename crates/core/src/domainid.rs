@@ -3,14 +3,13 @@
 use std::collections::HashMap;
 
 use mx_dns::Name;
-use serde::{Deserialize, Serialize};
 
 use crate::input::{DomainObservation, ObservationSet};
 use crate::ipid::ProviderId;
 use crate::mxid::{IdSource, MxAssignment};
 
 /// One provider's share of a domain's mail service.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Share {
     /// The provider receiving credit.
     pub provider: ProviderId,
@@ -22,7 +21,7 @@ pub struct Share {
 }
 
 /// The final attribution of a domain.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DomainAssignment {
     /// The attributed domain.
     pub domain: Name,

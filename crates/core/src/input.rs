@@ -13,10 +13,9 @@ use mx_asn::Asn;
 use mx_cert::Certificate;
 use mx_dns::Name;
 use mx_smtp::SmtpScanData;
-use serde::{Deserialize, Serialize};
 
 /// One MX target as measured: preference, exchange and resolved addresses.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MxTargetObs {
     /// MX preference (lowest wins).
     pub preference: u16,
@@ -27,7 +26,7 @@ pub struct MxTargetObs {
 }
 
 /// The domain's measured MX configuration.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MxObservation {
     /// No MX records published (or the domain is gone).
     NoMx,
@@ -61,7 +60,7 @@ impl MxObservation {
 }
 
 /// One domain's measurement row.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DomainObservation {
     /// The measured domain.
     pub domain: Name,
@@ -70,7 +69,7 @@ pub struct DomainObservation {
 }
 
 /// Port-25 scan status for an IP.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ScanStatus {
     /// The IP was not covered by the scan at all ("No Censys").
     NotCovered,
@@ -91,7 +90,7 @@ impl ScanStatus {
 }
 
 /// Everything known about one IP address.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IpObservation {
     /// The observed address.
     pub ip: Ipv4Addr,
@@ -135,7 +134,7 @@ impl IpObservation {
 }
 
 /// The complete joined input of one snapshot.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ObservationSet {
     /// Per-domain DNS measurements.
     pub domains: Vec<DomainObservation>,

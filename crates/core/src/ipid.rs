@@ -5,14 +5,13 @@ use std::net::Ipv4Addr;
 
 use mx_psl::PublicSuffixList;
 use mx_smtp::valid_fqdn;
-use serde::{Deserialize, Serialize};
 
 use crate::certgroup::CertGroups;
 use crate::input::ObservationSet;
 
 /// A provider identifier: a registered domain naming the entity that
 /// operates a piece of mail infrastructure.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ProviderId(pub String);
 
 impl ProviderId {

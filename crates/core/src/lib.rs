@@ -35,6 +35,7 @@
 //! (the join of the DNS measurement, the port-25 scan, and prefix2as data)
 //! and never sees generator ground truth.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod certgroup;

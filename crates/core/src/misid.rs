@@ -25,7 +25,6 @@ use mx_asn::Asn;
 use mx_cert::Fingerprint;
 use mx_dns::Name;
 use mx_psl::PublicSuffixList;
-use serde::{Deserialize, Serialize};
 
 use crate::input::ObservationSet;
 use crate::ipid::ProviderId;
@@ -33,7 +32,7 @@ use crate::mxid::{mx_fallback_id, IdSource, MxAssignment};
 use crate::pattern::Pattern;
 
 /// What a heuristic decided about a candidate.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CorrectionReason {
     /// The server claims a large provider but sits outside its ASes:
     /// forged identity; revert to the MX-record fallback ID.
@@ -68,7 +67,7 @@ pub struct Correction {
 }
 
 /// Knowledge about one large provider used by the heuristics.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ProviderProfile {
     /// ASes the provider's own mail infrastructure announces from.
     pub asns: HashSet<Asn>,
@@ -82,7 +81,7 @@ pub struct ProviderProfile {
 
 /// The predetermined set of large providers to check (paper: "we only
 /// check for misidentifications for large providers").
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ProviderKnowledge {
     /// Per-provider profiles keyed by provider ID.
     pub profiles: HashMap<ProviderId, ProviderProfile>,

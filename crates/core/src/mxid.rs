@@ -5,12 +5,11 @@ use std::net::Ipv4Addr;
 
 use mx_dns::Name;
 use mx_psl::PublicSuffixList;
-use serde::{Deserialize, Serialize};
 
 use crate::ipid::{IpIds, ProviderId};
 
 /// Which data source produced an MX record's provider ID.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum IdSource {
     /// All resolved IPs agreed on a certificate-derived ID.
     Certificate,

@@ -11,10 +11,9 @@
 //!   (never across a dot);
 //! * `#` matches one or more ASCII digits.
 
-use serde::{Deserialize, Serialize};
 
 /// A compiled hostname pattern.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Pattern {
     source: String,
 }

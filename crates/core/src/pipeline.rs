@@ -4,7 +4,6 @@ use std::collections::HashMap;
 
 use mx_dns::Name;
 use mx_psl::PublicSuffixList;
-use serde::{Deserialize, Serialize};
 
 use crate::certgroup::{self, CertGroups};
 use crate::domainid::{self, DomainAssignment};
@@ -14,7 +13,7 @@ use crate::misid::{self, MisidReport, ProviderKnowledge};
 use crate::mxid::{self, MxAssignment};
 
 /// The four inference strategies the paper evaluates (Figure 4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Strategy {
     /// MX record content only (Trost's approach).
     MxOnly,

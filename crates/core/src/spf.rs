@@ -20,12 +20,11 @@
 //!   MX-visible one.
 
 use mx_psl::PublicSuffixList;
-use serde::{Deserialize, Serialize};
 
 use crate::ipid::ProviderId;
 
 /// RFC 7208 qualifiers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Qualifier {
     /// `+` (default).
     Pass,
@@ -38,7 +37,7 @@ pub enum Qualifier {
 }
 
 /// RFC 7208 mechanisms (arguments kept as written, lower-cased).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Mechanism {
     /// Matches everything (the policy terminator).
     All,
@@ -59,7 +58,7 @@ pub enum Mechanism {
 }
 
 /// A parsed SPF record.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct SpfRecord {
     /// The directive list, in policy order.
     pub terms: Vec<(Qualifier, Mechanism)>,
@@ -88,11 +87,11 @@ impl SpfRecord {
                 // exp= and unknown modifiers are ignored.
                 continue;
             }
-            let (qualifier, body) = match lower.as_bytes().first()? {
-                b'+' => (Qualifier::Pass, &lower[1..]),
-                b'-' => (Qualifier::Fail, &lower[1..]),
-                b'~' => (Qualifier::SoftFail, &lower[1..]),
-                b'?' => (Qualifier::Neutral, &lower[1..]),
+            let (qualifier, body) = match lower.split_at_checked(1) {
+                Some(("+", rest)) => (Qualifier::Pass, rest),
+                Some(("-", rest)) => (Qualifier::Fail, rest),
+                Some(("~", rest)) => (Qualifier::SoftFail, rest),
+                Some(("?", rest)) => (Qualifier::Neutral, rest),
                 _ => (Qualifier::Pass, lower.as_str()),
             };
             let (name, arg) = match body.split_once(':') {

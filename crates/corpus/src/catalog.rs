@@ -2,11 +2,10 @@
 //! with the attributes the simulation needs to imitate their
 //! infrastructure (Tables 5 and 6, Figures 5, 6 and 8).
 
-use serde::{Deserialize, Serialize};
 
 /// What kind of service the company sells (paper §5.1–5.2 distinguishes
 /// mail hosting, e-mail security filtering, and web hosting).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ServiceKind {
     /// Full mailbox hosting (Google, Microsoft, Yandex, ...).
     MailHosting,
@@ -20,7 +19,7 @@ pub enum ServiceKind {
 }
 
 /// Static description of one company.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompanySpec {
     /// Display name, as in the paper's tables.
     pub name: &'static str,

@@ -1,12 +1,10 @@
 //! Domain-name populations for the three corpora.
 
 use mx_dns::Name;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use mx_rng::SmallRng;
 
 /// The three target-domain corpora of the study (§4.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Dataset {
     /// Stable subset of the Alexa Top 1M (popular domains, mixed TLDs).
     Alexa,
@@ -31,7 +29,7 @@ impl Dataset {
 }
 
 /// One generated domain.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DomainRecord {
     /// The registrable domain name.
     pub name: Name,
@@ -47,7 +45,7 @@ pub struct DomainRecord {
 }
 
 /// A generated population for one dataset.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Population {
     /// Which corpus this is.
     pub dataset: Dataset,

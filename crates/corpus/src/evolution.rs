@@ -18,7 +18,6 @@
 //! probability adds the bidirectional gross churn visible in the paper.
 
 use mx_cert::fnv1a;
-use serde::{Deserialize, Serialize};
 
 use crate::catalog::{ServiceKind, CATALOG};
 use crate::domains::{Dataset, DomainRecord};
@@ -37,7 +36,7 @@ const VPS_FRACTION: f64 = 0.08;
 const FAKE_FRACTION: f64 = 0.01;
 
 /// Who provides mail for a domain at one snapshot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ProviderChoice {
     /// A catalog company (index into [`CATALOG`]).
     Company(usize),
@@ -56,7 +55,7 @@ pub enum ProviderChoice {
 }
 
 /// How the domain's MX record is written.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MxStyle {
     /// The provider is named in the MX (`aspmx.l.google.com`).
     Named,
@@ -69,7 +68,7 @@ pub enum MxStyle {
 }
 
 /// TLS posture of a self-hosted/small-provider server.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CertQuality {
     /// Valid CA-signed certificate under the operator's own name.
     ValidCa,
@@ -80,7 +79,7 @@ pub enum CertQuality {
 }
 
 /// A domain's full assignment at one snapshot.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Assignment {
     /// Who provides mail.
     pub choice: ProviderChoice,
@@ -93,7 +92,7 @@ pub struct Assignment {
 }
 
 /// Per-snapshot assignments for a population.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Timeline {
     /// Which corpus the timeline covers.
     pub dataset: Dataset,

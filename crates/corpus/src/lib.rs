@@ -30,6 +30,7 @@
 //!   its code: the provider-ID → company map and the misidentification
 //!   heuristics (AS sets, VPS hostname patterns).
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod catalog;

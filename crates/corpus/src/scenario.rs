@@ -1,7 +1,6 @@
 //! Scenario configuration: sizes, seed and snapshot dates.
 
 use mx_dns::Timestamp;
-use serde::{Deserialize, Serialize};
 
 /// The nine semi-annual snapshot dates of the study, June 2017 – June 2021
 /// (§4: "nine separate days of data, equally spaced over a four-year
@@ -23,7 +22,7 @@ pub const SNAPSHOT_DATES: [(i64, u32, u32); 9] = [
 pub const GOV_START_SNAPSHOT: usize = 2;
 
 /// Sizes and seed of a simulated study.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScenarioConfig {
     /// The master seed every stochastic choice flows from.
     pub seed: u64,

@@ -9,12 +9,11 @@
 //! Table 4 pins the no-SMTP and dangling-MX rates; Figure 8 pins the
 //! ccTLD modulation.
 
-use serde::{Deserialize, Serialize};
 
 use crate::domains::Dataset;
 
 /// What a share row describes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ShareKey {
     /// A catalog company, by display name.
     Company(&'static str),
@@ -32,7 +31,7 @@ pub enum ShareKey {
 
 /// One calibrated share row: percent of the dataset at the study's start
 /// and end.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ShareRow {
     /// Who the share belongs to.
     pub key: ShareKey,
@@ -165,7 +164,7 @@ pub fn distribution(dataset: Dataset, t: f64) -> Vec<(ShareKey, f64)> {
 }
 
 /// Alexa rank strata (Figure 5 splits the top 1k/10k/100k/1M).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RankStratum {
     /// Alexa ranks 1–1,000.
     Top1k,

@@ -17,7 +17,6 @@ use mx_dns::{Name, RData, SimClock, Timestamp, Zone};
 use mx_infer::ProviderId;
 use mx_net::{FaultPlan, SimNet, SimNetBuilder};
 use mx_smtp::SmtpServerConfig;
-use serde::Serialize;
 
 use crate::catalog::{ServiceKind, CATALOG};
 use crate::domains::{Dataset, Population};
@@ -25,7 +24,7 @@ use crate::evolution::{self, Assignment, CertQuality, MxStyle, ProviderChoice, T
 use crate::scenario::{ScenarioConfig, GOV_START_SNAPSHOT, SNAPSHOT_DATES};
 
 /// Ground-truth category of a domain at a snapshot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TruthCategory {
     /// Hosted by a catalog company.
     Company,
@@ -45,7 +44,7 @@ pub enum TruthCategory {
 
 /// What is actually true about one domain (what the paper had to label by
 /// hand for Figure 4).
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TruthRecord {
     /// The domain this record describes.
     pub domain: Name,
@@ -68,7 +67,7 @@ pub struct TruthRecord {
 }
 
 /// Ground truth for all domains of a snapshot.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct GroundTruth {
     /// Per-domain truth records.
     pub records: HashMap<Name, TruthRecord>,

@@ -23,6 +23,7 @@
 //! behind the [`resolver::Transport`] trait which `mx-net` implements over
 //! the simulated Internet.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod clock;

@@ -150,13 +150,16 @@ fn tokenize(text: &str) -> Result<Vec<Token>, MasterError> {
 /// One logical entry: the tokens of one record or directive.
 fn split_entries(tokens: Vec<Token>) -> Vec<Vec<Token>> {
     let mut entries: Vec<Vec<Token>> = Vec::new();
+    let mut current: Vec<Token> = Vec::new();
     for t in tokens {
-        if t.starts_line || entries.is_empty() {
-            entries.push(Vec::new());
+        if t.starts_line && !current.is_empty() {
+            entries.push(std::mem::take(&mut current));
         }
-        entries.last_mut().expect("just pushed").push(t);
+        current.push(t);
     }
-    entries.retain(|e| !e.is_empty());
+    if !current.is_empty() {
+        entries.push(current);
+    }
     entries
 }
 
@@ -190,8 +193,10 @@ pub fn parse_zone(text: &str) -> Result<Zone, MasterError> {
     let mut soa: Option<(Name, Soa, u32)> = None;
 
     for entry in entries {
-        let line = entry[0].line;
-        let first = &entry[0];
+        let Some(first) = entry.first() else {
+            continue;
+        };
+        let line = first.line;
         // Directives.
         if !first.quoted && first.text.eq_ignore_ascii_case("$ORIGIN") {
             let arg = entry
@@ -226,9 +231,9 @@ pub fn parse_zone(text: &str) -> Result<Zone, MasterError> {
         // Optional TTL and class, in either order.
         let mut ttl = default_ttl;
         let mut rtype: Option<RecordType> = None;
-        while idx < entry.len() {
-            let t = &entry[idx].text;
-            if !entry[idx].quoted {
+        while let Some(tok) = entry.get(idx) {
+            let t = &tok.text;
+            if !tok.quoted {
                 if let Ok(v) = t.parse::<u32>() {
                     ttl = v;
                     idx += 1;
@@ -255,7 +260,7 @@ pub fn parse_zone(text: &str) -> Result<Zone, MasterError> {
             return Err(err(line, "unexpected quoted string before type"));
         }
         let rtype = rtype.ok_or_else(|| err(line, "missing record type"))?;
-        let rest = &entry[idx..];
+        let rest = entry.get(idx..).unwrap_or(&[]);
         let origin_for_rdata = origin.clone().unwrap_or_else(Name::root);
 
         let rdata = match rtype {
@@ -312,14 +317,22 @@ pub fn parse_zone(text: &str) -> Result<Zone, MasterError> {
                     return Err(err(line, format!("SOA needs 7 fields, got {}", rest.len())));
                 }
                 let num = |i: usize, what: &str| -> Result<u32, MasterError> {
-                    rest[i]
-                        .text
+                    let t = rdata_field(rest, i, line, what)?;
+                    t.text
                         .parse()
-                        .map_err(|_| err(line, format!("bad SOA {what} {:?}", rest[i].text)))
+                        .map_err(|_| err(line, format!("bad SOA {what} {:?}", t.text)))
                 };
                 let soa_data = Soa {
-                    mname: resolve_name(&rest[0].text, &origin_for_rdata, line)?,
-                    rname: resolve_name(&rest[1].text, &origin_for_rdata, line)?,
+                    mname: resolve_name(
+                        &rdata_field(rest, 0, line, "mname")?.text,
+                        &origin_for_rdata,
+                        line,
+                    )?,
+                    rname: resolve_name(
+                        &rdata_field(rest, 1, line, "rname")?.text,
+                        &origin_for_rdata,
+                        line,
+                    )?,
                     serial: num(2, "serial")?,
                     refresh: num(3, "refresh")?,
                     retry: num(4, "retry")?,

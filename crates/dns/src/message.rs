@@ -2,14 +2,13 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::name::Name;
 use crate::rr::{RData, Record, RecordClass, RecordType, Soa};
 use crate::wire::{WireError, WireReader, WireWriter};
 
 /// Operation codes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Opcode {
     /// Standard query.
     Query,
@@ -48,7 +47,7 @@ impl Opcode {
 }
 
 /// Response codes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Rcode {
     /// Success.
     NoError,
@@ -109,7 +108,7 @@ impl fmt::Display for Rcode {
 }
 
 /// Message header (flags are expanded into fields).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Header {
     /// Transaction id, echoed by responses.
     pub id: u16,
@@ -149,7 +148,7 @@ impl Header {
         if self.qr {
             f |= 1 << 15;
         }
-        f |= (self.opcode.code() as u16) << 11;
+        f |= u16::from(self.opcode.code()) << 11;
         if self.aa {
             f |= 1 << 10;
         }
@@ -162,7 +161,7 @@ impl Header {
         if self.ra {
             f |= 1 << 7;
         }
-        f |= self.rcode.code() as u16;
+        f |= u16::from(self.rcode.code());
         f
     }
 
@@ -181,7 +180,7 @@ impl Header {
 }
 
 /// A question section entry.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Question {
     /// The name being asked about.
     pub name: Name,
@@ -209,7 +208,7 @@ impl fmt::Display for Question {
 }
 
 /// A complete DNS message.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Message {
     /// Header with flags and codes.
     pub header: Header,
@@ -260,10 +259,10 @@ impl Message {
         let mut w = WireWriter::new();
         w.put_u16(self.header.id)?;
         w.put_u16(self.header.flags())?;
-        w.put_u16(self.questions.len() as u16)?;
-        w.put_u16(self.answers.len() as u16)?;
-        w.put_u16(self.authorities.len() as u16)?;
-        w.put_u16(self.additionals.len() as u16)?;
+        w.put_u16(section_count(self.questions.len())?)?;
+        w.put_u16(section_count(self.answers.len())?)?;
+        w.put_u16(section_count(self.authorities.len())?)?;
+        w.put_u16(section_count(self.additionals.len())?)?;
         for q in &self.questions {
             w.put_name(&q.name)?;
             w.put_u16(q.qtype.code())?;
@@ -286,11 +285,14 @@ impl Message {
         let id = r.get_u16()?;
         let flags = r.get_u16()?;
         let header = Header::from_flags(id, flags);
-        let qd = r.get_u16()? as usize;
-        let an = r.get_u16()? as usize;
-        let ns = r.get_u16()? as usize;
-        let ar = r.get_u16()? as usize;
-        let mut questions = Vec::with_capacity(qd);
+        let qd = usize::from(r.get_u16()?);
+        let an = usize::from(r.get_u16()?);
+        let ns = usize::from(r.get_u16()?);
+        let ar = usize::from(r.get_u16()?);
+        // Counts are attacker-claimed: pre-allocate at most
+        // MAX_SECTION_PREALLOC entries and let push() grow beyond that
+        // only as records actually decode.
+        let mut questions = Vec::with_capacity(qd.min(MAX_SECTION_PREALLOC));
         for _ in 0..qd {
             let name = r.get_name()?;
             let qtype = RecordType::from_code(r.get_u16()?);
@@ -301,20 +303,12 @@ impl Message {
                 qclass,
             });
         }
-        let mut sections = [
-            Vec::with_capacity(an),
-            Vec::with_capacity(ns),
-            Vec::with_capacity(ar),
-        ];
-        for (idx, count) in [an, ns, ar].into_iter().enumerate() {
-            for _ in 0..count {
-                sections[idx].push(decode_record(&mut r)?);
-            }
-        }
+        let answers = decode_section(&mut r, an)?;
+        let authorities = decode_section(&mut r, ns)?;
+        let additionals = decode_section(&mut r, ar)?;
         if r.remaining() != 0 {
             return Err(WireError::TrailingBytes(r.remaining()));
         }
-        let [answers, authorities, additionals] = sections;
         Ok(Message {
             header,
             questions,
@@ -323,6 +317,23 @@ impl Message {
             additionals,
         })
     }
+}
+
+/// Pre-allocation clamp for attacker-claimed section counts: a count
+/// field can claim 65535 records with no bytes behind it, so capacity
+/// beyond this is only committed as records actually parse.
+const MAX_SECTION_PREALLOC: usize = 64;
+
+fn section_count(n: usize) -> Result<u16, WireError> {
+    u16::try_from(n).map_err(|_| WireError::MessageTooLong)
+}
+
+fn decode_section(r: &mut WireReader<'_>, count: usize) -> Result<Vec<Record>, WireError> {
+    let mut v = Vec::with_capacity(count.min(MAX_SECTION_PREALLOC));
+    for _ in 0..count {
+        v.push(decode_record(r)?);
+    }
+    Ok(v)
 }
 
 fn encode_record(w: &mut WireWriter, r: &Record) -> Result<(), WireError> {
@@ -359,8 +370,8 @@ fn encode_record(w: &mut WireWriter, r: &Record) -> Result<(), WireError> {
         }
         RData::Opaque { data, .. } => w.put_bytes(data)?,
     }
-    let len = w.len() - start;
-    w.patch_u16(slot, len as u16);
+    let len = u16::try_from(w.len() - start).map_err(|_| WireError::MessageTooLong)?;
+    w.patch_u16(slot, len)?;
     Ok(())
 }
 
@@ -369,7 +380,8 @@ fn decode_record(r: &mut WireReader<'_>) -> Result<Record, WireError> {
     let rtype = RecordType::from_code(r.get_u16()?);
     let class = RecordClass::from_code(r.get_u16()?);
     let ttl = r.get_u32()?;
-    let rdlen = r.get_u16()? as usize;
+    let declared = r.get_u16()?;
+    let rdlen = usize::from(declared);
     let end = r.pos() + rdlen;
     let rdata = match rtype {
         RecordType::A => RData::A(r.get_ipv4()?),
@@ -404,7 +416,7 @@ fn decode_record(r: &mut WireReader<'_>) -> Result<Record, WireError> {
     };
     if r.pos() != end {
         return Err(WireError::BadRdLength {
-            declared: rdlen as u16,
+            declared,
             actual: r.pos().abs_diff(end - rdlen),
         });
     }

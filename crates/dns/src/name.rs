@@ -3,7 +3,6 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
 
 /// Maximum length of a single label, in bytes (RFC 1035 §2.3.4).
 pub const MAX_LABEL_LEN: usize = 63;
@@ -44,7 +43,7 @@ impl std::error::Error for NameError {}
 /// RFC 4343) and without the trailing root dot; the root name has zero
 /// labels. `Name` implements `Ord` by the canonical right-to-left label
 /// order so that related names sort near each other.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Name {
     labels: Vec<String>,
 }
@@ -117,18 +116,14 @@ impl Name {
 
     /// The parent name (one label removed from the left); `None` at root.
     pub fn parent(&self) -> Option<Name> {
-        if self.labels.is_empty() {
-            None
-        } else {
-            Some(Name {
-                labels: self.labels[1..].to_vec(),
-            })
-        }
+        let (_, rest) = self.labels.split_first()?;
+        Some(Name {
+            labels: rest.to_vec(),
+        })
     }
 
     /// Prepend `label`, returning the child name.
     pub fn child(&self, label: &str) -> Result<Name, NameError> {
-        let mut labels = Vec::with_capacity(self.labels.len() + 1);
         let l = label.to_ascii_lowercase();
         if l.is_empty() {
             return Err(NameError::EmptyLabel);
@@ -136,8 +131,9 @@ impl Name {
         if l.len() > MAX_LABEL_LEN {
             return Err(NameError::LabelTooLong(l));
         }
-        labels.push(l);
-        labels.extend_from_slice(&self.labels);
+        let labels: Vec<String> = std::iter::once(l)
+            .chain(self.labels.iter().cloned())
+            .collect();
         Self::from_labels(labels)
     }
 
@@ -226,6 +222,7 @@ impl PartialOrd for Name {
 #[macro_export]
 macro_rules! dns_name {
     ($s:expr) => {
+        // lint:allow(R1): literal-construction macro; panicking on a bad compile-time literal is the contract
         $crate::Name::parse($s).expect("valid DNS name literal")
     };
 }

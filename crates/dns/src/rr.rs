@@ -3,12 +3,11 @@
 use std::fmt;
 use std::net::{Ipv4Addr, Ipv6Addr};
 
-use serde::{Deserialize, Serialize};
 
 use crate::name::Name;
 
 /// DNS record types (the subset the measurement needs, plus QTYPEs).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum RecordType {
     /// IPv4 host address (RFC 1035).
     A,
@@ -85,7 +84,7 @@ impl fmt::Display for RecordType {
 }
 
 /// DNS classes. Only `IN` matters here; others are carried numerically.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RecordClass {
     /// The Internet class (the only one in practical use).
     In,
@@ -116,7 +115,7 @@ impl RecordClass {
 }
 
 /// Start-of-authority data.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Soa {
     /// Primary master server name.
     pub mname: Name,
@@ -135,7 +134,7 @@ pub struct Soa {
 }
 
 /// Typed RDATA.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum RData {
     /// IPv4 address.
     A(Ipv4Addr),
@@ -212,7 +211,7 @@ impl fmt::Display for RData {
 }
 
 /// A full resource record.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Record {
     /// Owner name.
     pub name: Name,

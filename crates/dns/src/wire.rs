@@ -136,33 +136,41 @@ impl WireWriter {
     /// A `<character-string>`: one length octet then up to 255 bytes.
     pub fn put_char_string(&mut self, s: &str) -> Result<(), WireError> {
         let b = s.as_bytes();
-        if b.len() > 255 {
-            return Err(WireError::StringTooLong(b.len()));
-        }
-        self.put_u8(b.len() as u8)?;
+        let len = u8::try_from(b.len()).map_err(|_| WireError::StringTooLong(b.len()))?;
+        self.put_u8(len)?;
         self.put_bytes(b)
+    }
+
+    /// One length-prefixed label. `Name` guarantees labels fit in 63
+    /// bytes, but the invariant is re-checked rather than assumed.
+    fn put_label(&mut self, label: &str) -> Result<(), WireError> {
+        let len = u8::try_from(label.len())
+            .ok()
+            .filter(|&l| usize::from(l) <= MAX_LABEL_LEN)
+            .ok_or_else(|| WireError::BadName(NameError::LabelTooLong(label.to_string())))?;
+        self.put_u8(len)?;
+        self.put_bytes(label.as_bytes())
     }
 
     /// Encode a name, emitting a compression pointer to the longest
     /// already-encoded suffix when possible and registering new suffixes.
     pub fn put_name(&mut self, name: &Name) -> Result<(), WireError> {
-        let labels = name.labels();
-        for i in 0..labels.len() {
-            let suffix = labels[i..].join(".");
+        let mut rest: &[String] = name.labels();
+        while let Some((label, tail)) = rest.split_first() {
+            let suffix = rest.join(".");
             if let Some(&off) = self.compress.get(&suffix) {
-                // Pointers must fit in 14 bits.
-                debug_assert!(off < 0x4000);
+                // Pointers must fit in 14 bits; only offsets < 0x4000 are
+                // ever inserted below.
                 self.put_u16(0xC000 | off)?;
                 return Ok(());
             }
-            let here = self.buf.len();
-            if here < 0x4000 {
-                self.compress.insert(suffix, here as u16);
+            if let Ok(here) = u16::try_from(self.buf.len()) {
+                if here < 0x4000 {
+                    self.compress.insert(suffix, here);
+                }
             }
-            let label = &labels[i];
-            debug_assert!(label.len() <= MAX_LABEL_LEN);
-            self.put_u8(label.len() as u8)?;
-            self.put_bytes(label.as_bytes())?;
+            self.put_label(label)?;
+            rest = tail;
         }
         self.put_u8(0) // root label
     }
@@ -172,8 +180,7 @@ impl WireWriter {
     /// RFC 1035 permits for well-known types, but TXT-like blobs must not).
     pub fn put_name_uncompressed(&mut self, name: &Name) -> Result<(), WireError> {
         for label in name.labels() {
-            self.put_u8(label.len() as u8)?;
-            self.put_bytes(label.as_bytes())?;
+            self.put_label(label)?;
         }
         self.put_u8(0)
     }
@@ -186,9 +193,15 @@ impl WireWriter {
         Ok(off)
     }
 
-    /// Back-patch a previously reserved u16.
-    pub fn patch_u16(&mut self, offset: usize, v: u16) {
-        self.buf[offset..offset + 2].copy_from_slice(&v.to_be_bytes());
+    /// Back-patch a previously reserved u16. Fails if the slot was never
+    /// reserved (offset out of range).
+    pub fn patch_u16(&mut self, offset: usize, v: u16) -> Result<(), WireError> {
+        let slot = self
+            .buf
+            .get_mut(offset..offset + 2)
+            .ok_or(WireError::Truncated)?;
+        slot.copy_from_slice(&v.to_be_bytes());
+        Ok(())
     }
 }
 
@@ -224,22 +237,20 @@ impl<'a> WireReader<'a> {
 
     /// Read a big-endian u16.
     pub fn get_u16(&mut self) -> Result<u16, WireError> {
-        let b = self
-            .data
-            .get(self.pos..self.pos + 2)
-            .ok_or(WireError::Truncated)?;
-        self.pos += 2;
-        Ok(u16::from_be_bytes([b[0], b[1]]))
+        let b: [u8; 2] = self
+            .get_bytes(2)?
+            .try_into()
+            .map_err(|_| WireError::Truncated)?;
+        Ok(u16::from_be_bytes(b))
     }
 
     /// Read a big-endian u32.
     pub fn get_u32(&mut self) -> Result<u32, WireError> {
-        let b = self
-            .data
-            .get(self.pos..self.pos + 4)
-            .ok_or(WireError::Truncated)?;
-        self.pos += 4;
-        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+        let b: [u8; 4] = self
+            .get_bytes(4)?
+            .try_into()
+            .map_err(|_| WireError::Truncated)?;
+        Ok(u32::from_be_bytes(b))
     }
 
     /// Read `n` raw bytes.
@@ -254,8 +265,11 @@ impl<'a> WireReader<'a> {
 
     /// Read an IPv4 address (4 bytes).
     pub fn get_ipv4(&mut self) -> Result<Ipv4Addr, WireError> {
-        let b = self.get_bytes(4)?;
-        Ok(Ipv4Addr::new(b[0], b[1], b[2], b[3]))
+        let b: [u8; 4] = self
+            .get_bytes(4)?
+            .try_into()
+            .map_err(|_| WireError::Truncated)?;
+        Ok(Ipv4Addr::from(b))
     }
 
     /// Read an IPv6 address (16 bytes).

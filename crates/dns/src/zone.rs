@@ -8,7 +8,6 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use serde::{Deserialize, Serialize};
 
 use crate::name::Name;
 use crate::rr::{RData, Record, RecordType, Soa};
@@ -33,7 +32,7 @@ pub enum ZoneLookup {
 }
 
 /// An authoritative zone: an origin, a SOA and a set of records.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Zone {
     origin: Name,
     soa: Soa,

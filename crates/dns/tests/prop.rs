@@ -1,86 +1,117 @@
 //! Property-based tests: arbitrary messages survive an encode/decode round
-//! trip, names compress losslessly, and the zone lookup invariants hold.
+//! trip, names compress losslessly, the decoder is total on arbitrary
+//! bytes, and decoding is *stable*: re-encoding a decoded message and
+//! decoding again yields the same message.
+//!
+//! The generators are hand-rolled over [`mx_rng`] (the build is offline,
+//! so no `proptest`); every case derives from an explicit seed, so a
+//! failure report's case number reproduces exactly.
 
 use std::net::Ipv4Addr;
 
 use mx_dns::{
     dns_name, Message, Name, RData, Record, RecordType, WireReader, WireWriter, Zone, ZoneLookup,
 };
-use proptest::prelude::*;
+use mx_rng::SmallRng;
 
-fn arb_label() -> impl Strategy<Value = String> {
-    "[a-z]([a-z0-9_-]{0,10}[a-z0-9])?".prop_map(|s| s)
+const CASES: u64 = 256;
+
+/// `[a-z]([a-z0-9_-]{0,10}[a-z0-9])?` — a valid DNS label.
+fn gen_label(rng: &mut SmallRng) -> String {
+    const FIRST: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+    const MID: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_-";
+    const LAST: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
+    let mut s = String::new();
+    s.push(*rng.choose(FIRST).unwrap() as char);
+    if rng.gen_bool(0.8) {
+        for _ in 0..rng.gen_range(0..10usize) {
+            s.push(*rng.choose(MID).unwrap() as char);
+        }
+        s.push(*rng.choose(LAST).unwrap() as char);
+    }
+    s
 }
 
-fn arb_name() -> impl Strategy<Value = Name> {
-    prop::collection::vec(arb_label(), 0..5)
-        .prop_map(|ls| Name::parse(&ls.join(".")).expect("generated labels are valid"))
+fn gen_name(rng: &mut SmallRng) -> Name {
+    let n = rng.gen_range(0..5usize);
+    let labels: Vec<String> = (0..n).map(|_| gen_label(rng)).collect();
+    Name::parse(&labels.join(".")).expect("generated labels are valid")
 }
 
-fn arb_ipv4() -> impl Strategy<Value = Ipv4Addr> {
-    any::<u32>().prop_map(Ipv4Addr::from)
+fn gen_ipv4(rng: &mut SmallRng) -> Ipv4Addr {
+    Ipv4Addr::from(rng.next_u32())
 }
 
-fn arb_rdata() -> impl Strategy<Value = RData> {
-    prop_oneof![
-        arb_ipv4().prop_map(RData::A),
-        any::<u128>().prop_map(|v| RData::Aaaa(v.into())),
-        arb_name().prop_map(RData::Ns),
-        arb_name().prop_map(RData::Cname),
-        arb_name().prop_map(RData::Ptr),
-        (any::<u16>(), arb_name()).prop_map(|(preference, exchange)| RData::Mx {
-            preference,
-            exchange
-        }),
-        prop::collection::vec("[ -~]{0,40}", 1..3).prop_map(RData::Txt),
+fn gen_printable(rng: &mut SmallRng, max: usize) -> String {
+    let n = rng.gen_range(0..=max);
+    (0..n)
+        .map(|_| char::from(rng.gen_range(0x20u8..=0x7E)))
+        .collect()
+}
+
+fn gen_rdata(rng: &mut SmallRng) -> RData {
+    match rng.gen_range(0..8u32) {
+        0 => RData::A(gen_ipv4(rng)),
+        1 => {
+            let hi = (rng.next_u64() as u128) << 64;
+            RData::Aaaa((hi | rng.next_u64() as u128).into())
+        }
+        2 => RData::Ns(gen_name(rng)),
+        3 => RData::Cname(gen_name(rng)),
+        4 => RData::Ptr(gen_name(rng)),
+        5 => RData::Mx {
+            preference: rng.gen_range(0..=u16::MAX),
+            exchange: gen_name(rng),
+        },
+        6 => {
+            let n = rng.gen_range(1..3usize);
+            RData::Txt((0..n).map(|_| gen_printable(rng, 40)).collect())
+        }
         // Range chosen to avoid codes the decoder parses structurally.
-        (100u16..200, prop::collection::vec(any::<u8>(), 0..32)).prop_map(|(rtype, data)| {
-            RData::Opaque { rtype, data }
-        }),
-    ]
+        _ => RData::Opaque {
+            rtype: rng.gen_range(100u16..200),
+            data: (0..rng.gen_range(0..32usize))
+                .map(|_| (rng.next_u32() & 0xFF) as u8)
+                .collect(),
+        },
+    }
 }
 
-fn arb_record() -> impl Strategy<Value = Record> {
-    (arb_name(), 0u32..1_000_000, arb_rdata())
-        .prop_map(|(name, ttl, rdata)| Record::new(name, ttl, rdata))
+fn gen_record(rng: &mut SmallRng) -> Record {
+    Record::new(gen_name(rng), rng.gen_range(0u32..1_000_000), gen_rdata(rng))
 }
 
-fn arb_message() -> impl Strategy<Value = Message> {
-    (
-        any::<u16>(),
-        arb_name(),
-        prop::collection::vec(arb_record(), 0..6),
-        prop::collection::vec(arb_record(), 0..3),
-        prop::collection::vec(arb_record(), 0..3),
-        any::<bool>(),
-        any::<bool>(),
-    )
-        .prop_map(|(id, qname, ans, auth, add, qr, aa)| {
-            let mut m = Message::query(id, qname, RecordType::Mx);
-            m.header.qr = qr;
-            m.header.aa = aa;
-            m.answers = ans;
-            m.authorities = auth;
-            m.additionals = add;
-            m
-        })
+fn gen_message(rng: &mut SmallRng) -> Message {
+    let mut m = Message::query(rng.gen_range(0..=u16::MAX), gen_name(rng), RecordType::Mx);
+    m.header.qr = rng.gen_bool(0.5);
+    m.header.aa = rng.gen_bool(0.5);
+    m.answers = (0..rng.gen_range(0..6usize)).map(|_| gen_record(rng)).collect();
+    m.authorities = (0..rng.gen_range(0..3usize)).map(|_| gen_record(rng)).collect();
+    m.additionals = (0..rng.gen_range(0..3usize)).map(|_| gen_record(rng)).collect();
+    m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Encode → decode is the identity on messages.
-    #[test]
-    fn message_roundtrip(m in arb_message()) {
+/// Encode → decode is the identity on messages.
+#[test]
+fn message_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xD25_0001 ^ case);
+        let m = gen_message(&mut rng);
         let bytes = m.encode().unwrap();
         let m2 = Message::decode(&bytes).unwrap();
-        prop_assert_eq!(m, m2);
+        assert_eq!(m, m2, "case {case}");
     }
+}
 
-    /// A sequence of names, encoded with compression into one buffer,
-    /// decodes back to the same sequence.
-    #[test]
-    fn name_sequence_roundtrip(names in prop::collection::vec(arb_name(), 1..12)) {
+/// A sequence of names, encoded with compression into one buffer,
+/// decodes back to the same sequence.
+#[test]
+fn name_sequence_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xD25_0002 ^ case);
+        let names: Vec<Name> = (0..rng.gen_range(1..12usize))
+            .map(|_| gen_name(&mut rng))
+            .collect();
         let mut w = WireWriter::new();
         for n in &names {
             w.put_name(n).unwrap();
@@ -88,34 +119,111 @@ proptest! {
         let bytes = w.into_bytes();
         let mut r = WireReader::new(&bytes);
         for n in &names {
-            prop_assert_eq!(&r.get_name().unwrap(), n);
+            assert_eq!(&r.get_name().unwrap(), n, "case {case}");
         }
-        prop_assert_eq!(r.remaining(), 0);
+        assert_eq!(r.remaining(), 0, "case {case}");
     }
+}
 
-    /// Compression never grows the encoding beyond the uncompressed form.
-    #[test]
-    fn compression_never_expands(names in prop::collection::vec(arb_name(), 1..10)) {
+/// Compression never grows the encoding beyond the uncompressed form.
+#[test]
+fn compression_never_expands() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xD25_0003 ^ case);
+        let names: Vec<Name> = (0..rng.gen_range(1..10usize))
+            .map(|_| gen_name(&mut rng))
+            .collect();
         let mut wc = WireWriter::new();
         let mut wu = WireWriter::new();
         for n in &names {
             wc.put_name(n).unwrap();
             wu.put_name_uncompressed(n).unwrap();
         }
-        prop_assert!(wc.len() <= wu.len());
+        assert!(wc.len() <= wu.len(), "case {case}");
     }
+}
 
-    /// The decoder never panics on arbitrary bytes.
-    #[test]
-    fn decoder_is_total(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+/// The message decoder is total: arbitrary bytes never panic.
+#[test]
+fn decoder_is_total() {
+    for case in 0..4 * CASES {
+        let mut rng = SmallRng::seed_from_u64(0xD25_0004 ^ case);
+        let len = rng.gen_range(0..200usize);
+        let bytes: Vec<u8> = (0..len).map(|_| (rng.next_u32() & 0xFF) as u8).collect();
         let _ = Message::decode(&bytes);
     }
+}
 
-    /// Zone lookups: any added (name, A) pair is found, and unknown
-    /// siblings under the same zone yield NXDOMAIN or NODATA, never a panic.
-    #[test]
-    fn zone_lookup_total(labels in prop::collection::vec(arb_label(), 1..20),
-                         probe in arb_label()) {
+/// The name decoder is total on arbitrary bytes, including bytes that
+/// start with valid-looking label lengths and compression pointers.
+#[test]
+fn name_decoder_is_total() {
+    for case in 0..4 * CASES {
+        let mut rng = SmallRng::seed_from_u64(0xD25_0005 ^ case);
+        let len = rng.gen_range(0..80usize);
+        let mut bytes: Vec<u8> = (0..len).map(|_| (rng.next_u32() & 0xFF) as u8).collect();
+        // Half the cases: bias the first byte towards plausible labels
+        // or pointer tags so the parser gets deeper before failing.
+        if rng.gen_bool(0.5) && !bytes.is_empty() {
+            bytes[0] = if rng.gen_bool(0.5) {
+                rng.gen_range(1u8..=63)
+            } else {
+                0xC0 | rng.gen_range(0u8..=0x3F)
+            };
+        }
+        let mut r = WireReader::new(&bytes);
+        let _ = r.get_name();
+    }
+}
+
+/// Decode is *stable*: when arbitrary bytes do decode, re-encoding the
+/// result and decoding again is a fixed point (`decode ∘ encode ∘ decode
+/// = decode`). This is the canonicalization property the measurement
+/// pipeline relies on when it stores and replays observed messages.
+#[test]
+fn decode_encode_decode_is_stable() {
+    let mut decoded_ok = 0u32;
+    for case in 0..16 * CASES {
+        let mut rng = SmallRng::seed_from_u64(0xD25_0006 ^ case);
+        // Mix pure-random bytes with mutated valid encodings so a useful
+        // fraction decodes successfully.
+        let bytes: Vec<u8> = if rng.gen_bool(0.5) {
+            let m = gen_message(&mut rng);
+            let mut b = m.encode().unwrap();
+            // Flip up to 3 bytes.
+            for _ in 0..rng.gen_range(0..4u32) {
+                if b.is_empty() {
+                    break;
+                }
+                let i = rng.gen_range(0..b.len());
+                b[i] = (rng.next_u32() & 0xFF) as u8;
+            }
+            b
+        } else {
+            (0..rng.gen_range(0..120usize))
+                .map(|_| (rng.next_u32() & 0xFF) as u8)
+                .collect()
+        };
+        if let Ok(m1) = Message::decode(&bytes) {
+            decoded_ok += 1;
+            let re = m1.encode().unwrap();
+            let m2 = Message::decode(&re).unwrap();
+            assert_eq!(m1, m2, "case {case}: decode∘encode∘decode not stable");
+        }
+    }
+    assert!(decoded_ok > 100, "only {decoded_ok} cases decoded; generator too weak");
+}
+
+/// Zone lookups: any added (name, A) pair is found, and unknown
+/// siblings under the same zone yield NXDOMAIN or NODATA, never a panic.
+#[test]
+fn zone_lookup_total() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xD25_0007 ^ case);
+        let labels: Vec<String> = (0..rng.gen_range(1..20usize))
+            .map(|_| gen_label(&mut rng))
+            .collect();
+        let probe = gen_label(&mut rng);
         let origin = dns_name!("zone.test");
         let mut z = Zone::new(origin.clone());
         for l in &labels {
@@ -125,60 +233,54 @@ proptest! {
         for l in &labels {
             let name = origin.child(l).unwrap();
             match z.lookup(&name, RecordType::A) {
-                ZoneLookup::Answer(rs) => prop_assert!(!rs.is_empty()),
-                other => return Err(TestCaseError::fail(format!("{other:?}"))),
+                ZoneLookup::Answer(rs) => assert!(!rs.is_empty(), "case {case}"),
+                other => panic!("case {case}: {other:?}"),
             }
         }
         let r = z.lookup(&origin.child(&probe).unwrap(), RecordType::A);
-        prop_assert!(matches!(
-            r,
-            ZoneLookup::Answer(_) | ZoneLookup::NxDomain | ZoneLookup::NoData
-        ));
+        assert!(
+            matches!(r, ZoneLookup::Answer(_) | ZoneLookup::NxDomain | ZoneLookup::NoData),
+            "case {case}: {r:?}"
+        );
     }
 }
 
-fn arb_zone() -> impl Strategy<Value = mx_dns::Zone> {
-    let origin = dns_name!("prop.example");
-    prop::collection::vec(
-        (
-            arb_label(),
-            prop_oneof![
-                arb_ipv4().prop_map(RData::A),
-                (0u16..100, arb_label()).prop_map(|(preference, l)| RData::Mx {
-                    preference,
-                    exchange: Name::parse(&format!("{l}.prop.example")).unwrap(),
-                }),
-                "[ -!#-~]{0,30}".prop_map(|s| RData::Txt(vec![s])),
-                arb_label().prop_map(|l| RData::Cname(
-                    Name::parse(&format!("{l}.prop.example")).unwrap()
-                )),
-            ],
-            60u32..86_400,
-        ),
-        0..15,
-    )
-    .prop_map(move |records| {
-        let mut z = mx_dns::Zone::new(origin.clone());
-        for (label, rdata, ttl) in records {
-            let name = origin.child(&label).unwrap();
-            z.add_rr(name, ttl, rdata);
+/// Any generated zone survives a master-file round trip.
+#[test]
+fn master_file_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xD25_0008 ^ case);
+        let origin = dns_name!("prop.example");
+        let mut zone = Zone::new(origin.clone());
+        for _ in 0..rng.gen_range(0..15usize) {
+            let label = gen_label(&mut rng);
+            let ttl = rng.gen_range(60u32..86_400);
+            let rdata = match rng.gen_range(0..4u32) {
+                0 => RData::A(gen_ipv4(&mut rng)),
+                1 => RData::Mx {
+                    preference: rng.gen_range(0u16..100),
+                    exchange: Name::parse(&format!("{}.prop.example", gen_label(&mut rng)))
+                        .unwrap(),
+                },
+                2 => {
+                    // Printable ASCII without '"' (master-file quoting).
+                    let s: String = gen_printable(&mut rng, 30).replace('"', "x");
+                    RData::Txt(vec![s])
+                }
+                _ => RData::Cname(
+                    Name::parse(&format!("{}.prop.example", gen_label(&mut rng))).unwrap(),
+                ),
+            };
+            zone.add_rr(origin.child(&label).unwrap(), ttl, rdata);
         }
-        z
-    })
-}
-
-proptest! {
-    /// Any generated zone survives a master-file round trip.
-    #[test]
-    fn master_file_roundtrip(zone in arb_zone()) {
         let text = mx_dns::to_master(&zone);
         let reparsed = mx_dns::parse_zone(&text).unwrap();
-        prop_assert_eq!(reparsed.origin(), zone.origin());
-        let norm = |z: &mx_dns::Zone| {
+        assert_eq!(reparsed.origin(), zone.origin(), "case {case}");
+        let norm = |z: &Zone| {
             let mut v: Vec<String> = z.iter().map(|r| r.to_string()).collect();
             v.sort();
             v
         };
-        prop_assert_eq!(norm(&reparsed), norm(&zone));
+        assert_eq!(norm(&reparsed), norm(&zone), "case {case}");
     }
 }

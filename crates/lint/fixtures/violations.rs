@@ -1,0 +1,51 @@
+//! Seeded lint violations. This file is NOT compiled into any crate; it
+//! exists so the fixture tests (and `scripts/ci.sh`) can prove mx-lint
+//! still catches every rule. Linted in strict mode (untrusted + wire
+//! codec), it must produce at least one diagnostic per rule R1–R3 and
+//! exit non-zero.
+
+pub fn r1_unwrap(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+
+pub fn r1_expect(x: Result<u8, ()>) -> u8 {
+    x.expect("malformed")
+}
+
+pub fn r1_panic(kind: u8) {
+    if kind > 3 {
+        panic!("unknown kind {kind}");
+    }
+}
+
+pub fn r1_unreachable(kind: u8) -> u8 {
+    match kind {
+        0 => 1,
+        _ => unreachable!(),
+    }
+}
+
+pub fn r1_indexing(buf: &[u8]) -> u8 {
+    buf[0]
+}
+
+pub fn r2_truncating_cast(len: usize) -> u16 {
+    len as u16
+}
+
+pub fn r3_unbounded_capacity(count: usize) -> Vec<u8> {
+    Vec::with_capacity(count)
+}
+
+pub fn r3_unbounded_recursion(depth: usize) -> usize {
+    if depth == 0 {
+        0
+    } else {
+        r3_unbounded_recursion(depth - 1) + 1
+    }
+}
+
+pub fn r0_unused_allow() -> u8 {
+    // lint:allow(R1): nothing here actually panics
+    7
+}

@@ -1,0 +1,511 @@
+//! A small hand-rolled Rust tokenizer.
+//!
+//! The build environment is offline, so `mx-lint` cannot use `syn` or
+//! `proc-macro2`; this lexer implements just enough of the Rust lexical
+//! grammar for reliable *token-level* analysis: identifiers and keywords,
+//! lifetimes vs. character literals, all string literal forms (including
+//! raw/byte/C strings with `#` fences), numbers, punctuation, and nested
+//! block comments. Comments are captured separately so rule checks can
+//! scan pure code while the `lint:allow` escape hatch still sees them.
+//!
+//! It does not build a syntax tree — the lint rules are deliberately
+//! lexical (see `rules.rs`) so the tool stays dependency-free and fast.
+
+/// The kind of a significant (non-comment) token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers `r#type`).
+    Ident,
+    /// A lifetime such as `'a` (or the loop-label form).
+    Lifetime,
+    /// Integer literal (any base, with suffix/underscores).
+    Int,
+    /// Float literal.
+    Float,
+    /// Any string literal form (`"…"`, `r#"…"#`, `b"…"`, `c"…"`).
+    Str,
+    /// A character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// A single punctuation character (`.`, `[`, `!`, …).
+    Punct,
+}
+
+/// One significant token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Raw source text of the token.
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+/// One comment (line or block, doc or plain).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text including its delimiters.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// True when a significant token precedes the comment on its line.
+    pub trailing: bool,
+}
+
+/// Lexer output: significant tokens plus the comment stream.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Significant tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenize `src`. Unknown bytes are skipped rather than fatal: a linter
+/// must degrade gracefully on source it cannot fully classify.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut last_sig_line: u32 = 0;
+
+    macro_rules! bump_lines {
+        ($slice:expr) => {
+            line += $slice.iter().filter(|&&c| c == b'\n').count() as u32
+        };
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        // Whitespace.
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == b'/' && i + 1 < b.len() {
+            if b[i + 1] == b'/' {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    text: src[start..i].to_string(),
+                    line,
+                    trailing: last_sig_line == line,
+                });
+                continue;
+            }
+            if b[i + 1] == b'*' {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    text: src[start..i.min(src.len())].to_string(),
+                    line: start_line,
+                    trailing: last_sig_line == start_line,
+                });
+                continue;
+            }
+        }
+        // Raw / byte / C string prefixes and raw identifiers.
+        if c == b'r' || c == b'b' || c == b'c' {
+            if let Some((tok, next)) = try_prefixed_literal(src, b, i, line) {
+                bump_lines!(&b[i..next]);
+                last_sig_line = tok.line;
+                out.tokens.push(tok);
+                i = next;
+                continue;
+            }
+        }
+        // Identifier / keyword.
+        if c == b'_' || c.is_ascii_alphabetic() {
+            let start = i;
+            while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                i += 1;
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::Ident,
+                text: src[start..i].to_string(),
+                line,
+            });
+            last_sig_line = line;
+            continue;
+        }
+        // Number.
+        if c.is_ascii_digit() {
+            let (tok, next) = lex_number(src, b, i, line);
+            last_sig_line = line;
+            out.tokens.push(tok);
+            i = next;
+            continue;
+        }
+        // Plain string literal.
+        if c == b'"' {
+            let (text, next, nl) = lex_quoted(src, b, i, b'"');
+            out.tokens.push(Tok {
+                kind: TokKind::Str,
+                text,
+                line,
+            });
+            last_sig_line = line;
+            line += nl;
+            i = next;
+            continue;
+        }
+        // Lifetime or char literal.
+        if c == b'\'' {
+            let (tok, next, nl) = lex_tick(src, b, i, line);
+            last_sig_line = line;
+            line += nl;
+            out.tokens.push(tok);
+            i = next;
+            continue;
+        }
+        // Punctuation: single characters are enough for the rule set.
+        out.tokens.push(Tok {
+            kind: TokKind::Punct,
+            text: (c as char).to_string(),
+            line,
+        });
+        last_sig_line = line;
+        i += 1;
+    }
+    out
+}
+
+/// `r"…"`, `r#"…"#`, `br#"…"#`, `b"…"`, `b'x'`, `c"…"`, and raw idents.
+/// Returns `None` when the position is a plain identifier instead.
+fn try_prefixed_literal(src: &str, b: &[u8], i: usize, line: u32) -> Option<(Tok, usize)> {
+    let c = b[i];
+    let rest = &b[i + 1..];
+    // b'x' byte char literal.
+    if c == b'b' && rest.first() == Some(&b'\'') {
+        let (tok, next, _) = lex_tick(src, b, i + 1, line);
+        return Some((
+            Tok {
+                kind: TokKind::Char,
+                text: format!("b{}", tok.text),
+                line,
+            },
+            next,
+        ));
+    }
+    // b"…" / c"…".
+    if (c == b'b' || c == b'c') && rest.first() == Some(&b'"') {
+        let (text, next, _) = lex_quoted(src, b, i + 1, b'"');
+        return Some((
+            Tok {
+                kind: TokKind::Str,
+                text: format!("{}{}", c as char, text),
+                line,
+            },
+            next,
+        ));
+    }
+    // Raw forms: count `#` fence after the prefix letter(s).
+    let mut j = i + 1;
+    if c == b'b' && j < b.len() && b[j] == b'r' {
+        j += 1;
+    }
+    if b[i] != b'r' && !(c == b'b' && b.get(i + 1) == Some(&b'r')) {
+        return None;
+    }
+    let mut hashes = 0usize;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'"' {
+        // Raw string: scan for `"` followed by `hashes` hashes.
+        j += 1;
+        let close: Vec<u8> = std::iter::once(b'"')
+            .chain(std::iter::repeat(b'#').take(hashes))
+            .collect();
+        while j < b.len() {
+            if b[j] == b'"' && b[j..].starts_with(&close) {
+                j += close.len();
+                return Some((
+                    Tok {
+                        kind: TokKind::Str,
+                        text: src[i..j].to_string(),
+                        line,
+                    },
+                    j,
+                ));
+            }
+            j += 1;
+        }
+        return Some((
+            Tok {
+                kind: TokKind::Str,
+                text: src[i..].to_string(),
+                line,
+            },
+            b.len(),
+        ));
+    }
+    if hashes == 1 && j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphabetic()) {
+        // Raw identifier r#type.
+        let start = j;
+        while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+            j += 1;
+        }
+        return Some((
+            Tok {
+                kind: TokKind::Ident,
+                text: src[start..j].to_string(),
+                line,
+            },
+            j,
+        ));
+    }
+    None
+}
+
+/// Lex a `"`-delimited literal with escapes; returns (text, next, newlines).
+fn lex_quoted(src: &str, b: &[u8], start: usize, quote: u8) -> (String, usize, u32) {
+    let mut i = start + 1;
+    let mut nl = 0u32;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                nl += 1;
+                i += 1;
+            }
+            c if c == quote => {
+                i += 1;
+                return (src[start..i.min(src.len())].to_string(), i, nl);
+            }
+            _ => i += 1,
+        }
+    }
+    (src[start..].to_string(), b.len(), nl)
+}
+
+/// Disambiguate `'a` (lifetime) from `'x'` (char literal).
+fn lex_tick(src: &str, b: &[u8], start: usize, line: u32) -> (Tok, usize, u32) {
+    let mut i = start + 1;
+    if i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphabetic()) {
+        // Could be a lifetime (`'a`) or a char (`'a'`): look at the byte
+        // after the identifier run.
+        let mut j = i;
+        while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+            j += 1;
+        }
+        if j < b.len() && b[j] == b'\'' && j == i + 1 {
+            // One ident char then a closing tick: char literal 'x'.
+            return (
+                Tok {
+                    kind: TokKind::Char,
+                    text: src[start..j + 1].to_string(),
+                    line,
+                },
+                j + 1,
+                0,
+            );
+        }
+        return (
+            Tok {
+                kind: TokKind::Lifetime,
+                text: src[start..j].to_string(),
+                line,
+            },
+            j,
+            0,
+        );
+    }
+    // Escape or punctuation char literal: scan to closing tick.
+    let mut nl = 0u32;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\'' => {
+                i += 1;
+                return (
+                    Tok {
+                        kind: TokKind::Char,
+                        text: src[start..i.min(src.len())].to_string(),
+                        line,
+                    },
+                    i,
+                    nl,
+                );
+            }
+            b'\n' => {
+                nl += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (
+        Tok {
+            kind: TokKind::Char,
+            text: src[start..].to_string(),
+            line,
+        },
+        b.len(),
+        nl,
+    )
+}
+
+/// Lex a numeric literal starting at a digit.
+fn lex_number(src: &str, b: &[u8], start: usize, line: u32) -> (Tok, usize) {
+    let mut i = start;
+    let mut float = false;
+    if b[i] == b'0' && i + 1 < b.len() && matches!(b[i + 1], b'x' | b'o' | b'b') {
+        i += 2;
+        while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+            i += 1;
+        }
+    } else {
+        while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+            i += 1;
+        }
+        // Fractional part: a dot followed by a digit (so `1..3` and
+        // `1.max(2)` stay separate tokens).
+        if i + 1 < b.len() && b[i] == b'.' && b[i + 1].is_ascii_digit() {
+            float = true;
+            i += 1;
+            while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+                i += 1;
+            }
+        }
+        // Exponent.
+        if i < b.len() && (b[i] == b'e' || b[i] == b'E') {
+            let mut j = i + 1;
+            if j < b.len() && (b[j] == b'+' || b[j] == b'-') {
+                j += 1;
+            }
+            if j < b.len() && b[j].is_ascii_digit() {
+                float = true;
+                i = j;
+                while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+                    i += 1;
+                }
+            }
+        }
+        // Type suffix (u8, f64, usize, …).
+        while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+            if b[i] == b'f' {
+                float = true;
+            }
+            i += 1;
+        }
+    }
+    (
+        Tok {
+            kind: if float { TokKind::Float } else { TokKind::Int },
+            text: src[start..i].to_string(),
+            line,
+        },
+        i,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let t = kinds("let x = a.unwrap();");
+        assert_eq!(t[0], (TokKind::Ident, "let".into()));
+        assert_eq!(t[4], (TokKind::Punct, ".".into()));
+        assert_eq!(t[5], (TokKind::Ident, "unwrap".into()));
+    }
+
+    #[test]
+    fn comments_do_not_hide_tokens_and_track_trailing() {
+        let l = lex("let a = 1; // trailing\n// standalone\nlet b = 2;");
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].trailing);
+        assert!(!l.comments[1].trailing);
+        assert_eq!(l.comments[1].line, 2);
+        assert_eq!(l.tokens.last().map(|t| t.line), Some(3));
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let l = lex("/* outer /* inner */ still */ fn x() {}");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(l.tokens[0].text, "fn");
+    }
+
+    #[test]
+    fn strings_hide_panics() {
+        let l = lex(r#"let s = "panic!(unwrap())"; s"#);
+        assert!(l.tokens.iter().all(|t| t.text != "panic"));
+        assert_eq!(l.tokens.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_string_with_fence() {
+        let l = lex(r###"let s = r#"has "quotes" and unwrap()"#; x"###);
+        assert_eq!(l.tokens.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+        assert_eq!(l.tokens.last().map(|t| t.text.as_str()), Some("x"));
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let t = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Lifetime && s == "'a"));
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Char && s == "'x'"));
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Char && s == "'\\n'"));
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let t = kinds("0..5 1.5 0xFF_u16 2e3 1_000usize");
+        assert_eq!(t[0], (TokKind::Int, "0".into()));
+        assert_eq!(t[1], (TokKind::Punct, ".".into()));
+        assert_eq!(t[3], (TokKind::Int, "5".into()));
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Float && s == "1.5"));
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Int && s == "0xFF_u16"));
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Float && s == "2e3"));
+    }
+
+    #[test]
+    fn line_numbers_cross_multiline_strings() {
+        let l = lex("let a = \"x\ny\";\nlet b = 1;");
+        let b_tok = l.tokens.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b_tok.line, 3);
+    }
+
+    #[test]
+    fn raw_ident() {
+        let t = kinds("let r#type = 1;");
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Ident && s == "type"));
+    }
+}

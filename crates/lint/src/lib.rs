@@ -1,0 +1,314 @@
+//! # mx-lint — workspace static analysis for the protocol substrates
+//!
+//! The measurement pipeline parses *untrusted* wire input: DNS messages,
+//! SMTP banners and replies, certificate chains, SPF records. A scanner
+//! that panics on malformed input silently loses coverage and biases
+//! every provider-share number downstream, so this crate enforces
+//! panic-freedom and related RFC invariants statically, with no external
+//! dependencies (the build environment is offline — the tokenizer in
+//! [`lexer`] is hand-rolled rather than `syn`-based).
+//!
+//! Three entry points:
+//! - the `mx-lint` binary (`cargo run -p mx-lint` or the `cargo lint`
+//!   alias) walks the workspace and prints `file:line: RULE: message`
+//!   diagnostics, exiting non-zero when anything fires;
+//! - [`lint_workspace`] is the library API the integration test in the
+//!   repo-root `tests/` directory uses to gate `cargo test`;
+//! - [`lint_source`] lints one in-memory file, for tools and tests.
+//!
+//! Escape hatch: `// lint:allow(R1): <written reason>` on (or directly
+//! above) the offending line. Directives without a reason, with an
+//! unknown rule ID, or that no diagnostic actually needed are themselves
+//! reported (`R0`), so the escape hatch cannot rot silently.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use rules::{Diagnostic, FileClass, Rule};
+
+/// Which files the domain rules apply to, as repo-relative path
+/// suffixes with forward slashes.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// R1/R3 scope: modules that parse untrusted input.
+    pub untrusted: Vec<String>,
+    /// R2 scope: binary/line-protocol codecs (a subset of `untrusted`).
+    pub wire_codecs: Vec<String>,
+    /// Directory names never descended into.
+    pub skip_dirs: Vec<String>,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            untrusted: [
+                // DNS: wire decoding, master-file parsing, message and
+                // name handling all consume scanner input.
+                "crates/dns/src/wire.rs",
+                "crates/dns/src/master.rs",
+                "crates/dns/src/message.rs",
+                "crates/dns/src/name.rs",
+                // SMTP: reply/command grammars and the port-25 scan
+                // records parse remote banners.
+                "crates/smtp/src/reply.rs",
+                "crates/smtp/src/command.rs",
+                "crates/smtp/src/scan.rs",
+                // Certificates: chain validation and RFC 6125 host-name
+                // matching consume attacker-supplied chains and names.
+                "crates/cert/src/validate.rs",
+                "crates/cert/src/name_match.rs",
+                // SPF parsing consumes TXT records off the wire.
+                "crates/core/src/spf.rs",
+            ]
+            .map(String::from)
+            .to_vec(),
+            wire_codecs: [
+                "crates/dns/src/wire.rs",
+                "crates/dns/src/message.rs",
+                "crates/smtp/src/reply.rs",
+                "crates/smtp/src/command.rs",
+            ]
+            .map(String::from)
+            .to_vec(),
+            skip_dirs: ["target", ".git", "fixtures", "tests", "benches", "examples"]
+                .map(String::from)
+                .to_vec(),
+        }
+    }
+}
+
+impl LintConfig {
+    /// Classify one repo-relative path.
+    pub fn classify(&self, rel: &str) -> FileClass {
+        let rel = rel.replace('\\', "/");
+        FileClass {
+            untrusted: self.untrusted.iter().any(|s| rel.ends_with(s.as_str())),
+            wire_codec: self.wire_codecs.iter().any(|s| rel.ends_with(s.as_str())),
+            crate_root: rel == "src/lib.rs" || (rel.starts_with("crates/") && rel.ends_with("/src/lib.rs")),
+        }
+    }
+}
+
+/// Result of a workspace pass.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Everything that fired, in path order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files checked.
+    pub files_checked: usize,
+    /// Total `lint:allow` directives encountered.
+    pub allows_total: usize,
+}
+
+impl Report {
+    /// True when no rule fired.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Lint a single source text. `rel` is the repo-relative display path;
+/// `class` controls which rules apply. Returns diagnostics plus the
+/// number of `lint:allow` directives seen.
+pub fn lint_source(rel: &str, src: &str, class: FileClass) -> (Vec<Diagnostic>, usize) {
+    let lexed = lexer::lex(src);
+    let allows = rules::parse_allows(&lexed);
+    let mut raw = Vec::new();
+    rules::check(rel, &lexed, class, &mut raw);
+
+    // Apply the escape hatch: a directive suppresses matching
+    // diagnostics on its covered line; hygiene problems become R0.
+    let mut used = vec![false; allows.len()];
+    let mut out = Vec::new();
+    for d in raw {
+        let mut suppressed = false;
+        for (i, a) in allows.iter().enumerate() {
+            if a.rule == Some(d.rule) && a.covers_line == d.line && !a.reason.is_empty() {
+                used[i] = true;
+                suppressed = true;
+                break;
+            }
+        }
+        if !suppressed {
+            out.push(d);
+        }
+    }
+    for (i, a) in allows.iter().enumerate() {
+        if a.rule.is_none() {
+            out.push(Diagnostic {
+                file: rel.into(),
+                line: a.at_line,
+                rule: Rule::R0,
+                message: format!("lint:allow names unknown rule `{}`", a.rule_text),
+            });
+        } else if a.reason.is_empty() {
+            out.push(Diagnostic {
+                file: rel.into(),
+                line: a.at_line,
+                rule: Rule::R0,
+                message: "lint:allow requires a written reason: `// lint:allow(Rn): why`".into(),
+            });
+        } else if !used[i] {
+            out.push(Diagnostic {
+                file: rel.into(),
+                line: a.at_line,
+                rule: Rule::R0,
+                message: format!(
+                    "unused lint:allow({}) — nothing to suppress on line {}",
+                    a.rule_text, a.covers_line
+                ),
+            });
+        }
+    }
+    (out, allows.len())
+}
+
+/// Lint one file on disk with explicit classification.
+pub fn lint_file(root: &Path, path: &Path, class: FileClass) -> io::Result<(Vec<Diagnostic>, usize)> {
+    let src = fs::read_to_string(path)?;
+    let rel = path
+        .strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/");
+    Ok(lint_source(&rel, &src, class))
+}
+
+/// Walk the workspace at `root` and run every applicable rule.
+///
+/// Only `src/` trees are linted: `crates/*/src/**/*.rs` plus the root
+/// package's `src/`. Test, bench, example and fixture trees are exempt
+/// by design — panicking there is idiomatic.
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    lint_workspace_with(root, &LintConfig::default())
+}
+
+/// [`lint_workspace`] with a custom configuration.
+pub fn lint_workspace_with(root: &Path, config: &LintConfig) -> io::Result<Report> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            let src = entry?.path().join("src");
+            if src.is_dir() {
+                collect_rs(&src, config, &mut files)?;
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, config, &mut files)?;
+    }
+    files.sort();
+
+    let mut report = Report::default();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let class = config.classify(&rel);
+        let src = fs::read_to_string(&path)?;
+        let (diags, allows) = lint_source(&rel, &src, class);
+        report.files_checked += 1;
+        report.allows_total += allows;
+        report.diagnostics.extend(diags);
+    }
+    Ok(report)
+}
+
+fn collect_rs(dir: &Path, config: &LintConfig, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            if !config.skip_dirs.contains(&name) {
+                collect_rs(&path, config, out)?;
+            }
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_paths() {
+        let c = LintConfig::default();
+        let wire = c.classify("crates/dns/src/wire.rs");
+        assert!(wire.untrusted && wire.wire_codec && !wire.crate_root);
+        let root = c.classify("crates/dns/src/lib.rs");
+        assert!(!root.untrusted && root.crate_root);
+        assert!(c.classify("src/lib.rs").crate_root);
+        let free = c.classify("crates/corpus/src/worldgen.rs");
+        assert!(!free.untrusted && !free.wire_codec && !free.crate_root);
+    }
+
+    #[test]
+    fn allow_suppresses_exactly_one_line_and_requires_reason() {
+        let class = FileClass {
+            untrusted: true,
+            ..Default::default()
+        };
+        let (d, n) = lint_source(
+            "t.rs",
+            "fn f(x: Option<u8>) -> u8 {\n    x.unwrap() // lint:allow(R1): bounded by caller\n}",
+            class,
+        );
+        assert!(d.is_empty(), "{d:?}");
+        assert_eq!(n, 1);
+
+        let (d, _) = lint_source(
+            "t.rs",
+            "fn f(x: Option<u8>) -> u8 {\n    x.unwrap() // lint:allow(R1)\n}",
+            class,
+        );
+        assert!(d.iter().any(|d| d.rule == Rule::R0), "{d:?}");
+        assert!(d.iter().any(|d| d.rule == Rule::R1), "unreasoned allow must not suppress");
+    }
+
+    #[test]
+    fn unused_allow_is_flagged() {
+        let class = FileClass {
+            untrusted: true,
+            ..Default::default()
+        };
+        let (d, _) = lint_source(
+            "t.rs",
+            "// lint:allow(R1): no longer needed\nfn f() -> u8 { 1 }",
+            class,
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::R0);
+        assert!(d[0].message.contains("unused"));
+    }
+
+    #[test]
+    fn standalone_allow_covers_next_line() {
+        let class = FileClass {
+            untrusted: true,
+            ..Default::default()
+        };
+        let (d, _) = lint_source(
+            "t.rs",
+            "fn f(x: Option<u8>) -> u8 {\n    // lint:allow(R1): checked by caller\n    x.unwrap()\n}",
+            class,
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

@@ -1,0 +1,112 @@
+//! `mx-lint` CLI: lint the workspace (or one file) and exit non-zero on
+//! any diagnostic. See `crates/lint/README.md` for the rule catalogue.
+
+#![deny(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mx_lint::{lint_file, lint_workspace, FileClass};
+
+const USAGE: &str = "\
+mx-lint — workspace static analysis (panic-freedom & RFC invariants)
+
+USAGE:
+    mx-lint [--root <dir>]          lint the whole workspace
+    mx-lint --file <path> [...]     lint specific files in strict mode
+                                    (treated as untrusted wire codecs)
+    mx-lint --help
+
+Diagnostics print as `file:line: RULE: message`. Exit status is 0 when
+clean, 1 when any rule fires, 2 on usage or I/O errors.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root = PathBuf::from(".");
+    let mut strict_files: Vec<PathBuf> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--root" => {
+                i += 1;
+                let Some(dir) = args.get(i) else {
+                    eprintln!("error: --root needs a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                root = PathBuf::from(dir);
+            }
+            "--file" => {
+                i += 1;
+                let Some(f) = args.get(i) else {
+                    eprintln!("error: --file needs a path\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                strict_files.push(PathBuf::from(f));
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+
+    if !strict_files.is_empty() {
+        // Strict mode: every named file is linted as an untrusted wire
+        // codec. Used by the fixture test and for ad-hoc audits.
+        let class = FileClass {
+            untrusted: true,
+            wire_codec: true,
+            crate_root: false,
+        };
+        let mut total = 0usize;
+        for f in &strict_files {
+            match lint_file(&root, f, class) {
+                Ok((diags, _)) => {
+                    for d in &diags {
+                        println!("{d}");
+                    }
+                    total += diags.len();
+                }
+                Err(e) => {
+                    eprintln!("error: {}: {e}", f.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        return finish(total, strict_files.len(), 0);
+    }
+
+    match lint_workspace(&root) {
+        Ok(report) => {
+            if report.files_checked == 0 {
+                // A workspace with zero .rs files is a wrong --root, not a
+                // clean tree; exiting 0 here would be a silent false green.
+                eprintln!("error: no Rust sources found under {}", root.display());
+                return ExitCode::from(2);
+            }
+            for d in &report.diagnostics {
+                println!("{d}");
+            }
+            finish(report.diagnostics.len(), report.files_checked, report.allows_total)
+        }
+        Err(e) => {
+            eprintln!("error: {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn finish(diags: usize, files: usize, allows: usize) -> ExitCode {
+    if diags == 0 {
+        eprintln!("mx-lint: clean — {files} files checked, {allows} lint:allow escapes in use");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("mx-lint: {diags} diagnostic(s) across {files} files");
+        ExitCode::FAILURE
+    }
+}

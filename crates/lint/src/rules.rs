@@ -1,0 +1,700 @@
+//! The lint rules.
+//!
+//! All checks are *lexical*: they walk the token stream from
+//! [`crate::lexer`] rather than a syntax tree. That keeps the tool
+//! dependency-free and the rules easy to audit, at the cost of a few
+//! documented heuristics (see `R2`). Code inside `#[cfg(test)]` items is
+//! exempt — panicking on a failed test assertion is the point of a test.
+//!
+//! | Rule | Scope | What it enforces |
+//! |------|-------|------------------|
+//! | R1   | untrusted-input modules | no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!` and no direct slice indexing |
+//! | R2   | wire-codec modules      | no bare narrowing `as` casts (use `try_from` or an explicit mask) |
+//! | R3   | untrusted-input modules | `with_capacity`/`reserve`/`resize` and direct recursion must be bounded by a named `MAX_*` constant |
+//! | R4   | crate roots             | the agreed `#![deny(...)]` lint tier header is present |
+//! | R0   | everywhere              | `lint:allow` hygiene: known rule, written reason, actually used |
+
+use crate::lexer::{Lexed, Tok, TokKind};
+
+/// Rule identifiers, used in diagnostics and `lint:allow(...)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// `lint:allow` hygiene (bad rule name, missing reason, unused).
+    R0,
+    /// Panic-freedom in untrusted-input modules.
+    R1,
+    /// No bare narrowing casts in wire codecs.
+    R2,
+    /// Bounded allocation and recursion in untrusted-input modules.
+    R3,
+    /// Crate-level lint tier header.
+    R4,
+}
+
+impl Rule {
+    /// The stable textual ID (`R1`…) used on the CLI and in directives.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::R0 => "R0",
+            Rule::R1 => "R1",
+            Rule::R2 => "R2",
+            Rule::R3 => "R3",
+            Rule::R4 => "R4",
+        }
+    }
+
+    /// Parse a textual rule ID.
+    pub fn parse(s: &str) -> Option<Rule> {
+        match s.trim() {
+            "R0" => Some(Rule::R0),
+            "R1" => Some(Rule::R1),
+            "R2" => Some(Rule::R2),
+            "R3" => Some(Rule::R3),
+            "R4" => Some(Rule::R4),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Rule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One finding, addressed `file:line`.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Repo-relative path of the offending file.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}: {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// Per-file rule applicability, derived from [`crate::LintConfig`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FileClass {
+    /// R1 + R3 apply: the module parses untrusted wire/text input.
+    pub untrusted: bool,
+    /// R2 applies: the module en/decodes binary or line protocols.
+    pub wire_codec: bool,
+    /// R4 applies: the file is a crate root (`lib.rs`).
+    pub crate_root: bool,
+}
+
+/// A parsed `lint:allow` directive.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// The rule being allowed.
+    pub rule: Option<Rule>,
+    /// The raw rule text as written.
+    pub rule_text: String,
+    /// Written justification (text after `:`), if any.
+    pub reason: String,
+    /// The source line the directive *covers* (its own line when
+    /// trailing, the next line when it stands alone).
+    pub covers_line: u32,
+    /// The line the directive itself is written on.
+    pub at_line: u32,
+}
+
+/// Extract `// lint:allow(R1): reason` directives from the comments.
+///
+/// Doc comments never carry directives (they *describe* the syntax, as
+/// this one does), and the directive must open the comment — a mention
+/// mid-sentence is prose, not an escape hatch.
+pub fn parse_allows(lexed: &Lexed) -> Vec<Allow> {
+    let mut out = Vec::new();
+    for c in &lexed.comments {
+        let is_doc = c.text.starts_with("///")
+            || c.text.starts_with("//!")
+            || c.text.starts_with("/**")
+            || c.text.starts_with("/*!");
+        if is_doc {
+            continue;
+        }
+        let body = c
+            .text
+            .trim_start_matches("//")
+            .trim_start_matches("/*")
+            .trim_start();
+        if !body.starts_with("lint:allow(") {
+            continue;
+        }
+        let rest = &body["lint:allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            out.push(Allow {
+                rule: None,
+                rule_text: rest.to_string(),
+                reason: String::new(),
+                covers_line: if c.trailing { c.line } else { c.line + 1 },
+                at_line: c.line,
+            });
+            continue;
+        };
+        let rule_text = rest[..close].to_string();
+        let tail = &rest[close + 1..];
+        let reason = tail
+            .strip_prefix(':')
+            .map(|r| r.trim().trim_end_matches("*/").trim().to_string())
+            .unwrap_or_default();
+        out.push(Allow {
+            rule: Rule::parse(&rule_text),
+            rule_text,
+            reason,
+            covers_line: if c.trailing { c.line } else { c.line + 1 },
+            at_line: c.line,
+        });
+    }
+    out
+}
+
+/// Keywords that may directly precede `[` without forming an index
+/// expression (`return [0; 4]`, `=> [a, b]` …).
+const NON_EXPR_IDENTS: &[&str] = &[
+    "return", "break", "continue", "else", "in", "if", "while", "match", "move", "mut", "ref",
+    "let", "const", "static", "as", "dyn", "impl", "where", "use", "pub", "fn", "enum", "struct",
+    "type", "trait", "mod", "unsafe", "box", "yield",
+];
+
+/// Methods whose bare call panics on the error/none path.
+const PANICKY_METHODS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
+
+/// Macros that abort at runtime.
+const PANICKY_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Allocation methods whose argument must be bounded (R3).
+const ALLOC_METHODS: &[&str] = &["with_capacity", "reserve", "resize"];
+
+/// Narrowing integer targets for R2.
+const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Run every applicable rule over one lexed file.
+pub fn check(file: &str, lexed: &Lexed, class: FileClass, out: &mut Vec<Diagnostic>) {
+    let toks = &lexed.tokens;
+    let in_test = mark_test_regions(toks);
+
+    if class.crate_root {
+        check_r4(file, lexed, out);
+    }
+    if !(class.untrusted || class.wire_codec) {
+        return;
+    }
+
+    for i in 0..toks.len() {
+        if in_test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        let prev = i.checked_sub(1).map(|j| &toks[j]);
+        let next = toks.get(i + 1);
+
+        if class.untrusted {
+            // R1: panicking methods: `.unwrap()` etc.
+            if t.kind == TokKind::Ident
+                && PANICKY_METHODS.contains(&t.text.as_str())
+                && prev.is_some_and(|p| p.text == ".")
+                && next.is_some_and(|n| n.text == "(")
+            {
+                out.push(Diagnostic {
+                    file: file.into(),
+                    line: t.line,
+                    rule: Rule::R1,
+                    message: format!(
+                        ".{}() can panic on malformed input; return a typed error instead",
+                        t.text
+                    ),
+                });
+            }
+            // R1: panicking macros.
+            if t.kind == TokKind::Ident
+                && PANICKY_MACROS.contains(&t.text.as_str())
+                && next.is_some_and(|n| n.text == "!")
+                && !prev.is_some_and(|p| p.text == "_" || p.text == "debug_assert")
+            {
+                out.push(Diagnostic {
+                    file: file.into(),
+                    line: t.line,
+                    rule: Rule::R1,
+                    message: format!("{}! aborts the scanner on malformed input", t.text),
+                });
+            }
+            // R1: direct index expressions `expr[...]`.
+            if t.text == "[" && prev.is_some_and(is_expression_end) {
+                out.push(Diagnostic {
+                    file: file.into(),
+                    line: t.line,
+                    rule: Rule::R1,
+                    message: "direct indexing can panic; use .get()/.get_mut() or split_at_checked"
+                        .into(),
+                });
+            }
+            // R3: unbounded allocation sized by a runtime value.
+            if t.kind == TokKind::Ident
+                && ALLOC_METHODS.contains(&t.text.as_str())
+                && next.is_some_and(|n| n.text == "(")
+            {
+                if let Some(d) = check_r3_alloc(file, toks, i) {
+                    out.push(d);
+                }
+            }
+        }
+
+        if class.wire_codec
+            && t.kind == TokKind::Ident
+            && t.text == "as"
+            && next.is_some_and(|n| {
+                n.kind == TokKind::Ident && NARROW_TARGETS.contains(&n.text.as_str())
+            })
+            && !cast_is_masked_or_const(toks, i)
+        {
+            let target = next.map(|n| n.text.clone()).unwrap_or_default();
+            out.push(Diagnostic {
+                file: file.into(),
+                line: t.line,
+                rule: Rule::R2,
+                message: format!(
+                    "bare `as {target}` may truncate; use {target}::try_from or mask explicitly"
+                ),
+            });
+        }
+    }
+
+    if class.untrusted {
+        check_r3_recursion(file, toks, &in_test, out);
+    }
+}
+
+/// True when a token can end an expression, making a following `[` an
+/// index operation.
+fn is_expression_end(t: &Tok) -> bool {
+    match t.kind {
+        TokKind::Ident => !NON_EXPR_IDENTS.contains(&t.text.as_str()),
+        TokKind::Int | TokKind::Float | TokKind::Str => true,
+        TokKind::Punct => matches!(t.text.as_str(), ")" | "]" | "?"),
+        _ => false,
+    }
+}
+
+/// R2 exemptions: the cast source is a literal constant, or the same
+/// line applies an explicit mask (`& 0x3F`) before casting. Lexical
+/// heuristic, documented in the crate README.
+fn cast_is_masked_or_const(toks: &[Tok], as_idx: usize) -> bool {
+    if as_idx == 0 {
+        return false;
+    }
+    let prev = &toks[as_idx - 1];
+    if matches!(prev.kind, TokKind::Int | TokKind::Float) {
+        return true;
+    }
+    let line = toks[as_idx].line;
+    let mut j = as_idx;
+    while j > 0 && toks[j - 1].line == line {
+        j -= 1;
+        if toks[j].text == "&" {
+            let lit_next = toks
+                .get(j + 1)
+                .is_some_and(|n| matches!(n.kind, TokKind::Int));
+            let lit_prev = j
+                .checked_sub(1)
+                .and_then(|k| toks.get(k))
+                .is_some_and(|p| matches!(p.kind, TokKind::Int));
+            if lit_next || lit_prev {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// R3 for allocation calls: the size argument must be a literal, or
+/// mention a named `MAX_*` bound (directly or via `.min(MAX_*)`).
+fn check_r3_alloc(file: &str, toks: &[Tok], call_idx: usize) -> Option<Diagnostic> {
+    let open = call_idx + 1;
+    debug_assert_eq!(toks.get(open).map(|t| t.text.as_str()), Some("("));
+    let mut depth = 0usize;
+    let mut has_ident = false;
+    let mut has_bound = false;
+    for t in toks.iter().skip(open) {
+        match t.text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        if t.kind == TokKind::Ident {
+            if t.text.starts_with("MAX_") || t.text == "min" || t.text == "clamp" {
+                has_bound = true;
+            } else if t.text != "self" && t.text != "len" && t.text != "capacity" {
+                has_ident = true;
+            }
+        }
+    }
+    if has_ident && !has_bound {
+        Some(Diagnostic {
+            file: file.into(),
+            line: toks[call_idx].line,
+            rule: Rule::R3,
+            message: format!(
+                "{}() sized by a runtime value without a named MAX_* bound",
+                toks[call_idx].text
+            ),
+        })
+    } else {
+        None
+    }
+}
+
+/// R3 for recursion: a function that calls itself must mention a
+/// `MAX_*` depth bound somewhere in its body.
+fn check_r3_recursion(file: &str, toks: &[Tok], in_test: &[bool], out: &mut Vec<Diagnostic>) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Ident && toks[i].text == "fn" && !in_test[i] {
+            if let Some(name_tok) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) {
+                let name = name_tok.text.clone();
+                // Find the body: first `{` at bracket depth 0 (a `;`
+                // first means a bodyless trait/extern declaration).
+                let mut j = i + 2;
+                let mut paren = 0i32;
+                let mut body_start = None;
+                while j < toks.len() {
+                    match toks[j].text.as_str() {
+                        "(" | "[" => paren += 1,
+                        ")" | "]" => paren -= 1,
+                        "{" if paren == 0 => {
+                            body_start = Some(j);
+                            break;
+                        }
+                        ";" if paren == 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if let Some(start) = body_start {
+                    let mut depth = 0i32;
+                    let mut end = start;
+                    for (k, t) in toks.iter().enumerate().skip(start) {
+                        match t.text.as_str() {
+                            "{" => depth += 1,
+                            "}" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    end = k;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                    let body = &toks[start..=end.min(toks.len() - 1)];
+                    // A self-call is a *bare* `name(` — a `.name(` is a
+                    // method on some other receiver and `Path::name(` a
+                    // different item that happens to share the name.
+                    let recurses = (1..body.len().saturating_sub(1)).any(|w| {
+                        body[w].kind == TokKind::Ident
+                            && body[w].text == name
+                            && body[w + 1].text == "("
+                            && body[w - 1].text != "."
+                            && body[w - 1].text != ":"
+                    });
+                    let bounded = body
+                        .iter()
+                        .any(|t| t.kind == TokKind::Ident && t.text.starts_with("MAX_"));
+                    if recurses && !bounded {
+                        out.push(Diagnostic {
+                            file: file.into(),
+                            line: name_tok.line,
+                            rule: Rule::R3,
+                            message: format!(
+                                "fn {name} recurses without a named MAX_* depth bound"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// R4: the crate root must carry the agreed lint tier:
+/// `#![deny(unsafe_code)]` plus `#![warn(missing_docs)]` (or the
+/// stricter `deny`).
+fn check_r4(file: &str, lexed: &Lexed, out: &mut Vec<Diagnostic>) {
+    let attrs = inner_attributes(&lexed.tokens);
+    let has_unsafe = attrs.iter().any(|a| a == "deny(unsafe_code)" || a == "forbid(unsafe_code)");
+    let has_docs = attrs
+        .iter()
+        .any(|a| a == "warn(missing_docs)" || a == "deny(missing_docs)");
+    if !has_unsafe {
+        out.push(Diagnostic {
+            file: file.into(),
+            line: 1,
+            rule: Rule::R4,
+            message: "crate root is missing #![deny(unsafe_code)] (lint tier header)".into(),
+        });
+    }
+    if !has_docs {
+        out.push(Diagnostic {
+            file: file.into(),
+            line: 1,
+            rule: Rule::R4,
+            message: "crate root is missing #![warn(missing_docs)] (lint tier header)".into(),
+        });
+    }
+}
+
+/// Collect the contents of `#![...]` inner attributes, whitespace-free.
+fn inner_attributes(toks: &[Tok]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 3 < toks.len() {
+        if toks[i].text == "#" && toks[i + 1].text == "!" && toks[i + 2].text == "[" {
+            let mut depth = 1i32;
+            let mut j = i + 3;
+            let mut s = String::new();
+            while j < toks.len() && depth > 0 {
+                match toks[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                s.push_str(&toks[j].text);
+                j += 1;
+            }
+            out.push(s);
+            i = j;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Mark tokens inside `#[cfg(test)]`-gated items (`mod` or `fn`).
+fn mark_test_regions(toks: &[Tok]) -> Vec<bool> {
+    let mut in_test = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        // Match `#[cfg(` … `test` … `)]`.
+        if toks[i].text == "#" && toks.get(i + 1).is_some_and(|t| t.text == "[") {
+            let mut j = i + 2;
+            let mut depth = 1i32;
+            let mut saw_test = false;
+            let mut is_cfg = false;
+            if toks.get(j).is_some_and(|t| t.text == "cfg") {
+                is_cfg = true;
+            }
+            while j < toks.len() && depth > 0 {
+                match toks[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => depth -= 1,
+                    "test" => saw_test = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            // Also treat bare `#[test]` / `#[bench]` attributes.
+            let bare_test = !is_cfg && saw_test;
+            if (is_cfg && saw_test) || bare_test {
+                // Find the gated item's braces and mark the whole span.
+                let mut k = j;
+                let mut brace_start = None;
+                let mut guard = 0usize;
+                while k < toks.len() && guard < 64 {
+                    if toks[k].text == "{" {
+                        brace_start = Some(k);
+                        break;
+                    }
+                    if toks[k].text == ";" {
+                        break;
+                    }
+                    k += 1;
+                    guard += 1;
+                }
+                if let Some(start) = brace_start {
+                    let mut depth = 0i32;
+                    let mut end = start;
+                    for (m, t) in toks.iter().enumerate().skip(start) {
+                        match t.text.as_str() {
+                            "{" => depth += 1,
+                            "}" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    end = m;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                    for flag in in_test.iter_mut().take(end + 1).skip(i) {
+                        *flag = true;
+                    }
+                    i = end + 1;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    in_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str, class: FileClass) -> Vec<Diagnostic> {
+        let lexed = lex(src);
+        let mut out = Vec::new();
+        check("t.rs", &lexed, class, &mut out);
+        out
+    }
+
+    const UNTRUSTED: FileClass = FileClass {
+        untrusted: true,
+        wire_codec: false,
+        crate_root: false,
+    };
+    const CODEC: FileClass = FileClass {
+        untrusted: true,
+        wire_codec: true,
+        crate_root: false,
+    };
+
+    #[test]
+    fn r1_flags_unwrap_expect_and_macros() {
+        let d = run(
+            "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n\
+             fn g(x: Option<u8>) -> u8 { x.expect(\"m\") }\n\
+             fn h() { panic!(\"boom\"); }\n\
+             fn k() { unreachable!() }",
+            UNTRUSTED,
+        );
+        assert_eq!(d.iter().filter(|d| d.rule == Rule::R1).count(), 4);
+        assert_eq!(d[0].line, 1);
+        assert_eq!(d[2].line, 3);
+    }
+
+    #[test]
+    fn r1_flags_indexing_but_not_array_types_or_attrs() {
+        let ok = run(
+            "#[derive(Debug)] struct S { a: [u8; 4] }\n\
+             fn f() -> Vec<u8> { vec![0u8; 4] }\n\
+             fn g(x: &[u8]) -> Option<&u8> { x.get(0) }",
+            UNTRUSTED,
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+        let bad = run("fn f(x: &[u8]) -> u8 { x[0] }", UNTRUSTED);
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].rule, Rule::R1);
+    }
+
+    #[test]
+    fn r1_ignores_test_modules() {
+        let d = run(
+            "fn ok() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}",
+            UNTRUSTED,
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn r1_ignores_strings_and_comments() {
+        let d = run(
+            "// unwrap() in a comment\nfn f() -> &'static str { \"panic!()\" }",
+            UNTRUSTED,
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn r2_narrowing_cast_flagged_masked_ok() {
+        let bad = run("fn f(x: usize) -> u8 { x as u8 }", CODEC);
+        assert_eq!(bad.iter().filter(|d| d.rule == Rule::R2).count(), 1);
+        let masked = run("fn f(x: usize) -> u8 { (x & 0xFF) as u8 }", CODEC);
+        assert!(masked.iter().all(|d| d.rule != Rule::R2), "{masked:?}");
+        let constant = run("fn f() -> u16 { 0xC000 as u16 }", CODEC);
+        assert!(constant.iter().all(|d| d.rule != Rule::R2));
+        let widening = run("fn f(x: u8) -> usize { x as usize }", CODEC);
+        assert!(widening.iter().all(|d| d.rule != Rule::R2));
+    }
+
+    #[test]
+    fn r3_alloc_needs_bound() {
+        let bad = run("fn f(n: usize) { let _ = Vec::<u8>::with_capacity(n); }", UNTRUSTED);
+        assert_eq!(bad.iter().filter(|d| d.rule == Rule::R3).count(), 1);
+        let literal = run("fn f() { let _ = Vec::<u8>::with_capacity(512); }", UNTRUSTED);
+        assert!(literal.iter().all(|d| d.rule != Rule::R3));
+        let bounded = run(
+            "const MAX_RRS: usize = 64; fn f(n: usize) { let _ = Vec::<u8>::with_capacity(n.min(MAX_RRS)); }",
+            UNTRUSTED,
+        );
+        assert!(bounded.iter().all(|d| d.rule != Rule::R3), "{bounded:?}");
+    }
+
+    #[test]
+    fn r3_recursion_needs_bound() {
+        let bad = run(
+            "fn walk(d: &Dir) { for c in d.children() { walk(c); } }",
+            UNTRUSTED,
+        );
+        assert_eq!(bad.iter().filter(|d| d.rule == Rule::R3).count(), 1);
+        let bounded = run(
+            "fn walk(d: &Dir, depth: usize) { if depth > MAX_DEPTH { return; } walk(d, depth + 1); }",
+            UNTRUSTED,
+        );
+        assert!(bounded.iter().all(|d| d.rule != Rule::R3));
+        let non_recursive = run("fn helper() {} fn f() { helper(); }", UNTRUSTED);
+        assert!(non_recursive.iter().all(|d| d.rule != Rule::R3));
+    }
+
+    #[test]
+    fn r4_header_checked_on_crate_roots() {
+        let root_only = FileClass {
+            crate_root: true,
+            ..FileClass::default()
+        };
+        let bad = run("//! docs\npub fn f() {}", root_only);
+        assert_eq!(bad.iter().filter(|d| d.rule == Rule::R4).count(), 2);
+        let good = run(
+            "//! docs\n#![deny(unsafe_code)]\n#![warn(missing_docs)]\npub fn f() {}",
+            root_only,
+        );
+        assert!(good.is_empty(), "{good:?}");
+    }
+
+    #[test]
+    fn allows_parse_with_reason_and_coverage() {
+        let lexed = lex(
+            "fn f() {\n    x.unwrap(); // lint:allow(R1): startup-only path\n    // lint:allow(R2): masked by construction\n    y as u8;\n}",
+        );
+        let allows = parse_allows(&lexed);
+        assert_eq!(allows.len(), 2);
+        assert_eq!(allows[0].rule, Some(Rule::R1));
+        assert_eq!(allows[0].covers_line, 2);
+        assert_eq!(allows[0].reason, "startup-only path");
+        assert_eq!(allows[1].covers_line, 4);
+    }
+}

@@ -1,0 +1,71 @@
+//! The seeded-violation fixture must keep firing: if a refactor of the
+//! lexer or rules ever stops catching one of these constructs, this test
+//! fails before the workspace gate silently goes blind.
+
+use std::path::Path;
+
+use mx_lint::{lint_file, FileClass, Rule};
+
+fn fixture_diags() -> Vec<mx_lint::Diagnostic> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let path = root.join("fixtures/violations.rs");
+    let class = FileClass {
+        untrusted: true,
+        wire_codec: true,
+        crate_root: false,
+    };
+    let (diags, _) = lint_file(root, &path, class).expect("fixture readable");
+    diags
+}
+
+#[test]
+fn every_rule_fires_on_the_fixture() {
+    let diags = fixture_diags();
+    for rule in [Rule::R0, Rule::R1, Rule::R2, Rule::R3] {
+        assert!(
+            diags.iter().any(|d| d.rule == rule),
+            "{rule} did not fire on the fixture; diagnostics: {diags:#?}"
+        );
+    }
+}
+
+#[test]
+fn fixture_counts_are_exact() {
+    let diags = fixture_diags();
+    let count = |r: Rule| diags.iter().filter(|d| d.rule == r).count();
+    // 4 panicking constructs + 1 indexing site.
+    assert_eq!(count(Rule::R1), 5, "{diags:#?}");
+    assert_eq!(count(Rule::R2), 1, "{diags:#?}");
+    // Unbounded with_capacity + unbounded recursion.
+    assert_eq!(count(Rule::R3), 2, "{diags:#?}");
+    // The deliberately unused allow.
+    assert_eq!(count(Rule::R0), 1, "{diags:#?}");
+}
+
+#[test]
+fn cli_exits_nonzero_on_fixture_and_zero_on_workspace() {
+    let lint_bin = env!("CARGO_BIN_EXE_mx-lint");
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+
+    let fixture = manifest.join("fixtures/violations.rs");
+    let out = std::process::Command::new(lint_bin)
+        .args(["--file", &fixture.to_string_lossy()])
+        .output()
+        .expect("run mx-lint on fixture");
+    assert_eq!(out.status.code(), Some(1), "fixture must fail the lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("R1"), "diagnostics on stdout: {stdout}");
+
+    let workspace_root = manifest.parent().and_then(Path::parent).expect("repo root");
+    let out = std::process::Command::new(lint_bin)
+        .args(["--root", &workspace_root.to_string_lossy()])
+        .output()
+        .expect("run mx-lint on workspace");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "workspace must be lint-clean; output:\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

@@ -12,10 +12,9 @@ use std::collections::HashSet;
 use std::net::Ipv4Addr;
 
 use mx_cert::fnv1a;
-use serde::{Deserialize, Serialize};
 
 /// Deterministic per-IP fault configuration.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
     /// IPs whose owner requested exclusion from scanning: they never appear
     /// in scan snapshots at all ("No Censys").

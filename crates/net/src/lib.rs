@@ -21,6 +21,7 @@
 //!   target-domain list through a caching [`mx_dns::StubResolver`] over the
 //!   simulated network, producing [`openintel::DnsSnapshot`] rows.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod fault;

@@ -11,12 +11,11 @@ use std::net::Ipv4Addr;
 
 use mx_dns::resolver::{MxTarget, ResolveError};
 use mx_dns::{Name, Timestamp};
-use serde::{Deserialize, Serialize};
 
 use crate::simnet::SimNet;
 
 /// MX measurement outcome for one domain.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MxMeasurement {
     /// MX records found (each with the A-resolution of its exchange;
     /// an exchange that did not resolve has an empty address list).
@@ -33,7 +32,7 @@ pub enum MxMeasurement {
 }
 
 /// Serde-friendly mirror of [`MxTarget`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SerializableMxTarget {
     /// MX preference (lowest wins).
     pub preference: u16,
@@ -83,7 +82,7 @@ impl MxMeasurement {
 }
 
 /// One day's DNS measurement over a target list.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DnsSnapshot {
     /// The simulated measurement date.
     pub date: Timestamp,

@@ -11,12 +11,11 @@ use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 use mx_smtp::{ClientError, Extension, SmtpClient, SmtpScanData, StartTlsOutcome};
-use serde::{Deserialize, Serialize};
 
 use crate::simnet::{ConnectError, SimNet};
 
 /// Port-25 state observed for one IP.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PortState {
     /// TCP connect failed (host down / refused).
     Closed,
@@ -40,7 +39,7 @@ impl PortState {
 /// One scan round's results. IPs absent from `results` were not covered at
 /// all (blocked by owner request, or the scanner failed that round) — the
 /// "No Censys" bucket.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ScanSnapshot {
     /// Scan round number (one per simulated snapshot date).
     pub epoch: u64,
@@ -156,11 +155,11 @@ impl Scanner {
             return snapshot;
         }
         let chunks: Vec<&[Ipv4Addr]> = ips.chunks(ips.len().div_ceil(self.parallelism)).collect();
-        let results: Vec<Vec<(Ipv4Addr, PortState)>> = crossbeam::thread::scope(|s| {
+        let results: Vec<Vec<(Ipv4Addr, PortState)>> = std::thread::scope(|s| {
             let handles: Vec<_> = chunks
                 .into_iter()
                 .map(|chunk| {
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         chunk
                             .iter()
                             .filter_map(|&ip| self.scan_ip(net, ip, epoch).map(|st| (ip, st)))
@@ -172,8 +171,7 @@ impl Scanner {
                 .into_iter()
                 .map(|h| h.join().expect("scan worker panicked"))
                 .collect()
-        })
-        .expect("scan scope");
+        });
         for part in results {
             snapshot.results.extend(part);
         }

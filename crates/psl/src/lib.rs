@@ -39,6 +39,7 @@
 //!
 //! [Public Suffix List]: https://publicsuffix.org
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod builtin;

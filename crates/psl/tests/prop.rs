@@ -1,71 +1,110 @@
 //! Property-based tests for the PSL engine.
+//!
+//! Deterministic seeded generators over [`mx_rng`] replace `proptest`
+//! (offline build); each failure message carries the case number.
 
 use mx_psl::{normalize, PublicSuffixList, Rule};
-use proptest::prelude::*;
+use mx_rng::SmallRng;
 
-fn label() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9-]{0,8}[a-z0-9]".prop_map(|s| s)
+const CASES: u64 = 256;
+
+/// `[a-z][a-z0-9-]{0,8}[a-z0-9]` — a hostname label.
+fn gen_label(rng: &mut SmallRng) -> String {
+    const FIRST: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+    const MID: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789-";
+    const LAST: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
+    let mut s = String::new();
+    s.push(*rng.choose(FIRST).unwrap() as char);
+    for _ in 0..rng.gen_range(0..=8usize) {
+        s.push(*rng.choose(MID).unwrap() as char);
+    }
+    s.push(*rng.choose(LAST).unwrap() as char);
+    s
 }
 
-fn name(max_labels: usize) -> impl Strategy<Value = String> {
-    prop::collection::vec(label(), 1..=max_labels).prop_map(|ls| ls.join("."))
+fn gen_name(rng: &mut SmallRng, max_labels: usize) -> String {
+    let n = rng.gen_range(1..=max_labels);
+    (0..n).map(|_| gen_label(rng)).collect::<Vec<_>>().join(".")
 }
 
-proptest! {
-    /// The public suffix is always a (dot-boundary) suffix of the name.
-    #[test]
-    fn suffix_is_suffix(n in name(6)) {
-        let l = PublicSuffixList::builtin();
+/// The public suffix is always a (dot-boundary) suffix of the name.
+#[test]
+fn suffix_is_suffix() {
+    let l = PublicSuffixList::builtin();
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x951_0001 ^ case);
+        let n = gen_name(&mut rng, 6);
         let s = l.public_suffix(&n).unwrap();
         let norm = normalize(&n).unwrap();
         let ok = norm == s || norm.ends_with(&format!(".{}", s));
-        prop_assert!(ok, "suffix {} not a suffix of {}", s, norm);
+        assert!(ok, "case {case}: suffix {} not a suffix of {}", s, norm);
     }
+}
 
-    /// The registered domain, when present, is public suffix + one label,
-    /// and is itself a suffix of the name.
-    #[test]
-    fn registered_is_suffix_plus_one(n in name(6)) {
-        let l = PublicSuffixList::builtin();
+/// The registered domain, when present, is public suffix + one label,
+/// and is itself a suffix of the name.
+#[test]
+fn registered_is_suffix_plus_one() {
+    let l = PublicSuffixList::builtin();
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x951_0002 ^ case);
+        let n = gen_name(&mut rng, 6);
         let norm = normalize(&n).unwrap();
         let s = l.public_suffix(&n).unwrap();
         match l.registered_domain(&n) {
-            None => prop_assert_eq!(&norm, &s),
+            None => assert_eq!(&norm, &s, "case {case}"),
             Some(rd) => {
                 let ok = norm == rd || norm.ends_with(&format!(".{}", rd));
-                prop_assert!(ok, "rd {} not a suffix of {}", rd, norm);
-                prop_assert!(rd.ends_with(&s));
-                prop_assert_eq!(
+                assert!(ok, "case {case}: rd {} not a suffix of {}", rd, norm);
+                assert!(rd.ends_with(&s), "case {case}");
+                assert_eq!(
                     rd.split('.').count(),
-                    s.split('.').count() + 1
+                    s.split('.').count() + 1,
+                    "case {case}"
                 );
             }
         }
     }
+}
 
-    /// registered_domain is idempotent: applying it to its own output is a
-    /// fixed point.
-    #[test]
-    fn registered_domain_idempotent(n in name(6)) {
-        let l = PublicSuffixList::builtin();
+/// registered_domain is idempotent: applying it to its own output is a
+/// fixed point.
+#[test]
+fn registered_domain_idempotent() {
+    let l = PublicSuffixList::builtin();
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x951_0003 ^ case);
+        let n = gen_name(&mut rng, 6);
         if let Some(rd) = l.registered_domain(&n) {
-            prop_assert_eq!(l.registered_domain(&rd), Some(rd.clone()));
+            assert_eq!(l.registered_domain(&rd), Some(rd.clone()), "case {case}");
         }
     }
+}
 
-    /// Lookup is case-insensitive and ignores a trailing dot.
-    #[test]
-    fn case_and_dot_insensitive(n in name(5)) {
-        let l = PublicSuffixList::builtin();
+/// Lookup is case-insensitive and ignores a trailing dot.
+#[test]
+fn case_and_dot_insensitive() {
+    let l = PublicSuffixList::builtin();
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x951_0004 ^ case);
+        let n = gen_name(&mut rng, 5);
         let upper = format!("{}.", n.to_ascii_uppercase());
-        prop_assert_eq!(l.registered_domain(&n), l.registered_domain(&upper));
+        assert_eq!(
+            l.registered_domain(&n),
+            l.registered_domain(&upper),
+            "case {case}: {n}"
+        );
     }
+}
 
-    /// Every parsed rule round-trips through Display.
-    #[test]
-    fn rule_display_roundtrip(n in name(4)) {
+/// Every parsed rule round-trips through Display.
+#[test]
+fn rule_display_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x951_0005 ^ case);
+        let n = gen_name(&mut rng, 4);
         let r = Rule::parse(&n).unwrap();
         let r2 = Rule::parse(&r.to_string()).unwrap();
-        prop_assert_eq!(r, r2);
+        assert_eq!(r, r2, "case {case}");
     }
 }

@@ -2,12 +2,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// A reverse-path/forward-path: the address inside `MAIL FROM:<...>` /
 /// `RCPT TO:<...>`. The null reverse path `<>` is represented by an empty
 /// mailbox.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MailPath {
     /// `user@domain`, or empty for the null path.
     pub mailbox: String,
@@ -46,7 +45,7 @@ impl fmt::Display for MailPath {
 }
 
 /// A parsed SMTP command.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Command {
     /// Legacy greeting (RFC 821).
     Helo {
@@ -200,7 +199,7 @@ fn parse_path_command(rest: &str, keyword: &str) -> Option<(MailPath, Vec<String
     if !upper.starts_with(&prefix) {
         return None;
     }
-    let after = rest[prefix.len()..].trim_start();
+    let after = rest.get(prefix.len()..)?.trim_start();
     let after = after.strip_prefix('<')?;
     let (mailbox, tail) = after.split_once('>')?;
     let params: Vec<String> = tail.split_ascii_whitespace().map(str::to_string).collect();

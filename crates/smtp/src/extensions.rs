@@ -2,10 +2,9 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// An SMTP service extension advertised in the EHLO response.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Extension {
     /// Opportunistic TLS upgrade (RFC 3207).
     StartTls,

@@ -24,6 +24,7 @@
 //!   banner/EHLO hostname extraction ([`SmtpScanData::banner_host`],
 //!   [`scan::valid_fqdn`]).
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;

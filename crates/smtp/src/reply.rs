@@ -3,10 +3,9 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// A three-digit SMTP reply code.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ReplyCode(pub u16);
 
 impl ReplyCode {
@@ -61,7 +60,7 @@ impl fmt::Display for ReplyCode {
 }
 
 /// A complete (possibly multiline) SMTP reply.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Reply {
     /// The three-digit code, identical on every line.
     pub code: ReplyCode,
@@ -84,9 +83,9 @@ impl Reply {
         Reply { code, lines }
     }
 
-    /// First line's text.
+    /// First line's text (empty for a degenerate lineless reply).
     pub fn first_line(&self) -> &str {
-        &self.lines[0]
+        self.lines.first().map(String::as_str).unwrap_or("")
     }
 
     /// Serialize to CRLF-terminated wire lines: `250-first`, …, `250 last`.
@@ -102,18 +101,18 @@ impl Reply {
     /// Parse one wire line into (code, is_last, text). Returns `None` on
     /// malformed lines.
     pub fn parse_line(line: &str) -> Option<(ReplyCode, bool, &str)> {
-        let bytes = line.as_bytes();
-        if bytes.len() < 3 || !bytes[..3].iter().all(u8::is_ascii_digit) {
+        let digits = line.get(..3)?;
+        if !digits.bytes().all(|b| b.is_ascii_digit()) {
             return None;
         }
-        let code: u16 = line[..3].parse().ok()?;
+        let code: u16 = digits.parse().ok()?;
         if !(200..=599).contains(&code) && !(100..200).contains(&code) {
             return None;
         }
-        match bytes.get(3) {
+        match line.as_bytes().get(3) {
             None => Some((ReplyCode(code), true, "")),
-            Some(b' ') => Some((ReplyCode(code), true, &line[4..])),
-            Some(b'-') => Some((ReplyCode(code), false, &line[4..])),
+            Some(b' ') => Some((ReplyCode(code), true, line.get(4..)?)),
+            Some(b'-') => Some((ReplyCode(code), false, line.get(4..)?)),
             Some(_) => None,
         }
     }

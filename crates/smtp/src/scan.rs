@@ -2,10 +2,9 @@
 //! pipeline consumes — and hostname extraction from banner/EHLO text.
 
 use mx_cert::Certificate;
-use serde::{Deserialize, Serialize};
 
 /// Outcome of the STARTTLS attempt during a scan.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StartTlsOutcome {
     /// Not advertised in EHLO.
     NotOffered,
@@ -30,7 +29,7 @@ impl StartTlsOutcome {
 
 /// Application-layer data captured from one port-25 scan of one IP, the
 /// analogue of a Censys SMTP record.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SmtpScanData {
     /// Full text of the 220/4xx greeting line (code stripped).
     pub banner: String,
@@ -88,7 +87,9 @@ pub fn valid_fqdn(s: &str) -> bool {
         return false;
     }
     // All-numeric TLD => not a real name (e.g. "1.2.3.4.5").
-    let tld = name.labels().last().expect("label_count >= 2");
+    let Some(tld) = name.labels().last() else {
+        return false;
+    };
     if tld.chars().all(|c| c.is_ascii_digit()) {
         return false;
     }

@@ -1,7 +1,6 @@
 //! The receiving-MTA session state machine.
 
 use mx_cert::Certificate;
-use serde::{Deserialize, Serialize};
 
 use crate::command::Command;
 use crate::extensions::Extension;
@@ -9,7 +8,7 @@ use crate::reply::{Reply, ReplyCode};
 
 /// Deliberate misbehaviours observed in the wild (paper §3.1.3) that the
 /// corpus generator needs to reproduce.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ServerQuirks {
     /// Respond `421` and close immediately on connect (busy/tarpit).
     pub close_on_connect: bool,
@@ -18,7 +17,7 @@ pub struct ServerQuirks {
 }
 
 /// Configuration of a simulated SMTP server.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SmtpServerConfig {
     /// The identity string placed in the 220 banner. Usually an FQDN, but
     /// deliberately arbitrary: misconfigured servers use `localhost`,

@@ -1,76 +1,150 @@
 //! Property tests: codecs round-trip, and the server state machine is
 //! total (any byte stream gets a reply or a clean close, never a panic).
+//!
+//! Deterministic seeded generators over [`mx_rng`] replace `proptest`
+//! (offline build); each failure message carries the case number.
 
+use mx_rng::SmallRng;
 use mx_smtp::{Command, Connection, Extension, Reply, ReplyCode, SmtpServer, SmtpServerConfig};
-use proptest::prelude::*;
 
-fn arb_text_line() -> impl Strategy<Value = String> {
-    // Printable ASCII without CR/LF.
-    "[ -~]{0,80}"
+const CASES: u64 = 256;
+
+/// Printable ASCII without CR/LF, up to `max` chars.
+fn gen_text_line(rng: &mut SmallRng, max: usize) -> String {
+    let n = rng.gen_range(0..=max);
+    (0..n)
+        .map(|_| char::from(rng.gen_range(0x20u8..=0x7E)))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn gen_lower(rng: &mut SmallRng, min: usize, max: usize) -> String {
+    let n = rng.gen_range(min..=max);
+    (0..n)
+        .map(|_| char::from(rng.gen_range(b'a'..=b'z')))
+        .collect()
+}
 
-    /// Replies round-trip through the wire form.
-    #[test]
-    fn reply_roundtrip(code in 200u16..=599, lines in prop::collection::vec(arb_text_line(), 1..5)) {
+fn gen_mailbox(rng: &mut SmallRng) -> String {
+    format!(
+        "{}@{}.{}",
+        gen_lower(rng, 1, 8),
+        gen_lower(rng, 1, 8),
+        gen_lower(rng, 2, 4)
+    )
+}
+
+/// Replies round-trip through the wire form.
+#[test]
+fn reply_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x5317_0001 ^ case);
+        let code = rng.gen_range(200u16..=599);
+        let lines: Vec<String> = (0..rng.gen_range(1..5usize))
+            .map(|_| gen_text_line(&mut rng, 80))
+            .collect();
         let r = Reply::multiline(ReplyCode(code), lines);
         let wire = r.to_wire();
         let body = wire.strip_suffix("\r\n").unwrap();
         let parsed_lines: Vec<&str> = body.split("\r\n").collect();
         let r2 = Reply::parse(&parsed_lines).unwrap();
-        prop_assert_eq!(r, r2);
+        assert_eq!(r, r2, "case {case}");
     }
+}
 
-    /// Commands round-trip through their canonical wire form.
-    #[test]
-    fn command_roundtrip(mailbox in "[a-z]{1,8}@[a-z]{1,8}\\.[a-z]{2,4}", client in "[a-z.]{1,20}") {
+/// Commands round-trip through their canonical wire form.
+#[test]
+fn command_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x5317_0002 ^ case);
+        let mailbox = gen_mailbox(&mut rng);
+        // `[a-z.]{1,20}` client identity.
+        let client: String = {
+            let n = rng.gen_range(1..=20usize);
+            (0..n)
+                .map(|_| {
+                    if rng.gen_bool(0.2) {
+                        '.'
+                    } else {
+                        char::from(rng.gen_range(b'a'..=b'z'))
+                    }
+                })
+                .collect()
+        };
         for cmd in [
             Command::Ehlo { client: client.clone() },
             Command::Helo { client: client.clone() },
             Command::MailFrom { path: mx_smtp::MailPath::new(mailbox.clone()), params: vec![] },
             Command::RcptTo { path: mx_smtp::MailPath::new(mailbox.clone()), params: vec![] },
         ] {
-            prop_assert_eq!(Command::parse(&cmd.to_wire()), cmd);
+            assert_eq!(Command::parse(&cmd.to_wire()), cmd, "case {case}");
         }
     }
+}
 
-    /// Extension keyword lines round-trip.
-    #[test]
-    fn extension_roundtrip(size in proptest::option::of(0u64..u64::MAX / 2),
-                           mechs in prop::collection::vec("[A-Z0-9-]{2,10}", 1..4)) {
+/// Extension keyword lines round-trip.
+#[test]
+fn extension_roundtrip() {
+    const MECH: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-";
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x5317_0003 ^ case);
+        let size = if rng.gen_bool(0.5) {
+            Some(rng.gen_range(0u64..u64::MAX / 2))
+        } else {
+            None
+        };
+        let mechs: Vec<String> = (0..rng.gen_range(1..4usize))
+            .map(|_| {
+                let n = rng.gen_range(2..=10usize);
+                (0..n).map(|_| *rng.choose(MECH).unwrap() as char).collect()
+            })
+            .collect();
         for e in [
             Extension::Size(size),
             Extension::Auth(mechs.clone()),
             Extension::StartTls,
         ] {
-            prop_assert_eq!(Extension::parse(&e.to_keyword_line()), e);
+            assert_eq!(Extension::parse(&e.to_keyword_line()), e, "case {case}");
         }
     }
+}
 
-    /// The server never panics and always stays consistent, whatever lines
-    /// it is fed.
-    #[test]
-    fn server_is_total(lines in prop::collection::vec(arb_text_line(), 0..30)) {
+/// The server never panics and always stays consistent, whatever lines
+/// it is fed.
+#[test]
+fn server_is_total() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x5317_0004 ^ case);
+        let lines: Vec<String> = (0..rng.gen_range(0..30usize))
+            .map(|_| gen_text_line(&mut rng, 80))
+            .collect();
         let mut server = SmtpServer::new(SmtpServerConfig::plain("mx.fuzz.example"));
         let action = server.on_connect();
-        prop_assert!(!action.replies.is_empty());
+        assert!(!action.replies.is_empty(), "case {case}");
         for line in &lines {
             let action = server.on_line(line);
             // Every reply carries a syntactically valid code.
             for r in &action.replies {
-                prop_assert!((200..600).contains(&r.code.0), "code {}", r.code);
+                assert!((200..600).contains(&r.code.0), "case {case}: code {}", r.code);
             }
             if action.close {
                 break;
             }
         }
     }
+}
 
-    /// The transport never panics on arbitrary bytes and keeps framing.
-    #[test]
-    fn transport_is_total(chunks in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..40), 0..10)) {
+/// The transport never panics on arbitrary bytes and keeps framing.
+#[test]
+fn transport_is_total() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x5317_0005 ^ case);
+        let chunks: Vec<Vec<u8>> = (0..rng.gen_range(0..10usize))
+            .map(|_| {
+                (0..rng.gen_range(0..40usize))
+                    .map(|_| (rng.next_u32() & 0xFF) as u8)
+                    .collect()
+            })
+            .collect();
         let mut conn = Connection::open(SmtpServer::new(SmtpServerConfig::plain("mx.fuzz.example")));
         let _ = conn.read_reply();
         for chunk in &chunks {
@@ -79,25 +153,32 @@ proptest! {
             }
             // Drain whatever replies are available.
             while let Ok(line) = conn.read_line() {
-                prop_assert!(!line.contains('\r') && !line.contains('\n'));
+                assert!(
+                    !line.contains('\r') && !line.contains('\n'),
+                    "case {case}: framing leak"
+                );
             }
         }
     }
+}
 
-    /// A full scripted session against arbitrary identities works whenever
-    /// the identities are syntactically plausible.
-    #[test]
-    fn scripted_session(host in "[a-z]{1,10}\\.[a-z]{2,5}") {
+/// A full scripted session against arbitrary identities works whenever
+/// the identities are syntactically plausible.
+#[test]
+fn scripted_session() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x5317_0006 ^ case);
+        let host = format!("{}.{}", gen_lower(&mut rng, 1, 10), gen_lower(&mut rng, 2, 5));
         let config = SmtpServerConfig::plain(host.clone());
         let conn = Connection::open(SmtpServer::new(config));
         let mut client = mx_smtp::SmtpClient::connect(conn).unwrap();
-        prop_assert!(client.banner().first_line().starts_with(&host));
+        assert!(client.banner().first_line().starts_with(&host), "case {case}");
         let (reply, _) = client.ehlo("probe.example").unwrap();
-        prop_assert_eq!(reply.code, ReplyCode::OK);
+        assert_eq!(reply.code, ReplyCode::OK, "case {case}");
         client.send_mail("a@b.cd", &["x@y.zw"], "hello\r\nworld").unwrap();
         let server = client.connection().server();
-        prop_assert_eq!(server.accepted_messages().len(), 1);
-        prop_assert_eq!(server.accepted_messages()[0].body.as_str(), "hello\r\nworld");
+        assert_eq!(server.accepted_messages().len(), 1, "case {case}");
+        assert_eq!(server.accepted_messages()[0].body.as_str(), "hello\r\nworld");
         client.quit().unwrap();
     }
 }

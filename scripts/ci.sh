@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# CI entry point: build, test, lint. Mirrors the tier-1 verify plus the
+# mx-lint static-analysis pass (also enforced via tests/lint_gate.rs, so
+# `cargo test` alone cannot go green on a lint-dirty tree).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> mx-lint"
+cargo run --quiet --release -p mx-lint
+
+echo "CI OK"

@@ -32,6 +32,9 @@
 //! `cargo run -p mx-bench --bin all_experiments` for the harness that
 //! regenerates every table and figure of the paper.
 
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
 /// The paper's contribution: priority-based provider inference.
 pub use mx_infer as infer;
 

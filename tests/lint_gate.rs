@@ -1,0 +1,46 @@
+//! Workspace lint gate: `cargo test` fails if any `mx-lint` rule fires
+//! anywhere in the workspace's `src/` trees, or if the `lint:allow`
+//! escape-hatch budget is exceeded.
+//!
+//! The same pass is available interactively as `cargo lint` (an alias
+//! for `cargo run -p mx-lint -- --root .`); see `crates/lint/README.md`
+//! for the rule catalogue.
+
+use std::path::Path;
+
+/// Escape hatches are a budget, not a convenience: each one must carry a
+/// written reason, and the total across the workspace stays in single
+/// digits so exceptions remain individually reviewable.
+const MAX_LINT_ALLOWS: usize = 10;
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let report = mx_lint::lint_workspace(workspace_root()).expect("walk workspace sources");
+    assert!(
+        report.files_checked > 50,
+        "suspiciously few files checked ({}); did the walker break?",
+        report.files_checked
+    );
+    let rendered: Vec<String> = report.diagnostics.iter().map(|d| d.to_string()).collect();
+    assert!(
+        report.is_clean(),
+        "mx-lint found {} violation(s):\n{}",
+        rendered.len(),
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn lint_allow_budget_respected() {
+    let report = mx_lint::lint_workspace(workspace_root()).expect("walk workspace sources");
+    assert!(
+        report.allows_total < MAX_LINT_ALLOWS,
+        "{} lint:allow escapes in use (budget {}); fix code instead of allowing it",
+        report.allows_total,
+        MAX_LINT_ALLOWS
+    );
+}

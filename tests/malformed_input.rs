@@ -1,0 +1,149 @@
+//! Malformed-input regression tests for the untrusted-input parsers.
+//!
+//! Every case here is a shape an Internet-facing scanner actually sees:
+//! truncated UDP payloads, compression-pointer loops, oversized labels,
+//! nonsense SMTP codes. The contract under test is the one `mx-lint`
+//! enforces statically: parsers return `Err`/`None`, they never panic.
+
+use mx_dns::{dns_name, Message, Name, NameError, RecordType, WireError, WireReader};
+use mx_smtp::{Reply, ReplyCode};
+
+fn sample_response_bytes() -> Vec<u8> {
+    let mut q = Message::query(0x4d58, dns_name!("example.com"), RecordType::Mx);
+    q.header.qr = true;
+    q.answers.push(mx_dns::Record::new(
+        dns_name!("example.com"),
+        3600,
+        mx_dns::RData::Mx {
+            preference: 10,
+            exchange: dns_name!("aspmx.l.google.com"),
+        },
+    ));
+    q.encode().expect("valid message encodes")
+}
+
+/// Every proper prefix of a valid message decodes to `Err`, never a
+/// panic and never a bogus `Ok`.
+#[test]
+fn truncated_messages_error_cleanly() {
+    let bytes = sample_response_bytes();
+    for cut in 0..bytes.len() {
+        let r = Message::decode(&bytes[..cut]);
+        assert!(r.is_err(), "prefix of {cut} bytes decoded to {r:?}");
+    }
+    assert!(Message::decode(&bytes).is_ok());
+}
+
+/// A message whose header claims more records than the body carries.
+#[test]
+fn overclaimed_section_counts_error() {
+    let mut bytes = sample_response_bytes();
+    // ANCOUNT lives at bytes 6..8; claim 0xFFFF answers.
+    bytes[6] = 0xFF;
+    bytes[7] = 0xFF;
+    assert!(matches!(Message::decode(&bytes), Err(WireError::Truncated)));
+}
+
+/// Compression pointers that point at themselves, forward, or at each
+/// other must be rejected as `BadPointer` (RFC 1035 pointers may only
+/// reference *prior* data).
+#[test]
+fn compression_pointer_loops_are_rejected() {
+    // Self-loop: a pointer at offset 0 pointing to offset 0.
+    let self_loop = [0xC0, 0x00];
+    let mut r = WireReader::new(&self_loop);
+    assert!(matches!(r.get_name(), Err(WireError::BadPointer)));
+
+    // Forward pointer.
+    let forward = [0xC0, 0x04, 0x00, 0x00, 0x01, b'a', 0x00];
+    let mut r = WireReader::new(&forward);
+    assert!(matches!(r.get_name(), Err(WireError::BadPointer)));
+
+    // Mutual loop: label "a" then pointer to 4, which points back to 0.
+    let mutual = [0x01, b'a', 0xC0, 0x04, 0xC0, 0x00];
+    let mut r = WireReader::new(&mutual[..]);
+    let start4 = &mutual[4..];
+    let mut r4 = WireReader::new(start4);
+    assert!(r.get_name().is_err());
+    assert!(r4.get_name().is_err());
+}
+
+/// A pointer with no second byte is truncation, not a crash.
+#[test]
+fn dangling_pointer_byte_is_truncated() {
+    let mut r = WireReader::new(&[0xC0]);
+    assert!(matches!(r.get_name(), Err(WireError::Truncated)));
+}
+
+/// Label length octets above 63 use the reserved 0x40/0x80 tag space and
+/// must be rejected, matching the textual parser's 63-byte label cap.
+#[test]
+fn oversized_labels_rejected_on_wire_and_in_text() {
+    // 64 is the smallest invalid plain-label length.
+    let mut bytes = vec![64u8];
+    bytes.extend(std::iter::repeat(b'x').take(64));
+    bytes.push(0);
+    let mut r = WireReader::new(&bytes);
+    assert!(matches!(r.get_name(), Err(WireError::BadLabelLength(_))));
+
+    let long_label = "x".repeat(64);
+    assert!(matches!(
+        Name::parse(&format!("{long_label}.com")),
+        Err(NameError::LabelTooLong(_))
+    ));
+    // 63 is still fine.
+    assert!(Name::parse(&format!("{}.com", "x".repeat(63))).is_ok());
+}
+
+/// A name assembled from max-length labels that exceeds 255 wire bytes
+/// total is rejected even though each label is individually valid.
+#[test]
+fn overlong_names_rejected() {
+    let long = vec!["abcdefgh"; 32].join(".");
+    assert!(matches!(Name::parse(&long), Err(NameError::NameTooLong)));
+}
+
+/// SMTP reply codes outside 1xx–5xx (and non-numeric garbage) must parse
+/// to `None`/`Err`, never panic.
+#[test]
+fn out_of_range_smtp_reply_codes_rejected() {
+    for line in [
+        "600 not a real class",
+        "999 nope",
+        "000 zero",
+        "042 too low",
+        "abc letters",
+        "25",
+        "",
+        "250x bad separator",
+    ] {
+        assert_eq!(Reply::parse_line(line), None, "line {line:?}");
+    }
+    assert!(Reply::parse(&["600 no such class"]).is_err());
+    assert!(Reply::parse(&[]).is_err());
+    // Sanity: the happy path still parses.
+    assert_eq!(
+        Reply::parse_line("250 OK"),
+        Some((ReplyCode(250), true, "OK"))
+    );
+    assert_eq!(
+        Reply::parse_line("250-continues"),
+        Some((ReplyCode(250), false, "continues"))
+    );
+}
+
+/// Mixed codes and marker mismatches inside one reply are inconsistent.
+#[test]
+fn inconsistent_multiline_replies_rejected() {
+    assert!(Reply::parse(&["250-first", "550 second"]).is_err());
+    assert!(Reply::parse(&["250-first", "250-second"]).is_err());
+    assert!(Reply::parse(&["250 done", "250 extra"]).is_err());
+}
+
+/// Multibyte UTF-8 in a reply line must not slice mid-character.
+#[test]
+fn multibyte_reply_lines_do_not_panic() {
+    assert_eq!(Reply::parse_line("é50 nope"), None);
+    let _ = Reply::parse_line("250 caf\u{e9} au lait");
+    let _ = Reply::parse_line("25\u{30a2} bad");
+}
