@@ -32,17 +32,24 @@ impl SnapshotData {
 /// Run the measurement over a world: per-dataset DNS measurement, a single
 /// shared port-25 scan sweep over every discovered MX IP, certificate
 /// validation against the world's trust store, and prefix2as annotation.
+///
+/// Every stage fans out over the shared `mx_par` pool — datasets for the
+/// DNS measurement, IPs for the scan (inside [`Scanner::scan`]) and for
+/// the cert-validation/prefix2as join, datasets again for assembly. The
+/// network is immutable and each task's output is keyed by dataset or
+/// address, so the snapshot is bit-identical to a serial run.
 pub fn observe_world(world: &World) -> SnapshotData {
     let scanner = Scanner::new();
     let epoch = world.snapshot as u64;
 
     // 1. DNS measurement per dataset (OpenINTEL).
-    let mut dns_per_dataset = Vec::new();
+    let dns_per_dataset: Vec<(Dataset, openintel::DnsSnapshot)> =
+        mx_par::par_map(&world.targets, |(ds, names)| {
+            (*ds, openintel::measure(&world.net, names))
+        });
     let mut all_ips: Vec<Ipv4Addr> = Vec::new();
-    for (ds, names) in &world.targets {
-        let snap = openintel::measure(&world.net, names);
+    for (_, snap) in &dns_per_dataset {
         all_ips.extend(snap.all_mx_ips());
-        dns_per_dataset.push((*ds, snap));
     }
     all_ips.sort();
     all_ips.dedup();
@@ -52,13 +59,12 @@ pub fn observe_world(world: &World) -> SnapshotData {
 
     // 3. Join: per-IP observation with ASN + cert validation.
     let now = world.net.clock().now();
-    let mut ip_obs: HashMap<Ipv4Addr, IpObservation> = HashMap::with_capacity(all_ips.len());
-    for ip in &all_ips {
-        let asn = world.net.asn_of(*ip);
-        let obs = match scan.get(*ip) {
-            None => IpObservation::uncovered(*ip, asn),
+    let ip_obs: HashMap<Ipv4Addr, IpObservation> = mx_par::par_map(&all_ips, |&ip| {
+        let asn = world.net.asn_of(ip);
+        let obs = match scan.get(ip) {
+            None => IpObservation::uncovered(ip, asn),
             Some(PortState::Closed) | Some(PortState::NoBanner) => IpObservation {
-                ip: *ip,
+                ip,
                 asn,
                 scan: ScanStatus::NoSmtp,
                 leaf_cert: None,
@@ -73,7 +79,7 @@ pub fn observe_world(world: &World) -> SnapshotData {
                         mx_cert::chain_trusted(chain, &world.trust, now).is_ok()
                     });
                 IpObservation {
-                    ip: *ip,
+                    ip,
                     asn,
                     scan: ScanStatus::Smtp(data.clone()),
                     leaf_cert: leaf,
@@ -81,13 +87,13 @@ pub fn observe_world(world: &World) -> SnapshotData {
                 }
             }
         };
-        ip_obs.insert(*ip, obs);
-    }
+        (ip, obs)
+    })
+    .into_iter()
+    .collect();
 
     // 4. Assemble per-dataset observation sets (sharing the IP view).
-    let per_dataset = dns_per_dataset
-        .into_iter()
-        .map(|(ds, snap)| {
+    let per_dataset = mx_par::par_map(&dns_per_dataset, |(ds, snap)| {
             let domains: Vec<DomainObservation> = snap
                 .rows
                 .iter()
@@ -130,9 +136,8 @@ pub fn observe_world(world: &World) -> SnapshotData {
                     }
                 }
             }
-            (ds, ObservationSet { domains, ips })
-        })
-        .collect();
+            (*ds, ObservationSet { domains, ips })
+        });
 
     SnapshotData {
         date: now,

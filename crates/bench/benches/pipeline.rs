@@ -58,11 +58,28 @@ fn bench_cert_grouping(c: &mut Criterion) {
     });
 }
 
+/// Thread scaling of the full pipeline over the shared `mx_par` pool.
+/// On a single-core host every point degenerates to the serial path;
+/// the committed study-scale numbers live in
+/// `results/BENCH_pipeline.json` (see the `bench_pipeline` binary).
+fn bench_thread_scaling(c: &mut Criterion) {
+    let obs = observation();
+    let pipeline = Pipeline::priority_based(mx_corpus::provider_knowledge(10));
+    let mut g = c.benchmark_group("pipeline_threads");
+    for &n in &[1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &obs, |b, obs| {
+            b.iter(|| mx_par::install(n, || black_box(pipeline.run(obs)).domains.len()))
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_world_build,
     bench_measurement,
     bench_strategies,
-    bench_cert_grouping
+    bench_cert_grouping,
+    bench_thread_scaling
 );
 criterion_main!(benches);

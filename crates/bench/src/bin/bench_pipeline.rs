@@ -1,0 +1,136 @@
+//! Pipeline thread-scaling benchmark.
+//!
+//! Builds one world + measurement at the last snapshot, then times the
+//! full inference (`Pipeline::run` over every active dataset) under
+//! `mx_par::install(n)` for n in {1, 2, 4, 8}. Every parallel result is
+//! checked field-by-field against the serial baseline before a number
+//! is reported, so the export doubles as a determinism proof.
+//!
+//! Modes:
+//! - default: `MX_SCALE`/`MX_SEED` scale (study by default); writes
+//!   `results/BENCH_pipeline.json` next to the other exporters.
+//! - `--smoke`: small scale, threads {1, 2}, no JSON — the cheap CI
+//!   gate. Exits non-zero if any parallel run diverges from serial.
+
+use std::time::Instant;
+
+use mx_analysis::observe::observe_world;
+use mx_bench::json::Value;
+use mx_bench::obj;
+use mx_bench::runner::scale_from_env;
+use mx_corpus::{provider_knowledge, ScenarioConfig, Study};
+use mx_infer::{InferenceResult, ObservationSet, Pipeline};
+
+/// Timing repetitions per thread count; the minimum is reported.
+const REPS: usize = 3;
+
+/// Run the pipeline over every dataset of the snapshot, returning the
+/// results in dataset order.
+fn run_all(pipeline: &Pipeline, sets: &[ObservationSet]) -> Vec<InferenceResult> {
+    sets.iter().map(|obs| pipeline.run(obs)).collect()
+}
+
+/// Field-by-field equality of two inference results (CertGroups carries
+/// no PartialEq; the grouped outputs it feeds are all covered).
+fn same(a: &InferenceResult, b: &InferenceResult) -> bool {
+    a.domains == b.domains
+        && a.mx_assignments == b.mx_assignments
+        && a.misid.examined == b.misid.examined
+        && a.misid.corrections == b.misid.corrections
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let config = if smoke {
+        ScenarioConfig::small(42)
+    } else {
+        scale_from_env()
+    };
+    let thread_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+
+    eprintln!(
+        "bench_pipeline: scale {}x{}x{} seed {} (host parallelism {})",
+        config.alexa_size,
+        config.com_size,
+        config.gov_size,
+        config.seed,
+        mx_par::available_parallelism()
+    );
+
+    // One world + measurement, shared by every timed run. Built under a
+    // deterministic single-thread install so the input itself is
+    // identical no matter what MX_THREADS says (it would be anyway —
+    // that is the tentpole's whole contract — but the benchmark should
+    // only time what it claims to time).
+    let study = mx_par::install(1, || Study::generate(config.clone()));
+    let k = mx_corpus::SNAPSHOT_DATES.len() - 1;
+    let world = study.world_at(k);
+    let data = mx_par::install(1, || observe_world(&world));
+    let sets: Vec<ObservationSet> = data.per_dataset.iter().map(|(_, o)| o.clone()).collect();
+    let pipeline = Pipeline::priority_based(provider_knowledge(10));
+
+    // Serial baseline: correctness reference and the speedup denominator.
+    let t0 = Instant::now();
+    let baseline = mx_par::install(1, || run_all(&pipeline, &sets));
+    let mut serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let mut rows: Vec<Value> = Vec::new();
+    let mut all_identical = true;
+    for &n in thread_counts {
+        let mut best_ms = f64::INFINITY;
+        let mut identical = true;
+        for _ in 0..REPS {
+            let t = Instant::now();
+            let results = mx_par::install(n, || run_all(&pipeline, &sets));
+            let ms = t.elapsed().as_secs_f64() * 1e3;
+            best_ms = best_ms.min(ms);
+            if n == 1 {
+                serial_ms = serial_ms.min(ms);
+            }
+            identical &= results.len() == baseline.len()
+                && results.iter().zip(&baseline).all(|(r, b)| same(r, b));
+        }
+        all_identical &= identical;
+        let speedup = serial_ms / best_ms;
+        eprintln!(
+            "  threads={n}: {best_ms:.1} ms  (x{speedup:.2} vs serial, identical={identical})"
+        );
+        rows.push(obj! {
+            "threads" => n as u64,
+            "ms" => best_ms,
+            "speedup_vs_1" => speedup,
+            "identical_to_serial" => identical,
+        });
+    }
+
+    if !all_identical {
+        eprintln!("bench_pipeline: FAIL — a parallel run diverged from serial");
+        std::process::exit(1);
+    }
+    if smoke {
+        eprintln!("bench_pipeline: smoke OK — parallel runs identical to serial");
+        return;
+    }
+
+    let out = obj! {
+        "benchmark" => "pipeline_thread_scaling",
+        "scale" => obj! {
+            "alexa" => config.alexa_size as u64,
+            "com" => config.com_size as u64,
+            "gov" => config.gov_size as u64,
+            "seed" => config.seed,
+            "snapshot" => k as u64,
+            "datasets" => sets.len() as u64,
+        },
+        "host_available_parallelism" => mx_par::available_parallelism() as u64,
+        "reps_per_point" => REPS as u64,
+        "serial_ms" => serial_ms,
+        "runs" => Value::Arr(rows),
+        "note" => "speedups above 1 thread require a multi-core host; \
+                   identical_to_serial is asserted on every run regardless",
+    };
+    std::fs::create_dir_all("results").ok();
+    std::fs::write("results/BENCH_pipeline.json", out.to_string_pretty())
+        .expect("write results/BENCH_pipeline.json");
+    eprintln!("bench_pipeline: wrote results/BENCH_pipeline.json");
+}

@@ -104,16 +104,32 @@ pub fn preprocess(obs: &ObservationSet, psl: &PublicSuffixList) -> CertGroups {
         }
     }
 
-    // 1.1 Count registered domains across all (cert, fqdn) pairs.
+    // Extract each certificate's FQDNs and their registered domains in
+    // parallel (the PSL lookups dominate); `rds_of[i]` stays aligned with
+    // `names_of[i]`, so the serial passes below are order-independent of
+    // the thread count.
+    let extracted: Vec<(Vec<String>, Vec<Option<String>>)> = mx_par::par_map(&certs, |c| {
+        let names = c.dns_names();
+        let rds = names
+            .iter()
+            .map(|fqdn| {
+                // Strip a wildcard label before extracting the registered
+                // part.
+                let base = fqdn.strip_prefix("*.").unwrap_or(fqdn);
+                psl.registered_domain(base)
+            })
+            .collect();
+        (names, rds)
+    });
+    let (names_of, rds_of): (Vec<Vec<String>>, Vec<Vec<Option<String>>>) =
+        extracted.into_iter().unzip();
+
+    // 1.1 Count registered domains across all (cert, fqdn) pairs,
+    // merged serially in certificate order (additive, so deterministic).
     let mut counts: HashMap<String, usize> = HashMap::new();
-    let names_of: Vec<Vec<String>> = certs.iter().map(|c| c.dns_names()).collect();
-    for names in &names_of {
-        for fqdn in names {
-            // Strip a wildcard label before extracting the registered part.
-            let base = fqdn.strip_prefix("*.").unwrap_or(fqdn);
-            if let Some(rd) = psl.registered_domain(base) {
-                *counts.entry(rd).or_insert(0) += 1;
-            }
+    for rds in &rds_of {
+        for rd in rds.iter().flatten() {
+            *counts.entry(rd.clone()).or_insert(0) += 1;
         }
     }
 
@@ -146,14 +162,10 @@ pub fn preprocess(obs: &ObservationSet, psl: &PublicSuffixList) -> CertGroups {
     for (gid, members) in group_members.iter().enumerate() {
         let mut best: Option<(&str, usize)> = None;
         for &i in members {
-            for fqdn in &names_of[i] {
-                let base = fqdn.strip_prefix("*.").unwrap_or(fqdn);
-                let Some(rd) = psl.registered_domain(base) else {
-                    continue;
-                };
-                let count = counts.get(&rd).copied().unwrap_or(0);
+            for rd in rds_of[i].iter().flatten() {
+                let count = counts.get(rd).copied().unwrap_or(0);
                 // Find the stored key to borrow a stable &str.
-                let key = counts.get_key_value(&rd).map(|(k, _)| k.as_str()).unwrap();
+                let key = counts.get_key_value(rd).map(|(k, _)| k.as_str()).unwrap();
                 best = Some(match best {
                     None => (key, count),
                     Some((bk, bc)) if count > bc || (count == bc && key < bk) => (key, count),

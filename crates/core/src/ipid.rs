@@ -51,13 +51,19 @@ impl IpIds {
 }
 
 /// Compute both IDs for every scanned IP in the observation set.
+///
+/// Each IP is independent, so the work fans out over the shared pool
+/// (`mx_par`); the per-IP results are keyed by address, making the output
+/// identical to a serial pass at any thread count.
 pub fn compute_ip_ids(
     obs: &ObservationSet,
     groups: &CertGroups,
     psl: &PublicSuffixList,
 ) -> HashMap<Ipv4Addr, IpIds> {
-    let mut out = HashMap::with_capacity(obs.ips.len());
-    for (ip, ipobs) in &obs.ips {
+    let mut entries: Vec<(Ipv4Addr, &crate::input::IpObservation)> =
+        obs.ips.iter().map(|(ip, o)| (*ip, o)).collect();
+    entries.sort_by_key(|&(ip, _)| ip);
+    mx_par::par_map(&entries, |&(ip, ipobs)| {
         let mut ids = IpIds::default();
 
         // 2.1 ID from certificate.
@@ -85,9 +91,10 @@ pub fn compute_ip_ids(
             }
         }
 
-        out.insert(*ip, ids);
-    }
-    out
+        (ip, ids)
+    })
+    .into_iter()
+    .collect()
 }
 
 #[cfg(test)]

@@ -126,25 +126,43 @@ pub struct Confidence {
     pub num_cert: HashMap<Fingerprint, usize>,
 }
 
+/// Fixed chunk size for the parallel confidence count. Boundaries depend
+/// only on this constant (never the thread count), so the additive merge
+/// below is deterministic.
+const CONFIDENCE_CHUNK: usize = 512;
+
 impl Confidence {
-    /// Compute the counters over the observation set.
+    /// Compute the counters over the observation set: per-chunk partial
+    /// counters built in parallel, merged additively in chunk order.
     pub fn compute(obs: &ObservationSet) -> Confidence {
-        let mut c = Confidence::default();
-        for d in &obs.domains {
-            let mut seen_ips: HashSet<Ipv4Addr> = HashSet::new();
-            let mut seen_certs: HashSet<Fingerprint> = HashSet::new();
-            for t in d.mx.primary_targets() {
-                for a in &t.addrs {
-                    if seen_ips.insert(*a) {
-                        *c.num_ip.entry(*a).or_insert(0) += 1;
-                    }
-                    if let Some(cert) = obs.ips.get(a).and_then(|o| o.leaf_cert.as_ref()) {
-                        let fp = cert.fingerprint();
-                        if seen_certs.insert(fp) {
-                            *c.num_cert.entry(fp).or_insert(0) += 1;
+        let parts = mx_par::par_chunks(&obs.domains, CONFIDENCE_CHUNK, |chunk| {
+            let mut c = Confidence::default();
+            for d in chunk {
+                let mut seen_ips: HashSet<Ipv4Addr> = HashSet::new();
+                let mut seen_certs: HashSet<Fingerprint> = HashSet::new();
+                for t in d.mx.primary_targets() {
+                    for a in &t.addrs {
+                        if seen_ips.insert(*a) {
+                            *c.num_ip.entry(*a).or_insert(0) += 1;
+                        }
+                        if let Some(cert) = obs.ips.get(a).and_then(|o| o.leaf_cert.as_ref()) {
+                            let fp = cert.fingerprint();
+                            if seen_certs.insert(fp) {
+                                *c.num_cert.entry(fp).or_insert(0) += 1;
+                            }
                         }
                     }
                 }
+            }
+            c
+        });
+        let mut c = Confidence::default();
+        for part in parts {
+            for (ip, n) in part.num_ip {
+                *c.num_ip.entry(ip).or_insert(0) += n;
+            }
+            for (fp, n) in part.num_cert {
+                *c.num_cert.entry(fp).or_insert(0) += n;
             }
         }
         c
@@ -166,8 +184,25 @@ impl Confidence {
     }
 }
 
+/// What the parallel decision phase concluded about one assignment.
+enum Decision {
+    /// Not a candidate (MX fallback, unknown provider, high confidence).
+    Skip,
+    /// Examined, heuristics found nothing to correct.
+    Examined,
+    /// Examined and a heuristic fired.
+    Correct(CorrectionReason),
+}
+
 /// Run the misidentification check over MX assignments, mutating them in
 /// place and returning the report.
+///
+/// The per-exchange examination (confidence score, claimed hostnames,
+/// pattern matching, AS membership) only *reads* shared state, so it fans
+/// out over the pool; each exchange's decision is independent of every
+/// other's. Corrections are then applied serially in sorted-name order —
+/// the same order the serial implementation used — so the mutated
+/// assignments and the report are identical at any thread count.
 pub fn check(
     assignments: &mut HashMap<Name, MxAssignment>,
     obs: &ObservationSet,
@@ -179,81 +214,105 @@ pub fn check(
 
     let mut names: Vec<Name> = assignments.keys().cloned().collect();
     names.sort();
-    for name in names {
-        let a = assignments.get(&name).expect("key exists");
-        // Only SMTP-derived assignments to known large providers are
-        // candidates; the MX fallback needs no check.
-        if a.source == IdSource::MxRecord {
-            continue;
-        }
-        let Some(profile) = knowledge.profiles.get(&a.provider) else {
-            continue;
+
+    // Decision phase: read-only, parallel per exchange.
+    let decisions: Vec<Decision> = {
+        let assignments = &*assignments;
+        mx_par::par_map(&names, |name| {
+            let Some(a) = assignments.get(name) else {
+                return Decision::Skip;
+            };
+            // Only SMTP-derived assignments to known large providers are
+            // candidates; the MX fallback needs no check.
+            if a.source == IdSource::MxRecord {
+                return Decision::Skip;
+            }
+            let Some(profile) = knowledge.profiles.get(&a.provider) else {
+                return Decision::Skip;
+            };
+            // High-confidence assignments are trusted.
+            let score = a
+                .addrs
+                .iter()
+                .map(|&ip| confidence.score(obs, ip))
+                .max()
+                .unwrap_or(0);
+            if score >= knowledge.confidence_threshold {
+                return Decision::Skip;
+            }
+
+            let claimed = a.provider.clone();
+            let mut correction: Option<CorrectionReason> = None;
+
+            // Heuristic 1: VPS hostname pattern on the cert/banner host.
+            'outer: for host in claimed_hosts(obs, a) {
+                for pat in &profile.dedicated_patterns {
+                    if pat.matches(&host) {
+                        // Provider-operated shape: trusted, stop examining.
+                        break 'outer;
+                    }
+                }
+                for pat in &profile.vps_patterns {
+                    if pat.matches(&host) {
+                        correction = Some(CorrectionReason::VpsPattern {
+                            host: host.clone(),
+                            pattern: pat.source().to_string(),
+                        });
+                        break 'outer;
+                    }
+                }
+            }
+
+            // Heuristic 2: AS mismatch for the claimed provider.
+            if correction.is_none() && !profile.asns.is_empty() {
+                let in_as = a.addrs.iter().any(|ip| {
+                    obs.ips
+                        .get(ip)
+                        .and_then(|o| o.asn)
+                        .is_some_and(|asn| profile.asns.contains(&asn))
+                });
+                if !in_as {
+                    let asn = a
+                        .addrs
+                        .first()
+                        .and_then(|ip| obs.ips.get(ip))
+                        .and_then(|o| o.asn);
+                    correction =
+                        Some(CorrectionReason::AsMismatch { claimed: claimed.clone(), asn });
+                }
+            }
+
+            match correction {
+                Some(reason) => Decision::Correct(reason),
+                None => Decision::Examined,
+            }
+        })
+    };
+
+    // Apply phase: serial, in sorted-name order.
+    for (name, decision) in names.into_iter().zip(decisions) {
+        let reason = match decision {
+            Decision::Skip => continue,
+            Decision::Examined => {
+                report.examined.push(name);
+                continue;
+            }
+            Decision::Correct(reason) => {
+                report.examined.push(name.clone());
+                reason
+            }
         };
-        // High-confidence assignments are trusted.
-        let score = a
-            .addrs
-            .iter()
-            .map(|&ip| confidence.score(obs, ip))
-            .max()
-            .unwrap_or(0);
-        if score >= knowledge.confidence_threshold {
-            continue;
-        }
-        report.examined.push(name.clone());
-
-        let claimed = a.provider.clone();
-        let mut correction: Option<CorrectionReason> = None;
-
-        // Heuristic 1: VPS hostname pattern on the cert/banner host.
-        'outer: for host in claimed_hosts(obs, a) {
-            for pat in &profile.dedicated_patterns {
-                if pat.matches(&host) {
-                    // Provider-operated shape: trusted, stop examining.
-                    break 'outer;
-                }
-            }
-            for pat in &profile.vps_patterns {
-                if pat.matches(&host) {
-                    correction = Some(CorrectionReason::VpsPattern {
-                        host: host.clone(),
-                        pattern: pat.source().to_string(),
-                    });
-                    break 'outer;
-                }
-            }
-        }
-
-        // Heuristic 2: AS mismatch for the claimed provider.
-        if correction.is_none() && !profile.asns.is_empty() {
-            let in_as = a.addrs.iter().any(|ip| {
-                obs.ips
-                    .get(ip)
-                    .and_then(|o| o.asn)
-                    .is_some_and(|asn| profile.asns.contains(&asn))
-            });
-            if !in_as {
-                let asn = a
-                    .addrs
-                    .first()
-                    .and_then(|ip| obs.ips.get(ip))
-                    .and_then(|o| o.asn);
-                correction = Some(CorrectionReason::AsMismatch { claimed: claimed.clone(), asn });
-            }
-        }
-
-        if let Some(reason) = correction {
-            let a = assignments.get_mut(&name).expect("key exists");
-            let new_id = mx_fallback_id(&a.exchange, psl);
-            report.corrections.push(Correction {
-                exchange: a.exchange.clone(),
-                old: a.provider.clone(),
-                new: new_id.clone(),
-                reason,
-            });
-            a.provider = new_id;
-            a.source = IdSource::MxRecord;
-            a.corrected = true;
-        }
+        let a = assignments.get_mut(&name).expect("key exists");
+        let new_id = mx_fallback_id(&a.exchange, psl);
+        report.corrections.push(Correction {
+            exchange: a.exchange.clone(),
+            old: a.provider.clone(),
+            new: new_id.clone(),
+            reason,
+        });
+        a.provider = new_id;
+        a.source = IdSource::MxRecord;
+        a.corrected = true;
     }
     report
 }

@@ -160,23 +160,35 @@ impl Pipeline {
             }
         }
 
-        // Step 3: per-MX provider IDs over every (exchange, addrs) pair.
-        let mut mx_assignments: HashMap<Name, MxAssignment> = HashMap::new();
+        // Step 3: per-MX provider IDs. Dedup to distinct exchanges first
+        // (keeping the first-seen addrs, as the serial entry API did),
+        // then assign each exchange independently in parallel.
+        let mut distinct: Vec<&crate::input::MxTargetObs> = Vec::new();
+        let mut seen: std::collections::HashSet<&Name> = std::collections::HashSet::new();
         for d in &obs.domains {
             for t in d.mx.targets() {
-                mx_assignments.entry(t.exchange.clone()).or_insert_with(|| {
-                    let (provider, source) =
-                        mxid::assign_mx_id(&t.exchange, &t.addrs, &ip_ids, &self.psl);
+                if seen.insert(&t.exchange) {
+                    distinct.push(t);
+                }
+            }
+        }
+        let mut mx_assignments: HashMap<Name, MxAssignment> =
+            mx_par::par_map(&distinct, |t| {
+                let (provider, source) =
+                    mxid::assign_mx_id(&t.exchange, &t.addrs, &ip_ids, &self.psl);
+                (
+                    t.exchange.clone(),
                     MxAssignment {
                         exchange: t.exchange.clone(),
                         provider,
                         source,
                         addrs: t.addrs.clone(),
                         corrected: false,
-                    }
-                });
-            }
-        }
+                    },
+                )
+            })
+            .into_iter()
+            .collect();
 
         // Step 4: misidentification check.
         let misid = if self.strategy.check_misid() {
@@ -185,17 +197,15 @@ impl Pipeline {
             MisidReport::default()
         };
 
-        // Step 5: domain attribution.
-        let domains = obs
-            .domains
-            .iter()
-            .map(|d| {
-                (
-                    d.domain.clone(),
-                    domainid::assign_domain(d, &mx_assignments, obs),
-                )
-            })
-            .collect();
+        // Step 5: domain attribution, one independent task per domain.
+        let domains = mx_par::par_map(&obs.domains, |d| {
+            (
+                d.domain.clone(),
+                domainid::assign_domain(d, &mx_assignments, obs),
+            )
+        })
+        .into_iter()
+        .collect();
 
         InferenceResult {
             strategy: self.strategy,

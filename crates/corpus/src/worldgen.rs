@@ -120,24 +120,35 @@ pub struct Study {
 
 impl Study {
     /// Generate populations and timelines for a configuration.
+    ///
+    /// The three dataset populations are independent of each other, as are
+    /// their timelines, so both stages fan out over the shared `mx_par`
+    /// pool. Each job is keyed by dataset index and seeded separately, so
+    /// the study is bit-identical to a serial build at any thread count.
     pub fn generate(config: ScenarioConfig) -> Study {
-        let alexa = crate::domains::alexa(config.alexa_size, config.seed);
-        let com = crate::domains::com(config.com_size, config.seed);
-        let gov = crate::domains::gov(config.gov_size, config.seed);
+        let pop_jobs = [0usize, 1, 2];
+        let populations = mx_par::par_map(&pop_jobs, |&i| match i {
+            0 => crate::domains::alexa(config.alexa_size, config.seed),
+            1 => crate::domains::com(config.com_size, config.seed),
+            _ => crate::domains::gov(config.gov_size, config.seed),
+        });
         let full_ts: Vec<f64> = (0..SNAPSHOT_DATES.len())
             .map(ScenarioConfig::study_t)
             .collect();
         let gov_ts: Vec<f64> = (GOV_START_SNAPSHOT..SNAPSHOT_DATES.len())
             .map(ScenarioConfig::study_t)
             .collect();
-        let timelines = vec![
-            evolution::build_timeline(&alexa.domains, &full_ts, config.seed ^ 0x1),
-            evolution::build_timeline(&com.domains, &full_ts, config.seed ^ 0x2),
-            evolution::build_timeline(&gov.domains, &gov_ts, config.seed ^ 0x3),
+        let tl_jobs: Vec<(usize, &[f64], u64)> = vec![
+            (0, &full_ts, config.seed ^ 0x1),
+            (1, &full_ts, config.seed ^ 0x2),
+            (2, &gov_ts, config.seed ^ 0x3),
         ];
+        let timelines = mx_par::par_map(&tl_jobs, |&(i, ts, seed)| {
+            evolution::build_timeline(&populations[i].domains, ts, seed)
+        });
         Study {
             config,
-            populations: vec![alexa, com, gov],
+            populations,
             timelines,
         }
     }
@@ -160,6 +171,14 @@ impl Study {
             gen.add_population(&self.populations[pop_idx], &self.timelines[pop_idx], tl_idx);
         }
         gen.finish()
+    }
+
+    /// Materialise several snapshots, fanning the (expensive, independent)
+    /// per-snapshot world builds out over the shared `mx_par` pool. The
+    /// returned worlds are in the same order as `snapshots` and each is
+    /// identical to a direct [`Study::world_at`] call.
+    pub fn worlds_at(&self, snapshots: &[usize]) -> Vec<World> {
+        mx_par::par_map(snapshots, |&k| self.world_at(k))
     }
 }
 

@@ -2,7 +2,7 @@
 //! exists so the fixture tests (and `scripts/ci.sh`) can prove mx-lint
 //! still catches every rule. Linted in strict mode (untrusted + wire
 //! codec), it must produce at least one diagnostic per rule R1–R3 and
-//! exit non-zero.
+//! R6 and exit non-zero.
 
 pub fn r1_unwrap(x: Option<u8>) -> u8 {
     x.unwrap()
@@ -43,6 +43,10 @@ pub fn r3_unbounded_recursion(depth: usize) -> usize {
     } else {
         r3_unbounded_recursion(depth - 1) + 1
     }
+}
+
+pub fn r6_stringly_error(s: &str) -> Result<u8, String> {
+    s.parse().map_err(|_| "bad".to_string())
 }
 
 pub fn r0_unused_allow() -> u8 {

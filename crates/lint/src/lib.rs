@@ -27,11 +27,71 @@
 pub mod lexer;
 pub mod rules;
 
+use std::collections::HashMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 pub use rules::{Diagnostic, FileClass, Rule};
+
+/// Shared lex cache: one lex per file, reused across rule sets and
+/// repeated passes (CLI then gate test, or strict-mode re-lints of the
+/// same path). Keyed by display path, invalidated by content hash.
+struct LexCache {
+    map: Mutex<HashMap<String, (u64, Arc<lexer::Lexed>)>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+fn lex_cache() -> &'static LexCache {
+    static CACHE: OnceLock<LexCache> = OnceLock::new();
+    CACHE.get_or_init(|| LexCache {
+        map: Mutex::new(HashMap::new()),
+        hits: AtomicUsize::new(0),
+        misses: AtomicUsize::new(0),
+    })
+}
+
+/// FNV-1a over the source text, for cache invalidation.
+fn src_hash(src: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in src.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Lex `src` through the shared per-path cache. A hit requires both the
+/// path and the content hash to match, so edits between passes are
+/// never served stale tokens.
+pub fn lex_cached(rel: &str, src: &str) -> Arc<lexer::Lexed> {
+    let cache = lex_cache();
+    let hash = src_hash(src);
+    {
+        let map = cache.map.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((h, lexed)) = map.get(rel) {
+            if *h == hash {
+                cache.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(lexed);
+            }
+        }
+    }
+    cache.misses.fetch_add(1, Ordering::Relaxed);
+    let lexed = Arc::new(lexer::lex(src));
+    let mut map = cache.map.lock().unwrap_or_else(|e| e.into_inner());
+    map.insert(rel.to_string(), (hash, Arc::clone(&lexed)));
+    lexed
+}
+
+/// `(hits, misses)` counters of the shared lex cache, for tests and the
+/// CLI's `-v` accounting.
+pub fn lex_cache_stats() -> (usize, usize) {
+    let c = lex_cache();
+    (c.hits.load(Ordering::Relaxed), c.misses.load(Ordering::Relaxed))
+}
 
 /// Which files the domain rules apply to, as repo-relative path
 /// suffixes with forward slashes.
@@ -66,6 +126,10 @@ impl Default for LintConfig {
                 "crates/cert/src/name_match.rs",
                 // SPF parsing consumes TXT records off the wire.
                 "crates/core/src/spf.rs",
+                // The parallel substrate: a panic in pool plumbing takes
+                // down whole scan batches, so it is held to R1/R3 (and
+                // R4 via its crate root) like the wire parsers.
+                "crates/par/src/lib.rs",
             ]
             .map(String::from)
             .to_vec(),
@@ -118,7 +182,7 @@ impl Report {
 /// `class` controls which rules apply. Returns diagnostics plus the
 /// number of `lint:allow` directives seen.
 pub fn lint_source(rel: &str, src: &str, class: FileClass) -> (Vec<Diagnostic>, usize) {
-    let lexed = lexer::lex(src);
+    let lexed = lex_cached(rel, src);
     let allows = rules::parse_allows(&lexed);
     let mut raw = Vec::new();
     rules::check(rel, &lexed, class, &mut raw);
@@ -257,6 +321,24 @@ mod tests {
         assert!(c.classify("src/lib.rs").crate_root);
         let free = c.classify("crates/corpus/src/worldgen.rs");
         assert!(!free.untrusted && !free.wire_codec && !free.crate_root);
+        // The pool substrate is linted under R1/R3 and, as a crate
+        // root, R4.
+        let par = c.classify("crates/par/src/lib.rs");
+        assert!(par.untrusted && !par.wire_codec && par.crate_root);
+    }
+
+    #[test]
+    fn lex_cache_hits_on_same_content_and_invalidates_on_change() {
+        // Unique path so counters aren't shared with other tests.
+        let rel = "cache-test/unique.rs";
+        let a = lex_cached(rel, "fn a() {}");
+        let b = lex_cached(rel, "fn a() {}");
+        assert_eq!(a.tokens.len(), b.tokens.len());
+        let (hits1, _) = lex_cache_stats();
+        assert!(hits1 >= 1, "second identical lex must hit the cache");
+        // Changed content under the same path must re-lex.
+        let c = lex_cached(rel, "fn a() { let x = 1; }");
+        assert!(c.tokens.len() > b.tokens.len());
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! | R2   | wire-codec modules      | no bare narrowing `as` casts (use `try_from` or an explicit mask) |
 //! | R3   | untrusted-input modules | `with_capacity`/`reserve`/`resize` and direct recursion must be bounded by a named `MAX_*` constant |
 //! | R4   | crate roots             | the agreed `#![deny(...)]` lint tier header is present |
+//! | R6   | all library code        | no `Result<_, String>` — errors must be typed enums, not strings |
 //! | R0   | everywhere              | `lint:allow` hygiene: known rule, written reason, actually used |
 
 use crate::lexer::{Lexed, Tok, TokKind};
@@ -29,6 +30,8 @@ pub enum Rule {
     R3,
     /// Crate-level lint tier header.
     R4,
+    /// Typed errors: no `Result<_, String>` in library signatures.
+    R6,
 }
 
 impl Rule {
@@ -40,6 +43,7 @@ impl Rule {
             Rule::R2 => "R2",
             Rule::R3 => "R3",
             Rule::R4 => "R4",
+            Rule::R6 => "R6",
         }
     }
 
@@ -51,6 +55,7 @@ impl Rule {
             "R2" => Some(Rule::R2),
             "R3" => Some(Rule::R3),
             "R4" => Some(Rule::R4),
+            "R6" => Some(Rule::R6),
             _ => None,
         }
     }
@@ -187,6 +192,9 @@ pub fn check(file: &str, lexed: &Lexed, class: FileClass, out: &mut Vec<Diagnost
     if class.crate_root {
         check_r4(file, lexed, out);
     }
+    // R6 applies to *every* linted library file, so it runs before the
+    // untrusted/wire-codec gate below.
+    check_r6(file, toks, &in_test, out);
     if !(class.untrusted || class.wire_codec) {
         return;
     }
@@ -432,6 +440,64 @@ fn check_r3_recursion(file: &str, toks: &[Tok], in_test: &[bool], out: &mut Vec<
     }
 }
 
+/// R6: `Result<_, String>` in library code. Stringly-typed errors can't
+/// be matched on by callers, so failure modes silently collapse into one
+/// bucket; every fallible library API must return a typed error enum.
+///
+/// Lexically: an `Ident("Result")` followed by `<`, whose *second*
+/// type parameter (tokens after the first angle-depth-1 comma) is
+/// exactly `String` or `std::string::String`. `->` arrows inside fn
+/// types are skipped so their `>` does not unbalance the depth count.
+fn check_r6(file: &str, toks: &[Tok], in_test: &[bool], out: &mut Vec<Diagnostic>) {
+    for i in 0..toks.len() {
+        if in_test[i]
+            || toks[i].kind != TokKind::Ident
+            || toks[i].text != "Result"
+            || !toks.get(i + 1).is_some_and(|t| t.text == "<")
+        {
+            continue;
+        }
+        let mut depth = 1i32;
+        let mut j = i + 2;
+        let mut comma_at = None;
+        while j < toks.len() && depth > 0 {
+            let prev_is_dash = toks.get(j.wrapping_sub(1)).is_some_and(|p| p.text == "-");
+            match toks[j].text.as_str() {
+                "<" => depth += 1,
+                ">" if prev_is_dash => {} // `->` arrow, not a closing bracket
+                ">" => depth -= 1,
+                "," if depth == 1 => {
+                    if comma_at.is_none() {
+                        comma_at = Some(j);
+                    }
+                }
+                ";" | "{" => break, // ran off the type — was a comparison
+                _ => {}
+            }
+            j += 1;
+        }
+        let (Some(comma), 0) = (comma_at, depth) else {
+            continue;
+        };
+        // `j - 1` is the closing `>`; the error type is what's between.
+        let err_ty: String = toks
+            .get(comma + 1..j.saturating_sub(1))
+            .unwrap_or_default()
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect();
+        if err_ty == "String" || err_ty == "std::string::String" {
+            out.push(Diagnostic {
+                file: file.into(),
+                line: toks[i].line,
+                rule: Rule::R6,
+                message: "Result<_, String> hides failure modes; define a typed error enum"
+                    .into(),
+            });
+        }
+    }
+}
+
 /// R4: the crate root must carry the agreed lint tier:
 /// `#![deny(unsafe_code)]` plus `#![warn(missing_docs)]` (or the
 /// stricter `deny`).
@@ -668,6 +734,44 @@ mod tests {
         assert!(bounded.iter().all(|d| d.rule != Rule::R3));
         let non_recursive = run("fn helper() {} fn f() { helper(); }", UNTRUSTED);
         assert!(non_recursive.iter().all(|d| d.rule != Rule::R3));
+    }
+
+    #[test]
+    fn r6_flags_string_errors_in_any_library_file() {
+        // Fires even for files outside the untrusted/wire-codec scope.
+        let plain = FileClass::default();
+        let bad = run("pub fn parse(s: &str) -> Result<u8, String> { todo() }", plain);
+        assert_eq!(bad.iter().filter(|d| d.rule == Rule::R6).count(), 1);
+        let qualified = run(
+            "pub fn parse(s: &str) -> Result<u8, std::string::String> { todo() }",
+            plain,
+        );
+        assert_eq!(qualified.iter().filter(|d| d.rule == Rule::R6).count(), 1);
+        let typed = run("pub fn parse(s: &str) -> Result<u8, ParseError> { todo() }", plain);
+        assert!(typed.iter().all(|d| d.rule != Rule::R6), "{typed:?}");
+        // Ok side may be a String; only the error position is stringly.
+        let ok_string = run("pub fn render() -> Result<String, Error> { todo() }", plain);
+        assert!(ok_string.iter().all(|d| d.rule != Rule::R6), "{ok_string:?}");
+    }
+
+    #[test]
+    fn r6_handles_nested_generics_and_fn_arrows() {
+        let plain = FileClass::default();
+        let nested = run(
+            "fn f() -> Result<Vec<(u8, String)>, Error> { todo() }",
+            plain,
+        );
+        assert!(nested.iter().all(|d| d.rule != Rule::R6), "{nested:?}");
+        let arrow = run(
+            "fn f() -> Result<Box<dyn Fn() -> u8>, String> { todo() }",
+            plain,
+        );
+        assert_eq!(arrow.iter().filter(|d| d.rule == Rule::R6).count(), 1);
+        let in_tests = run(
+            "#[cfg(test)]\nmod tests {\n    fn helper() -> Result<u8, String> { Ok(1) }\n}",
+            plain,
+        );
+        assert!(in_tests.iter().all(|d| d.rule != Rule::R6), "test code exempt");
     }
 
     #[test]

@@ -21,7 +21,7 @@ fn fixture_diags() -> Vec<mx_lint::Diagnostic> {
 #[test]
 fn every_rule_fires_on_the_fixture() {
     let diags = fixture_diags();
-    for rule in [Rule::R0, Rule::R1, Rule::R2, Rule::R3] {
+    for rule in [Rule::R0, Rule::R1, Rule::R2, Rule::R3, Rule::R6] {
         assert!(
             diags.iter().any(|d| d.rule == rule),
             "{rule} did not fire on the fixture; diagnostics: {diags:#?}"
@@ -40,6 +40,8 @@ fn fixture_counts_are_exact() {
     assert_eq!(count(Rule::R3), 2, "{diags:#?}");
     // The deliberately unused allow.
     assert_eq!(count(Rule::R0), 1, "{diags:#?}");
+    // The stringly-typed error signature.
+    assert_eq!(count(Rule::R6), 1, "{diags:#?}");
 }
 
 #[test]

@@ -77,7 +77,9 @@ impl ScanSnapshot {
 pub struct Scanner {
     /// The client identity used in EHLO (Censys scans identify themselves).
     pub ehlo_name: String,
-    /// Number of worker threads for large scans.
+    /// Number of worker threads for large scans; `0` (the default)
+    /// inherits the shared pool's configuration (`MX_THREADS` or an
+    /// enclosing `mx_par::install`).
     pub parallelism: usize,
 }
 
@@ -85,7 +87,7 @@ impl Default for Scanner {
     fn default() -> Self {
         Scanner {
             ehlo_name: "scanner.sim.internal".into(),
-            parallelism: 4,
+            parallelism: 0,
         }
     }
 }
@@ -140,13 +142,21 @@ impl Scanner {
         Some(PortState::Open(data))
     }
 
-    /// Scan a set of IPs, in parallel when large.
+    /// Scan a set of IPs, fanning out over the shared `mx_par` pool when
+    /// large. Each IP's result depends only on `(ip, epoch)` and the
+    /// immutable network, so the snapshot is identical to a serial scan
+    /// at any thread count.
     pub fn scan(&self, net: &SimNet, ips: &[Ipv4Addr], epoch: u64) -> ScanSnapshot {
         let mut snapshot = ScanSnapshot {
             epoch,
             results: HashMap::with_capacity(ips.len()),
         };
-        if ips.len() < 256 || self.parallelism <= 1 {
+        let threads = if self.parallelism == 0 {
+            mx_par::threads()
+        } else {
+            self.parallelism
+        };
+        if ips.len() < 256 || threads <= 1 {
             for &ip in ips {
                 if let Some(state) = self.scan_ip(net, ip, epoch) {
                     snapshot.results.insert(ip, state);
@@ -154,27 +164,10 @@ impl Scanner {
             }
             return snapshot;
         }
-        let chunks: Vec<&[Ipv4Addr]> = ips.chunks(ips.len().div_ceil(self.parallelism)).collect();
-        let results: Vec<Vec<(Ipv4Addr, PortState)>> = std::thread::scope(|s| {
-            let handles: Vec<_> = chunks
-                .into_iter()
-                .map(|chunk| {
-                    s.spawn(move || {
-                        chunk
-                            .iter()
-                            .filter_map(|&ip| self.scan_ip(net, ip, epoch).map(|st| (ip, st)))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("scan worker panicked"))
-                .collect()
+        let results = mx_par::install(threads, || {
+            mx_par::par_map(ips, |&ip| self.scan_ip(net, ip, epoch).map(|st| (ip, st)))
         });
-        for part in results {
-            snapshot.results.extend(part);
-        }
+        snapshot.results.extend(results.into_iter().flatten());
         snapshot
     }
 
@@ -301,7 +294,10 @@ mod tests {
         let net = b.build();
         let mut serial = Scanner::new();
         serial.parallelism = 1;
-        let par = Scanner::new();
+        // Force a multi-threaded scan regardless of the host's core count
+        // or MX_THREADS, so the parallel path is always exercised.
+        let mut par = Scanner::new();
+        par.parallelism = 8;
         let a = serial.scan(&net, &ips, 0);
         let c = par.scan(&net, &ips, 0);
         assert_eq!(a.results.len(), c.results.len());

@@ -1,0 +1,291 @@
+//! # mx-par — the parallel-execution substrate
+//!
+//! Internet-scale mail measurement is embarrassingly parallel per IP and
+//! per domain, so every hot path of the pipeline fans out through this
+//! crate: a dependency-free scoped thread pool exposing [`par_map`] and
+//! [`par_chunks`] with **order-preserving, deterministic results** and
+//! panic propagation.
+//!
+//! ## Scheduling
+//!
+//! Each call spawns up to `N` scoped workers that *self-schedule*: a
+//! shared atomic cursor hands out contiguous index chunks (~4 per
+//! worker), so a worker that drew cheap items immediately claims the
+//! next chunk instead of idling — the load-balancing benefit of work
+//! stealing without per-worker deques. Workers never share mutable
+//! state: each returns `(chunk_start, results)` pairs through its join
+//! handle, and the caller concatenates them in index order. For a pure
+//! `f` the output is therefore bit-identical to `items.iter().map(f)`
+//! regardless of thread count or interleaving.
+//!
+//! ## Thread count
+//!
+//! `N` comes from, in priority order: an enclosing [`install`] call
+//! (thread-local, used by benchmarks and differential tests), the
+//! `MX_THREADS` environment variable (read once per process), or
+//! [`std::thread::available_parallelism`]. A nested `par_map` inside a
+//! worker runs serially — the pool never oversubscribes itself.
+//!
+//! ## Panics
+//!
+//! If `f` panics, every worker is still joined and the first panic
+//! payload (in worker spawn order) is re-raised in the caller via
+//! [`std::panic::resume_unwind`], matching serial semantics.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Self-scheduling granularity: target chunks handed out per worker.
+/// More chunks balance uneven work better; fewer reduce atomic traffic.
+const CHUNKS_PER_WORKER: usize = 4;
+
+thread_local! {
+    /// Thread count forced by an enclosing [`install`]; 0 = no override.
+    static OVERRIDE: Cell<usize> = const { Cell::new(0) };
+    /// True inside a pool worker: nested parallel calls run serially.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The process-default thread count: `MX_THREADS` when set to a positive
+/// integer, otherwise the machine's available parallelism.
+fn env_threads() -> usize {
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("MX_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(available_parallelism)
+    })
+}
+
+/// The machine's available parallelism (1 when undetectable).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The effective thread count parallel calls on this thread will use:
+/// an [`install`] override if one is active, else `MX_THREADS`, else
+/// [`available_parallelism`].
+pub fn threads() -> usize {
+    let forced = OVERRIDE.get();
+    if forced >= 1 {
+        forced
+    } else {
+        env_threads()
+    }
+}
+
+/// Run `f` with the pool pinned to `n_threads` on this thread (and the
+/// parallel calls it makes), restoring the previous setting afterwards —
+/// including on unwind. `n_threads` is clamped to at least 1.
+///
+/// This is how benchmarks and differential tests sweep thread counts
+/// without touching the process environment (racy across test threads).
+pub fn install<R>(n_threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.set(self.0);
+        }
+    }
+    let prev = OVERRIDE.replace(n_threads.max(1));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Map `f` over `items` in parallel, preserving order.
+///
+/// Deterministic: for a pure `f` the result equals
+/// `items.iter().map(f).collect()` bit-for-bit at any thread count.
+/// Runs serially when the effective thread count is 1, the input has
+/// fewer than 2 items, or the call is nested inside another pool worker.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = threads().min(items.len());
+    if n <= 1 || IN_WORKER.get() {
+        return items.iter().map(f).collect();
+    }
+    let len = items.len();
+    let chunk = len.div_ceil(n * CHUNKS_PER_WORKER).max(1);
+    let cursor = AtomicUsize::new(0);
+
+    let parts = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..n {
+            handles.push(scope.spawn(|| {
+                IN_WORKER.set(true);
+                let mut local: Vec<(usize, Vec<R>)> = Vec::new();
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= len {
+                        break;
+                    }
+                    let end = (start + chunk).min(len);
+                    if let Some(slice) = items.get(start..end) {
+                        local.push((start, slice.iter().map(&f).collect()));
+                    }
+                }
+                local
+            }));
+        }
+        let mut parts: Vec<(usize, Vec<R>)> = Vec::new();
+        let mut first_panic = None;
+        for handle in handles {
+            match handle.join() {
+                Ok(local) => parts.extend(local),
+                Err(payload) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(payload);
+                    }
+                }
+            }
+        }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
+        parts
+    });
+
+    merge_indexed(parts, len)
+}
+
+/// Concatenate `(start_index, results)` parts in index order.
+fn merge_indexed<R>(mut parts: Vec<(usize, Vec<R>)>, len: usize) -> Vec<R> {
+    parts.sort_by_key(|&(start, _)| start);
+    let mut out = Vec::with_capacity(len);
+    for (_, mut part) in parts {
+        out.append(&mut part);
+    }
+    out
+}
+
+/// Map `f` over fixed-size chunks of `items` in parallel, preserving
+/// chunk order. Chunk boundaries depend only on `chunk_size` (clamped to
+/// at least 1), never on the thread count, so per-chunk accumulators
+/// merge deterministically.
+pub fn par_chunks<T, R, F>(items: &[T], chunk_size: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> R + Sync,
+{
+    let chunks: Vec<&[T]> = items.chunks(chunk_size.max(1)).collect();
+    par_map(&chunks, |chunk| f(chunk))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = par_map(&[], |x: &u32| *x);
+        assert!(out.is_empty());
+        let out: Vec<usize> = par_chunks(&[] as &[u32], 8, |c| c.len());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn order_preserved_at_any_thread_count() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for n in [1, 2, 3, 8] {
+            let par = install(n, || par_map(&items, |x| x * 3 + 1));
+            assert_eq!(par, serial, "thread count {n}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_boundaries_fixed() {
+        let items: Vec<u32> = (0..1000).collect();
+        let serial: Vec<u64> = items
+            .chunks(64)
+            .map(|c| c.iter().map(|&x| x as u64).sum())
+            .collect();
+        for n in [1, 2, 8] {
+            let par = install(n, || {
+                par_chunks(&items, 64, |c| c.iter().map(|&x| x as u64).sum::<u64>())
+            });
+            assert_eq!(par, serial, "thread count {n}");
+        }
+    }
+
+    #[test]
+    fn panic_propagates() {
+        let items: Vec<u32> = (0..500).collect();
+        let result = std::panic::catch_unwind(|| {
+            install(4, || {
+                par_map(&items, |&x| {
+                    if x == 137 {
+                        panic!("boom at {x}");
+                    }
+                    x
+                })
+            })
+        });
+        let payload = result.expect_err("panic must propagate to the caller");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("boom"), "payload preserved: {msg:?}");
+    }
+
+    #[test]
+    fn nested_par_map_runs_serially_and_correctly() {
+        let outer: Vec<u32> = (0..64).collect();
+        let expected: Vec<u64> = outer
+            .iter()
+            .map(|&i| (0..100u64).map(|j| j + i as u64).sum())
+            .collect();
+        let got = install(4, || {
+            par_map(&outer, |&i| {
+                // Nested call: must run serially inside a worker (the
+                // IN_WORKER flag) and still produce identical results.
+                assert!(IN_WORKER.get());
+                let inner: Vec<u64> = (0..100u64).collect();
+                par_map(&inner, |&j| j + i as u64).into_iter().sum::<u64>()
+            })
+        });
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn oversubscription_is_safe() {
+        // Far more threads than items: workers that find the cursor
+        // exhausted return empty-handed and the merge still works.
+        let items: Vec<u32> = (0..10).collect();
+        let got = install(64, || par_map(&items, |&x| x * 2));
+        assert_eq!(got, vec![0, 2, 4, 6, 8, 10, 12, 14, 16, 18]);
+    }
+
+    #[test]
+    fn install_overrides_and_restores() {
+        let outside = threads();
+        install(3, || {
+            assert_eq!(threads(), 3);
+            install(5, || assert_eq!(threads(), 5));
+            assert_eq!(threads(), 3);
+        });
+        assert_eq!(threads(), outside);
+        // Restored even when the installed closure panics.
+        let _ = std::panic::catch_unwind(|| install(7, || panic!("x")));
+        assert_eq!(threads(), outside);
+    }
+
+    #[test]
+    fn install_clamps_zero_to_one() {
+        install(0, || assert_eq!(threads(), 1));
+    }
+}

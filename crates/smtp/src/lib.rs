@@ -38,7 +38,7 @@ pub mod transport;
 pub use client::{ClientError, SmtpClient};
 pub use command::{Command, MailPath};
 pub use extensions::Extension;
-pub use reply::{Reply, ReplyCode};
+pub use reply::{Reply, ReplyCode, ReplyParseError};
 pub use scan::{valid_fqdn, SmtpScanData, StartTlsOutcome};
 pub use server::{ServerQuirks, SmtpServer, SmtpServerConfig};
 pub use transport::{Connection, LineError, MAX_LINE_LEN};

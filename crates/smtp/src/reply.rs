@@ -3,6 +3,42 @@
 
 use std::fmt;
 
+/// Why a sequence of wire lines failed to parse as one SMTP reply.
+///
+/// Typed so transports can branch on the failure mode (and tests can
+/// assert on it) instead of matching error-string prefixes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplyParseError {
+    /// A line was not `NNN` / `NNN text` / `NNN-text` with a valid code.
+    MalformedLine(String),
+    /// The three-digit code changed between lines of one reply.
+    CodeChanged {
+        /// Code of the earlier lines.
+        prev: ReplyCode,
+        /// Conflicting code found mid-reply.
+        found: ReplyCode,
+    },
+    /// A continuation (`-`) marker appeared on the final line, or a final
+    /// (space) marker before the last line.
+    ContinuationMismatch,
+    /// No lines at all were supplied.
+    Empty,
+}
+
+impl fmt::Display for ReplyParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplyParseError::MalformedLine(l) => write!(f, "malformed reply line {l:?}"),
+            ReplyParseError::CodeChanged { prev, found } => {
+                write!(f, "code changed {prev} -> {found} mid-reply")
+            }
+            ReplyParseError::ContinuationMismatch => write!(f, "continuation marker mismatch"),
+            ReplyParseError::Empty => write!(f, "empty reply"),
+        }
+    }
+}
+
+impl std::error::Error for ReplyParseError {}
 
 /// A three-digit SMTP reply code.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -120,28 +156,28 @@ impl Reply {
     /// Accumulate wire lines into a full reply. Feed lines one at a time;
     /// returns `Some(reply)` when the final line arrives, `Err` on
     /// malformed or inconsistent codes.
-    pub fn parse(lines: &[&str]) -> Result<Reply, String> {
+    pub fn parse(lines: &[&str]) -> Result<Reply, ReplyParseError> {
         let mut code: Option<ReplyCode> = None;
         let mut texts = Vec::new();
         for (i, l) in lines.iter().enumerate() {
-            let (c, last, text) =
-                Self::parse_line(l).ok_or_else(|| format!("malformed reply line {l:?}"))?;
+            let (c, last, text) = Self::parse_line(l)
+                .ok_or_else(|| ReplyParseError::MalformedLine((*l).to_string()))?;
             match code {
                 None => code = Some(c),
                 Some(prev) if prev != c => {
-                    return Err(format!("code changed {prev} -> {c} mid-reply"))
+                    return Err(ReplyParseError::CodeChanged { prev, found: c })
                 }
                 _ => {}
             }
             texts.push(text.to_string());
             let is_final_input = i + 1 == lines.len();
             if last != is_final_input {
-                return Err("continuation marker mismatch".into());
+                return Err(ReplyParseError::ContinuationMismatch);
             }
         }
         match code {
             Some(code) => Ok(Reply { code, lines: texts }),
-            None => Err("empty reply".into()),
+            None => Err(ReplyParseError::Empty),
         }
     }
 }
@@ -211,8 +247,30 @@ mod tests {
 
     #[test]
     fn parse_rejects_inconsistent_codes() {
-        assert!(Reply::parse(&["250-a", "251 b"]).is_err());
-        assert!(Reply::parse(&["250-a", "250-b"]).is_err(), "missing final line");
-        assert!(Reply::parse(&[]).is_err());
+        assert_eq!(
+            Reply::parse(&["250-a", "251 b"]),
+            Err(ReplyParseError::CodeChanged {
+                prev: ReplyCode(250),
+                found: ReplyCode(251),
+            })
+        );
+        assert_eq!(
+            Reply::parse(&["250-a", "250-b"]),
+            Err(ReplyParseError::ContinuationMismatch),
+            "missing final line"
+        );
+        assert_eq!(Reply::parse(&[]), Err(ReplyParseError::Empty));
+        assert_eq!(
+            Reply::parse(&["2x0 bad"]),
+            Err(ReplyParseError::MalformedLine("2x0 bad".into()))
+        );
+    }
+
+    #[test]
+    fn parse_error_displays() {
+        let e = Reply::parse(&["250-a", "251 b"]).unwrap_err();
+        assert_eq!(e.to_string(), "code changed 250 -> 251 mid-reply");
+        let boxed: Box<dyn std::error::Error> = Box::new(e);
+        assert!(boxed.to_string().contains("mid-reply"));
     }
 }

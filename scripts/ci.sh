@@ -18,4 +18,12 @@ cargo test --workspace -q
 echo "==> mx-lint"
 cargo run --quiet --release -p mx-lint
 
+echo "==> parallel determinism (tests/par_determinism.rs)"
+cargo test --release --test par_determinism -q
+
+echo "==> bench smoke (threads 1 vs 2 must agree)"
+# MX_THREADS exercises the env-var configuration path; the binary's
+# install() overrides still pin each timed run's width.
+MX_THREADS=2 cargo run --quiet --release -p mx-bench --bin bench_pipeline -- --smoke
+
 echo "CI OK"

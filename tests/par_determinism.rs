@@ -1,0 +1,108 @@
+//! Differential determinism gate for the parallel substrate: every
+//! parallelised stage must produce bit-identical output to a serial run
+//! at any thread count. Runs the full measurement + inference stack at
+//! small scale across several seeds and `mx_par::install` widths —
+//! `{1, 2, 8}` covers the serial path, the minimal parallel split, and
+//! oversubscription of any realistic CI host.
+
+use mx_analysis::observe::{observe_world, SnapshotData};
+use mx_corpus::{ScenarioConfig, Study};
+use mx_infer::{InferenceResult, Pipeline};
+
+const SEEDS: &[u64] = &[1, 7, 42];
+const THREADS: &[usize] = &[1, 2, 8];
+
+/// Snapshot index exercised: the last one (all three datasets active).
+fn snapshot_index() -> usize {
+    mx_corpus::SNAPSHOT_DATES.len() - 1
+}
+
+fn full_stack(seed: u64) -> (SnapshotData, Vec<InferenceResult>) {
+    let study = Study::generate(ScenarioConfig::small(seed));
+    let world = study.world_at(snapshot_index());
+    let data = observe_world(&world);
+    let pipeline = Pipeline::priority_based(mx_corpus::provider_knowledge(10));
+    let results = data
+        .per_dataset
+        .iter()
+        .map(|(_, obs)| pipeline.run(obs))
+        .collect();
+    (data, results)
+}
+
+fn assert_same_data(a: &SnapshotData, b: &SnapshotData, ctx: &str) {
+    assert_eq!(a.per_dataset.len(), b.per_dataset.len(), "{ctx}: dataset count");
+    for ((da, oa), (db, ob)) in a.per_dataset.iter().zip(&b.per_dataset) {
+        assert_eq!(da, db, "{ctx}: dataset order");
+        assert_eq!(oa.domains, ob.domains, "{ctx}: {da:?} domain observations");
+        assert_eq!(oa.ips, ob.ips, "{ctx}: {da:?} ip observations");
+    }
+}
+
+fn assert_same_result(a: &InferenceResult, b: &InferenceResult, ctx: &str) {
+    assert_eq!(a.domains, b.domains, "{ctx}: domain assignments");
+    assert_eq!(a.mx_assignments, b.mx_assignments, "{ctx}: mx assignments");
+    assert_eq!(a.misid.examined, b.misid.examined, "{ctx}: misid examined");
+    assert_eq!(
+        a.misid.corrections, b.misid.corrections,
+        "{ctx}: misid corrections"
+    );
+    let mut wa: Vec<_> = a.provider_weights().into_iter().collect();
+    let mut wb: Vec<_> = b.provider_weights().into_iter().collect();
+    wa.sort_by(|x, y| x.0.cmp(&y.0));
+    wb.sort_by(|x, y| x.0.cmp(&y.0));
+    assert_eq!(wa, wb, "{ctx}: provider weights");
+}
+
+#[test]
+fn parallel_stack_matches_serial_across_seeds_and_thread_counts() {
+    for &seed in SEEDS {
+        let (base_data, base_results) = mx_par::install(1, || full_stack(seed));
+        for &n in THREADS {
+            let (data, results) = mx_par::install(n, || full_stack(seed));
+            let ctx = format!("seed {seed}, threads {n}");
+            assert_same_data(&base_data, &base_data, &ctx);
+            assert_same_data(&base_data, &data, &ctx);
+            assert_eq!(results.len(), base_results.len(), "{ctx}: result count");
+            for (r, b) in results.iter().zip(&base_results) {
+                assert_same_result(b, r, &ctx);
+            }
+        }
+    }
+}
+
+#[test]
+fn study_generation_is_thread_count_invariant() {
+    let base = mx_par::install(1, || Study::generate(ScenarioConfig::small(9)));
+    for &n in THREADS {
+        let other = mx_par::install(n, || Study::generate(ScenarioConfig::small(9)));
+        assert_eq!(
+            base.populations.len(),
+            other.populations.len(),
+            "threads {n}"
+        );
+        for (a, b) in base.populations.iter().zip(&other.populations) {
+            assert_eq!(a.domains, b.domains, "threads {n}: population domains");
+        }
+        // Timelines carry the full per-domain assignment history; a
+        // mismatch anywhere shows up in the materialised world's truth.
+        let wa = base.world_at(snapshot_index());
+        let wb = other.world_at(snapshot_index());
+        assert_eq!(wa.truth.records, wb.truth.records, "threads {n}: ground truth");
+    }
+}
+
+#[test]
+fn parallel_snapshot_materialisation_matches_serial() {
+    let study = Study::generate(ScenarioConfig::small(5));
+    let ks: Vec<usize> = vec![0, 4, snapshot_index()];
+    let serial: Vec<_> = mx_par::install(1, || study.worlds_at(&ks));
+    let parallel: Vec<_> = mx_par::install(8, || study.worlds_at(&ks));
+    for ((a, b), &k) in serial.iter().zip(&parallel).zip(&ks) {
+        assert_eq!(a.snapshot, k);
+        assert_eq!(a.snapshot, b.snapshot, "snapshot {k}");
+        assert_eq!(a.date, b.date, "snapshot {k}: date");
+        assert_eq!(a.truth.records, b.truth.records, "snapshot {k}: truth");
+        assert_eq!(a.targets, b.targets, "snapshot {k}: targets");
+    }
+}
