@@ -44,6 +44,45 @@ impl CoverageCategory {
     }
 }
 
+/// Acquisition-resilience counts behind the availability categories:
+/// how much of the coverage is owed to retries, and how the uncovered
+/// remainder splits between "never attempted" and "attempted but the
+/// retry budget ran out".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceCounts {
+    /// IPs whose data was captured only after at least one failed attempt.
+    pub recovered_ips: usize,
+    /// IPs that exhausted the retry budget without capturing anything.
+    pub exhausted_ips: usize,
+    /// IPs never attempted (owner opt-out / persistent block).
+    pub never_attempted_ips: usize,
+    /// Total scan attempts spent on this dataset's IPs.
+    pub scan_attempts: u64,
+    /// Domains whose DNS measurement needed retries but fully recovered.
+    pub dns_recovered: usize,
+    /// Domains whose DNS measurement failed despite the retry budget.
+    pub dns_exhausted: usize,
+}
+
+impl ResilienceCounts {
+    /// Derive the counts from an observation set's acquisition report.
+    pub fn from_observations(obs: &ObservationSet) -> Self {
+        let acq = &obs.acquisition;
+        ResilienceCounts {
+            recovered_ips: acq.recovered_ips(),
+            exhausted_ips: acq.exhausted_ips(),
+            never_attempted_ips: acq.blocked_ips(),
+            scan_attempts: acq.total_attempts(),
+            dns_recovered: acq
+                .domains
+                .values()
+                .filter(|d| d.retries > 0 && !d.exhausted)
+                .count(),
+            dns_exhausted: acq.domains.values().filter(|d| d.exhausted).count(),
+        }
+    }
+}
+
 /// Per-category counts for one dataset snapshot.
 #[derive(Debug, Clone, Default)]
 pub struct CoverageBreakdown {
@@ -51,6 +90,8 @@ pub struct CoverageBreakdown {
     pub counts: Vec<(CoverageCategory, usize)>,
     /// Total domains classified.
     pub total: usize,
+    /// The acquisition-resilience split behind the categories.
+    pub resilience: ResilienceCounts,
 }
 
 impl CoverageBreakdown {
@@ -118,6 +159,7 @@ pub fn breakdown(obs: &ObservationSet) -> CoverageBreakdown {
     CoverageBreakdown {
         counts,
         total: obs.domains.len(),
+        resilience: ResilienceCounts::from_observations(obs),
     }
 }
 
@@ -144,6 +186,22 @@ mod tests {
             b.count(CoverageCategory::NoValidCert)
         );
         assert!(b.count(CoverageCategory::NoPort25) > 0, "no-smtp bucket");
+        // The resilience split behind "No Censys": some IPs were never
+        // attempted (opt-out), some exhausted their retry budget, and
+        // some of the covered ones owe their data to retries.
+        let r = b.resilience;
+        assert!(r.never_attempted_ips > 0, "never-attempted bucket empty");
+        assert!(r.exhausted_ips > 0, "exhausted bucket empty");
+        assert!(r.recovered_ips > 0, "recovered bucket empty");
+        assert!(
+            r.scan_attempts > (r.recovered_ips + r.exhausted_ips) as u64,
+            "attempt accounting inconsistent"
+        );
+        // The default worldgen plan injects no DNS faults, so nothing
+        // needs (or gets) a retry; the dangling-MX domains still show up
+        // as terminal DNS degradation (their exchange never resolves).
+        assert_eq!(r.dns_recovered, 0);
+        assert!(r.dns_exhausted > 0, "dangling exchanges unaccounted");
     }
 
     #[test]

@@ -35,8 +35,8 @@ pub mod report;
 pub use accuracy::{AccuracyCell, AccuracyReport, SampleKind};
 pub use churn::{ChurnCategory, ChurnMatrix};
 pub use country::CountryMatrix;
-pub use coverage::{CoverageBreakdown, CoverageCategory};
+pub use coverage::{CoverageBreakdown, CoverageCategory, ResilienceCounts};
 pub use longitudinal::{LongitudinalSeries, SeriesPoint};
 pub use market::{MarketShare, MarketShareRow};
-pub use observe::{observe_world, SnapshotData};
+pub use observe::{observe_world, observe_world_with, ObserveConfig, SnapshotData};
 pub use report::{pct, Table};

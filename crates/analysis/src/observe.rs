@@ -5,9 +5,10 @@ use std::net::Ipv4Addr;
 
 use mx_corpus::{Dataset, World};
 use mx_infer::{
-    DomainObservation, IpObservation, MxObservation, MxTargetObs, ObservationSet, ScanStatus,
+    AcqFault, AcquisitionReport, DnsAcquisition, DomainObservation, IpAcquisition, IpObservation,
+    MxObservation, MxTargetObs, ObservationSet, ScanStatus,
 };
-use mx_net::{openintel, PortState, Scanner};
+use mx_net::{openintel, Missed, PortState, ScanFault, Scanner};
 
 /// The fully-joined measurement data of one snapshot.
 pub struct SnapshotData {
@@ -29,6 +30,16 @@ impl SnapshotData {
     }
 }
 
+/// Knobs for the measurement run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ObserveConfig {
+    /// Half-width of the scan window in rounds. Zero (the default) is a
+    /// single sweep; `w > 0` merges the best observation per IP across
+    /// rounds `epoch - w ..= epoch + w`, the way longitudinal scan data
+    /// papers over transient per-round losses.
+    pub scan_width: u64,
+}
+
 /// Run the measurement over a world: per-dataset DNS measurement, a single
 /// shared port-25 scan sweep over every discovered MX IP, certificate
 /// validation against the world's trust store, and prefix2as annotation.
@@ -39,6 +50,21 @@ impl SnapshotData {
 /// network is immutable and each task's output is keyed by dataset or
 /// address, so the snapshot is bit-identical to a serial run.
 pub fn observe_world(world: &World) -> SnapshotData {
+    observe_world_with(world, &ObserveConfig::default())
+}
+
+fn scan_fault_to_acq(f: ScanFault) -> AcqFault {
+    match f {
+        ScanFault::Transient => AcqFault::Transient,
+        ScanFault::DropAfterBanner => AcqFault::DropAfterBanner,
+        ScanFault::EhloTarpit => AcqFault::EhloTarpit,
+        ScanFault::TlsHandshake => AcqFault::TlsHandshake,
+        ScanFault::GarbledBanner => AcqFault::GarbledBanner,
+    }
+}
+
+/// [`observe_world`] with explicit configuration.
+pub fn observe_world_with(world: &World, cfg: &ObserveConfig) -> SnapshotData {
     let scanner = Scanner::new();
     let epoch = world.snapshot as u64;
 
@@ -55,7 +81,53 @@ pub fn observe_world(world: &World) -> SnapshotData {
     all_ips.dedup();
 
     // 2. Port-25 scan of every MX IP (Censys).
-    let scan = scanner.scan(&world.net, &all_ips, epoch);
+    let scan = if cfg.scan_width == 0 {
+        scanner.scan(&world.net, &all_ips, epoch)
+    } else {
+        scanner.scan_window(&world.net, &all_ips, epoch, cfg.scan_width)
+    };
+
+    // Per-IP acquisition accounting: cost and degradation behind each row.
+    let acq_by_ip: HashMap<Ipv4Addr, IpAcquisition> = all_ips
+        .iter()
+        .map(|&ip| {
+            let acq = if let Some(o) = scan.observation(ip) {
+                IpAcquisition {
+                    attempts: o.attempts,
+                    recovered: o.recovered,
+                    exhausted: false,
+                    blocked: false,
+                    fault: o.fault.map(scan_fault_to_acq),
+                }
+            } else {
+                match scan.missed.get(&ip) {
+                    Some(Missed::Blocked) => IpAcquisition {
+                        attempts: 0,
+                        recovered: false,
+                        exhausted: false,
+                        blocked: true,
+                        fault: None,
+                    },
+                    Some(Missed::Exhausted { attempts }) => IpAcquisition {
+                        attempts: *attempts,
+                        recovered: false,
+                        exhausted: true,
+                        blocked: false,
+                        fault: Some(AcqFault::Transient),
+                    },
+                    // Unreachable routing hole: no attempt ever completed.
+                    None => IpAcquisition {
+                        attempts: 0,
+                        recovered: false,
+                        exhausted: false,
+                        blocked: true,
+                        fault: None,
+                    },
+                }
+            };
+            (ip, acq)
+        })
+        .collect();
 
     // 3. Join: per-IP observation with ASN + cert validation.
     let now = world.net.clock().now();
@@ -125,18 +197,39 @@ pub fn observe_world(world: &World) -> SnapshotData {
                 })
                 .collect();
             // Restrict the IP view to addresses this dataset references,
-            // mirroring the per-dataset tables of the paper.
+            // mirroring the per-dataset tables of the paper. Acquisition
+            // accounting follows the same restriction.
             let mut ips = HashMap::new();
+            let mut acquisition = AcquisitionReport::default();
             for d in &domains {
                 for t in d.mx.targets() {
                     for a in &t.addrs {
                         if let Some(o) = ip_obs.get(a) {
                             ips.entry(*a).or_insert_with(|| o.clone());
                         }
+                        if let Some(acq) = acq_by_ip.get(a) {
+                            acquisition.ips.entry(*a).or_insert(*acq);
+                        }
                     }
                 }
             }
-            (*ds, ObservationSet { domains, ips })
+            for (name, deg) in &snap.degraded {
+                acquisition.domains.insert(
+                    name.clone(),
+                    DnsAcquisition {
+                        retries: deg.retries,
+                        exhausted: deg.exhausted,
+                    },
+                );
+            }
+            (
+                *ds,
+                ObservationSet {
+                    domains,
+                    ips,
+                    acquisition,
+                },
+            )
         });
 
     SnapshotData {
@@ -176,6 +269,47 @@ mod tests {
             .filter(|o| o.scan == ScanStatus::NotCovered)
             .count();
         assert!(uncovered > 0, "fault plan produced no gaps");
+        // Acquisition accounting rides along: every referenced IP has an
+        // entry, retries healed some losses, opt-outs and exhausted
+        // budgets are distinguished.
+        let acq = &alexa.acquisition;
+        assert!(acq.ips.len() >= alexa.ips.len(), "acquisition covers the IP view");
+        assert!(acq.recovered_ips() > 0, "no recovered IPs recorded");
+        assert!(acq.blocked_ips() > 0, "no opt-outs recorded");
+        assert!(acq.exhausted_ips() > 0, "no exhausted budgets recorded");
+        assert!(
+            acq.total_attempts() >= acq.ips.len() as u64,
+            "attempts must be at least one per attempted IP"
+        );
+    }
+
+    #[test]
+    fn scan_window_improves_coverage() {
+        let study = Study::generate(ScenarioConfig::small(3));
+        let world = study.world_at(8);
+        let single = observe_world(&world);
+        let windowed = observe_world_with(&world, &ObserveConfig { scan_width: 1 });
+        let exhausted = |d: &SnapshotData| {
+            d.dataset(Dataset::Alexa)
+                .unwrap()
+                .acquisition
+                .exhausted_ips()
+        };
+        assert!(exhausted(&single) > 0, "need exhausted IPs to recover");
+        assert!(
+            exhausted(&windowed) < exhausted(&single),
+            "window {} vs single {}",
+            exhausted(&windowed),
+            exhausted(&single)
+        );
+        // Blocked IPs stay blocked: the window cannot heal opt-outs.
+        let blocked = |d: &SnapshotData| {
+            d.dataset(Dataset::Alexa)
+                .unwrap()
+                .acquisition
+                .blocked_ips()
+        };
+        assert_eq!(blocked(&single), blocked(&windowed));
     }
 
     #[test]

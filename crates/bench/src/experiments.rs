@@ -293,6 +293,30 @@ pub fn exp_table4(ctx: &mut ExperimentCtx) -> String {
         per_ds[1].total.to_string(),
         per_ds[2].total.to_string(),
     ]);
+    // Acquisition-resilience split behind the "No Censys" bucket: IP
+    // counts, not domain counts — how the uncovered remainder divides
+    // between never-attempted opt-outs and exhausted retry budgets, and
+    // how much of the covered data was rescued by retries.
+    let res: Vec<_> = per_ds.iter().map(|b| b.resilience).collect();
+    for (label, pick) in [
+        (
+            "  IPs recovered on retry",
+            (|r: &coverage::ResilienceCounts| r.recovered_ips) as fn(&_) -> usize,
+        ),
+        ("  IPs exhausted budget", |r: &coverage::ResilienceCounts| {
+            r.exhausted_ips
+        }),
+        ("  IPs never attempted", |r: &coverage::ResilienceCounts| {
+            r.never_attempted_ips
+        }),
+    ] {
+        t.row([
+            label.to_string(),
+            pick(&res[0]).to_string(),
+            pick(&res[1]).to_string(),
+            pick(&res[2]).to_string(),
+        ]);
+    }
     t.render()
 }
 

@@ -52,7 +52,10 @@ pub mod spf;
 pub use certgroup::{CertGroups, GroupId};
 pub use company::{CompanyMap, ProviderIdRow};
 pub use domainid::{DomainAssignment, Share};
-pub use input::{DomainObservation, IpObservation, MxObservation, MxTargetObs, ObservationSet, ScanStatus};
+pub use input::{
+    AcqFault, AcquisitionReport, DnsAcquisition, DomainObservation, IpAcquisition, IpObservation,
+    MxObservation, MxTargetObs, ObservationSet, ScanStatus,
+};
 pub use ipid::{IpIds, ProviderId};
 pub use misid::{Correction, CorrectionReason, ProviderKnowledge, ProviderProfile};
 pub use mxid::{IdSource, MxAssignment};

@@ -15,7 +15,7 @@ use std::net::Ipv4Addr;
 use mx_cert::{fnv1a, CertificateAuthority, KeyId, TrustStore};
 use mx_dns::{Name, RData, SimClock, Timestamp, Zone};
 use mx_infer::ProviderId;
-use mx_net::{FaultPlan, SimNet, SimNetBuilder};
+use mx_net::{FaultPlan, FlakinessProfile, SimNet, SimNetBuilder};
 use mx_smtp::SmtpServerConfig;
 
 use crate::catalog::{ServiceKind, CATALOG};
@@ -890,6 +890,25 @@ impl WorldGen {
                 }
                 12..=18 => {
                     faults.unreachable_ips.insert(ip);
+                }
+                // A slice of the tail is up but flaky enough that even the
+                // retry budget regularly runs out — the "attempted and
+                // exhausted" degradation bucket.
+                19..=22 => {
+                    faults
+                        .ip_profiles
+                        .insert(ip, FlakinessProfile::AlwaysFlaky { rate: 0.85 });
+                }
+                // And a thinner slice decays over the study: fine early,
+                // increasingly lossy in later snapshots.
+                23..=24 => {
+                    faults.ip_profiles.insert(
+                        ip,
+                        FlakinessProfile::Degrading {
+                            base: 0.05,
+                            per_epoch: 0.08,
+                        },
+                    );
                 }
                 _ => {}
             }

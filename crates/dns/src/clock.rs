@@ -80,6 +80,7 @@ impl fmt::Display for Timestamp {
 #[derive(Debug, Clone, Default)]
 pub struct SimClock {
     now: Arc<AtomicU64>,
+    charged: Arc<AtomicU64>,
 }
 
 impl SimClock {
@@ -115,6 +116,22 @@ impl SimClock {
     /// Advance by whole days.
     pub fn advance_days(&self, days: u64) {
         self.advance_secs(days * 86_400);
+    }
+
+    /// Charge simulated cost (retry backoff, tarpit waits) WITHOUT
+    /// advancing `now`. Advancing shared time from concurrently running
+    /// workers would make TTL expiry and certificate validity depend on
+    /// scheduling order; atomic adds to a side counter commute, so the
+    /// total stays thread-count invariant while `now` stays stable
+    /// within a round.
+    pub fn charge(&self, secs: u64) {
+        self.charged.fetch_add(secs, Ordering::Relaxed);
+    }
+
+    /// Total simulated seconds charged via [`SimClock::charge`] since
+    /// construction (shared across clones).
+    pub fn charged(&self) -> u64 {
+        self.charged.load(Ordering::Relaxed)
     }
 }
 
@@ -168,6 +185,17 @@ mod tests {
         let c2 = c.clone();
         c.advance_days(183);
         assert_eq!(c2.now(), Timestamp::from_ymd(2017, 12, 8));
+    }
+
+    #[test]
+    fn charge_accumulates_without_advancing_now() {
+        let c = SimClock::starting_at(Timestamp::from_ymd(2020, 1, 1));
+        let c2 = c.clone();
+        c.charge(30);
+        c2.charge(12);
+        assert_eq!(c.charged(), 42);
+        assert_eq!(c2.charged(), 42);
+        assert_eq!(c.now(), Timestamp::from_ymd(2020, 1, 1));
     }
 
     #[test]

@@ -42,13 +42,42 @@ impl std::error::Error for ResolveError {}
 pub trait Transport {
     /// Send `query` to `server` and return its response.
     fn query(&self, server: Ipv4Addr, query: &Message) -> Result<Message, ResolveError>;
+
+    /// Send retry number `attempt` (0-based) of `query` to `server`.
+    /// Fault-injecting transports override this so each attempt draws an
+    /// independent failure coin; the default ignores `attempt`.
+    fn query_attempt(
+        &self,
+        server: Ipv4Addr,
+        query: &Message,
+        attempt: u32,
+    ) -> Result<Message, ResolveError> {
+        let _ = attempt;
+        self.query(server, query)
+    }
 }
 
 impl<T: Transport + ?Sized> Transport for &T {
     fn query(&self, server: Ipv4Addr, query: &Message) -> Result<Message, ResolveError> {
         (**self).query(server, query)
     }
+
+    fn query_attempt(
+        &self,
+        server: Ipv4Addr,
+        query: &Message,
+        attempt: u32,
+    ) -> Result<Message, ResolveError> {
+        (**self).query_attempt(server, query, attempt)
+    }
 }
+
+/// Maximum transport attempts per query (1 initial + 2 retries).
+pub const MAX_DNS_ATTEMPTS: u32 = 3;
+
+/// Base backoff charged to the simulated clock before retry `n` (doubles
+/// per retry: 2s, 4s, ...).
+pub const DNS_BACKOFF_SECS: u64 = 2;
 
 #[derive(Debug, Clone)]
 enum CacheEntry {
@@ -69,6 +98,21 @@ pub struct MxTarget {
     pub addrs: Vec<Ipv4Addr>,
 }
 
+/// How one lookup inside an MX resolution degraded: which name was
+/// affected, whether it ultimately failed, and how hard the resolver
+/// tried. An entry with `error: None` recovered on retry; an entry with
+/// `error: Some(..)` exhausted its budget (or hit a terminal error).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MxDegradation {
+    /// The name whose lookup degraded (the domain for the MX query
+    /// itself, or an exchange hostname for its A resolution).
+    pub name: Name,
+    /// The terminal error, when the lookup ultimately failed.
+    pub error: Option<ResolveError>,
+    /// Extra transport attempts (retries) consumed by this lookup.
+    pub retries: u32,
+}
+
 /// Result of resolving a domain's mail setup.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MxResolution {
@@ -79,6 +123,9 @@ pub struct MxResolution {
     /// RFC 7505 null MX (`0 .`) published — domain explicitly receives no
     /// mail.
     pub null_mx: bool,
+    /// Lookups that needed retries or failed outright (the paper's
+    /// "No MX IP" bucket records *why* an exchange has no addresses).
+    pub degraded: Vec<MxDegradation>,
 }
 
 impl MxResolution {
@@ -118,17 +165,25 @@ pub struct StubResolver<T: Transport> {
     cache: RefCell<HashMap<(Name, RecordType), CacheEntry>>,
     next_id: RefCell<u16>,
     stats: RefCell<ResolverStats>,
+    /// Retries consumed since the last [`StubResolver::begin_lookup`];
+    /// lets `resolve_mx` attribute retry cost to individual lookups.
+    lookup_retries: std::cell::Cell<u32>,
 }
 
 /// Counters exposed for tests and reporting.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ResolverStats {
-    /// Queries that went to the transport.
+    /// Queries that went to the transport (including retries).
     pub queries_sent: u64,
     /// Answers served from the positive cache.
     pub cache_hits: u64,
     /// Answers served from the negative cache.
     pub negative_hits: u64,
+    /// Transport retries after a retryable failure (timeout, SERVFAIL,
+    /// truncation).
+    pub retries: u64,
+    /// Times the whole cache was dropped via `flush_cache`.
+    pub flushes: u64,
 }
 
 impl<T: Transport> StubResolver<T> {
@@ -141,6 +196,7 @@ impl<T: Transport> StubResolver<T> {
             cache: RefCell::new(HashMap::new()),
             next_id: RefCell::new(1),
             stats: RefCell::new(ResolverStats::default()),
+            lookup_retries: std::cell::Cell::new(0),
         }
     }
 
@@ -152,6 +208,20 @@ impl<T: Transport> StubResolver<T> {
     /// Drop all cached entries.
     pub fn flush_cache(&self) {
         self.cache.borrow_mut().clear();
+        self.stats.borrow_mut().flushes += 1;
+    }
+
+    /// Reset the per-lookup retry counter (see
+    /// [`StubResolver::last_lookup_retries`]).
+    pub fn begin_lookup(&self) {
+        self.lookup_retries.set(0);
+    }
+
+    /// Retries consumed since the last `begin_lookup` — callers that
+    /// want per-lookup degradation accounting bracket each logical
+    /// lookup with `begin_lookup` and read this afterwards.
+    pub fn last_lookup_retries(&self) -> u32 {
+        self.lookup_retries.get()
     }
 
     fn fresh_id(&self) -> u16 {
@@ -219,10 +289,39 @@ impl<T: Transport> StubResolver<T> {
             }
         }
         let query = Message::query(self.fresh_id(), name.clone(), rtype);
-        self.stats.borrow_mut().queries_sent += 1;
-        let resp = self.transport.query(self.server, &query)?;
+        let mut attempt = 0u32;
+        let resp = loop {
+            if attempt > 0 {
+                // Deterministic exponential backoff, charged as simulated
+                // cost (never advances `now`, so TTLs stay stable within
+                // a round).
+                self.clock.charge(DNS_BACKOFF_SECS << (attempt - 1));
+                self.stats.borrow_mut().retries += 1;
+                self.lookup_retries.set(self.lookup_retries.get() + 1);
+            }
+            self.stats.borrow_mut().queries_sent += 1;
+            let outcome = self.transport.query_attempt(self.server, &query, attempt);
+            // Timeouts, SERVFAILs and truncated replies are retryable;
+            // NXDOMAIN and decode-level errors are definitive.
+            let retryable = match &outcome {
+                Err(ResolveError::Network(_)) => true,
+                Ok(resp) => {
+                    resp.header.tc || matches!(resp.header.rcode, Rcode::ServFail)
+                }
+                Err(_) => false,
+            };
+            attempt += 1;
+            if !retryable || attempt >= MAX_DNS_ATTEMPTS {
+                break outcome?;
+            }
+        };
         if resp.header.id != query.header.id {
             return Err(ResolveError::Network("transaction id mismatch".into()));
+        }
+        if resp.header.tc {
+            // Still truncated after exhausting the budget: the answer
+            // section cannot be trusted to be complete.
+            return Err(ResolveError::Network("response truncated".into()));
         }
         match resp.header.rcode {
             Rcode::NoError => {}
@@ -279,7 +378,16 @@ impl<T: Transport> StubResolver<T> {
     /// rather than failing the whole resolution (matching how OpenINTEL
     /// records partial data).
     pub fn resolve_mx(&self, domain: &Name) -> Result<MxResolution, ResolveError> {
+        self.begin_lookup();
         let records = self.resolve(domain, RecordType::Mx)?;
+        let mut degraded: Vec<MxDegradation> = Vec::new();
+        if self.last_lookup_retries() > 0 {
+            degraded.push(MxDegradation {
+                name: domain.clone(),
+                error: None,
+                retries: self.last_lookup_retries(),
+            });
+        }
         let mut targets: Vec<MxTarget> = Vec::new();
         let mut null_mx = false;
         for r in &records {
@@ -292,7 +400,27 @@ impl<T: Transport> StubResolver<T> {
                     null_mx = true;
                     continue;
                 }
-                let addrs = self.resolve_a(exchange).unwrap_or_default();
+                self.begin_lookup();
+                let addrs = match self.resolve_a(exchange) {
+                    Ok(addrs) => {
+                        if self.last_lookup_retries() > 0 {
+                            degraded.push(MxDegradation {
+                                name: exchange.clone(),
+                                error: None,
+                                retries: self.last_lookup_retries(),
+                            });
+                        }
+                        addrs
+                    }
+                    Err(e) => {
+                        degraded.push(MxDegradation {
+                            name: exchange.clone(),
+                            error: Some(e),
+                            retries: self.last_lookup_retries(),
+                        });
+                        Vec::new()
+                    }
+                };
                 targets.push(MxTarget {
                     preference: *preference,
                     exchange: exchange.clone(),
@@ -309,6 +437,7 @@ impl<T: Transport> StubResolver<T> {
             domain: domain.clone(),
             targets,
             null_mx,
+            degraded,
         })
     }
 }
@@ -520,6 +649,154 @@ mod tests {
         assert_eq!(mx.primary_targets().len(), 3);
     }
 
+    /// Transport whose first `fail_first` attempts of every query time
+    /// out; later attempts answer from the authority.
+    struct Flaky<'a> {
+        auth: &'a Authority,
+        fail_first: u32,
+        calls: Cell<u64>,
+    }
+
+    impl Transport for Flaky<'_> {
+        fn query(&self, server: Ipv4Addr, q: &Message) -> Result<Message, ResolveError> {
+            self.query_attempt(server, q, 0)
+        }
+
+        fn query_attempt(
+            &self,
+            _server: Ipv4Addr,
+            q: &Message,
+            attempt: u32,
+        ) -> Result<Message, ResolveError> {
+            self.calls.set(self.calls.get() + 1);
+            if attempt < self.fail_first {
+                return Err(ResolveError::Network("injected timeout".into()));
+            }
+            Ok(self.auth.answer(q))
+        }
+    }
+
+    /// Transport that always answers SERVFAIL (optionally truncated).
+    struct Broken {
+        rcode: Rcode,
+        tc: bool,
+    }
+
+    impl Transport for Broken {
+        fn query(&self, _server: Ipv4Addr, q: &Message) -> Result<Message, ResolveError> {
+            let mut m = q.response();
+            m.header.rcode = self.rcode;
+            m.header.tc = self.tc;
+            Ok(m)
+        }
+    }
+
+    #[test]
+    fn retries_recover_from_transient_timeouts() {
+        let auth = world();
+        let clock = SimClock::new();
+        let r = StubResolver::new(
+            Flaky {
+                auth: &auth,
+                fail_first: 2,
+                calls: Cell::new(0),
+            },
+            Ipv4Addr::new(10, 0, 0, 53),
+            clock.clone(),
+        );
+        let addrs = r.resolve_a(&dns_name!("mx1.provider.net")).unwrap();
+        assert_eq!(addrs, vec!["198.51.100.25".parse::<Ipv4Addr>().unwrap()]);
+        let s = r.stats();
+        assert_eq!(s.queries_sent, 3, "1 initial + 2 retries");
+        assert_eq!(s.retries, 2);
+        // Backoff cost charged without moving `now`: 2s + 4s.
+        assert_eq!(clock.charged(), 6);
+        assert_eq!(clock.now().secs(), 0);
+    }
+
+    #[test]
+    fn retry_budget_exhausts() {
+        let auth = world();
+        let r = StubResolver::new(
+            Flaky {
+                auth: &auth,
+                fail_first: 10,
+                calls: Cell::new(0),
+            },
+            Ipv4Addr::new(10, 0, 0, 53),
+            SimClock::new(),
+        );
+        let e = r.resolve_a(&dns_name!("mx1.provider.net")).unwrap_err();
+        assert!(matches!(e, ResolveError::Network(_)));
+        let s = r.stats();
+        assert_eq!(s.queries_sent, MAX_DNS_ATTEMPTS as u64);
+        assert_eq!(s.retries, (MAX_DNS_ATTEMPTS - 1) as u64);
+    }
+
+    #[test]
+    fn servfail_and_truncation_are_retried_then_reported() {
+        let r = StubResolver::new(
+            Broken {
+                rcode: Rcode::ServFail,
+                tc: false,
+            },
+            Ipv4Addr::new(10, 0, 0, 53),
+            SimClock::new(),
+        );
+        let e = r.resolve_a(&dns_name!("mx1.provider.net")).unwrap_err();
+        assert!(matches!(e, ResolveError::ServerFailure(Rcode::ServFail)));
+        assert_eq!(r.stats().queries_sent, MAX_DNS_ATTEMPTS as u64);
+
+        let r = StubResolver::new(
+            Broken {
+                rcode: Rcode::NoError,
+                tc: true,
+            },
+            Ipv4Addr::new(10, 0, 0, 53),
+            SimClock::new(),
+        );
+        let e = r.resolve_a(&dns_name!("mx1.provider.net")).unwrap_err();
+        assert!(
+            matches!(&e, ResolveError::Network(m) if m.contains("truncated")),
+            "{e:?}"
+        );
+        assert_eq!(r.stats().queries_sent, MAX_DNS_ATTEMPTS as u64);
+    }
+
+    #[test]
+    fn flushes_counted_in_stats() {
+        let auth = world();
+        let r = resolver(&auth, SimClock::new());
+        r.resolve_a(&dns_name!("mx1.provider.net")).unwrap();
+        r.flush_cache();
+        r.resolve_a(&dns_name!("mx1.provider.net")).unwrap();
+        r.flush_cache();
+        let s = r.stats();
+        assert_eq!(s.flushes, 2);
+        assert_eq!(s.queries_sent, 2, "flush forces a re-query");
+        assert_eq!(s.cache_hits, 0);
+        assert_eq!(s.retries, 0);
+    }
+
+    #[test]
+    fn resolve_mx_records_recovered_lookups() {
+        let auth = world();
+        let r = StubResolver::new(
+            Flaky {
+                auth: &auth,
+                fail_first: 1,
+                calls: Cell::new(0),
+            },
+            Ipv4Addr::new(10, 0, 0, 53),
+            SimClock::new(),
+        );
+        let mx = r.resolve_mx(&dns_name!("example.com")).unwrap();
+        assert_eq!(mx.targets.len(), 2);
+        // Every query (MX + two exchange A lookups) needed one retry.
+        assert_eq!(mx.degraded.len(), 3, "{:?}", mx.degraded);
+        assert!(mx.degraded.iter().all(|d| d.error.is_none() && d.retries == 1));
+    }
+
     #[test]
     fn missing_exchange_yields_empty_addrs() {
         let mut auth = Authority::new();
@@ -537,5 +814,13 @@ mod tests {
         let mx = r.resolve_mx(&dns_name!("dangling.test")).unwrap();
         assert_eq!(mx.targets.len(), 1);
         assert!(mx.targets[0].addrs.is_empty(), "dangling MX: no addresses");
+        // The degradation record names the failing exchange and carries
+        // the terminal error.
+        assert_eq!(mx.degraded.len(), 1);
+        assert_eq!(mx.degraded[0].name, dns_name!("gone.dangling.test"));
+        assert!(matches!(
+            mx.degraded[0].error,
+            Some(ResolveError::NxDomain(_))
+        ));
     }
 }

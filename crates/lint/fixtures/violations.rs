@@ -1,8 +1,8 @@
 //! Seeded lint violations. This file is NOT compiled into any crate; it
 //! exists so the fixture tests (and `scripts/ci.sh`) can prove mx-lint
 //! still catches every rule. Linted in strict mode (untrusted + wire
-//! codec), it must produce at least one diagnostic per rule R1–R3 and
-//! R6 and exit non-zero.
+//! codec), it must produce at least one diagnostic per rule R1–R3, R5
+//! and R6 and exit non-zero.
 
 pub fn r1_unwrap(x: Option<u8>) -> u8 {
     x.unwrap()
@@ -42,6 +42,12 @@ pub fn r3_unbounded_recursion(depth: usize) -> usize {
         0
     } else {
         r3_unbounded_recursion(depth - 1) + 1
+    }
+}
+
+pub fn r5_unbounded_wait(ready: &std::sync::atomic::AtomicBool) {
+    while !ready.load(std::sync::atomic::Ordering::Relaxed) {
+        std::hint::spin_loop();
     }
 }
 

@@ -101,6 +101,9 @@ pub struct LintConfig {
     pub untrusted: Vec<String>,
     /// R2 scope: binary/line-protocol codecs (a subset of `untrusted`).
     pub wire_codecs: Vec<String>,
+    /// R5 scope: modules whose loops must visibly bound their exits —
+    /// the untrusted parsers plus the retrying acquisition layers.
+    pub bounded_loops: Vec<String>,
     /// Directory names never descended into.
     pub skip_dirs: Vec<String>,
 }
@@ -141,6 +144,26 @@ impl Default for LintConfig {
             ]
             .map(String::from)
             .to_vec(),
+            bounded_loops: [
+                // The untrusted parsers: a loop that fails to advance its
+                // reader position hangs the whole scan batch.
+                "crates/dns/src/wire.rs",
+                "crates/dns/src/master.rs",
+                "crates/dns/src/message.rs",
+                "crates/dns/src/name.rs",
+                "crates/smtp/src/reply.rs",
+                "crates/smtp/src/command.rs",
+                "crates/smtp/src/scan.rs",
+                "crates/cert/src/validate.rs",
+                "crates/cert/src/name_match.rs",
+                "crates/core/src/spf.rs",
+                // The retrying acquisition layers: their loops must name
+                // the MAX_* budget that terminates them.
+                "crates/dns/src/resolver.rs",
+                "crates/net/src/scanner.rs",
+            ]
+            .map(String::from)
+            .to_vec(),
             skip_dirs: ["target", ".git", "fixtures", "tests", "benches", "examples"]
                 .map(String::from)
                 .to_vec(),
@@ -156,6 +179,7 @@ impl LintConfig {
             untrusted: self.untrusted.iter().any(|s| rel.ends_with(s.as_str())),
             wire_codec: self.wire_codecs.iter().any(|s| rel.ends_with(s.as_str())),
             crate_root: rel == "src/lib.rs" || (rel.starts_with("crates/") && rel.ends_with("/src/lib.rs")),
+            bounded_loops: self.bounded_loops.iter().any(|s| rel.ends_with(s.as_str())),
         }
     }
 }
@@ -316,8 +340,14 @@ mod tests {
         let c = LintConfig::default();
         let wire = c.classify("crates/dns/src/wire.rs");
         assert!(wire.untrusted && wire.wire_codec && !wire.crate_root);
+        assert!(wire.bounded_loops, "parsers are in the R5 scope");
         let root = c.classify("crates/dns/src/lib.rs");
         assert!(!root.untrusted && root.crate_root);
+        // The acquisition layers carry R5 without inheriting R1/R3.
+        let resolver = c.classify("crates/dns/src/resolver.rs");
+        assert!(resolver.bounded_loops && !resolver.untrusted);
+        let scanner = c.classify("crates/net/src/scanner.rs");
+        assert!(scanner.bounded_loops && !scanner.untrusted);
         assert!(c.classify("src/lib.rs").crate_root);
         let free = c.classify("crates/corpus/src/worldgen.rs");
         assert!(!free.untrusted && !free.wire_codec && !free.crate_root);

@@ -62,6 +62,7 @@ fn main() -> ExitCode {
             untrusted: true,
             wire_codec: true,
             crate_root: false,
+            bounded_loops: true,
         };
         let mut total = 0usize;
         for f in &strict_files {

@@ -12,6 +12,7 @@
 //! | R2   | wire-codec modules      | no bare narrowing `as` casts (use `try_from` or an explicit mask) |
 //! | R3   | untrusted-input modules | `with_capacity`/`reserve`/`resize` and direct recursion must be bounded by a named `MAX_*` constant |
 //! | R4   | crate roots             | the agreed `#![deny(...)]` lint tier header is present |
+//! | R5   | bounded-loop modules    | every `loop`/`while` must tie its exit to a reader position or a named `MAX_*` budget |
 //! | R6   | all library code        | no `Result<_, String>` — errors must be typed enums, not strings |
 //! | R0   | everywhere              | `lint:allow` hygiene: known rule, written reason, actually used |
 
@@ -30,6 +31,8 @@ pub enum Rule {
     R3,
     /// Crate-level lint tier header.
     R4,
+    /// Bounded loops: `loop`/`while` exits tied to a position or budget.
+    R5,
     /// Typed errors: no `Result<_, String>` in library signatures.
     R6,
 }
@@ -43,6 +46,7 @@ impl Rule {
             Rule::R2 => "R2",
             Rule::R3 => "R3",
             Rule::R4 => "R4",
+            Rule::R5 => "R5",
             Rule::R6 => "R6",
         }
     }
@@ -55,6 +59,7 @@ impl Rule {
             "R2" => Some(Rule::R2),
             "R3" => Some(Rule::R3),
             "R4" => Some(Rule::R4),
+            "R5" => Some(Rule::R5),
             "R6" => Some(Rule::R6),
             _ => None,
         }
@@ -95,6 +100,9 @@ pub struct FileClass {
     pub wire_codec: bool,
     /// R4 applies: the file is a crate root (`lib.rs`).
     pub crate_root: bool,
+    /// R5 applies: loops in this module must visibly bound their exit
+    /// (untrusted parsers plus the retrying acquisition loops).
+    pub bounded_loops: bool,
 }
 
 /// A parsed `lint:allow` directive.
@@ -195,6 +203,9 @@ pub fn check(file: &str, lexed: &Lexed, class: FileClass, out: &mut Vec<Diagnost
     // R6 applies to *every* linted library file, so it runs before the
     // untrusted/wire-codec gate below.
     check_r6(file, toks, &in_test, out);
+    if class.bounded_loops {
+        check_r5_loops(file, toks, &in_test, out);
+    }
     if !(class.untrusted || class.wire_codec) {
         return;
     }
@@ -440,6 +451,117 @@ fn check_r3_recursion(file: &str, toks: &[Tok], in_test: &[bool], out: &mut Vec<
     }
 }
 
+/// Identifier fragments that signal a loop's exit is tied to forward
+/// progress through input (a reader position) or an explicit budget.
+const LOOP_BOUND_MARKERS: &[&str] = &[
+    "pos", "idx", "index", "cursor", "offset", "remaining", "len", "count", "depth", "attempt",
+    "round", "iter", "budget",
+];
+
+/// One-letter loop counters also count as positions (`while i < n`).
+const LOOP_COUNTER_IDENTS: &[&str] = &["i", "j", "k", "n", "m"];
+
+/// Does this token name something that bounds a loop?
+fn is_loop_bound_ident(t: &Tok) -> bool {
+    if t.kind != TokKind::Ident {
+        return false;
+    }
+    let s = t.text.as_str();
+    if s.starts_with("MAX_") || LOOP_COUNTER_IDENTS.contains(&s) {
+        return true;
+    }
+    let lower = s.to_ascii_lowercase();
+    LOOP_BOUND_MARKERS.iter().any(|m| lower.contains(m))
+}
+
+/// R5: every `loop` / `while` in a bounded-loop module must visibly tie
+/// its exit to a reader position or a named `MAX_*` budget.
+///
+/// A `while` condition must mention a position/budget identifier; a bare
+/// `loop` must mention one somewhere in its body (where the `break`
+/// guard lives). `while let` is exempt: it is driven by an
+/// Option-yielding expression that the pattern itself drains. Lexical
+/// heuristic — the point is that a reviewer can see the bound, not that
+/// the tool can prove termination.
+fn check_r5_loops(file: &str, toks: &[Tok], in_test: &[bool], out: &mut Vec<Diagnostic>) {
+    for i in 0..toks.len() {
+        if in_test[i] || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        match toks[i].text.as_str() {
+            "while" => {
+                if toks.get(i + 1).is_some_and(|t| t.text == "let") {
+                    continue;
+                }
+                // The condition runs to the body `{` at bracket depth 0.
+                let mut depth = 0i32;
+                let mut bounded = false;
+                let mut j = i + 1;
+                while j < toks.len() {
+                    match toks[j].text.as_str() {
+                        "(" | "[" => depth += 1,
+                        ")" | "]" => depth -= 1,
+                        "{" if depth == 0 => break,
+                        _ => {}
+                    }
+                    if is_loop_bound_ident(&toks[j]) {
+                        bounded = true;
+                    }
+                    j += 1;
+                }
+                if !bounded {
+                    out.push(Diagnostic {
+                        file: file.into(),
+                        line: toks[i].line,
+                        rule: Rule::R5,
+                        message: "while loop exit is not tied to a reader position or MAX_* budget"
+                            .into(),
+                    });
+                }
+            }
+            "loop" => {
+                let Some(start) = toks.get(i + 1).filter(|t| t.text == "{").map(|_| i + 1) else {
+                    continue;
+                };
+                let mut depth = 0i32;
+                let mut bounded = false;
+                for (k, t) in toks.iter().enumerate().skip(start) {
+                    match t.text.as_str() {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    // An iterator `.next()` call consumes input each
+                    // pass, which bounds the loop by the input length.
+                    let drains = t.text == "next"
+                        && k > 0
+                        && toks[k - 1].text == "."
+                        && toks.get(k + 1).is_some_and(|n| n.text == "(");
+                    if is_loop_bound_ident(t) || drains {
+                        bounded = true;
+                    }
+                }
+                if !bounded {
+                    out.push(Diagnostic {
+                        file: file.into(),
+                        line: toks[i].line,
+                        rule: Rule::R5,
+                        message:
+                            "bare loop has no reader-position or MAX_* budget guarding its breaks"
+                                .into(),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
 /// R6: `Result<_, String>` in library code. Stringly-typed errors can't
 /// be matched on by callers, so failure modes silently collapse into one
 /// bucket; every fallible library API must return a typed error enum.
@@ -642,11 +764,13 @@ mod tests {
         untrusted: true,
         wire_codec: false,
         crate_root: false,
+        bounded_loops: false,
     };
     const CODEC: FileClass = FileClass {
         untrusted: true,
         wire_codec: true,
         crate_root: false,
+        bounded_loops: false,
     };
 
     #[test]
@@ -734,6 +858,41 @@ mod tests {
         assert!(bounded.iter().all(|d| d.rule != Rule::R3));
         let non_recursive = run("fn helper() {} fn f() { helper(); }", UNTRUSTED);
         assert!(non_recursive.iter().all(|d| d.rule != Rule::R3));
+    }
+
+    #[test]
+    fn r5_flags_unbounded_loops() {
+        let scoped = FileClass {
+            bounded_loops: true,
+            ..FileClass::default()
+        };
+        // A while whose condition names nothing position-like.
+        let bad = run("fn f(ready: bool) { while !ready { poll(); } }", scoped);
+        assert_eq!(bad.iter().filter(|d| d.rule == Rule::R5).count(), 1);
+        // A bare loop whose body never names a bound.
+        let bad_loop = run("fn f() { loop { if done() { break; } } }", scoped);
+        assert_eq!(bad_loop.iter().filter(|d| d.rule == Rule::R5).count(), 1);
+        // Reader-position condition is fine.
+        let pos = run(
+            "fn f(b: &[u8]) { let mut pos = 0; while pos < b.len() { pos += 1; } }",
+            scoped,
+        );
+        assert!(pos.iter().all(|d| d.rule != Rule::R5), "{pos:?}");
+        // MAX_* budget in a bare loop's break guard is fine.
+        let budget = run(
+            "fn f() { let mut attempt = 0; loop { attempt += 1; if attempt >= MAX_ATTEMPTS { break; } } }",
+            scoped,
+        );
+        assert!(budget.iter().all(|d| d.rule != Rule::R5), "{budget:?}");
+        // `while let` drains its own expression.
+        let wlet = run(
+            "fn f(mut it: std::vec::IntoIter<u8>) { while let Some(_) = it.next() {} }",
+            scoped,
+        );
+        assert!(wlet.iter().all(|d| d.rule != Rule::R5), "{wlet:?}");
+        // Out of scope: nothing fires.
+        let unscoped = run("fn f(ready: bool) { while !ready {} }", FileClass::default());
+        assert!(unscoped.iter().all(|d| d.rule != Rule::R5));
     }
 
     #[test]

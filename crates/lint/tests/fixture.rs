@@ -13,6 +13,7 @@ fn fixture_diags() -> Vec<mx_lint::Diagnostic> {
         untrusted: true,
         wire_codec: true,
         crate_root: false,
+        bounded_loops: true,
     };
     let (diags, _) = lint_file(root, &path, class).expect("fixture readable");
     diags
@@ -21,7 +22,7 @@ fn fixture_diags() -> Vec<mx_lint::Diagnostic> {
 #[test]
 fn every_rule_fires_on_the_fixture() {
     let diags = fixture_diags();
-    for rule in [Rule::R0, Rule::R1, Rule::R2, Rule::R3, Rule::R6] {
+    for rule in [Rule::R0, Rule::R1, Rule::R2, Rule::R3, Rule::R5, Rule::R6] {
         assert!(
             diags.iter().any(|d| d.rule == rule),
             "{rule} did not fire on the fixture; diagnostics: {diags:#?}"
@@ -38,6 +39,8 @@ fn fixture_counts_are_exact() {
     assert_eq!(count(Rule::R2), 1, "{diags:#?}");
     // Unbounded with_capacity + unbounded recursion.
     assert_eq!(count(Rule::R3), 2, "{diags:#?}");
+    // The unbounded busy-wait.
+    assert_eq!(count(Rule::R5), 1, "{diags:#?}");
     // The deliberately unused allow.
     assert_eq!(count(Rule::R0), 1, "{diags:#?}");
     // The stringly-typed error signature.

@@ -7,13 +7,141 @@
 //! degradations (no valid certificate, no valid banner/EHLO). The fault
 //! plan reproduces these modes deterministically from a seed so each
 //! simulated snapshot has realistic, reproducible holes.
+//!
+//! v2 layers a composable chaos engine on top of the original coarse
+//! modes: keyed DNS faults on the authority path (SERVFAIL, timeout,
+//! truncation), SMTP session faults (mid-session drop after the banner,
+//! EHLO tarpit, TLS handshake failure, garbled banner), and per-IP
+//! flakiness profiles that modulate the transient failure rate. Every
+//! decision is a pure function of `(key, epoch, attempt, seed)` — no
+//! global state, no RNG streams — so a run is bit-identical under
+//! `mx_par` at any thread count, and retries (higher `attempt`) re-draw
+//! the coin instead of replaying the same failure forever.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
 
 use mx_cert::fnv1a;
 
-/// Deterministic per-IP fault configuration.
+/// A fault injected on the DNS authority path as seen by the stub
+/// resolver's transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DnsFault {
+    /// The server answers with rcode SERVFAIL.
+    ServFail,
+    /// The query is dropped; the transport reports a timeout.
+    Timeout,
+    /// The response comes back with the TC bit set and an empty answer
+    /// section (UDP truncation without a TCP fallback path).
+    Truncation,
+}
+
+/// A fault injected into an SMTP session or scan attempt. `Transient`
+/// is the pre-session connect-level coin; the rest corrupt an
+/// established session in a specific, paper-relevant way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScanFault {
+    /// Connect-level transient failure (SYN lost, host briefly down).
+    Transient,
+    /// The server sends its banner and then drops the connection.
+    DropAfterBanner,
+    /// The server tarpits after EHLO: the client gives up with banner
+    /// data only.
+    EhloTarpit,
+    /// STARTTLS is offered but the TLS handshake fails; the captured
+    /// banner/EHLO data is kept as a fallback.
+    TlsHandshake,
+    /// The banner line arrives garbled (non-conforming bytes); no
+    /// usable hostname can be extracted from it.
+    GarbledBanner,
+}
+
+/// Keyed DNS fault rates, each in `[0, 1]`; their sum must be `<= 1`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DnsFaults {
+    /// Probability a query draws a SERVFAIL answer.
+    pub servfail_rate: f64,
+    /// Probability a query is dropped (timeout).
+    pub timeout_rate: f64,
+    /// Probability a response comes back truncated.
+    pub truncation_rate: f64,
+}
+
+impl DnsFaults {
+    /// No DNS faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Total probability mass of any DNS fault.
+    pub fn total(&self) -> f64 {
+        self.servfail_rate + self.timeout_rate + self.truncation_rate
+    }
+}
+
+/// Keyed SMTP session fault rates, each in `[0, 1]`; their sum must be
+/// `<= 1`. Drawn once per established session (a single coin is
+/// partitioned across the variants so at most one fires per attempt).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SmtpFaults {
+    /// Probability the server drops the connection right after its banner.
+    pub drop_after_banner_rate: f64,
+    /// Probability the server tarpits the EHLO exchange.
+    pub ehlo_tarpit_rate: f64,
+    /// Probability the TLS handshake fails after STARTTLS is accepted.
+    pub tls_handshake_rate: f64,
+    /// Probability the banner arrives garbled.
+    pub garbled_banner_rate: f64,
+}
+
+impl SmtpFaults {
+    /// No SMTP session faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Total probability mass of any session fault.
+    pub fn total(&self) -> f64 {
+        self.drop_after_banner_rate
+            + self.ehlo_tarpit_rate
+            + self.tls_handshake_rate
+            + self.garbled_banner_rate
+    }
+}
+
+/// Per-IP transient-failure behaviour overriding the plan-wide
+/// `scan_failure_rate`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FlakinessProfile {
+    /// The IP fails transiently at this fixed rate in every epoch.
+    AlwaysFlaky {
+        /// Per-attempt transient-failure probability.
+        rate: f64,
+    },
+    /// The IP degrades over time: effective rate is
+    /// `min(1, base + per_epoch * epoch)`. Models hosts that rot out of
+    /// the population across the study window.
+    Degrading {
+        /// Failure rate at epoch 0.
+        base: f64,
+        /// Additional failure rate per epoch.
+        per_epoch: f64,
+    },
+}
+
+impl FlakinessProfile {
+    /// Effective transient-failure rate at `epoch`.
+    pub fn rate_at(&self, epoch: u64) -> f64 {
+        match *self {
+            FlakinessProfile::AlwaysFlaky { rate } => rate.clamp(0.0, 1.0),
+            FlakinessProfile::Degrading { base, per_epoch } => {
+                (base + per_epoch * epoch as f64).clamp(0.0, 1.0)
+            }
+        }
+    }
+}
+
+/// Deterministic fault configuration (v2: layered chaos engine).
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
     /// IPs whose owner requested exclusion from scanning: they never appear
@@ -24,8 +152,20 @@ pub struct FaultPlan {
     /// Probability in `[0, 1]` that a given (ip, epoch) scan attempt fails
     /// transiently even though the host is up.
     pub scan_failure_rate: f64,
+    /// Keyed faults on the DNS authority path.
+    pub dns: DnsFaults,
+    /// Keyed SMTP session faults.
+    pub smtp: SmtpFaults,
+    /// Per-IP flakiness overrides for the transient-failure coin.
+    pub ip_profiles: HashMap<Ipv4Addr, FlakinessProfile>,
     /// Seed mixed into every deterministic coin flip.
     pub seed: u64,
+}
+
+/// Mixer folding a retry attempt into a coin's salt so each attempt
+/// re-draws independently (odd multiplier: bijective over u64).
+fn attempt_salt(salt: u64, attempt: u32) -> u64 {
+    salt ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
 impl FaultPlan {
@@ -34,13 +174,36 @@ impl FaultPlan {
         Self::default()
     }
 
-    /// Deterministic uniform draw in [0,1) for a keyed event.
+    /// True when the plan can never inject anything.
+    pub fn is_quiet(&self) -> bool {
+        self.blocked_ips.is_empty()
+            && self.unreachable_ips.is_empty()
+            && self.scan_failure_rate == 0.0
+            && self.dns.total() == 0.0
+            && self.smtp.total() == 0.0
+            && self.ip_profiles.is_empty()
+    }
+
+    /// Deterministic uniform draw in [0,1) for an IP-keyed event.
     fn coin(&self, ip: Ipv4Addr, epoch: u64, salt: u64) -> f64 {
-        let mut key = [0u8; 24];
+        // seed and salt occupy disjoint ranges: 28-byte key
+        // (ip 0..4, epoch 4..12, seed 12..20, salt 20..28).
+        let mut key = [0u8; 28];
         key[..4].copy_from_slice(&ip.octets());
         key[4..12].copy_from_slice(&epoch.to_be_bytes());
         key[12..20].copy_from_slice(&self.seed.to_be_bytes());
-        key[16..24].copy_from_slice(&salt.to_be_bytes());
+        key[20..28].copy_from_slice(&salt.to_be_bytes());
+        (fnv1a(&key) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Deterministic uniform draw in [0,1) for a string-keyed event
+    /// (DNS names on the authority path).
+    fn coin_str(&self, name: &str, epoch: u64, salt: u64) -> f64 {
+        let mut key = Vec::with_capacity(name.len() + 24);
+        key.extend_from_slice(name.as_bytes());
+        key.extend_from_slice(&epoch.to_be_bytes());
+        key.extend_from_slice(&self.seed.to_be_bytes());
+        key.extend_from_slice(&salt.to_be_bytes());
         (fnv1a(&key) >> 11) as f64 / (1u64 << 53) as f64
     }
 
@@ -54,9 +217,69 @@ impl FaultPlan {
         self.unreachable_ips.contains(&ip)
     }
 
+    /// Effective transient-failure rate for `ip` at `epoch`: the
+    /// flakiness profile when one is registered, otherwise the
+    /// plan-wide `scan_failure_rate`.
+    pub fn transient_rate(&self, ip: Ipv4Addr, epoch: u64) -> f64 {
+        match self.ip_profiles.get(&ip) {
+            Some(p) => p.rate_at(epoch),
+            None => self.scan_failure_rate,
+        }
+    }
+
     /// Does the scan of `ip` in scan round `epoch` fail transiently?
+    /// (First attempt; retries should use [`FaultPlan::scan_fails_attempt`].)
     pub fn scan_fails(&self, ip: Ipv4Addr, epoch: u64) -> bool {
-        self.scan_failure_rate > 0.0 && self.coin(ip, epoch, 0xC0FFEE) < self.scan_failure_rate
+        self.scan_fails_attempt(ip, epoch, 0)
+    }
+
+    /// Does scan attempt number `attempt` (0-based) of `ip` in round
+    /// `epoch` fail transiently? Each attempt is an independent draw at
+    /// the same effective rate, so bounded retries can recover.
+    pub fn scan_fails_attempt(&self, ip: Ipv4Addr, epoch: u64, attempt: u32) -> bool {
+        let rate = self.transient_rate(ip, epoch);
+        rate > 0.0 && self.coin(ip, epoch, attempt_salt(0xC0FFEE, attempt)) < rate
+    }
+
+    /// Which DNS fault, if any, hits the query for `qname` in round
+    /// `epoch` on transport attempt `attempt`? One coin partitioned
+    /// across the variants: at most one fault per attempt.
+    pub fn dns_fault(&self, qname: &str, epoch: u64, attempt: u32) -> Option<DnsFault> {
+        if self.dns.total() <= 0.0 {
+            return None;
+        }
+        let draw = self.coin_str(qname, epoch, attempt_salt(0xD0D0_D115, attempt));
+        if draw < self.dns.servfail_rate {
+            Some(DnsFault::ServFail)
+        } else if draw < self.dns.servfail_rate + self.dns.timeout_rate {
+            Some(DnsFault::Timeout)
+        } else if draw < self.dns.total() {
+            Some(DnsFault::Truncation)
+        } else {
+            None
+        }
+    }
+
+    /// Which SMTP session fault, if any, hits the session with `ip` in
+    /// round `epoch` on attempt `attempt`? One coin partitioned across
+    /// the variants: at most one fault per attempt.
+    pub fn smtp_fault(&self, ip: Ipv4Addr, epoch: u64, attempt: u32) -> Option<ScanFault> {
+        if self.smtp.total() <= 0.0 {
+            return None;
+        }
+        let draw = self.coin(ip, epoch, attempt_salt(0x5E55_10F4, attempt));
+        let s = &self.smtp;
+        if draw < s.drop_after_banner_rate {
+            Some(ScanFault::DropAfterBanner)
+        } else if draw < s.drop_after_banner_rate + s.ehlo_tarpit_rate {
+            Some(ScanFault::EhloTarpit)
+        } else if draw < s.drop_after_banner_rate + s.ehlo_tarpit_rate + s.tls_handshake_rate {
+            Some(ScanFault::TlsHandshake)
+        } else if draw < s.total() {
+            Some(ScanFault::GarbledBanner)
+        } else {
+            None
+        }
     }
 }
 
@@ -76,6 +299,8 @@ mod tests {
         assert!(p.is_blocked(ip("192.0.2.1")));
         assert!(!p.is_blocked(ip("192.0.2.2")));
         assert!(p.is_unreachable(ip("192.0.2.2")));
+        assert!(!p.is_quiet());
+        assert!(FaultPlan::none().is_quiet());
     }
 
     #[test]
@@ -133,5 +358,146 @@ mod tests {
             }
         }
         assert!(diff > 100, "only {diff} decisions changed across epochs");
+    }
+
+    /// Regression for the v1 key-overlap bug: seed bytes 12..20 and
+    /// salt bytes 16..24 overlapped, so the salt clobbered the low half
+    /// of the seed. Two seeds sharing a high half but differing in the
+    /// low half must produce different draw sets.
+    #[test]
+    fn seeds_differing_only_in_low_half_produce_different_draws() {
+        let mk = |seed: u64| FaultPlan {
+            scan_failure_rate: 0.5,
+            seed,
+            ..FaultPlan::none()
+        };
+        // Same high 32 bits, different low 32 bits: under the buggy
+        // 24-byte key these were indistinguishable for every salted coin.
+        let a = mk(0x1234_5678_0000_0001);
+        let b = mk(0x1234_5678_0000_0002);
+        let mut diff = 0;
+        for i in 0..1000u32 {
+            let addr = Ipv4Addr::from(0x0c00_0000 + i);
+            if a.scan_fails(addr, 0) != b.scan_fails(addr, 0) {
+                diff += 1;
+            }
+        }
+        assert!(diff > 100, "only {diff} decisions changed between seeds");
+    }
+
+    #[test]
+    fn attempts_redraw_independently() {
+        let p = FaultPlan {
+            scan_failure_rate: 0.5,
+            seed: 3,
+            ..FaultPlan::none()
+        };
+        // With three attempts at rate 0.5, nearly all IPs should see at
+        // least one success and at least one failure somewhere.
+        let mut recovered = 0;
+        let mut failed_once = 0;
+        for i in 0..1000u32 {
+            let addr = Ipv4Addr::from(0x0d00_0000 + i);
+            let fails: Vec<bool> = (0..3).map(|a| p.scan_fails_attempt(addr, 0, a)).collect();
+            if fails[0] {
+                failed_once += 1;
+                if !fails.iter().all(|&f| f) {
+                    recovered += 1;
+                }
+            }
+        }
+        assert!(failed_once > 300, "first-attempt failures: {failed_once}");
+        // P(recover | first failed) = 1 - 0.25 = 0.75.
+        assert!(
+            recovered as f64 / failed_once as f64 > 0.6,
+            "{recovered}/{failed_once} recovered"
+        );
+    }
+
+    #[test]
+    fn dns_fault_partition_and_determinism() {
+        let p = FaultPlan {
+            dns: DnsFaults {
+                servfail_rate: 0.2,
+                timeout_rate: 0.2,
+                truncation_rate: 0.2,
+            },
+            seed: 9,
+            ..FaultPlan::none()
+        };
+        let mut counts = HashMap::new();
+        for i in 0..3000 {
+            let name = format!("mx{i}.example.com");
+            let f = p.dns_fault(&name, 0, 0);
+            assert_eq!(f, p.dns_fault(&name, 0, 0), "non-deterministic draw");
+            *counts.entry(f).or_insert(0usize) += 1;
+        }
+        // Each bucket should land near rate 0.2 of 3000 = 600.
+        for fault in [DnsFault::ServFail, DnsFault::Timeout, DnsFault::Truncation] {
+            let n = counts.get(&Some(fault)).copied().unwrap_or(0);
+            assert!((400..800).contains(&n), "{fault:?}: {n}");
+        }
+        let clean = counts.get(&None).copied().unwrap_or(0);
+        assert!((1000..1400).contains(&clean), "clean: {clean}");
+        // Quiet plan never faults.
+        assert_eq!(FaultPlan::none().dns_fault("a.example", 0, 0), None);
+    }
+
+    #[test]
+    fn smtp_fault_partition() {
+        let p = FaultPlan {
+            smtp: SmtpFaults {
+                drop_after_banner_rate: 0.1,
+                ehlo_tarpit_rate: 0.1,
+                tls_handshake_rate: 0.1,
+                garbled_banner_rate: 0.1,
+            },
+            seed: 11,
+            ..FaultPlan::none()
+        };
+        let mut counts = HashMap::new();
+        for i in 0..4000u32 {
+            let addr = Ipv4Addr::from(0x0e00_0000 + i);
+            *counts.entry(p.smtp_fault(addr, 2, 0)).or_insert(0usize) += 1;
+        }
+        for fault in [
+            ScanFault::DropAfterBanner,
+            ScanFault::EhloTarpit,
+            ScanFault::TlsHandshake,
+            ScanFault::GarbledBanner,
+        ] {
+            let n = counts.get(&Some(fault)).copied().unwrap_or(0);
+            assert!((250..550).contains(&n), "{fault:?}: {n}");
+        }
+        assert_eq!(FaultPlan::none().smtp_fault(ip("10.1.1.1"), 0, 0), None);
+    }
+
+    #[test]
+    fn flakiness_profiles_override_plan_rate() {
+        let mut p = FaultPlan {
+            scan_failure_rate: 0.0,
+            seed: 5,
+            ..FaultPlan::none()
+        };
+        p.ip_profiles
+            .insert(ip("10.9.9.9"), FlakinessProfile::AlwaysFlaky { rate: 1.0 });
+        p.ip_profiles.insert(
+            ip("10.9.9.10"),
+            FlakinessProfile::Degrading {
+                base: 0.0,
+                per_epoch: 0.5,
+            },
+        );
+        // AlwaysFlaky at rate 1.0 fails every attempt in every epoch.
+        for attempt in 0..4 {
+            assert!(p.scan_fails_attempt(ip("10.9.9.9"), 0, attempt));
+            assert!(p.scan_fails_attempt(ip("10.9.9.9"), 7, attempt));
+        }
+        // Degrading: rate 0 at epoch 0, rate 1 from epoch 2 on.
+        assert!(!p.scan_fails(ip("10.9.9.10"), 0));
+        assert!(p.scan_fails(ip("10.9.9.10"), 2));
+        assert_eq!(p.transient_rate(ip("10.9.9.10"), 1), 0.5);
+        // Unprofiled IPs keep the plan-wide rate (zero here).
+        assert!(!p.scan_fails(ip("10.0.0.1"), 0));
     }
 }

@@ -81,6 +81,18 @@ impl MxMeasurement {
     }
 }
 
+/// How a domain's DNS measurement degraded: retry cost and, when the
+/// lookup ultimately failed, the terminal error.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DnsDegradation {
+    /// Extra transport attempts (retries) across the domain's lookups.
+    pub retries: u32,
+    /// Some lookup ultimately failed despite the retry budget.
+    pub exhausted: bool,
+    /// The terminal error of the first failing lookup, when any.
+    pub error: Option<ResolveError>,
+}
+
 /// One day's DNS measurement over a target list.
 #[derive(Debug, Clone)]
 pub struct DnsSnapshot {
@@ -88,6 +100,8 @@ pub struct DnsSnapshot {
     pub date: Timestamp,
     /// Per-domain results, in domain order.
     pub rows: BTreeMap<Name, MxMeasurement>,
+    /// Domains whose measurement needed retries or lost data to faults.
+    pub degraded: BTreeMap<Name, DnsDegradation>,
 }
 
 impl DnsSnapshot {
@@ -117,21 +131,56 @@ impl DnsSnapshot {
 pub fn measure(net: &SimNet, domains: &[Name]) -> DnsSnapshot {
     let resolver = net.resolver();
     let mut rows = BTreeMap::new();
+    let mut degraded = BTreeMap::new();
     for domain in domains {
         let row = match resolver.resolve_mx(domain) {
-            Ok(mx) if mx.targets.is_empty() && !mx.null_mx => MxMeasurement::NoMx,
-            Ok(mx) => MxMeasurement::Records {
-                targets: mx.targets.into_iter().map(Into::into).collect(),
-                null_mx: mx.null_mx,
-            },
-            Err(ResolveError::NxDomain(_)) => MxMeasurement::NoMx,
-            Err(e) => MxMeasurement::Error(e.to_string()),
+            Ok(mx) => {
+                if !mx.degraded.is_empty() {
+                    let retries = mx.degraded.iter().map(|d| d.retries).sum();
+                    let error = mx.degraded.iter().find_map(|d| d.error.clone());
+                    degraded.insert(
+                        domain.clone(),
+                        DnsDegradation {
+                            retries,
+                            exhausted: error.is_some(),
+                            error,
+                        },
+                    );
+                }
+                if mx.targets.is_empty() && !mx.null_mx {
+                    MxMeasurement::NoMx
+                } else {
+                    MxMeasurement::Records {
+                        targets: mx.targets.into_iter().map(Into::into).collect(),
+                        null_mx: mx.null_mx,
+                    }
+                }
+            }
+            Err(e) => {
+                let retries = resolver.last_lookup_retries();
+                let row = match &e {
+                    ResolveError::NxDomain(_) => MxMeasurement::NoMx,
+                    other => MxMeasurement::Error(other.to_string()),
+                };
+                if retries > 0 || !matches!(e, ResolveError::NxDomain(_)) {
+                    degraded.insert(
+                        domain.clone(),
+                        DnsDegradation {
+                            retries,
+                            exhausted: !matches!(e, ResolveError::NxDomain(_)),
+                            error: Some(e),
+                        },
+                    );
+                }
+                row
+            }
         };
         rows.insert(domain.clone(), row);
     }
     DnsSnapshot {
         date: net.clock().now(),
         rows,
+        degraded,
     }
 }
 
@@ -227,6 +276,49 @@ mod tests {
         let d = &snap.rows[&dns_name!("dangling.com")];
         assert_eq!(d.targets().len(), 1);
         assert!(d.targets()[0].addrs.is_empty());
+    }
+
+    #[test]
+    fn degradation_recorded_under_dns_faults() {
+        let clock = SimClock::starting_at(Timestamp::from_ymd(2021, 6, 8));
+        let mut b = SimNet::builder(clock);
+        let mut z = Zone::new(dns_name!("example.com"));
+        for i in 0..30u32 {
+            let host = dns_name!(&format!("mx{i}.example.com"));
+            z.add_rr(
+                dns_name!(&format!("d{i}.example.com")),
+                3600,
+                RData::Mx {
+                    preference: 10,
+                    exchange: host.clone(),
+                },
+            );
+            z.add_rr(host, 300, RData::A(ip("192.0.2.1")));
+        }
+        b.zone(z);
+        let mut faults = crate::fault::FaultPlan::none();
+        faults.dns.timeout_rate = 0.3;
+        faults.seed = 19;
+        b.faults(faults);
+        let net = b.build();
+        let domains: Vec<Name> = (0..30)
+            .map(|i| dns_name!(&format!("d{i}.example.com")))
+            .collect();
+        let snap = measure(&net, &domains);
+        assert_eq!(snap.rows.len(), 30);
+        assert!(!snap.degraded.is_empty(), "timeouts must leave traces");
+        let recovered = snap
+            .degraded
+            .values()
+            .filter(|d| d.retries > 0 && !d.exhausted)
+            .count();
+        assert!(recovered > 0, "some lookups must recover on retry");
+        // Every degraded-but-recovered domain still has its records.
+        for (name, d) in &snap.degraded {
+            if !d.exhausted {
+                assert!(snap.rows[name].has_mx(), "{name} lost data despite recovery");
+            }
+        }
     }
 
     #[test]

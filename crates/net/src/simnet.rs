@@ -9,7 +9,7 @@ use mx_dns::resolver::{ResolveError, Transport};
 use mx_dns::{Authority, Message, Name, SimClock, StubResolver, Zone};
 use mx_smtp::{Connection, SmtpServer, SmtpServerConfig};
 
-use crate::fault::FaultPlan;
+use crate::fault::{DnsFault, FaultPlan};
 
 /// Why an SMTP connection attempt failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -82,6 +82,12 @@ impl SimNet {
         &self.faults
     }
 
+    /// Replace the fault plan (chaos experiments re-run one built world
+    /// under several plans).
+    pub fn set_faults(&mut self, faults: FaultPlan) {
+        self.faults = faults;
+    }
+
     /// The address of the recursive resolver serving this network.
     pub fn resolver_ip(&self) -> Ipv4Addr {
         self.resolver_ip
@@ -136,10 +142,44 @@ impl SimNet {
 
 impl Transport for SimNet {
     fn query(&self, server: Ipv4Addr, query: &Message) -> Result<Message, ResolveError> {
+        self.query_attempt(server, query, 0)
+    }
+
+    fn query_attempt(
+        &self,
+        server: Ipv4Addr,
+        query: &Message,
+        attempt: u32,
+    ) -> Result<Message, ResolveError> {
         if server != self.resolver_ip {
             return Err(ResolveError::Network(format!(
                 "no DNS service at {server}"
             )));
+        }
+        // Keyed chaos on the authority path: the fault is a pure
+        // function of (qname, day, attempt, seed), so runs are
+        // reproducible and retries draw independent coins.
+        if let Some(q) = query.question() {
+            let day = self.clock.now().secs() / 86_400;
+            match self.faults.dns_fault(&q.name.to_string(), day, attempt) {
+                Some(DnsFault::Timeout) => {
+                    return Err(ResolveError::Network(format!(
+                        "query for {} timed out",
+                        q.name
+                    )));
+                }
+                Some(DnsFault::ServFail) => {
+                    let mut resp = query.response();
+                    resp.header.rcode = mx_dns::Rcode::ServFail;
+                    return Ok(resp);
+                }
+                Some(DnsFault::Truncation) => {
+                    let mut resp = query.response();
+                    resp.header.tc = true;
+                    return Ok(resp);
+                }
+                None => {}
+            }
         }
         // Exercise the real wire codec both ways, as a network would.
         let bytes = query
@@ -315,6 +355,87 @@ mod tests {
             net.connect_smtp(ip("192.0.2.25")).unwrap_err(),
             ConnectError::Unreachable(ip("192.0.2.25"))
         );
+    }
+
+    #[test]
+    fn connect_error_display() {
+        assert_eq!(
+            ConnectError::NoRoute(ip("203.0.113.1")).to_string(),
+            "no route to 203.0.113.1"
+        );
+        assert_eq!(
+            ConnectError::Unreachable(ip("203.0.113.2")).to_string(),
+            "203.0.113.2 unreachable"
+        );
+        assert_eq!(
+            ConnectError::PortClosed(ip("203.0.113.3")).to_string(),
+            "connection refused by 203.0.113.3:25"
+        );
+    }
+
+    #[test]
+    fn dns_faults_are_retried_transparently() {
+        // Rates low enough that MAX_DNS_ATTEMPTS nearly always recovers:
+        // the resolution still succeeds, stats show the retries.
+        let clock = SimClock::new();
+        let mut b = SimNet::builder(clock);
+        let mut z = Zone::new(dns_name!("example.com"));
+        for i in 0..40u32 {
+            let host = dns_name!(&format!("mx{i}.example.com"));
+            z.add_rr(
+                dns_name!("example.com"),
+                3600,
+                RData::Mx {
+                    preference: 10,
+                    exchange: host.clone(),
+                },
+            );
+            z.add_rr(host, 300, RData::A(Ipv4Addr::from(0xc000_0200 + i)));
+        }
+        b.zone(z);
+        let mut faults = FaultPlan::none();
+        faults.dns.servfail_rate = 0.15;
+        faults.dns.timeout_rate = 0.15;
+        faults.dns.truncation_rate = 0.1;
+        faults.seed = 13;
+        b.faults(faults);
+        let net = b.build();
+        let r = net.resolver();
+        let mx = r.resolve_mx(&dns_name!("example.com")).unwrap();
+        assert_eq!(mx.targets.len(), 40);
+        let resolved = mx.targets.iter().filter(|t| !t.addrs.is_empty()).count();
+        assert!(resolved > 35, "resolved {resolved}/40");
+        let s = r.stats();
+        assert!(s.retries > 0, "fault rates must trigger retries");
+        // Retry cost was charged to the simulated clock.
+        assert!(net.clock().charged() > 0);
+    }
+
+    #[test]
+    fn dns_fault_injection_is_deterministic() {
+        let mk = || {
+            let clock = SimClock::new();
+            let mut b = SimNet::builder(clock);
+            let mut z = Zone::new(dns_name!("example.com"));
+            z.add_rr(
+                dns_name!("example.com"),
+                3600,
+                RData::Mx {
+                    preference: 10,
+                    exchange: dns_name!("mx.example.com"),
+                },
+            );
+            z.add_rr(dns_name!("mx.example.com"), 300, RData::A(ip("192.0.2.25")));
+            b.zone(z);
+            let mut faults = FaultPlan::none();
+            faults.dns.timeout_rate = 0.5;
+            faults.seed = 77;
+            b.faults(faults);
+            b.build()
+        };
+        let a = mk().resolver().resolve_mx(&dns_name!("example.com"));
+        let b = mk().resolver().resolve_mx(&dns_name!("example.com"));
+        assert_eq!(a, b, "same seed, same world, same outcome");
     }
 
     #[test]

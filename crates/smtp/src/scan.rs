@@ -3,13 +3,30 @@
 
 use mx_cert::Certificate;
 
+/// Why a STARTTLS upgrade failed after being offered. Distinguishing
+/// these matters for degradation accounting: a refusal is server policy
+/// (stable across retries), a handshake failure may be transient.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StartTlsFailure {
+    /// The server answered STARTTLS with a refusal reply (454 or similar).
+    Refused,
+    /// STARTTLS was accepted but the TLS handshake itself failed.
+    Handshake,
+    /// The connection died during the upgrade exchange.
+    Transport,
+}
+
 /// Outcome of the STARTTLS attempt during a scan.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StartTlsOutcome {
     /// Not advertised in EHLO.
     NotOffered,
-    /// Advertised but the upgrade was refused (454) or handshake failed.
-    Failed,
+    /// Advertised but the upgrade did not complete; the captured
+    /// banner/EHLO data is retained as a fallback.
+    Failed {
+        /// How the upgrade failed.
+        reason: StartTlsFailure,
+    },
     /// Completed; the presented chain, leaf first.
     Completed {
         /// The certificate chain the server presented.

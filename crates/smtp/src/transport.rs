@@ -204,6 +204,15 @@ mod tests {
     }
 
     #[test]
+    fn line_error_display() {
+        assert_eq!(LineError::Closed.to_string(), "connection closed");
+        assert_eq!(
+            LineError::WouldBlock.to_string(),
+            "no complete line buffered"
+        );
+    }
+
+    #[test]
     fn write_after_close_errors() {
         let mut c = Connection::open(server());
         c.read_reply().unwrap();

@@ -21,6 +21,9 @@ cargo run --quiet --release -p mx-lint
 echo "==> parallel determinism (tests/par_determinism.rs)"
 cargo test --release --test par_determinism -q
 
+echo "==> chaos gate (tests/chaos_gate.rs)"
+cargo test --release --test chaos_gate -q
+
 echo "==> bench smoke (threads 1 vs 2 must agree)"
 # MX_THREADS exercises the env-var configuration path; the binary's
 # install() overrides still pin each timed run's width.

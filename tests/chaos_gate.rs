@@ -1,0 +1,129 @@
+//! Chaos differential gate: the full measurement + inference stack must
+//! survive any fault plan without panicking, produce bit-identical
+//! output at any thread count under chaos, behave exactly like a
+//! fault-free run when every rate is zero, and degrade monotonically
+//! (more chaos never yields *more* complete data).
+
+use mx_analysis::observe::{observe_world, SnapshotData};
+use mx_analysis::coverage;
+use mx_corpus::{ScenarioConfig, Study};
+use mx_infer::{InferenceResult, Pipeline};
+use mx_net::{DnsFaults, FaultPlan, SmtpFaults};
+
+const SEEDS: &[u64] = &[1, 7, 42];
+const RATES: &[f64] = &[0.0, 0.1, 0.3, 0.6];
+
+fn snapshot_index() -> usize {
+    mx_corpus::SNAPSHOT_DATES.len() - 1
+}
+
+/// A chaos plan: the total fault mass `rate` spread across the DNS,
+/// connect and SMTP-session layers. At `rate == 0` this is exactly a
+/// quiet plan.
+fn chaos_plan(rate: f64, seed: u64) -> FaultPlan {
+    let mut plan = FaultPlan::none();
+    plan.seed = seed;
+    plan.scan_failure_rate = rate / 2.0;
+    plan.dns = DnsFaults {
+        servfail_rate: rate / 6.0,
+        timeout_rate: rate / 6.0,
+        truncation_rate: rate / 12.0,
+    };
+    plan.smtp = SmtpFaults {
+        drop_after_banner_rate: rate / 8.0,
+        ehlo_tarpit_rate: rate / 8.0,
+        tls_handshake_rate: rate / 8.0,
+        garbled_banner_rate: rate / 8.0,
+    };
+    plan
+}
+
+fn run_stack(study: &Study, plan: FaultPlan) -> (SnapshotData, Vec<InferenceResult>) {
+    let mut world = study.world_at(snapshot_index());
+    world.net.set_faults(plan);
+    let data = observe_world(&world);
+    let pipeline = Pipeline::priority_based(mx_corpus::provider_knowledge(10));
+    let results = data
+        .per_dataset
+        .iter()
+        .map(|(_, obs)| pipeline.run(obs))
+        .collect();
+    (data, results)
+}
+
+fn assert_same_data(a: &SnapshotData, b: &SnapshotData, ctx: &str) {
+    assert_eq!(a.per_dataset.len(), b.per_dataset.len(), "{ctx}: dataset count");
+    for ((da, oa), (db, ob)) in a.per_dataset.iter().zip(&b.per_dataset) {
+        assert_eq!(da, db, "{ctx}: dataset order");
+        assert_eq!(oa.domains, ob.domains, "{ctx}: {da:?} domain observations");
+        assert_eq!(oa.ips, ob.ips, "{ctx}: {da:?} ip observations");
+        assert_eq!(
+            oa.acquisition, ob.acquisition,
+            "{ctx}: {da:?} acquisition accounting"
+        );
+    }
+}
+
+#[test]
+fn chaos_rates_are_thread_count_invariant_and_converge() {
+    for &seed in SEEDS {
+        let study = Study::generate(ScenarioConfig::small(seed));
+        let mut complete_at_zero = None;
+        for &rate in RATES {
+            let plan = chaos_plan(rate, seed);
+            let ctx = format!("seed {seed}, rate {rate}");
+            let (serial, serial_results) =
+                mx_par::install(1, || run_stack(&study, plan.clone()));
+            let (parallel, parallel_results) =
+                mx_par::install(8, || run_stack(&study, plan.clone()));
+            assert_same_data(&serial, &parallel, &ctx);
+            assert_eq!(
+                serial_results.len(),
+                parallel_results.len(),
+                "{ctx}: result count"
+            );
+            for (a, b) in serial_results.iter().zip(&parallel_results) {
+                assert_eq!(a.domains, b.domains, "{ctx}: domain assignments");
+                assert_eq!(a.mx_assignments, b.mx_assignments, "{ctx}: mx assignments");
+            }
+            // Monotone degradation: chaos can only lose data, never
+            // conjure complete observations out of thin air.
+            let complete: usize = serial
+                .per_dataset
+                .iter()
+                .map(|(_, obs)| {
+                    coverage::breakdown(obs).count(coverage::CoverageCategory::Complete)
+                })
+                .sum();
+            match complete_at_zero {
+                None => complete_at_zero = Some(complete),
+                Some(base) => assert!(
+                    complete <= base,
+                    "{ctx}: {complete} complete domains under chaos vs {base} clean"
+                ),
+            }
+            // Under injected chaos the accounting must show its work.
+            if rate > 0.0 {
+                let recovered: usize = serial
+                    .per_dataset
+                    .iter()
+                    .map(|(_, obs)| obs.acquisition.recovered_ips())
+                    .sum();
+                assert!(recovered > 0, "{ctx}: retries healed nothing");
+            }
+        }
+    }
+}
+
+#[test]
+fn zero_rate_chaos_is_byte_identical_to_quiet_plan() {
+    let study = Study::generate(ScenarioConfig::small(7));
+    // Different seeds on purpose: with every rate at zero the seed must
+    // not be able to influence anything.
+    let (chaos, chaos_results) = run_stack(&study, chaos_plan(0.0, 0xDEAD_BEEF));
+    let (quiet, quiet_results) = run_stack(&study, FaultPlan::none());
+    assert_same_data(&chaos, &quiet, "rate 0 vs quiet");
+    for (a, b) in chaos_results.iter().zip(&quiet_results) {
+        assert_eq!(a.domains, b.domains, "rate 0 vs quiet: assignments");
+    }
+}
