@@ -144,6 +144,7 @@ pub fn classify(obs: &ObservationSet, d: &DomainObservation) -> CoverageCategory
 
 /// Classify every domain of a dataset snapshot.
 pub fn breakdown(obs: &ObservationSet) -> CoverageBreakdown {
+    let _obs_run = mx_obs::stage!(mx_obs::names::STAGE_REPORT_COVERAGE).enter();
     let mut counts: Vec<(CoverageCategory, usize)> = CoverageCategory::ALL
         .iter()
         .map(|c| (*c, 0usize))

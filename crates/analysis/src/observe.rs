@@ -65,10 +65,16 @@ fn scan_fault_to_acq(f: ScanFault) -> AcqFault {
 
 /// [`observe_world`] with explicit configuration.
 pub fn observe_world_with(world: &World, cfg: &ObserveConfig) -> SnapshotData {
+    let _obs_run = mx_obs::stage!(mx_obs::names::STAGE_OBSERVE).enter();
     let scanner = Scanner::new();
     let epoch = world.snapshot as u64;
 
     // 1. DNS measurement per dataset (OpenINTEL).
+    let _s_resolve = mx_obs::stage!(
+        mx_obs::names::STAGE_OBSERVE_RESOLVE,
+        mx_obs::names::STAGE_OBSERVE
+    )
+    .enter();
     let dns_per_dataset: Vec<(Dataset, openintel::DnsSnapshot)> =
         mx_par::par_map(&world.targets, |(ds, names)| {
             (*ds, openintel::measure(&world.net, names))
@@ -79,13 +85,20 @@ pub fn observe_world_with(world: &World, cfg: &ObserveConfig) -> SnapshotData {
     }
     all_ips.sort();
     all_ips.dedup();
+    drop(_s_resolve);
 
     // 2. Port-25 scan of every MX IP (Censys).
+    let _s_scan = mx_obs::stage!(
+        mx_obs::names::STAGE_OBSERVE_SCAN,
+        mx_obs::names::STAGE_OBSERVE
+    )
+    .enter();
     let scan = if cfg.scan_width == 0 {
         scanner.scan(&world.net, &all_ips, epoch)
     } else {
         scanner.scan_window(&world.net, &all_ips, epoch, cfg.scan_width)
     };
+    drop(_s_scan);
 
     // Per-IP acquisition accounting: cost and degradation behind each row.
     let acq_by_ip: HashMap<Ipv4Addr, IpAcquisition> = all_ips
@@ -130,6 +143,11 @@ pub fn observe_world_with(world: &World, cfg: &ObserveConfig) -> SnapshotData {
         .collect();
 
     // 3. Join: per-IP observation with ASN + cert validation.
+    let _s_join = mx_obs::stage!(
+        mx_obs::names::STAGE_OBSERVE_JOIN,
+        mx_obs::names::STAGE_OBSERVE
+    )
+    .enter();
     let now = world.net.clock().now();
     let ip_obs: HashMap<Ipv4Addr, IpObservation> = mx_par::par_map(&all_ips, |&ip| {
         let asn = world.net.asn_of(ip);
@@ -163,8 +181,14 @@ pub fn observe_world_with(world: &World, cfg: &ObserveConfig) -> SnapshotData {
     })
     .into_iter()
     .collect();
+    drop(_s_join);
 
     // 4. Assemble per-dataset observation sets (sharing the IP view).
+    let _s_assemble = mx_obs::stage!(
+        mx_obs::names::STAGE_OBSERVE_ASSEMBLE,
+        mx_obs::names::STAGE_OBSERVE
+    )
+    .enter();
     let per_dataset = mx_par::par_map(&dns_per_dataset, |(ds, snap)| {
             let domains: Vec<DomainObservation> = snap
                 .rows

@@ -11,6 +11,12 @@
 //!   `results/BENCH_pipeline.json` next to the other exporters.
 //! - `--smoke`: small scale, threads {1, 2}, no JSON — the cheap CI
 //!   gate. Exits non-zero if any parallel run diverges from serial.
+//! - `--obs [--obs-out PATH]`: small scale; times the measured stack
+//!   (observe + infer) with the obs layer disabled and enabled to bound
+//!   the instrumentation overhead, writes `results/BENCH_obs.json`, and
+//!   exports a schema-validated deterministic obs snapshot to PATH
+//!   (default `results/OBS_pipeline.json`). Two runs of this mode must
+//!   produce byte-identical snapshots — CI `cmp`s them.
 
 use std::time::Instant;
 
@@ -39,8 +45,101 @@ fn same(a: &InferenceResult, b: &InferenceResult) -> bool {
         && a.misid.corrections == b.misid.corrections
 }
 
+/// One full measured run: observe the world, infer every dataset. This
+/// is the exact path the obs layer instruments (dns, scan, smtp, infer
+/// stages), so timing it with obs off vs on bounds the overhead of the
+/// instrumentation itself.
+fn run_measured_stack(world: &mx_corpus::World, pipeline: &Pipeline) -> usize {
+    let data = observe_world(world);
+    let mut domains = 0;
+    for (_, obs) in &data.per_dataset {
+        let result = pipeline.run(obs);
+        domains += result.domains.len();
+    }
+    domains
+}
+
+/// `--obs` mode: overhead bound + deterministic snapshot export.
+fn obs_mode(obs_out: &str) -> i32 {
+    let config = ScenarioConfig::small(42);
+    let study = mx_par::install(1, || Study::generate(config));
+    let k = mx_corpus::SNAPSHOT_DATES.len() - 1;
+    let world = study.world_at(k);
+    let pipeline = Pipeline::priority_based(provider_knowledge(10));
+
+    let time_stack = |label: &str| -> f64 {
+        let mut best_ms = f64::INFINITY;
+        let mut domains = 0;
+        for _ in 0..REPS {
+            let t = Instant::now();
+            domains = mx_par::install(2, || run_measured_stack(&world, &pipeline));
+            best_ms = best_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        }
+        eprintln!("  {label}: {best_ms:.1} ms ({domains} domains inferred)");
+        best_ms
+    };
+
+    // Warm-up pass so the obs-off block (which runs first) is not
+    // charged for cold caches and lazy allocator state.
+    mx_obs::set_enabled(false);
+    mx_par::install(2, || run_measured_stack(&world, &pipeline));
+    let off_ms = time_stack("obs off");
+    mx_obs::set_enabled(true);
+    mx_obs::reset();
+    let on_ms = time_stack("obs on ");
+    let overhead_pct = (on_ms - off_ms) / off_ms * 100.0;
+    eprintln!("bench_pipeline: obs overhead {overhead_pct:+.1}% (min-of-{REPS} each)");
+
+    // The snapshot itself comes from one clean bracketed run, not the
+    // timing loop, so its counters describe exactly one execution.
+    mx_obs::reset();
+    mx_par::install(2, || run_measured_stack(&world, &pipeline));
+    let snapshot = mx_obs::export::Snapshot::capture();
+    let json = snapshot.deterministic_json();
+    if let Err(e) = mx_obs::export::validate_snapshot(&json) {
+        eprintln!("bench_pipeline: FAIL — snapshot does not validate: {e}");
+        return 1;
+    }
+    mx_obs::set_enabled(false);
+
+    std::fs::create_dir_all("results").ok();
+    if let Some(dir) = std::path::Path::new(obs_out).parent() {
+        std::fs::create_dir_all(dir).ok();
+    }
+    std::fs::write(obs_out, &json).expect("write obs snapshot");
+    eprintln!("bench_pipeline: wrote {obs_out}");
+
+    let out = obj! {
+        "benchmark" => "obs_overhead",
+        "scale" => "small(42)",
+        "threads" => 2u64,
+        "reps_per_point" => REPS as u64,
+        "obs_off_ms" => off_ms,
+        "obs_on_ms" => on_ms,
+        "overhead_pct" => overhead_pct,
+        "snapshot" => obs_out,
+        "note" => "measured stack = observe_world + Pipeline::run per dataset; \
+                   min-of-reps timing, so negative overhead is host noise",
+    };
+    std::fs::write("results/BENCH_obs.json", out.to_string_pretty())
+        .expect("write results/BENCH_obs.json");
+    eprintln!("bench_pipeline: wrote results/BENCH_obs.json");
+    0
+}
+
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--obs") {
+        let obs_out = args
+            .iter()
+            .position(|a| a == "--obs-out")
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+            .unwrap_or("results/OBS_pipeline.json")
+            .to_string();
+        std::process::exit(obs_mode(&obs_out));
+    }
+    let smoke = args.iter().any(|a| a == "--smoke");
     let config = if smoke {
         ScenarioConfig::small(42)
     } else {

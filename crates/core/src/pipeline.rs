@@ -140,15 +140,25 @@ impl Pipeline {
 
     /// Run the pipeline over an observation set.
     pub fn run(&self, obs: &ObservationSet) -> InferenceResult {
+        let _obs_run = mx_obs::stage!(mx_obs::names::STAGE_INFER).enter();
+
         // Step 1: certificate preprocessing (skipped unless certs used).
         let cert_groups = if self.strategy.use_certs() {
+            let _s = mx_obs::stage!(
+                mx_obs::names::STAGE_INFER_CERTGROUP,
+                mx_obs::names::STAGE_INFER
+            )
+            .enter();
             certgroup::preprocess(obs, &self.psl)
         } else {
             CertGroups::default()
         };
 
         // Step 2: per-IP IDs, masked by strategy.
+        let _s_ipid =
+            mx_obs::stage!(mx_obs::names::STAGE_INFER_IPID, mx_obs::names::STAGE_INFER).enter();
         let mut ip_ids = ipid::compute_ip_ids(obs, &cert_groups, &self.psl);
+        drop(_s_ipid);
         if !self.strategy.use_certs() {
             for ids in ip_ids.values_mut() {
                 ids.from_cert = None;
@@ -163,6 +173,8 @@ impl Pipeline {
         // Step 3: per-MX provider IDs. Dedup to distinct exchanges first
         // (keeping the first-seen addrs, as the serial entry API did),
         // then assign each exchange independently in parallel.
+        let _s_mxid =
+            mx_obs::stage!(mx_obs::names::STAGE_INFER_MXID, mx_obs::names::STAGE_INFER).enter();
         let mut distinct: Vec<&crate::input::MxTargetObs> = Vec::new();
         let mut seen: std::collections::HashSet<&Name> = std::collections::HashSet::new();
         for d in &obs.domains {
@@ -189,15 +201,26 @@ impl Pipeline {
             })
             .into_iter()
             .collect();
+        drop(_s_mxid);
 
         // Step 4: misidentification check.
         let misid = if self.strategy.check_misid() {
+            let _s = mx_obs::stage!(
+                mx_obs::names::STAGE_INFER_MISID,
+                mx_obs::names::STAGE_INFER
+            )
+            .enter();
             misid::check(&mut mx_assignments, obs, &self.knowledge, &self.psl)
         } else {
             MisidReport::default()
         };
 
         // Step 5: domain attribution, one independent task per domain.
+        let _s_domainid = mx_obs::stage!(
+            mx_obs::names::STAGE_INFER_DOMAINID,
+            mx_obs::names::STAGE_INFER
+        )
+        .enter();
         let domains = mx_par::par_map(&obs.domains, |d| {
             (
                 d.domain.clone(),

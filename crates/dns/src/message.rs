@@ -382,7 +382,7 @@ fn decode_record(r: &mut WireReader<'_>) -> Result<Record, WireError> {
     let ttl = r.get_u32()?;
     let declared = r.get_u16()?;
     let rdlen = usize::from(declared);
-    let end = r.pos() + rdlen;
+    let end = r.pos().checked_add(rdlen).ok_or(WireError::Truncated)?;
     let rdata = match rtype {
         RecordType::A => RData::A(r.get_ipv4()?),
         RecordType::Aaaa => RData::Aaaa(r.get_ipv6()?),

@@ -219,10 +219,10 @@ impl PartialOrd for Name {
 
 /// Convenience: `name!("example.com")`-style construction in tests and
 /// generators; panics on invalid input.
+// lint:allow-next-fn(R1): literal-construction macro; panicking on a bad compile-time literal is the contract
 #[macro_export]
 macro_rules! dns_name {
     ($s:expr) => {
-        // lint:allow(R1): literal-construction macro; panicking on a bad compile-time literal is the contract
         $crate::Name::parse($s).expect("valid DNS name literal")
     };
 }

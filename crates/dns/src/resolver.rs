@@ -276,10 +276,12 @@ impl<T: Transport> StubResolver<T> {
             match entry {
                 CacheEntry::Positive { records, expires } if *expires > now => {
                     self.stats.borrow_mut().cache_hits += 1;
+                    mx_obs::counter!(mx_obs::names::DNS_CACHE_HITS).incr();
                     return Ok(records.clone());
                 }
                 CacheEntry::Negative { rcode, expires } if *expires > now => {
                     self.stats.borrow_mut().negative_hits += 1;
+                    mx_obs::counter!(mx_obs::names::DNS_CACHE_NEGATIVE_HITS).incr();
                     return match rcode {
                         Rcode::NxDomain => Err(ResolveError::NxDomain(name.clone())),
                         _ => Ok(Vec::new()), // cached NODATA
@@ -295,11 +297,20 @@ impl<T: Transport> StubResolver<T> {
                 // Deterministic exponential backoff, charged as simulated
                 // cost (never advances `now`, so TTLs stay stable within
                 // a round).
-                self.clock.charge(DNS_BACKOFF_SECS << (attempt - 1));
+                let backoff = DNS_BACKOFF_SECS << (attempt - 1);
+                self.clock.charge(backoff);
                 self.stats.borrow_mut().retries += 1;
                 self.lookup_retries.set(self.lookup_retries.get() + 1);
+                mx_obs::counter!(mx_obs::names::DNS_RETRIES).incr();
+                mx_obs::counter!(mx_obs::names::DNS_BACKOFF_SIM_SECS).add(backoff);
+                mx_obs::stage!(
+                    mx_obs::names::STAGE_DNS_LOOKUP,
+                    mx_obs::names::STAGE_OBSERVE_RESOLVE
+                )
+                .charge_sim(backoff);
             }
             self.stats.borrow_mut().queries_sent += 1;
+            mx_obs::counter!(mx_obs::names::DNS_QUERIES).incr();
             let outcome = self.transport.query_attempt(self.server, &query, attempt);
             // Timeouts, SERVFAILs and truncated replies are retryable;
             // NXDOMAIN and decode-level errors are definitive.
@@ -378,6 +389,11 @@ impl<T: Transport> StubResolver<T> {
     /// rather than failing the whole resolution (matching how OpenINTEL
     /// records partial data).
     pub fn resolve_mx(&self, domain: &Name) -> Result<MxResolution, ResolveError> {
+        let _obs = mx_obs::stage!(
+            mx_obs::names::STAGE_DNS_LOOKUP,
+            mx_obs::names::STAGE_OBSERVE_RESOLVE
+        )
+        .enter();
         self.begin_lookup();
         let records = self.resolve(domain, RecordType::Mx)?;
         let mut degraded: Vec<MxDegradation> = Vec::new();

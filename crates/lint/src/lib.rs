@@ -17,9 +17,12 @@
 //! - [`lint_source`] lints one in-memory file, for tools and tests.
 //!
 //! Escape hatch: `// lint:allow(R1): <written reason>` on (or directly
-//! above) the offending line. Directives without a reason, with an
-//! unknown rule ID, or that no diagnostic actually needed are themselves
-//! reported (`R0`), so the escape hatch cannot rot silently.
+//! above) the offending line, or `// lint:allow-next-fn(R1): <reason>`
+//! above a `fn`/`macro_rules!` item to cover the whole item — the span
+//! form replaces piles of identical per-line escapes in macro-heavy
+//! code. Directives without a reason, with an unknown rule ID, or that
+//! no diagnostic actually needed are themselves reported (`R0`), so the
+//! escape hatch cannot rot silently.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -75,11 +78,15 @@ pub fn lex_cached(rel: &str, src: &str) -> Arc<lexer::Lexed> {
         if let Some((h, lexed)) = map.get(rel) {
             if *h == hash {
                 cache.hits.fetch_add(1, Ordering::Relaxed);
+                // Cache traffic depends on which passes ran first, so the
+                // mirror counters are per-run (volatile) by design.
+                mx_obs::counter_volatile!(mx_obs::names::LINT_LEX_CACHE_HITS).incr();
                 return Arc::clone(lexed);
             }
         }
     }
     cache.misses.fetch_add(1, Ordering::Relaxed);
+    mx_obs::counter_volatile!(mx_obs::names::LINT_LEX_CACHE_MISSES).incr();
     let lexed = Arc::new(lexer::lex(src));
     let mut map = cache.map.lock().unwrap_or_else(|e| e.into_inner());
     map.insert(rel.to_string(), (hash, Arc::clone(&lexed)));
@@ -133,6 +140,16 @@ impl Default for LintConfig {
                 // down whole scan batches, so it is held to R1/R3 (and
                 // R4 via its crate root) like the wire parsers.
                 "crates/par/src/lib.rs",
+                // The observability crate runs inside every stage of the
+                // pipeline (and its JSON parser consumes snapshot files
+                // from disk), so a panic there takes down the run it was
+                // supposed to explain. Held to R1/R3 like the parsers,
+                // R4 via its crate root.
+                "crates/obs/src/lib.rs",
+                "crates/obs/src/metrics.rs",
+                "crates/obs/src/span.rs",
+                "crates/obs/src/json.rs",
+                "crates/obs/src/export.rs",
             ]
             .map(String::from)
             .to_vec(),
@@ -141,6 +158,11 @@ impl Default for LintConfig {
                 "crates/dns/src/message.rs",
                 "crates/smtp/src/reply.rs",
                 "crates/smtp/src/command.rs",
+                // Certificate validation walks length-prefixed chain and
+                // name structures, so the R2/R7 arithmetic rules apply
+                // even though it has no binary wire format of its own.
+                "crates/cert/src/validate.rs",
+                "crates/cert/src/name_match.rs",
             ]
             .map(String::from)
             .to_vec(),
@@ -218,7 +240,7 @@ pub fn lint_source(rel: &str, src: &str, class: FileClass) -> (Vec<Diagnostic>, 
     for d in raw {
         let mut suppressed = false;
         for (i, a) in allows.iter().enumerate() {
-            if a.rule == Some(d.rule) && a.covers_line == d.line && !a.reason.is_empty() {
+            if a.rule == Some(d.rule) && a.covers(d.line) && !a.reason.is_empty() {
                 used[i] = true;
                 suppressed = true;
                 break;
@@ -244,13 +266,18 @@ pub fn lint_source(rel: &str, src: &str, class: FileClass) -> (Vec<Diagnostic>, 
                 message: "lint:allow requires a written reason: `// lint:allow(Rn): why`".into(),
             });
         } else if !used[i] {
+            let span = if a.covers_end > a.covers_line {
+                format!("lines {}-{}", a.covers_line, a.covers_end)
+            } else {
+                format!("line {}", a.covers_line)
+            };
             out.push(Diagnostic {
                 file: rel.into(),
                 line: a.at_line,
                 rule: Rule::R0,
                 message: format!(
-                    "unused lint:allow({}) — nothing to suppress on line {}",
-                    a.rule_text, a.covers_line
+                    "unused lint:allow({}) — nothing to suppress on {span}",
+                    a.rule_text
                 ),
             });
         }
@@ -355,6 +382,57 @@ mod tests {
         // root, R4.
         let par = c.classify("crates/par/src/lib.rs");
         assert!(par.untrusted && !par.wire_codec && par.crate_root);
+        // The observability crate is held to the same bar as the
+        // parsers it instruments.
+        let obs_root = c.classify("crates/obs/src/lib.rs");
+        assert!(obs_root.untrusted && obs_root.crate_root);
+        let obs_json = c.classify("crates/obs/src/json.rs");
+        assert!(obs_json.untrusted && !obs_json.wire_codec);
+        // Certificate validation is in the R2/R7 arithmetic scope.
+        let cert = c.classify("crates/cert/src/validate.rs");
+        assert!(cert.untrusted && cert.wire_codec);
+    }
+
+    #[test]
+    fn allow_next_fn_suppresses_whole_function() {
+        let class = FileClass {
+            untrusted: true,
+            ..Default::default()
+        };
+        let (d, n) = lint_source(
+            "t.rs",
+            "// lint:allow-next-fn(R1): literal macro panics by contract\n\
+             fn f(x: Option<u8>, y: Option<u8>) -> u8 {\n\
+                 x.unwrap() + y.unwrap()\n\
+             }",
+            class,
+        );
+        assert!(d.is_empty(), "{d:?}");
+        assert_eq!(n, 1);
+        // The span stops at the item's closing brace.
+        let (d, _) = lint_source(
+            "t.rs",
+            "// lint:allow-next-fn(R1): covers f only\n\
+             fn f(x: Option<u8>) -> u8 {\n\
+                 x.unwrap()\n\
+             }\n\
+             fn g(y: Option<u8>) -> u8 {\n\
+                 y.unwrap()\n\
+             }",
+            class,
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, Rule::R1);
+        assert_eq!(d[0].line, 6);
+        // A span with nothing to suppress is flagged unused.
+        let (d, _) = lint_source(
+            "t.rs",
+            "// lint:allow-next-fn(R1): stale\nfn f() -> u8 { 1 }",
+            class,
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::R0);
+        assert!(d[0].message.contains("unused"), "{d:?}");
     }
 
     #[test]

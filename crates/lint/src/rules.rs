@@ -14,6 +14,7 @@
 //! | R4   | crate roots             | the agreed `#![deny(...)]` lint tier header is present |
 //! | R5   | bounded-loop modules    | every `loop`/`while` must tie its exit to a reader position or a named `MAX_*` budget |
 //! | R6   | all library code        | no `Result<_, String>` — errors must be typed enums, not strings |
+//! | R7   | wire-codec modules      | no bare `+`/`*` on length-typed values (use `checked_add`/`saturating_*`) |
 //! | R0   | everywhere              | `lint:allow` hygiene: known rule, written reason, actually used |
 
 use crate::lexer::{Lexed, Tok, TokKind};
@@ -35,6 +36,9 @@ pub enum Rule {
     R5,
     /// Typed errors: no `Result<_, String>` in library signatures.
     R6,
+    /// Checked length arithmetic: no bare `+`/`*` on length-typed values
+    /// in wire codecs.
+    R7,
 }
 
 impl Rule {
@@ -48,6 +52,7 @@ impl Rule {
             Rule::R4 => "R4",
             Rule::R5 => "R5",
             Rule::R6 => "R6",
+            Rule::R7 => "R7",
         }
     }
 
@@ -61,6 +66,7 @@ impl Rule {
             "R4" => Some(Rule::R4),
             "R5" => Some(Rule::R5),
             "R6" => Some(Rule::R6),
+            "R7" => Some(Rule::R7),
             _ => None,
         }
     }
@@ -114,11 +120,23 @@ pub struct Allow {
     pub rule_text: String,
     /// Written justification (text after `:`), if any.
     pub reason: String,
-    /// The source line the directive *covers* (its own line when
-    /// trailing, the next line when it stands alone).
+    /// First source line the directive *covers* (its own line when
+    /// trailing, the next line when it stands alone, the declaration
+    /// line for `lint:allow-next-fn`).
     pub covers_line: u32,
+    /// Last covered line, inclusive. Equal to `covers_line` for the
+    /// single-line form; the closing-brace line of the suppressed item
+    /// for `lint:allow-next-fn`.
+    pub covers_end: u32,
     /// The line the directive itself is written on.
     pub at_line: u32,
+}
+
+impl Allow {
+    /// Does this directive cover `line`?
+    pub fn covers(&self, line: u32) -> bool {
+        self.covers_line <= line && line <= self.covers_end
+    }
 }
 
 /// Extract `// lint:allow(R1): reason` directives from the comments.
@@ -126,6 +144,12 @@ pub struct Allow {
 /// Doc comments never carry directives (they *describe* the syntax, as
 /// this one does), and the directive must open the comment — a mention
 /// mid-sentence is prose, not an escape hatch.
+///
+/// Two forms exist. The single-line form covers its own line when
+/// trailing and the next line when it stands alone. The span form
+/// `// lint:allow-next-fn(R1): reason` covers the whole next `fn` (or
+/// `macro_rules!`) item through its closing brace — one directive for a
+/// function-sized cluster instead of a pile of per-line escapes.
 pub fn parse_allows(lexed: &Lexed) -> Vec<Allow> {
     let mut out = Vec::new();
     for c in &lexed.comments {
@@ -141,16 +165,29 @@ pub fn parse_allows(lexed: &Lexed) -> Vec<Allow> {
             .trim_start_matches("//")
             .trim_start_matches("/*")
             .trim_start();
-        if !body.starts_with("lint:allow(") {
+        let (rest, next_fn) = if let Some(r) = body.strip_prefix("lint:allow(") {
+            (r, false)
+        } else if let Some(r) = body.strip_prefix("lint:allow-next-fn(") {
+            (r, true)
+        } else {
             continue;
-        }
-        let rest = &body["lint:allow(".len()..];
+        };
+        let (covers_line, covers_end) = if next_fn {
+            // Covers the next fn/macro_rules item entirely; when none
+            // follows, the empty cover makes the directive unused (R0).
+            next_fn_span(lexed, c.line).unwrap_or((c.line + 1, c.line + 1))
+        } else if c.trailing {
+            (c.line, c.line)
+        } else {
+            (c.line + 1, c.line + 1)
+        };
         let Some(close) = rest.find(')') else {
             out.push(Allow {
                 rule: None,
                 rule_text: rest.to_string(),
                 reason: String::new(),
-                covers_line: if c.trailing { c.line } else { c.line + 1 },
+                covers_line,
+                covers_end,
                 at_line: c.line,
             });
             continue;
@@ -165,11 +202,54 @@ pub fn parse_allows(lexed: &Lexed) -> Vec<Allow> {
             rule: Rule::parse(&rule_text),
             rule_text,
             reason,
-            covers_line: if c.trailing { c.line } else { c.line + 1 },
+            covers_line,
+            covers_end,
             at_line: c.line,
         });
     }
     out
+}
+
+/// The line span of the first `fn` or `macro_rules!` item starting
+/// after `after_line`: from its keyword line through its closing-brace
+/// line. `None` for bodyless declarations or when no item follows.
+fn next_fn_span(lexed: &Lexed, after_line: u32) -> Option<(u32, u32)> {
+    let toks = &lexed.tokens;
+    let start = toks
+        .iter()
+        .position(|t| {
+            t.line > after_line
+                && t.kind == TokKind::Ident
+                && (t.text == "fn" || t.text == "macro_rules")
+        })?;
+    // The body opens at the first `{` at bracket depth 0; a `;` first
+    // means a bodyless trait/extern declaration with nothing to cover.
+    let mut paren = 0i32;
+    let mut j = start + 1;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "(" | "[" => paren += 1,
+            ")" | "]" => paren -= 1,
+            "{" if paren == 0 => break,
+            ";" if paren == 0 => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    let mut depth = 0i32;
+    for t in toks.iter().skip(j) {
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((toks[start].line, t.line));
+                }
+            }
+            _ => {}
+        }
+    }
+    None
 }
 
 /// Keywords that may directly precede `[` without forming an index
@@ -191,6 +271,13 @@ const ALLOC_METHODS: &[&str] = &["with_capacity", "reserve", "resize"];
 
 /// Narrowing integer targets for R2.
 const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Identifier fragments that mark a value as length-typed for R7: a
+/// reader position, a field length, or an element count decoded from
+/// the wire.
+const LEN_IDENT_MARKERS: &[&str] = &[
+    "len", "count", "size", "pos", "offset", "cursor", "idx", "index",
+];
 
 /// Run every applicable rule over one lexed file.
 pub fn check(file: &str, lexed: &Lexed, class: FileClass, out: &mut Vec<Diagnostic>) {
@@ -269,6 +356,38 @@ pub fn check(file: &str, lexed: &Lexed, class: FileClass, out: &mut Vec<Diagnost
             }
         }
 
+        // R7: bare `+`/`*` where an operand is length-typed. Wire
+        // lengths come straight off untrusted bytes, so the arithmetic
+        // must be visibly overflow-proof. Exemptions: a literal operand
+        // (bounded growth like `pos + 2` cannot overflow a reader
+        // position), and lines already using a checked/saturating/
+        // wrapping API.
+        if class.wire_codec
+            && t.kind == TokKind::Punct
+            && (t.text == "+" || t.text == "*")
+            && prev.is_some_and(is_expression_end)
+            && next.is_some_and(is_expression_start)
+            && (prev.is_some_and(is_length_ident) || next.is_some_and(is_length_ident))
+            && !prev.is_some_and(|p| matches!(p.kind, TokKind::Int | TokKind::Float))
+            && !next.is_some_and(|n| matches!(n.kind, TokKind::Int | TokKind::Float))
+            && !line_uses_overflow_api(toks, i)
+        {
+            let fix = if t.text == "+" {
+                "checked_add or saturating_add"
+            } else {
+                "checked_mul or saturating_mul"
+            };
+            out.push(Diagnostic {
+                file: file.into(),
+                line: t.line,
+                rule: Rule::R7,
+                message: format!(
+                    "bare `{}` on a length-typed value may overflow; use {fix}",
+                    t.text
+                ),
+            });
+        }
+
         if class.wire_codec
             && t.kind == TokKind::Ident
             && t.text == "as"
@@ -303,6 +422,51 @@ fn is_expression_end(t: &Tok) -> bool {
         TokKind::Punct => matches!(t.text.as_str(), ")" | "]" | "?"),
         _ => false,
     }
+}
+
+/// True when a token can start an expression, making a preceding `+`
+/// or `*` a binary operator rather than `+=` or a dereference.
+fn is_expression_start(t: &Tok) -> bool {
+    match t.kind {
+        TokKind::Ident => !NON_EXPR_IDENTS.contains(&t.text.as_str()),
+        TokKind::Int | TokKind::Float | TokKind::Str => true,
+        TokKind::Punct => matches!(t.text.as_str(), "("),
+        _ => false,
+    }
+}
+
+/// Is this identifier length-typed in the R7 sense?
+fn is_length_ident(t: &Tok) -> bool {
+    if t.kind != TokKind::Ident {
+        return false;
+    }
+    let lower = t.text.to_ascii_lowercase();
+    LEN_IDENT_MARKERS.iter().any(|m| lower.contains(m))
+}
+
+/// R7 exemption: the operator's line already reaches for an
+/// overflow-aware API, so the author has visibly considered the bound.
+fn line_uses_overflow_api(toks: &[Tok], op_idx: usize) -> bool {
+    let line = toks.get(op_idx).map(|t| t.line).unwrap_or(0);
+    let on_line = |t: &&Tok| t.line == line;
+    let aware = |t: &&Tok| {
+        t.kind == TokKind::Ident
+            && (t.text.starts_with("checked_")
+                || t.text.starts_with("saturating_")
+                || t.text.starts_with("wrapping_"))
+    };
+    toks.get(..op_idx)
+        .unwrap_or_default()
+        .iter()
+        .rev()
+        .take_while(on_line)
+        .any(|t| aware(&t))
+        || toks
+            .get(op_idx..)
+            .unwrap_or_default()
+            .iter()
+            .take_while(on_line)
+            .any(|t| aware(&t))
 }
 
 /// R2 exemptions: the cast source is a literal constant, or the same
@@ -946,6 +1110,78 @@ mod tests {
             root_only,
         );
         assert!(good.is_empty(), "{good:?}");
+    }
+
+    #[test]
+    fn r7_flags_bare_length_arithmetic() {
+        let codec_only = FileClass {
+            wire_codec: true,
+            ..FileClass::default()
+        };
+        let bad = run(
+            "fn f(b: &[u8], pos: usize, n: usize) -> Option<&[u8]> { b.get(pos..pos + n) }",
+            codec_only,
+        );
+        assert_eq!(bad.iter().filter(|d| d.rule == Rule::R7).count(), 1);
+        let mul = run("fn f(count: usize, width: usize) -> usize { count * width }", codec_only);
+        assert_eq!(mul.iter().filter(|d| d.rule == Rule::R7).count(), 1);
+        // Literal growth of a reader position is bounded.
+        let literal = run("fn f(pos: usize) -> usize { pos + 2 }", codec_only);
+        assert!(literal.iter().all(|d| d.rule != Rule::R7), "{literal:?}");
+        // Compound assignment lexes as `+` `=` and is not a binary add.
+        let compound = run("fn f(mut pos: usize) { pos += 1; }", codec_only);
+        assert!(compound.iter().all(|d| d.rule != Rule::R7), "{compound:?}");
+        // Checked arithmetic on the same line shows the bound was handled.
+        let checked = run(
+            "fn f(pos: usize, n: usize) -> Option<usize> { pos.checked_add(n) }",
+            codec_only,
+        );
+        assert!(checked.iter().all(|d| d.rule != Rule::R7), "{checked:?}");
+        // Operands with no length-typed name are out of scope.
+        let plain = run("fn f(a: u64, b: u64) -> u64 { a + b }", codec_only);
+        assert!(plain.iter().all(|d| d.rule != Rule::R7), "{plain:?}");
+        // Out of the wire-codec class: nothing fires.
+        let unscoped = run(
+            "fn f(pos: usize, n: usize) -> usize { pos + n }",
+            FileClass::default(),
+        );
+        assert!(unscoped.iter().all(|d| d.rule != Rule::R7));
+    }
+
+    #[test]
+    fn allow_next_fn_spans_the_following_item() {
+        let lexed = lex(
+            "// lint:allow-next-fn(R1): demo covers the whole fn\n\
+             fn f(x: Option<u8>) -> u8 {\n\
+                 let a = x.unwrap();\n\
+                 a\n\
+             }\n\
+             fn g() {}",
+        );
+        let allows = parse_allows(&lexed);
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].rule, Some(Rule::R1));
+        assert_eq!(allows[0].covers_line, 2);
+        assert_eq!(allows[0].covers_end, 5, "span ends at the closing brace");
+        assert!(allows[0].covers(3));
+        assert!(!allows[0].covers(6), "the next item is not covered");
+    }
+
+    #[test]
+    fn allow_next_fn_covers_macro_rules() {
+        let lexed = lex(
+            "// lint:allow-next-fn(R1): macro body panics by contract\n\
+             #[macro_export]\n\
+             macro_rules! m {\n\
+                 ($s:expr) => {\n\
+                     $s.unwrap()\n\
+                 };\n\
+             }",
+        );
+        let allows = parse_allows(&lexed);
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].covers_line, 3);
+        assert_eq!(allows[0].covers_end, 7);
     }
 
     #[test]

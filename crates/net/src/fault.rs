@@ -238,7 +238,15 @@ impl FaultPlan {
     /// the same effective rate, so bounded retries can recover.
     pub fn scan_fails_attempt(&self, ip: Ipv4Addr, epoch: u64, attempt: u32) -> bool {
         let rate = self.transient_rate(ip, epoch);
-        rate > 0.0 && self.coin(ip, epoch, attempt_salt(0xC0FFEE, attempt)) < rate
+        if rate <= 0.0 {
+            return false;
+        }
+        mx_obs::counter!(mx_obs::names::FAULT_SCAN_COINS).incr();
+        let fired = self.coin(ip, epoch, attempt_salt(0xC0FFEE, attempt)) < rate;
+        if fired {
+            mx_obs::counter!(mx_obs::names::FAULT_SCAN_FIRED).incr();
+        }
+        fired
     }
 
     /// Which DNS fault, if any, hits the query for `qname` in round
@@ -248,7 +256,11 @@ impl FaultPlan {
         if self.dns.total() <= 0.0 {
             return None;
         }
+        mx_obs::counter!(mx_obs::names::FAULT_DNS_COINS).incr();
         let draw = self.coin_str(qname, epoch, attempt_salt(0xD0D0_D115, attempt));
+        if draw < self.dns.total() {
+            mx_obs::counter!(mx_obs::names::FAULT_DNS_FIRED).incr();
+        }
         if draw < self.dns.servfail_rate {
             Some(DnsFault::ServFail)
         } else if draw < self.dns.servfail_rate + self.dns.timeout_rate {
@@ -267,7 +279,11 @@ impl FaultPlan {
         if self.smtp.total() <= 0.0 {
             return None;
         }
+        mx_obs::counter!(mx_obs::names::FAULT_SMTP_COINS).incr();
         let draw = self.coin(ip, epoch, attempt_salt(0x5E55_10F4, attempt));
+        if draw < self.smtp.total() {
+            mx_obs::counter!(mx_obs::names::FAULT_SMTP_FIRED).incr();
+        }
         let s = &self.smtp;
         if draw < s.drop_after_banner_rate {
             Some(ScanFault::DropAfterBanner)

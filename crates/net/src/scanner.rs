@@ -196,6 +196,23 @@ impl Scanner {
         ip: Ipv4Addr,
         epoch: u64,
     ) -> Result<ScanObservation, Missed> {
+        let _obs = mx_obs::stage!(
+            mx_obs::names::STAGE_NET_SCAN_IP,
+            mx_obs::names::STAGE_NET_SCAN
+        )
+        .enter();
+        let outcome = self.scan_ip_inner(net, ip, epoch);
+        record_scan_outcome(&outcome);
+        outcome
+    }
+
+    /// [`Self::scan_ip`] without the observability wrapper.
+    fn scan_ip_inner(
+        &self,
+        net: &SimNet,
+        ip: Ipv4Addr,
+        epoch: u64,
+    ) -> Result<ScanObservation, Missed> {
         let faults = net.faults();
         if faults.is_blocked(ip) {
             return Err(Missed::Blocked);
@@ -210,7 +227,14 @@ impl Scanner {
         let mut attempt = 0u32;
         while attempt < MAX_SCAN_ATTEMPTS {
             if attempt > 0 {
-                clock.charge(SCAN_BACKOFF_SECS << (attempt - 1));
+                let backoff = SCAN_BACKOFF_SECS << (attempt - 1);
+                clock.charge(backoff);
+                mx_obs::counter!(mx_obs::names::NET_SCAN_BACKOFF_SIM_SECS).add(backoff);
+                mx_obs::stage!(
+                    mx_obs::names::STAGE_NET_SCAN_IP,
+                    mx_obs::names::STAGE_NET_SCAN
+                )
+                .charge_sim(backoff);
             }
             let attempts = attempt + 1;
             let recovered = attempt > 0;
@@ -265,6 +289,13 @@ impl Scanner {
                 Some(f @ (ScanFault::DropAfterBanner | ScanFault::EhloTarpit)) => {
                     if f == ScanFault::EhloTarpit {
                         clock.charge(TARPIT_COST_SECS);
+                        mx_obs::counter!(mx_obs::names::NET_SCAN_TARPIT_SIM_SECS)
+                            .add(TARPIT_COST_SECS);
+                        mx_obs::stage!(
+                            mx_obs::names::STAGE_NET_SCAN_IP,
+                            mx_obs::names::STAGE_NET_SCAN
+                        )
+                        .charge_sim(TARPIT_COST_SECS);
                     }
                     let data = SmtpScanData {
                         banner,
@@ -353,6 +384,11 @@ impl Scanner {
     /// immutable network, so the snapshot is identical to a serial scan
     /// at any thread count.
     pub fn scan(&self, net: &SimNet, ips: &[Ipv4Addr], epoch: u64) -> ScanSnapshot {
+        let _obs = mx_obs::stage!(
+            mx_obs::names::STAGE_NET_SCAN,
+            mx_obs::names::STAGE_OBSERVE_SCAN
+        )
+        .enter();
         let mut snapshot = ScanSnapshot {
             epoch,
             results: HashMap::with_capacity(ips.len()),
@@ -497,6 +533,46 @@ impl Scanner {
 /// The banner/EHLO text without the reply code prefix.
 fn strip_code(reply: &mx_smtp::Reply) -> String {
     reply.first_line().to_string()
+}
+
+/// Record one `scan_ip` outcome into the observability layer. Attempt
+/// totals mirror the acquisition accounting exactly (the obs_gate test
+/// reconciles the two); the per-outcome counters are per scan *pass*,
+/// so under a `scan_window` they count rounds, not merged IPs.
+fn record_scan_outcome(outcome: &Result<ScanObservation, Missed>) {
+    let attempts = mx_obs::counter!(mx_obs::names::NET_SCAN_ATTEMPTS);
+    let per_ip = mx_obs::histogram!(
+        mx_obs::names::NET_SCAN_ATTEMPTS_PER_IP,
+        mx_obs::names::NET_SCAN_ATTEMPTS_BOUNDS
+    );
+    match outcome {
+        Ok(obs) => {
+            attempts.add(obs.attempts as u64);
+            per_ip.observe(obs.attempts as u64);
+            if obs.recovered {
+                mx_obs::counter!(mx_obs::names::NET_SCAN_RECOVERED).incr();
+            }
+            let tls_failed = obs.state.data().is_some_and(|d| {
+                matches!(
+                    d.starttls,
+                    StartTlsOutcome::Failed {
+                        reason: StartTlsFailure::Handshake,
+                    }
+                )
+            });
+            if tls_failed {
+                mx_obs::counter!(mx_obs::names::NET_SCAN_TLS_FAILED).incr();
+            }
+        }
+        Err(Missed::Blocked) => {
+            mx_obs::counter!(mx_obs::names::NET_SCAN_BLOCKED).incr();
+        }
+        Err(Missed::Exhausted { attempts: n }) => {
+            attempts.add(*n as u64);
+            per_ip.observe(*n as u64);
+            mx_obs::counter!(mx_obs::names::NET_SCAN_EXHAUSTED).incr();
+        }
+    }
 }
 
 /// Deterministic mangled greeting for an injected garbled-banner fault:

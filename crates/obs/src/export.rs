@@ -1,0 +1,401 @@
+//! Snapshot capture and the two exporters.
+//!
+//! [`Snapshot::capture`] merges every registered metric and stage.
+//! [`Snapshot::deterministic_json`] renders the schema-versioned form
+//! the CI gate diffs: per-run metrics and host-time totals are
+//! excluded, so the bytes are identical at any thread count on the
+//! same seed. [`Snapshot::full_json`] includes everything, and
+//! [`Snapshot::human_dump`] renders the stage tree plus a metrics
+//! table for terminals. [`validate_snapshot`] re-parses an exported
+//! document and checks it against the `mx-obs/1` schema.
+
+use crate::json::{self, JsonError, Value};
+use crate::metrics::{self, Class, MetricData, MetricSnapshot};
+use crate::span::{self, StageSnapshot};
+
+/// The exporter schema identifier carried in every snapshot.
+pub const SCHEMA: &str = "mx-obs/1";
+
+/// Maximum stage-tree depth the human dump renders; deeper chains are
+/// flattened at the bound (the registered tree is 3 levels).
+const MAX_TREE_DEPTH: usize = 16;
+
+/// A merged view of every registered metric and stage, name-sorted.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// All metrics (stable and per-run).
+    pub metrics: Vec<MetricSnapshot>,
+    /// All stages.
+    pub stages: Vec<StageSnapshot>,
+}
+
+impl Snapshot {
+    /// Merge the current state of the registries.
+    pub fn capture() -> Snapshot {
+        Snapshot {
+            metrics: metrics::snapshot(),
+            stages: span::snapshot(),
+        }
+    }
+
+    /// The deterministic export: stable metrics only, stages without
+    /// host time. Byte-identical across thread counts and repeat runs
+    /// on the same input.
+    pub fn deterministic_json(&self) -> String {
+        self.render(false).to_string_pretty()
+    }
+
+    /// The full export: adds per-run metrics (tagged with their
+    /// class) and per-stage host nanoseconds.
+    pub fn full_json(&self) -> String {
+        self.render(true).to_string_pretty()
+    }
+
+    fn render(&self, full: bool) -> Value {
+        let mut root = Value::obj();
+        root.insert("schema", SCHEMA.into());
+        root.insert("deterministic", (!full).into());
+        let mut marr = Value::arr();
+        for m in &self.metrics {
+            if !full && m.class == Class::PerRun {
+                continue;
+            }
+            let mut o = Value::obj();
+            o.insert("name", m.name.into());
+            o.insert("kind", m.kind.label().into());
+            if full {
+                o.insert("class", m.class.label().into());
+            }
+            match &m.data {
+                MetricData::Counter(v) | MetricData::Gauge(v) => {
+                    o.insert("value", (*v).into());
+                }
+                MetricData::Histogram {
+                    bounds,
+                    buckets,
+                    sum,
+                    count,
+                } => {
+                    let mut ba = Value::arr();
+                    for b in bounds {
+                        ba.push((*b).into());
+                    }
+                    let mut ka = Value::arr();
+                    for k in buckets {
+                        ka.push((*k).into());
+                    }
+                    o.insert("bounds", ba);
+                    o.insert("buckets", ka);
+                    o.insert("sum", (*sum).into());
+                    o.insert("count", (*count).into());
+                }
+            }
+            marr.push(o);
+        }
+        root.insert("metrics", marr);
+        let mut sarr = Value::arr();
+        for s in &self.stages {
+            let mut o = Value::obj();
+            o.insert("name", s.name.into());
+            if let Some(p) = s.parent {
+                o.insert("parent", p.into());
+            }
+            o.insert("enters", s.enters.into());
+            o.insert("sim_secs", s.sim_secs.into());
+            if full {
+                o.insert("host_nanos", s.host_nanos.into());
+            }
+            sarr.push(o);
+        }
+        root.insert("stages", sarr);
+        root
+    }
+
+    /// A terminal-friendly dump: the stage tree (with host time) then
+    /// a metrics table, per-run entries marked `~`.
+    pub fn human_dump(&self) -> String {
+        let mut out = String::new();
+        out.push_str("mx-obs snapshot (schema ");
+        out.push_str(SCHEMA);
+        out.push_str(")\n\nstages:\n");
+        // Roots are stages whose parent is unset or unregistered.
+        let known: Vec<&str> = self.stages.iter().map(|s| s.name).collect();
+        for (i, s) in self.stages.iter().enumerate() {
+            let is_root = match s.parent {
+                None => true,
+                Some(p) => !known.contains(&p),
+            };
+            if is_root {
+                self.dump_stage(&mut out, i, 0);
+            }
+        }
+        out.push_str("\nmetrics:\n");
+        for m in &self.metrics {
+            let mark = if m.class == Class::PerRun { "~" } else { " " };
+            let line = match &m.data {
+                MetricData::Counter(v) | MetricData::Gauge(v) => {
+                    format!("{mark} {:<34} {:<9} {v}\n", m.name, m.kind.label())
+                }
+                MetricData::Histogram {
+                    bounds,
+                    buckets,
+                    sum,
+                    count,
+                } => {
+                    let cells: Vec<String> = buckets
+                        .iter()
+                        .enumerate()
+                        .map(|(i, c)| match bounds.get(i) {
+                            Some(b) => format!("<={b}:{c}"),
+                            None => format!(">:{c}"),
+                        })
+                        .collect();
+                    format!(
+                        "{mark} {:<34} {:<9} count={count} sum={sum} [{}]\n",
+                        m.name,
+                        m.kind.label(),
+                        cells.join(" ")
+                    )
+                }
+            };
+            out.push_str(&line);
+        }
+        out
+    }
+
+    fn dump_stage(&self, out: &mut String, idx: usize, depth: usize) {
+        let Some(s) = self.stages.get(idx) else {
+            return;
+        };
+        let indent = "  ".repeat(depth.min(MAX_TREE_DEPTH));
+        let label = format!("{indent}{}", s.name);
+        out.push_str(&format!(
+            "  {label:<36} enters={:<6} sim={}s host={}\n",
+            s.enters,
+            s.sim_secs,
+            format_host(s.host_nanos)
+        ));
+        if depth >= MAX_TREE_DEPTH {
+            return;
+        }
+        for (i, child) in self.stages.iter().enumerate() {
+            if child.parent == Some(s.name) {
+                self.dump_stage(out, i, depth + 1);
+            }
+        }
+    }
+}
+
+/// Render host nanoseconds with a unit a human can read.
+fn format_host(nanos: u64) -> String {
+    let n = nanos as f64;
+    if nanos < 1_000 {
+        format!("{nanos}ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.1}us", n / 1.0e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.1}ms", n / 1.0e6)
+    } else {
+        format!("{:.2}s", n / 1.0e9)
+    }
+}
+
+/// Why an exported document failed schema validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchemaError {
+    /// The document is not valid JSON.
+    Parse(JsonError),
+    /// The top level is not an object.
+    NotAnObject,
+    /// The `schema` field is missing or not `mx-obs/1`.
+    WrongSchema,
+    /// A required top-level field is missing or mistyped.
+    MissingField(&'static str),
+    /// The metric at this index is malformed.
+    BadMetric(usize),
+    /// Metric names are not strictly increasing at this index.
+    MetricsUnsorted(usize),
+    /// The stage at this index is malformed.
+    BadStage(usize),
+    /// Stage names are not strictly increasing at this index.
+    StagesUnsorted(usize),
+}
+
+impl std::fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchemaError::Parse(e) => write!(f, "not valid JSON: {e}"),
+            SchemaError::NotAnObject => write!(f, "top level is not an object"),
+            SchemaError::WrongSchema => write!(f, "schema field missing or not {SCHEMA:?}"),
+            SchemaError::MissingField(k) => write!(f, "missing or mistyped field {k:?}"),
+            SchemaError::BadMetric(i) => write!(f, "metric #{i} is malformed"),
+            SchemaError::MetricsUnsorted(i) => write!(f, "metric names unsorted at #{i}"),
+            SchemaError::BadStage(i) => write!(f, "stage #{i} is malformed"),
+            SchemaError::StagesUnsorted(i) => write!(f, "stage names unsorted at #{i}"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// Check an exported document against the `mx-obs/1` schema. Accepts
+/// both the deterministic and the full form (extra fields like
+/// `class`/`host_nanos` are allowed; required ones are not optional).
+pub fn validate_snapshot(text: &str) -> Result<(), SchemaError> {
+    let doc = json::parse(text).map_err(SchemaError::Parse)?;
+    if !matches!(doc, Value::Obj(_)) {
+        return Err(SchemaError::NotAnObject);
+    }
+    if doc.get("schema").and_then(Value::as_str) != Some(SCHEMA) {
+        return Err(SchemaError::WrongSchema);
+    }
+    let metrics = doc
+        .get("metrics")
+        .and_then(Value::as_arr)
+        .ok_or(SchemaError::MissingField("metrics"))?;
+    let mut prev_name: Option<&str> = None;
+    for (i, m) in metrics.iter().enumerate() {
+        let name = m
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or(SchemaError::BadMetric(i))?;
+        if prev_name.is_some_and(|p| p >= name) {
+            return Err(SchemaError::MetricsUnsorted(i));
+        }
+        prev_name = Some(name);
+        let kind = m
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or(SchemaError::BadMetric(i))?;
+        match kind {
+            "counter" | "gauge" => {
+                m.get("value")
+                    .and_then(Value::as_num)
+                    .ok_or(SchemaError::BadMetric(i))?;
+            }
+            "histogram" => {
+                let bounds = m
+                    .get("bounds")
+                    .and_then(Value::as_arr)
+                    .ok_or(SchemaError::BadMetric(i))?;
+                let buckets = m
+                    .get("buckets")
+                    .and_then(Value::as_arr)
+                    .ok_or(SchemaError::BadMetric(i))?;
+                let numeric = |vals: &[Value]| vals.iter().all(|v| v.as_num().is_some());
+                if buckets.len() != bounds.len() + 1 || !numeric(bounds) || !numeric(buckets) {
+                    return Err(SchemaError::BadMetric(i));
+                }
+                m.get("sum")
+                    .and_then(Value::as_num)
+                    .ok_or(SchemaError::BadMetric(i))?;
+                m.get("count")
+                    .and_then(Value::as_num)
+                    .ok_or(SchemaError::BadMetric(i))?;
+            }
+            _ => return Err(SchemaError::BadMetric(i)),
+        }
+    }
+    let stages = doc
+        .get("stages")
+        .and_then(Value::as_arr)
+        .ok_or(SchemaError::MissingField("stages"))?;
+    let mut prev_stage: Option<&str> = None;
+    for (i, s) in stages.iter().enumerate() {
+        let name = s
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or(SchemaError::BadStage(i))?;
+        if prev_stage.is_some_and(|p| p >= name) {
+            return Err(SchemaError::StagesUnsorted(i));
+        }
+        prev_stage = Some(name);
+        if let Some(p) = s.get("parent") {
+            if p.as_str().is_none() {
+                return Err(SchemaError::BadStage(i));
+            }
+        }
+        for field in ["enters", "sim_secs"] {
+            s.get(field)
+                .and_then(Value::as_num)
+                .ok_or(SchemaError::BadStage(i))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{Counter, Histogram};
+    use crate::span::Stage;
+
+    #[test]
+    fn exports_validate_and_deterministic_excludes_per_run() {
+        let _g = crate::test_guard();
+        crate::set_enabled(true);
+        crate::reset();
+        Counter::register("test.export.stable", Class::Stable).add(3);
+        Counter::register("test.export.volatile", Class::PerRun).add(9);
+        static BOUNDS: &[u64] = &[2, 8];
+        Histogram::register("test.export.hist", Class::Stable, BOUNDS).observe(5);
+        let st = Stage::register("test.export.stage", None);
+        {
+            let _e = st.enter();
+            st.charge_sim(7);
+        }
+        let snap = Snapshot::capture();
+        let det = snap.deterministic_json();
+        let full = snap.full_json();
+        validate_snapshot(&det).expect("deterministic form validates");
+        validate_snapshot(&full).expect("full form validates");
+        assert!(det.contains("test.export.stable"));
+        assert!(!det.contains("test.export.volatile"), "per-run excluded");
+        assert!(!det.contains("host_nanos"), "host time excluded");
+        assert!(full.contains("test.export.volatile"));
+        assert!(full.contains("host_nanos"));
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn human_dump_renders_tree_and_marks_per_run() {
+        let _g = crate::test_guard();
+        crate::set_enabled(true);
+        crate::reset();
+        Counter::register("test.dump.volatile", Class::PerRun).add(1);
+        let root = Stage::register("test.dump.root", None);
+        let child = Stage::register("test.dump.root.child", Some("test.dump.root"));
+        drop(root.enter());
+        drop(child.enter());
+        let text = Snapshot::capture().human_dump();
+        assert!(text.contains("test.dump.root"));
+        assert!(text.contains("  test.dump.root.child"), "{text}");
+        assert!(text.contains("~ test.dump.volatile"), "{text}");
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn validator_rejects_drift() {
+        let wrong_schema = "{\"schema\": \"mx-obs/0\", \"metrics\": [], \"stages\": []}";
+        assert_eq!(validate_snapshot(wrong_schema), Err(SchemaError::WrongSchema));
+        let no_stages = "{\"schema\": \"mx-obs/1\", \"metrics\": []}";
+        assert_eq!(
+            validate_snapshot(no_stages),
+            Err(SchemaError::MissingField("stages"))
+        );
+        let bad_metric =
+            "{\"schema\": \"mx-obs/1\", \"metrics\": [{\"name\": \"a\"}], \"stages\": []}";
+        assert_eq!(validate_snapshot(bad_metric), Err(SchemaError::BadMetric(0)));
+        let unsorted = "{\"schema\": \"mx-obs/1\", \"metrics\": [\
+             {\"name\": \"b\", \"kind\": \"counter\", \"value\": 1},\
+             {\"name\": \"a\", \"kind\": \"counter\", \"value\": 1}], \"stages\": []}";
+        assert_eq!(
+            validate_snapshot(unsorted),
+            Err(SchemaError::MetricsUnsorted(1))
+        );
+        assert!(matches!(
+            validate_snapshot("not json"),
+            Err(SchemaError::Parse(_))
+        ));
+    }
+}

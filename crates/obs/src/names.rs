@@ -1,0 +1,132 @@
+//! The static metric/stage name table.
+//!
+//! Every instrumented call site in the workspace registers against one
+//! of these constants, so the full vocabulary of the observability
+//! layer is reviewable in one place and tests can reference names
+//! without typo drift. Dots namespace by crate/subsystem
+//! (`dns.`, `net.scan.`, `smtp.`, `fault.`, `par.`, `lint.`), and
+//! stage names double as tree positions via their registered parents.
+
+// --- dns: stub resolver (crates/dns/src/resolver.rs) ---
+
+/// Positive cache hits in the stub resolver.
+pub const DNS_CACHE_HITS: &str = "dns.cache.hits";
+/// Negative (NXDOMAIN/NoData) cache hits in the stub resolver.
+pub const DNS_CACHE_NEGATIVE_HITS: &str = "dns.cache.negative_hits";
+/// Transport query attempts sent (first tries and retries alike).
+pub const DNS_QUERIES: &str = "dns.queries";
+/// Retry attempts only (attempt index > 0).
+pub const DNS_RETRIES: &str = "dns.retries";
+/// Simulated seconds charged to DNS retry backoff.
+pub const DNS_BACKOFF_SIM_SECS: &str = "dns.backoff.sim_secs";
+
+// --- net: port-25 scanner (crates/net/src/scanner.rs) ---
+
+/// Connection attempts consumed across all scanned IPs.
+pub const NET_SCAN_ATTEMPTS: &str = "net.scan.attempts";
+/// IPs skipped because the owner opted out (per scan pass).
+pub const NET_SCAN_BLOCKED: &str = "net.scan.blocked";
+/// Scan passes over an IP that captured data after a failed attempt.
+pub const NET_SCAN_RECOVERED: &str = "net.scan.recovered";
+/// Scan passes over an IP that exhausted the attempt budget.
+pub const NET_SCAN_EXHAUSTED: &str = "net.scan.exhausted";
+/// Scan passes that accepted STARTTLS but failed the TLS handshake.
+pub const NET_SCAN_TLS_FAILED: &str = "net.scan.tls_failed";
+/// Simulated seconds charged to scan retry backoff.
+pub const NET_SCAN_BACKOFF_SIM_SECS: &str = "net.scan.backoff.sim_secs";
+/// Simulated seconds charged to tarpitted EHLO exchanges.
+pub const NET_SCAN_TARPIT_SIM_SECS: &str = "net.scan.tarpit.sim_secs";
+/// Distribution of attempts consumed per scan pass over one IP.
+pub const NET_SCAN_ATTEMPTS_PER_IP: &str = "net.scan.attempts_per_ip";
+/// Bucket bounds for [`NET_SCAN_ATTEMPTS_PER_IP`] (attempts).
+pub const NET_SCAN_ATTEMPTS_BOUNDS: &[u64] = &[1, 2, 3, 4, 6, 8];
+
+// --- fault coins (crates/net/src/fault.rs) ---
+
+/// Scan-fault coins drawn (fault plan active on the scan path).
+pub const FAULT_SCAN_COINS: &str = "fault.scan.coins";
+/// Scan-fault coins that fired.
+pub const FAULT_SCAN_FIRED: &str = "fault.scan.fired";
+/// DNS-fault coins drawn.
+pub const FAULT_DNS_COINS: &str = "fault.dns.coins";
+/// DNS-fault coins that fired.
+pub const FAULT_DNS_FIRED: &str = "fault.dns.fired";
+/// SMTP-fault coins drawn.
+pub const FAULT_SMTP_COINS: &str = "fault.smtp.coins";
+/// SMTP-fault coins that fired.
+pub const FAULT_SMTP_FIRED: &str = "fault.smtp.fired";
+
+// --- smtp: session client (crates/smtp/src/client.rs) ---
+
+/// SMTP sessions opened (banner read attempted).
+pub const SMTP_SESSIONS: &str = "smtp.sessions";
+/// Sessions whose banner carried the 220 READY code.
+pub const SMTP_BANNER_OK: &str = "smtp.banner.ok";
+/// EHLO commands sent.
+pub const SMTP_EHLO: &str = "smtp.ehlo";
+/// EHLO exchanges answered 250 OK.
+pub const SMTP_EHLO_OK: &str = "smtp.ehlo.ok";
+/// STARTTLS commands sent.
+pub const SMTP_STARTTLS: &str = "smtp.starttls";
+/// STARTTLS accepted and the TLS handshake completed.
+pub const SMTP_STARTTLS_OK: &str = "smtp.starttls.ok";
+/// STARTTLS refused by the server.
+pub const SMTP_STARTTLS_REFUSED: &str = "smtp.starttls.refused";
+/// STARTTLS accepted but the TLS handshake failed.
+pub const SMTP_STARTTLS_FAILED: &str = "smtp.starttls.failed";
+
+// --- par: thread-pool probes (crates/par/src/lib.rs) — per-run ---
+
+/// `par_map` calls that took the parallel path.
+pub const PAR_MAP_PARALLEL: &str = "par.par_map.parallel";
+/// `par_map` calls that took the serial path (width 1 or nested).
+pub const PAR_MAP_SERIAL: &str = "par.par_map.serial";
+/// Items submitted through `par_map`.
+pub const PAR_TASKS: &str = "par.tasks";
+/// High-water mark of worker threads spawned for one call.
+pub const PAR_WORKERS_MAX: &str = "par.workers.max";
+/// High-water mark of items still unclaimed when a worker grabbed a
+/// chunk (a queue-depth probe).
+pub const PAR_QUEUE_DEPTH_MAX: &str = "par.queue_depth.max";
+
+// --- lint: shared lex cache (crates/lint/src/lib.rs) — per-run ---
+
+/// Lex-cache hits.
+pub const LINT_LEX_CACHE_HITS: &str = "lint.lex_cache.hits";
+/// Lex-cache misses.
+pub const LINT_LEX_CACHE_MISSES: &str = "lint.lex_cache.misses";
+
+// --- stages: the pipeline tree ---
+
+/// Root of the measurement (observation) side.
+pub const STAGE_OBSERVE: &str = "observe";
+/// Per-dataset MX/A resolution joins.
+pub const STAGE_OBSERVE_RESOLVE: &str = "observe.resolve";
+/// The port-25 scan over the union of resolved IPs.
+pub const STAGE_OBSERVE_SCAN: &str = "observe.scan";
+/// Per-IP scan/routing/cert join.
+pub const STAGE_OBSERVE_JOIN: &str = "observe.join";
+/// Per-dataset observation-set assembly.
+pub const STAGE_OBSERVE_ASSEMBLE: &str = "observe.assemble";
+/// One `resolve_mx` bracket in the stub resolver.
+pub const STAGE_DNS_LOOKUP: &str = "dns.lookup";
+/// One scanner pass over a set of IPs.
+pub const STAGE_NET_SCAN: &str = "net.scan";
+/// One scanner pass over a single IP.
+pub const STAGE_NET_SCAN_IP: &str = "net.scan.ip";
+/// One SMTP session (banner through optional STARTTLS).
+pub const STAGE_SMTP_SESSION: &str = "smtp.session";
+/// Root of the inference side (the priority cascade).
+pub const STAGE_INFER: &str = "infer";
+/// Certificate-group extraction.
+pub const STAGE_INFER_CERTGROUP: &str = "infer.certgroup";
+/// Per-IP identification.
+pub const STAGE_INFER_IPID: &str = "infer.ipid";
+/// Per-exchange (MX) identification.
+pub const STAGE_INFER_MXID: &str = "infer.mxid";
+/// Misidentification correction pass.
+pub const STAGE_INFER_MISID: &str = "infer.misid";
+/// Per-domain identification.
+pub const STAGE_INFER_DOMAINID: &str = "infer.domainid";
+/// Coverage/resilience report assembly.
+pub const STAGE_REPORT_COVERAGE: &str = "report.coverage";

@@ -114,9 +114,17 @@ where
 {
     let n = threads().min(items.len());
     if n <= 1 || IN_WORKER.get() {
+        // Pool probes are per-run (the path taken depends on the
+        // configured width), so they live in the volatile class and
+        // never reach the deterministic snapshot.
+        mx_obs::counter_volatile!(mx_obs::names::PAR_MAP_SERIAL).incr();
+        mx_obs::counter_volatile!(mx_obs::names::PAR_TASKS).add(items.len() as u64);
         return items.iter().map(f).collect();
     }
     let len = items.len();
+    mx_obs::counter_volatile!(mx_obs::names::PAR_MAP_PARALLEL).incr();
+    mx_obs::counter_volatile!(mx_obs::names::PAR_TASKS).add(len as u64);
+    mx_obs::gauge_max_volatile!(mx_obs::names::PAR_WORKERS_MAX).record_max(n as u64);
     let chunk = len.div_ceil(n * CHUNKS_PER_WORKER).max(1);
     let cursor = AtomicUsize::new(0);
 
@@ -131,6 +139,10 @@ where
                     if start >= len {
                         break;
                     }
+                    // Queue-depth probe: how much work was still
+                    // unclaimed when this worker grabbed a chunk.
+                    mx_obs::gauge_max_volatile!(mx_obs::names::PAR_QUEUE_DEPTH_MAX)
+                        .record_max(len.saturating_sub(start) as u64);
                     let end = (start + chunk).min(len);
                     if let Some(slice) = items.get(start..end) {
                         local.push((start, slice.iter().map(&f).collect()));

@@ -73,8 +73,15 @@ impl SmtpClient {
     /// Open the connection, reading whatever greeting arrives; the bool is
     /// whether it was a 220. Scanners use this to capture 4xx banners too.
     pub fn connect_raw(mut conn: Connection) -> Result<(SmtpClient, bool), ClientError> {
+        let _obs =
+            mx_obs::stage!(mx_obs::names::STAGE_SMTP_SESSION, mx_obs::names::STAGE_NET_SCAN_IP)
+                .enter();
+        mx_obs::counter!(mx_obs::names::SMTP_SESSIONS).incr();
         let banner = conn.read_reply()?;
         let ok = banner.code == ReplyCode::READY;
+        if ok {
+            mx_obs::counter!(mx_obs::names::SMTP_BANNER_OK).incr();
+        }
         Ok((SmtpClient { conn, banner }, ok))
     }
 
@@ -85,6 +92,7 @@ impl SmtpClient {
 
     /// Send EHLO, returning the full reply and parsed extensions.
     pub fn ehlo(&mut self, client_name: &str) -> Result<(Reply, Vec<Extension>), ClientError> {
+        mx_obs::counter!(mx_obs::names::SMTP_EHLO).incr();
         self.conn.write_line(&format!("EHLO {client_name}"))?;
         let reply = self.conn.read_reply()?;
         if reply.code != ReplyCode::OK {
@@ -93,6 +101,7 @@ impl SmtpClient {
                 got: reply,
             });
         }
+        mx_obs::counter!(mx_obs::names::SMTP_EHLO_OK).incr();
         let extensions = reply.lines[1..].iter().map(|l| Extension::parse(l)).collect();
         Ok((reply, extensions))
     }
@@ -100,14 +109,23 @@ impl SmtpClient {
     /// Negotiate STARTTLS and return the certificate chain the server
     /// presented.
     pub fn starttls(&mut self) -> Result<Vec<Certificate>, ClientError> {
+        mx_obs::counter!(mx_obs::names::SMTP_STARTTLS).incr();
         self.conn.write_line("STARTTLS")?;
         let reply = self.conn.read_reply()?;
         if reply.code != ReplyCode::READY {
+            mx_obs::counter!(mx_obs::names::SMTP_STARTTLS_REFUSED).incr();
             return Err(ClientError::TlsFailed(Some(reply)));
         }
-        self.conn
-            .tls_handshake()
-            .ok_or(ClientError::TlsFailed(None))
+        match self.conn.tls_handshake() {
+            Some(chain) => {
+                mx_obs::counter!(mx_obs::names::SMTP_STARTTLS_OK).incr();
+                Ok(chain)
+            }
+            None => {
+                mx_obs::counter!(mx_obs::names::SMTP_STARTTLS_FAILED).incr();
+                Err(ClientError::TlsFailed(None))
+            }
+        }
     }
 
     /// Submit a complete message (EHLO must have been sent).

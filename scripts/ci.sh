@@ -24,6 +24,15 @@ cargo test --release --test par_determinism -q
 echo "==> chaos gate (tests/chaos_gate.rs)"
 cargo test --release --test chaos_gate -q
 
+echo "==> obs gate (tests/obs_gate.rs)"
+cargo test --release --test obs_gate -q
+
+echo "==> obs snapshot determinism (two --obs runs must be byte-identical)"
+cargo run --quiet --release -p mx-bench --bin bench_pipeline -- --obs --obs-out /tmp/mx_obs_a.json
+cargo run --quiet --release -p mx-bench --bin bench_pipeline -- --obs --obs-out /tmp/mx_obs_b.json
+cmp /tmp/mx_obs_a.json /tmp/mx_obs_b.json
+rm -f /tmp/mx_obs_a.json /tmp/mx_obs_b.json
+
 echo "==> bench smoke (threads 1 vs 2 must agree)"
 # MX_THREADS exercises the env-var configuration path; the binary's
 # install() overrides still pin each timed run's width.

@@ -61,3 +61,6 @@ pub use mx_asn as asn;
 
 /// Public Suffix List engine.
 pub use mx_psl as psl;
+
+/// Deterministic observability: sharded metrics, stage spans, exporters.
+pub use mx_obs as obs;
