@@ -131,8 +131,13 @@ pub fn top100_set(
     result: &InferenceResult,
     companies: &CompanyMap,
 ) -> std::collections::HashSet<String> {
+    // Same ordering discipline as `market::market_share`: sum weights in
+    // dotted-name byte order so the ranking (and thus the set) matches
+    // the store-backed path bit for bit.
+    let mut entries: Vec<(&Name, &mx_infer::DomainAssignment)> = result.domains.iter().collect();
+    entries.sort_by_cached_key(|(name, _)| name.to_dotted());
     let mut weights: HashMap<String, f64> = HashMap::new();
-    for a in result.domains.values() {
+    for (_, a) in entries {
         for s in &a.shares {
             *weights
                 .entry(companies.company_or_id(&s.provider).to_string())

@@ -18,7 +18,10 @@
 //!   snapshot;
 //! * [`country`] — Figure 8: provider preference by ccTLD;
 //! * [`report`] — plain-text table/series rendering shared by the
-//!   experiment binaries.
+//!   experiment binaries;
+//! * [`store`] — persist per-snapshot results into the `mx-store`
+//!   snapshot store and recompute the market/longitudinal/churn tables
+//!   from the bytes alone.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,6 +34,7 @@ pub mod longitudinal;
 pub mod market;
 pub mod observe;
 pub mod report;
+pub mod store;
 
 pub use accuracy::{AccuracyCell, AccuracyReport, SampleKind};
 pub use churn::{ChurnCategory, ChurnMatrix};
@@ -40,3 +44,7 @@ pub use longitudinal::{LongitudinalSeries, SeriesPoint};
 pub use market::{MarketShare, MarketShareRow};
 pub use observe::{observe_world, observe_world_with, ObserveConfig, SnapshotData};
 pub use report::{pct, Table};
+pub use store::{
+    churn_from_store, market_share_at, self_hosted_at, series_from_store, write_study_store,
+    StudyStoreExt,
+};

@@ -55,9 +55,15 @@ pub fn market_share(
     companies: &CompanyMap,
     filter: Option<&dyn Fn(&Name) -> bool>,
 ) -> MarketShare {
+    // Accumulate over domains in dotted-name byte order: f64 addition is
+    // order-sensitive, and this order is shared with the store-backed
+    // path, so both produce bit-identical sums (HashMap order is not
+    // even stable run to run).
+    let mut entries: Vec<(&Name, &mx_infer::DomainAssignment)> = result.domains.iter().collect();
+    entries.sort_by_cached_key(|(name, _)| name.to_dotted());
     let mut weights: HashMap<String, f64> = HashMap::new();
     let mut total = 0usize;
-    for (name, a) in &result.domains {
+    for (name, a) in entries {
         if let Some(f) = filter {
             if !f(name) {
                 continue;

@@ -8,7 +8,7 @@ use mx_infer::{
     AcqFault, AcquisitionReport, DnsAcquisition, DomainObservation, IpAcquisition, IpObservation,
     MxObservation, MxTargetObs, ObservationSet, ScanStatus,
 };
-use mx_net::{openintel, Missed, PortState, ScanFault, Scanner};
+use mx_net::{openintel, Missed, PortState, Scanner};
 
 /// The fully-joined measurement data of one snapshot.
 pub struct SnapshotData {
@@ -51,16 +51,6 @@ pub struct ObserveConfig {
 /// address, so the snapshot is bit-identical to a serial run.
 pub fn observe_world(world: &World) -> SnapshotData {
     observe_world_with(world, &ObserveConfig::default())
-}
-
-fn scan_fault_to_acq(f: ScanFault) -> AcqFault {
-    match f {
-        ScanFault::Transient => AcqFault::Transient,
-        ScanFault::DropAfterBanner => AcqFault::DropAfterBanner,
-        ScanFault::EhloTarpit => AcqFault::EhloTarpit,
-        ScanFault::TlsHandshake => AcqFault::TlsHandshake,
-        ScanFault::GarbledBanner => AcqFault::GarbledBanner,
-    }
 }
 
 /// [`observe_world`] with explicit configuration.
@@ -110,7 +100,9 @@ pub fn observe_world_with(world: &World, cfg: &ObserveConfig) -> SnapshotData {
                     recovered: o.recovered,
                     exhausted: false,
                     blocked: false,
-                    fault: o.fault.map(scan_fault_to_acq),
+                    // `ScanFault` *is* `AcqFault` (shared `mx-acq`
+                    // vocabulary); the fault carries over unchanged.
+                    fault: o.fault,
                 }
             } else {
                 match scan.missed.get(&ip) {

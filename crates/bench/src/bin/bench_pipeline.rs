@@ -17,6 +17,13 @@
 //!   exports a schema-validated deterministic obs snapshot to PATH
 //!   (default `results/OBS_pipeline.json`). Two runs of this mode must
 //!   produce byte-identical snapshots — CI `cmp`s them.
+//! - `--store [--store-out PATH]`: small scale; builds the full-study
+//!   `mx-store` snapshot store for the Alexa dataset (timed), measures
+//!   point-lookup and full-scan query throughput against it, verifies
+//!   the store-backed analyses equal the in-memory ones, and writes
+//!   `results/BENCH_store.json`. With `--store-out` the store bytes are
+//!   also written to PATH — two runs must produce byte-identical files
+//!   (CI `cmp`s them).
 
 use std::time::Instant;
 
@@ -127,8 +134,156 @@ fn obs_mode(obs_out: &str) -> i32 {
     0
 }
 
+/// `--store` mode: store build/query benchmark + round-trip proof.
+fn store_mode(store_out: Option<&str>) -> i32 {
+    use mx_analysis::{market_share_at, StudyStoreExt};
+    use mx_corpus::{company_map, Dataset};
+
+    let config = ScenarioConfig::small(42);
+    let study = mx_par::install(1, || Study::generate(config));
+    let pipeline = Pipeline::priority_based(provider_knowledge(10));
+    let companies = company_map();
+
+    // Build: run the pipeline over all nine snapshots and serialize.
+    // Timed min-of-REPS; every rep must serialize to identical bytes.
+    let mut bytes: Vec<u8> = Vec::new();
+    let mut build_ms = f64::INFINITY;
+    for rep in 0..REPS {
+        let t = Instant::now();
+        let b = mx_par::install(2, || {
+            study.write_store(Dataset::Alexa, &pipeline, &companies)
+        })
+        .expect("write store");
+        build_ms = build_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        if rep > 0 && b != bytes {
+            eprintln!("bench_pipeline: FAIL — store bytes differ between builds");
+            return 1;
+        }
+        bytes = b;
+    }
+
+    let reader = mx_store::StoreReader::open(&bytes).expect("open store");
+    let last = reader.epoch_count() - 1;
+
+    // Collect the last epoch's names once (also counts rows/shares for
+    // the scan number below).
+    let mut names: Vec<String> = Vec::new();
+    reader
+        .for_each_row(last, |name, _row| {
+            names.push(name.to_string());
+            Ok(())
+        })
+        .expect("scan last epoch");
+
+    // Point lookups: every domain of the last epoch, resolved through
+    // all delta layers.
+    const LOOKUP_ROUNDS: usize = 20;
+    let mut lookup_ms = f64::INFINITY;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        let mut hits = 0usize;
+        for _ in 0..LOOKUP_ROUNDS {
+            for n in &names {
+                if reader.lookup(n, last).expect("lookup").is_some() {
+                    hits += 1;
+                }
+            }
+        }
+        assert_eq!(hits, names.len() * LOOKUP_ROUNDS);
+        lookup_ms = lookup_ms.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let lookups = (names.len() * LOOKUP_ROUNDS) as f64;
+    let lookups_per_sec = lookups / (lookup_ms / 1e3);
+
+    // Full-epoch scans: k-way merge over base + all deltas.
+    const SCAN_ROUNDS: usize = 20;
+    let mut scan_ms = f64::INFINITY;
+    let mut shares_seen = 0usize;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        for _ in 0..SCAN_ROUNDS {
+            let mut rows = 0usize;
+            shares_seen = 0;
+            reader
+                .for_each_row(last, |_n, row| {
+                    rows += 1;
+                    shares_seen += row.shares().count();
+                    Ok(())
+                })
+                .expect("scan");
+            assert_eq!(rows, names.len());
+        }
+        scan_ms = scan_ms.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let rows_per_sec = (names.len() * SCAN_ROUNDS) as f64 / (scan_ms / 1e3);
+
+    // Round-trip proof: the store-backed market table must equal the
+    // in-memory one — including every f64 bit — at first and last epoch.
+    let verify_epoch = |k: usize| {
+        let world = study.world_at(k);
+        let data = observe_world(&world);
+        let obs = data.dataset(Dataset::Alexa).expect("alexa active");
+        let result = pipeline.run(obs);
+        let mem = mx_analysis::market::market_share(&result, &companies, None);
+        let stored = market_share_at(&reader, k).expect("stored shares");
+        stored.total_domains == mem.total_domains && stored.rows == mem.rows
+    };
+    if !verify_epoch(0) || !verify_epoch(last) {
+        eprintln!("bench_pipeline: FAIL — store-backed market share diverges from in-memory");
+        return 1;
+    }
+    eprintln!(
+        "  store: {} bytes, {} epochs, {} rows at last epoch",
+        bytes.len(),
+        reader.epoch_count(),
+        names.len()
+    );
+    eprintln!("  build: {build_ms:.1} ms (full study, min-of-{REPS})");
+    eprintln!("  point lookups: {lookups_per_sec:.0}/s   full scan: {rows_per_sec:.0} rows/s");
+
+    if let Some(path) = store_out {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            std::fs::create_dir_all(dir).ok();
+        }
+        std::fs::write(path, &bytes).expect("write store file");
+        eprintln!("bench_pipeline: wrote {path}");
+    }
+
+    let out = obj! {
+        "benchmark" => "store_build_query",
+        "scale" => "small(42)",
+        "dataset" => "alexa",
+        "reps_per_point" => REPS as u64,
+        "file_bytes" => bytes.len() as u64,
+        "epochs" => reader.epoch_count() as u64,
+        "rows_last_epoch" => names.len() as u64,
+        "shares_last_epoch" => shares_seen as u64,
+        "build_ms" => build_ms,
+        "lookup_rounds" => LOOKUP_ROUNDS as u64,
+        "lookups_per_sec" => lookups_per_sec,
+        "scan_rounds" => SCAN_ROUNDS as u64,
+        "scan_rows_per_sec" => rows_per_sec,
+        "round_trip_verified" => true,
+        "note" => "build = pipeline over 9 snapshots + delta encode; queries resolve \
+                   through all delta layers; round-trip compares f64 bits",
+    };
+    std::fs::create_dir_all("results").ok();
+    std::fs::write("results/BENCH_store.json", out.to_string_pretty())
+        .expect("write results/BENCH_store.json");
+    eprintln!("bench_pipeline: wrote results/BENCH_store.json");
+    0
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--store") {
+        let store_out = args
+            .iter()
+            .position(|a| a == "--store-out")
+            .and_then(|i| args.get(i + 1))
+            .map(String::to_string);
+        std::process::exit(store_mode(store_out.as_deref()));
+    }
     if args.iter().any(|a| a == "--obs") {
         let obs_out = args
             .iter()
@@ -207,7 +362,28 @@ fn main() {
         std::process::exit(1);
     }
     if smoke {
-        eprintln!("bench_pipeline: smoke OK — parallel runs identical to serial");
+        // Store-backed query path: serialize the first dataset's result
+        // and re-read it; row count must match the in-memory pipeline.
+        let companies = mx_corpus::company_map();
+        let store_bytes = pipeline
+            .write_store(&companies, [("smoke", &sets[0])])
+            .expect("write store");
+        let reader = mx_infer::open_store(&store_bytes).expect("open store");
+        let mut rows = 0usize;
+        reader
+            .for_each_row(0, |_name, _row| {
+                rows += 1;
+                Ok(())
+            })
+            .expect("scan store");
+        if rows != baseline[0].domains.len() {
+            eprintln!("bench_pipeline: FAIL — store rows diverge from pipeline result");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "bench_pipeline: smoke OK — parallel runs identical to serial; \
+             store round-trip over {rows} rows"
+        );
         return;
     }
 

@@ -133,100 +133,10 @@ impl IpObservation {
     }
 }
 
-/// The kind of fault behind a degraded acquisition, as recorded by the
-/// measurement layer. (Mirrored here rather than imported: the
-/// inference crate does not depend on the simulated network.)
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum AcqFault {
-    /// Transient connect-level failure.
-    Transient,
-    /// The server dropped the connection after its banner.
-    DropAfterBanner,
-    /// The EHLO exchange tarpitted.
-    EhloTarpit,
-    /// The TLS handshake failed after STARTTLS was accepted.
-    TlsHandshake,
-    /// The banner arrived garbled.
-    GarbledBanner,
-    /// A DNS lookup on the resolution path failed or needed retries.
-    Dns,
-}
-
-/// Acquisition accounting for one scanned IP: what the observation cost
-/// and whether (and how) it degraded.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct IpAcquisition {
-    /// Connection attempts consumed across the scan (window).
-    pub attempts: u32,
-    /// An earlier attempt failed but a later one captured the data.
-    pub recovered: bool,
-    /// Every attempt failed; the IP is uncovered despite trying.
-    pub exhausted: bool,
-    /// Owner opt-out; the IP was never attempted.
-    pub blocked: bool,
-    /// The fault reflected in (or healed from) the observation.
-    pub fault: Option<AcqFault>,
-}
-
-impl IpAcquisition {
-    /// A clean single-attempt acquisition.
-    pub fn clean() -> Self {
-        IpAcquisition {
-            attempts: 1,
-            recovered: false,
-            exhausted: false,
-            blocked: false,
-            fault: None,
-        }
-    }
-}
-
-/// Acquisition accounting for one domain's DNS measurement.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
-pub struct DnsAcquisition {
-    /// Extra transport attempts (retries) across the domain's lookups.
-    pub retries: u32,
-    /// Some lookup ultimately failed despite the retry budget.
-    pub exhausted: bool,
-}
-
-/// Per-snapshot acquisition side-table: how hard the measurement layer
-/// had to work, and what it lost — the raw material for the Table-4
-/// "never covered" vs "recovered on retry" vs "exhausted budget" split.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
-pub struct AcquisitionReport {
-    /// Per-IP scan accounting (every targeted IP has an entry).
-    pub ips: HashMap<Ipv4Addr, IpAcquisition>,
-    /// Per-domain DNS accounting (only degraded domains have entries).
-    pub domains: HashMap<Name, DnsAcquisition>,
-}
-
-impl AcquisitionReport {
-    /// No accounting recorded.
-    pub fn is_empty(&self) -> bool {
-        self.ips.is_empty() && self.domains.is_empty()
-    }
-
-    /// IPs whose data was captured after at least one failed attempt.
-    pub fn recovered_ips(&self) -> usize {
-        self.ips.values().filter(|a| a.recovered).count()
-    }
-
-    /// IPs that exhausted their retry budget without capturing anything.
-    pub fn exhausted_ips(&self) -> usize {
-        self.ips.values().filter(|a| a.exhausted).count()
-    }
-
-    /// IPs never attempted (owner opt-out).
-    pub fn blocked_ips(&self) -> usize {
-        self.ips.values().filter(|a| a.blocked).count()
-    }
-
-    /// Total scan attempts across all IPs.
-    pub fn total_attempts(&self) -> u64 {
-        self.ips.values().map(|a| a.attempts as u64).sum()
-    }
-}
+// The acquisition-accounting vocabulary lives in `mx-acq` (one shared
+// definition for the measurement layer, this crate, and the snapshot
+// store); re-exported here so inference consumers keep their paths.
+pub use mx_acq::{AcqFault, AcquisitionReport, DnsAcquisition, IpAcquisition};
 
 /// The complete joined input of one snapshot.
 #[derive(Debug, Clone, Default)]

@@ -48,6 +48,7 @@ pub mod mxid;
 pub mod pattern;
 pub mod pipeline;
 pub mod spf;
+pub mod store_io;
 
 pub use certgroup::{CertGroups, GroupId};
 pub use company::{CompanyMap, ProviderIdRow};
@@ -62,3 +63,4 @@ pub use mxid::{IdSource, MxAssignment};
 pub use pattern::Pattern;
 pub use pipeline::{InferenceResult, Pipeline, Strategy};
 pub use spf::{eventual_providers, Mechanism, Qualifier, SpfRecord};
+pub use store_io::{assignment_from_row, open_store, result_rows};

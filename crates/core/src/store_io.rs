@@ -1,0 +1,158 @@
+//! Persisting inference results into the `mx-store` snapshot store.
+//!
+//! The store is the inference stack's serialization boundary: rows go
+//! in as `(dotted name, has_smtp, shares)` with the company map baked
+//! into the interned tables, and come back out as zero-copy
+//! [`mx_store::Row`]s that reconstruct into [`DomainAssignment`]s
+//! bit-for-bit (weights round-trip as exact `f64` bit patterns).
+
+use mx_dns::Name;
+use mx_store::{RowIn, ShareIn, ShareSource, StoreError, StoreReader, StoreWriter};
+
+use crate::company::CompanyMap;
+use crate::domainid::{DomainAssignment, Share};
+use crate::input::ObservationSet;
+use crate::ipid::ProviderId;
+use crate::mxid::IdSource;
+use crate::pipeline::{InferenceResult, Pipeline};
+
+/// Map an inference [`IdSource`] onto its store wire twin.
+pub fn source_to_store(source: IdSource) -> ShareSource {
+    match source {
+        IdSource::Certificate => ShareSource::Certificate,
+        IdSource::Banner => ShareSource::Banner,
+        IdSource::MxRecord => ShareSource::MxRecord,
+    }
+}
+
+/// Map a store [`ShareSource`] back onto the inference [`IdSource`].
+pub fn source_from_store(source: ShareSource) -> IdSource {
+    match source {
+        ShareSource::Certificate => IdSource::Certificate,
+        ShareSource::Banner => IdSource::Banner,
+        ShareSource::MxRecord => IdSource::MxRecord,
+    }
+}
+
+/// Convert an inference result into writer rows: one [`RowIn`] per
+/// attributed domain, shares in assignment order (sorted by provider
+/// id), companies resolved through `companies`.
+pub fn result_rows(result: &InferenceResult, companies: &CompanyMap) -> Vec<RowIn> {
+    result
+        .domains
+        .iter()
+        .map(|(name, a)| RowIn {
+            name: name.to_dotted(),
+            has_smtp: a.has_smtp,
+            shares: a
+                .shares
+                .iter()
+                .map(|s| ShareIn {
+                    provider: s.provider.as_str().to_string(),
+                    company: companies.company_of(&s.provider).map(str::to_string),
+                    weight: s.weight,
+                    source: source_to_store(s.source),
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Reconstruct a [`DomainAssignment`] from a stored row. The inverse of
+/// [`result_rows`] for one domain: shares come back in stored order
+/// (the assignment order `result_rows` preserved) with exact weights.
+pub fn assignment_from_row(
+    name: &str,
+    row: &mx_store::Row<'_>,
+) -> Result<DomainAssignment, StoreError> {
+    let domain = Name::parse(name).map_err(|_e| StoreError::BadName(name.to_string()))?;
+    let shares: Vec<Share> = row
+        .shares()
+        .map(|s| Share {
+            provider: ProviderId::new(s.provider),
+            weight: s.weight,
+            source: source_from_store(s.source),
+        })
+        .collect();
+    Ok(DomainAssignment {
+        domain,
+        shares,
+        has_smtp: row.has_smtp(),
+    })
+}
+
+/// Open a store buffer for querying. Re-exported convenience over
+/// [`StoreReader::open`] so pipeline consumers need no direct
+/// `mx-store` dependency.
+pub fn open_store(bytes: &[u8]) -> Result<StoreReader<'_>, StoreError> {
+    StoreReader::open(bytes)
+}
+
+impl Pipeline {
+    /// Run the pipeline over each labelled epoch and serialize the
+    /// results (plus each epoch's acquisition sidecar) into one store
+    /// buffer: the first epoch becomes the base snapshot, later ones
+    /// deltas. Labels must be unique per epoch for [`StoreReader::find_epoch`]
+    /// to be useful, but the store itself does not require it.
+    pub fn write_store<'a, I>(
+        &self,
+        companies: &CompanyMap,
+        epochs: I,
+    ) -> Result<Vec<u8>, StoreError>
+    where
+        I: IntoIterator<Item = (&'a str, &'a ObservationSet)>,
+    {
+        let mut writer = StoreWriter::new();
+        for (label, obs) in epochs {
+            let result = self.run(obs);
+            writer.add_epoch(label, result_rows(&result, companies), &obs.acquisition)?;
+        }
+        Ok(writer.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::{DomainObservation, MxObservation, MxTargetObs};
+    use crate::pipeline::Strategy;
+    use mx_dns::dns_name;
+
+    fn tiny_obs(domain: &str, mx: &str) -> ObservationSet {
+        let mut obs = ObservationSet::new();
+        obs.domains = vec![DomainObservation {
+            domain: dns_name!(domain),
+            mx: MxObservation::Targets(vec![MxTargetObs {
+                preference: 10,
+                exchange: dns_name!(mx),
+                addrs: vec![],
+            }]),
+        }];
+        obs
+    }
+
+    #[test]
+    fn write_store_round_trips_assignments() {
+        let pipeline = Pipeline::new(Strategy::MxOnly);
+        let obs0 = tiny_obs("alpha.test", "mx.alpha.test");
+        let obs1 = tiny_obs("alpha.test", "aspmx.l.google.com");
+        let mut companies = CompanyMap::new();
+        companies.insert("google.com", "Google");
+
+        let bytes = pipeline
+            .write_store(&companies, [("e0", &obs0), ("e1", &obs1)])
+            .unwrap();
+        let reader = open_store(&bytes).unwrap();
+        assert_eq!(reader.epoch_count(), 2);
+
+        let expect0 = pipeline.run(&obs0);
+        let row = reader.lookup("alpha.test", 0).unwrap().unwrap();
+        let got = assignment_from_row("alpha.test", &row).unwrap();
+        assert_eq!(&got, &expect0.domains[&dns_name!("alpha.test")]);
+
+        let row1 = reader.lookup("alpha.test", 1).unwrap().unwrap();
+        let share = row1.shares().next().unwrap();
+        assert_eq!(share.provider, "google.com");
+        assert_eq!(share.company, Some("Google"));
+    }
+}

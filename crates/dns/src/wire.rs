@@ -255,11 +255,9 @@ impl<'a> WireReader<'a> {
 
     /// Read `n` raw bytes.
     pub fn get_bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
-        let b = self
-            .data
-            .get(self.pos..self.pos + n)
-            .ok_or(WireError::Truncated)?;
-        self.pos += n;
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        let b = self.data.get(self.pos..end).ok_or(WireError::Truncated)?;
+        self.pos = end;
         Ok(b)
     }
 
@@ -307,11 +305,11 @@ impl<'a> WireReader<'a> {
                         }
                         break;
                     }
-                    let b = self
-                        .data
-                        .get(pos..pos + len as usize)
+                    let end = pos
+                        .checked_add(len as usize)
                         .ok_or(WireError::Truncated)?;
-                    pos += len as usize;
+                    let b = self.data.get(pos..end).ok_or(WireError::Truncated)?;
+                    pos = end;
                     if !jumped {
                         end_pos = pos;
                     }

@@ -1,0 +1,326 @@
+//! `lint.toml` loading: the checked-in scope lists.
+//!
+//! The rule scopes ([`LintConfig`]) started life hard-coded in this
+//! crate; they now live in the repository's `lint.toml`, so adding a
+//! parser to the untrusted scope is a config review, not a lint-crate
+//! release. The file is a small, dependency-free TOML subset — flat
+//! `key = ["…", …]` string arrays, `#` comments, arrays free to span
+//! lines:
+//!
+//! ```toml
+//! # modules that parse untrusted input (R1/R3)
+//! untrusted = [
+//!     "crates/dns/src/wire.rs",
+//! ]
+//! ```
+//!
+//! Keys mirror the [`LintConfig`] fields (`untrusted`, `wire_codecs`,
+//! `bounded_loops`, `skip_dirs`); a key left out keeps its
+//! [`LintConfig::default`] value, so the file can override scopes
+//! selectively. Unknown or duplicate keys and malformed syntax are
+//! typed [`ConfigError`]s — a misspelled scope list must fail the run,
+//! not silently lint nothing.
+
+use std::fmt;
+use std::path::Path;
+
+use crate::LintConfig;
+
+/// Everything that can be wrong with a `lint.toml`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A key that is not one of the [`LintConfig`] fields.
+    UnknownKey {
+        /// 1-based line of the key.
+        line: usize,
+        /// The offending key text.
+        key: String,
+    },
+    /// The same key assigned twice.
+    DuplicateKey {
+        /// 1-based line of the second assignment.
+        line: usize,
+        /// The repeated key.
+        key: String,
+    },
+    /// Malformed syntax (missing `=`, unterminated string/array, a
+    /// non-string array element, …).
+    Syntax {
+        /// 1-based line of the problem.
+        line: usize,
+        /// What the parser expected.
+        msg: &'static str,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::UnknownKey { line, key } => {
+                write!(f, "lint.toml:{line}: unknown key `{key}`")
+            }
+            ConfigError::DuplicateKey { line, key } => {
+                write!(f, "lint.toml:{line}: duplicate key `{key}`")
+            }
+            ConfigError::Syntax { line, msg } => write!(f, "lint.toml:{line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// One token of the TOML subset.
+#[derive(Debug, PartialEq)]
+enum Tok {
+    Key(String),
+    Str(String),
+    Eq,
+    Open,
+    Close,
+    Comma,
+}
+
+/// Tokenize the subset: bare keys, quoted strings, `= [ ] ,` and `#`
+/// comments. Tracks the 1-based line of every token for errors.
+fn tokenize(src: &str) -> Result<Vec<(usize, Tok)>, ConfigError> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut chars = src.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '#' => {
+                // Comment to end of line; the newline is handled above.
+                while chars.peek().is_some_and(|&c| c != '\n') {
+                    chars.next();
+                }
+            }
+            '=' => {
+                out.push((line, Tok::Eq));
+                chars.next();
+            }
+            '[' => {
+                out.push((line, Tok::Open));
+                chars.next();
+            }
+            ']' => {
+                out.push((line, Tok::Close));
+                chars.next();
+            }
+            ',' => {
+                out.push((line, Tok::Comma));
+                chars.next();
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        None | Some('\n') => {
+                            return Err(ConfigError::Syntax {
+                                line,
+                                msg: "unterminated string",
+                            })
+                        }
+                        Some('"') => break,
+                        Some(c) => s.push(c),
+                    }
+                }
+                out.push((line, Tok::Str(s)));
+            }
+            c if c.is_ascii_alphanumeric() || c == '_' || c == '-' => {
+                let mut k = String::new();
+                while chars
+                    .peek()
+                    .is_some_and(|&c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+                {
+                    if let Some(c) = chars.next() {
+                        k.push(c);
+                    }
+                }
+                out.push((line, Tok::Key(k)));
+            }
+            _ => {
+                return Err(ConfigError::Syntax {
+                    line,
+                    msg: "unexpected character",
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+impl LintConfig {
+    /// Parse a `lint.toml` source text. Keys present override the
+    /// matching [`LintConfig::default`] field; keys absent keep it.
+    pub fn from_toml_str(src: &str) -> Result<LintConfig, ConfigError> {
+        let toks = tokenize(src)?;
+        let mut config = LintConfig::default();
+        let mut seen: Vec<String> = Vec::new();
+        let mut i = 0usize;
+        while i < toks.len() {
+            let (kline, key) = match &toks[i] {
+                (l, Tok::Key(k)) => (*l, k.clone()),
+                (l, _) => {
+                    return Err(ConfigError::Syntax {
+                        line: *l,
+                        msg: "expected a key",
+                    })
+                }
+            };
+            i += 1;
+            match toks.get(i) {
+                Some((_, Tok::Eq)) => i += 1,
+                _ => {
+                    return Err(ConfigError::Syntax {
+                        line: kline,
+                        msg: "expected `=` after key",
+                    })
+                }
+            }
+            match toks.get(i) {
+                Some((_, Tok::Open)) => i += 1,
+                _ => {
+                    return Err(ConfigError::Syntax {
+                        line: kline,
+                        msg: "expected `[` — values are string arrays",
+                    })
+                }
+            }
+            let mut values: Vec<String> = Vec::new();
+            // Array body: strings separated by commas, trailing comma
+            // allowed, closed by `]`.
+            while i < toks.len() {
+                match &toks[i] {
+                    (_, Tok::Close) => break,
+                    (_, Tok::Str(s)) => {
+                        values.push(s.clone());
+                        i += 1;
+                        match toks.get(i) {
+                            Some((_, Tok::Comma)) => i += 1,
+                            Some((_, Tok::Close)) => {}
+                            Some((l, _)) => {
+                                return Err(ConfigError::Syntax {
+                                    line: *l,
+                                    msg: "expected `,` or `]` after array element",
+                                })
+                            }
+                            None => {}
+                        }
+                    }
+                    (l, _) => {
+                        return Err(ConfigError::Syntax {
+                            line: *l,
+                            msg: "array elements must be strings",
+                        })
+                    }
+                }
+            }
+            match toks.get(i) {
+                Some((_, Tok::Close)) => i += 1,
+                _ => {
+                    return Err(ConfigError::Syntax {
+                        line: kline,
+                        msg: "unterminated array",
+                    })
+                }
+            }
+            if seen.contains(&key) {
+                return Err(ConfigError::DuplicateKey { line: kline, key });
+            }
+            seen.push(key.clone());
+            match key.as_str() {
+                "untrusted" => config.untrusted = values,
+                "wire_codecs" => config.wire_codecs = values,
+                "bounded_loops" => config.bounded_loops = values,
+                "skip_dirs" => config.skip_dirs = values,
+                _ => return Err(ConfigError::UnknownKey { line: kline, key }),
+            }
+        }
+        Ok(config)
+    }
+
+    /// Load the configuration for a workspace root: `<root>/lint.toml`
+    /// when present, [`LintConfig::default`] otherwise. A present but
+    /// malformed file is an error (it must never silently lint with
+    /// the wrong scopes).
+    pub fn load(root: &Path) -> std::io::Result<LintConfig> {
+        let path = root.join("lint.toml");
+        if !path.is_file() {
+            return Ok(LintConfig::default());
+        }
+        let src = std::fs::read_to_string(&path)?;
+        LintConfig::from_toml_str(&src)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_arrays_comments_and_partial_overrides() {
+        let src = "\
+# only override two scopes
+untrusted = [
+    \"crates/a/src/p.rs\", # trailing comment
+    \"crates/b/src/q.rs\",
+]
+skip_dirs = []
+";
+        let c = LintConfig::from_toml_str(src).unwrap();
+        assert_eq!(c.untrusted, ["crates/a/src/p.rs", "crates/b/src/q.rs"]);
+        assert!(c.skip_dirs.is_empty());
+        // Untouched keys keep their defaults.
+        assert_eq!(c.wire_codecs, LintConfig::default().wire_codecs);
+        assert_eq!(c.bounded_loops, LintConfig::default().bounded_loops);
+    }
+
+    #[test]
+    fn empty_source_is_the_default() {
+        let c = LintConfig::from_toml_str("# nothing here\n").unwrap();
+        let d = LintConfig::default();
+        assert_eq!(c.untrusted, d.untrusted);
+        assert_eq!(c.skip_dirs, d.skip_dirs);
+    }
+
+    #[test]
+    fn typed_errors_for_bad_input() {
+        assert!(matches!(
+            LintConfig::from_toml_str("nope = [\"x\"]"),
+            Err(ConfigError::UnknownKey { line: 1, ref key }) if key == "nope"
+        ));
+        assert!(matches!(
+            LintConfig::from_toml_str("untrusted = []\nuntrusted = []"),
+            Err(ConfigError::DuplicateKey { line: 2, ref key }) if key == "untrusted"
+        ));
+        assert!(matches!(
+            LintConfig::from_toml_str("untrusted = [\"unterminated\n]"),
+            Err(ConfigError::Syntax { line: 1, .. })
+        ));
+        assert!(matches!(
+            LintConfig::from_toml_str("untrusted = [1]"),
+            Err(ConfigError::Syntax { .. })
+        ));
+        assert!(matches!(
+            LintConfig::from_toml_str("untrusted [\"x\"]"),
+            Err(ConfigError::Syntax { .. })
+        ));
+        assert!(matches!(
+            LintConfig::from_toml_str("untrusted = \"x\""),
+            Err(ConfigError::Syntax { .. })
+        ));
+        assert!(matches!(
+            LintConfig::from_toml_str("untrusted = [\"a\""),
+            Err(ConfigError::Syntax { .. })
+        ));
+    }
+}

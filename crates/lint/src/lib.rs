@@ -27,6 +27,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod config;
 pub mod lexer;
 pub mod rules;
 
@@ -37,6 +38,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+pub use config::ConfigError;
 pub use rules::{Diagnostic, FileClass, Rule};
 
 /// Shared lex cache: one lex per file, reused across rule sets and
@@ -150,6 +152,12 @@ impl Default for LintConfig {
                 "crates/obs/src/span.rs",
                 "crates/obs/src/json.rs",
                 "crates/obs/src/export.rs",
+                // The snapshot store decodes files whose bytes may be
+                // corrupted or hand-edited; any input must produce a
+                // typed StoreError, never a panic.
+                "crates/store/src/format.rs",
+                "crates/store/src/varint.rs",
+                "crates/store/src/reader.rs",
             ]
             .map(String::from)
             .to_vec(),
@@ -163,6 +171,14 @@ impl Default for LintConfig {
                 // even though it has no binary wire format of its own.
                 "crates/cert/src/validate.rs",
                 "crates/cert/src/name_match.rs",
+                // The store's binary codec: varint/prefix arithmetic on
+                // untrusted lengths on the read side, and the writer is
+                // held to the same R2/R7 arithmetic bar so encode-side
+                // offsets can't silently wrap either.
+                "crates/store/src/format.rs",
+                "crates/store/src/varint.rs",
+                "crates/store/src/reader.rs",
+                "crates/store/src/writer.rs",
             ]
             .map(String::from)
             .to_vec(),
@@ -183,6 +199,11 @@ impl Default for LintConfig {
                 // the MAX_* budget that terminates them.
                 "crates/dns/src/resolver.rs",
                 "crates/net/src/scanner.rs",
+                // The store reader walks length-prefixed blocks: every
+                // loop must visibly bound its cursor.
+                "crates/store/src/format.rs",
+                "crates/store/src/varint.rs",
+                "crates/store/src/reader.rs",
             ]
             .map(String::from)
             .to_vec(),
@@ -301,8 +322,12 @@ pub fn lint_file(root: &Path, path: &Path, class: FileClass) -> io::Result<(Vec<
 /// Only `src/` trees are linted: `crates/*/src/**/*.rs` plus the root
 /// package's `src/`. Test, bench, example and fixture trees are exempt
 /// by design — panicking there is idiomatic.
+///
+/// Scopes come from `<root>/lint.toml` when the file exists (a
+/// malformed file is an error), [`LintConfig::default`] otherwise.
 pub fn lint_workspace(root: &Path) -> io::Result<Report> {
-    lint_workspace_with(root, &LintConfig::default())
+    let config = LintConfig::load(root)?;
+    lint_workspace_with(root, &config)
 }
 
 /// [`lint_workspace`] with a custom configuration.
@@ -391,6 +416,11 @@ mod tests {
         // Certificate validation is in the R2/R7 arithmetic scope.
         let cert = c.classify("crates/cert/src/validate.rs");
         assert!(cert.untrusted && cert.wire_codec);
+        // The store codec: reader fully scoped, writer arithmetic-only.
+        let srd = c.classify("crates/store/src/reader.rs");
+        assert!(srd.untrusted && srd.wire_codec && srd.bounded_loops);
+        let swr = c.classify("crates/store/src/writer.rs");
+        assert!(!swr.untrusted && swr.wire_codec && !swr.bounded_loops);
     }
 
     #[test]

@@ -39,22 +39,11 @@ pub enum DnsFault {
 /// A fault injected into an SMTP session or scan attempt. `Transient`
 /// is the pre-session connect-level coin; the rest corrupt an
 /// established session in a specific, paper-relevant way.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum ScanFault {
-    /// Connect-level transient failure (SYN lost, host briefly down).
-    Transient,
-    /// The server sends its banner and then drops the connection.
-    DropAfterBanner,
-    /// The server tarpits after EHLO: the client gives up with banner
-    /// data only.
-    EhloTarpit,
-    /// STARTTLS is offered but the TLS handshake fails; the captured
-    /// banner/EHLO data is kept as a fallback.
-    TlsHandshake,
-    /// The banner line arrives garbled (non-conforming bytes); no
-    /// usable hostname can be extracted from it.
-    GarbledBanner,
-}
+///
+/// This is the shared acquisition-fault vocabulary from `mx-acq` under
+/// its measurement-side name; the plan never injects the DNS variant
+/// here (DNS faults are [`DnsFault`] on the resolution path).
+pub use mx_acq::AcqFault as ScanFault;
 
 /// Keyed DNS fault rates, each in `[0, 1]`; their sum must be `<= 1`.
 #[derive(Debug, Clone, Copy, Default)]

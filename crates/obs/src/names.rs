@@ -96,6 +96,23 @@ pub const LINT_LEX_CACHE_HITS: &str = "lint.lex_cache.hits";
 /// Lex-cache misses.
 pub const LINT_LEX_CACHE_MISSES: &str = "lint.lex_cache.misses";
 
+// --- store: snapshot store (crates/store) ---
+
+/// Epochs encoded into store files.
+pub const STORE_WRITE_EPOCHS: &str = "store.write.epochs";
+/// Row upserts encoded (base rows and delta upserts alike).
+pub const STORE_WRITE_ROWS: &str = "store.write.rows";
+/// Delta operations encoded (upserts + removals in delta epochs).
+pub const STORE_WRITE_DELTA_OPS: &str = "store.write.delta_ops";
+/// Bytes of finished store files produced.
+pub const STORE_WRITE_BYTES: &str = "store.write.bytes";
+/// Store files opened (header + index decode) — per-run.
+pub const STORE_READ_OPENS: &str = "store.read.opens";
+/// Point lookups served by open readers — per-run.
+pub const STORE_READ_LOOKUPS: &str = "store.read.lookups";
+/// Rows yielded by full-epoch iteration/diff — per-run.
+pub const STORE_READ_ROWS: &str = "store.read.rows";
+
 // --- stages: the pipeline tree ---
 
 /// Root of the measurement (observation) side.
@@ -130,3 +147,7 @@ pub const STAGE_INFER_MISID: &str = "infer.misid";
 pub const STAGE_INFER_DOMAINID: &str = "infer.domainid";
 /// Coverage/resilience report assembly.
 pub const STAGE_REPORT_COVERAGE: &str = "report.coverage";
+/// Encoding one study into a store file (all epochs).
+pub const STAGE_STORE_WRITE: &str = "store.write";
+/// Opening a store file: header, tables and block-index decode.
+pub const STAGE_STORE_READ: &str = "store.read";

@@ -1,0 +1,1031 @@
+//! The zero-copy store reader.
+//!
+//! [`StoreReader::open`] validates the whole file in one pass —
+//! header, tables, every row entry of every epoch (structure, UTF-8,
+//! strict name ordering, interning bounds), every sidecar record — and
+//! builds a per-epoch block index of restart points whose names are
+//! borrowed straight from the input buffer. After a successful open:
+//!
+//! - **point lookups** binary-search the restart index and then walk at
+//!   most one block, comparing prefix-compressed entries against the
+//!   target *incrementally* (no name is ever materialized);
+//! - **full-epoch iteration** resolves base + delta layers with a
+//!   k-way merge, reusing one name buffer per layer (no per-row
+//!   allocation);
+//! - **epoch diffs** feed `analysis::churn` the changed/added/removed
+//!   rows between two resolved epochs.
+//!
+//! Every decode path returns a typed [`StoreError`]; malformed input
+//! can never panic this module (it sits in mx-lint's untrusted +
+//! wire-codec scope).
+
+use std::cmp::Ordering;
+use std::net::Ipv4Addr;
+
+use mx_acq::{AcquisitionReport, DnsAcquisition, IpAcquisition};
+use mx_dns::Name;
+
+use crate::format::{
+    fault_from_code, Cur, FAULT_CODE_MAX, KIND_BASE, KIND_DELTA, MAGIC, SCHEMA, SIDE_BLOCKED,
+    SIDE_EXHAUSTED, SIDE_FLAGS_MASK, SIDE_RECOVERED, SOURCE_CODE_MAX, TAG_REMOVE, TAG_ROW,
+    TAG_ROW_SMTP, VERSION,
+};
+use crate::{ShareSource, StoreError};
+
+/// Whether an epoch is a full base snapshot or a delta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochKind {
+    /// Full snapshot (always and only the first epoch).
+    Base,
+    /// Changed/added/removed rows against the previous resolved epoch.
+    Delta,
+}
+
+/// A restart point: a full (uncompressed) name and its entry offset.
+#[derive(Clone, Copy)]
+struct Restart<'a> {
+    name: &'a str,
+    offset: usize,
+}
+
+/// One epoch's index: borrowed label, entry bytes, restart points and
+/// sidecar slices.
+struct EpochIx<'a> {
+    label: &'a str,
+    kind: EpochKind,
+    /// Entry bytes (after the entry-count varint).
+    entries: &'a [u8],
+    entry_count: u64,
+    restarts: Vec<Restart<'a>>,
+    side_ips: &'a [u8],
+    ip_count: usize,
+    side_dns: &'a [u8],
+    dns_count: usize,
+}
+
+/// A validated, zero-copy view over store bytes.
+///
+/// The `Debug` form is a summary (table and epoch sizes), not a dump.
+pub struct StoreReader<'a> {
+    providers: Vec<&'a str>,
+    companies: Vec<&'a str>,
+    /// Per provider: 0 = no company, else company index + 1.
+    provider_company: Vec<u32>,
+    epochs: Vec<EpochIx<'a>>,
+}
+
+impl<'a> std::fmt::Debug for StoreReader<'a> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreReader")
+            .field("providers", &self.providers.len())
+            .field("companies", &self.companies.len())
+            .field("epochs", &self.epochs.len())
+            .finish()
+    }
+}
+
+/// One resolved row: SMTP liveness plus lazily-decoded shares.
+#[derive(Clone, Copy)]
+pub struct Row<'r> {
+    reader: &'r StoreReader<'r>,
+    has_smtp: bool,
+    share_count: usize,
+    /// Encoded share bytes (validated at open).
+    bytes: &'r [u8],
+}
+
+impl<'r> PartialEq for Row<'r> {
+    fn eq(&self, other: &Self) -> bool {
+        // Same interning tables (same store) make byte equality exact;
+        // across stores this is still correct only when the tables
+        // agree, which diff() (single store) guarantees.
+        self.has_smtp == other.has_smtp
+            && self.share_count == other.share_count
+            && self.bytes == other.bytes
+    }
+}
+
+impl<'r> Row<'r> {
+    /// Does the domain have a live primary SMTP server?
+    pub fn has_smtp(&self) -> bool {
+        self.has_smtp
+    }
+
+    /// Number of provider shares.
+    pub fn share_count(&self) -> usize {
+        self.share_count
+    }
+
+    /// Iterate the shares. Total for rows obtained from a successfully
+    /// opened reader (the open pass validated every share).
+    pub fn shares(&self) -> ShareIter<'r> {
+        ShareIter {
+            reader: self.reader,
+            cur: Cur::new(self.bytes),
+            left: self.share_count,
+        }
+    }
+
+    /// The dominant share: maximum weight, later (in stored order)
+    /// share winning ties — the same resolution `analysis::churn` uses.
+    pub fn dominant(&self) -> Option<Share<'r>> {
+        self.shares().max_by(|a, b| a.weight.total_cmp(&b.weight))
+    }
+}
+
+/// One decoded share.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Share<'r> {
+    /// Provider identifier (interned table slice).
+    pub provider: &'r str,
+    /// Company behind the provider, when mapped.
+    pub company: Option<&'r str>,
+    /// Responsibility weight.
+    pub weight: f64,
+    /// Where the identification came from.
+    pub source: ShareSource,
+}
+
+/// Iterator over a row's shares (see [`Row::shares`]).
+pub struct ShareIter<'r> {
+    reader: &'r StoreReader<'r>,
+    cur: Cur<'r>,
+    left: usize,
+}
+
+impl<'r> Iterator for ShareIter<'r> {
+    type Item = Share<'r>;
+
+    fn next(&mut self) -> Option<Share<'r>> {
+        if self.left == 0 {
+            return None;
+        }
+        self.left = self.left.saturating_sub(1);
+        // Validated at open; any failure here just ends the iteration.
+        let pix = self.cur.count().ok()?;
+        let bits = self.cur.bytes(8).ok()?;
+        let arr: [u8; 8] = bits.try_into().ok()?;
+        let source = ShareSource::from_code(self.cur.u8().ok()?).ok()?;
+        let provider = self.reader.providers.get(pix).copied()?;
+        Some(Share {
+            provider,
+            company: self.reader.company_of_index(pix),
+            weight: f64::from_bits(u64::from_le_bytes(arr)),
+            source,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, Some(self.left))
+    }
+}
+
+/// Outcome of probing one layer for a name.
+enum LayerHit<'r> {
+    Row(Row<'r>),
+    Removed,
+    Absent,
+}
+
+impl<'a> StoreReader<'a> {
+    /// Validate `buf` as a complete `mx-store/1` file and index it.
+    pub fn open(buf: &'a [u8]) -> Result<StoreReader<'a>, StoreError> {
+        let _span = mx_obs::stage!(mx_obs::names::STAGE_STORE_READ).enter();
+        mx_obs::counter_volatile!(mx_obs::names::STORE_READ_OPENS).incr();
+        let mut cur = Cur::new(buf);
+        if cur.bytes(4)? != MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        let vraw = cur.bytes(2)?;
+        let varr: [u8; 2] = vraw.try_into().map_err(|_bad| StoreError::Truncated)?;
+        let version = u16::from_le_bytes(varr);
+        if version != VERSION {
+            return Err(StoreError::UnsupportedVersion(version));
+        }
+        let _flags = cur.bytes(2)?;
+        if cur.str()? != SCHEMA {
+            return Err(StoreError::BadSchema);
+        }
+
+        let providers = read_table(&mut cur)?;
+        let companies = read_table(&mut cur)?;
+        let mut provider_company = Vec::new();
+        for _pix in 0..providers.len() {
+            let v = cur.varint()?;
+            if v > companies.len() as u64 {
+                return Err(StoreError::BadIndex { what: "company" });
+            }
+            provider_company.push(u32::try_from(v).map_err(|_big| StoreError::VarintOverflow)?);
+        }
+
+        let epoch_count = cur.count()?;
+        let mut epochs: Vec<EpochIx<'a>> = Vec::new();
+        for eix in 0..epoch_count {
+            let label = cur.str()?;
+            let kind_byte = cur.u8()?;
+            let kind = match kind_byte {
+                KIND_BASE => EpochKind::Base,
+                KIND_DELTA => EpochKind::Delta,
+                other => return Err(StoreError::BadKind(other)),
+            };
+            // Exactly the first epoch must be the base.
+            if (eix == 0) != (kind == EpochKind::Base) {
+                return Err(StoreError::BadKind(kind_byte));
+            }
+            let rows_len = cur.count()?;
+            let rows = cur.bytes(rows_len)?;
+            let (entry_count, entries, restarts) =
+                index_entries(rows, kind, providers.len())?;
+            let side_len = cur.count()?;
+            let side = cur.bytes(side_len)?;
+            let sidecar = index_sidecar(side)?;
+            epochs.push(EpochIx {
+                label,
+                kind,
+                entries,
+                entry_count,
+                restarts,
+                side_ips: sidecar.0,
+                ip_count: sidecar.1,
+                side_dns: sidecar.2,
+                dns_count: sidecar.3,
+            });
+        }
+        if cur.remaining() != 0 {
+            return Err(StoreError::TrailingBytes);
+        }
+        Ok(StoreReader {
+            providers,
+            companies,
+            provider_company,
+            epochs,
+        })
+    }
+
+    /// Number of epochs stored.
+    pub fn epoch_count(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// The label of one epoch.
+    pub fn label(&self, epoch: usize) -> Option<&'a str> {
+        self.epochs.get(epoch).map(|e| e.label)
+    }
+
+    /// All epoch labels, in order.
+    pub fn labels(&self) -> impl Iterator<Item = &'a str> + '_ {
+        self.epochs.iter().map(|e| e.label)
+    }
+
+    /// The epoch index of a label, if present.
+    pub fn find_epoch(&self, label: &str) -> Option<usize> {
+        self.epochs.iter().position(|e| e.label == label)
+    }
+
+    /// The kind (base/delta) of one epoch.
+    pub fn epoch_kind(&self, epoch: usize) -> Option<EpochKind> {
+        self.epochs.get(epoch).map(|e| e.kind)
+    }
+
+    /// Number of entries (upserts + removals) encoded for one epoch.
+    pub fn entry_count(&self, epoch: usize) -> Option<u64> {
+        self.epochs.get(epoch).map(|e| e.entry_count)
+    }
+
+    /// The interned provider table.
+    pub fn providers(&self) -> &[&'a str] {
+        &self.providers
+    }
+
+    /// The interned company table.
+    pub fn companies(&self) -> &[&'a str] {
+        &self.companies
+    }
+
+    fn company_of_index(&self, pix: usize) -> Option<&'a str> {
+        let comp = *self.provider_company.get(pix)?;
+        let cix = (comp as usize).checked_sub(1)?;
+        self.companies.get(cix).copied()
+    }
+
+    fn epoch(&self, epoch: usize) -> Result<&EpochIx<'a>, StoreError> {
+        self.epochs.get(epoch).ok_or(StoreError::EpochOutOfRange {
+            epoch,
+            epochs: self.epochs.len(),
+        })
+    }
+
+    /// Point lookup: the row of `name` (dotted form) as of `epoch`,
+    /// resolving delta layers newest-first. `Ok(None)` means the domain
+    /// is not in the epoch's resolved view.
+    pub fn lookup(&self, name: &str, epoch: usize) -> Result<Option<Row<'_>>, StoreError> {
+        mx_obs::counter_volatile!(mx_obs::names::STORE_READ_LOOKUPS).incr();
+        self.epoch(epoch)?;
+        let mut layer_idx = epoch.saturating_add(1);
+        while layer_idx > 0 {
+            layer_idx = layer_idx.saturating_sub(1);
+            let ep = self.epoch(layer_idx)?;
+            match self.lookup_layer(ep, name)? {
+                LayerHit::Row(row) => return Ok(Some(row)),
+                LayerHit::Removed => return Ok(None),
+                LayerHit::Absent => {}
+            }
+        }
+        Ok(None)
+    }
+
+    /// The dominant provider of `name` as of `epoch` (maximum-weight
+    /// share, stored-order-last winning ties), if the domain is present
+    /// and has any provider shares.
+    pub fn provider_of(&self, name: &str, epoch: usize) -> Result<Option<&str>, StoreError> {
+        Ok(self
+            .lookup(name, epoch)?
+            .and_then(|row| row.dominant())
+            .map(|s| s.provider))
+    }
+
+    /// Probe one epoch layer for `name` without resolving deltas.
+    fn lookup_layer(&self, ep: &EpochIx<'a>, name: &str) -> Result<LayerHit<'_>, StoreError> {
+        let target = name.as_bytes();
+        let pp = ep
+            .restarts
+            .partition_point(|r| r.name.as_bytes() <= target);
+        if pp == 0 {
+            return Ok(LayerHit::Absent);
+        }
+        let Some(block) = ep.restarts.get(pp.saturating_sub(1)) else {
+            return Ok(LayerHit::Absent);
+        };
+        let block_end = ep
+            .restarts
+            .get(pp)
+            .map(|r| r.offset)
+            .unwrap_or(ep.entries.len());
+        let bytes = ep
+            .entries
+            .get(block.offset..block_end)
+            .ok_or(StoreError::Truncated)?;
+        let mut cur = Cur::new(bytes);
+
+        // Incremental comparison state: `common` = length of the shared
+        // prefix between the previous entry's name and the target;
+        // `prev_ord` = how that name compared. With entries ascending,
+        // an entry whose prefix re-uses more bytes than `common` cannot
+        // change the comparison outcome.
+        let mut common: usize = 0;
+        let mut prev_ord = Ordering::Less;
+        let mut first = true;
+        while cur.remaining() > 0 {
+            let prefix = cur.count()?;
+            let suffix_len = cur.count()?;
+            let suffix = cur.bytes(suffix_len)?;
+            let (ord, next_common) = if first || prefix <= common {
+                // entry[..prefix] == target[..prefix]; compare suffix
+                // against the rest of the target.
+                let rest = target.get(prefix..).unwrap_or(&[]);
+                let shared = common_run(suffix, rest);
+                let ord = match (suffix.get(shared), rest.get(shared)) {
+                    (None, None) => Ordering::Equal,
+                    (None, Some(_)) => Ordering::Less,
+                    (Some(_), None) => Ordering::Greater,
+                    (Some(a), Some(b)) => a.cmp(b),
+                };
+                (ord, prefix.saturating_add(shared))
+            } else {
+                // The first divergence from the target sits inside the
+                // re-used prefix: outcome unchanged.
+                (prev_ord, common)
+            };
+            let tag = cur.u8()?;
+            if ord == Ordering::Equal {
+                if tag == TAG_REMOVE {
+                    return Ok(LayerHit::Removed);
+                }
+                let share_count = cur.count()?;
+                let body_start = cur.pos();
+                skip_shares(&mut cur, share_count)?;
+                let body = bytes
+                    .get(body_start..cur.pos())
+                    .ok_or(StoreError::Truncated)?;
+                return Ok(LayerHit::Row(Row {
+                    reader: self,
+                    has_smtp: tag == TAG_ROW_SMTP,
+                    share_count,
+                    bytes: body,
+                }));
+            }
+            if ord == Ordering::Greater {
+                return Ok(LayerHit::Absent);
+            }
+            if tag != TAG_REMOVE {
+                let share_count = cur.count()?;
+                skip_shares(&mut cur, share_count)?;
+            }
+            prev_ord = ord;
+            common = next_common;
+            first = false;
+        }
+        Ok(LayerHit::Absent)
+    }
+
+    /// Iterate every row of the resolved view of `epoch` in ascending
+    /// name order, resolving base + delta layers. The callback may
+    /// abort the walk by returning an error.
+    pub fn for_each_row<F>(&self, epoch: usize, mut f: F) -> Result<(), StoreError>
+    where
+        F: FnMut(&str, &Row<'_>) -> Result<(), StoreError>,
+    {
+        self.epoch(epoch)?;
+        let mut layers: Vec<LayerCursor<'a>> = Vec::new();
+        for lix in 0..=epoch {
+            layers.push(LayerCursor::new(self.epoch(lix)?));
+        }
+        for layer in layers.iter_mut() {
+            layer.advance()?;
+        }
+        // Scratch holds the winning name of the round; reused.
+        let mut scratch: Vec<u8> = Vec::new();
+        let mut rows_seen: u64 = 0;
+        loop {
+            // Pick the smallest current name; the highest layer index
+            // wins ties (newer epochs override older ones).
+            let mut win: Option<usize> = None;
+            for (lix, layer) in layers.iter().enumerate() {
+                if layer.done {
+                    continue;
+                }
+                win = match win {
+                    None => Some(lix),
+                    Some(w) => match layers.get(w) {
+                        Some(cur_win) if layer.name <= cur_win.name => Some(lix),
+                        _ => Some(w),
+                    },
+                };
+            }
+            let Some(w) = win else { break };
+            {
+                let Some(winner) = layers.get(w) else { break };
+                scratch.clear();
+                scratch.extend_from_slice(&winner.name);
+            }
+            // Consume the same name in every older layer it appears in.
+            for (lix, layer) in layers.iter_mut().enumerate() {
+                if lix != w && !layer.done && layer.name == scratch {
+                    layer.advance()?;
+                }
+            }
+            let Some(winner) = layers.get_mut(w) else { break };
+            let tag = winner.tag;
+            let has_smtp = tag == TAG_ROW_SMTP;
+            let share_count = winner.share_count;
+            let body = winner.body;
+            winner.advance()?;
+            if tag == TAG_REMOVE {
+                continue;
+            }
+            let name = std::str::from_utf8(&scratch).map_err(|_utf8| StoreError::BadUtf8)?;
+            let row = Row {
+                reader: self,
+                has_smtp,
+                share_count,
+                bytes: body,
+            };
+            rows_seen = rows_seen.saturating_add(1);
+            f(name, &row)?;
+        }
+        mx_obs::counter_volatile!(mx_obs::names::STORE_READ_ROWS).add(rows_seen);
+        Ok(())
+    }
+
+    /// Walk the differences between the resolved views of two epochs.
+    /// For each changed domain the callback sees `(name, old, new)`:
+    /// `old = None` for additions, `new = None` for removals; rows
+    /// present and identical in both views are skipped.
+    pub fn diff<F>(&self, from: usize, to: usize, mut f: F) -> Result<(), StoreError>
+    where
+        F: FnMut(&str, Option<&Row<'_>>, Option<&Row<'_>>) -> Result<(), StoreError>,
+    {
+        self.epoch(from)?;
+        self.epoch(to)?;
+        self.for_each_row(from, |name, old| {
+            match self.lookup(name, to)? {
+                None => f(name, Some(old), None),
+                Some(new) if new != *old => f(name, Some(old), Some(&new)),
+                Some(_same) => Ok(()),
+            }
+        })?;
+        self.for_each_row(to, |name, new| {
+            if self.lookup(name, from)?.is_none() {
+                f(name, None, Some(new))
+            } else {
+                Ok(())
+            }
+        })
+    }
+
+    /// Iterate the per-IP acquisition sidecar of one epoch.
+    pub fn ip_acquisitions(
+        &self,
+        epoch: usize,
+    ) -> Result<impl Iterator<Item = (Ipv4Addr, IpAcquisition)> + '_, StoreError> {
+        let ep = self.epoch(epoch)?;
+        let mut cur = Cur::new(ep.side_ips);
+        let total = ep.ip_count;
+        Ok((0..total).filter_map(move |_i| decode_side_ip(&mut cur).ok()))
+    }
+
+    /// Iterate the per-domain DNS degradation sidecar of one epoch as
+    /// `(dotted_name, record)` pairs.
+    pub fn dns_acquisitions(
+        &self,
+        epoch: usize,
+    ) -> Result<impl Iterator<Item = (&'a str, DnsAcquisition)> + '_, StoreError> {
+        let ep = self.epoch(epoch)?;
+        let mut cur = Cur::new(ep.side_dns);
+        let total = ep.dns_count;
+        Ok((0..total).filter_map(move |_i| decode_side_dns(&mut cur).ok()))
+    }
+
+    /// Materialize one epoch's acquisition sidecar into the shared
+    /// report type (allocates; analyses that only need the raw rows
+    /// should prefer the iterators).
+    pub fn acquisition_report(&self, epoch: usize) -> Result<AcquisitionReport, StoreError> {
+        let mut report = AcquisitionReport::default();
+        for (ip, acq) in self.ip_acquisitions(epoch)? {
+            report.ips.insert(ip, acq);
+        }
+        for (dotted, acq) in self.dns_acquisitions(epoch)? {
+            let name =
+                Name::parse(dotted).map_err(|_bad| StoreError::BadName(dotted.to_string()))?;
+            report.domains.insert(name, acq);
+        }
+        Ok(report)
+    }
+}
+
+/// Sequential cursor over one epoch layer's entries, materializing the
+/// current name into a reused buffer.
+struct LayerCursor<'a> {
+    cur: Cur<'a>,
+    left: u64,
+    name: Vec<u8>,
+    tag: u8,
+    share_count: usize,
+    body: &'a [u8],
+    entries: &'a [u8],
+    done: bool,
+}
+
+impl<'a> LayerCursor<'a> {
+    fn new(ep: &EpochIx<'a>) -> Self {
+        LayerCursor {
+            cur: Cur::new(ep.entries),
+            left: ep.entry_count,
+            name: Vec::new(),
+            tag: TAG_REMOVE,
+            share_count: 0,
+            body: &[],
+            entries: ep.entries,
+            done: false,
+        }
+    }
+
+    /// Decode the next entry into `self`; sets `done` at the end.
+    fn advance(&mut self) -> Result<(), StoreError> {
+        if self.left == 0 {
+            self.done = true;
+            return Ok(());
+        }
+        self.left = self.left.saturating_sub(1);
+        let prefix = self.cur.count()?;
+        if prefix > self.name.len() {
+            return Err(StoreError::BadPrefix);
+        }
+        let suffix_len = self.cur.count()?;
+        let suffix = self.cur.bytes(suffix_len)?;
+        self.name.truncate(prefix);
+        self.name.extend_from_slice(suffix);
+        self.tag = self.cur.u8()?;
+        if self.tag == TAG_REMOVE {
+            self.share_count = 0;
+            self.body = &[];
+        } else {
+            self.share_count = self.cur.count()?;
+            let body_start = self.cur.pos();
+            skip_shares(&mut self.cur, self.share_count)?;
+            self.body = self
+                .entries
+                .get(body_start..self.cur.pos())
+                .ok_or(StoreError::Truncated)?;
+        }
+        Ok(())
+    }
+}
+
+/// Read an interned string table (count + strings).
+fn read_table<'a>(cur: &mut Cur<'a>) -> Result<Vec<&'a str>, StoreError> {
+    let count = cur.count()?;
+    // Each entry costs at least one byte; a count beyond the remaining
+    // bytes is corrupt and would otherwise pre-size a huge Vec.
+    if count > cur.remaining() {
+        return Err(StoreError::Truncated);
+    }
+    let mut table = Vec::new();
+    for _idx in 0..count {
+        table.push(cur.str()?);
+    }
+    Ok(table)
+}
+
+/// Validate and skip `count` encoded shares.
+fn skip_shares(cur: &mut Cur<'_>, count: usize) -> Result<(), StoreError> {
+    for _idx in 0..count {
+        let _provider = cur.varint()?;
+        let _bits = cur.bytes(8)?;
+        let source = cur.u8()?;
+        if source > SOURCE_CODE_MAX {
+            return Err(StoreError::BadSource(source));
+        }
+    }
+    Ok(())
+}
+
+/// Validation + indexing pass over one epoch's rows section. Returns
+/// the entry count, the entry bytes and the restart index.
+fn index_entries<'a>(
+    rows: &'a [u8],
+    kind: EpochKind,
+    provider_count: usize,
+) -> Result<(u64, &'a [u8], Vec<Restart<'a>>), StoreError> {
+    let mut cur = Cur::new(rows);
+    let declared = cur.varint()?;
+    let entries = rows.get(cur.pos()..).ok_or(StoreError::Truncated)?;
+    let mut ecur = Cur::new(entries);
+    let mut restarts: Vec<Restart<'a>> = Vec::new();
+    let mut prev_name: Vec<u8> = Vec::new();
+    let mut have_prev = false;
+    let mut idx: u64 = 0;
+    while idx < declared {
+        let entry_offset = ecur.pos();
+        let prefix = ecur.count()?;
+        if prefix > prev_name.len() || (!have_prev && prefix != 0) {
+            return Err(StoreError::BadPrefix);
+        }
+        let suffix_len = ecur.count()?;
+        let suffix = ecur.bytes(suffix_len)?;
+        // Strict ascending check against the previous name, done
+        // before the buffer is spliced: the first `prefix` bytes are
+        // shared, so ordering is decided by suffix vs the old tail.
+        if have_prev {
+            let old_tail = prev_name.get(prefix..).unwrap_or(&[]);
+            if suffix <= old_tail {
+                return Err(StoreError::Unsorted);
+            }
+        }
+        prev_name.truncate(prefix);
+        prev_name.extend_from_slice(suffix);
+        if std::str::from_utf8(&prev_name).is_err() {
+            return Err(StoreError::BadUtf8);
+        }
+        if prefix == 0 {
+            // Full name: index it zero-copy.
+            let name = std::str::from_utf8(suffix).map_err(|_utf8| StoreError::BadUtf8)?;
+            restarts.push(Restart {
+                name,
+                offset: entry_offset,
+            });
+        }
+        let tag = ecur.u8()?;
+        match tag {
+            TAG_ROW | TAG_ROW_SMTP => {
+                let share_count = ecur.count()?;
+                for _sidx in 0..share_count {
+                    let pix = ecur.varint()?;
+                    if pix >= provider_count as u64 {
+                        return Err(StoreError::BadIndex { what: "provider" });
+                    }
+                    let _bits = ecur.bytes(8)?;
+                    let source = ecur.u8()?;
+                    if source > SOURCE_CODE_MAX {
+                        return Err(StoreError::BadSource(source));
+                    }
+                }
+            }
+            TAG_REMOVE => {
+                if kind == EpochKind::Base {
+                    return Err(StoreError::RemoveInBase);
+                }
+            }
+            other => return Err(StoreError::BadTag(other)),
+        }
+        have_prev = true;
+        idx = idx.saturating_add(1);
+    }
+    if ecur.remaining() != 0 {
+        return Err(StoreError::SectionOverrun);
+    }
+    Ok((declared, entries, restarts))
+}
+
+/// Validation pass over one epoch's sidecar. Returns the IP slice and
+/// count, then the DNS slice and count.
+fn index_sidecar(side: &[u8]) -> Result<(&[u8], usize, &[u8], usize), StoreError> {
+    let mut cur = Cur::new(side);
+    let ip_count = cur.count()?;
+    let ips_start = cur.pos();
+    for _idx in 0..ip_count {
+        let _ip = cur.bytes(4)?;
+        let attempts = cur.varint()?;
+        if attempts > u32::MAX as u64 {
+            return Err(StoreError::VarintOverflow);
+        }
+        let flags = cur.u8()?;
+        if flags & !SIDE_FLAGS_MASK != 0 {
+            return Err(StoreError::BadFlags(flags));
+        }
+        let fault = cur.u8()?;
+        if fault > FAULT_CODE_MAX {
+            return Err(StoreError::BadFault(fault));
+        }
+    }
+    let ips = side
+        .get(ips_start..cur.pos())
+        .ok_or(StoreError::Truncated)?;
+    let dns_count = cur.count()?;
+    let dns_start = cur.pos();
+    for _idx in 0..dns_count {
+        let _name = cur.str()?;
+        let retries = cur.varint()?;
+        if retries > u32::MAX as u64 {
+            return Err(StoreError::VarintOverflow);
+        }
+        let exhausted = cur.u8()?;
+        if exhausted > 1 {
+            return Err(StoreError::BadFlags(exhausted));
+        }
+    }
+    let dns = side
+        .get(dns_start..cur.pos())
+        .ok_or(StoreError::Truncated)?;
+    if cur.remaining() != 0 {
+        return Err(StoreError::SectionOverrun);
+    }
+    Ok((ips, ip_count, dns, dns_count))
+}
+
+/// Decode one sidecar IP record (validated at open).
+fn decode_side_ip(cur: &mut Cur<'_>) -> Result<(Ipv4Addr, IpAcquisition), StoreError> {
+    let raw = cur.bytes(4)?;
+    let octets: [u8; 4] = raw.try_into().map_err(|_bad| StoreError::Truncated)?;
+    let attempts =
+        u32::try_from(cur.varint()?).map_err(|_big| StoreError::VarintOverflow)?;
+    let flags = cur.u8()?;
+    let fault = fault_from_code(cur.u8()?)?;
+    Ok((
+        Ipv4Addr::from(octets),
+        IpAcquisition {
+            attempts,
+            recovered: flags & SIDE_RECOVERED != 0,
+            exhausted: flags & SIDE_EXHAUSTED != 0,
+            blocked: flags & SIDE_BLOCKED != 0,
+            fault,
+        },
+    ))
+}
+
+/// Decode one sidecar DNS record (validated at open).
+fn decode_side_dns<'a>(cur: &mut Cur<'a>) -> Result<(&'a str, DnsAcquisition), StoreError> {
+    let name = cur.str()?;
+    let retries =
+        u32::try_from(cur.varint()?).map_err(|_big| StoreError::VarintOverflow)?;
+    let exhausted = cur.u8()? != 0;
+    Ok((name, DnsAcquisition { retries, exhausted }))
+}
+
+/// Length of the shared leading run of two byte slices.
+fn common_run(a: &[u8], b: &[u8]) -> usize {
+    a.iter().zip(b).take_while(|(x, y)| x == y).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::{RowIn, ShareIn, StoreWriter};
+
+    fn share(p: &str, w: f64) -> ShareIn {
+        ShareIn {
+            provider: p.into(),
+            company: Some(format!("{p}-co")),
+            weight: w,
+            source: ShareSource::MxRecord,
+        }
+    }
+
+    fn row(n: &str, shares: Vec<ShareIn>) -> RowIn {
+        RowIn {
+            name: n.into(),
+            has_smtp: !shares.is_empty(),
+            shares,
+        }
+    }
+
+    fn sample_store() -> Vec<u8> {
+        let mut w = StoreWriter::new();
+        let acq = AcquisitionReport::default();
+        w.add_epoch(
+            "2017-06",
+            vec![
+                row("alpha.test", vec![share("mx.google.com", 1.0)]),
+                row("beta.test", vec![share("ms.com", 0.5), share("mx.google.com", 0.5)]),
+                row("gamma.test", vec![]),
+            ],
+            &acq,
+        )
+        .unwrap();
+        w.add_epoch(
+            "2017-12",
+            vec![
+                row("alpha.test", vec![share("yandex.ru", 1.0)]),
+                row("beta.test", vec![share("ms.com", 0.5), share("mx.google.com", 0.5)]),
+                row("delta.test", vec![share("mx.google.com", 1.0)]),
+            ],
+            &acq,
+        )
+        .unwrap();
+        w.finish()
+    }
+
+    #[test]
+    fn open_and_labels() {
+        let bytes = sample_store();
+        let r = StoreReader::open(&bytes).unwrap();
+        assert_eq!(r.epoch_count(), 2);
+        assert_eq!(r.labels().collect::<Vec<_>>(), vec!["2017-06", "2017-12"]);
+        assert_eq!(r.epoch_kind(0), Some(EpochKind::Base));
+        assert_eq!(r.epoch_kind(1), Some(EpochKind::Delta));
+        assert_eq!(r.find_epoch("2017-12"), Some(1));
+        // Delta carries only alpha (changed), gamma (removed), delta (added).
+        assert_eq!(r.entry_count(1), Some(3));
+    }
+
+    #[test]
+    fn point_lookup_resolves_layers() {
+        let bytes = sample_store();
+        let r = StoreReader::open(&bytes).unwrap();
+        assert_eq!(r.provider_of("alpha.test", 0).unwrap(), Some("mx.google.com"));
+        assert_eq!(r.provider_of("alpha.test", 1).unwrap(), Some("yandex.ru"));
+        // beta unchanged in the delta: served from the base layer. Its
+        // two shares tie at 0.5, so the later stored one dominates.
+        assert_eq!(r.provider_of("beta.test", 1).unwrap(), Some("mx.google.com"));
+        // gamma removed in epoch 1, present (no shares) in epoch 0.
+        assert!(r.lookup("gamma.test", 0).unwrap().is_some());
+        assert!(r.lookup("gamma.test", 1).unwrap().is_none());
+        // delta.test added in epoch 1 only.
+        assert!(r.lookup("delta.test", 0).unwrap().is_none());
+        assert_eq!(r.provider_of("delta.test", 1).unwrap(), Some("mx.google.com"));
+        // absent names on either side of the key range.
+        assert!(r.lookup("aaaa.test", 0).unwrap().is_none());
+        assert!(r.lookup("zzzz.test", 0).unwrap().is_none());
+    }
+
+    #[test]
+    fn dominant_share_breaks_ties_like_churn() {
+        let bytes = sample_store();
+        let r = StoreReader::open(&bytes).unwrap();
+        let row = r.lookup("beta.test", 0).unwrap().unwrap();
+        assert_eq!(row.share_count(), 2);
+        // Equal weights: the later stored share wins, as in
+        // `Iterator::max_by` over the in-memory assignment.
+        assert_eq!(row.dominant().unwrap().provider, "mx.google.com");
+        let shares: Vec<_> = row.shares().collect();
+        assert_eq!(shares[0].provider, "ms.com");
+        assert_eq!(shares[0].company, Some("ms.com-co"));
+        assert_eq!(shares[0].weight, 0.5);
+    }
+
+    #[test]
+    fn full_iteration_resolves_overlay() {
+        let bytes = sample_store();
+        let r = StoreReader::open(&bytes).unwrap();
+        let mut names0 = Vec::new();
+        r.for_each_row(0, |n, _row| {
+            names0.push(n.to_string());
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(names0, vec!["alpha.test", "beta.test", "gamma.test"]);
+        let mut rows1 = Vec::new();
+        r.for_each_row(1, |n, row| {
+            rows1.push((n.to_string(), row.dominant().map(|s| s.provider.to_string())));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(
+            rows1,
+            vec![
+                ("alpha.test".into(), Some("yandex.ru".into())),
+                ("beta.test".into(), Some("mx.google.com".into())),
+                ("delta.test".into(), Some("mx.google.com".into())),
+            ]
+        );
+    }
+
+    #[test]
+    fn diff_reports_changed_added_removed() {
+        let bytes = sample_store();
+        let r = StoreReader::open(&bytes).unwrap();
+        let mut flows = Vec::new();
+        r.diff(0, 1, |name, old, new| {
+            flows.push((name.to_string(), old.is_some(), new.is_some()));
+            Ok(())
+        })
+        .unwrap();
+        flows.sort();
+        assert_eq!(
+            flows,
+            vec![
+                ("alpha.test".to_string(), true, true),
+                ("delta.test".to_string(), false, true),
+                ("gamma.test".to_string(), true, false),
+            ]
+        );
+    }
+
+    #[test]
+    fn sidecar_round_trips() {
+        let mut acq = AcquisitionReport::default();
+        acq.ips.insert(
+            "10.2.3.4".parse().unwrap(),
+            IpAcquisition {
+                attempts: 3,
+                recovered: true,
+                exhausted: false,
+                blocked: false,
+                fault: Some(mx_acq::AcqFault::EhloTarpit),
+            },
+        );
+        acq.domains.insert(
+            Name::parse("slow.test").unwrap(),
+            DnsAcquisition {
+                retries: 2,
+                exhausted: true,
+            },
+        );
+        let mut w = StoreWriter::new();
+        w.add_epoch("e", vec![], &acq).unwrap();
+        let bytes = w.finish();
+        let r = StoreReader::open(&bytes).unwrap();
+        let back = r.acquisition_report(0).unwrap();
+        assert_eq!(back, acq);
+    }
+
+    #[test]
+    fn writes_are_byte_deterministic() {
+        assert_eq!(sample_store(), sample_store());
+    }
+
+    #[test]
+    fn duplicate_rows_rejected() {
+        let mut w = StoreWriter::new();
+        let acq = AcquisitionReport::default();
+        let err = w
+            .add_epoch("e", vec![row("dup.test", vec![]), row("dup.test", vec![])], &acq)
+            .unwrap_err();
+        assert_eq!(err, StoreError::DuplicateRow("dup.test".into()));
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let bytes = sample_store();
+        for cut in 0..bytes.len() {
+            let err = StoreReader::open(&bytes[..cut]).unwrap_err();
+            // Any prefix must fail loudly, never panic or succeed.
+            assert!(
+                matches!(
+                    err,
+                    StoreError::BadMagic
+                        | StoreError::Truncated
+                        | StoreError::BadSchema
+                        | StoreError::SectionOverrun
+                        | StoreError::TrailingBytes
+                        | StoreError::VarintOverflow
+                ),
+                "cut at {cut}: unexpected {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_headers_rejected() {
+        let bytes = sample_store();
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'Z';
+        assert_eq!(StoreReader::open(&bad_magic).unwrap_err(), StoreError::BadMagic);
+        let mut bad_version = bytes.clone();
+        bad_version[4] = 9;
+        assert_eq!(
+            StoreReader::open(&bad_version).unwrap_err(),
+            StoreError::UnsupportedVersion(9)
+        );
+    }
+}

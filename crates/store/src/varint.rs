@@ -1,0 +1,59 @@
+//! LEB128 variable-length integers (the store's only integer wire
+//! encoding besides fixed 8-byte weight bits and 4-byte IPs).
+
+/// Maximum encoded length of a `u64` varint (10 × 7 bits ≥ 64 bits).
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Append `v` as an LEB128 varint.
+pub fn write_u64(out: &mut Vec<u8>, v: u64) {
+    let mut rest = v;
+    for _i in 0..MAX_VARINT_LEN {
+        if rest < 0x80 {
+            out.push((rest & 0x7f) as u8);
+            return;
+        }
+        out.push(((rest & 0x7f) as u8) | 0x80);
+        rest >>= 7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::Cur;
+
+    #[test]
+    fn round_trip_boundaries() {
+        for v in [
+            0u64,
+            1,
+            0x7f,
+            0x80,
+            0x3fff,
+            0x4000,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            assert!(buf.len() <= MAX_VARINT_LEN);
+            let mut cur = Cur::new(&buf);
+            assert_eq!(cur.varint().unwrap(), v);
+            assert_eq!(cur.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn minimal_lengths() {
+        let enc = |v: u64| {
+            let mut b = Vec::new();
+            write_u64(&mut b, v);
+            b.len()
+        };
+        assert_eq!(enc(0), 1);
+        assert_eq!(enc(127), 1);
+        assert_eq!(enc(128), 2);
+        assert_eq!(enc(u64::MAX), 10);
+    }
+}

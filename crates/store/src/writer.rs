@@ -1,0 +1,340 @@
+//! The store writer: epochs in, one canonical byte buffer out.
+//!
+//! Determinism contract: the produced bytes are a pure function of the
+//! epoch inputs. Rows are sorted by dotted-name bytes before encoding,
+//! provider/company tables are interned in first-appearance order of
+//! that sorted walk, sidecar entries are sorted by IP / name, and
+//! weights are stored as exact `f64` bit patterns — so two writers fed
+//! the same study produce byte-identical files at any thread count.
+//!
+//! The first epoch added is the **base** (every row encoded); each
+//! later epoch is a **delta** holding only upserts for added/changed
+//! domains and removals for departed ones, computed against the
+//! resolved previous epoch the writer tracks internally.
+
+use std::collections::{BTreeMap, HashMap};
+
+use mx_acq::AcquisitionReport;
+
+use crate::format::{
+    fault_code, write_str, KIND_BASE, KIND_DELTA, MAGIC, RESTART_INTERVAL, SCHEMA, SIDE_BLOCKED,
+    SIDE_EXHAUSTED, SIDE_RECOVERED, TAG_REMOVE, TAG_ROW, TAG_ROW_SMTP, VERSION,
+};
+use crate::varint::write_u64;
+use crate::{ShareSource, StoreError};
+
+/// One provider share of a row, as handed to the writer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShareIn {
+    /// Provider identifier (interned into the provider table).
+    pub provider: String,
+    /// Company behind the provider, when the company map knows one
+    /// (interned; must be consistent across rows for one provider).
+    pub company: Option<String>,
+    /// Responsibility weight (`1/n` across a domain's providers).
+    pub weight: f64,
+    /// Where the identification came from.
+    pub source: ShareSource,
+}
+
+/// One domain row of one epoch, as handed to the writer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowIn {
+    /// Dotted domain name (e.g. `example.org`).
+    pub name: String,
+    /// Does the domain have a live primary SMTP server?
+    pub has_smtp: bool,
+    /// Provider shares, in the order the pipeline assigned them
+    /// (sorted by provider id); preserved verbatim.
+    pub shares: Vec<ShareIn>,
+}
+
+/// A canonicalized share: interned provider, exact weight bits.
+#[derive(Clone, PartialEq, Eq)]
+struct CanonShare {
+    provider: u32,
+    weight_bits: u64,
+    source: u8,
+}
+
+/// A canonicalized row, comparable across epochs for delta detection.
+#[derive(Clone, PartialEq, Eq)]
+struct CanonRow {
+    has_smtp: bool,
+    shares: Vec<CanonShare>,
+}
+
+/// One encoded epoch awaiting assembly.
+struct EpochEnc {
+    label: String,
+    kind: u8,
+    entry_count: u64,
+    entries: Vec<u8>,
+    sidecar: Vec<u8>,
+}
+
+/// Builds a store file epoch by epoch. See the module docs for the
+/// determinism contract.
+#[derive(Default)]
+pub struct StoreWriter {
+    providers: Vec<String>,
+    provider_ix: HashMap<String, u32>,
+    /// Per provider: 0 = no company, else company index + 1.
+    provider_company: Vec<u32>,
+    companies: Vec<String>,
+    company_ix: HashMap<String, u32>,
+    epochs: Vec<EpochEnc>,
+    /// Resolved view of the last epoch added, keyed by dotted name
+    /// (BTreeMap: iteration is byte-sorted, matching entry order).
+    prev: BTreeMap<String, CanonRow>,
+}
+
+impl StoreWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of epochs added so far.
+    pub fn epoch_count(&self) -> usize {
+        self.epochs.len()
+    }
+
+    fn intern_provider(&mut self, provider: &str, company: Option<&str>) -> u32 {
+        if let Some(&ix) = self.provider_ix.get(provider) {
+            return ix;
+        }
+        let ix = u32::try_from(self.providers.len()).unwrap_or(u32::MAX);
+        self.providers.push(provider.to_string());
+        self.provider_ix.insert(provider.to_string(), ix);
+        let comp = match company {
+            None => 0,
+            Some(c) => {
+                let cix = match self.company_ix.get(c) {
+                    Some(&cix) => cix,
+                    None => {
+                        let cix = u32::try_from(self.companies.len()).unwrap_or(u32::MAX);
+                        self.companies.push(c.to_string());
+                        self.company_ix.insert(c.to_string(), cix);
+                        cix
+                    }
+                };
+                cix.saturating_add(1)
+            }
+        };
+        self.provider_company.push(comp);
+        ix
+    }
+
+    /// Add one epoch. `label` is the epoch's display name (e.g.
+    /// `2021-06`); `rows` is the full resolved table for the epoch (the
+    /// writer sorts it and computes the delta itself); `acq` is the
+    /// epoch's acquisition sidecar.
+    ///
+    /// Fails with [`StoreError::DuplicateRow`] if two rows share a name.
+    pub fn add_epoch(
+        &mut self,
+        label: &str,
+        mut rows: Vec<RowIn>,
+        acq: &AcquisitionReport,
+    ) -> Result<(), StoreError> {
+        rows.sort_by(|a, b| a.name.as_bytes().cmp(b.name.as_bytes()));
+        for pair in rows.windows(2) {
+            if let [a, b] = pair {
+                if a.name == b.name {
+                    return Err(StoreError::DuplicateRow(a.name.clone()));
+                }
+            }
+        }
+
+        // Canonicalize in sorted order so table interning order is a
+        // function of the data alone.
+        let mut canon: BTreeMap<String, CanonRow> = BTreeMap::new();
+        for row in rows {
+            let shares = row
+                .shares
+                .iter()
+                .map(|s| CanonShare {
+                    provider: self.intern_provider(&s.provider, s.company.as_deref()),
+                    weight_bits: s.weight.to_bits(),
+                    source: s.source.code(),
+                })
+                .collect();
+            canon.insert(
+                row.name,
+                CanonRow {
+                    has_smtp: row.has_smtp,
+                    shares,
+                },
+            );
+        }
+
+        // Ops: full table for the base epoch, merge-diff for deltas.
+        // Both walks are over BTreeMaps, so ops come out name-sorted.
+        let base = self.epochs.is_empty();
+        let mut ops: Vec<(&str, Option<&CanonRow>)> = Vec::new();
+        if base {
+            ops.extend(canon.iter().map(|(n, r)| (n.as_str(), Some(r))));
+        } else {
+            let mut old_iter = self.prev.iter().peekable();
+            let mut new_iter = canon.iter().peekable();
+            // Classic sorted merge; each arm advances at least one side.
+            while old_iter.peek().is_some() || new_iter.peek().is_some() {
+                let ord = match (old_iter.peek(), new_iter.peek()) {
+                    (Some((on, _)), Some((nn, _))) => on.as_bytes().cmp(nn.as_bytes()),
+                    (Some(_), None) => std::cmp::Ordering::Less,
+                    (None, _) => std::cmp::Ordering::Greater,
+                };
+                match ord {
+                    std::cmp::Ordering::Less => {
+                        if let Some((on, _)) = old_iter.next() {
+                            ops.push((on.as_str(), None));
+                        }
+                    }
+                    std::cmp::Ordering::Greater => {
+                        if let Some((nn, nr)) = new_iter.next() {
+                            ops.push((nn.as_str(), Some(nr)));
+                        }
+                    }
+                    std::cmp::Ordering::Equal => {
+                        let old = old_iter.next();
+                        if let (Some((_, or)), Some((nn, nr))) = (old, new_iter.next()) {
+                            if or != nr {
+                                ops.push((nn.as_str(), Some(nr)));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Encode entries with prefix compression, restart every
+        // RESTART_INTERVAL entries.
+        let mut entries = Vec::new();
+        let entry_count = ops.len() as u64;
+        let mut prev_name = "";
+        for (i, (name, op)) in ops.iter().enumerate() {
+            let prefix = if i % RESTART_INTERVAL == 0 {
+                0
+            } else {
+                common_prefix(prev_name.as_bytes(), name.as_bytes())
+            };
+            write_u64(&mut entries, prefix as u64);
+            let suffix = name.as_bytes().get(prefix..).unwrap_or(&[]);
+            write_u64(&mut entries, suffix.len() as u64);
+            entries.extend_from_slice(suffix);
+            match op {
+                None => entries.push(TAG_REMOVE),
+                Some(row) => {
+                    entries.push(if row.has_smtp { TAG_ROW_SMTP } else { TAG_ROW });
+                    write_u64(&mut entries, row.shares.len() as u64);
+                    for s in &row.shares {
+                        write_u64(&mut entries, s.provider as u64);
+                        entries.extend_from_slice(&s.weight_bits.to_le_bytes());
+                        entries.push(s.source);
+                    }
+                }
+            }
+            prev_name = name;
+        }
+
+        mx_obs::counter!(mx_obs::names::STORE_WRITE_ROWS)
+            .add(ops.iter().filter(|(_, op)| op.is_some()).count() as u64);
+        if !base {
+            mx_obs::counter!(mx_obs::names::STORE_WRITE_DELTA_OPS).add(entry_count);
+        }
+
+        self.epochs.push(EpochEnc {
+            label: label.to_string(),
+            kind: if base { KIND_BASE } else { KIND_DELTA },
+            entry_count,
+            entries,
+            sidecar: encode_sidecar(acq),
+        });
+        self.prev = canon;
+        Ok(())
+    }
+
+    /// Assemble the final store bytes.
+    pub fn finish(self) -> Vec<u8> {
+        let _span = mx_obs::stage!(mx_obs::names::STAGE_STORE_WRITE).enter();
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&0u16.to_le_bytes()); // flags, reserved
+        write_str(&mut out, SCHEMA);
+
+        write_u64(&mut out, self.providers.len() as u64);
+        for p in &self.providers {
+            write_str(&mut out, p);
+        }
+        write_u64(&mut out, self.companies.len() as u64);
+        for c in &self.companies {
+            write_str(&mut out, c);
+        }
+        for &comp in &self.provider_company {
+            write_u64(&mut out, comp as u64);
+        }
+
+        write_u64(&mut out, self.epochs.len() as u64);
+        for ep in &self.epochs {
+            write_str(&mut out, &ep.label);
+            out.push(ep.kind);
+            // Rows section: length-framed so a reader can skip epochs.
+            let mut rows = Vec::new();
+            write_u64(&mut rows, ep.entry_count);
+            rows.extend_from_slice(&ep.entries);
+            write_u64(&mut out, rows.len() as u64);
+            out.extend_from_slice(&rows);
+            write_u64(&mut out, ep.sidecar.len() as u64);
+            out.extend_from_slice(&ep.sidecar);
+        }
+
+        mx_obs::counter!(mx_obs::names::STORE_WRITE_EPOCHS).add(self.epochs.len() as u64);
+        mx_obs::counter!(mx_obs::names::STORE_WRITE_BYTES).add(out.len() as u64);
+        out
+    }
+}
+
+/// Length of the shared leading byte run of `a` and `b`.
+fn common_prefix(a: &[u8], b: &[u8]) -> usize {
+    a.iter().zip(b).take_while(|(x, y)| x == y).count()
+}
+
+/// Encode the acquisition sidecar: IPs sorted numerically, then DNS
+/// degradation entries sorted by dotted name.
+fn encode_sidecar(acq: &AcquisitionReport) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut ips: Vec<_> = acq.ips.iter().collect();
+    ips.sort_by_key(|(ip, _)| u32::from(**ip));
+    write_u64(&mut out, ips.len() as u64);
+    for (ip, a) in ips {
+        out.extend_from_slice(&ip.octets());
+        write_u64(&mut out, a.attempts as u64);
+        let mut flags = 0u8;
+        if a.recovered {
+            flags |= SIDE_RECOVERED;
+        }
+        if a.exhausted {
+            flags |= SIDE_EXHAUSTED;
+        }
+        if a.blocked {
+            flags |= SIDE_BLOCKED;
+        }
+        out.push(flags);
+        out.push(fault_code(a.fault));
+    }
+    let mut doms: Vec<(String, &mx_acq::DnsAcquisition)> = acq
+        .domains
+        .iter()
+        .map(|(n, d)| (n.to_dotted(), d))
+        .collect();
+    doms.sort_by(|a, b| a.0.as_bytes().cmp(b.0.as_bytes()));
+    write_u64(&mut out, doms.len() as u64);
+    for (name, d) in doms {
+        write_str(&mut out, &name);
+        write_u64(&mut out, d.retries as u64);
+        out.push(u8::from(d.exhausted));
+    }
+    out
+}

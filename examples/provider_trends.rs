@@ -3,9 +3,16 @@
 //! June 2021 and chart each top provider's market share as a sparkline.
 //!
 //! Run with: `cargo run --release --example provider_trends`
+//!
+//! With `-- --store` the study is first serialized into an `mx-store`
+//! snapshot file and the same series is computed from the store's
+//! zero-copy reader — the numbers are identical bit for bit.
 
 use mxmap::analysis::longitudinal::{self, default_series};
-use mxmap::corpus::{Dataset, ScenarioConfig, Study};
+use mxmap::analysis::store::{series_from_store, StudyStoreExt};
+use mxmap::corpus::{company_map, provider_knowledge, Dataset, ScenarioConfig, Study};
+use mxmap::infer::Pipeline;
+use mxmap::store::StoreReader;
 
 fn sparkline(values: &[f64]) -> String {
     const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
@@ -19,6 +26,7 @@ fn sparkline(values: &[f64]) -> String {
 }
 
 fn main() {
+    let from_store = std::env::args().any(|a| a == "--store");
     let study = Study::generate(ScenarioConfig::small(42));
     println!("running all nine snapshots (Alexa)...");
     let tracked = [
@@ -29,7 +37,20 @@ fn main() {
         "Mimecast",
         "GoDaddy",
     ];
-    let series = default_series(&study, Dataset::Alexa, &tracked);
+    let series = if from_store {
+        let pipeline = Pipeline::priority_based(provider_knowledge(10));
+        let bytes = study
+            .write_store(Dataset::Alexa, &pipeline, &company_map())
+            .expect("serialize study");
+        println!(
+            "store mode: {} bytes written, querying the snapshot store...",
+            bytes.len()
+        );
+        let reader = StoreReader::open(&bytes).expect("reopen store");
+        series_from_store(&reader, Dataset::Alexa, &tracked).expect("series from store")
+    } else {
+        default_series(&study, Dataset::Alexa, &tracked)
+    };
 
     println!("\nmarket share {} .. {}\n", series.dates[0], series.dates.last().unwrap());
     for (company, points) in &series.companies {

@@ -33,7 +33,16 @@ cargo run --quiet --release -p mx-bench --bin bench_pipeline -- --obs --obs-out 
 cmp /tmp/mx_obs_a.json /tmp/mx_obs_b.json
 rm -f /tmp/mx_obs_a.json /tmp/mx_obs_b.json
 
-echo "==> bench smoke (threads 1 vs 2 must agree)"
+echo "==> store gate (tests/store_gate.rs)"
+cargo test --release --test store_gate -q
+
+echo "==> store determinism (two --store runs must write byte-identical files)"
+cargo run --quiet --release -p mx-bench --bin bench_pipeline -- --store --store-out /tmp/mx_store_a.bin
+cargo run --quiet --release -p mx-bench --bin bench_pipeline -- --store --store-out /tmp/mx_store_b.bin
+cmp /tmp/mx_store_a.bin /tmp/mx_store_b.bin
+rm -f /tmp/mx_store_a.bin /tmp/mx_store_b.bin
+
+echo "==> bench smoke (threads 1 vs 2 must agree; exercises the store round trip)"
 # MX_THREADS exercises the env-var configuration path; the binary's
 # install() overrides still pin each timed run's width.
 MX_THREADS=2 cargo run --quiet --release -p mx-bench --bin bench_pipeline -- --smoke

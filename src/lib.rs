@@ -64,3 +64,9 @@ pub use mx_psl as psl;
 
 /// Deterministic observability: sharded metrics, stage spans, exporters.
 pub use mx_obs as obs;
+
+/// Delta-encoded longitudinal snapshot store with a zero-copy reader.
+pub use mx_store as store;
+
+/// Shared acquisition-accounting types (per-IP scan and per-domain DNS).
+pub use mx_acq as acq;

@@ -147,3 +147,292 @@ fn multibyte_reply_lines_do_not_panic() {
     let _ = Reply::parse_line("250 caf\u{e9} au lait");
     let _ = Reply::parse_line("25\u{30a2} bad");
 }
+
+// ---------------------------------------------------------------------
+// mx-store: the snapshot store decoder is held to the same contract as
+// the wire parsers — corrupted files yield typed `StoreError`s, never a
+// panic and never a silently-wrong `Ok`. The cases below hand-assemble
+// store bytes field by field so each corruption targets one invariant.
+
+mod store_bytes {
+    use mx_store::format::{write_str, MAGIC, SCHEMA};
+    use mx_store::varint::write_u64;
+
+    /// Knobs for one hand-assembled single-epoch store file.
+    pub struct Spec {
+        pub magic: [u8; 4],
+        pub version: u16,
+        pub schema: &'static str,
+        /// Company link of the single provider (0 = none; 2 points past
+        /// the empty company table).
+        pub provider_company: u64,
+        /// Interned provider index inside the single share (only 0 is
+        /// valid: the table has one entry).
+        pub share_provider: u64,
+        pub share_source: u8,
+        /// Row entries: (prefix_len, suffix, tag).
+        pub entries: Vec<(u64, &'static str, u8)>,
+        /// Raw override for the entry-count varint.
+        pub entry_count_bytes: Option<Vec<u8>>,
+        /// Sidecar body (defaults to zero IPs, zero domains).
+        pub sidecar: Vec<u8>,
+        /// Junk appended after the last epoch.
+        pub trailing: Vec<u8>,
+    }
+
+    impl Default for Spec {
+        fn default() -> Self {
+            Spec {
+                magic: *MAGIC,
+                version: mx_store::VERSION,
+                schema: SCHEMA,
+                provider_company: 0,
+                share_provider: 0,
+                share_source: 0,
+                entries: vec![(0, "a.test", 1)],
+                entry_count_bytes: None,
+                sidecar: {
+                    let mut s = Vec::new();
+                    write_u64(&mut s, 0); // IP records
+                    write_u64(&mut s, 0); // DNS records
+                    s
+                },
+                trailing: Vec::new(),
+            }
+        }
+    }
+
+    /// Assemble the bytes: header, one provider (`p.test`), no
+    /// companies, one base epoch of `spec.entries` rows (one share
+    /// each), the given sidecar, then any trailing junk.
+    pub fn build(spec: Spec) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&spec.magic);
+        out.extend_from_slice(&spec.version.to_le_bytes());
+        out.extend_from_slice(&0u16.to_le_bytes());
+        write_str(&mut out, spec.schema);
+
+        write_u64(&mut out, 1); // provider table
+        write_str(&mut out, "p.test");
+        write_u64(&mut out, 0); // company table
+        write_u64(&mut out, spec.provider_company);
+
+        write_u64(&mut out, 1); // epoch count
+        write_str(&mut out, "2021-06");
+        out.push(0); // kind: base
+
+        let mut rows = Vec::new();
+        match &spec.entry_count_bytes {
+            Some(raw) => rows.extend_from_slice(raw),
+            None => write_u64(&mut rows, spec.entries.len() as u64),
+        }
+        for (prefix, suffix, tag) in &spec.entries {
+            write_u64(&mut rows, *prefix);
+            write_u64(&mut rows, suffix.len() as u64);
+            rows.extend_from_slice(suffix.as_bytes());
+            rows.push(*tag);
+            if *tag != 2 {
+                write_u64(&mut rows, 1); // one share
+                write_u64(&mut rows, spec.share_provider);
+                rows.extend_from_slice(&1.0f64.to_bits().to_le_bytes());
+                rows.push(spec.share_source);
+            }
+        }
+        write_u64(&mut out, rows.len() as u64);
+        out.extend_from_slice(&rows);
+
+        write_u64(&mut out, spec.sidecar.len() as u64);
+        out.extend_from_slice(&spec.sidecar);
+        out.extend_from_slice(&spec.trailing);
+        out
+    }
+}
+
+use mx_store::{StoreError, StoreReader};
+use store_bytes::{build, Spec};
+
+/// The hand-assembled baseline is valid — every corruption case below
+/// differs from it in exactly one field.
+#[test]
+fn hand_assembled_store_opens() {
+    let bytes = build(Spec::default());
+    let reader = StoreReader::open(&bytes).expect("baseline opens");
+    assert_eq!(reader.epoch_count(), 1);
+    assert_eq!(reader.providers(), ["p.test"]);
+    let row = reader.lookup("a.test", 0).unwrap().expect("row present");
+    assert_eq!(row.shares().next().unwrap().provider, "p.test");
+}
+
+/// Bad magic, unknown version and a wrong schema string each produce
+/// their own typed error, not a generic failure.
+#[test]
+fn store_header_corruption_is_typed() {
+    let bad_magic = build(Spec {
+        magic: *b"NOPE",
+        ..Spec::default()
+    });
+    assert_eq!(StoreReader::open(&bad_magic).unwrap_err(), StoreError::BadMagic);
+
+    let bad_version = build(Spec {
+        version: 9,
+        ..Spec::default()
+    });
+    assert_eq!(
+        StoreReader::open(&bad_version).unwrap_err(),
+        StoreError::UnsupportedVersion(9)
+    );
+
+    let bad_schema = build(Spec {
+        schema: "mx-store/999",
+        ..Spec::default()
+    });
+    assert_eq!(StoreReader::open(&bad_schema).unwrap_err(), StoreError::BadSchema);
+}
+
+/// Interned indices pointing past their tables are caught at open, on
+/// both the provider→company map and share→provider references.
+#[test]
+fn store_out_of_range_interning_rejected() {
+    let bad_company = build(Spec {
+        provider_company: 7, // company table is empty
+        ..Spec::default()
+    });
+    assert_eq!(
+        StoreReader::open(&bad_company).unwrap_err(),
+        StoreError::BadIndex { what: "company" }
+    );
+
+    let bad_provider = build(Spec {
+        share_provider: 5, // provider table has one entry
+        ..Spec::default()
+    });
+    assert_eq!(
+        StoreReader::open(&bad_provider).unwrap_err(),
+        StoreError::BadIndex { what: "provider" }
+    );
+}
+
+/// Varint overruns: an 11-byte continuation chain for the entry count
+/// must error, not spin or wrap.
+#[test]
+fn store_varint_overrun_rejected() {
+    let overrun = build(Spec {
+        entry_count_bytes: Some(vec![0x80; 11]),
+        ..Spec::default()
+    });
+    assert_eq!(
+        StoreReader::open(&overrun).unwrap_err(),
+        StoreError::VarintOverflow
+    );
+    // A count that decodes but promises more entries than the section
+    // holds is truncation-class, still typed.
+    let overclaim = build(Spec {
+        entry_count_bytes: Some(vec![0xFF, 0xFF, 0x03]), // 65535
+        ..Spec::default()
+    });
+    assert!(StoreReader::open(&overclaim).is_err());
+}
+
+/// Structural invariants: removals are delta-only, entries must be
+/// strictly ascending, unknown tags and source codes are rejected, and
+/// junk after the last epoch is caught.
+#[test]
+fn store_structural_corruption_rejected() {
+    let remove_in_base = build(Spec {
+        entries: vec![(0, "a.test", 2)],
+        ..Spec::default()
+    });
+    assert_eq!(
+        StoreReader::open(&remove_in_base).unwrap_err(),
+        StoreError::RemoveInBase
+    );
+
+    let unsorted = build(Spec {
+        entries: vec![(0, "b.test", 1), (0, "a.test", 1)],
+        ..Spec::default()
+    });
+    assert_eq!(StoreReader::open(&unsorted).unwrap_err(), StoreError::Unsorted);
+
+    let duplicate = build(Spec {
+        entries: vec![(0, "a.test", 1), (6, "", 1)], // prefix re-uses all of "a.test"
+        ..Spec::default()
+    });
+    assert_eq!(StoreReader::open(&duplicate).unwrap_err(), StoreError::Unsorted);
+
+    let bad_tag = build(Spec {
+        entries: vec![(0, "a.test", 9)],
+        ..Spec::default()
+    });
+    assert_eq!(StoreReader::open(&bad_tag).unwrap_err(), StoreError::BadTag(9));
+
+    let bad_source = build(Spec {
+        share_source: 9,
+        ..Spec::default()
+    });
+    assert_eq!(
+        StoreReader::open(&bad_source).unwrap_err(),
+        StoreError::BadSource(9)
+    );
+
+    let trailing = build(Spec {
+        trailing: vec![0xAB, 0xCD],
+        ..Spec::default()
+    });
+    assert_eq!(
+        StoreReader::open(&trailing).unwrap_err(),
+        StoreError::TrailingBytes
+    );
+
+    // A prefix longer than the previous name cannot reference bytes
+    // that don't exist.
+    let bad_prefix = build(Spec {
+        entries: vec![(0, "a.test", 1), (20, "x", 1)],
+        ..Spec::default()
+    });
+    assert_eq!(StoreReader::open(&bad_prefix).unwrap_err(), StoreError::BadPrefix);
+}
+
+/// Sidecar corruption: undefined flag bits and unknown fault codes are
+/// rejected at open, before any iterator is handed out.
+#[test]
+fn store_sidecar_corruption_rejected() {
+    let mut side = Vec::new();
+    mx_store::varint::write_u64(&mut side, 1); // one IP record
+    side.extend_from_slice(&[10, 0, 0, 1]); // 10.0.0.1
+    mx_store::varint::write_u64(&mut side, 3); // attempts
+    side.push(0xF0); // flags: undefined high bits
+    side.push(0); // fault: none
+    mx_store::varint::write_u64(&mut side, 0); // no DNS records
+    let bad_flags = build(Spec {
+        sidecar: side.clone(),
+        ..Spec::default()
+    });
+    assert_eq!(
+        StoreReader::open(&bad_flags).unwrap_err(),
+        StoreError::BadFlags(0xF0)
+    );
+
+    let flags_at = side.len() - 3; // [.., flags, fault, dns-count]
+    side[flags_at] = 0x01; // valid flags…
+    side[flags_at + 1] = 42; // …but a fault code from the future
+    let bad_fault = build(Spec {
+        sidecar: side,
+        ..Spec::default()
+    });
+    assert_eq!(
+        StoreReader::open(&bad_fault).unwrap_err(),
+        StoreError::BadFault(42)
+    );
+}
+
+/// Every proper prefix of the hand-assembled store errors cleanly —
+/// the same contract `truncated_messages_error_cleanly` pins for DNS.
+#[test]
+fn truncated_stores_error_cleanly() {
+    let bytes = build(Spec::default());
+    for cut in 0..bytes.len() {
+        let r = StoreReader::open(&bytes[..cut]);
+        assert!(r.is_err(), "prefix of {cut} bytes opened: {r:?}");
+    }
+    assert!(StoreReader::open(&bytes).is_ok());
+}
