@@ -171,7 +171,7 @@ pub fn evaluate(
                 .filter(|d| is_correct(result, truth, companies, d))
                 .count();
             let examined = if *strategy == Strategy::PriorityBased {
-                let examined_set: std::collections::HashSet<&Name> =
+                let examined_set: std::collections::BTreeSet<&Name> =
                     result.misid.examined.iter().collect();
                 sample
                     .iter()

@@ -1,6 +1,6 @@
 //! Figure 8: mail-provider preferences by ccTLD.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use mx_corpus::DomainRecord;
 use mx_infer::{CompanyMap, InferenceResult};
@@ -17,9 +17,10 @@ pub const FIG8_CCTLDS: [&str; 15] = [
 #[derive(Debug, Clone, Default)]
 pub struct CountryMatrix {
     /// `(cctld, provider) -> (weight, share of the ccTLD's domains)`.
-    pub cells: HashMap<(String, String), (f64, f64)>,
+    /// Ordered so walking the matrix is deterministic.
+    pub cells: BTreeMap<(String, String), (f64, f64)>,
     /// Domains per ccTLD.
-    pub totals: HashMap<String, usize>,
+    pub totals: BTreeMap<String, usize>,
 }
 
 impl CountryMatrix {

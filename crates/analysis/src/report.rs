@@ -67,7 +67,9 @@ impl Table {
         let mut widths = vec![0usize; cols];
         for row in std::iter::once(&self.headers).chain(&self.rows) {
             for (i, cell) in row.iter().enumerate() {
-                widths[i] = widths[i].max(cell.len());
+                if let Some(w) = widths.get_mut(i) {
+                    *w = (*w).max(cell.len());
+                }
             }
         }
         let mut out = String::new();
@@ -77,7 +79,8 @@ impl Table {
         let render_row = |row: &[String]| -> String {
             let mut line = String::new();
             for (i, cell) in row.iter().enumerate() {
-                let _ = write!(line, "{:<width$}  ", cell, width = widths[i]);
+                let width = widths.get(i).copied().unwrap_or(0);
+                let _ = write!(line, "{cell:<width$}  ");
             }
             line.trim_end().to_string()
         };

@@ -113,15 +113,29 @@ impl FromStr for Ipv6Prefix {
 #[derive(Debug)]
 struct Node6<V> {
     value: Option<V>,
-    children: [Option<Box<Node6<V>>>; 2],
+    // Named branches instead of a `[_; 2]` array: descent selects by
+    // `if`/`else` on the bit, so no lookup can panic on any input.
+    zero: Option<Box<Node6<V>>>,
+    one: Option<Box<Node6<V>>>,
 }
 
 impl<V> Default for Node6<V> {
     fn default() -> Self {
         Node6 {
             value: None,
-            children: [None, None],
+            zero: None,
+            one: None,
         }
+    }
+}
+
+impl<V> Node6<V> {
+    fn child(&self, bit: bool) -> Option<&Node6<V>> {
+        if bit { self.one.as_deref() } else { self.zero.as_deref() }
+    }
+
+    fn child_slot(&mut self, bit: bool) -> &mut Option<Box<Node6<V>>> {
+        if bit { &mut self.one } else { &mut self.zero }
     }
 }
 
@@ -162,8 +176,7 @@ impl<V> Ipv6Trie<V> {
     pub fn insert(&mut self, prefix: Ipv6Prefix, value: V) -> Option<V> {
         let mut node = &mut self.root;
         for i in 0..prefix.len() {
-            let b = prefix.bit(i) as usize;
-            node = node.children[b].get_or_insert_with(Default::default);
+            node = node.child_slot(prefix.bit(i)).get_or_insert_with(Default::default);
         }
         let old = node.value.replace(value);
         if old.is_none() {
@@ -176,8 +189,7 @@ impl<V> Ipv6Trie<V> {
     pub fn get(&self, prefix: &Ipv6Prefix) -> Option<&V> {
         let mut node = &self.root;
         for i in 0..prefix.len() {
-            let b = prefix.bit(i) as usize;
-            node = node.children[b].as_deref()?;
+            node = node.child(prefix.bit(i))?;
         }
         node.value.as_ref()
     }
@@ -188,8 +200,8 @@ impl<V> Ipv6Trie<V> {
         let mut node = &self.root;
         let mut best: Option<(u8, &V)> = node.value.as_ref().map(|v| (0, v));
         for i in 0..128u8 {
-            let b = ((bits >> (127 - i)) & 1) as usize;
-            match node.children[b].as_deref() {
+            let b = (bits >> (127 - i)) & 1 != 0;
+            match node.child(b) {
                 Some(child) => {
                     node = child;
                     if let Some(v) = node.value.as_ref() {
@@ -199,9 +211,10 @@ impl<V> Ipv6Trie<V> {
                 None => break,
             }
         }
-        best.map(|(len, v)| {
-            let p = Ipv6Prefix::new_truncating(addr, len).expect("len <= 128");
-            (p, v)
+        // `len` ≤ 128 by construction; fold the unrepresentable error
+        // into the Option instead of panicking.
+        best.and_then(|(len, v)| {
+            Ipv6Prefix::new_truncating(addr, len).ok().map(|p| (p, v))
         })
     }
 }

@@ -7,15 +7,30 @@ use crate::prefix::Ipv4Prefix;
 #[derive(Debug)]
 struct Node<V> {
     value: Option<V>,
-    children: [Option<Box<Node<V>>>; 2],
+    // Named branches instead of a `[_; 2]` array: every descent selects
+    // by `if`/`else` on the bit, so no lookup can panic regardless of
+    // what the (possibly untrusted) input bits are.
+    zero: Option<Box<Node<V>>>,
+    one: Option<Box<Node<V>>>,
 }
 
 impl<V> Default for Node<V> {
     fn default() -> Self {
         Node {
             value: None,
-            children: [None, None],
+            zero: None,
+            one: None,
         }
+    }
+}
+
+impl<V> Node<V> {
+    fn child(&self, bit: bool) -> Option<&Node<V>> {
+        if bit { self.one.as_deref() } else { self.zero.as_deref() }
+    }
+
+    fn child_slot(&mut self, bit: bool) -> &mut Option<Box<Node<V>>> {
+        if bit { &mut self.one } else { &mut self.zero }
     }
 }
 
@@ -56,8 +71,7 @@ impl<V> PrefixTrie<V> {
     pub fn insert(&mut self, prefix: Ipv4Prefix, value: V) -> Option<V> {
         let mut node = &mut self.root;
         for i in 0..prefix.len() {
-            let b = prefix.bit(i) as usize;
-            node = node.children[b].get_or_insert_with(Default::default);
+            node = node.child_slot(prefix.bit(i)).get_or_insert_with(Default::default);
         }
         let old = node.value.replace(value);
         if old.is_none() {
@@ -70,8 +84,7 @@ impl<V> PrefixTrie<V> {
     pub fn get(&self, prefix: &Ipv4Prefix) -> Option<&V> {
         let mut node = &self.root;
         for i in 0..prefix.len() {
-            let b = prefix.bit(i) as usize;
-            node = node.children[b].as_deref()?;
+            node = node.child(prefix.bit(i))?;
         }
         node.value.as_ref()
     }
@@ -83,8 +96,8 @@ impl<V> PrefixTrie<V> {
         let mut node = &self.root;
         let mut best: Option<(u8, &V)> = node.value.as_ref().map(|v| (0, v));
         for i in 0..32u8 {
-            let b = ((bits >> (31 - i)) & 1) as usize;
-            match node.children[b].as_deref() {
+            let b = (bits >> (31 - i)) & 1 != 0;
+            match node.child(b) {
                 Some(child) => {
                     node = child;
                     if let Some(v) = node.value.as_ref() {
@@ -94,9 +107,11 @@ impl<V> PrefixTrie<V> {
                 None => break,
             }
         }
-        best.map(|(len, v)| {
-            let p = Ipv4Prefix::new_truncating(addr, len).expect("len <= 32");
-            (p, v)
+        // `len` is at most 32 by construction; a failed constructor is
+        // unrepresentable, so fold it into the Option instead of
+        // panicking.
+        best.and_then(|(len, v)| {
+            Ipv4Prefix::new_truncating(addr, len).ok().map(|p| (p, v))
         })
     }
 
@@ -110,18 +125,16 @@ impl<V> PrefixTrie<V> {
 
 fn walk<'a, V>(node: &'a Node<V>, bits: u32, depth: u8, out: &mut Vec<(Ipv4Prefix, &'a V)>) {
     if let Some(v) = &node.value {
-        let p = Ipv4Prefix::new_truncating(Ipv4Addr::from(bits), depth).expect("depth <= 32");
-        out.push((p, v));
-    }
-    for (i, child) in node.children.iter().enumerate() {
-        if let Some(c) = child {
-            let next = if depth < 32 && i == 1 {
-                bits | (1 << (31 - depth))
-            } else {
-                bits
-            };
-            walk(c, next, depth + 1, out);
+        if let Ok(p) = Ipv4Prefix::new_truncating(Ipv4Addr::from(bits), depth) {
+            out.push((p, v));
         }
+    }
+    if let Some(c) = &node.zero {
+        walk(c, bits, depth + 1, out);
+    }
+    if let Some(c) = &node.one {
+        let next = if depth < 32 { bits | (1 << (31 - depth)) } else { bits };
+        walk(c, next, depth + 1, out);
     }
 }
 

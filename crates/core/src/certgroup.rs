@@ -65,9 +65,18 @@ impl Dsu {
     }
 
     fn find(&mut self, mut x: usize) -> usize {
-        while self.parent[x] != x {
-            self.parent[x] = self.parent[self.parent[x]];
-            x = self.parent[x];
+        // Path-halving with checked indexing: an out-of-range index
+        // (impossible by construction) resolves to itself rather than
+        // panicking.
+        while let Some(&p) = self.parent.get(x) {
+            if p == x {
+                break;
+            }
+            let gp = self.parent.get(p).copied().unwrap_or(p);
+            if let Some(slot) = self.parent.get_mut(x) {
+                *slot = gp;
+            }
+            x = gp;
         }
         x
     }
@@ -75,7 +84,9 @@ impl Dsu {
     fn union(&mut self, a: usize, b: usize) {
         let (ra, rb) = (self.find(a), self.find(b));
         if ra != rb {
-            self.parent[ra] = rb;
+            if let Some(slot) = self.parent.get_mut(ra) {
+                *slot = rb;
+            }
         }
     }
 }
@@ -185,7 +196,11 @@ pub fn preprocess(obs: &ObservationSet, psl: &PublicSuffixList) -> CertGroups {
         };
     }
 
-    let membership = seen
+    // Walk the dedup map in sorted fingerprint order so the pass stays
+    // visibly order-independent.
+    let mut seen_sorted: Vec<(Fingerprint, usize)> = seen.into_iter().collect();
+    seen_sorted.sort_unstable_by_key(|&(fp, _)| fp);
+    let membership = seen_sorted
         .into_iter()
         .map(|(fp, idx)| (fp, group_ids[&dsu.find(idx)]))
         .collect();

@@ -82,8 +82,13 @@ impl CompanyMap {
         &self,
         provider_weights: &HashMap<ProviderId, f64>,
     ) -> BTreeMap<String, f64> {
+        // Fold in provider-ID order: several providers sum into one
+        // company, and f64 addition is order-sensitive — hash order
+        // would make the totals vary bit-for-bit across runs.
+        let mut entries: Vec<(&ProviderId, &f64)> = provider_weights.iter().collect();
+        entries.sort_unstable_by(|a, b| a.0.cmp(b.0));
         let mut out: BTreeMap<String, f64> = BTreeMap::new();
-        for (id, w) in provider_weights {
+        for (id, w) in entries {
             *out.entry(self.company_or_id(id).to_string()).or_insert(0.0) += w;
         }
         out

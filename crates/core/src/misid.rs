@@ -158,10 +158,17 @@ impl Confidence {
         });
         let mut c = Confidence::default();
         for part in parts {
-            for (ip, n) in part.num_ip {
+            // Fold each partial map in key order: the counts are
+            // integers (order-insensitive), but sorted folds keep the
+            // merge auditable and the rule happy without an exemption.
+            let mut ips: Vec<(Ipv4Addr, usize)> = part.num_ip.into_iter().collect();
+            ips.sort_unstable_by_key(|&(ip, _)| ip);
+            for (ip, n) in ips {
                 *c.num_ip.entry(ip).or_insert(0) += n;
             }
-            for (fp, n) in part.num_cert {
+            let mut certs: Vec<(Fingerprint, usize)> = part.num_cert.into_iter().collect();
+            certs.sort_unstable_by_key(|&(fp, _)| fp);
+            for (fp, n) in certs {
                 *c.num_cert.entry(fp).or_insert(0) += n;
             }
         }

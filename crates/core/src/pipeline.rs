@@ -82,8 +82,13 @@ impl InferenceResult {
 
     /// Total credited weight per provider across all domains.
     pub fn provider_weights(&self) -> HashMap<ProviderId, f64> {
+        // Accumulate in dotted-name order, matching the market-share
+        // path: f64 addition is order-sensitive, and hash order would
+        // make the per-provider sums vary bit-for-bit run to run.
+        let mut entries: Vec<(&Name, &DomainAssignment)> = self.domains.iter().collect();
+        entries.sort_by_cached_key(|(name, _)| name.to_dotted());
         let mut w: HashMap<ProviderId, f64> = HashMap::new();
-        for a in self.domains.values() {
+        for (_, a) in entries {
             for s in &a.shares {
                 *w.entry(s.provider.clone()).or_insert(0.0) += s.weight;
             }
@@ -177,6 +182,7 @@ impl Pipeline {
             mx_obs::stage!(mx_obs::names::STAGE_INFER_MXID, mx_obs::names::STAGE_INFER).enter();
         let mut distinct: Vec<&crate::input::MxTargetObs> = Vec::new();
         let mut seen: std::collections::HashSet<&Name> = std::collections::HashSet::new();
+        // lint:allow(R9): obs.domains is a Vec (deterministic observation order); the name collides with InferenceResult's hash-typed field above
         for d in &obs.domains {
             for t in d.mx.targets() {
                 if seen.insert(&t.exchange) {

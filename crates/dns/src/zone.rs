@@ -237,7 +237,12 @@ impl Zone {
         // Wildcard synthesis: the closest encloser's `*` child, per RFC
         // 1034/4592, applies only if the query name does not exist.
         if let Some(wild) = self.closest_wildcard(name) {
-            let rs = &self.records[&wild];
+            let rs = match self.records.get(&wild) {
+                Some(rs) => rs,
+                // closest_wildcard only returns stored names, but keep
+                // the lookup total rather than panicking on a bug.
+                None => return ZoneLookup::NoData,
+            };
             let cname = rs.iter().find(|r| r.rtype() == RecordType::Cname);
             if let Some(c) = cname {
                 if rtype != RecordType::Cname && rtype != RecordType::Any {

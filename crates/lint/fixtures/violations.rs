@@ -59,3 +59,20 @@ pub fn r0_unused_allow() -> u8 {
     // lint:allow(R1): nothing here actually panics
     7
 }
+
+pub fn r9_hash_iteration(map: &std::collections::HashMap<u32, u32>) -> u32 {
+    let mut sum = 0;
+    for (k, v) in map.iter() {
+        sum ^= k ^ v;
+    }
+    sum
+}
+
+pub fn r9_host_clock() -> std::time::Duration {
+    let start = std::time::Instant::now();
+    start.elapsed()
+}
+
+pub fn r9_env_read() -> Option<String> {
+    std::env::var("MX_FIXTURE").ok()
+}

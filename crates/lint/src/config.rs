@@ -15,7 +15,8 @@
 //! ```
 //!
 //! Keys mirror the [`LintConfig`] fields (`untrusted`, `wire_codecs`,
-//! `bounded_loops`, `skip_dirs`); a key left out keeps its
+//! `bounded_loops`, `deterministic`, `entry_points`, `skip_dirs`); a
+//! key left out keeps its
 //! [`LintConfig::default`] value, so the file can override scopes
 //! selectively. Unknown or duplicate keys and malformed syntax are
 //! typed [`ConfigError`]s — a misspelled scope list must fail the run,
@@ -165,8 +166,8 @@ impl LintConfig {
         let mut config = LintConfig::default();
         let mut seen: Vec<String> = Vec::new();
         let mut i = 0usize;
-        while i < toks.len() {
-            let (kline, key) = match &toks[i] {
+        while let Some(tok) = toks.get(i) {
+            let (kline, key) = match tok {
                 (l, Tok::Key(k)) => (*l, k.clone()),
                 (l, _) => {
                     return Err(ConfigError::Syntax {
@@ -197,8 +198,8 @@ impl LintConfig {
             let mut values: Vec<String> = Vec::new();
             // Array body: strings separated by commas, trailing comma
             // allowed, closed by `]`.
-            while i < toks.len() {
-                match &toks[i] {
+            while let Some(tok) = toks.get(i) {
+                match tok {
                     (_, Tok::Close) => break,
                     (_, Tok::Str(s)) => {
                         values.push(s.clone());
@@ -240,6 +241,8 @@ impl LintConfig {
                 "untrusted" => config.untrusted = values,
                 "wire_codecs" => config.wire_codecs = values,
                 "bounded_loops" => config.bounded_loops = values,
+                "deterministic" => config.deterministic = values,
+                "entry_points" => config.entry_points = values,
                 "skip_dirs" => config.skip_dirs = values,
                 _ => return Err(ConfigError::UnknownKey { line: kline, key }),
             }
@@ -289,7 +292,31 @@ skip_dirs = []
         let c = LintConfig::from_toml_str("# nothing here\n").unwrap();
         let d = LintConfig::default();
         assert_eq!(c.untrusted, d.untrusted);
+        assert_eq!(c.deterministic, d.deterministic);
+        assert_eq!(c.entry_points, d.entry_points);
         assert_eq!(c.skip_dirs, d.skip_dirs);
+    }
+
+    #[test]
+    fn deterministic_and_entry_points_keys_parse_and_override() {
+        let src = "\
+deterministic = [\"crates/a/src/out.rs\"]
+entry_points = [\"crates/a/src/in.rs::decode\"]
+";
+        let c = LintConfig::from_toml_str(src).unwrap();
+        assert_eq!(c.deterministic, ["crates/a/src/out.rs"]);
+        assert_eq!(c.entry_points, ["crates/a/src/in.rs::decode"]);
+        // Partial override: untouched scopes keep their defaults.
+        assert_eq!(c.untrusted, LintConfig::default().untrusted);
+        // The new keys get the same typed-error treatment.
+        assert!(matches!(
+            LintConfig::from_toml_str("deterministic = []\ndeterministic = []"),
+            Err(ConfigError::DuplicateKey { line: 2, ref key }) if key == "deterministic"
+        ));
+        assert!(matches!(
+            LintConfig::from_toml_str("entry_points = [42]"),
+            Err(ConfigError::Syntax { .. })
+        ));
     }
 
     #[test]

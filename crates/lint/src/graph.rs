@@ -1,0 +1,542 @@
+//! A conservative name-resolved call graph across all workspace
+//! crates, and the R8 untrusted-reachability rule built on it.
+//!
+//! mx-lint has no type information, so resolution is by *name* with a
+//! locality preference, erring toward **over**-approximation: when a
+//! call could plausibly reach several same-named functions, edges go to
+//! all of them. A missing edge would silently hide a panicky helper
+//! from R8; a spurious edge costs at worst a false positive that a
+//! reviewed `lint:allow(R8)` can record. The resolution policy:
+//!
+//! - **bare calls** `helper(…)` — same file first, else same crate,
+//!   else every workspace fn with that name;
+//! - **path calls** `qual::helper(…)` — `Self::` uses the caller's
+//!   enclosing impl type; a known impl/trait type resolves to its
+//!   methods; `crate`/`self`/`super` or a crate stem resolve within the
+//!   caller's crate; a module stem resolves to that module's file;
+//!   anything else (std, core, alloc, …) resolves to nothing — external
+//!   code is out of scope by definition;
+//! - **method calls** `.helper(…)` — every workspace *method* (fn
+//!   inside an `impl`/`trait` block) with that name, but never free
+//!   functions, so `.parse()` on a std type does not taint every
+//!   workspace fn named `parse`.
+//!
+//! Known holes, documented rather than papered over: calls made inside
+//! macro expansions are invisible (the lexer sees the invocation, not
+//! the expansion), function pointers and closures passed as values are
+//! not tracked as edges (but a closure's *body* is scanned as part of
+//! its enclosing fn, which recovers most of the taint), and trait
+//! dispatch resolves by method name rather than receiver type.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::rules::{Diagnostic, FileClass, Rule};
+use crate::syntax::{CallKind, FileSyntax, SinkKind};
+
+/// The workspace call graph: every non-test `fn`, with name-resolved
+/// call edges.
+pub struct CallGraph<'a> {
+    files: &'a [FileSyntax],
+    /// Global fn id → (file index, fn index within file).
+    ids: Vec<(usize, usize)>,
+    /// Adjacency: caller id → sorted, deduped callee ids.
+    edges: Vec<Vec<usize>>,
+}
+
+/// `crates/dns/src/wire.rs` → `dns`; root-package `src/…` → `mxmap`.
+fn crate_of(rel: &str) -> &str {
+    rel.strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("mxmap")
+}
+
+/// `crates/dns/src/wire.rs` → `wire` (the module stem a path call's
+/// qualifier would name).
+fn module_stem(rel: &str) -> &str {
+    rel.rsplit('/')
+        .next()
+        .and_then(|f| f.strip_suffix(".rs"))
+        .unwrap_or("")
+}
+
+impl<'a> CallGraph<'a> {
+    /// Build the graph over the extracted syntax of every workspace
+    /// file. Test fns neither gain nor emit edges.
+    pub fn build(files: &'a [FileSyntax]) -> Self {
+        let mut ids = Vec::new();
+        for (fi, file) in files.iter().enumerate() {
+            for (ki, _) in file.fns.iter().enumerate() {
+                ids.push((fi, ki));
+            }
+        }
+
+        // Name indexes. BTreeMap keeps candidate lists and therefore
+        // edge order byte-deterministic.
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut by_file_name: BTreeMap<(usize, &str), Vec<usize>> = BTreeMap::new();
+        let mut by_crate_name: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        let mut by_type_method: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        let mut methods_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut stem_files: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (fi, file) in files.iter().enumerate() {
+            stem_files.entry(module_stem(&file.rel)).or_default().push(fi);
+        }
+        for (id, &(fi, ki)) in ids.iter().enumerate() {
+            let f = &files[fi].fns[ki];
+            if f.in_test {
+                continue;
+            }
+            let name = f.name.as_str();
+            by_name.entry(name).or_default().push(id);
+            by_file_name.entry((fi, name)).or_default().push(id);
+            by_crate_name
+                .entry((crate_of(&files[fi].rel), name))
+                .or_default()
+                .push(id);
+            if let Some(q) = f.qual.as_deref() {
+                by_type_method.entry((q, name)).or_default().push(id);
+                methods_by_name.entry(name).or_default().push(id);
+            }
+        }
+
+        let mut edges = vec![Vec::new(); ids.len()];
+        for (id, &(fi, ki)) in ids.iter().enumerate() {
+            let caller = &files[fi].fns[ki];
+            if caller.in_test {
+                continue;
+            }
+            let krate = crate_of(&files[fi].rel);
+            let mut targets: BTreeSet<usize> = BTreeSet::new();
+            for call in &caller.calls {
+                let name = call.name.as_str();
+                match call.kind {
+                    CallKind::Bare => {
+                        let found = by_file_name
+                            .get(&(fi, name))
+                            .or_else(|| by_crate_name.get(&(krate, name)))
+                            .or_else(|| by_name.get(name));
+                        if let Some(v) = found {
+                            targets.extend(v.iter().copied());
+                        }
+                    }
+                    CallKind::Path => {
+                        let qual = call.qual.as_deref().unwrap_or("");
+                        let qual = if qual == "Self" {
+                            caller.qual.as_deref().unwrap_or("Self")
+                        } else {
+                            qual
+                        };
+                        if let Some(v) = by_type_method.get(&(qual, name)) {
+                            targets.extend(v.iter().copied());
+                        } else if matches!(qual, "crate" | "self" | "super") || qual == krate {
+                            if let Some(v) = by_crate_name.get(&(krate, name)) {
+                                targets.extend(v.iter().copied());
+                            }
+                        } else if let Some(fis) = stem_files.get(qual) {
+                            // A module stem (`wire::decode`): prefer the
+                            // caller's crate, fall back to any crate
+                            // with a module of that name.
+                            let same: Vec<usize> = fis
+                                .iter()
+                                .filter(|&&f2| crate_of(&files[f2].rel) == krate)
+                                .copied()
+                                .collect();
+                            let pick = if same.is_empty() { fis.clone() } else { same };
+                            for f2 in pick {
+                                if let Some(v) = by_file_name.get(&(f2, name)) {
+                                    targets.extend(v.iter().copied());
+                                }
+                            }
+                        }
+                        // Unknown qualifier (std::…, core::…): no edge.
+                    }
+                    CallKind::Method => {
+                        if let Some(v) = methods_by_name.get(name) {
+                            targets.extend(v.iter().copied());
+                        }
+                    }
+                }
+            }
+            targets.remove(&id); // self-recursion adds nothing to taint
+            edges[id] = targets.into_iter().collect();
+        }
+
+        CallGraph { files, ids, edges }
+    }
+
+    /// Number of fns in the graph (including test fns, which have no
+    /// edges).
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the graph contains no fns.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// `file-rel::fn_name` (with the impl type infix for methods).
+    pub fn display_name(&self, id: usize) -> String {
+        let entry = self
+            .ids
+            .get(id)
+            .and_then(|&(fi, ki)| self.files.get(fi).map(|file| (file, ki)))
+            .and_then(|(file, ki)| file.fns.get(ki).map(|f| (file, f)));
+        let Some((file, f)) = entry else {
+            return format!("fn#{id}");
+        };
+        match f.qual.as_deref() {
+            Some(q) => format!("{}::{}::{}", file.rel, q, f.name),
+            None => format!("{}::{}", file.rel, f.name),
+        }
+    }
+
+    /// Ids of every fn whose name matches, for tests and tools.
+    pub fn ids_named(&self, name: &str) -> Vec<usize> {
+        (0..self.ids.len())
+            .filter(|&id| {
+                let (fi, ki) = self.ids[id];
+                self.files[fi].fns[ki].name == name
+            })
+            .collect()
+    }
+
+    /// The sorted callee ids of `id` (empty for an out-of-range id).
+    pub fn callees(&self, id: usize) -> &[usize] {
+        self.edges.get(id).map_or(&[], Vec::as_slice)
+    }
+
+    /// BFS from `seeds`; returns (`tainted`, `parent`) where `parent`
+    /// chains each reached fn back to its seed. Seeds are visited in
+    /// ascending id order so parent choices — and thus diagnostic
+    /// messages — are deterministic.
+    pub fn reach(&self, seeds: &[usize]) -> (Vec<bool>, Vec<Option<usize>>) {
+        let mut tainted = vec![false; self.ids.len()];
+        let mut parent = vec![None; self.ids.len()];
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        let mut sorted: Vec<usize> = seeds.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        for s in sorted {
+            if !tainted[s] {
+                tainted[s] = true;
+                queue.push_back(s);
+            }
+        }
+        while let Some(cur) = queue.pop_front() {
+            for &nxt in &self.edges[cur] {
+                if !tainted[nxt] {
+                    tainted[nxt] = true;
+                    parent[nxt] = Some(cur);
+                    queue.push_back(nxt);
+                }
+            }
+        }
+        (tainted, parent)
+    }
+
+    /// The seed → … → `id` chain as display names (seed first).
+    fn chain(&self, parent: &[Option<usize>], id: usize) -> Vec<String> {
+        let mut rev = vec![id];
+        let mut cur = id;
+        while let Some(p) = parent.get(cur).copied().flatten() {
+            rev.push(p);
+            cur = p;
+            if rev.len() > 64 {
+                break; // cycles cannot occur (parent forms a tree), but stay bounded
+            }
+        }
+        rev.reverse();
+        rev.into_iter().map(|i| self.display_name(i)).collect()
+    }
+}
+
+/// Seed ids for R8: unrestricted-`pub` fns of `untrusted`-scoped files,
+/// plus explicit `entry_points` entries (`path/suffix.rs::fn_name`).
+fn r8_seeds(g: &CallGraph, classes: &[FileClass], entry_points: &[String]) -> Vec<usize> {
+    let mut seeds = Vec::new();
+    for (id, &(fi, ki)) in g.ids.iter().enumerate() {
+        let f = &g.files[fi].fns[ki];
+        if f.in_test {
+            continue;
+        }
+        if classes[fi].untrusted && f.is_pub {
+            seeds.push(id);
+            continue;
+        }
+        let rel = &g.files[fi].rel;
+        for ep in entry_points {
+            if let Some((file_part, fn_part)) = ep.rsplit_once("::") {
+                if f.name == fn_part && rel.ends_with(file_part) {
+                    seeds.push(id);
+                    break;
+                }
+            }
+        }
+    }
+    seeds
+}
+
+/// Run R8 over the workspace: seed taint at untrusted entry points,
+/// propagate through the call graph, and flag panicky constructs and
+/// unchecked length arithmetic in every reached fn — except where the
+/// per-file rules already police the same construct (R1 in `untrusted`
+/// files, R7 in `wire_codecs` files), so no site is reported twice.
+///
+/// `classes[i]` must be the [`FileClass`] of `files[i]`.
+pub fn check_r8(
+    files: &[FileSyntax],
+    classes: &[FileClass],
+    entry_points: &[String],
+    out: &mut Vec<Diagnostic>,
+) {
+    debug_assert_eq!(files.len(), classes.len());
+    let g = CallGraph::build(files);
+    let seeds = r8_seeds(&g, classes, entry_points);
+    let (tainted, parent) = g.reach(&seeds);
+    for (id, &(fi, ki)) in g.ids.iter().enumerate() {
+        if !tainted[id] {
+            continue;
+        }
+        let f = &files[fi].fns[ki];
+        if f.in_test || f.sinks.is_empty() {
+            continue;
+        }
+        let covered_panic = classes[fi].untrusted;
+        let covered_arith = classes[fi].wire_codec;
+        let mut via = String::new();
+        let chain = g.chain(&parent, id);
+        if chain.len() > 1 {
+            // Show the entry point and, for indirect taint, the last
+            // hop; middle hops add noise without aiding the fix.
+            via = format!(" via entry `{}`", chain[0]);
+            if chain.len() > 2 {
+                via.push_str(&format!(" and {} more hop(s)", chain.len() - 2));
+            }
+        }
+        for sink in &f.sinks {
+            let covered = match sink.kind {
+                SinkKind::Panic => covered_panic,
+                SinkKind::Arith => covered_arith,
+            };
+            if covered {
+                continue; // R1/R7 already police this construct here
+            }
+            out.push(Diagnostic {
+                file: files[fi].rel.clone(),
+                line: sink.line,
+                rule: Rule::R8,
+                message: format!(
+                    "`{}` is reachable from untrusted input{via}: {}",
+                    f.name, sink.message
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::extract_source;
+
+    fn classes_for(files: &[FileSyntax], untrusted: &[&str]) -> Vec<FileClass> {
+        files
+            .iter()
+            .map(|f| FileClass {
+                untrusted: untrusted.contains(&f.rel.as_str()),
+                wire_codec: false,
+                crate_root: false,
+                bounded_loops: false,
+                deterministic: false,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn two_hop_cross_file_taint() {
+        let files = vec![
+            extract_source(
+                "crates/a/src/decode.rs",
+                "pub fn decode(b: &[u8]) -> u8 { helper::step(b) }",
+            ),
+            extract_source(
+                "crates/a/src/helper.rs",
+                "pub(crate) fn step(b: &[u8]) -> u8 { deep(b) }\n\
+                 fn deep(b: &[u8]) -> u8 { b[0] }",
+            ),
+        ];
+        let classes = classes_for(&files, &["crates/a/src/decode.rs"]);
+        let mut out = Vec::new();
+        check_r8(&files, &classes, &[], &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].file, "crates/a/src/helper.rs");
+        assert!(out[0].message.contains("`deep`"));
+        assert!(out[0].message.contains("decode.rs::decode"));
+    }
+
+    #[test]
+    fn unreachable_sink_not_flagged() {
+        let files = vec![
+            extract_source(
+                "crates/a/src/decode.rs",
+                "pub fn decode(b: &[u8]) -> usize { b.len() }",
+            ),
+            extract_source(
+                "crates/a/src/other.rs",
+                "fn island(x: Option<u8>) -> u8 { x.unwrap() }",
+            ),
+        ];
+        let classes = classes_for(&files, &["crates/a/src/decode.rs"]);
+        let mut out = Vec::new();
+        check_r8(&files, &classes, &[], &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn sinks_inside_scoped_files_left_to_r1() {
+        // A panicky construct inside the untrusted file itself is R1's
+        // finding; R8 stays silent to avoid double-reporting.
+        let files = vec![extract_source(
+            "crates/a/src/decode.rs",
+            "pub fn decode(b: &[u8]) -> u8 { b[0] }",
+        )];
+        let classes = classes_for(&files, &["crates/a/src/decode.rs"]);
+        let mut out = Vec::new();
+        check_r8(&files, &classes, &[], &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn explicit_entry_points_seed_taint() {
+        let files = vec![
+            extract_source(
+                "crates/net/src/probe.rs",
+                "pub fn measure(b: &[u8]) -> u8 { crunch(b) }",
+            ),
+            extract_source(
+                "crates/net/src/math.rs",
+                "pub(crate) fn crunch(b: &[u8]) -> u8 { b[1] }",
+            ),
+        ];
+        let classes = classes_for(&files, &[]);
+        let mut out = Vec::new();
+        check_r8(&files, &classes, &[], &mut out);
+        assert!(out.is_empty(), "no scope, no entry points, no findings");
+        check_r8(
+            &files,
+            &classes,
+            &["crates/net/src/probe.rs::measure".to_string()],
+            &mut out,
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].file, "crates/net/src/math.rs");
+    }
+
+    #[test]
+    fn method_calls_resolve_to_workspace_methods_only() {
+        let files = vec![
+            extract_source(
+                "crates/a/src/decode.rs",
+                "pub fn decode(s: &str) -> u32 { s.grind() }",
+            ),
+            extract_source(
+                "crates/a/src/imp.rs",
+                "impl Grinder {\n    fn grind(&self) -> u32 { self.0.unwrap() }\n}\n\
+                 fn grind_free(x: Option<u32>) -> u32 { x.unwrap() }",
+            ),
+        ];
+        let classes = classes_for(&files, &["crates/a/src/decode.rs"]);
+        let mut out = Vec::new();
+        check_r8(&files, &classes, &[], &mut out);
+        assert_eq!(out.len(), 1, "method resolves, free fn does not: {out:?}");
+        assert!(out[0].message.contains("`grind`"));
+    }
+
+    #[test]
+    fn bare_calls_prefer_same_file() {
+        let files = vec![
+            extract_source(
+                "crates/a/src/decode.rs",
+                "pub fn decode(b: &[u8]) -> u8 { helper(b) }\n\
+                 fn helper(b: &[u8]) -> u8 { b.len() as u8 }",
+            ),
+            extract_source(
+                "crates/b/src/other.rs",
+                "fn helper(x: Option<u8>) -> u8 { x.unwrap() }",
+            ),
+        ];
+        let classes = classes_for(&files, &["crates/a/src/decode.rs"]);
+        let mut out = Vec::new();
+        check_r8(&files, &classes, &[], &mut out);
+        assert!(
+            out.is_empty(),
+            "same-file helper shadows the cross-crate one: {out:?}"
+        );
+        let g = CallGraph::build(&files);
+        let decode = g.ids_named("decode")[0];
+        assert_eq!(g.callees(decode).len(), 1);
+    }
+
+    #[test]
+    fn self_path_calls_resolve_via_impl_type() {
+        let files = vec![extract_source(
+            "crates/a/src/decode.rs",
+            "impl Msg {\n\
+                 pub fn parse(b: &[u8]) -> Msg { Self::inner(b) }\n\
+                 fn inner(b: &[u8]) -> Msg { Msg(b[0]) }\n\
+             }",
+        )];
+        let classes = classes_for(&files, &[]);
+        let mut out = Vec::new();
+        check_r8(
+            &files,
+            &classes,
+            &["crates/a/src/decode.rs::parse".to_string()],
+            &mut out,
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("`inner`"));
+    }
+
+    #[test]
+    fn test_fns_are_not_seeds_or_targets() {
+        let files = vec![extract_source(
+            "crates/a/src/decode.rs",
+            "pub fn decode(b: &[u8]) -> usize { b.len() }\n\
+             #[cfg(test)]\nmod tests {\n\
+                 pub fn t(x: Option<u8>) -> u8 { x.unwrap() }\n\
+             }",
+        )];
+        let classes = classes_for(&files, &["crates/a/src/decode.rs"]);
+        let mut out = Vec::new();
+        check_r8(&files, &classes, &[], &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn deterministic_output_order() {
+        let src_a = extract_source(
+            "crates/a/src/decode.rs",
+            "pub fn decode(b: &[u8]) -> u8 { one(b) + two(b) }",
+        );
+        let src_b = extract_source(
+            "crates/a/src/h.rs",
+            "pub(crate) fn one(b: &[u8]) -> u8 { b[0] }\n\
+             pub(crate) fn two(b: &[u8]) -> u8 { b[1] }",
+        );
+        let files = vec![src_a, src_b];
+        let classes = classes_for(&files, &["crates/a/src/decode.rs"]);
+        let mut out1 = Vec::new();
+        check_r8(&files, &classes, &[], &mut out1);
+        let mut out2 = Vec::new();
+        check_r8(&files, &classes, &[], &mut out2);
+        let render = |v: &Vec<Diagnostic>| {
+            v.iter()
+                .map(|d| format!("{}:{} {}", d.file, d.line, d.message))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(render(&out1), render(&out2));
+        assert_eq!(out1.len(), 2);
+    }
+}

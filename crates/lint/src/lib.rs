@@ -28,8 +28,11 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod graph;
 pub mod lexer;
+pub mod report;
 pub mod rules;
+pub mod syntax;
 
 use std::collections::HashMap;
 use std::fs;
@@ -113,6 +116,13 @@ pub struct LintConfig {
     /// R5 scope: modules whose loops must visibly bound their exits —
     /// the untrusted parsers plus the retrying acquisition layers.
     pub bounded_loops: Vec<String>,
+    /// R9 scope: modules that produce Stable-classed output and must
+    /// therefore not read nondeterminism sources (hash-order iteration,
+    /// host clocks, environment, thread ids, addresses).
+    pub deterministic: Vec<String>,
+    /// Extra R8 taint seeds beyond the pub fns of `untrusted` files, as
+    /// `path/suffix.rs::fn_name` entries.
+    pub entry_points: Vec<String>,
     /// Directory names never descended into.
     pub skip_dirs: Vec<String>,
 }
@@ -207,6 +217,75 @@ impl Default for LintConfig {
             ]
             .map(String::from)
             .to_vec(),
+            deterministic: [
+                // Everything whose output lands in Stable-classed
+                // metrics, reports, or on-disk artifacts: the seeded
+                // world generator, the classification pipeline, the
+                // analysis layer, and the snapshot codec. A host clock
+                // or hash-order walk in any of these breaks the
+                // bit-identical-across-{threads,reruns,seeds} invariant
+                // the runtime gates enforce.
+                "crates/corpus/src/catalog.rs",
+                "crates/corpus/src/domains.rs",
+                "crates/corpus/src/evolution.rs",
+                "crates/corpus/src/knowledge.rs",
+                "crates/corpus/src/scenario.rs",
+                "crates/corpus/src/shares.rs",
+                "crates/corpus/src/worldgen.rs",
+                "crates/asn/src/table.rs",
+                "crates/asn/src/trie.rs",
+                "crates/asn/src/prefix.rs",
+                "crates/asn/src/prefix6.rs",
+                "crates/analysis/src/accuracy.rs",
+                "crates/analysis/src/churn.rs",
+                "crates/analysis/src/country.rs",
+                "crates/analysis/src/coverage.rs",
+                "crates/analysis/src/longitudinal.rs",
+                "crates/analysis/src/market.rs",
+                "crates/analysis/src/observe.rs",
+                "crates/analysis/src/report.rs",
+                "crates/analysis/src/store.rs",
+                "crates/core/src/certgroup.rs",
+                "crates/core/src/company.rs",
+                "crates/core/src/domainid.rs",
+                "crates/core/src/ipid.rs",
+                "crates/core/src/misid.rs",
+                "crates/core/src/mxid.rs",
+                "crates/core/src/pattern.rs",
+                "crates/core/src/pipeline.rs",
+                "crates/core/src/store_io.rs",
+                // The deterministic substrate itself: seeded RNG, the
+                // simulated network, the virtual DNS clock and servers.
+                "crates/rng/src/lib.rs",
+                "crates/net/src/simnet.rs",
+                "crates/net/src/fault.rs",
+                "crates/net/src/scanner.rs",
+                "crates/net/src/openintel.rs",
+                "crates/dns/src/clock.rs",
+                "crates/dns/src/server.rs",
+                "crates/dns/src/zone.rs",
+                "crates/smtp/src/server.rs",
+                // Stable-classed snapshot output: the store codec and
+                // the obs export/JSON layer (span.rs is deliberately
+                // absent — its wall-clock timings are Per-Run class).
+                "crates/store/src/writer.rs",
+                "crates/store/src/reader.rs",
+                "crates/store/src/format.rs",
+                "crates/obs/src/export.rs",
+                "crates/obs/src/json.rs",
+                "crates/obs/src/metrics.rs",
+                // Dogfood: the lint's own call graph and reporters must
+                // emit byte-identical output across runs.
+                "crates/lint/src/graph.rs",
+                "crates/lint/src/report.rs",
+                "crates/lint/src/syntax.rs",
+            ]
+            .map(String::from)
+            .to_vec(),
+            // No extra seeds by default: the pub fns of `untrusted`
+            // files already cover the decode surface. Entries take the
+            // form "crates/net/src/openintel.rs::measure".
+            entry_points: Vec::new(),
             skip_dirs: ["target", ".git", "fixtures", "tests", "benches", "examples"]
                 .map(String::from)
                 .to_vec(),
@@ -223,6 +302,7 @@ impl LintConfig {
             wire_codec: self.wire_codecs.iter().any(|s| rel.ends_with(s.as_str())),
             crate_root: rel == "src/lib.rs" || (rel.starts_with("crates/") && rel.ends_with("/src/lib.rs")),
             bounded_loops: self.bounded_loops.iter().any(|s| rel.ends_with(s.as_str())),
+            deterministic: self.deterministic.iter().any(|s| rel.ends_with(s.as_str())),
         }
     }
 }
@@ -248,14 +328,27 @@ impl Report {
 /// Lint a single source text. `rel` is the repo-relative display path;
 /// `class` controls which rules apply. Returns diagnostics plus the
 /// number of `lint:allow` directives seen.
+///
+/// This is the per-file view: the crate-wide R8 rule needs every file
+/// at once, so it only runs under [`lint_sources`] / the workspace
+/// entry points.
 pub fn lint_source(rel: &str, src: &str, class: FileClass) -> (Vec<Diagnostic>, usize) {
     let lexed = lex_cached(rel, src);
     let allows = rules::parse_allows(&lexed);
     let mut raw = Vec::new();
     rules::check(rel, &lexed, class, &mut raw);
+    let out = apply_allows(rel, raw, &allows);
+    (out, allows.len())
+}
 
-    // Apply the escape hatch: a directive suppresses matching
-    // diagnostics on its covered line; hygiene problems become R0.
+/// Apply the escape hatch to raw diagnostics: a directive suppresses
+/// matching diagnostics on its covered lines; hygiene problems (unknown
+/// rule, missing reason, nothing suppressed) become R0 diagnostics.
+///
+/// Runs *after* crate-wide rules are merged into `raw`, so a reviewed
+/// `lint:allow(R8)` on a sink line both suppresses the finding and
+/// counts as used.
+fn apply_allows(rel: &str, raw: Vec<Diagnostic>, allows: &[rules::Allow]) -> Vec<Diagnostic> {
     let mut used = vec![false; allows.len()];
     let mut out = Vec::new();
     for d in raw {
@@ -303,7 +396,54 @@ pub fn lint_source(rel: &str, src: &str, class: FileClass) -> (Vec<Diagnostic>, 
             });
         }
     }
-    (out, allows.len())
+    out
+}
+
+/// Lint a set of in-memory sources as one workspace: the per-file rules
+/// run on each file, then the crate-wide R8 reachability rule runs over
+/// the call graph of all of them, and only then are `lint:allow`
+/// directives applied — so R8 findings are suppressible (and their
+/// allows counted as used) exactly like per-file findings.
+///
+/// `sources` is `(repo-relative path, source text)`. Diagnostics come
+/// back sorted by `(file, line, rule, message)` — the byte-stable order
+/// the machine-readable reporters rely on.
+pub fn lint_sources(sources: &[(String, String)], config: &LintConfig) -> Report {
+    let mut report = Report::default();
+    let mut per_file: Vec<(String, Vec<Diagnostic>, Vec<rules::Allow>)> = Vec::new();
+    let mut syntaxes: Vec<syntax::FileSyntax> = Vec::new();
+    let mut classes: Vec<FileClass> = Vec::new();
+    for (rel, src) in sources {
+        let class = config.classify(rel);
+        let lexed = lex_cached(rel, src);
+        let allows = rules::parse_allows(&lexed);
+        let mut raw = Vec::new();
+        rules::check(rel, &lexed, class, &mut raw);
+        syntaxes.push(syntax::extract(rel, &lexed));
+        classes.push(class);
+        report.files_checked += 1;
+        report.allows_total += allows.len();
+        per_file.push((rel.clone(), raw, allows));
+    }
+
+    let mut r8 = Vec::new();
+    graph::check_r8(&syntaxes, &classes, &config.entry_points, &mut r8);
+    for d in r8 {
+        if let Some(entry) = per_file.iter_mut().find(|(rel, _, _)| *rel == d.file) {
+            entry.1.push(d);
+        }
+    }
+
+    for (rel, raw, allows) in per_file {
+        report.diagnostics.extend(apply_allows(&rel, raw, &allows));
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| {
+            (a.file.as_str(), a.line, a.rule.id(), a.message.as_str())
+                .cmp(&(b.file.as_str(), b.line, b.rule.id(), b.message.as_str()))
+        });
+    report
 }
 
 /// Lint one file on disk with explicit classification.
@@ -348,21 +488,16 @@ pub fn lint_workspace_with(root: &Path, config: &LintConfig) -> io::Result<Repor
     }
     files.sort();
 
-    let mut report = Report::default();
+    let mut sources = Vec::with_capacity(files.len());
     for path in files {
         let rel = path
             .strip_prefix(root)
             .unwrap_or(&path)
             .to_string_lossy()
             .replace('\\', "/");
-        let class = config.classify(&rel);
-        let src = fs::read_to_string(&path)?;
-        let (diags, allows) = lint_source(&rel, &src, class);
-        report.files_checked += 1;
-        report.allows_total += allows;
-        report.diagnostics.extend(diags);
+        sources.push((rel, fs::read_to_string(&path)?));
     }
-    Ok(report)
+    Ok(lint_sources(&sources, config))
 }
 
 fn collect_rs(dir: &Path, config: &LintConfig, out: &mut Vec<PathBuf>) -> io::Result<()> {

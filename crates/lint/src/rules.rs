@@ -15,6 +15,8 @@
 //! | R5   | bounded-loop modules    | every `loop`/`while` must tie its exit to a reader position or a named `MAX_*` budget |
 //! | R6   | all library code        | no `Result<_, String>` — errors must be typed enums, not strings |
 //! | R7   | wire-codec modules      | no bare `+`/`*` on length-typed values (use `checked_add`/`saturating_*`) |
+//! | R8   | whole workspace         | no panicky/unchecked code *reachable* from untrusted decode entry points, even outside the scoped files (needs the call graph — see [`crate::graph`]) |
+//! | R9   | deterministic modules   | no nondeterminism sources feeding Stable-classed output: hash-order iteration, host clocks, env reads, thread identity, pointer addresses, `RandomState` |
 //! | R0   | everywhere              | `lint:allow` hygiene: known rule, written reason, actually used |
 
 use crate::lexer::{Lexed, Tok, TokKind};
@@ -39,6 +41,14 @@ pub enum Rule {
     /// Checked length arithmetic: no bare `+`/`*` on length-typed values
     /// in wire codecs.
     R7,
+    /// Untrusted reachability: panicky or unchecked code reachable from
+    /// the public decode entry points of untrusted modules, anywhere in
+    /// the workspace (crate-wide, driven by the call graph).
+    R8,
+    /// Determinism: no nondeterminism sources in modules that produce
+    /// Stable-classed output (hash-order iteration, host clocks, env
+    /// reads, thread identity, pointer addresses, `RandomState`).
+    R9,
 }
 
 impl Rule {
@@ -53,6 +63,8 @@ impl Rule {
             Rule::R5 => "R5",
             Rule::R6 => "R6",
             Rule::R7 => "R7",
+            Rule::R8 => "R8",
+            Rule::R9 => "R9",
         }
     }
 
@@ -67,7 +79,39 @@ impl Rule {
             "R5" => Some(Rule::R5),
             "R6" => Some(Rule::R6),
             "R7" => Some(Rule::R7),
+            "R8" => Some(Rule::R8),
+            "R9" => Some(Rule::R9),
             _ => None,
+        }
+    }
+
+    /// Every rule, in ID order (the SARIF reporter enumerates these).
+    pub const ALL: &'static [Rule] = &[
+        Rule::R0,
+        Rule::R1,
+        Rule::R2,
+        Rule::R3,
+        Rule::R4,
+        Rule::R5,
+        Rule::R6,
+        Rule::R7,
+        Rule::R8,
+        Rule::R9,
+    ];
+
+    /// One-line summary used by the machine-readable reporters.
+    pub fn summary(self) -> &'static str {
+        match self {
+            Rule::R0 => "lint:allow hygiene: known rule, written reason, actually used",
+            Rule::R1 => "panic-freedom in untrusted-input modules",
+            Rule::R2 => "no bare narrowing casts in wire codecs",
+            Rule::R3 => "bounded allocation and recursion in untrusted-input modules",
+            Rule::R4 => "crate-level lint tier header",
+            Rule::R5 => "loop exits tied to a reader position or MAX_* budget",
+            Rule::R6 => "typed errors: no Result<_, String> in library code",
+            Rule::R7 => "checked length arithmetic in wire codecs",
+            Rule::R8 => "no panicky/unchecked code reachable from untrusted decode entry points",
+            Rule::R9 => "no nondeterminism sources feeding Stable-classed output",
         }
     }
 }
@@ -109,6 +153,9 @@ pub struct FileClass {
     /// R5 applies: loops in this module must visibly bound their exit
     /// (untrusted parsers plus the retrying acquisition loops).
     pub bounded_loops: bool,
+    /// R9 applies: the module produces Stable-classed output, so its
+    /// code must not read nondeterminism sources.
+    pub deterministic: bool,
 }
 
 /// A parsed `lint:allow` directive.
@@ -279,7 +326,72 @@ const LEN_IDENT_MARKERS: &[&str] = &[
     "len", "count", "size", "pos", "offset", "cursor", "idx", "index",
 ];
 
-/// Run every applicable rule over one lexed file.
+/// A panicky construct (R1/R8 sink) at token `i`, if any: `.unwrap()`
+/// and friends, aborting macros, or a direct index expression.
+pub(crate) fn panic_sink_at(toks: &[Tok], i: usize) -> Option<String> {
+    let t = toks.get(i)?;
+    let prev = i.checked_sub(1).map(|j| &toks[j]);
+    let next = toks.get(i + 1);
+    if t.kind == TokKind::Ident
+        && PANICKY_METHODS.contains(&t.text.as_str())
+        && prev.is_some_and(|p| p.text == ".")
+        && next.is_some_and(|n| n.text == "(")
+    {
+        return Some(format!(
+            ".{}() can panic on malformed input; return a typed error instead",
+            t.text
+        ));
+    }
+    if t.kind == TokKind::Ident
+        && PANICKY_MACROS.contains(&t.text.as_str())
+        && next.is_some_and(|n| n.text == "!")
+        && !prev.is_some_and(|p| p.text == "_" || p.text == "debug_assert")
+    {
+        return Some(format!("{}! aborts the scanner on malformed input", t.text));
+    }
+    if t.text == "[" && prev.is_some_and(|p| is_expression_end(p)) {
+        return Some(
+            "direct indexing can panic; use .get()/.get_mut() or split_at_checked".into(),
+        );
+    }
+    None
+}
+
+/// An unchecked length-arithmetic site (R7/R8 sink) at token `i`, if
+/// any: a bare `+`/`*` with a length-typed operand. Wire lengths come
+/// straight off untrusted bytes, so the arithmetic must be visibly
+/// overflow-proof. Exemptions: a literal operand (bounded growth like
+/// `pos + 2` cannot overflow a reader position), and lines already
+/// using a checked/saturating/wrapping API.
+pub(crate) fn arith_sink_at(toks: &[Tok], i: usize) -> Option<String> {
+    let t = toks.get(i)?;
+    let prev = i.checked_sub(1).map(|j| &toks[j]);
+    let next = toks.get(i + 1);
+    if t.kind == TokKind::Punct
+        && (t.text == "+" || t.text == "*")
+        && prev.is_some_and(|p| is_expression_end(p))
+        && next.is_some_and(|n| is_expression_start(n))
+        && (prev.is_some_and(|p| is_length_ident(p)) || next.is_some_and(|n| is_length_ident(n)))
+        && !prev.is_some_and(|p| matches!(p.kind, TokKind::Int | TokKind::Float))
+        && !next.is_some_and(|n| matches!(n.kind, TokKind::Int | TokKind::Float))
+        && !line_uses_overflow_api(toks, i)
+    {
+        let fix = if t.text == "+" {
+            "checked_add or saturating_add"
+        } else {
+            "checked_mul or saturating_mul"
+        };
+        return Some(format!(
+            "bare `{}` on a length-typed value may overflow; use {fix}",
+            t.text
+        ));
+    }
+    None
+}
+
+/// Run every applicable per-file rule over one lexed file. R8 is the
+/// one rule not driven from here: it needs the whole-workspace call
+/// graph, so [`crate::lint_workspace_with`] runs it separately.
 pub fn check(file: &str, lexed: &Lexed, class: FileClass, out: &mut Vec<Diagnostic>) {
     let toks = &lexed.tokens;
     let in_test = mark_test_regions(toks);
@@ -293,6 +405,9 @@ pub fn check(file: &str, lexed: &Lexed, class: FileClass, out: &mut Vec<Diagnost
     if class.bounded_loops {
         check_r5_loops(file, toks, &in_test, out);
     }
+    if class.deterministic {
+        check_r9(file, toks, &in_test, out);
+    }
     if !(class.untrusted || class.wire_codec) {
         return;
     }
@@ -302,47 +417,16 @@ pub fn check(file: &str, lexed: &Lexed, class: FileClass, out: &mut Vec<Diagnost
             continue;
         }
         let t = &toks[i];
-        let prev = i.checked_sub(1).map(|j| &toks[j]);
         let next = toks.get(i + 1);
 
         if class.untrusted {
-            // R1: panicking methods: `.unwrap()` etc.
-            if t.kind == TokKind::Ident
-                && PANICKY_METHODS.contains(&t.text.as_str())
-                && prev.is_some_and(|p| p.text == ".")
-                && next.is_some_and(|n| n.text == "(")
-            {
+            // R1: panicking methods/macros and direct indexing.
+            if let Some(message) = panic_sink_at(toks, i) {
                 out.push(Diagnostic {
                     file: file.into(),
                     line: t.line,
                     rule: Rule::R1,
-                    message: format!(
-                        ".{}() can panic on malformed input; return a typed error instead",
-                        t.text
-                    ),
-                });
-            }
-            // R1: panicking macros.
-            if t.kind == TokKind::Ident
-                && PANICKY_MACROS.contains(&t.text.as_str())
-                && next.is_some_and(|n| n.text == "!")
-                && !prev.is_some_and(|p| p.text == "_" || p.text == "debug_assert")
-            {
-                out.push(Diagnostic {
-                    file: file.into(),
-                    line: t.line,
-                    rule: Rule::R1,
-                    message: format!("{}! aborts the scanner on malformed input", t.text),
-                });
-            }
-            // R1: direct index expressions `expr[...]`.
-            if t.text == "[" && prev.is_some_and(is_expression_end) {
-                out.push(Diagnostic {
-                    file: file.into(),
-                    line: t.line,
-                    rule: Rule::R1,
-                    message: "direct indexing can panic; use .get()/.get_mut() or split_at_checked"
-                        .into(),
+                    message,
                 });
             }
             // R3: unbounded allocation sized by a runtime value.
@@ -356,36 +440,16 @@ pub fn check(file: &str, lexed: &Lexed, class: FileClass, out: &mut Vec<Diagnost
             }
         }
 
-        // R7: bare `+`/`*` where an operand is length-typed. Wire
-        // lengths come straight off untrusted bytes, so the arithmetic
-        // must be visibly overflow-proof. Exemptions: a literal operand
-        // (bounded growth like `pos + 2` cannot overflow a reader
-        // position), and lines already using a checked/saturating/
-        // wrapping API.
-        if class.wire_codec
-            && t.kind == TokKind::Punct
-            && (t.text == "+" || t.text == "*")
-            && prev.is_some_and(is_expression_end)
-            && next.is_some_and(is_expression_start)
-            && (prev.is_some_and(is_length_ident) || next.is_some_and(is_length_ident))
-            && !prev.is_some_and(|p| matches!(p.kind, TokKind::Int | TokKind::Float))
-            && !next.is_some_and(|n| matches!(n.kind, TokKind::Int | TokKind::Float))
-            && !line_uses_overflow_api(toks, i)
-        {
-            let fix = if t.text == "+" {
-                "checked_add or saturating_add"
-            } else {
-                "checked_mul or saturating_mul"
-            };
-            out.push(Diagnostic {
-                file: file.into(),
-                line: t.line,
-                rule: Rule::R7,
-                message: format!(
-                    "bare `{}` on a length-typed value may overflow; use {fix}",
-                    t.text
-                ),
-            });
+        // R7: bare `+`/`*` where an operand is length-typed.
+        if class.wire_codec {
+            if let Some(message) = arith_sink_at(toks, i) {
+                out.push(Diagnostic {
+                    file: file.into(),
+                    line: t.line,
+                    rule: Rule::R7,
+                    message,
+                });
+            }
         }
 
         if class.wire_codec
@@ -842,8 +906,399 @@ fn inner_attributes(toks: &[Tok]) -> Vec<String> {
     out
 }
 
+/// Hash collections whose iteration order is seeded per-process.
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+
+/// Methods that surface a hash collection's iteration order.
+const HASH_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+];
+
+/// Types that seed hashing (and therefore iteration order) per-process.
+const RANDOM_HASHER_TYPES: &[&str] = &["RandomState", "DefaultHasher"];
+
+/// R9 exemption: identifiers that mark a site as visibly order-fixed —
+/// a sort call, a sorted-walk helper, or a `BTree*` re-collection near
+/// the iteration site.
+fn is_sorted_marker(t: &Tok) -> bool {
+    if t.kind != TokKind::Ident {
+        return false;
+    }
+    t.text.starts_with("BTree") || t.text.to_ascii_lowercase().contains("sort")
+}
+
+/// R9 exemption: the line invokes a Volatile-classed obs probe (an
+/// identifier containing `volatile`); Per-Run metrics are excluded from
+/// Stable exports by construction, so host-dependent values there are
+/// fine.
+fn line_mentions_volatile(toks: &[Tok], i: usize) -> bool {
+    let line = toks.get(i).map(|t| t.line).unwrap_or(0);
+    let volatile = |t: &Tok| {
+        t.kind == TokKind::Ident && t.text.to_ascii_lowercase().contains("volatile")
+    };
+    toks.get(..i)
+        .unwrap_or_default()
+        .iter()
+        .rev()
+        .take_while(|t| t.line == line)
+        .any(|t| volatile(t))
+        || toks
+            .get(i..)
+            .unwrap_or_default()
+            .iter()
+            .take_while(|t| t.line == line)
+            .any(|t| volatile(t))
+}
+
+/// How far around an iteration site the sorted-marker exemption looks:
+/// far enough to see a `.collect::<BTreeMap<…>>()` later in the same
+/// chain or the `v.sort()` on the statement that follows, small enough
+/// not to pick up unrelated code.
+const SORT_WINDOW_BACK: usize = 12;
+const SORT_WINDOW_FWD: usize = 48;
+
+/// Does a sorted marker appear near token `i` (same expression chain or
+/// the statement that follows)?
+fn near_sorted_marker(toks: &[Tok], i: usize) -> bool {
+    let lo = i.saturating_sub(SORT_WINDOW_BACK);
+    let hi = (i + SORT_WINDOW_FWD).min(toks.len());
+    toks.get(lo..hi).unwrap_or_default().iter().any(is_sorted_marker)
+}
+
+/// Names declared `name: [&[mut]] [std::collections::]HashMap<…>` — a
+/// field or parameter declaration. Field names are meaningful anywhere
+/// in the file (`self.cells`, `m.cells` from any method), so these are
+/// tracked file-wide.
+fn hash_decl_bindings(toks: &[Tok]) -> Vec<String> {
+    let mut tracked: Vec<String> = Vec::new();
+    for k in 0..toks.len() {
+        let t = &toks[k];
+        if t.kind != TokKind::Ident || !HASH_TYPES.contains(&t.text.as_str()) {
+            continue;
+        }
+        // Walk back over the path and reference tokens to the single
+        // `:` that separates name from type.
+        let mut b = k;
+        loop {
+            // Skip `seg::` path segments…
+            if b >= 3
+                && toks[b - 1].text == ":"
+                && toks[b - 2].text == ":"
+                && toks[b - 3].kind == TokKind::Ident
+            {
+                b -= 3;
+                continue;
+            }
+            // …and `&`/`mut`/lifetime prefixes.
+            if b >= 1
+                && (toks[b - 1].text == "&"
+                    || toks[b - 1].text == "mut"
+                    || toks[b - 1].kind == TokKind::Lifetime)
+            {
+                b -= 1;
+                continue;
+            }
+            break;
+        }
+        if b >= 2
+            && toks[b - 1].text == ":"
+            && toks[b - 2].kind == TokKind::Ident
+            && (b < 3 || toks[b - 3].text != ":")
+            && !tracked.iter().any(|n| *n == toks[b - 2].text)
+        {
+            // A typed `let [mut] name: HashMap<…>` is a local, not a
+            // declaration — the fn-scoped `let` pass owns those.
+            let mut p = b - 2;
+            if p >= 1 && toks[p - 1].text == "mut" {
+                p -= 1;
+            }
+            if p >= 1 && toks[p - 1].text == "let" {
+                continue;
+            }
+            tracked.push(toks[b - 2].text.clone());
+        }
+    }
+    tracked
+}
+
+/// `let [mut] name … = … HashMap …;` bindings inside one fn body span
+/// (`lo..=hi`): anything hash-typed in the statement marks the binding.
+/// Scoped per fn so a `rows: HashMap` local in one function does not
+/// taint a `rows: Vec` field consumed by another.
+fn hash_let_bindings(toks: &[Tok], lo: usize, hi: usize) -> Vec<String> {
+    let mut tracked: Vec<String> = Vec::new();
+    let mut k = lo;
+    while k <= hi.min(toks.len().saturating_sub(1)) {
+        if toks[k].kind != TokKind::Ident || toks[k].text != "let" {
+            k += 1;
+            continue;
+        }
+        let mut j = k + 1;
+        if toks.get(j).is_some_and(|t| t.text == "mut") {
+            j += 1;
+        }
+        let Some(name) = toks.get(j).filter(|t| t.kind == TokKind::Ident) else {
+            k += 1;
+            continue;
+        };
+        let mut depth = 0i32;
+        let mut m = j + 1;
+        let mut is_hash = false;
+        while m < toks.len() && m <= hi {
+            match toks[m].text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                ";" if depth <= 0 => break,
+                _ => {}
+            }
+            if toks[m].kind == TokKind::Ident && HASH_TYPES.contains(&toks[m].text.as_str()) {
+                is_hash = true;
+            }
+            m += 1;
+        }
+        if is_hash && !tracked.iter().any(|n| *n == name.text) {
+            tracked.push(name.text.clone());
+        }
+        k += 1;
+    }
+    tracked
+}
+
+/// Outermost fn body token spans of the file (nested fns are covered by
+/// their enclosing span).
+fn fn_spans(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut spans: Vec<(usize, usize)> = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].kind == TokKind::Ident && toks[i].text == "fn" {
+            if let Some((s, e)) = crate::syntax::fn_body_span(toks, i) {
+                if !spans.iter().any(|&(s0, e0)| s >= s0 && e <= e0) {
+                    spans.push((s, e));
+                }
+            }
+        }
+    }
+    spans
+}
+
+/// R9: nondeterminism sources in modules that produce Stable-classed
+/// output. Flags (a) iteration over `HashMap`/`HashSet` bindings —
+/// iteration order is seeded per-process, so any order-sensitive fold
+/// (float accumulation, first-wins, output emission) silently varies
+/// across runs; (b) host clock reads (`Instant::now`, `SystemTime`);
+/// (c) `std::env` reads; (d) thread identity; (e) pointer-as-usize;
+/// (f) explicitly random hasher state.
+///
+/// Exemptions, both lexical and documented in the crate README: a
+/// sorted marker (`sort*`, `BTree*`) near the iteration site shows the
+/// order is fixed before anything consumes it, and a line invoking a
+/// `*_volatile!` obs probe is Per-Run-classed by declaration.
+fn check_r9(file: &str, toks: &[Tok], in_test: &[bool], out: &mut Vec<Diagnostic>) {
+    let decls = hash_decl_bindings(toks);
+    let scoped: Vec<(usize, usize, Vec<String>)> = fn_spans(toks)
+        .into_iter()
+        .map(|(s, e)| (s, e, hash_let_bindings(toks, s, e)))
+        .collect();
+    // A token is a tracked hash binding if it names a hash-typed field
+    // or parameter (file-wide) or a hash-typed `let` of the fn body the
+    // token sits in (scoped).
+    let is_tracked = |j: usize| {
+        let Some(t) = toks.get(j) else { return false };
+        t.kind == TokKind::Ident
+            && (decls.iter().any(|n| *n == t.text)
+                || scoped.iter().any(|(s, e, names)| {
+                    j >= *s && j <= *e && names.iter().any(|n| *n == t.text)
+                }))
+    };
+    // One hash-iteration diagnostic per line: `for (k, v) in map.iter()`
+    // is one finding, not two.
+    let mut iter_flagged_lines: Vec<u32> = Vec::new();
+    let push = |out: &mut Vec<Diagnostic>, line: u32, message: String| {
+        out.push(Diagnostic {
+            file: file.into(),
+            line,
+            rule: Rule::R9,
+            message,
+        });
+    };
+    for i in 0..toks.len() {
+        if in_test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|j| &toks[j]);
+        let next = toks.get(i + 1);
+        let exempt = || line_mentions_volatile(toks, i);
+
+        // (a) `map.iter()` / `.keys()` / … on a tracked hash binding.
+        if HASH_ITER_METHODS.contains(&t.text.as_str())
+            && prev.is_some_and(|p| p.text == ".")
+            && next.is_some_and(|n| n.text == "(")
+            && i >= 2
+            && is_tracked(i - 2)
+            && !near_sorted_marker(toks, i)
+            && !exempt()
+            && !iter_flagged_lines.contains(&t.line)
+        {
+            iter_flagged_lines.push(t.line);
+            push(
+                out,
+                t.line,
+                format!(
+                    "`{}.{}()` iterates in per-process hash order; use BTreeMap/BTreeSet or sort before consuming",
+                    toks[i - 2].text, t.text
+                ),
+            );
+        }
+        // (a') `for … in … map …` — direct IntoIterator loops.
+        if t.text == "for" {
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            let mut seen_in = false;
+            let mut hash_ident: Option<&Tok> = None;
+            let mut sorted = false;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" if depth == 0 => break,
+                    "in" if depth == 0 => seen_in = true,
+                    _ => {}
+                }
+                if seen_in {
+                    if is_tracked(j) && !in_test[j] {
+                        hash_ident = hash_ident.or(Some(&toks[j]));
+                    }
+                    if is_sorted_marker(&toks[j]) {
+                        sorted = true;
+                    }
+                }
+                j += 1;
+            }
+            if let Some(h) = hash_ident {
+                if !sorted
+                    && !near_sorted_marker(toks, j.min(toks.len().saturating_sub(1)))
+                    && !line_mentions_volatile(toks, i)
+                    && !iter_flagged_lines.contains(&h.line)
+                {
+                    iter_flagged_lines.push(h.line);
+                    push(
+                        out,
+                        t.line,
+                        format!(
+                            "`for … in {}` iterates in per-process hash order; use BTreeMap/BTreeSet or sort before consuming",
+                            h.text
+                        ),
+                    );
+                }
+            }
+        }
+        // (b) host clocks.
+        if t.text == "now"
+            && i >= 3
+            && toks[i - 1].text == ":"
+            && toks[i - 2].text == ":"
+            && (toks[i - 3].text == "Instant" || toks[i - 3].text == "SystemTime")
+            && !exempt()
+        {
+            push(
+                out,
+                t.line,
+                format!(
+                    "{}::now() reads the host clock; Stable output must not depend on it",
+                    toks[i - 3].text
+                ),
+            );
+        }
+        if t.text == "SystemTime" && !exempt() {
+            // Any other SystemTime use (UNIX_EPOCH math, comparisons)
+            // still couples output to the wall clock.
+            let is_now_path = toks.get(i + 1).is_some_and(|n| n.text == ":")
+                && toks.get(i + 3).is_some_and(|n| n.text == "now");
+            if !is_now_path {
+                push(
+                    out,
+                    t.line,
+                    "SystemTime couples output to the wall clock; derive times from SimClock/seeded inputs".into(),
+                );
+            }
+        }
+        // (c) environment reads.
+        if matches!(t.text.as_str(), "var" | "var_os" | "vars")
+            && i >= 3
+            && toks[i - 1].text == ":"
+            && toks[i - 2].text == ":"
+            && toks[i - 3].text == "env"
+            && next.is_some_and(|n| n.text == "(")
+            && !exempt()
+        {
+            push(
+                out,
+                t.line,
+                format!(
+                    "env::{}() makes Stable output depend on the process environment; thread configuration through explicit parameters",
+                    t.text
+                ),
+            );
+        }
+        // (d) thread identity.
+        if t.text == "current"
+            && i >= 3
+            && toks[i - 1].text == ":"
+            && toks[i - 2].text == ":"
+            && toks[i - 3].text == "thread"
+            && !exempt()
+        {
+            push(
+                out,
+                t.line,
+                "thread::current() identity is nondeterministic across runs and thread counts".into(),
+            );
+        }
+        // (e) pointer addresses cast to integers (ASLR-dependent).
+        if t.text == "as"
+            && next.is_some_and(|n| n.text == "usize" || n.text == "u64")
+            && prev.is_some_and(|p| {
+                (p.kind == TokKind::Ident && p.text.to_ascii_lowercase().contains("ptr"))
+                    || (p.text == ")" && {
+                        let line = t.line;
+                        toks.get(..i)
+                            .unwrap_or_default()
+                            .iter()
+                            .rev()
+                            .take_while(|t| t.line == line)
+                            .any(|t| t.text == "as_ptr" || t.text == "as_mut_ptr")
+                    })
+            })
+            && !exempt()
+        {
+            push(
+                out,
+                t.line,
+                "pointer-as-integer leaks an ASLR-randomized address into output".into(),
+            );
+        }
+        // (f) explicitly random hasher state.
+        if RANDOM_HASHER_TYPES.contains(&t.text.as_str()) && !exempt() {
+            push(
+                out,
+                t.line,
+                format!("{} seeds hashing per-process; use an ordered structure or a fixed-seed hasher", t.text),
+            );
+        }
+    }
+}
+
 /// Mark tokens inside `#[cfg(test)]`-gated items (`mod` or `fn`).
-fn mark_test_regions(toks: &[Tok]) -> Vec<bool> {
+pub(crate) fn mark_test_regions(toks: &[Tok]) -> Vec<bool> {
     let mut in_test = vec![false; toks.len()];
     let mut i = 0usize;
     while i < toks.len() {
@@ -929,12 +1384,21 @@ mod tests {
         wire_codec: false,
         crate_root: false,
         bounded_loops: false,
+        deterministic: false,
     };
     const CODEC: FileClass = FileClass {
         untrusted: true,
         wire_codec: true,
         crate_root: false,
         bounded_loops: false,
+        deterministic: false,
+    };
+    const DETERMINISTIC: FileClass = FileClass {
+        untrusted: false,
+        wire_codec: false,
+        crate_root: false,
+        bounded_loops: false,
+        deterministic: true,
     };
 
     #[test]
@@ -1195,5 +1659,139 @@ mod tests {
         assert_eq!(allows[0].covers_line, 2);
         assert_eq!(allows[0].reason, "startup-only path");
         assert_eq!(allows[1].covers_line, 4);
+    }
+
+    // ---- R9: determinism ----
+
+    fn r9(src: &str) -> Vec<Diagnostic> {
+        run(src, DETERMINISTIC)
+            .into_iter()
+            .filter(|d| d.rule == Rule::R9)
+            .collect()
+    }
+
+    #[test]
+    fn r9_flags_hash_iteration_on_fields_and_lets() {
+        // Field declaration tracks file-wide; `let` tracks in its fn.
+        let src = "\
+struct S { cells: std::collections::HashMap<u32, u32> }
+impl S {
+    fn walk(&self) -> u32 { self.cells.values().sum() }
+}
+fn local() -> usize {
+    let m: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    m.iter().count()
+}
+";
+        let out = r9(src);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert_eq!(out[0].line, 3);
+        assert_eq!(out[1].line, 7);
+    }
+
+    #[test]
+    fn r9_let_bindings_do_not_leak_across_fns() {
+        // `rows` is a HashMap local in `build` but a Vec elsewhere; the
+        // fn-scoped tracker must not taint the other fn's iteration.
+        let src = "\
+fn build() -> usize {
+    let rows: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    rows.len()
+}
+fn consume(rows: &[u32]) -> u32 {
+    rows.iter().sum()
+}
+";
+        assert!(r9(src).is_empty(), "{:?}", r9(src));
+    }
+
+    #[test]
+    fn r9_typed_let_is_not_a_file_wide_declaration() {
+        // `let mut rows: HashMap<…>` matches the `name: Type` shape but
+        // is a local — it must not track `self.rows` in another fn.
+        let src = "\
+struct S { rows: Vec<u32> }
+impl S {
+    fn find(&self) -> Option<&u32> { self.rows.iter().next() }
+}
+fn build() {
+    let mut rows: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    rows.insert(1, 2);
+}
+";
+        assert!(r9(src).is_empty(), "{:?}", r9(src));
+    }
+
+    #[test]
+    fn r9_sorted_marker_exempts_iteration() {
+        let src = "\
+fn emit(m: &std::collections::HashMap<u32, u32>) -> Vec<u32> {
+    let mut v: Vec<u32> = m.keys().copied().collect();
+    v.sort_unstable();
+    v
+}
+";
+        assert!(r9(src).is_empty(), "{:?}", r9(src));
+    }
+
+    #[test]
+    fn r9_for_loop_over_hash_binding() {
+        let src = "\
+fn emit(m: &std::collections::HashMap<u32, u32>) -> u32 {
+    let mut total = 0;
+    for (_, v) in m {
+        total += v;
+    }
+    total
+}
+";
+        let out = r9(src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 3);
+        assert!(out[0].message.contains("for … in m"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn r9_clock_env_thread_ptr_and_hasher() {
+        let clock = r9("fn f() -> std::time::Instant { std::time::Instant::now() }");
+        assert_eq!(clock.len(), 1, "{clock:?}");
+        assert!(clock[0].message.contains("Instant::now()"));
+
+        let wall = r9("fn f() -> u64 { let t = std::time::SystemTime::now(); 0 }");
+        assert!(!wall.is_empty(), "SystemTime must be flagged");
+
+        let env = r9("fn f() -> Option<String> { std::env::var(\"HOME\").ok() }");
+        assert_eq!(env.len(), 1, "{env:?}");
+        assert!(env[0].message.contains("env::var()"));
+
+        let thread = r9("fn f() { let _ = std::thread::current(); }");
+        assert_eq!(thread.len(), 1, "{thread:?}");
+
+        let ptr = r9("fn f(v: &[u8]) -> usize { v.as_ptr() as usize }");
+        assert_eq!(ptr.len(), 1, "{ptr:?}");
+        assert!(ptr[0].message.contains("ASLR"));
+
+        let hasher = r9(
+            "fn f() { let s = std::collections::hash_map::RandomState::new(); let _ = s; }",
+        );
+        assert_eq!(hasher.len(), 1, "{hasher:?}");
+    }
+
+    #[test]
+    fn r9_volatile_line_and_tests_are_exempt() {
+        let probe = r9("fn f(m: &std::collections::HashMap<u32, u32>) { counter_volatile!(\"x\", m.values().sum::<u32>() as u64); }");
+        assert!(probe.is_empty(), "{probe:?}");
+
+        let test_code = r9("#[cfg(test)]\nmod tests {\n    fn f() -> std::time::Instant { std::time::Instant::now() }\n}");
+        assert!(test_code.is_empty(), "{test_code:?}");
+    }
+
+    #[test]
+    fn r9_silent_outside_deterministic_scope() {
+        let out = run(
+            "fn f() -> std::time::Instant { std::time::Instant::now() }",
+            FileClass::default(),
+        );
+        assert!(out.iter().all(|d| d.rule != Rule::R9), "{out:?}");
     }
 }

@@ -1,0 +1,486 @@
+//! A lightweight syntactic layer over the lexer: item extraction with
+//! spans.
+//!
+//! The per-file rules (R1–R7, R9) are happy walking raw tokens, but the
+//! crate-wide R8 reachability rule needs to know *which function* a
+//! token belongs to and *which functions that function calls*. This
+//! module recovers exactly that much structure — no types, no
+//! expression trees:
+//!
+//! - every `fn` item (free functions, inherent/trait methods, trait
+//!   default bodies, nested fns) with its name, line span, visibility,
+//!   and enclosing `impl`/`trait` type for `Type::method` resolution;
+//! - the call sites inside each body, classified as bare calls
+//!   (`helper(…)`), path calls (`wire::decode(…)`, `Name::parse(…)`),
+//!   or method calls (`.parse(…)`);
+//! - the R8 *sinks* inside each body: the same panicky constructs R1
+//!   flags and the same unchecked length arithmetic R7 flags, detected
+//!   with the identical predicates so the two layers can never drift.
+//!
+//! Deliberate blind spots, chosen conservative-and-documented over
+//! clever: macro bodies are not expanded (a call hidden behind
+//! `dns_name!` is invisible), closures attribute their calls to the
+//! enclosing `fn` (which over-approximates: defining a closure taints
+//! as if it were called), and `#[cfg(test)]` items are skipped entirely.
+
+use crate::lexer::{Lexed, Tok, TokKind};
+use crate::rules;
+
+/// How a call site names its callee.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallKind {
+    /// `helper(…)` — an unqualified call.
+    Bare,
+    /// `qual::helper(…)` — the last two path segments are kept.
+    Path,
+    /// `.helper(…)` — a method call on an unknown receiver type.
+    Method,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Callee classification.
+    pub kind: CallKind,
+    /// The callee's own name (last path segment).
+    pub name: String,
+    /// The qualifying segment for [`CallKind::Path`] (`wire` in
+    /// `wire::decode`, `Name` in `Name::parse`, `Self`, …).
+    pub qual: Option<String>,
+    /// 1-based source line of the callee token.
+    pub line: u32,
+}
+
+/// What kind of R8 sink a construct is, deciding which per-file rule
+/// already covers it (so R8 only reports where R1/R7 cannot see).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SinkKind {
+    /// A panicky construct — R1's beat inside `untrusted` files.
+    Panic,
+    /// Unchecked length arithmetic — R7's beat inside `wire_codecs`.
+    Arith,
+}
+
+/// One R8 sink inside a function body.
+#[derive(Debug, Clone)]
+pub struct Sink {
+    /// Which per-file rule would cover this construct in-scope.
+    pub kind: SinkKind,
+    /// 1-based source line.
+    pub line: u32,
+    /// The same message text R1/R7 would print.
+    pub message: String,
+}
+
+/// One extracted `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// The function's name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` type name, when the fn is a method or
+    /// trait default body — enables `Type::method` call resolution.
+    pub qual: Option<String>,
+    /// True for unrestricted `pub` (not `pub(crate)`/`pub(super)`) —
+    /// the visibility that makes a fn a cross-crate entry point.
+    pub is_pub: bool,
+    /// True when the item sits inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+    /// 1-based line of the fn's name.
+    pub line: u32,
+    /// 1-based line of the body's closing brace.
+    pub end_line: u32,
+    /// Call sites in the body, in source order.
+    pub calls: Vec<Call>,
+    /// R8 sinks in the body, in source order.
+    pub sinks: Vec<Sink>,
+}
+
+/// The extracted syntax of one source file.
+#[derive(Debug, Clone, Default)]
+pub struct FileSyntax {
+    /// Repo-relative display path.
+    pub rel: String,
+    /// Every `fn` item in the file, in source order.
+    pub fns: Vec<FnDef>,
+}
+
+/// Extract the [`FileSyntax`] of one lexed file.
+pub fn extract(rel: &str, lexed: &Lexed) -> FileSyntax {
+    let toks = &lexed.tokens;
+    let in_test = rules::mark_test_regions(toks);
+    let impls = impl_spans(toks);
+    let mut fns = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !(toks[i].kind == TokKind::Ident && toks[i].text == "fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+            // `fn(u8) -> u8` pointer types and malformed fragments.
+            i += 1;
+            continue;
+        };
+        let Some((body_start, body_end)) = fn_body_span(toks, i) else {
+            // Bodyless trait/extern declaration: nothing to analyze.
+            i += 2;
+            continue;
+        };
+        let qual = impls
+            .iter()
+            .filter(|(s, e, _)| *s < i && i < *e)
+            .min_by_key(|(s, e, _)| e - s)
+            .map(|(_, _, name)| name.clone());
+        let (calls, sinks) = scan_body(toks, body_start, body_end, &in_test);
+        fns.push(FnDef {
+            name: name_tok.text.clone(),
+            qual,
+            is_pub: is_pub_fn(toks, i),
+            in_test: in_test[i],
+            line: name_tok.line,
+            end_line: toks[body_end].line,
+            calls,
+            sinks,
+        });
+        // Continue from just past the name so nested fns are found too.
+        i += 2;
+    }
+    FileSyntax {
+        rel: rel.to_string(),
+        fns,
+    }
+}
+
+/// Convenience for tests and tools: extract straight from source text.
+pub fn extract_source(rel: &str, src: &str) -> FileSyntax {
+    extract(rel, &crate::lexer::lex(src))
+}
+
+/// The token span of the fn's body: from its opening `{` (the first at
+/// bracket depth 0 after the signature) to the matching `}`. `None` for
+/// bodyless declarations. Shared with R9, which scopes `let`-binding
+/// tracking to the enclosing fn body.
+pub(crate) fn fn_body_span(toks: &[Tok], fn_idx: usize) -> Option<(usize, usize)> {
+    let mut j = fn_idx + 1;
+    let mut paren = 0i32;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "(" | "[" => paren += 1,
+            ")" | "]" => paren -= 1,
+            "{" if paren == 0 => break,
+            ";" if paren == 0 => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    if j >= toks.len() {
+        return None;
+    }
+    let start = j;
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().skip(start) {
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((start, k));
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Is the fn at `fn_idx` unrestricted-`pub`? Walks back over the legal
+/// modifier tokens (`const`, `async`, `unsafe`, `extern "C"`).
+fn is_pub_fn(toks: &[Tok], fn_idx: usize) -> bool {
+    let mut k = fn_idx;
+    while k > 0 {
+        let p = &toks[k - 1];
+        let modifier = matches!(p.text.as_str(), "const" | "async" | "unsafe" | "extern")
+            || p.kind == TokKind::Str;
+        if modifier {
+            k -= 1;
+            continue;
+        }
+        // `pub(crate)`/`pub(super)` close with `)` right before the
+        // modifiers; restricted visibility is not an entry point.
+        return p.text == "pub";
+    }
+    false
+}
+
+/// Every `impl`/`trait` block: `(open_tok, close_tok, type_name)`.
+///
+/// For `impl Trait for Type` the *implementing* type is recorded — a
+/// call `Type::method(…)` is what appears at call sites. Generic
+/// parameter lists are skipped (with a `->` guard so `Fn() -> T` bounds
+/// do not unbalance the angle count), and `where` clauses stop name
+/// collection so bound types are never mistaken for the impl target.
+fn impl_spans(toks: &[Tok]) -> Vec<(usize, usize, String)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if !(t.kind == TokKind::Ident && (t.text == "impl" || t.text == "trait")) {
+            i += 1;
+            continue;
+        }
+        let is_trait = t.text == "trait";
+        let mut j = i + 1;
+        // Skip the `<…>` generic parameter list, if any.
+        if toks.get(j).is_some_and(|t| t.text == "<") {
+            let mut depth = 0i32;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "<" => depth += 1,
+                    ">" if j > 0 && toks[j - 1].text == "-" => {}
+                    ">" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        // Collect the target name: last path ident at angle depth 0,
+        // restarting after `for`, stopping at `where`/`{`.
+        let mut name = String::new();
+        let mut angle = 0i32;
+        let mut in_where = false;
+        let mut body_open = None;
+        while j < toks.len() {
+            let tj = &toks[j];
+            match tj.text.as_str() {
+                "<" => angle += 1,
+                ">" if j > 0 && toks[j - 1].text == "-" => {}
+                ">" => angle = (angle - 1).max(0),
+                "{" if angle == 0 => {
+                    body_open = Some(j);
+                    break;
+                }
+                ";" if angle == 0 => break,
+                "for" if angle == 0 => name.clear(),
+                "where" if angle == 0 => in_where = true,
+                _ => {
+                    if angle == 0
+                        && !in_where
+                        && tj.kind == TokKind::Ident
+                        && !matches!(tj.text.as_str(), "dyn" | "unsafe" | "const")
+                    {
+                        name = tj.text.clone();
+                    }
+                }
+            }
+            j += 1;
+        }
+        let Some(open) = body_open else {
+            i = j.max(i + 1);
+            continue;
+        };
+        if is_trait {
+            // For traits the *name* is right after the keyword; the
+            // path-collection above may have wandered into supertrait
+            // bounds, so re-read it directly.
+            if let Some(n) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) {
+                name = n.text.clone();
+            }
+        }
+        let mut depth = 0i32;
+        let mut close = open;
+        for (k, tk) in toks.iter().enumerate().skip(open) {
+            match tk.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = k;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if !name.is_empty() {
+            out.push((open, close, name));
+        }
+        i = open + 1;
+    }
+    out
+}
+
+/// Keywords that look like calls when followed by `(`.
+const CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "fn", "move", "in", "let", "else", "as",
+    "where", "impl", "dyn", "use", "pub", "break", "continue",
+];
+
+/// Collect call sites and R8 sinks from a body token range.
+fn scan_body(
+    toks: &[Tok],
+    body_start: usize,
+    body_end: usize,
+    in_test: &[bool],
+) -> (Vec<Call>, Vec<Sink>) {
+    let mut calls = Vec::new();
+    let mut sinks = Vec::new();
+    for k in body_start..=body_end.min(toks.len().saturating_sub(1)) {
+        if in_test[k] {
+            continue;
+        }
+        let t = &toks[k];
+        // Calls: an identifier directly followed by `(`.
+        if t.kind == TokKind::Ident
+            && toks.get(k + 1).is_some_and(|n| n.text == "(")
+            && !CALL_KEYWORDS.contains(&t.text.as_str())
+        {
+            let prev = k.checked_sub(1).map(|j| &toks[j]);
+            match prev.map(|p| p.text.as_str()) {
+                Some(".") => calls.push(Call {
+                    kind: CallKind::Method,
+                    name: t.text.clone(),
+                    qual: None,
+                    line: t.line,
+                }),
+                Some("fn") => {} // a definition, not a call
+                Some(":")
+                    if k >= 3
+                        && toks[k - 2].text == ":"
+                        && toks[k - 3].kind == TokKind::Ident =>
+                {
+                    calls.push(Call {
+                        kind: CallKind::Path,
+                        name: t.text.clone(),
+                        qual: Some(toks[k - 3].text.clone()),
+                        line: t.line,
+                    });
+                }
+                _ => calls.push(Call {
+                    kind: CallKind::Bare,
+                    name: t.text.clone(),
+                    qual: None,
+                    line: t.line,
+                }),
+            }
+        }
+        // Sinks: exactly the constructs R1 and R7 flag, via the shared
+        // predicates.
+        if let Some(message) = rules::panic_sink_at(toks, k) {
+            sinks.push(Sink {
+                kind: SinkKind::Panic,
+                line: t.line,
+                message,
+            });
+        }
+        if let Some(message) = rules::arith_sink_at(toks, k) {
+            sinks.push(Sink {
+                kind: SinkKind::Arith,
+                line: t.line,
+                message,
+            });
+        }
+    }
+    (calls, sinks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_free_fns_methods_and_visibility() {
+        let s = extract_source(
+            "t.rs",
+            "pub fn entry(b: &[u8]) -> u8 { helper(b) }\n\
+             fn helper(b: &[u8]) -> u8 { b.len() as u8 }\n\
+             pub(crate) fn internal() {}\n\
+             struct S;\n\
+             impl S {\n\
+                 pub fn method(&self) { other::call(); }\n\
+             }",
+        );
+        assert_eq!(s.fns.len(), 4);
+        assert!(s.fns[0].is_pub && s.fns[0].name == "entry");
+        assert!(!s.fns[1].is_pub);
+        assert!(!s.fns[2].is_pub, "pub(crate) is not an entry point");
+        let m = &s.fns[3];
+        assert_eq!(m.qual.as_deref(), Some("S"));
+        assert_eq!(m.calls.len(), 1);
+        assert_eq!(m.calls[0].kind, CallKind::Path);
+        assert_eq!(m.calls[0].qual.as_deref(), Some("other"));
+    }
+
+    #[test]
+    fn classifies_call_kinds() {
+        let s = extract_source(
+            "t.rs",
+            "fn f(x: &str) { bare(); x.method(); mod_or_type::path(); }",
+        );
+        let kinds: Vec<CallKind> = s.fns[0].calls.iter().map(|c| c.kind).collect();
+        assert_eq!(kinds, [CallKind::Bare, CallKind::Method, CallKind::Path]);
+    }
+
+    #[test]
+    fn trait_impl_records_implementing_type() {
+        let s = extract_source(
+            "t.rs",
+            "impl std::fmt::Display for Thing {\n    fn fmt(&self) { self.render(); }\n}",
+        );
+        assert_eq!(s.fns[0].qual.as_deref(), Some("Thing"));
+    }
+
+    #[test]
+    fn generic_impl_target_not_confused_with_parameters() {
+        let s = extract_source(
+            "t.rs",
+            "impl<K: Ord, V> Table<K, V> {\n    fn get(&self) {}\n}\n\
+             impl<F: Fn() -> usize> Runner<F> {\n    fn run(&self) {}\n}",
+        );
+        assert_eq!(s.fns[0].qual.as_deref(), Some("Table"));
+        assert_eq!(s.fns[1].qual.as_deref(), Some("Runner"));
+    }
+
+    #[test]
+    fn sinks_use_rule_predicates_and_skip_tests() {
+        let s = extract_source(
+            "t.rs",
+            "fn f(x: Option<u8>, b: &[u8], n: usize, pos: usize) -> u8 {\n\
+                 let _ = pos + n;\n\
+                 x.unwrap() + b[0]\n\
+             }\n\
+             #[cfg(test)]\nmod tests {\n    fn t(x: Option<u8>) -> u8 { x.unwrap() }\n}",
+        );
+        let f = &s.fns[0];
+        assert_eq!(
+            f.sinks.iter().filter(|s| s.kind == SinkKind::Arith).count(),
+            1
+        );
+        // unwrap + indexing (the `+` between them has no length operand).
+        assert_eq!(
+            f.sinks.iter().filter(|s| s.kind == SinkKind::Panic).count(),
+            2
+        );
+        assert!(s.fns[1].in_test, "test fns are marked");
+        }
+
+    #[test]
+    fn bodyless_and_nested_fns() {
+        let s = extract_source(
+            "t.rs",
+            "trait T { fn decl(&self); fn dflt(&self) { self.decl(); } }\n\
+             fn outer() { fn inner() { leaf(); } inner(); }",
+        );
+        let names: Vec<&str> = s.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["dflt", "outer", "inner"]);
+        assert_eq!(s.fns[0].qual.as_deref(), Some("T"));
+        // outer's scan covers inner's body too (conservative).
+        assert!(s.fns[1].calls.iter().any(|c| c.name == "leaf"));
+        assert!(s.fns[2].calls.iter().any(|c| c.name == "leaf"));
+    }
+}

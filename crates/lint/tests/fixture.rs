@@ -14,6 +14,7 @@ fn fixture_diags() -> Vec<mx_lint::Diagnostic> {
         wire_codec: true,
         crate_root: false,
         bounded_loops: true,
+        deterministic: true,
     };
     let (diags, _) = lint_file(root, &path, class).expect("fixture readable");
     diags
@@ -22,7 +23,7 @@ fn fixture_diags() -> Vec<mx_lint::Diagnostic> {
 #[test]
 fn every_rule_fires_on_the_fixture() {
     let diags = fixture_diags();
-    for rule in [Rule::R0, Rule::R1, Rule::R2, Rule::R3, Rule::R5, Rule::R6] {
+    for rule in [Rule::R0, Rule::R1, Rule::R2, Rule::R3, Rule::R5, Rule::R6, Rule::R9] {
         assert!(
             diags.iter().any(|d| d.rule == rule),
             "{rule} did not fire on the fixture; diagnostics: {diags:#?}"
@@ -45,6 +46,8 @@ fn fixture_counts_are_exact() {
     assert_eq!(count(Rule::R0), 1, "{diags:#?}");
     // The stringly-typed error signature.
     assert_eq!(count(Rule::R6), 1, "{diags:#?}");
+    // Hash-order iteration + host clock + env read.
+    assert_eq!(count(Rule::R9), 3, "{diags:#?}");
 }
 
 #[test]

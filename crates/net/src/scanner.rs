@@ -15,7 +15,7 @@
 //! [`Scanner::scan_window`] merges the best observation per IP across
 //! `±width` rounds, mirroring the paper's multi-day scan fill.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 use mx_smtp::{
@@ -124,9 +124,9 @@ pub struct ScanSnapshot {
     /// Scan round number (one per simulated snapshot date).
     pub epoch: u64,
     /// Per-IP observations; absent IPs were not covered at all.
-    pub results: HashMap<Ipv4Addr, ScanObservation>,
+    pub results: BTreeMap<Ipv4Addr, ScanObservation>,
     /// Why each uncovered-but-targeted IP is missing.
-    pub missed: HashMap<Ipv4Addr, Missed>,
+    pub missed: BTreeMap<Ipv4Addr, Missed>,
 }
 
 impl ScanSnapshot {
@@ -391,8 +391,8 @@ impl Scanner {
         .enter();
         let mut snapshot = ScanSnapshot {
             epoch,
-            results: HashMap::with_capacity(ips.len()),
-            missed: HashMap::new(),
+            results: BTreeMap::new(),
+            missed: BTreeMap::new(),
         };
         let threads = if self.parallelism == 0 {
             mx_par::threads()
@@ -454,8 +454,8 @@ impl Scanner {
             .collect();
         let mut merged = ScanSnapshot {
             epoch,
-            results: HashMap::new(),
-            missed: HashMap::new(),
+            results: BTreeMap::new(),
+            missed: BTreeMap::new(),
         };
         let mut seen: std::collections::HashSet<Ipv4Addr> = std::collections::HashSet::new();
         for &ip in ips {

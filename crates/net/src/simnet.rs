@@ -1,6 +1,6 @@
 //! The simulated network: DNS authority + SMTP hosts + routing + faults.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::net::Ipv4Addr;
 
@@ -48,7 +48,7 @@ struct HostEntry {
 /// across scanner threads.
 pub struct SimNet {
     authority: Authority,
-    hosts: HashMap<Ipv4Addr, HostEntry>,
+    hosts: BTreeMap<Ipv4Addr, HostEntry>,
     as_table: AsTable,
     clock: SimClock,
     faults: FaultPlan,
@@ -64,7 +64,7 @@ impl SimNet {
         authority.add_zone(Zone::new(Name::root()));
         SimNetBuilder {
             authority,
-            hosts: HashMap::new(),
+            hosts: BTreeMap::new(),
             as_table: AsTable::new(),
             clock,
             faults: FaultPlan::none(),
@@ -118,7 +118,7 @@ impl SimNet {
         self.hosts.values().filter(|h| h.smtp.is_some()).count()
     }
 
-    /// All attached host addresses (unordered).
+    /// All attached host addresses, in address order.
     pub fn host_ips(&self) -> impl Iterator<Item = Ipv4Addr> + '_ {
         self.hosts.keys().copied()
     }
@@ -198,7 +198,7 @@ impl Transport for SimNet {
 /// Builder for [`SimNet`].
 pub struct SimNetBuilder {
     authority: Authority,
-    hosts: HashMap<Ipv4Addr, HostEntry>,
+    hosts: BTreeMap<Ipv4Addr, HostEntry>,
     as_table: AsTable,
     clock: SimClock,
     faults: FaultPlan,

@@ -89,7 +89,7 @@ impl Entry {
             class,
             bounds,
             cells: std::iter::repeat_with(|| AtomicU64::new(0))
-                .take(slots * SHARD_COUNT)
+                .take(slots.saturating_mul(SHARD_COUNT))
                 .collect(),
         }
     }

@@ -41,7 +41,7 @@ impl StageEntry {
             name,
             parent,
             cells: std::iter::repeat_with(|| AtomicU64::new(0))
-                .take(SLOTS * SHARD_COUNT)
+                .take(SLOTS.saturating_mul(SHARD_COUNT))
                 .collect(),
         }
     }

@@ -203,7 +203,8 @@ impl PublicSuffixList {
             return None;
         }
         let n = m.suffix_labels + 1;
-        Some(labels[labels.len() - n..].join("."))
+        let start = labels.len().checked_sub(n)?;
+        Some(labels.get(start..)?.join("."))
     }
 }
 

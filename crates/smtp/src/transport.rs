@@ -87,14 +87,13 @@ impl Connection {
         }
         for &b in bytes {
             self.c2s_partial.push(b);
-            let n = self.c2s_partial.len();
-            if n >= 2 && self.c2s_partial[n - 2] == b'\r' && self.c2s_partial[n - 1] == b'\n' {
+            if self.c2s_partial.ends_with(b"\r\n") {
                 let line_bytes: Vec<u8> = self.c2s_partial.drain(..).collect();
                 let action = if line_bytes.len() > MAX_LINE_LEN {
                     self.server.on_overlong_line()
                 } else {
-                    let line = String::from_utf8_lossy(&line_bytes[..line_bytes.len() - 2])
-                        .into_owned();
+                    let body = line_bytes.strip_suffix(b"\r\n").unwrap_or(&line_bytes);
+                    let line = String::from_utf8_lossy(body).into_owned();
                     self.server.on_line(&line)
                 };
                 self.apply(action);

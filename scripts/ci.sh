@@ -18,6 +18,21 @@ cargo test --workspace -q
 echo "==> mx-lint"
 cargo run --quiet --release -p mx-lint
 
+echo "==> mx-lint machine-readable determinism (two json/sarif runs must be byte-identical)"
+cargo run --quiet --release -p mx-lint -- --format json > /tmp/mx_lint_a.json
+cargo run --quiet --release -p mx-lint -- --format json > /tmp/mx_lint_b.json
+cmp /tmp/mx_lint_a.json /tmp/mx_lint_b.json
+rm -f /tmp/mx_lint_a.json /tmp/mx_lint_b.json
+cargo run --quiet --release -p mx-lint -- --format sarif > /tmp/mx_lint_a.sarif
+cargo run --quiet --release -p mx-lint -- --format sarif > /tmp/mx_lint_b.sarif
+cmp /tmp/mx_lint_a.sarif /tmp/mx_lint_b.sarif
+rm -f /tmp/mx_lint_a.sarif /tmp/mx_lint_b.sarif
+
+echo "==> mx-lint baseline drift (HEAD needs no baseline)"
+cargo run --quiet --release -p mx-lint -- --write-baseline /tmp/mx_lint_baseline.txt
+test ! -s /tmp/mx_lint_baseline.txt
+rm -f /tmp/mx_lint_baseline.txt
+
 echo "==> parallel determinism (tests/par_determinism.rs)"
 cargo test --release --test par_determinism -q
 

@@ -44,3 +44,39 @@ fn lint_allow_budget_respected() {
         MAX_LINT_ALLOWS
     );
 }
+
+/// The machine-readable reporters must be byte-deterministic: two
+/// independent passes over the same tree render identical JSON and
+/// SARIF, so CI can diff them and downstream tools can cache on bytes.
+#[test]
+fn machine_readable_reports_are_byte_deterministic() {
+    let a = mx_lint::lint_workspace(workspace_root()).expect("walk workspace sources");
+    let b = mx_lint::lint_workspace(workspace_root()).expect("walk workspace sources");
+    assert_eq!(
+        mx_lint::report::render_json(&a, 0),
+        mx_lint::report::render_json(&b, 0),
+        "JSON report differs between two runs over the same tree"
+    );
+    assert_eq!(
+        mx_lint::report::render_sarif(&a),
+        mx_lint::report::render_sarif(&b),
+        "SARIF report differs between two runs over the same tree"
+    );
+}
+
+/// HEAD carries no baseline debt: a baseline generated from the current
+/// tree is empty, and an empty baseline suppresses nothing.
+#[test]
+fn baseline_is_empty_at_head() {
+    let report = mx_lint::lint_workspace(workspace_root()).expect("walk workspace sources");
+    let generated = mx_lint::report::Baseline::render(&report.diagnostics);
+    assert!(
+        generated.is_empty(),
+        "HEAD should need no baseline, got:\n{generated}"
+    );
+    let empty = mx_lint::report::Baseline::parse("");
+    let (failing, suppressed, stale) = empty.apply(report.diagnostics.clone());
+    assert_eq!(failing.len(), report.diagnostics.len());
+    assert_eq!(suppressed, 0);
+    assert!(stale.is_empty(), "empty baseline cannot have stale entries");
+}
