@@ -45,6 +45,7 @@ pub use market::{MarketShare, MarketShareRow};
 pub use observe::{observe_world, observe_world_with, ObserveConfig, SnapshotData};
 pub use report::{pct, Table};
 pub use store::{
-    churn_from_store, market_share_at, self_hosted_at, series_from_store, write_study_store,
-    StudyStoreExt,
+    churn_from_store, churn_from_store_merged, domains_of_provider, domains_of_provider_merged,
+    market_share_at, market_share_merged, self_hosted_at, self_hosted_merged, series_from_store,
+    write_study_store, write_study_store_v1, StudyStoreExt,
 };

@@ -6,10 +6,19 @@
 //! `mx-store` buffer; the query half ([`market_share_at`],
 //! [`series_from_store`], [`churn_from_store`], …) recomputes the
 //! market/longitudinal/churn tables from a [`StoreReader`] without the
-//! original observations. Both halves accumulate weights in the same
-//! dotted-name byte order as the in-memory analyses, so results are
-//! equal — bit-for-bit on every `f64` — to running the pipeline live
-//! (`tests/store_gate.rs` enforces this across seeds and thread
+//! original observations.
+//!
+//! Each query has two implementations. The `*_merged` variants walk
+//! the epoch's delta layers row by row — the only option for
+//! `mx-store/1` files, and the reference semantics. The public entry
+//! points dispatch on [`StoreReader::has_indexes`]: against a
+//! `mx-store/2` file they answer from the index footer instead
+//! (rollup + summary for market share, the per-row digest for
+//! self-hosted counts and churn, postings lists for
+//! [`domains_of_provider`]) and skip the merge entirely. Both paths
+//! accumulate weights in the same dotted-name byte order as the
+//! in-memory analyses, so all three agree — bit-for-bit on every
+//! `f64` (`tests/store_gate.rs` enforces this across seeds and thread
 //! counts).
 
 use std::collections::{HashMap, HashSet};
@@ -17,7 +26,7 @@ use std::collections::{HashMap, HashSet};
 use mx_corpus::{Dataset, Study};
 use mx_infer::{result_rows, CompanyMap, Pipeline};
 use mx_psl::PublicSuffixList;
-use mx_store::{Row, StoreError, StoreReader, StoreWriter};
+use mx_store::{DigestRow, Row, StoreError, StoreReader, StoreWriter};
 
 use crate::churn::{ChurnCategory, ChurnMatrix};
 use crate::longitudinal::{LongitudinalSeries, SeriesPoint};
@@ -49,6 +58,33 @@ pub fn write_study_store(
         )?;
     }
     Ok(writer.finish())
+}
+
+/// Like [`write_study_store`], but emitting the legacy `mx-store/1`
+/// format (no index footer). Exists for compatibility fixtures and for
+/// benchmarking the merge paths against a file with identical epoch
+/// layers; new code should use [`write_study_store`].
+pub fn write_study_store_v1(
+    study: &Study,
+    dataset: Dataset,
+    pipeline: &Pipeline,
+    companies: &CompanyMap,
+) -> Result<Vec<u8>, StoreError> {
+    let mut writer = StoreWriter::new();
+    for k in 0..mx_corpus::SNAPSHOT_DATES.len() {
+        let world = study.world_at(k);
+        let data = observe::observe_world(&world);
+        let Some(obs) = data.dataset(dataset) else {
+            continue; // .gov before June 2018
+        };
+        let result = pipeline.run(obs);
+        writer.add_epoch(
+            &world.date.ym_label(),
+            result_rows(&result, companies),
+            &obs.acquisition,
+        )?;
+    }
+    Ok(writer.finish_v1())
 }
 
 /// Store persistence as a method on [`Study`].
@@ -84,7 +120,25 @@ fn company_or_provider<'r>(share: &mx_store::Share<'r>) -> &'r str {
 /// Company market shares over one stored epoch. Equal — including
 /// every `f64` bit — to `market::market_share(result, companies,
 /// None)` over the in-memory result the epoch was written from.
+///
+/// Answered from the v2 rollup + summary sections when the file has
+/// them ([`StoreReader::has_indexes`]); falls back to
+/// [`market_share_merged`] on `mx-store/1` files.
 pub fn market_share_at(
+    reader: &StoreReader<'_>,
+    epoch: usize,
+) -> Result<MarketShare, StoreError> {
+    if reader.has_indexes() {
+        market_share_indexed(reader, epoch)
+    } else {
+        market_share_merged(reader, epoch)
+    }
+}
+
+/// [`market_share_at`] via the merge path: walk every resolved row of
+/// the epoch and accumulate credited weights. Works on any store
+/// version; the reference the v2 index path is gated against.
+pub fn market_share_merged(
     reader: &StoreReader<'_>,
     epoch: usize,
 ) -> Result<MarketShare, StoreError> {
@@ -114,10 +168,61 @@ pub fn market_share_at(
     })
 }
 
+/// [`market_share_at`] off the v2 rollup table: the per-credit weight
+/// sums were accumulated at write time in the same sorted-row walk the
+/// merge path replays, so the `f64`s match bit for bit; only the final
+/// sort happens here.
+fn market_share_indexed(
+    reader: &StoreReader<'_>,
+    epoch: usize,
+) -> Result<MarketShare, StoreError> {
+    let total = usize::try_from(reader.summary_total_rows(epoch)?).unwrap_or(usize::MAX);
+    let mut rows: Vec<MarketShareRow> = Vec::new();
+    reader.for_each_rollup(epoch, |credit, weight| {
+        rows.push(MarketShareRow {
+            company: credit.to_string(),
+            weight,
+            share: weight / total.max(1) as f64,
+        });
+        Ok(())
+    })?;
+    rows.sort_by(|a, b| b.weight.total_cmp(&a.weight).then(a.company.cmp(&b.company)));
+    Ok(MarketShare {
+        rows,
+        total_domains: total,
+    })
+}
+
 /// Count of self-hosted domains at one stored epoch (provider ID equals
 /// the domain's registered domain and the domain answers SMTP). Equal
 /// to `market::self_hosted_count` over the source result.
+///
+/// On v2 files this counts the digest's precomputed SMTP+self-hosted
+/// bits (the writer ran the PSL check at encode time with the builtin
+/// list, the same one every analysis path uses) and `psl` goes unused;
+/// v1 files fall back to [`self_hosted_merged`].
 pub fn self_hosted_at(
+    reader: &StoreReader<'_>,
+    epoch: usize,
+    psl: &PublicSuffixList,
+) -> Result<usize, StoreError> {
+    if reader.has_indexes() {
+        let mut count = 0usize;
+        for d in reader.digest_rows(epoch)? {
+            if d.has_smtp && d.self_hosted {
+                count += 1;
+            }
+        }
+        Ok(count)
+    } else {
+        self_hosted_merged(reader, epoch, psl)
+    }
+}
+
+/// [`self_hosted_at`] via the merge path: materialize each row's name
+/// and re-run the PSL registered-domain check. Works on any store
+/// version.
+pub fn self_hosted_merged(
     reader: &StoreReader<'_>,
     epoch: usize,
     psl: &PublicSuffixList,
@@ -205,16 +310,24 @@ pub fn top100_at(
     reader: &StoreReader<'_>,
     epoch: usize,
 ) -> Result<HashSet<String>, StoreError> {
-    let mut weights: HashMap<String, f64> = HashMap::new();
-    reader.for_each_row(epoch, |_name, row| {
-        for s in row.shares() {
-            *weights
-                .entry(company_or_provider(&s).to_string())
-                .or_insert(0.0) += s.weight;
-        }
-        Ok(())
-    })?;
-    let mut rows: Vec<(String, f64)> = weights.into_iter().collect();
+    let mut rows: Vec<(String, f64)> = Vec::new();
+    if reader.has_indexes() {
+        reader.for_each_rollup(epoch, |credit, weight| {
+            rows.push((credit.to_string(), weight));
+            Ok(())
+        })?;
+    } else {
+        let mut weights: HashMap<String, f64> = HashMap::new();
+        reader.for_each_row(epoch, |_name, row| {
+            for s in row.shares() {
+                *weights
+                    .entry(company_or_provider(&s).to_string())
+                    .or_insert(0.0) += s.weight;
+            }
+            Ok(())
+        })?;
+        rows.extend(weights); // re-sorted below, hash order never leaks
+    }
     rows.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     Ok(rows
         .iter()
@@ -253,12 +366,74 @@ pub fn classify_row(
     }
 }
 
+/// Classify one v2 digest record into its Figure 7 category; `None`
+/// means the domain is absent at the epoch. Mirrors [`classify_row`]
+/// decision for decision: the digest's credit is `None` exactly for
+/// share-less rows, its self-hosted bit is the write-time PSL check,
+/// and its credit string is the dominant share's
+/// `company.unwrap_or(provider)`.
+fn classify_digest(row: Option<&DigestRow<'_>>, top100: &HashSet<String>) -> ChurnCategory {
+    let Some(row) = row else {
+        return ChurnCategory::NoSmtp;
+    };
+    let Some(credit) = row.credit else {
+        return ChurnCategory::NoSmtp; // no shares
+    };
+    if !row.has_smtp {
+        return ChurnCategory::NoSmtp;
+    }
+    if row.self_hosted {
+        return ChurnCategory::SelfHosted;
+    }
+    match credit {
+        "Google" => ChurnCategory::Google,
+        "Microsoft" => ChurnCategory::Microsoft,
+        "Yandex" => ChurnCategory::Yandex,
+        other if top100.contains(other) => ChurnCategory::Top100,
+        _ => ChurnCategory::Others,
+    }
+}
+
 /// The Figure 7 flow matrix between two stored epochs: every domain
 /// present at `from` is classified at both ends (absence at `to` is
 /// "No SMTP", as in the in-memory path, where a departed domain has no
 /// assignment). Equal to `churn::churn_matrix` over the source
 /// results.
+///
+/// On v2 files this is a lockstep walk over the two epochs' digest
+/// sections — no layer merge, no per-name point lookups, no name
+/// materialization (digests share the global dictionary's doc ids, so
+/// equal doc means equal domain). v1 files fall back to
+/// [`churn_from_store_merged`].
 pub fn churn_from_store(
+    reader: &StoreReader<'_>,
+    from: usize,
+    to: usize,
+) -> Result<ChurnMatrix, StoreError> {
+    if !reader.has_indexes() {
+        return churn_from_store_merged(reader, from, to);
+    }
+    let top100 = top100_at(reader, from)?;
+    let mut m = ChurnMatrix::default();
+    let mut bi = reader.digest_rows(to)?;
+    let mut b = bi.next();
+    for a in reader.digest_rows(from)? {
+        while b.as_ref().is_some_and(|d| d.doc < a.doc) {
+            b = bi.next();
+        }
+        let to_row = b.as_ref().filter(|d| d.doc == a.doc);
+        let from_cat = classify_digest(Some(&a), &top100);
+        let to_cat = classify_digest(to_row, &top100);
+        *m.flows.entry((from_cat, to_cat)).or_insert(0) += 1;
+        m.total += 1;
+    }
+    Ok(m)
+}
+
+/// [`churn_from_store`] via the merge path: walk `from`'s resolved
+/// rows and point-look-up each name at `to`. Works on any store
+/// version; the reference the digest path is gated against.
+pub fn churn_from_store_merged(
     reader: &StoreReader<'_>,
     from: usize,
     to: usize,
@@ -275,6 +450,41 @@ pub fn churn_from_store(
         Ok(())
     })?;
     Ok(m)
+}
+
+/// All domains holding a share of `provider` at one stored epoch, in
+/// ascending name order. On v2 files this decodes the provider's
+/// postings list straight off the index footer; v1 files fall back to
+/// [`domains_of_provider_merged`], a full-epoch scan. Both walk names
+/// in the same byte order, so the vectors are equal.
+pub fn domains_of_provider(
+    reader: &StoreReader<'_>,
+    provider: &str,
+    epoch: usize,
+) -> Result<Vec<String>, StoreError> {
+    if reader.has_indexes() {
+        reader.domains_of_provider(provider, epoch)
+    } else {
+        domains_of_provider_merged(reader, provider, epoch)
+    }
+}
+
+/// [`domains_of_provider`] via the merge path: scan every resolved row
+/// of the epoch and keep the names whose share list mentions
+/// `provider`. Works on any store version.
+pub fn domains_of_provider_merged(
+    reader: &StoreReader<'_>,
+    provider: &str,
+    epoch: usize,
+) -> Result<Vec<String>, StoreError> {
+    let mut out = Vec::new();
+    reader.for_each_row(epoch, |name, row| {
+        if row.shares().any(|s| s.provider == provider) {
+            out.push(name.to_string());
+        }
+        Ok(())
+    })?;
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -356,6 +566,54 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn v1_and_v2_paths_agree() {
+        let (study, pipeline, companies) = setup();
+        let v2 = study
+            .write_store(Dataset::Alexa, &pipeline, &companies)
+            .unwrap();
+        let v1 = write_study_store_v1(&study, Dataset::Alexa, &pipeline, &companies).unwrap();
+        let r2 = StoreReader::open(&v2).unwrap();
+        let r1 = StoreReader::open(&v1).unwrap();
+        assert!(r2.has_indexes());
+        assert!(!r1.has_indexes());
+        r2.verify_indexes().unwrap();
+
+        // Dispatch (index-backed on r2, merged on r1) and the explicit
+        // merge path all agree bit for bit.
+        let psl = PublicSuffixList::builtin();
+        for epoch in [0usize, 4, 8] {
+            let m2 = market_share_at(&r2, epoch).unwrap();
+            let m1 = market_share_at(&r1, epoch).unwrap();
+            let mm = market_share_merged(&r2, epoch).unwrap();
+            assert_eq!(m2.rows, m1.rows);
+            assert_eq!(m2.rows, mm.rows);
+            assert_eq!(m2.total_domains, mm.total_domains);
+            assert_eq!(
+                self_hosted_at(&r2, epoch, &psl).unwrap(),
+                self_hosted_merged(&r2, epoch, &psl).unwrap()
+            );
+            assert_eq!(top100_at(&r2, epoch).unwrap(), top100_at(&r1, epoch).unwrap());
+        }
+        let c2 = churn_from_store(&r2, 0, 8).unwrap();
+        let cm = churn_from_store_merged(&r2, 0, 8).unwrap();
+        assert_eq!(c2.total, cm.total);
+        assert_eq!(c2.flows, cm.flows);
+
+        let provider = r2
+            .providers()
+            .iter()
+            .find(|p| !r2.domains_of_provider(p, 8).unwrap().is_empty())
+            .copied()
+            .expect("some provider has postings at epoch 8");
+        let d2 = domains_of_provider(&r2, provider, 8).unwrap();
+        let dm = domains_of_provider_merged(&r2, provider, 8).unwrap();
+        let d1 = domains_of_provider(&r1, provider, 8).unwrap();
+        assert!(!d2.is_empty(), "postings list non-empty for {provider}");
+        assert_eq!(d2, dm);
+        assert_eq!(d2, d1);
     }
 
     #[test]

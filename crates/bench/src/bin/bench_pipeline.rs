@@ -136,7 +136,10 @@ fn obs_mode(obs_out: &str) -> i32 {
 
 /// `--store` mode: store build/query benchmark + round-trip proof.
 fn store_mode(store_out: Option<&str>) -> i32 {
-    use mx_analysis::{market_share_at, StudyStoreExt};
+    use mx_analysis::{
+        churn_from_store, churn_from_store_merged, domains_of_provider_merged, market_share_at,
+        market_share_merged, StudyStoreExt,
+    };
     use mx_corpus::{company_map, Dataset};
 
     let config = ScenarioConfig::small(42);
@@ -217,6 +220,100 @@ fn store_mode(store_out: Option<&str>) -> i32 {
     }
     let rows_per_sec = (names.len() * SCAN_ROUNDS) as f64 / (scan_ms / 1e3);
 
+    // --- mx-store/2 index-backed query classes vs the merge path. ---
+    // The `*_merged` calls replay what a v1 file forces (full delta-
+    // layer merges, per-name point lookups); the entry points answer
+    // from the index footer. Both must agree bit for bit before any
+    // timing is trusted.
+    reader.verify_indexes().expect("index footer matches layers");
+    let idx_market = market_share_at(&reader, last).expect("indexed market share");
+    let mrg_market = market_share_merged(&reader, last).expect("merged market share");
+    if idx_market.rows != mrg_market.rows || idx_market.total_domains != mrg_market.total_domains
+    {
+        eprintln!("bench_pipeline: FAIL — indexed market share diverges from merge path");
+        return 1;
+    }
+    let idx_churn = churn_from_store(&reader, 0, last).expect("digest churn");
+    let mrg_churn = churn_from_store_merged(&reader, 0, last).expect("merged churn");
+    if idx_churn.total != mrg_churn.total || idx_churn.flows != mrg_churn.flows {
+        eprintln!("bench_pipeline: FAIL — digest churn diverges from merge path");
+        return 1;
+    }
+    let providers: Vec<&str> = reader.providers().to_vec();
+    for p in &providers {
+        let indexed = reader.domains_of_provider(p, last).expect("postings");
+        let scanned =
+            domains_of_provider_merged(&reader, p, last).expect("postings fallback scan");
+        if indexed != scanned {
+            eprintln!("bench_pipeline: FAIL — postings for {p} diverge from full scan");
+            return 1;
+        }
+    }
+
+    // Summary/rollup-backed market share vs the full merge.
+    const MARKET_ROUNDS: usize = 50;
+    let mut market_merged_ms = f64::INFINITY;
+    let mut market_indexed_ms = f64::INFINITY;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        for _ in 0..MARKET_ROUNDS {
+            let m = market_share_merged(&reader, last).expect("merged market share");
+            assert_eq!(m.total_domains, idx_market.total_domains);
+        }
+        market_merged_ms = market_merged_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        let t = Instant::now();
+        for _ in 0..MARKET_ROUNDS {
+            let m = market_share_at(&reader, last).expect("indexed market share");
+            assert_eq!(m.total_domains, idx_market.total_domains);
+        }
+        market_indexed_ms = market_indexed_ms.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let market_speedup = market_merged_ms / market_indexed_ms.max(1e-9);
+
+    // Churn diff via the per-row digest vs merge + per-name lookups.
+    const CHURN_ROUNDS: usize = 5;
+    let mut churn_merged_ms = f64::INFINITY;
+    let mut churn_indexed_ms = f64::INFINITY;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        for _ in 0..CHURN_ROUNDS {
+            let c = churn_from_store_merged(&reader, 0, last).expect("merged churn");
+            assert_eq!(c.total, idx_churn.total);
+        }
+        churn_merged_ms = churn_merged_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        let t = Instant::now();
+        for _ in 0..CHURN_ROUNDS {
+            let c = churn_from_store(&reader, 0, last).expect("digest churn");
+            assert_eq!(c.total, idx_churn.total);
+        }
+        churn_indexed_ms = churn_indexed_ms.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let churn_speedup = churn_merged_ms / churn_indexed_ms.max(1e-9);
+
+    // Provider postings scans: every interned provider's domain list at
+    // the last epoch, off the postings lists (no name materialization
+    // beyond the dictionary splices).
+    const POSTINGS_ROUNDS: usize = 20;
+    let mut postings_ms = f64::INFINITY;
+    let mut postings_domains = 0usize;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        for _ in 0..POSTINGS_ROUNDS {
+            postings_domains = 0;
+            for p in &providers {
+                reader
+                    .for_each_domain_of_provider(p, last, |_name| {
+                        postings_domains += 1;
+                        Ok(())
+                    })
+                    .expect("postings scan");
+            }
+        }
+        postings_ms = postings_ms.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let postings_domains_per_sec =
+        (postings_domains * POSTINGS_ROUNDS) as f64 / (postings_ms / 1e3);
+
     // Round-trip proof: the store-backed market table must equal the
     // in-memory one — including every f64 bit — at first and last epoch.
     let verify_epoch = |k: usize| {
@@ -240,6 +337,19 @@ fn store_mode(store_out: Option<&str>) -> i32 {
     );
     eprintln!("  build: {build_ms:.1} ms (full study, min-of-{REPS})");
     eprintln!("  point lookups: {lookups_per_sec:.0}/s   full scan: {rows_per_sec:.0} rows/s");
+    eprintln!(
+        "  market share: merged {market_merged_ms:.2} ms vs indexed {market_indexed_ms:.2} ms \
+         ({market_speedup:.1}x over {MARKET_ROUNDS} rounds)"
+    );
+    eprintln!(
+        "  churn diff: merged {churn_merged_ms:.2} ms vs indexed {churn_indexed_ms:.2} ms \
+         ({churn_speedup:.1}x over {CHURN_ROUNDS} rounds)"
+    );
+    eprintln!(
+        "  postings: {} providers -> {postings_domains} domains, \
+         {postings_domains_per_sec:.0} domains/s",
+        providers.len()
+    );
 
     if let Some(path) = store_out {
         if let Some(dir) = std::path::Path::new(path).parent() {
@@ -251,6 +361,7 @@ fn store_mode(store_out: Option<&str>) -> i32 {
 
     let out = obj! {
         "benchmark" => "store_build_query",
+        "schema" => mx_store::SCHEMA,
         "scale" => "small(42)",
         "dataset" => "alexa",
         "reps_per_point" => REPS as u64,
@@ -263,9 +374,35 @@ fn store_mode(store_out: Option<&str>) -> i32 {
         "lookups_per_sec" => lookups_per_sec,
         "scan_rounds" => SCAN_ROUNDS as u64,
         "scan_rows_per_sec" => rows_per_sec,
+        "market_rounds" => MARKET_ROUNDS as u64,
+        "market_merged_ms" => market_merged_ms,
+        "market_indexed_ms" => market_indexed_ms,
+        "market_index_speedup" => market_speedup,
+        "churn_rounds" => CHURN_ROUNDS as u64,
+        "churn_merged_ms" => churn_merged_ms,
+        "churn_indexed_ms" => churn_indexed_ms,
+        "churn_index_speedup" => churn_speedup,
+        "postings_rounds" => POSTINGS_ROUNDS as u64,
+        "postings_providers" => providers.len() as u64,
+        "postings_domains" => postings_domains as u64,
+        "postings_domains_per_sec" => postings_domains_per_sec,
         "round_trip_verified" => true,
-        "note" => "build = pipeline over 9 snapshots + delta encode; queries resolve \
-                   through all delta layers; round-trip compares f64 bits",
+        "index_verified" => true,
+        "v1_baseline" => obj! {
+            // Committed numbers from the last mx-store/1 run of this
+            // benchmark, kept for trajectory (same scale, same host
+            // class; the file had no index footer, so merged == only).
+            "schema" => mx_store::SCHEMA_V1,
+            "file_bytes" => 44859u64,
+            "build_ms" => 760.482075,
+            "lookups_per_sec" => 1223773.8569933055,
+            "scan_rows_per_sec" => 6589555.143250751,
+        },
+        "note" => "build = pipeline over 9 snapshots + delta encode + index footer; \
+                   merged timings replay the v1 full-epoch merge paths on the same \
+                   reader, indexed timings answer from the v2 footer (rollup/summary \
+                   for market share, per-row digest for churn, postings lists for \
+                   reverse queries); all pairs asserted bit-equal before timing",
     };
     std::fs::create_dir_all("results").ok();
     std::fs::write("results/BENCH_store.json", out.to_string_pretty())

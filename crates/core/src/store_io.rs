@@ -38,12 +38,14 @@ pub fn source_from_store(source: ShareSource) -> IdSource {
 /// attributed domain, shares in assignment order (sorted by provider
 /// id), companies resolved through `companies`.
 pub fn result_rows(result: &InferenceResult, companies: &CompanyMap) -> Vec<RowIn> {
+    let psl = mx_psl::PublicSuffixList::builtin();
     result
         .domains
         .iter()
         .map(|(name, a)| RowIn {
             name: name.to_dotted(),
             has_smtp: a.has_smtp,
+            self_hosted: crate::domainid::is_self_hosted(a, &psl),
             shares: a
                 .shares
                 .iter()

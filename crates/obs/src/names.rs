@@ -112,6 +112,10 @@ pub const STORE_READ_OPENS: &str = "store.read.opens";
 pub const STORE_READ_LOOKUPS: &str = "store.read.lookups";
 /// Rows yielded by full-epoch iteration/diff — per-run.
 pub const STORE_READ_ROWS: &str = "store.read.rows";
+/// Summary/rollup/digest index queries served (v2 footer) — per-run.
+pub const STORE_READ_INDEX_QUERIES: &str = "store.read.index_queries";
+/// Postings-list scans (domains-of-provider, set diffs) — per-run.
+pub const STORE_READ_POSTINGS_SCANS: &str = "store.read.postings_scans";
 
 // --- stages: the pipeline tree ---
 

@@ -12,15 +12,46 @@ use crate::StoreError;
 pub const MAGIC: &[u8; 4] = b"MXST";
 
 /// Format version encoded in the fixed header (little-endian u16).
-pub const VERSION: u16 = 1;
+pub const VERSION: u16 = 2;
 
 /// Schema identifier string, written right after the fixed header and
 /// checked on open. Version bumps rename this string.
-pub const SCHEMA: &str = "mx-store/1";
+pub const SCHEMA: &str = "mx-store/2";
+
+/// The previous format version, still readable (`StoreReader::open`
+/// dispatches on the header version; v1 files have no index footer).
+pub const VERSION_V1: u16 = 1;
+
+/// Schema string of the previous format version.
+pub const SCHEMA_V1: &str = "mx-store/1";
 
 /// Row-entry prefix compression restarts (a full name is written) every
 /// this many entries; restart rows anchor the reader's block index.
+/// Sized by measurement (see DESIGN §12): 16 keeps point-lookup block
+/// walks ≤ 8 entries on average while costing < 4% file size over 32.
 pub const RESTART_INTERVAL: usize = 16;
+
+/// Credit kind byte in rollup/digest entries: the id indexes the
+/// company table.
+pub const CREDIT_COMPANY: u8 = 0;
+/// Credit kind byte in rollup/digest entries: the id indexes the
+/// provider table (long-tail provider with no mapped company).
+pub const CREDIT_PROVIDER: u8 = 1;
+
+/// Digest flag bit: the domain has a live primary SMTP server.
+pub const DIGEST_SMTP: u8 = 1;
+/// Digest flag bit: the row is self-hosted (provider equals the
+/// domain's registered domain; computed by the writer, PSL-backed).
+pub const DIGEST_SELF_HOSTED: u8 = 1 << 1;
+/// Digest flag bit: the row has at least one share, so a dominant
+/// credit (kind bit + trailing id varint) follows.
+pub const DIGEST_HAS_CREDIT: u8 = 1 << 2;
+/// Digest flag bit: the dominant credit kind (set = provider,
+/// clear = company). Only valid with [`DIGEST_HAS_CREDIT`].
+pub const DIGEST_CREDIT_PROVIDER: u8 = 1 << 3;
+/// All valid digest flag bits.
+pub const DIGEST_FLAGS_MASK: u8 =
+    DIGEST_SMTP | DIGEST_SELF_HOSTED | DIGEST_HAS_CREDIT | DIGEST_CREDIT_PROVIDER;
 
 /// Entry tag: a row whose domain has no live primary SMTP server.
 pub const TAG_ROW: u8 = 0;

@@ -9,7 +9,7 @@
 //! changed/added/removed domains (varint + prefix-compressed names),
 //! plus a per-epoch acquisition sidecar (the shared `mx-acq` types).
 //!
-//! The format is schema-versioned (`mx-store/1`, see
+//! The format is schema-versioned (`mx-store/2`, see
 //! [`format::SCHEMA`]) and fully validated on open: [`StoreReader`]
 //! decodes from `&[u8]` — names, labels and provider strings are
 //! zero-copy slices of the input buffer, point lookups compare
@@ -18,6 +18,19 @@
 //! Malformed or truncated bytes yield a typed [`StoreError`], never a
 //! panic; the decoder sits in mx-lint's untrusted/wire-codec scope
 //! (R1/R2/R3/R5/R7).
+//!
+//! Version 2 appends an index footer written by the same
+//! byte-deterministic sorted walk: a global prefix-compressed domain
+//! dictionary, then per epoch a market-share summary (provider → row
+//! count + exact weight-bit sum), a credit rollup table (company or
+//! long-tail provider → weight-bit sum), provider→domain postings
+//! lists (LEB128 doc gaps over the sorted dictionary order) and a
+//! per-row digest (doc id, SMTP/self-hosted bits, dominant credit) —
+//! so market share, churn and "who uses provider X" are index hits
+//! instead of full-epoch merges. `mx-store/1` files still open; they
+//! report [`StoreReader::has_indexes`]` == false` and callers fall
+//! back to the merge path ([`StoreError::NoIndex`] on index-only
+//! APIs).
 //!
 //! Writing is deterministic: rows are sorted by dotted name, tables
 //! are interned in first-appearance order of that sort, and weights
@@ -29,12 +42,13 @@
 #![warn(missing_docs)]
 
 pub mod format;
+pub mod index;
 pub mod reader;
 pub mod varint;
 pub mod writer;
 
-pub use format::{SCHEMA, VERSION};
-pub use reader::{EpochKind, Row, Share, ShareIter, StoreReader};
+pub use format::{SCHEMA, SCHEMA_V1, VERSION, VERSION_V1};
+pub use reader::{DigestIter, DigestRow, EpochKind, Row, Share, ShareIter, StoreReader};
 pub use writer::{RowIn, ShareIn, StoreWriter};
 
 /// Everything that can go wrong decoding (or assembling) a store.
@@ -48,7 +62,8 @@ pub enum StoreError {
     BadMagic,
     /// The header version is not one this build can read.
     UnsupportedVersion(u16),
-    /// The schema string after the header is not [`SCHEMA`].
+    /// The schema string after the header does not match the header
+    /// version ([`SCHEMA`] for v2, [`SCHEMA_V1`] for v1).
     BadSchema,
     /// The buffer ended before a declared structure did.
     Truncated,
@@ -82,6 +97,25 @@ pub enum StoreError {
     SectionOverrun,
     /// Bytes remained after the last declared epoch.
     TrailingBytes,
+    /// A v2 index section violated a structural invariant (ordering,
+    /// cadence, empty postings, flag combinations) that open-time
+    /// validation enforces.
+    IndexCorrupt {
+        /// Which invariant broke.
+        what: &'static str,
+    },
+    /// An index section is structurally valid but disagrees with the
+    /// epoch layers it summarizes (found by
+    /// [`StoreReader::verify_indexes`], which recomputes every section
+    /// from the merge path).
+    IndexMismatch {
+        /// Which section disagreed.
+        what: &'static str,
+    },
+    /// An index-backed query was made against a `mx-store/1` file,
+    /// which carries no index footer (callers should fall back to the
+    /// merge path; `StoreReader::has_indexes` tells which).
+    NoIndex,
     /// An epoch index past the stored epoch count was queried.
     EpochOutOfRange {
         /// The requested epoch.
@@ -115,6 +149,11 @@ impl std::fmt::Display for StoreError {
             StoreError::RemoveInBase => write!(f, "removal entry in a base epoch"),
             StoreError::SectionOverrun => write!(f, "section content overran its length"),
             StoreError::TrailingBytes => write!(f, "trailing bytes after last epoch"),
+            StoreError::IndexCorrupt { what } => write!(f, "index section corrupt: {what}"),
+            StoreError::IndexMismatch { what } => {
+                write!(f, "index disagrees with epoch layers: {what}")
+            }
+            StoreError::NoIndex => write!(f, "store file has no index footer (mx-store/1)"),
             StoreError::EpochOutOfRange { epoch, epochs } => {
                 write!(f, "epoch {epoch} out of range (store has {epochs})")
             }

@@ -13,23 +13,35 @@
 //!   k-way merge, reusing one name buffer per layer (no per-row
 //!   allocation);
 //! - **epoch diffs** feed `analysis::churn` the changed/added/removed
-//!   rows between two resolved epochs.
+//!   rows between two resolved epochs;
+//! - **index queries** (v2 files) answer market share, rollups,
+//!   "domains of provider X" and digest walks straight from the index
+//!   footer, without touching the epoch layers.
+//!
+//! `mx-store/1` files still open: they carry no index footer, report
+//! [`StoreReader::has_indexes`]` == false`, and index-only APIs return
+//! [`StoreError::NoIndex`] so callers fall back to the merge paths.
 //!
 //! Every decode path returns a typed [`StoreError`]; malformed input
 //! can never panic this module (it sits in mx-lint's untrusted +
 //! wire-codec scope).
 
 use std::cmp::Ordering;
+use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 
 use mx_acq::{AcquisitionReport, DnsAcquisition, IpAcquisition};
 use mx_dns::Name;
 
 use crate::format::{
-    fault_from_code, Cur, FAULT_CODE_MAX, KIND_BASE, KIND_DELTA, MAGIC, SCHEMA, SIDE_BLOCKED,
+    fault_from_code, Cur, CREDIT_COMPANY, CREDIT_PROVIDER, DIGEST_SELF_HOSTED, DIGEST_SMTP,
+    FAULT_CODE_MAX,
+    KIND_BASE, KIND_DELTA, MAGIC, RESTART_INTERVAL, SCHEMA, SCHEMA_V1, SIDE_BLOCKED,
     SIDE_EXHAUSTED, SIDE_FLAGS_MASK, SIDE_RECOVERED, SOURCE_CODE_MAX, TAG_REMOVE, TAG_ROW,
-    TAG_ROW_SMTP, VERSION,
+    TAG_ROW_SMTP, VERSION, VERSION_V1,
 };
+use crate::index;
 use crate::{ShareSource, StoreError};
 
 /// Whether an epoch is a full base snapshot or a delta.
@@ -57,6 +69,10 @@ struct EpochIx<'a> {
     entries: &'a [u8],
     entry_count: u64,
     restarts: Vec<Restart<'a>>,
+    /// Last restart block a point lookup landed in (relaxed atomic, a
+    /// pure cache): consecutive lookups of nearby names skip the
+    /// binary search when the hinted block still covers the target.
+    hint: AtomicUsize,
     side_ips: &'a [u8],
     ip_count: usize,
     side_dns: &'a [u8],
@@ -72,6 +88,10 @@ pub struct StoreReader<'a> {
     /// Per provider: 0 = no company, else company index + 1.
     provider_company: Vec<u32>,
     epochs: Vec<EpochIx<'a>>,
+    /// The v2 global domain dictionary; `None` for v1 files.
+    dict: Option<index::DictIx<'a>>,
+    /// Per-epoch index blocks; empty for v1 files.
+    eix: Vec<index::EpochIndexIx<'a>>,
 }
 
 impl<'a> std::fmt::Debug for StoreReader<'a> {
@@ -188,7 +208,8 @@ enum LayerHit<'r> {
 }
 
 impl<'a> StoreReader<'a> {
-    /// Validate `buf` as a complete `mx-store/1` file and index it.
+    /// Validate `buf` as a complete store file (`mx-store/2`, or the
+    /// index-less `mx-store/1`) and index it.
     pub fn open(buf: &'a [u8]) -> Result<StoreReader<'a>, StoreError> {
         let _span = mx_obs::stage!(mx_obs::names::STAGE_STORE_READ).enter();
         mx_obs::counter_volatile!(mx_obs::names::STORE_READ_OPENS).incr();
@@ -199,13 +220,27 @@ impl<'a> StoreReader<'a> {
         let vraw = cur.bytes(2)?;
         let varr: [u8; 2] = vraw.try_into().map_err(|_bad| StoreError::Truncated)?;
         let version = u16::from_le_bytes(varr);
-        if version != VERSION {
+        if version != VERSION && version != VERSION_V1 {
             return Err(StoreError::UnsupportedVersion(version));
         }
         let _flags = cur.bytes(2)?;
-        if cur.str()? != SCHEMA {
+        let expected_schema = if version == VERSION { SCHEMA } else { SCHEMA_V1 };
+        if cur.str()? != expected_schema {
             return Err(StoreError::BadSchema);
         }
+        // v2 declares its dictionary restart cadence in the header; v1
+        // has no index footer so the value is never used.
+        let interval = if version == VERSION {
+            let b = cur.u8()?;
+            if b == 0 {
+                return Err(StoreError::IndexCorrupt {
+                    what: "restart interval",
+                });
+            }
+            b as usize
+        } else {
+            RESTART_INTERVAL
+        };
 
         let providers = read_table(&mut cur)?;
         let companies = read_table(&mut cur)?;
@@ -245,12 +280,54 @@ impl<'a> StoreReader<'a> {
                 entries,
                 entry_count,
                 restarts,
+                hint: AtomicUsize::new(0),
                 side_ips: sidecar.0,
                 ip_count: sidecar.1,
                 side_dns: sidecar.2,
                 dns_count: sidecar.3,
             });
         }
+
+        // v2 index footer: the global dictionary, then one summary /
+        // rollup / postings / digest quartet per epoch.
+        let (dict, eix) = if version == VERSION {
+            let dict_len = cur.count()?;
+            let dict = index::DictIx::parse(cur.bytes(dict_len)?, interval)?;
+            let mut eix: Vec<index::EpochIndexIx<'a>> = Vec::new();
+            for _eidx in 0..epoch_count {
+                let len = cur.count()?;
+                let (total_rows, summary_count, summary) =
+                    index::parse_summary(cur.bytes(len)?, providers.len())?;
+                let len = cur.count()?;
+                let (rollup_count, rollup) =
+                    index::parse_rollup(cur.bytes(len)?, providers.len(), companies.len())?;
+                let len = cur.count()?;
+                let postings =
+                    index::parse_postings(cur.bytes(len)?, providers.len(), dict.count())?;
+                let len = cur.count()?;
+                let digest = index::parse_digest(
+                    cur.bytes(len)?,
+                    total_rows,
+                    providers.len(),
+                    companies.len(),
+                    dict.count(),
+                )?;
+                index::cross_check_summary_postings(summary, summary_count, &postings)?;
+                eix.push(index::EpochIndexIx {
+                    total_rows,
+                    summary,
+                    summary_count,
+                    rollup,
+                    rollup_count,
+                    postings,
+                    digest,
+                });
+            }
+            (Some(dict), eix)
+        } else {
+            (None, Vec::new())
+        };
+
         if cur.remaining() != 0 {
             return Err(StoreError::TrailingBytes);
         }
@@ -259,6 +336,8 @@ impl<'a> StoreReader<'a> {
             companies,
             provider_company,
             epochs,
+            dict,
+            eix,
         })
     }
 
@@ -347,9 +426,20 @@ impl<'a> StoreReader<'a> {
     /// Probe one epoch layer for `name` without resolving deltas.
     fn lookup_layer(&self, ep: &EpochIx<'a>, name: &str) -> Result<LayerHit<'_>, StoreError> {
         let target = name.as_bytes();
-        let pp = ep
-            .restarts
-            .partition_point(|r| r.name.as_bytes() <= target);
+        // Restart-block cache: if the last block this layer served
+        // still covers the target, skip the binary search entirely
+        // (sorted query batches hit the same block run after run).
+        let hinted = ep.hint.load(AtomicOrdering::Relaxed);
+        let pp = if hint_covers(ep, hinted, target) {
+            hinted.saturating_add(1)
+        } else {
+            let pp = ep
+                .restarts
+                .partition_point(|r| r.name.as_bytes() <= target);
+            ep.hint
+                .store(pp.saturating_sub(1), AtomicOrdering::Relaxed);
+            pp
+        };
         if pp == 0 {
             return Ok(LayerHit::Absent);
         }
@@ -560,6 +650,479 @@ impl<'a> StoreReader<'a> {
             report.domains.insert(name, acq);
         }
         Ok(report)
+    }
+
+    /// Does this file carry the v2 index footer? `false` for
+    /// `mx-store/1` files, whose queries must use the merge paths.
+    pub fn has_indexes(&self) -> bool {
+        self.dict.is_some()
+    }
+
+    fn index_of(&self, epoch: usize) -> Result<&index::EpochIndexIx<'a>, StoreError> {
+        self.epoch(epoch)?;
+        self.eix.get(epoch).ok_or(StoreError::NoIndex)
+    }
+
+    fn credit_str(&self, kind: u8, id: u32) -> Option<&'a str> {
+        if kind == CREDIT_COMPANY {
+            self.companies.get(id as usize).copied()
+        } else {
+            self.providers.get(id as usize).copied()
+        }
+    }
+
+    /// The provider table index of `provider`, if interned.
+    pub fn provider_index(&self, provider: &str) -> Option<u32> {
+        self.providers
+            .iter()
+            .position(|p| *p == provider)
+            .and_then(|i| u32::try_from(i).ok())
+    }
+
+    /// Rows in the resolved view of `epoch`, from the summary section
+    /// (no layer merge). [`StoreError::NoIndex`] on v1 files.
+    pub fn summary_total_rows(&self, epoch: usize) -> Result<u64, StoreError> {
+        Ok(self.index_of(epoch)?.total_rows)
+    }
+
+    /// Iterate `epoch`'s market-share summary as
+    /// `(provider, distinct-row count, exact weight sum)`, ascending by
+    /// provider id. [`StoreError::NoIndex`] on v1 files.
+    pub fn for_each_summary<F>(&self, epoch: usize, mut f: F) -> Result<(), StoreError>
+    where
+        F: FnMut(&'a str, u64, f64) -> Result<(), StoreError>,
+    {
+        let ix = self.index_of(epoch)?;
+        mx_obs::counter_volatile!(mx_obs::names::STORE_READ_INDEX_QUERIES).incr();
+        for (pid, rows, bits) in index::SummaryIter::new(ix.summary, ix.summary_count) {
+            let provider = self
+                .providers
+                .get(pid as usize)
+                .copied()
+                .ok_or(StoreError::BadIndex { what: "provider" })?;
+            f(provider, rows, f64::from_bits(bits))?;
+        }
+        Ok(())
+    }
+
+    /// Iterate `epoch`'s credit rollup as `(credit, exact weight sum)`
+    /// where `credit` is the provider's company, or the provider itself
+    /// when no company is mapped — the analysis layer's
+    /// `company.unwrap_or(provider)` key, precomputed.
+    /// [`StoreError::NoIndex`] on v1 files.
+    pub fn for_each_rollup<F>(&self, epoch: usize, mut f: F) -> Result<(), StoreError>
+    where
+        F: FnMut(&'a str, f64) -> Result<(), StoreError>,
+    {
+        let ix = self.index_of(epoch)?;
+        mx_obs::counter_volatile!(mx_obs::names::STORE_READ_INDEX_QUERIES).incr();
+        for (kind, id, bits) in index::RollupIter::new(ix.rollup, ix.rollup_count) {
+            let what = if kind == CREDIT_COMPANY {
+                "company"
+            } else {
+                "provider"
+            };
+            let credit = self
+                .credit_str(kind, id)
+                .ok_or(StoreError::BadIndex { what })?;
+            f(credit, f64::from_bits(bits))?;
+        }
+        Ok(())
+    }
+
+    /// Iterate the domains whose rows carry a share of `provider` in
+    /// `epoch`, in ascending name order, straight off the postings
+    /// list. Unknown providers yield nothing. [`StoreError::NoIndex`]
+    /// on v1 files.
+    pub fn for_each_domain_of_provider<F>(
+        &self,
+        provider: &str,
+        epoch: usize,
+        mut f: F,
+    ) -> Result<(), StoreError>
+    where
+        F: FnMut(&str) -> Result<(), StoreError>,
+    {
+        let ix = self.index_of(epoch)?;
+        let dict = self.dict.as_ref().ok_or(StoreError::NoIndex)?;
+        mx_obs::counter_volatile!(mx_obs::names::STORE_READ_POSTINGS_SCANS).incr();
+        let Some(pix) = self.provider_index(provider) else {
+            return Ok(());
+        };
+        let Some(posting) = posting_of(ix, pix) else {
+            return Ok(());
+        };
+        let mut buf: Vec<u8> = Vec::new();
+        for doc in index::PostingDocs::new(posting) {
+            dict.name_into(doc, &mut buf)?;
+            let name = std::str::from_utf8(&buf).map_err(|_utf8| StoreError::BadUtf8)?;
+            f(name)?;
+        }
+        Ok(())
+    }
+
+    /// The domains of [`StoreReader::for_each_domain_of_provider`],
+    /// collected.
+    pub fn domains_of_provider(
+        &self,
+        provider: &str,
+        epoch: usize,
+    ) -> Result<Vec<String>, StoreError> {
+        let mut out = Vec::new();
+        self.for_each_domain_of_provider(provider, epoch, |name| {
+            out.push(name.to_string());
+            Ok(())
+        })?;
+        Ok(out)
+    }
+
+    /// Walk the churn of one provider's domain set between two epochs
+    /// as a postings set-diff: the callback sees `(name, gained)` —
+    /// `gained == true` for domains holding a share of `provider` in
+    /// `to` but not `from`, `false` for the reverse. Domains in both
+    /// sets are skipped without materializing their names.
+    /// [`StoreError::NoIndex`] on v1 files.
+    pub fn diff_domains_of_provider<F>(
+        &self,
+        provider: &str,
+        from: usize,
+        to: usize,
+        mut f: F,
+    ) -> Result<(), StoreError>
+    where
+        F: FnMut(&str, bool) -> Result<(), StoreError>,
+    {
+        let from_ix = self.index_of(from)?;
+        let to_ix = self.index_of(to)?;
+        let dict = self.dict.as_ref().ok_or(StoreError::NoIndex)?;
+        mx_obs::counter_volatile!(mx_obs::names::STORE_READ_POSTINGS_SCANS).incr();
+        let Some(pix) = self.provider_index(provider) else {
+            return Ok(());
+        };
+        let mut ai = posting_of(from_ix, pix).map(index::PostingDocs::new);
+        let mut bi = posting_of(to_ix, pix).map(index::PostingDocs::new);
+        let mut a = ai.as_mut().and_then(Iterator::next);
+        let mut b = bi.as_mut().and_then(Iterator::next);
+        let mut buf: Vec<u8> = Vec::new();
+        let emit =
+            |doc: usize, gained: bool, f: &mut F, buf: &mut Vec<u8>| -> Result<(), StoreError> {
+                dict.name_into(doc, buf)?;
+                let name = std::str::from_utf8(buf).map_err(|_utf8| StoreError::BadUtf8)?;
+                f(name, gained)
+            };
+        loop {
+            match (a, b) {
+                (None, None) => break,
+                (Some(x), None) => {
+                    emit(x, false, &mut f, &mut buf)?;
+                    a = ai.as_mut().and_then(Iterator::next);
+                }
+                (None, Some(y)) => {
+                    emit(y, true, &mut f, &mut buf)?;
+                    b = bi.as_mut().and_then(Iterator::next);
+                }
+                (Some(x), Some(y)) => match x.cmp(&y) {
+                    Ordering::Equal => {
+                        a = ai.as_mut().and_then(Iterator::next);
+                        b = bi.as_mut().and_then(Iterator::next);
+                    }
+                    Ordering::Less => {
+                        emit(x, false, &mut f, &mut buf)?;
+                        a = ai.as_mut().and_then(Iterator::next);
+                    }
+                    Ordering::Greater => {
+                        emit(y, true, &mut f, &mut buf)?;
+                        b = bi.as_mut().and_then(Iterator::next);
+                    }
+                },
+            }
+        }
+        Ok(())
+    }
+
+    /// Iterate `epoch`'s digest: one compact record per resolved row
+    /// (doc id, SMTP/self-hosted bits, dominant credit), in ascending
+    /// name order — the churn fast path. [`StoreError::NoIndex`] on v1
+    /// files.
+    pub fn digest_rows(&self, epoch: usize) -> Result<DigestIter<'_>, StoreError> {
+        let ix = self.index_of(epoch)?;
+        mx_obs::counter_volatile!(mx_obs::names::STORE_READ_INDEX_QUERIES).incr();
+        Ok(DigestIter {
+            reader: self,
+            raw: index::RawDigestIter::new(ix.digest, ix.total_rows),
+        })
+    }
+
+    /// Materialize the dictionary name of `doc` into `buf` (cleared
+    /// first). [`StoreError::NoIndex`] on v1 files.
+    pub fn doc_name_into(&self, doc: usize, buf: &mut Vec<u8>) -> Result<(), StoreError> {
+        self.dict
+            .as_ref()
+            .ok_or(StoreError::NoIndex)?
+            .name_into(doc, buf)
+    }
+
+    /// Recompute every index section from the epoch layers (the merge
+    /// path) and compare against the stored footer: any disagreement is
+    /// a typed [`StoreError::IndexMismatch`]. `Ok(())` on v1 files —
+    /// there is nothing to verify. The digest's self-hosted bit is
+    /// writer-supplied (PSL-backed) and not recomputable from the
+    /// layers, so it is excluded from the comparison.
+    pub fn verify_indexes(&self) -> Result<(), StoreError> {
+        let Some(dict) = self.dict.as_ref() else {
+            return Ok(());
+        };
+        let mut pix_of: HashMap<&str, u32> = HashMap::new();
+        for (i, p) in self.providers.iter().enumerate() {
+            pix_of.insert(p, u32::try_from(i).unwrap_or(u32::MAX));
+        }
+        let mut cix_of: HashMap<&str, u32> = HashMap::new();
+        for (i, c) in self.companies.iter().enumerate() {
+            cix_of.insert(c, u32::try_from(i).unwrap_or(u32::MAX));
+        }
+        // Canonical credit key for a credit *string*: company id when
+        // the string is interned as a company, else the provider id.
+        // Both the recomputation and the stored entries are reduced
+        // through this, so representation drift (a provider name that
+        // became a company in a later epoch) cannot cause a false
+        // mismatch — only genuinely different strings or sums can.
+        let canon_company = |company: Option<&str>, provider: &str, pix: u32| -> (u8, u32) {
+            let name = company.unwrap_or(provider);
+            match cix_of.get(name).copied() {
+                Some(cix) => (CREDIT_COMPANY, cix),
+                None => (CREDIT_PROVIDER, pix),
+            }
+        };
+        let mut doc_used = vec![false; dict.count()];
+        for epoch in 0..self.epochs.len() {
+            let ix = self.eix.get(epoch).ok_or(StoreError::IndexMismatch {
+                what: "missing epoch index",
+            })?;
+            let mut total: u64 = 0;
+            let mut summary: BTreeMap<u32, (u64, f64)> = BTreeMap::new();
+            let mut rollup: BTreeMap<(u8, u32), f64> = BTreeMap::new();
+            let mut postings: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+            let mut digest: Vec<(usize, bool, Option<(u8, u32)>)> = Vec::new();
+            let mut dcur = dict.cursor();
+            let mut row_pids: Vec<u32> = Vec::new();
+            self.for_each_row(epoch, |name, row| {
+                total = total.saturating_add(1);
+                let doc = dcur
+                    .seek(name.as_bytes())?
+                    .ok_or(StoreError::IndexMismatch {
+                        what: "dict missing row name",
+                    })?;
+                if let Some(slot) = doc_used.get_mut(doc) {
+                    *slot = true;
+                }
+                row_pids.clear();
+                for s in row.shares() {
+                    let pix = pix_of
+                        .get(s.provider)
+                        .copied()
+                        .ok_or(StoreError::IndexMismatch {
+                            what: "provider table",
+                        })?;
+                    let slot = summary.entry(pix).or_insert((0u64, 0.0f64));
+                    slot.1 += s.weight;
+                    if !row_pids.contains(&pix) {
+                        row_pids.push(pix);
+                        slot.0 = slot.0.saturating_add(1);
+                        postings.entry(pix).or_default().push(doc);
+                    }
+                    *rollup
+                        .entry(canon_company(s.company, s.provider, pix))
+                        .or_insert(0.0) += s.weight;
+                }
+                let credit = match row.dominant() {
+                    None => None,
+                    Some(s) => {
+                        let pix = pix_of.get(s.provider).copied().ok_or(
+                            StoreError::IndexMismatch {
+                                what: "provider table",
+                            },
+                        )?;
+                        Some(canon_company(s.company, s.provider, pix))
+                    }
+                };
+                digest.push((doc, row.has_smtp(), credit));
+                Ok(())
+            })?;
+
+            if total != ix.total_rows {
+                return Err(StoreError::IndexMismatch {
+                    what: "summary total rows",
+                });
+            }
+            if summary.len() != ix.summary_count {
+                return Err(StoreError::IndexMismatch {
+                    what: "summary providers",
+                });
+            }
+            let mut stored = index::SummaryIter::new(ix.summary, ix.summary_count);
+            for (&pid, &(rows, weight)) in &summary {
+                let Some((spid, srows, sbits)) = stored.next() else {
+                    return Err(StoreError::IndexMismatch {
+                        what: "summary providers",
+                    });
+                };
+                if spid != pid || srows != rows || sbits != weight.to_bits() {
+                    return Err(StoreError::IndexMismatch {
+                        what: "summary entry",
+                    });
+                }
+            }
+
+            // Rollup entries are compared at the credit-*string* level:
+            // the stored (kind, id) representation may differ from a
+            // recomputation against the final tables (a company-less
+            // provider whose name was interned as a company only in a
+            // later epoch), but both must resolve to the same strings
+            // and bit sums.
+            if ix.rollup_count != rollup.len() {
+                return Err(StoreError::IndexMismatch {
+                    what: "rollup credits",
+                });
+            }
+            for (kind, id, bits) in index::RollupIter::new(ix.rollup, ix.rollup_count) {
+                let credit = self.credit_str(kind, id).ok_or(StoreError::IndexMismatch {
+                    what: "rollup credit id",
+                })?;
+                let key = if kind == CREDIT_COMPANY {
+                    (CREDIT_COMPANY, id)
+                } else {
+                    canon_company(None, credit, id)
+                };
+                match rollup.remove(&key) {
+                    Some(weight) if weight.to_bits() == bits => {}
+                    _other => {
+                        return Err(StoreError::IndexMismatch {
+                            what: "rollup entry",
+                        })
+                    }
+                }
+            }
+            if !rollup.is_empty() {
+                return Err(StoreError::IndexMismatch {
+                    what: "rollup credits",
+                });
+            }
+
+            if ix.postings.len() != postings.len() {
+                return Err(StoreError::IndexMismatch {
+                    what: "postings providers",
+                });
+            }
+            for (stored, (&pid, docs)) in ix.postings.iter().zip(&postings) {
+                if stored.provider != pid || stored.count != docs.len() as u64 {
+                    return Err(StoreError::IndexMismatch {
+                        what: "postings providers",
+                    });
+                }
+                let mut want = docs.iter();
+                for doc in index::PostingDocs::new(stored) {
+                    if want.next() != Some(&doc) {
+                        return Err(StoreError::IndexMismatch {
+                            what: "postings docs",
+                        });
+                    }
+                }
+                if want.next().is_some() {
+                    return Err(StoreError::IndexMismatch {
+                        what: "postings docs",
+                    });
+                }
+            }
+
+            let mut want = digest.iter();
+            for (doc, flags, credit) in index::RawDigestIter::new(ix.digest, ix.total_rows) {
+                let Some(&(wdoc, wsmtp, wcredit)) = want.next() else {
+                    return Err(StoreError::IndexMismatch {
+                        what: "digest rows",
+                    });
+                };
+                let scredit = match credit {
+                    None => None,
+                    Some((kind, id)) => {
+                        let name = self.credit_str(kind, id).ok_or(
+                            StoreError::IndexMismatch {
+                                what: "digest credit id",
+                            },
+                        )?;
+                        Some(if kind == CREDIT_COMPANY {
+                            (CREDIT_COMPANY, id)
+                        } else {
+                            canon_company(None, name, id)
+                        })
+                    }
+                };
+                if doc != wdoc || (flags & DIGEST_SMTP != 0) != wsmtp || scredit != wcredit {
+                    return Err(StoreError::IndexMismatch {
+                        what: "digest entry",
+                    });
+                }
+            }
+            if want.next().is_some() {
+                return Err(StoreError::IndexMismatch {
+                    what: "digest rows",
+                });
+            }
+        }
+        if doc_used.iter().any(|used| !*used) {
+            return Err(StoreError::IndexMismatch {
+                what: "dict unreferenced name",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Binary-search an epoch's postings directory for one provider.
+fn posting_of<'r, 'a>(
+    ix: &'r index::EpochIndexIx<'a>,
+    pix: u32,
+) -> Option<&'r index::PostingRef<'a>> {
+    let pp = ix.postings.partition_point(|p| p.provider < pix);
+    ix.postings.get(pp).filter(|p| p.provider == pix)
+}
+
+/// One resolved digest record (see [`StoreReader::digest_rows`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DigestRow<'r> {
+    /// Position of the domain in the global sorted dictionary (resolve
+    /// with [`StoreReader::doc_name_into`] when the name is needed).
+    pub doc: usize,
+    /// Does the domain have a live primary SMTP server?
+    pub has_smtp: bool,
+    /// Is the domain self-hosted (PSL check done at write time)?
+    pub self_hosted: bool,
+    /// Dominant credit: the top share's company, or the provider
+    /// itself when no company is mapped. `None` for share-less rows.
+    pub credit: Option<&'r str>,
+}
+
+/// Iterator over one epoch's digest (see [`StoreReader::digest_rows`]).
+pub struct DigestIter<'r> {
+    reader: &'r StoreReader<'r>,
+    raw: index::RawDigestIter<'r>,
+}
+
+impl<'r> Iterator for DigestIter<'r> {
+    type Item = DigestRow<'r>;
+
+    fn next(&mut self) -> Option<DigestRow<'r>> {
+        let (doc, flags, credit) = self.raw.next()?;
+        let credit = match credit {
+            None => None,
+            // Validated at open; a stale id just ends the iteration.
+            Some((kind, id)) => Some(self.reader.credit_str(kind, id)?),
+        };
+        Some(DigestRow {
+            doc,
+            has_smtp: flags & DIGEST_SMTP != 0,
+            self_hosted: flags & DIGEST_SELF_HOSTED != 0,
+            credit,
+        })
     }
 }
 
@@ -807,6 +1370,21 @@ fn common_run(a: &[u8], b: &[u8]) -> usize {
     a.iter().zip(b).take_while(|(x, y)| x == y).count()
 }
 
+/// Does restart block `h` of this layer cover `target` — i.e. would
+/// the binary search land exactly there?
+fn hint_covers(ep: &EpochIx<'_>, h: usize, target: &[u8]) -> bool {
+    let Some(block) = ep.restarts.get(h) else {
+        return false;
+    };
+    if block.name.as_bytes() > target {
+        return false;
+    }
+    match ep.restarts.get(h.saturating_add(1)) {
+        Some(next) => next.name.as_bytes() > target,
+        None => true,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -825,6 +1403,7 @@ mod tests {
         RowIn {
             name: n.into(),
             has_smtp: !shares.is_empty(),
+            self_hosted: false,
             shares,
         }
     }
@@ -1027,5 +1606,155 @@ mod tests {
             StoreReader::open(&bad_version).unwrap_err(),
             StoreError::UnsupportedVersion(9)
         );
+    }
+
+    #[test]
+    fn indexes_verify_against_layers() {
+        let bytes = sample_store();
+        let r = StoreReader::open(&bytes).unwrap();
+        assert!(r.has_indexes());
+        r.verify_indexes().unwrap();
+    }
+
+    #[test]
+    fn postings_answer_domains_of_provider() {
+        let bytes = sample_store();
+        let r = StoreReader::open(&bytes).unwrap();
+        assert_eq!(
+            r.domains_of_provider("mx.google.com", 0).unwrap(),
+            vec!["alpha.test", "beta.test"]
+        );
+        // Epoch 1: alpha moved to yandex, delta.test arrived.
+        assert_eq!(
+            r.domains_of_provider("mx.google.com", 1).unwrap(),
+            vec!["beta.test", "delta.test"]
+        );
+        assert_eq!(r.domains_of_provider("yandex.ru", 1).unwrap(), vec!["alpha.test"]);
+        // Interned but absent from epoch 0; never interned at all.
+        assert!(r.domains_of_provider("yandex.ru", 0).unwrap().is_empty());
+        assert!(r.domains_of_provider("nobody.example", 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn postings_diff_tracks_provider_churn() {
+        let bytes = sample_store();
+        let r = StoreReader::open(&bytes).unwrap();
+        let mut flows = Vec::new();
+        r.diff_domains_of_provider("mx.google.com", 0, 1, |name, gained| {
+            flows.push((name.to_string(), gained));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(
+            flows,
+            vec![("alpha.test".to_string(), false), ("delta.test".to_string(), true)]
+        );
+    }
+
+    #[test]
+    fn summary_and_rollup_match_merge_math() {
+        let bytes = sample_store();
+        let r = StoreReader::open(&bytes).unwrap();
+        assert_eq!(r.summary_total_rows(0).unwrap(), 3);
+        let mut sum = Vec::new();
+        r.for_each_summary(0, |p, rows, w| {
+            sum.push((p.to_string(), rows, w));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(
+            sum,
+            vec![
+                ("mx.google.com".to_string(), 2, 1.5),
+                ("ms.com".to_string(), 1, 0.5),
+            ]
+        );
+        let mut roll = Vec::new();
+        r.for_each_rollup(0, |credit, w| {
+            roll.push((credit.to_string(), w));
+            Ok(())
+        })
+        .unwrap();
+        // Every sample provider maps to a "<name>-co" company.
+        assert_eq!(
+            roll,
+            vec![
+                ("mx.google.com-co".to_string(), 1.5),
+                ("ms.com-co".to_string(), 0.5),
+            ]
+        );
+    }
+
+    #[test]
+    fn digest_mirrors_resolved_rows() {
+        let bytes = sample_store();
+        let r = StoreReader::open(&bytes).unwrap();
+        let rows: Vec<_> = r.digest_rows(1).unwrap().collect();
+        assert_eq!(rows.len(), 3);
+        let mut buf = Vec::new();
+        let mut seen = Vec::new();
+        for d in &rows {
+            r.doc_name_into(d.doc, &mut buf).unwrap();
+            seen.push((
+                String::from_utf8(buf.clone()).unwrap(),
+                d.has_smtp,
+                d.credit.map(str::to_string),
+            ));
+        }
+        assert_eq!(
+            seen,
+            vec![
+                ("alpha.test".to_string(), true, Some("yandex.ru-co".to_string())),
+                ("beta.test".to_string(), true, Some("mx.google.com-co".to_string())),
+                ("delta.test".to_string(), true, Some("mx.google.com-co".to_string())),
+            ]
+        );
+    }
+
+    #[test]
+    fn v1_files_still_open_without_indexes() {
+        let mut w = StoreWriter::new();
+        let acq = AcquisitionReport::default();
+        w.add_epoch(
+            "2017-06",
+            vec![row("alpha.test", vec![share("mx.google.com", 1.0)])],
+            &acq,
+        )
+        .unwrap();
+        let bytes = w.finish_v1();
+        let r = StoreReader::open(&bytes).unwrap();
+        assert!(!r.has_indexes());
+        // Merge paths still work; index-only APIs refuse loudly.
+        assert_eq!(r.provider_of("alpha.test", 0).unwrap(), Some("mx.google.com"));
+        assert_eq!(r.summary_total_rows(0).unwrap_err(), StoreError::NoIndex);
+        assert_eq!(
+            r.domains_of_provider("mx.google.com", 0).unwrap_err(),
+            StoreError::NoIndex
+        );
+        assert!(r.digest_rows(0).is_err());
+        // Nothing to verify, but verification itself succeeds.
+        r.verify_indexes().unwrap();
+    }
+
+    #[test]
+    fn repeated_lookups_reuse_the_hinted_block() {
+        // Enough rows to span several restart blocks, looked up in
+        // sorted order (the hint's best case) and reverse order (the
+        // hint must never produce wrong answers).
+        let mut rows = Vec::new();
+        for i in 0..100 {
+            rows.push(row(&format!("d{i:03}.test"), vec![share("p.test", 1.0)]));
+        }
+        let mut w = StoreWriter::new();
+        w.add_epoch("e", rows, &AcquisitionReport::default()).unwrap();
+        let bytes = w.finish();
+        let r = StoreReader::open(&bytes).unwrap();
+        for i in 0..100 {
+            assert!(r.lookup(&format!("d{i:03}.test"), 0).unwrap().is_some());
+        }
+        for i in (0..100).rev() {
+            assert!(r.lookup(&format!("d{i:03}.test"), 0).unwrap().is_some());
+            assert!(r.lookup(&format!("d{i:03}.testx"), 0).unwrap().is_none());
+        }
     }
 }

@@ -17,8 +17,10 @@ use std::collections::{BTreeMap, HashMap};
 use mx_acq::AcquisitionReport;
 
 use crate::format::{
-    fault_code, write_str, KIND_BASE, KIND_DELTA, MAGIC, RESTART_INTERVAL, SCHEMA, SIDE_BLOCKED,
-    SIDE_EXHAUSTED, SIDE_RECOVERED, TAG_REMOVE, TAG_ROW, TAG_ROW_SMTP, VERSION,
+    fault_code, write_str, CREDIT_COMPANY, CREDIT_PROVIDER, DIGEST_CREDIT_PROVIDER,
+    DIGEST_HAS_CREDIT, DIGEST_SELF_HOSTED, DIGEST_SMTP, KIND_BASE, KIND_DELTA, MAGIC,
+    RESTART_INTERVAL, SCHEMA, SCHEMA_V1, SIDE_BLOCKED, SIDE_EXHAUSTED, SIDE_RECOVERED, TAG_REMOVE,
+    TAG_ROW, TAG_ROW_SMTP, VERSION, VERSION_V1,
 };
 use crate::varint::write_u64;
 use crate::{ShareSource, StoreError};
@@ -44,6 +46,10 @@ pub struct RowIn {
     pub name: String,
     /// Does the domain have a live primary SMTP server?
     pub has_smtp: bool,
+    /// Is the domain self-hosted (some provider equals the domain's
+    /// registered domain)? PSL-backed, so computed by the caller — the
+    /// store carries the bit in the digest but owns no suffix list.
+    pub self_hosted: bool,
     /// Provider shares, in the order the pipeline assigned them
     /// (sorted by provider id); preserved verbatim.
     pub shares: Vec<ShareIn>,
@@ -58,9 +64,12 @@ struct CanonShare {
 }
 
 /// A canonicalized row, comparable across epochs for delta detection.
+/// `self_hosted` is a pure function of name + shares, so including it
+/// in equality neither adds nor suppresses delta ops.
 #[derive(Clone, PartialEq, Eq)]
 struct CanonRow {
     has_smtp: bool,
+    self_hosted: bool,
     shares: Vec<CanonShare>,
 }
 
@@ -71,6 +80,33 @@ struct EpochEnc {
     entry_count: u64,
     entries: Vec<u8>,
     sidecar: Vec<u8>,
+}
+
+/// One digest entry accumulated for the index footer: doc ids are
+/// provisional (first-interned order) until `finish` remaps them to
+/// sorted-dictionary ranks.
+struct DigestEnc {
+    doc: u32,
+    has_smtp: bool,
+    self_hosted: bool,
+    credit: Option<(u8, u32)>,
+}
+
+/// Per-epoch index accumulation, filled during `add_epoch`'s sorted
+/// walk over the resolved view so every sum replays the exact f64
+/// addition order the merge path uses.
+#[derive(Default)]
+struct EpochIndexEnc {
+    /// Rows in the resolved view (== digest entry count).
+    total_rows: u64,
+    /// provider → (distinct-row count, weight sum).
+    summary: BTreeMap<u32, (u64, f64)>,
+    /// (credit kind, id) → weight sum.
+    rollup: BTreeMap<(u8, u32), f64>,
+    /// provider → provisional doc ids, in resolved-walk order.
+    postings: BTreeMap<u32, Vec<u32>>,
+    /// One entry per resolved row, in resolved-walk order.
+    digest: Vec<DigestEnc>,
 }
 
 /// Builds a store file epoch by epoch. See the module docs for the
@@ -87,6 +123,12 @@ pub struct StoreWriter {
     /// Resolved view of the last epoch added, keyed by dotted name
     /// (BTreeMap: iteration is byte-sorted, matching entry order).
     prev: BTreeMap<String, CanonRow>,
+    /// Every domain name seen in any epoch, in first-appearance
+    /// (provisional) order; sorted into the global dictionary at finish.
+    doc_names: Vec<String>,
+    doc_ix: HashMap<String, u32>,
+    /// One accumulated index block per epoch.
+    epoch_indexes: Vec<EpochIndexEnc>,
 }
 
 impl StoreWriter {
@@ -124,6 +166,42 @@ impl StoreWriter {
         };
         self.provider_company.push(comp);
         ix
+    }
+
+    fn intern_doc(&mut self, name: &str) -> u32 {
+        if let Some(&d) = self.doc_ix.get(name) {
+            return d;
+        }
+        let d = u32::try_from(self.doc_names.len()).unwrap_or(u32::MAX);
+        self.doc_names.push(name.to_string());
+        self.doc_ix.insert(name.to_string(), d);
+        d
+    }
+
+    /// Resolve a provider's credit key — the id-space twin of the
+    /// analysis layer's `company.unwrap_or(provider)` string key. A
+    /// company-less provider whose *name* is interned as a company
+    /// resolves to that company id, so one credit string never splits
+    /// into two rollup entries. Called after the epoch's canon build,
+    /// when every company appearing in the epoch is interned.
+    fn credit_key(&self, pix: u32) -> (u8, u32) {
+        let comp = self
+            .provider_company
+            .get(pix as usize)
+            .copied()
+            .unwrap_or(0);
+        if comp > 0 {
+            return (CREDIT_COMPANY, comp.saturating_sub(1));
+        }
+        let name = self
+            .providers
+            .get(pix as usize)
+            .map(String::as_str)
+            .unwrap_or("");
+        if let Some(&cix) = self.company_ix.get(name) {
+            return (CREDIT_COMPANY, cix);
+        }
+        (CREDIT_PROVIDER, pix)
     }
 
     /// Add one epoch. `label` is the epoch's display name (e.g.
@@ -164,10 +242,55 @@ impl StoreWriter {
                 row.name,
                 CanonRow {
                     has_smtp: row.has_smtp,
+                    self_hosted: row.self_hosted,
                     shares,
                 },
             );
         }
+
+        // Accumulate the epoch's index block over the resolved view.
+        // This walk (rows sorted by name, shares in stored order) is
+        // the exact addition order the reader's merge path replays, so
+        // the stored f64 bit sums match it bit for bit.
+        let mut enc = EpochIndexEnc {
+            total_rows: canon.len() as u64,
+            ..EpochIndexEnc::default()
+        };
+        let mut row_pids: Vec<u32> = Vec::new();
+        for (name, row) in &canon {
+            let doc = self.intern_doc(name);
+            row_pids.clear();
+            for s in &row.shares {
+                let w = f64::from_bits(s.weight_bits);
+                let key = self.credit_key(s.provider);
+                let first = !row_pids.contains(&s.provider);
+                let slot = enc.summary.entry(s.provider).or_insert((0u64, 0.0f64));
+                slot.1 += w;
+                if first {
+                    row_pids.push(s.provider);
+                    slot.0 = slot.0.saturating_add(1);
+                    enc.postings.entry(s.provider).or_default().push(doc);
+                }
+                *enc.rollup.entry(key).or_insert(0.0) += w;
+            }
+            // Dominant share: max weight, later stored share wins ties
+            // (`max_by` keeps the last maximum — same tie-break as the
+            // analysis layer's in-memory walk).
+            let credit = row
+                .shares
+                .iter()
+                .max_by(|a, b| {
+                    f64::from_bits(a.weight_bits).total_cmp(&f64::from_bits(b.weight_bits))
+                })
+                .map(|s| self.credit_key(s.provider));
+            enc.digest.push(DigestEnc {
+                doc,
+                has_smtp: row.has_smtp,
+                self_hosted: row.self_hosted,
+                credit,
+            });
+        }
+        self.epoch_indexes.push(enc);
 
         // Ops: full table for the base epoch, merge-diff for deltas.
         // Both walks are over BTreeMaps, so ops come out name-sorted.
@@ -255,7 +378,8 @@ impl StoreWriter {
         Ok(())
     }
 
-    /// Assemble the final store bytes.
+    /// Assemble the final store bytes in the current (`mx-store/2`)
+    /// format: header, tables, epochs, then the index footer.
     pub fn finish(self) -> Vec<u8> {
         let _span = mx_obs::stage!(mx_obs::names::STAGE_STORE_WRITE).enter();
         let mut out = Vec::new();
@@ -263,36 +387,167 @@ impl StoreWriter {
         out.extend_from_slice(&VERSION.to_le_bytes());
         out.extend_from_slice(&0u16.to_le_bytes()); // flags, reserved
         write_str(&mut out, SCHEMA);
+        out.push(u8::try_from(RESTART_INTERVAL).unwrap_or(u8::MAX));
+        self.write_tables_and_epochs(&mut out);
+        self.write_index_footer(&mut out);
+        mx_obs::counter!(mx_obs::names::STORE_WRITE_EPOCHS).add(self.epochs.len() as u64);
+        mx_obs::counter!(mx_obs::names::STORE_WRITE_BYTES).add(out.len() as u64);
+        out
+    }
 
-        write_u64(&mut out, self.providers.len() as u64);
+    /// Assemble the same epochs as an `mx-store/1` file (no restart
+    /// interval byte, no index footer) — byte-identical to what the v1
+    /// writer produced. Kept for the read-compat fixture and tests;
+    /// production writes always use [`StoreWriter::finish`].
+    pub fn finish_v1(self) -> Vec<u8> {
+        let _span = mx_obs::stage!(mx_obs::names::STAGE_STORE_WRITE).enter();
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION_V1.to_le_bytes());
+        out.extend_from_slice(&0u16.to_le_bytes()); // flags, reserved
+        write_str(&mut out, SCHEMA_V1);
+        self.write_tables_and_epochs(&mut out);
+        mx_obs::counter!(mx_obs::names::STORE_WRITE_EPOCHS).add(self.epochs.len() as u64);
+        mx_obs::counter!(mx_obs::names::STORE_WRITE_BYTES).add(out.len() as u64);
+        out
+    }
+
+    /// Interned tables and the epoch sections — identical bytes in both
+    /// format versions.
+    fn write_tables_and_epochs(&self, out: &mut Vec<u8>) {
+        write_u64(out, self.providers.len() as u64);
         for p in &self.providers {
-            write_str(&mut out, p);
+            write_str(out, p);
         }
-        write_u64(&mut out, self.companies.len() as u64);
+        write_u64(out, self.companies.len() as u64);
         for c in &self.companies {
-            write_str(&mut out, c);
+            write_str(out, c);
         }
         for &comp in &self.provider_company {
-            write_u64(&mut out, comp as u64);
+            write_u64(out, comp as u64);
         }
 
-        write_u64(&mut out, self.epochs.len() as u64);
+        write_u64(out, self.epochs.len() as u64);
         for ep in &self.epochs {
-            write_str(&mut out, &ep.label);
+            write_str(out, &ep.label);
             out.push(ep.kind);
             // Rows section: length-framed so a reader can skip epochs.
             let mut rows = Vec::new();
             write_u64(&mut rows, ep.entry_count);
             rows.extend_from_slice(&ep.entries);
-            write_u64(&mut out, rows.len() as u64);
+            write_u64(out, rows.len() as u64);
             out.extend_from_slice(&rows);
-            write_u64(&mut out, ep.sidecar.len() as u64);
+            write_u64(out, ep.sidecar.len() as u64);
             out.extend_from_slice(&ep.sidecar);
         }
+    }
 
-        mx_obs::counter!(mx_obs::names::STORE_WRITE_EPOCHS).add(self.epochs.len() as u64);
-        mx_obs::counter!(mx_obs::names::STORE_WRITE_BYTES).add(out.len() as u64);
-        out
+    /// The v2 index footer: global dictionary, then per epoch the
+    /// summary, rollup, postings and digest sections (each length-
+    /// framed). Provisional doc ids are remapped to sorted-dictionary
+    /// ranks here; because every accumulation walk was name-sorted,
+    /// remapped doc sequences stay strictly ascending without a sort.
+    fn write_index_footer(&self, out: &mut Vec<u8>) {
+        let mut sorted: Vec<&str> = self.doc_names.iter().map(String::as_str).collect();
+        sorted.sort_unstable_by(|a, b| a.as_bytes().cmp(b.as_bytes()));
+        let mut rank_of: HashMap<&str, u32> = HashMap::with_capacity(sorted.len());
+        for (rank, name) in sorted.iter().enumerate() {
+            rank_of.insert(name, u32::try_from(rank).unwrap_or(u32::MAX));
+        }
+        let mut prov_rank: Vec<u32> = Vec::with_capacity(self.doc_names.len());
+        for name in &self.doc_names {
+            prov_rank.push(rank_of.get(name.as_str()).copied().unwrap_or(0));
+        }
+        let rank = |prov: u32| -> u64 {
+            prov_rank.get(prov as usize).copied().unwrap_or(0) as u64
+        };
+
+        // Dictionary: prefix-compressed like epoch rows, restart (full
+        // name) every RESTART_INTERVAL entries.
+        let mut dict = Vec::new();
+        write_u64(&mut dict, sorted.len() as u64);
+        let mut prev_name = "";
+        for (i, name) in sorted.iter().enumerate() {
+            let prefix = if i % RESTART_INTERVAL == 0 {
+                0
+            } else {
+                common_prefix(prev_name.as_bytes(), name.as_bytes())
+            };
+            write_u64(&mut dict, prefix as u64);
+            let suffix = name.as_bytes().get(prefix..).unwrap_or(&[]);
+            write_u64(&mut dict, suffix.len() as u64);
+            dict.extend_from_slice(suffix);
+            prev_name = name;
+        }
+        write_u64(out, dict.len() as u64);
+        out.extend_from_slice(&dict);
+
+        for enc in &self.epoch_indexes {
+            let mut sect = Vec::new();
+            write_u64(&mut sect, enc.total_rows);
+            write_u64(&mut sect, enc.summary.len() as u64);
+            for (&pid, &(rows, weight)) in &enc.summary {
+                write_u64(&mut sect, pid as u64);
+                write_u64(&mut sect, rows);
+                sect.extend_from_slice(&weight.to_bits().to_le_bytes());
+            }
+            write_u64(out, sect.len() as u64);
+            out.extend_from_slice(&sect);
+
+            let mut sect = Vec::new();
+            write_u64(&mut sect, enc.rollup.len() as u64);
+            for (&(kind, id), &weight) in &enc.rollup {
+                sect.push(kind);
+                write_u64(&mut sect, id as u64);
+                sect.extend_from_slice(&weight.to_bits().to_le_bytes());
+            }
+            write_u64(out, sect.len() as u64);
+            out.extend_from_slice(&sect);
+
+            let mut sect = Vec::new();
+            write_u64(&mut sect, enc.postings.len() as u64);
+            for (&pid, docs) in &enc.postings {
+                write_u64(&mut sect, pid as u64);
+                write_u64(&mut sect, docs.len() as u64);
+                let mut prev_rank: u64 = 0;
+                for (j, &prov) in docs.iter().enumerate() {
+                    let r = rank(prov);
+                    let gap = if j == 0 { r } else { r.saturating_sub(prev_rank) };
+                    write_u64(&mut sect, gap);
+                    prev_rank = r;
+                }
+            }
+            write_u64(out, sect.len() as u64);
+            out.extend_from_slice(&sect);
+
+            let mut sect = Vec::new();
+            let mut prev_rank: u64 = 0;
+            for (j, d) in enc.digest.iter().enumerate() {
+                let r = rank(d.doc);
+                let gap = if j == 0 { r } else { r.saturating_sub(prev_rank) };
+                write_u64(&mut sect, gap);
+                prev_rank = r;
+                let mut flags = 0u8;
+                if d.has_smtp {
+                    flags |= DIGEST_SMTP;
+                }
+                if d.self_hosted {
+                    flags |= DIGEST_SELF_HOSTED;
+                }
+                if let Some((kind, _id)) = d.credit {
+                    flags |= DIGEST_HAS_CREDIT;
+                    if kind == CREDIT_PROVIDER {
+                        flags |= DIGEST_CREDIT_PROVIDER;
+                    }
+                }
+                sect.push(flags);
+                if let Some((_kind, id)) = d.credit {
+                    write_u64(&mut sect, id as u64);
+                }
+            }
+            write_u64(out, sect.len() as u64);
+            out.extend_from_slice(&sect);
+        }
     }
 }
 

@@ -7,9 +7,15 @@
 //! With `-- --store` the study is first serialized into an `mx-store`
 //! snapshot file and the same series is computed from the store's
 //! zero-copy reader — the numbers are identical bit for bit.
+//!
+//! With `-- --provider <name>` the example flips the question around:
+//! instead of "which providers serve the market", it asks "which
+//! domains does this provider serve" at every snapshot, answered from
+//! the `mx-store/2` postings lists (per-epoch inverted index from
+//! provider id to customer-domain ids).
 
 use mxmap::analysis::longitudinal::{self, default_series};
-use mxmap::analysis::store::{series_from_store, StudyStoreExt};
+use mxmap::analysis::store::{domains_of_provider, series_from_store, StudyStoreExt};
 use mxmap::corpus::{company_map, provider_knowledge, Dataset, ScenarioConfig, Study};
 use mxmap::infer::Pipeline;
 use mxmap::store::StoreReader;
@@ -25,9 +31,49 @@ fn sparkline(values: &[f64]) -> String {
         .collect()
 }
 
+/// Reverse query: list every customer domain of `provider` at each
+/// snapshot, straight from the postings lists in the store footer.
+fn provider_mode(study: &Study, provider: &str) {
+    let pipeline = Pipeline::priority_based(provider_knowledge(10));
+    let bytes = study
+        .write_store(Dataset::Alexa, &pipeline, &company_map())
+        .expect("serialize study");
+    let reader = StoreReader::open(&bytes).expect("reopen store");
+    assert!(reader.has_indexes(), "writer always emits mx-store/2 indexes");
+    if reader.provider_index(provider).is_none() {
+        eprintln!("provider {provider:?} not in the store dictionary; known providers include:");
+        for p in reader.providers().iter().take(10) {
+            eprintln!("  {p}");
+        }
+        std::process::exit(2);
+    }
+    println!("customer domains of {provider} (Alexa), from the postings index:\n");
+    let mut prev: Vec<String> = Vec::new();
+    for epoch in 0..reader.epoch_count() {
+        let label = reader.label(epoch).expect("epoch label");
+        let domains = domains_of_provider(&reader, provider, epoch).expect("postings query");
+        let gained = domains.iter().filter(|d| !prev.contains(d)).count();
+        let lost = prev.iter().filter(|d| !domains.contains(d)).count();
+        println!("{label}  {:>4} domains  (+{gained} / -{lost})", domains.len());
+        for d in &domains {
+            println!("    {d}");
+        }
+        prev = domains;
+    }
+}
+
 fn main() {
-    let from_store = std::env::args().any(|a| a == "--store");
+    let args: Vec<String> = std::env::args().collect();
+    let from_store = args.iter().any(|a| a == "--store");
     let study = Study::generate(ScenarioConfig::small(42));
+    if let Some(i) = args.iter().position(|a| a == "--provider") {
+        let provider = args.get(i + 1).unwrap_or_else(|| {
+            eprintln!("usage: provider_trends -- --provider <name>");
+            std::process::exit(2);
+        });
+        provider_mode(&study, provider);
+        return;
+    }
     println!("running all nine snapshots (Alexa)...");
     let tracked = [
         "Google",

@@ -1,0 +1,125 @@
+//! v1 read-compat gate over a *committed* fixture.
+//!
+//! `tests/data/store_v1_small42_alexa.bin` is an `mx-store/1` file
+//! written before the v2 format existed (regenerable with
+//! `MX_WRITE_FIXTURE=1 cargo test --test store_v1_compat` — the legacy
+//! writer path is byte-stable, which the first test pins). The tests
+//! prove the current reader still opens that file and answers every
+//! analysis through the merge fallback with results equal to running
+//! the pipeline live — the compat contract `mx-store/2` ships with.
+
+use std::path::PathBuf;
+
+use mx_analysis::observe::observe_world;
+use mx_analysis::store::{
+    churn_from_store, domains_of_provider, market_share_at, self_hosted_at, series_from_store,
+    write_study_store_v1,
+};
+use mx_corpus::{company_map, provider_knowledge, Dataset, ScenarioConfig, Study};
+use mx_infer::Pipeline;
+use mx_psl::PublicSuffixList;
+use mx_store::{StoreError, StoreReader};
+
+const SEED: u64 = 42;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/data")
+        .join(format!("store_v1_small{SEED}_alexa.bin"))
+}
+
+fn fixture_study() -> (Study, Pipeline) {
+    (
+        Study::generate(ScenarioConfig::small(SEED)),
+        Pipeline::priority_based(provider_knowledge(10)),
+    )
+}
+
+fn regenerate_fixture_bytes() -> Vec<u8> {
+    let (study, pipeline) = fixture_study();
+    write_study_store_v1(&study, Dataset::Alexa, &pipeline, &company_map())
+        .expect("serialize study as mx-store/1")
+}
+
+/// The committed fixture is byte-identical to what the legacy writer
+/// path produces today — the v1 encoding never drifts underneath the
+/// compat guarantee. Set `MX_WRITE_FIXTURE=1` to (re)write it.
+#[test]
+fn fixture_matches_v1_writer_bytes() {
+    let path = fixture_path();
+    let bytes = regenerate_fixture_bytes();
+    if std::env::var_os("MX_WRITE_FIXTURE").is_some() {
+        std::fs::create_dir_all(path.parent().expect("data dir")).expect("mkdir");
+        std::fs::write(&path, &bytes).expect("write fixture");
+        return;
+    }
+    let committed = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!("missing fixture {path:?} ({e}); regenerate with MX_WRITE_FIXTURE=1")
+    });
+    assert_eq!(
+        committed, bytes,
+        "v1 writer output drifted from the committed fixture"
+    );
+}
+
+/// The v2 reader opens the v1 fixture, reports no indexes, refuses
+/// index-only APIs with the typed `NoIndex`, and every analysis equals
+/// the in-memory pipeline — the merge fallback is a full citizen.
+#[test]
+fn fixture_analyses_equal_in_memory() {
+    let committed = match std::fs::read(fixture_path()) {
+        Ok(b) => b,
+        Err(_missing) => regenerate_fixture_bytes(), // first run before commit
+    };
+    let reader = StoreReader::open(&committed).expect("v1 fixture opens");
+    assert!(!reader.has_indexes(), "v1 files carry no footer");
+    assert_eq!(
+        reader.domains_of_provider("any", 0).unwrap_err(),
+        StoreError::NoIndex
+    );
+    reader.verify_indexes().expect("v1 verify is a no-op Ok");
+
+    let (study, pipeline) = fixture_study();
+    let companies = company_map();
+    let last = reader.epoch_count() - 1;
+    assert_eq!(reader.epoch_count(), mx_corpus::SNAPSHOT_DATES.len());
+
+    let run_at = |k: usize| {
+        let world = study.world_at(k);
+        let data = observe_world(&world);
+        let obs = data.dataset(Dataset::Alexa).expect("alexa active").clone();
+        let result = pipeline.run(&obs);
+        (result, obs)
+    };
+    let (r0, o0) = run_at(0);
+    let (r8, o8) = run_at(last);
+
+    for (k, r) in [(0usize, &r0), (last, &r8)] {
+        let mem = mx_analysis::market::market_share(r, &companies, None);
+        let stored = market_share_at(&reader, k).expect("merge-path market share");
+        assert_eq!(stored.total_domains, mem.total_domains, "epoch {k}");
+        assert_eq!(stored.rows, mem.rows, "epoch {k}: market rows bit-equal");
+    }
+
+    let psl = PublicSuffixList::builtin();
+    assert_eq!(
+        self_hosted_at(&reader, last, &psl).expect("merge-path self-hosted"),
+        mx_analysis::market::self_hosted_count(&r8, &psl)
+    );
+
+    let mem_churn = mx_analysis::churn::churn_matrix((&r0, &o0), (&r8, &o8), &companies);
+    let stored_churn = churn_from_store(&reader, 0, last).expect("merge-path churn");
+    assert_eq!(stored_churn.total, mem_churn.total);
+    assert_eq!(stored_churn.flows, mem_churn.flows);
+
+    let series = series_from_store(&reader, Dataset::Alexa, &["Google"]).expect("series");
+    assert_eq!(series.dates.len(), reader.epoch_count());
+
+    // Reverse queries fall back to the full scan and still answer.
+    let hits = reader
+        .providers()
+        .iter()
+        .filter(|p| !domains_of_provider(&reader, p, last).expect("scan").is_empty())
+        .count();
+    assert!(hits > 0, "no provider had any domain at the last epoch");
+}
