@@ -288,6 +288,151 @@ impl FaultPlan {
     }
 }
 
+/// A fault injected into one serving-side transport connection.
+///
+/// This extends the plan's pure-coin style from the *measurement*
+/// transports (DNS/SMTP) to the *serving* transport (`mx-serve`): the
+/// same mail-measurement system that tolerates dead primaries and
+/// tarpitting banners must also survive slow, broken and hostile HTTP
+/// clients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConnFault {
+    /// The client's bytes arrive one at a time (segment boundaries are
+    /// shredded but timing is unchanged) — a benign fault: a correct
+    /// incremental parser must produce byte-identical responses.
+    Dribble,
+    /// The client disconnects mid-request after a coin-chosen fraction
+    /// of its bytes.
+    Disconnect,
+    /// The client leads with a burst of garbage bytes before (what
+    /// would have been) its request.
+    Garbage,
+    /// The client sends a request prefix and then stalls forever
+    /// (slowloris); the server's read deadline must evict it.
+    Stall,
+}
+
+/// Keyed connection fault rates, each in `[0, 1]`; their sum must be
+/// `<= 1`. One coin per connection, partitioned across the variants.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConnFaults {
+    /// Probability a connection's bytes are dribbled one at a time.
+    pub dribble_rate: f64,
+    /// Probability the client disconnects mid-request.
+    pub disconnect_rate: f64,
+    /// Probability the client leads with garbage bytes.
+    pub garbage_rate: f64,
+    /// Probability the client stalls mid-request without closing.
+    pub stall_rate: f64,
+}
+
+impl ConnFaults {
+    /// No connection faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Total probability mass of any connection fault.
+    pub fn total(&self) -> f64 {
+        self.dribble_rate + self.disconnect_rate + self.garbage_rate + self.stall_rate
+    }
+}
+
+/// Deterministic chaos plan for serving-side connections. Every
+/// decision is a pure function of `(conn_id, seed)` — same coin
+/// discipline as [`FaultPlan`], so a replayed request trace draws the
+/// identical fault set at any thread count.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConnFaultPlan {
+    /// Keyed connection fault rates.
+    pub conn: ConnFaults,
+    /// Seed mixed into every coin flip.
+    pub seed: u64,
+}
+
+impl ConnFaultPlan {
+    /// A plan that never injects anything.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Uniform rates: total mass `rate`, split evenly across the four
+    /// variants — the shape the chaos sweep in `scripts/ci.sh` uses.
+    pub fn uniform(rate: f64, seed: u64) -> Self {
+        let quarter = rate.clamp(0.0, 1.0) / 4.0;
+        ConnFaultPlan {
+            conn: ConnFaults {
+                dribble_rate: quarter,
+                disconnect_rate: quarter,
+                garbage_rate: quarter,
+                stall_rate: quarter,
+            },
+            seed,
+        }
+    }
+
+    /// True when the plan can never inject anything.
+    pub fn is_quiet(&self) -> bool {
+        self.conn.total() == 0.0
+    }
+
+    /// Deterministic uniform draw in [0,1) for a connection-keyed event.
+    fn coin(&self, conn_id: u64, salt: u64) -> f64 {
+        let mut key = [0u8; 24];
+        key[..8].copy_from_slice(&conn_id.to_be_bytes());
+        key[8..16].copy_from_slice(&self.seed.to_be_bytes());
+        key[16..24].copy_from_slice(&salt.to_be_bytes());
+        (fnv1a(&key) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Which fault, if any, hits connection `conn_id`? One coin
+    /// partitioned across the variants: at most one fault per
+    /// connection.
+    pub fn conn_fault(&self, conn_id: u64) -> Option<ConnFault> {
+        if self.conn.total() <= 0.0 {
+            return None;
+        }
+        mx_obs::counter!(mx_obs::names::FAULT_CONN_COINS).incr();
+        let draw = self.coin(conn_id, 0xC0_11EC7);
+        if draw < self.conn.total() {
+            mx_obs::counter!(mx_obs::names::FAULT_CONN_FIRED).incr();
+        }
+        let c = &self.conn;
+        if draw < c.dribble_rate {
+            Some(ConnFault::Dribble)
+        } else if draw < c.dribble_rate + c.disconnect_rate {
+            Some(ConnFault::Disconnect)
+        } else if draw < c.dribble_rate + c.disconnect_rate + c.garbage_rate {
+            Some(ConnFault::Garbage)
+        } else if draw < c.total() {
+            Some(ConnFault::Stall)
+        } else {
+            None
+        }
+    }
+
+    /// Deterministic cut fraction in [0.1, 0.9] for `Disconnect` and
+    /// `Stall`: how much of the client's byte stream survives.
+    pub fn cut_fraction(&self, conn_id: u64) -> f64 {
+        0.1 + 0.8 * self.coin(conn_id, 0xD15C_0111)
+    }
+
+    /// Deterministic garbage prefix for `Garbage` connections: between
+    /// 1 and 32 bytes derived from the coin stream, never containing
+    /// CR/LF (so the garbage corrupts the request line instead of
+    /// terminating it).
+    pub fn garbage_bytes(&self, conn_id: u64) -> Vec<u8> {
+        let len = 1 + (self.coin(conn_id, 0x6A8_BA6E) * 31.0).floor() as usize;
+        let mut out = Vec::with_capacity(32);
+        for i in 0..len {
+            let draw = self.coin(conn_id, 0x6A8_0000 ^ i as u64);
+            let b = 0x80u8.wrapping_add(((draw * 120.0).floor() as u64 & 0x7F) as u8);
+            out.push(b);
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -475,6 +620,43 @@ mod tests {
             assert!((250..550).contains(&n), "{fault:?}: {n}");
         }
         assert_eq!(FaultPlan::none().smtp_fault(ip("10.1.1.1"), 0, 0), None);
+    }
+
+    #[test]
+    fn conn_fault_partition_and_determinism() {
+        let p = ConnFaultPlan::uniform(0.4, 13);
+        let mut counts = HashMap::new();
+        for id in 0..4000u64 {
+            let f = p.conn_fault(id);
+            assert_eq!(f, p.conn_fault(id), "non-deterministic draw");
+            *counts.entry(f).or_insert(0usize) += 1;
+        }
+        for fault in [
+            ConnFault::Dribble,
+            ConnFault::Disconnect,
+            ConnFault::Garbage,
+            ConnFault::Stall,
+        ] {
+            let n = counts.get(&Some(fault)).copied().unwrap_or(0);
+            assert!((250..550).contains(&n), "{fault:?}: {n}");
+        }
+        assert_eq!(ConnFaultPlan::none().conn_fault(7), None);
+        assert!(ConnFaultPlan::none().is_quiet());
+        assert!(!p.is_quiet());
+    }
+
+    #[test]
+    fn conn_fault_helpers_bounded_and_deterministic() {
+        let p = ConnFaultPlan::uniform(1.0, 99);
+        for id in 0..500u64 {
+            let f = p.cut_fraction(id);
+            assert!((0.1..=0.9).contains(&f), "cut fraction {f}");
+            assert_eq!(p.cut_fraction(id), f);
+            let g = p.garbage_bytes(id);
+            assert!((1..=32).contains(&g.len()), "garbage len {}", g.len());
+            assert!(g.iter().all(|&b| b != b'\r' && b != b'\n'));
+            assert_eq!(p.garbage_bytes(id), g);
+        }
     }
 
     #[test]

@@ -29,7 +29,10 @@ pub mod openintel;
 pub mod scanner;
 pub mod simnet;
 
-pub use fault::{DnsFault, DnsFaults, FaultPlan, FlakinessProfile, ScanFault, SmtpFaults};
+pub use fault::{
+    ConnFault, ConnFaultPlan, ConnFaults, DnsFault, DnsFaults, FaultPlan, FlakinessProfile,
+    ScanFault, SmtpFaults,
+};
 pub use openintel::{DnsDegradation, DnsSnapshot, MxMeasurement};
 pub use scanner::{Missed, PortState, ScanObservation, ScanSnapshot, Scanner};
 pub use simnet::{ConnectError, SimNet, SimNetBuilder};

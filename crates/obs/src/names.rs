@@ -56,6 +56,13 @@ pub const FAULT_SMTP_COINS: &str = "fault.smtp.coins";
 /// SMTP-fault coins that fired.
 pub const FAULT_SMTP_FIRED: &str = "fault.smtp.fired";
 
+// --- fault coins: connection chaos (crates/net/src/fault.rs) ---
+
+/// Connection-fault coins drawn (ConnFaultPlan active on a transport).
+pub const FAULT_CONN_COINS: &str = "fault.conn.coins";
+/// Connection-fault coins that fired.
+pub const FAULT_CONN_FIRED: &str = "fault.conn.fired";
+
 // --- smtp: session client (crates/smtp/src/client.rs) ---
 
 /// SMTP sessions opened (banner read attempted).
@@ -117,6 +124,53 @@ pub const STORE_READ_INDEX_QUERIES: &str = "store.read.index_queries";
 /// Postings-list scans (domains-of-provider, set diffs) — per-run.
 pub const STORE_READ_POSTINGS_SCANS: &str = "store.read.postings_scans";
 
+// --- serve: HTTP query service (crates/serve) ---
+
+/// Connections the server accepted (transport handshake completed).
+pub const SERVE_CONNS_ACCEPTED: &str = "serve.conns.accepted";
+/// Connections refused at the door (max-connections cap or shutdown).
+pub const SERVE_CONNS_REFUSED: &str = "serve.conns.refused";
+/// Requests the server committed to answering: complete parses,
+/// terminal parse failures and deadline evictions alike. Exactly
+/// `served + errored + shed + evicted` at all times.
+pub const SERVE_REQS_ACCEPTED: &str = "serve.reqs.accepted";
+/// Requests answered 2xx from a handler.
+pub const SERVE_REQS_SERVED: &str = "serve.reqs.served";
+/// Requests answered with a mapped 4xx/5xx (parse or route failure),
+/// excluding load-shed 503s.
+pub const SERVE_REQS_ERRORED: &str = "serve.reqs.errored";
+/// Requests answered 503 + `Retry-After` because the in-flight queue
+/// was full (load shedding — degrade, don't die).
+pub const SERVE_REQS_SHED: &str = "serve.reqs.shed";
+/// Requests evicted at a read deadline (slowloris / stalled client):
+/// answered 408 and the connection closed.
+pub const SERVE_REQS_EVICTED: &str = "serve.reqs.evicted";
+/// Hot-row cache hits (tier 1, over the store reader) — per-run.
+pub const SERVE_CACHE_ROW_HITS: &str = "serve.cache.row.hits";
+/// Hot-row cache misses (tier 1) — per-run.
+pub const SERVE_CACHE_ROW_MISSES: &str = "serve.cache.row.misses";
+/// Rendered-JSON cache hits (tier 2) — per-run.
+pub const SERVE_CACHE_JSON_HITS: &str = "serve.cache.json.hits";
+/// Rendered-JSON cache misses (tier 2) — per-run.
+pub const SERVE_CACHE_JSON_MISSES: &str = "serve.cache.json.misses";
+/// Per-endpoint simulated-latency distributions (milliseconds from a
+/// request's final byte to its response completing service).
+pub const SERVE_LATENCY_LOOKUP: &str = "serve.latency.lookup";
+/// `/market` latency distribution (sim ms).
+pub const SERVE_LATENCY_MARKET: &str = "serve.latency.market";
+/// `/series` latency distribution (sim ms).
+pub const SERVE_LATENCY_SERIES: &str = "serve.latency.series";
+/// `/churn` latency distribution (sim ms).
+pub const SERVE_LATENCY_CHURN: &str = "serve.latency.churn";
+/// `/providers/{name}/domains` latency distribution (sim ms).
+pub const SERVE_LATENCY_PROVIDERS: &str = "serve.latency.providers";
+/// `/epochs/{a}..{b}/diff` latency distribution (sim ms).
+pub const SERVE_LATENCY_DIFF: &str = "serve.latency.diff";
+/// `/healthz` latency distribution (sim ms).
+pub const SERVE_LATENCY_HEALTHZ: &str = "serve.latency.healthz";
+/// Bucket bounds for the `serve.latency.*` histograms (sim ms).
+pub const SERVE_LATENCY_BOUNDS: &[u64] = &[1, 2, 5, 10, 20, 50, 100, 200];
+
 // --- stages: the pipeline tree ---
 
 /// Root of the measurement (observation) side.
@@ -155,3 +209,5 @@ pub const STAGE_REPORT_COVERAGE: &str = "report.coverage";
 pub const STAGE_STORE_WRITE: &str = "store.write";
 /// Opening a store file: header, tables and block-index decode.
 pub const STAGE_STORE_READ: &str = "store.read";
+/// One simulated-transport trace driven through the HTTP server.
+pub const STAGE_SERVE_TRACE: &str = "serve.trace";

@@ -1,0 +1,809 @@
+//! Hardened, total HTTP/1.1 request parsing.
+//!
+//! Everything a client sends is hostile until proven otherwise: this
+//! module is in the mx-lint `untrusted`, `wire_codecs` and
+//! `bounded_loops` scopes, so it has no panicking constructs, no direct
+//! indexing, no bare narrowing casts and no unchecked length
+//! arithmetic. Every malformed input maps to a typed [`HttpError`]
+//! carrying the 4xx/5xx status the server answers with; no input —
+//! truncated, oversized, NUL-ridden, mis-framed — reaches a panic.
+//!
+//! The parser is *incremental*: bytes arrive in arbitrary fragments
+//! (the chaos layer dribbles them one at a time), are buffered up to
+//! [`MAX_CONN_BUFFER`], and [`RequestParser::try_next`] either yields a
+//! complete [`Request`], asks for more bytes, or rejects the
+//! connection. Pipelining falls out naturally: bytes after a complete
+//! request stay buffered for the next `try_next` call.
+//!
+//! Grammar limits (each with its own error and status):
+//!
+//! | limit | value | breach |
+//! |-------|-------|--------|
+//! | request line bytes  | [`MAX_REQUEST_LINE`] | 431 |
+//! | URI bytes           | [`MAX_URI`]          | 414 |
+//! | header count        | [`MAX_HEADER_COUNT`] | 431 |
+//! | head bytes total    | [`MAX_HEAD_BYTES`]   | 431 |
+//! | body bytes          | [`MAX_BODY`]         | 413 |
+//! | single chunk bytes  | [`MAX_CHUNK_SIZE`]   | 413 |
+//! | buffered conn bytes | [`MAX_CONN_BUFFER`]  | 431 |
+
+use std::fmt;
+
+/// Maximum bytes in the request line (method + target + version).
+pub const MAX_REQUEST_LINE: usize = 2048;
+/// Maximum bytes in the request target (path + query), pre-decoding.
+pub const MAX_URI: usize = 1024;
+/// Maximum number of header fields.
+pub const MAX_HEADER_COUNT: usize = 64;
+/// Maximum total bytes in the head (request line + all headers).
+pub const MAX_HEAD_BYTES: usize = 10_240;
+/// Maximum request body bytes (fixed or chunked, post-assembly).
+pub const MAX_BODY: usize = 4096;
+/// Maximum bytes in a single chunk of a chunked body.
+pub const MAX_CHUNK_SIZE: usize = 4096;
+/// Maximum unparsed bytes buffered per connection (pipelining cap).
+pub const MAX_CONN_BUFFER: usize = 65_536;
+
+/// A typed parse failure. Every variant maps to a response status via
+/// [`HttpError::status`]; the parser can fail, the server cannot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HttpError {
+    /// The request line is not `METHOD SP target SP HTTP/x.y`.
+    BadRequestLine,
+    /// A header line is not a valid `name: value` field.
+    BadHeader,
+    /// A bare CR or bare LF inside the head (CRLF smuggling).
+    BadLineEnding,
+    /// A NUL byte anywhere in the head or decoded target.
+    NulByte,
+    /// A `%`-escape that is truncated or not two hex digits.
+    BadEscape,
+    /// Chunked framing violated: bad size line, missing CRLF, trailers.
+    BadChunk,
+    /// `Content-Length` unparseable, conflicting, or duplicated.
+    BadLength,
+    /// The request target exceeds [`MAX_URI`].
+    UriTooLong,
+    /// The head exceeds [`MAX_HEAD_BYTES`] or a line [`MAX_REQUEST_LINE`].
+    HeadTooLarge,
+    /// More than [`MAX_HEADER_COUNT`] header fields.
+    TooManyHeaders,
+    /// Declared or assembled body exceeds [`MAX_BODY`] (or one chunk
+    /// exceeds [`MAX_CHUNK_SIZE`]).
+    BodyTooLarge,
+    /// Unparsed buffered bytes exceed [`MAX_CONN_BUFFER`].
+    ConnOverflow,
+    /// A syntactically valid method this server does not implement.
+    MethodNotImplemented,
+    /// An HTTP version other than 1.0 or 1.1.
+    VersionNotSupported,
+}
+
+impl HttpError {
+    /// The HTTP status code this parse failure is answered with.
+    pub fn status(self) -> u16 {
+        match self {
+            HttpError::BadRequestLine
+            | HttpError::BadHeader
+            | HttpError::BadLineEnding
+            | HttpError::NulByte
+            | HttpError::BadEscape
+            | HttpError::BadChunk
+            | HttpError::BadLength => 400,
+            HttpError::UriTooLong => 414,
+            HttpError::BodyTooLarge => 413,
+            HttpError::HeadTooLarge | HttpError::TooManyHeaders | HttpError::ConnOverflow => 431,
+            HttpError::MethodNotImplemented => 501,
+            HttpError::VersionNotSupported => 505,
+        }
+    }
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let what = match self {
+            HttpError::BadRequestLine => "malformed request line",
+            HttpError::BadHeader => "malformed header field",
+            HttpError::BadLineEnding => "bare CR or LF in head",
+            HttpError::NulByte => "NUL byte in request",
+            HttpError::BadEscape => "invalid percent-escape",
+            HttpError::BadChunk => "invalid chunked framing",
+            HttpError::BadLength => "invalid content-length",
+            HttpError::UriTooLong => "request target too long",
+            HttpError::HeadTooLarge => "request head too large",
+            HttpError::TooManyHeaders => "too many header fields",
+            HttpError::BodyTooLarge => "request body too large",
+            HttpError::ConnOverflow => "connection buffer overflow",
+            HttpError::MethodNotImplemented => "method not implemented",
+            HttpError::VersionNotSupported => "HTTP version not supported",
+        };
+        write!(f, "{what}")
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// The request methods this server implements. Everything it serves is
+/// a read-only query, so the surface is deliberately GET/HEAD only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Retrieve the resource.
+    Get,
+    /// Retrieve headers only; the server renders but omits the body.
+    Head,
+}
+
+/// A fully parsed, validated, percent-decoded request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// GET or HEAD.
+    pub method: Method,
+    /// Decoded absolute path, always beginning with `/`.
+    pub path: String,
+    /// Decoded query parameters in the order sent.
+    pub query: Vec<(String, String)>,
+    /// Header fields in the order sent, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Assembled body bytes (de-chunked when chunked).
+    pub body: Vec<u8>,
+    /// Whether the connection persists after the response.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First query parameter named `name`, if any.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First header named `name` (ASCII case-insensitive), if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Outcome of a [`RequestParser::try_next`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Parsed {
+    /// The buffer does not yet hold a complete request.
+    NeedMore,
+    /// One complete request, removed from the buffer.
+    Request(Request),
+}
+
+/// An incremental per-connection request parser.
+///
+/// Feed fragments with [`push`](RequestParser::push), then call
+/// [`try_next`](RequestParser::try_next) until it reports
+/// [`Parsed::NeedMore`]. Errors are terminal for the connection: the
+/// caller answers with [`HttpError::status`] and closes.
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+}
+
+impl RequestParser {
+    /// A parser with an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes currently buffered and not yet consumed by a request.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Append received bytes, enforcing [`MAX_CONN_BUFFER`].
+    pub fn push(&mut self, bytes: &[u8]) -> Result<(), HttpError> {
+        let total = self.buf.len().saturating_add(bytes.len());
+        if total > MAX_CONN_BUFFER {
+            return Err(HttpError::ConnOverflow);
+        }
+        self.buf.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Try to extract the next complete request from the buffer.
+    pub fn try_next(&mut self) -> Result<Parsed, HttpError> {
+        match parse_request(&self.buf)? {
+            None => Ok(Parsed::NeedMore),
+            Some((req, consumed)) => {
+                self.buf.drain(..consumed.min(self.buf.len()));
+                Ok(Parsed::Request(req))
+            }
+        }
+    }
+}
+
+/// Parse one request from the front of `buf`. `Ok(None)` means the
+/// bytes so far are a valid *prefix* — more input is needed; errors are
+/// terminal for the connection.
+fn parse_request(buf: &[u8]) -> Result<Option<(Request, usize)>, HttpError> {
+    // Locate the head terminator within the head budget.
+    let window = buf.get(..buf.len().min(MAX_HEAD_BYTES)).unwrap_or(buf);
+    let head_end = window.windows(4).position(|w| w == b"\r\n\r\n");
+    let Some(head_end) = head_end else {
+        if buf.len() >= MAX_HEAD_BYTES {
+            return Err(HttpError::HeadTooLarge);
+        }
+        // Reject NULs as soon as they appear, before the head is even
+        // complete — no point buffering a poisoned request.
+        if window.contains(&0) {
+            return Err(HttpError::NulByte);
+        }
+        return Ok(None);
+    };
+    let head = window.get(..head_end).unwrap_or_default();
+    if head.contains(&0) {
+        return Err(HttpError::NulByte);
+    }
+
+    // Split the head into CRLF-terminated lines, rejecting bare CR/LF.
+    let mut lines: Vec<&[u8]> = Vec::with_capacity(MAX_HEADER_COUNT);
+    let mut pos = 0usize;
+    while pos <= head.len() {
+        let rest = head.get(pos..).unwrap_or_default();
+        let eol = find_line_end(rest)?;
+        let line = rest.get(..eol).unwrap_or_default();
+        if lines.len() > MAX_HEADER_COUNT {
+            return Err(HttpError::TooManyHeaders);
+        }
+        lines.push(line);
+        if eol == rest.len() {
+            break; // last line: terminator follows in the full buffer
+        }
+        pos = pos.saturating_add(eol).saturating_add(2);
+    }
+
+    let (request_line, header_lines) = lines.split_first().ok_or(HttpError::BadRequestLine)?;
+    if request_line.len() > MAX_REQUEST_LINE {
+        return Err(HttpError::HeadTooLarge);
+    }
+    let (method, target, http11) = parse_request_line(request_line)?;
+    let (path, query) = parse_target(target)?;
+    let headers = parse_headers(header_lines)?;
+
+    // Body framing. GET/HEAD bodies are unusual but tolerated within
+    // the caps; conflicting or duplicated framing is rejected.
+    let content_length = framing_value(&headers, "content-length")?;
+    let transfer_encoding = framing_value(&headers, "transfer-encoding")?;
+    let body_start = head_end.saturating_add(4);
+    let (body, consumed) = match (content_length, transfer_encoding) {
+        (Some(_), Some(_)) => return Err(HttpError::BadLength),
+        (None, None) => (Vec::new(), body_start),
+        (Some(cl), None) => {
+            let declared = parse_decimal(cl)?;
+            if declared > MAX_BODY {
+                return Err(HttpError::BodyTooLarge);
+            }
+            let end = body_start.checked_add(declared).ok_or(HttpError::BadLength)?;
+            match buf.get(body_start..end) {
+                None => return Ok(None), // body not fully arrived
+                Some(b) => (b.to_vec(), end),
+            }
+        }
+        (None, Some(te)) => {
+            if !te.eq_ignore_ascii_case("chunked") {
+                return Err(HttpError::MethodNotImplemented);
+            }
+            match parse_chunked(buf, body_start)? {
+                None => return Ok(None),
+                Some(done) => done,
+            }
+        }
+    };
+
+    let keep_alive = match header_value(&headers, "connection") {
+        Some(v) if v.eq_ignore_ascii_case("close") => false,
+        Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+        _ => http11,
+    };
+
+    Ok(Some((
+        Request {
+            method,
+            path,
+            query,
+            headers,
+            body,
+            keep_alive,
+        },
+        consumed,
+    )))
+}
+
+/// Position of the end of the current line in `rest`: the index of the
+/// `\r` of its CRLF, or `rest.len()` when the line runs to the end of
+/// the head. Bare CR and bare LF are protocol violations.
+fn find_line_end(rest: &[u8]) -> Result<usize, HttpError> {
+    let mut idx = 0usize;
+    while idx < rest.len() {
+        match rest.get(idx) {
+            Some(b'\n') => return Err(HttpError::BadLineEnding),
+            Some(b'\r') => {
+                return match rest.get(idx + 1) {
+                    Some(b'\n') => Ok(idx),
+                    Some(_) => Err(HttpError::BadLineEnding),
+                    // A lone trailing CR here is impossible in practice
+                    // (the head was delimited by CRLFCRLF), but stay
+                    // total rather than reason about it.
+                    None => Err(HttpError::BadLineEnding),
+                };
+            }
+            _ => idx = idx.saturating_add(1),
+        }
+    }
+    Ok(rest.len())
+}
+
+/// Split and validate `METHOD SP target SP HTTP/x.y`.
+fn parse_request_line(line: &[u8]) -> Result<(Method, &[u8], bool), HttpError> {
+    let mut parts = line.split(|b| *b == b' ');
+    let method = parts.next().ok_or(HttpError::BadRequestLine)?;
+    let target = parts.next().ok_or(HttpError::BadRequestLine)?;
+    let version = parts.next().ok_or(HttpError::BadRequestLine)?;
+    if parts.next().is_some() || method.is_empty() || target.is_empty() {
+        return Err(HttpError::BadRequestLine);
+    }
+    let method = match method {
+        b"GET" => Method::Get,
+        b"HEAD" => Method::Head,
+        // Any plausible method token this server does not speak —
+        // including wrong-case spellings of the ones it does — is 501;
+        // non-token junk in method position stays 400.
+        m if m.len() <= 16 && m.iter().all(|b| b.is_ascii_alphabetic()) => {
+            return Err(HttpError::MethodNotImplemented)
+        }
+        _ => return Err(HttpError::BadRequestLine),
+    };
+    let http11 = match version {
+        b"HTTP/1.1" => true,
+        b"HTTP/1.0" => false,
+        v if v.starts_with(b"HTTP/") => return Err(HttpError::VersionNotSupported),
+        _ => return Err(HttpError::BadRequestLine),
+    };
+    Ok((method, target, http11))
+}
+
+/// Decode the request target into a path and query-parameter list.
+fn parse_target(target: &[u8]) -> Result<(String, Vec<(String, String)>), HttpError> {
+    if target.len() > MAX_URI {
+        return Err(HttpError::UriTooLong);
+    }
+    if !target.starts_with(b"/") {
+        return Err(HttpError::BadRequestLine);
+    }
+    let mut halves = target.splitn(2, |b| *b == b'?');
+    let raw_path = halves.next().unwrap_or_default();
+    let raw_query = halves.next();
+
+    let path = decode_component(raw_path, false)?;
+    let mut query = Vec::new();
+    if let Some(raw) = raw_query {
+        for pair in raw.split(|b| *b == b'&') {
+            if pair.is_empty() {
+                continue;
+            }
+            let mut kv = pair.splitn(2, |b| *b == b'=');
+            let k = decode_component(kv.next().unwrap_or_default(), true)?;
+            let v = decode_component(kv.next().unwrap_or_default(), true)?;
+            query.push((k, v));
+        }
+    }
+    Ok((path, query))
+}
+
+/// Percent-decode one URI component into valid UTF-8, rejecting NULs
+/// and control bytes. `form` additionally maps `+` to space.
+fn decode_component(raw: &[u8], form: bool) -> Result<String, HttpError> {
+    let mut out: Vec<u8> = Vec::with_capacity(MAX_URI);
+    let mut pos = 0usize;
+    while pos < raw.len() {
+        let b = raw.get(pos).copied().ok_or(HttpError::BadEscape)?;
+        if b == b'%' {
+            let hi = raw.get(pos + 1).copied().and_then(hex_val);
+            let lo = raw.get(pos + 2).copied().and_then(hex_val);
+            let (hi, lo) = match (hi, lo) {
+                (Some(h), Some(l)) => (h, l),
+                _ => return Err(HttpError::BadEscape),
+            };
+            let byte = (hi << 4) | lo;
+            // Encoded control bytes (%00, %0d%0a, ...) are the classic
+            // splitting/injection vectors; only space, printable ASCII
+            // and multi-byte UTF-8 content may arrive escaped.
+            if byte < 0x20 || byte == 0x7F {
+                return Err(HttpError::BadEscape);
+            }
+            out.push(byte);
+            pos = pos.saturating_add(3);
+        } else if form && b == b'+' {
+            out.push(b' ');
+            pos = pos.saturating_add(1);
+        } else if b.is_ascii_graphic() {
+            out.push(b);
+            pos = pos.saturating_add(1);
+        } else {
+            // Raw spaces and control bytes must arrive escaped.
+            return Err(HttpError::BadEscape);
+        }
+    }
+    if out.contains(&0) {
+        return Err(HttpError::NulByte);
+    }
+    match String::from_utf8(out) {
+        Ok(s) => Ok(s),
+        Err(_) => Err(HttpError::BadEscape),
+    }
+}
+
+/// Value of a single hex digit, if it is one.
+fn hex_val(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(10 + (b - b'a')),
+        b'A'..=b'F' => Some(10 + (b - b'A')),
+        _ => None,
+    }
+}
+
+/// Parse and validate the header block: `name: value` per line, token
+/// names, visible-ASCII/HT values, no obs-folding.
+fn parse_headers(lines: &[&[u8]]) -> Result<Vec<(String, String)>, HttpError> {
+    if lines.len() > MAX_HEADER_COUNT {
+        return Err(HttpError::TooManyHeaders);
+    }
+    let mut headers = Vec::with_capacity(MAX_HEADER_COUNT);
+    for line in lines {
+        // A line starting with SP/HT is deprecated obs-folding.
+        if line.first().is_some_and(|b| *b == b' ' || *b == b'\t') {
+            return Err(HttpError::BadHeader);
+        }
+        let mut kv = line.splitn(2, |b| *b == b':');
+        let name = kv.next().unwrap_or_default();
+        let value = kv.next().ok_or(HttpError::BadHeader)?;
+        if name.is_empty() || !name.iter().all(|b| is_token_byte(*b)) {
+            return Err(HttpError::BadHeader);
+        }
+        let value = trim_ows(value);
+        if !value.iter().all(|b| b.is_ascii_graphic() || *b == b' ' || *b == b'\t') {
+            return Err(HttpError::BadHeader);
+        }
+        let name = match String::from_utf8(name.to_ascii_lowercase()) {
+            Ok(s) => s,
+            Err(_) => return Err(HttpError::BadHeader),
+        };
+        let value = match String::from_utf8(value.to_vec()) {
+            Ok(s) => s,
+            Err(_) => return Err(HttpError::BadHeader),
+        };
+        headers.push((name, value));
+    }
+    Ok(headers)
+}
+
+/// RFC 7230 token characters, the legal alphabet for header names.
+fn is_token_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b"!#$%&'*+-.^_`|~".contains(&b)
+}
+
+/// Strip optional leading/trailing whitespace from a header value.
+fn trim_ows(mut v: &[u8]) -> &[u8] {
+    while let Some((first, rest)) = v.split_first() {
+        if *first == b' ' || *first == b'\t' {
+            v = rest;
+        } else {
+            break;
+        }
+    }
+    while let Some((last, rest)) = v.split_last() {
+        if *last == b' ' || *last == b'\t' {
+            v = rest;
+        } else {
+            break;
+        }
+    }
+    v
+}
+
+/// The single value of a body-framing header, or an error if the
+/// client sent it more than once (request-smuggling vector).
+fn framing_value<'h>(
+    headers: &'h [(String, String)],
+    name: &str,
+) -> Result<Option<&'h str>, HttpError> {
+    let mut found = None;
+    for (k, v) in headers {
+        if k == name {
+            if found.is_some() {
+                return Err(HttpError::BadLength);
+            }
+            found = Some(v.as_str());
+        }
+    }
+    Ok(found)
+}
+
+/// First value of a non-framing header (duplicates tolerated).
+fn header_value<'h>(headers: &'h [(String, String)], name: &str) -> Option<&'h str> {
+    headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+}
+
+/// Strict decimal parse for `Content-Length`: digits only, no sign, no
+/// whitespace, at most 10 digits.
+fn parse_decimal(s: &str) -> Result<usize, HttpError> {
+    if s.is_empty() || s.len() > 10 || !s.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(HttpError::BadLength);
+    }
+    match s.parse::<usize>() {
+        Ok(n) => Ok(n),
+        Err(_) => Err(HttpError::BadLength),
+    }
+}
+
+/// Assemble a chunked body starting at `start`. `Ok(None)` = the
+/// framing so far is a valid prefix, wait for more bytes. Returns the
+/// assembled body and the total consumed length on completion.
+#[allow(clippy::type_complexity)]
+fn parse_chunked(buf: &[u8], start: usize) -> Result<Option<(Vec<u8>, usize)>, HttpError> {
+    let mut body: Vec<u8> = Vec::with_capacity(MAX_BODY);
+    let mut pos = start;
+    while pos <= buf.len() {
+        // Chunk-size line: 1..=8 hex digits, CRLF. Extensions rejected.
+        let mut size = 0usize;
+        let mut digits = 0usize;
+        while let Some(v) = buf.get(pos).copied().and_then(hex_val) {
+            size = size
+                .checked_mul(16)
+                .and_then(|s| s.checked_add(usize::from(v)))
+                .ok_or(HttpError::BodyTooLarge)?;
+            digits = digits.saturating_add(1);
+            if digits > 8 {
+                return Err(HttpError::BadChunk);
+            }
+            pos = pos.saturating_add(1);
+        }
+        match buf.get(pos) {
+            None => return Ok(None), // size line still arriving
+            Some(b'\r') => {}
+            Some(_) => return Err(HttpError::BadChunk), // extension or junk
+        }
+        if digits == 0 {
+            return Err(HttpError::BadChunk);
+        }
+        match buf.get(pos + 1) {
+            None => return Ok(None),
+            Some(b'\n') => {}
+            Some(_) => return Err(HttpError::BadChunk),
+        }
+        pos = pos.saturating_add(2);
+
+        if size == 0 {
+            // Last chunk: require an immediately following CRLF; this
+            // server does not accept trailer fields.
+            return match (buf.get(pos), buf.get(pos + 1)) {
+                (Some(b'\r'), Some(b'\n')) => Ok(Some((body, pos.saturating_add(2)))),
+                (Some(b'\r'), None) | (None, _) => Ok(None),
+                _ => Err(HttpError::BadChunk),
+            };
+        }
+        if size > MAX_CHUNK_SIZE {
+            return Err(HttpError::BodyTooLarge);
+        }
+        if body.len().saturating_add(size) > MAX_BODY {
+            return Err(HttpError::BodyTooLarge);
+        }
+        let data_end = pos.checked_add(size).ok_or(HttpError::BadChunk)?;
+        let Some(data) = buf.get(pos..data_end) else {
+            return Ok(None); // chunk data still arriving
+        };
+        body.extend_from_slice(data);
+        pos = data_end;
+        match (buf.get(pos), buf.get(pos + 1)) {
+            (Some(b'\r'), Some(b'\n')) => pos = pos.saturating_add(2),
+            (Some(b'\r'), None) | (None, _) => return Ok(None),
+            _ => return Err(HttpError::BadChunk),
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_one(input: &[u8]) -> Result<Parsed, HttpError> {
+        let mut p = RequestParser::new();
+        p.push(input)?;
+        p.try_next()
+    }
+
+    fn req(input: &[u8]) -> Request {
+        match parse_one(input).unwrap() {
+            Parsed::Request(r) => r,
+            Parsed::NeedMore => panic!("incomplete: {:?}", String::from_utf8_lossy(input)),
+        }
+    }
+
+    #[test]
+    fn simple_get() {
+        let r = req(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(r.method, Method::Get);
+        assert_eq!(r.path, "/healthz");
+        assert!(r.query.is_empty());
+        assert!(r.keep_alive);
+        assert_eq!(r.header("host"), Some("x"));
+    }
+
+    #[test]
+    fn query_decoding() {
+        let r = req(b"GET /lookup?domain=ex%61mple.com&x=a+b HTTP/1.1\r\n\r\n");
+        assert_eq!(r.param("domain"), Some("example.com"));
+        assert_eq!(r.param("x"), Some("a b"));
+    }
+
+    #[test]
+    fn path_percent_decode_and_plus_preserved() {
+        let r = req(b"GET /providers/g%20w/domains HTTP/1.1\r\n\r\n");
+        assert_eq!(r.path, "/providers/g w/domains");
+        let r = req(b"GET /a+b HTTP/1.1\r\n\r\n");
+        assert_eq!(r.path, "/a+b"); // '+' is literal in paths
+    }
+
+    #[test]
+    fn keep_alive_defaults() {
+        assert!(req(b"GET / HTTP/1.1\r\n\r\n").keep_alive);
+        assert!(!req(b"GET / HTTP/1.0\r\n\r\n").keep_alive);
+        assert!(!req(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").keep_alive);
+        assert!(req(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").keep_alive);
+    }
+
+    #[test]
+    fn incremental_and_pipelined() {
+        let mut p = RequestParser::new();
+        p.push(b"GET /a HT").unwrap();
+        assert_eq!(p.try_next().unwrap(), Parsed::NeedMore);
+        p.push(b"TP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n").unwrap();
+        let a = match p.try_next().unwrap() {
+            Parsed::Request(r) => r.path,
+            other => panic!("{other:?}"),
+        };
+        let b = match p.try_next().unwrap() {
+            Parsed::Request(r) => r.path,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!((a.as_str(), b.as_str()), ("/a", "/b"));
+        assert_eq!(p.try_next().unwrap(), Parsed::NeedMore);
+    }
+
+    #[test]
+    fn content_length_body() {
+        let r = req(b"GET /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello");
+        assert_eq!(r.body, b"hello");
+    }
+
+    #[test]
+    fn chunked_body() {
+        let r = req(b"GET /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n3\r\nabc\r\n0\r\n\r\n");
+        assert_eq!(r.body, b"helloabc");
+    }
+
+    #[test]
+    fn chunked_incomplete_is_need_more() {
+        for cut in [0, 5, 10, 20, 30] {
+            let full: &[u8] =
+                b"GET /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n0\r\n\r\n";
+            let t = &full[..full.len() - full.len().min(cut)];
+            if cut > 0 {
+                assert!(
+                    matches!(parse_one(t), Ok(Parsed::NeedMore) | Ok(Parsed::Request(_))),
+                    "cut {cut}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejects() {
+        // (input, expected status)
+        let cases: &[(&[u8], u16)] = &[
+            (b"BLAH\r\n\r\n", 400),
+            (b"GET /\r\n\r\n", 400),
+            (b"GET / HTTP/2.0\r\n\r\n", 505),
+            (b"POST / HTTP/1.1\r\n\r\n", 501),
+            (b"GET / HTTP/1.1\r\nbad header\r\n\r\n", 400),
+            (b"GET / HTTP/1.1\r\n Folded: v\r\n\r\n", 400),
+            (b"GET /%zz HTTP/1.1\r\n\r\n", 400),
+            (b"GET /%2 HTTP/1.1\r\n\r\n", 400),
+            (b"GET /a\x00b HTTP/1.1\r\n\r\n", 400),
+            (b"GET / HTTP/1.1\r\nContent-Length: x\r\n\r\n", 400),
+            (b"GET / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\n", 400),
+            (
+                b"GET / HTTP/1.1\r\nContent-Length: 1\r\nTransfer-Encoding: chunked\r\n\r\n",
+                400,
+            ),
+            (b"GET / HTTP/1.1\r\nContent-Length: 99999\r\n\r\n", 413),
+            (b"GET / HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n", 501),
+        ];
+        for (input, status) in cases {
+            match parse_one(input) {
+                Err(e) => assert_eq!(e.status(), *status, "{:?}", String::from_utf8_lossy(input)),
+                ok => panic!("accepted {:?}: {ok:?}", String::from_utf8_lossy(input)),
+            }
+        }
+    }
+
+    #[test]
+    fn bare_line_endings_rejected() {
+        assert_eq!(
+            parse_one(b"GET / HTTP/1.1\nHost: x\r\n\r\n"),
+            Err(HttpError::BadLineEnding)
+        );
+        assert_eq!(
+            parse_one(b"GET / HTTP/1.1\rHost: x\r\n\r\n"),
+            Err(HttpError::BadLineEnding)
+        );
+    }
+
+    #[test]
+    fn uri_too_long() {
+        let mut input = b"GET /".to_vec();
+        input.extend(std::iter::repeat(b'a').take(MAX_URI + 10));
+        input.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+        assert_eq!(parse_one(&input), Err(HttpError::UriTooLong));
+    }
+
+    #[test]
+    fn head_too_large_without_terminator() {
+        let mut input = b"GET / HTTP/1.1\r\n".to_vec();
+        while input.len() < MAX_HEAD_BYTES + 10 {
+            input.extend_from_slice(b"X-Pad: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n");
+        }
+        assert_eq!(parse_one(&input), Err(HttpError::HeadTooLarge));
+    }
+
+    #[test]
+    fn too_many_headers() {
+        let mut input = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..(MAX_HEADER_COUNT + 5) {
+            input.extend_from_slice(format!("H{i}: v\r\n").as_bytes());
+        }
+        input.extend_from_slice(b"\r\n");
+        assert_eq!(parse_one(&input), Err(HttpError::TooManyHeaders));
+    }
+
+    #[test]
+    fn conn_buffer_overflow() {
+        let mut p = RequestParser::new();
+        let chunk = [b'a'; 8192];
+        let mut res = Ok(());
+        for _ in 0..10 {
+            res = p.push(&chunk);
+            if res.is_err() {
+                break;
+            }
+        }
+        assert_eq!(res, Err(HttpError::ConnOverflow));
+    }
+
+    #[test]
+    fn byte_at_a_time_dribble_parses() {
+        let input: &[u8] = b"GET /market?epoch=3 HTTP/1.1\r\nHost: h\r\n\r\n";
+        let mut p = RequestParser::new();
+        let mut got = None;
+        for b in input {
+            p.push(std::slice::from_ref(b)).unwrap();
+            if let Parsed::Request(r) = p.try_next().unwrap() {
+                got = Some(r);
+            }
+        }
+        let r = got.expect("complete");
+        assert_eq!(r.path, "/market");
+        assert_eq!(r.param("epoch"), Some("3"));
+    }
+}

@@ -1,0 +1,193 @@
+//! Deterministic HTTP response rendering.
+//!
+//! Responses are bytes in, bytes out: the same [`Response`] encodes to
+//! the same octets on every run, every thread count and every platform
+//! — no `Date` header, no host clock, no hash-order iteration, fixed
+//! six-decimal float formatting. This file is in the mx-lint
+//! `deterministic` scope; the replay gate (`tests/serve_gate.rs`)
+//! depends on it.
+
+use std::fmt::Write as _;
+
+/// A response about to be encoded onto the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Body bytes (always JSON in this server).
+    pub body: Vec<u8>,
+    /// `Retry-After` seconds, set on 503 load-shed responses.
+    pub retry_after: Option<u64>,
+}
+
+impl Response {
+    /// A 200 response with a pre-rendered JSON body.
+    pub fn ok(body: String) -> Self {
+        Response {
+            status: 200,
+            body: body.into_bytes(),
+            retry_after: None,
+        }
+    }
+
+    /// An error response with a `{"error": ...}` body.
+    pub fn error(status: u16, message: &str) -> Self {
+        Response {
+            status,
+            body: format!("{{\"error\":{}}}", json_str(message)).into_bytes(),
+            retry_after: None,
+        }
+    }
+
+    /// A 503 load-shed response advertising when to retry.
+    pub fn shed(retry_after_secs: u64) -> Self {
+        Response {
+            status: 503,
+            body: b"{\"error\":\"overloaded\"}".to_vec(),
+            retry_after: Some(retry_after_secs),
+        }
+    }
+
+    /// The standard reason phrase for this status.
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            408 => "Request Timeout",
+            413 => "Payload Too Large",
+            414 => "URI Too Long",
+            431 => "Request Header Fields Too Large",
+            500 => "Internal Server Error",
+            501 => "Not Implemented",
+            503 => "Service Unavailable",
+            505 => "HTTP Version Not Supported",
+            _ => "Unknown",
+        }
+    }
+
+    /// Encode to wire bytes. `head_only` omits the body (HEAD requests)
+    /// while keeping the true `Content-Length`; `keep_alive` selects
+    /// the `Connection` header.
+    pub fn encode(&self, head_only: bool, keep_alive: bool) -> Vec<u8> {
+        let mut head = String::new();
+        let _ = write!(head, "HTTP/1.1 {} {}\r\n", self.status, self.reason());
+        head.push_str("Content-Type: application/json\r\n");
+        let _ = write!(head, "Content-Length: {}\r\n", self.body.len());
+        if let Some(secs) = self.retry_after {
+            let _ = write!(head, "Retry-After: {secs}\r\n");
+        }
+        head.push_str(if keep_alive {
+            "Connection: keep-alive\r\n"
+        } else {
+            "Connection: close\r\n"
+        });
+        head.push_str("\r\n");
+        let mut out = head.into_bytes();
+        if !head_only {
+            out.extend_from_slice(&self.body);
+        }
+        out
+    }
+}
+
+/// Render a string as a JSON string literal (quotes included),
+/// escaping quotes, backslashes and control bytes.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(MAX_ESCAPED_HINT);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Capacity hint for escaped strings; real strings here are short
+/// (domain names, provider ids).
+const MAX_ESCAPED_HINT: usize = 64;
+
+/// Render an `f64` deterministically with six decimal places — enough
+/// for market shares and weights, identical on every platform.
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        // NaN/inf are not valid JSON; the store never produces them,
+        // but the renderer stays total anyway.
+        "null".to_string()
+    }
+}
+
+/// Join pre-rendered JSON values into an array literal.
+pub fn json_arr<I: IntoIterator<Item = String>>(items: I) -> String {
+    let mut out = String::from("[");
+    let mut first = true;
+    for item in items {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&item);
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes() {
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_str("x\ny"), "\"x\\ny\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn floats_fixed_width() {
+        assert_eq!(json_f64(0.25), "0.250000");
+        assert_eq!(json_f64(f64::NAN), "null");
+    }
+
+    #[test]
+    fn encode_roundtrip_shapes() {
+        let r = Response::ok("{\"a\":1}".into());
+        let bytes = r.encode(false, true);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 7\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"a\":1}"));
+
+        let head = r.encode(true, false);
+        let text = String::from_utf8(head).unwrap();
+        assert!(text.contains("Content-Length: 7\r\n")); // true length
+        assert!(text.ends_with("\r\n\r\n")); // no body
+        assert!(text.contains("Connection: close\r\n"));
+    }
+
+    #[test]
+    fn shed_has_retry_after() {
+        let text = String::from_utf8(Response::shed(2).encode(false, false)).unwrap();
+        assert!(text.contains("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Retry-After: 2\r\n"));
+    }
+
+    #[test]
+    fn arr_joins() {
+        assert_eq!(json_arr(["1".to_string(), "2".to_string()]), "[1,2]");
+        assert_eq!(json_arr(Vec::<String>::new()), "[]");
+    }
+}

@@ -60,6 +60,12 @@ cargo run --quiet --release -p mx-bench --bin bench_pipeline -- --store --store-
 cmp /tmp/mx_store_a.bin /tmp/mx_store_b.bin
 rm -f /tmp/mx_store_a.bin /tmp/mx_store_b.bin
 
+echo "==> serve gate (tests/serve_gate.rs: byte-identical replay at 1/2/8 threads + chaos sweep at rates 0/0.1/0.3)"
+cargo test --release --test serve_gate -q
+
+echo "==> serve shed (saturating burst sheds 503 while /healthz answers; refreshes results/BENCH_serve.json)"
+cargo run --quiet --release -p mx-bench --bin bench_pipeline -- --serve
+
 echo "==> bench smoke (threads 1 vs 2 must agree; exercises the store round trip)"
 # MX_THREADS exercises the env-var configuration path; the binary's
 # install() overrides still pin each timed run's width.

@@ -70,3 +70,6 @@ pub use mx_store as store;
 
 /// Shared acquisition-accounting types (per-IP scan and per-domain DNS).
 pub use mx_acq as acq;
+
+/// The fault-tolerant HTTP query service over the snapshot store.
+pub use mx_serve as serve;
