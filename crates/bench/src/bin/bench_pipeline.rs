@@ -12,11 +12,25 @@
 //! - `--smoke`: small scale, threads {1, 2}, no JSON — the cheap CI
 //!   gate. Exits non-zero if any parallel run diverges from serial.
 //! - `--obs [--obs-out PATH]`: small scale; times the measured stack
-//!   (observe + infer) with the obs layer disabled and enabled to bound
-//!   the instrumentation overhead, writes `results/BENCH_obs.json`, and
-//!   exports a schema-validated deterministic obs snapshot to PATH
-//!   (default `results/OBS_pipeline.json`). Two runs of this mode must
-//!   produce byte-identical snapshots — CI `cmp`s them.
+//!   (observe + infer) in three configurations — obs off, obs on with
+//!   tracing off, obs on with tracing on — reporting min AND median of
+//!   the reps to bound the instrumentation overhead, writes
+//!   `results/BENCH_obs.json`, and exports a schema-validated
+//!   deterministic obs snapshot to PATH (default
+//!   `results/OBS_pipeline.json`). Two runs of this mode must produce
+//!   byte-identical snapshots — CI `cmp`s them.
+//! - `--attribution [--attrib-out PATH]`: `MX_SCALE`/`MX_SEED` scale;
+//!   runs the measured stack once with obs on, captures the per-stage
+//!   inclusive/exclusive attribution (serial fraction, Amdahl ceiling,
+//!   critical path), prints the human table and writes the full JSON to
+//!   PATH (default `results/ATTRIB_pipeline.json`).
+//! - `--metrics [--metrics-out PATH]`: small scale; scripts a client
+//!   trace whose last connection walks `/metrics` (text + JSON),
+//!   `/debug/trace?last=64` and `/debug/attribution`, runs it at
+//!   threads {1, 2, 8} with tracing on, asserts the introspection
+//!   bodies are byte-identical across widths, and (with PATH) writes
+//!   the introspection connection's bytes — CI runs the mode twice and
+//!   `cmp`s the two files.
 //! - `--store [--store-out PATH]`: small scale; builds the full-study
 //!   `mx-store` snapshot store for the Alexa dataset (timed), measures
 //!   point-lookup and full-scan query throughput against it, verifies
@@ -71,7 +85,12 @@ fn run_measured_stack(world: &mx_corpus::World, pipeline: &Pipeline) -> usize {
     domains
 }
 
-/// `--obs` mode: overhead bound + deterministic snapshot export.
+/// Timing repetitions for the `--obs` overhead columns; odd so the
+/// median is a real sample.
+const OBS_REPS: usize = 5;
+
+/// `--obs` mode: overhead bound (three configurations, min + median)
+/// plus the deterministic snapshot export.
 fn obs_mode(obs_out: &str) -> i32 {
     let config = ScenarioConfig::small(42);
     let study = mx_par::install(1, || Study::generate(config));
@@ -79,28 +98,40 @@ fn obs_mode(obs_out: &str) -> i32 {
     let world = study.world_at(k);
     let pipeline = Pipeline::priority_based(provider_knowledge(10));
 
-    let time_stack = |label: &str| -> f64 {
-        let mut best_ms = f64::INFINITY;
+    let time_stack = |label: &str| -> (f64, f64) {
+        let mut times = Vec::with_capacity(OBS_REPS);
         let mut domains = 0;
-        for _ in 0..REPS {
+        for _ in 0..OBS_REPS {
             let t = Instant::now();
             domains = mx_par::install(2, || run_measured_stack(&world, &pipeline));
-            best_ms = best_ms.min(t.elapsed().as_secs_f64() * 1e3);
+            times.push(t.elapsed().as_secs_f64() * 1e3);
         }
-        eprintln!("  {label}: {best_ms:.1} ms ({domains} domains inferred)");
-        best_ms
+        times.sort_by(f64::total_cmp);
+        let min = times.first().copied().unwrap_or(f64::INFINITY);
+        let median = times.get(times.len() / 2).copied().unwrap_or(min);
+        eprintln!("  {label}: min {min:.1} ms / median {median:.1} ms ({domains} domains)");
+        (min, median)
     };
 
     // Warm-up pass so the obs-off block (which runs first) is not
     // charged for cold caches and lazy allocator state.
     mx_obs::set_enabled(false);
+    mx_obs::set_trace_enabled(false);
     mx_par::install(2, || run_measured_stack(&world, &pipeline));
-    let off_ms = time_stack("obs off");
+    let (off_min, off_median) = time_stack("obs off          ");
     mx_obs::set_enabled(true);
     mx_obs::reset();
-    let on_ms = time_stack("obs on ");
-    let overhead_pct = (on_ms - off_ms) / off_ms * 100.0;
-    eprintln!("bench_pipeline: obs overhead {overhead_pct:+.1}% (min-of-{REPS} each)");
+    let (on_min, on_median) = time_stack("obs on, trace off");
+    mx_obs::set_trace_enabled(true);
+    mx_obs::reset();
+    let (trace_min, trace_median) = time_stack("obs on, trace on ");
+    mx_obs::set_trace_enabled(false);
+    let on_pct = (on_min - off_min) / off_min * 100.0;
+    let trace_pct = (trace_min - off_min) / off_min * 100.0;
+    eprintln!(
+        "bench_pipeline: obs overhead {on_pct:+.1}%, with tracing {trace_pct:+.1}% \
+         (min-of-{OBS_REPS} each)"
+    );
 
     // The snapshot itself comes from one clean bracketed run, not the
     // timing loop, so its counters describe exactly one execution.
@@ -125,17 +156,178 @@ fn obs_mode(obs_out: &str) -> i32 {
         "benchmark" => "obs_overhead",
         "scale" => "small(42)",
         "threads" => 2u64,
-        "reps_per_point" => REPS as u64,
-        "obs_off_ms" => off_ms,
-        "obs_on_ms" => on_ms,
-        "overhead_pct" => overhead_pct,
+        "reps_per_point" => OBS_REPS as u64,
+        "obs_off_min_ms" => off_min,
+        "obs_off_median_ms" => off_median,
+        "obs_on_min_ms" => on_min,
+        "obs_on_median_ms" => on_median,
+        "trace_on_min_ms" => trace_min,
+        "trace_on_median_ms" => trace_median,
+        "overhead_pct" => on_pct,
+        "trace_overhead_pct" => trace_pct,
         "snapshot" => obs_out,
         "note" => "measured stack = observe_world + Pipeline::run per dataset; \
-                   min-of-reps timing, so negative overhead is host noise",
+                   three configurations (obs off / obs on, trace off / obs+trace on), \
+                   min and median of the reps; negative overhead is host noise; \
+                   the off column costs one relaxed atomic load + branch per site",
     };
     std::fs::write("results/BENCH_obs.json", out.to_string_pretty())
         .expect("write results/BENCH_obs.json");
     eprintln!("bench_pipeline: wrote results/BENCH_obs.json");
+    0
+}
+
+/// `--attribution` mode: run the measured stack once with obs on and
+/// export where the time went — per-stage inclusive/exclusive, serial
+/// fraction, Amdahl ceiling and the critical path.
+fn attribution_mode(attrib_out: &str) -> i32 {
+    let config = scale_from_env();
+    eprintln!(
+        "bench_pipeline: attribution over {}x{}x{} seed {}",
+        config.alexa_size, config.com_size, config.gov_size, config.seed
+    );
+    let study = mx_par::install(1, || Study::generate(config));
+    let k = mx_corpus::SNAPSHOT_DATES.len() - 1;
+    let world = study.world_at(k);
+    let pipeline = Pipeline::priority_based(provider_knowledge(10));
+
+    mx_obs::set_enabled(true);
+    mx_obs::reset();
+    let t = Instant::now();
+    let domains = mx_par::install(2, || run_measured_stack(&world, &pipeline));
+    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    let attrib = mx_obs::attrib::Attribution::capture();
+    mx_obs::set_enabled(false);
+
+    eprintln!("{}", attrib.human_table());
+    eprintln!("  ({domains} domains inferred in {wall_ms:.1} ms wall)");
+
+    if attrib.rows.is_empty() {
+        eprintln!("bench_pipeline: FAIL — attribution captured no stages");
+        return 1;
+    }
+    std::fs::create_dir_all("results").ok();
+    if let Some(dir) = std::path::Path::new(attrib_out).parent() {
+        std::fs::create_dir_all(dir).ok();
+    }
+    std::fs::write(attrib_out, attrib.full_json()).expect("write attribution");
+    eprintln!("bench_pipeline: wrote {attrib_out}");
+    0
+}
+
+/// `--metrics` mode: drive the live introspection endpoints through the
+/// serve kernel and prove their bodies are width-invariant.
+fn metrics_mode(metrics_out: Option<&str>) -> i32 {
+    use mx_analysis::StudyStoreExt;
+    use mx_corpus::{company_map, Dataset};
+    use mx_serve::{ClientConn, Server, ServerConfig, Trace};
+
+    /// The introspection connection's scripted id.
+    const INTRO_CONN: u64 = 900;
+    const WIDTHS: &[usize] = &[1, 2, 8];
+
+    let config = ScenarioConfig::small(42);
+    let study = mx_par::install(1, || Study::generate(config));
+    let pipeline = Pipeline::priority_based(provider_knowledge(10));
+    let bytes = study
+        .write_store(Dataset::Alexa, &pipeline, &company_map())
+        .expect("write store");
+    let reader = mx_store::StoreReader::open(&bytes).expect("open store");
+    let last = reader.epoch_count() - 1;
+
+    let mut names: Vec<String> = Vec::new();
+    reader
+        .for_each_row(last, |name, _| {
+            names.push(name.to_string());
+            Ok(())
+        })
+        .expect("scan last epoch");
+
+    // Warm-up workload (populates serve.* counters and the request
+    // timeline), then one late connection walks the introspection
+    // surface.
+    let mut trace = Trace::new();
+    for c in 0..4u64 {
+        let mut reqs: Vec<String> = Vec::new();
+        for r in 0..4usize {
+            let name = &names[(c as usize * 4 + r) % names.len()];
+            let close = if r == 3 { "Connection: close\r\n" } else { "" };
+            reqs.push(format!(
+                "GET /lookup?domain={name}&epoch={last} HTTP/1.1\r\n{close}\r\n"
+            ));
+        }
+        let req_bytes: Vec<&[u8]> = reqs.iter().map(|r| r.as_bytes()).collect();
+        trace = trace.with(ClientConn::scripted(c, c * 2, 2, &req_bytes));
+    }
+    let intro_reqs: &[&[u8]] = &[
+        b"GET /metrics HTTP/1.1\r\n\r\n",
+        b"GET /metrics?format=json HTTP/1.1\r\n\r\n",
+        b"GET /debug/trace?last=64 HTTP/1.1\r\n\r\n",
+        b"GET /debug/attribution HTTP/1.1\r\nConnection: close\r\n\r\n",
+    ];
+    trace = trace.with(ClientConn::scripted(INTRO_CONN, 50, 1, intro_reqs));
+
+    let cfg = ServerConfig {
+        workers: 2,
+        queue_capacity: 64,
+        max_conns: 64,
+        read_deadline_ms: 100,
+        idle_deadline_ms: 250,
+        service_ms: 1,
+        retry_after_secs: 1,
+    };
+
+    mx_obs::set_enabled(true);
+    mx_obs::set_trace_enabled(true);
+    let mut reference: Option<Vec<u8>> = None;
+    for &width in WIDTHS {
+        mx_obs::reset();
+        let report = mx_par::install(width, || Server::new(&reader, cfg).run(&trace));
+        if !report.reconciles() || report.dropped_without_response != 0 {
+            eprintln!("bench_pipeline: FAIL — metrics run at width {width} does not reconcile");
+            return 1;
+        }
+        let Some(intro) = report.transcripts.iter().find(|t| t.id == INTRO_CONN) else {
+            eprintln!("bench_pipeline: FAIL — introspection connection missing");
+            return 1;
+        };
+        if intro.statuses != [200, 200, 200, 200] {
+            eprintln!(
+                "bench_pipeline: FAIL — introspection statuses {:?} at width {width}",
+                intro.statuses
+            );
+            return 1;
+        }
+        match &reference {
+            None => reference = Some(intro.bytes.clone()),
+            Some(base) if *base != intro.bytes => {
+                eprintln!(
+                    "bench_pipeline: FAIL — introspection bytes diverge at width {width}"
+                );
+                return 1;
+            }
+            Some(_) => {}
+        }
+        eprintln!(
+            "  threads={width}: {} introspection bytes, identical=true",
+            intro.bytes.len()
+        );
+    }
+    mx_obs::set_trace_enabled(false);
+    mx_obs::set_enabled(false);
+
+    let reference = reference.unwrap_or_default();
+    eprintln!(
+        "bench_pipeline: metrics OK — /metrics, /metrics?format=json, \
+         /debug/trace?last=64, /debug/attribution byte-identical at widths {WIDTHS:?}"
+    );
+    if let Some(path) = metrics_out {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            std::fs::create_dir_all(dir).ok();
+        }
+        std::fs::write(path, &reference).expect("write metrics bodies");
+        eprintln!("bench_pipeline: wrote {path}");
+    }
     0
 }
 
@@ -658,6 +850,24 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .map(String::to_string);
         std::process::exit(store_mode(store_out.as_deref()));
+    }
+    if args.iter().any(|a| a == "--attribution") {
+        let attrib_out = args
+            .iter()
+            .position(|a| a == "--attrib-out")
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+            .unwrap_or("results/ATTRIB_pipeline.json")
+            .to_string();
+        std::process::exit(attribution_mode(&attrib_out));
+    }
+    if args.iter().any(|a| a == "--metrics") {
+        let metrics_out = args
+            .iter()
+            .position(|a| a == "--metrics-out")
+            .and_then(|i| args.get(i + 1))
+            .map(String::to_string);
+        std::process::exit(metrics_mode(metrics_out.as_deref()));
     }
     if args.iter().any(|a| a == "--obs") {
         let obs_out = args

@@ -79,6 +79,16 @@ pub const MAX_DNS_ATTEMPTS: u32 = 3;
 /// per retry: 2s, 4s, ...).
 pub const DNS_BACKOFF_SECS: u64 = 2;
 
+/// 48-bit trace tag for a DNS name — pure in the name, so the tagged
+/// event set is identical at any thread count. Allocation-free (zero)
+/// while tracing is off, keeping the hot path cheap.
+fn name_trace_tag(name: &Name) -> u64 {
+    if !mx_obs::trace_enabled() {
+        return 0;
+    }
+    mx_obs::trace::tag64(name.to_string().as_bytes())
+}
+
 #[derive(Debug, Clone)]
 enum CacheEntry {
     Positive { records: Vec<Record>, expires: u64 },
@@ -303,11 +313,14 @@ impl<T: Transport> StubResolver<T> {
                 self.lookup_retries.set(self.lookup_retries.get() + 1);
                 mx_obs::counter!(mx_obs::names::DNS_RETRIES).incr();
                 mx_obs::counter!(mx_obs::names::DNS_BACKOFF_SIM_SECS).add(backoff);
+                // Tagged so the timeline shows *which* lookup backed
+                // off; the tag is pure in the name, so the event set
+                // stays thread-invariant.
                 mx_obs::stage!(
                     mx_obs::names::STAGE_DNS_LOOKUP,
                     mx_obs::names::STAGE_OBSERVE_RESOLVE
                 )
-                .charge_sim(backoff);
+                .charge_sim_tagged(backoff, self.clock.now().secs(), name_trace_tag(name));
             }
             self.stats.borrow_mut().queries_sent += 1;
             mx_obs::counter!(mx_obs::names::DNS_QUERIES).incr();
@@ -393,7 +406,7 @@ impl<T: Transport> StubResolver<T> {
             mx_obs::names::STAGE_DNS_LOOKUP,
             mx_obs::names::STAGE_OBSERVE_RESOLVE
         )
-        .enter();
+        .enter_tagged(self.clock.now().secs(), name_trace_tag(domain));
         self.begin_lookup();
         let records = self.resolve(domain, RecordType::Mx)?;
         let mut degraded: Vec<MxDegradation> = Vec::new();

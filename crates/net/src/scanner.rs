@@ -179,6 +179,12 @@ impl Default for Scanner {
     }
 }
 
+/// Trace tag for a scanned IP: the address itself (fits in 32 bits, so
+/// the JSON f64 round-trips exactly), pure and thread-invariant.
+fn ip_trace_tag(ip: Ipv4Addr) -> u64 {
+    u64::from(u32::from(ip))
+}
+
 impl Scanner {
     /// A scanner with default identity and parallelism.
     pub fn new() -> Self {
@@ -200,7 +206,7 @@ impl Scanner {
             mx_obs::names::STAGE_NET_SCAN_IP,
             mx_obs::names::STAGE_NET_SCAN
         )
-        .enter();
+        .enter_tagged(net.clock().now().secs(), ip_trace_tag(ip));
         let outcome = self.scan_ip_inner(net, ip, epoch);
         record_scan_outcome(&outcome);
         outcome
@@ -234,7 +240,7 @@ impl Scanner {
                     mx_obs::names::STAGE_NET_SCAN_IP,
                     mx_obs::names::STAGE_NET_SCAN
                 )
-                .charge_sim(backoff);
+                .charge_sim_tagged(backoff, clock.now().secs(), ip_trace_tag(ip));
             }
             let attempts = attempt + 1;
             let recovered = attempt > 0;
@@ -295,7 +301,7 @@ impl Scanner {
                             mx_obs::names::STAGE_NET_SCAN_IP,
                             mx_obs::names::STAGE_NET_SCAN
                         )
-                        .charge_sim(TARPIT_COST_SECS);
+                        .charge_sim_tagged(TARPIT_COST_SECS, clock.now().secs(), ip_trace_tag(ip));
                     }
                     let data = SmtpScanData {
                         banner,

@@ -111,6 +111,66 @@ impl Snapshot {
         root
     }
 
+    /// Prometheus text exposition of the *stable* metrics plus the
+    /// deterministic stage totals. Names have dots mapped to
+    /// underscores and an `mx_` prefix; histograms render cumulative
+    /// `_bucket{le=...}` series. Only deterministic data appears, so
+    /// the bytes are identical at any thread count — this is the body
+    /// the serve `/metrics` endpoint returns.
+    pub fn prometheus_text(&self) -> String {
+        let mut out = String::new();
+        for m in &self.metrics {
+            if m.class == Class::PerRun {
+                continue;
+            }
+            let name = prom_name(m.name);
+            match &m.data {
+                MetricData::Counter(v) => {
+                    out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+                }
+                MetricData::Gauge(v) => {
+                    out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+                }
+                MetricData::Histogram {
+                    bounds,
+                    buckets,
+                    sum,
+                    count,
+                } => {
+                    out.push_str(&format!("# TYPE {name} histogram\n"));
+                    let mut cum = 0u64;
+                    for (i, c) in buckets.iter().enumerate() {
+                        cum = cum.saturating_add(*c);
+                        match bounds.get(i) {
+                            Some(b) => out.push_str(&format!(
+                                "{name}_bucket{{le=\"{b}\"}} {cum}\n"
+                            )),
+                            None => out.push_str(&format!(
+                                "{name}_bucket{{le=\"+Inf\"}} {cum}\n"
+                            )),
+                        }
+                    }
+                    out.push_str(&format!("{name}_sum {sum}\n{name}_count {count}\n"));
+                }
+            }
+        }
+        out.push_str("# TYPE mx_stage_enters counter\n");
+        for s in &self.stages {
+            out.push_str(&format!(
+                "mx_stage_enters{{stage=\"{}\"}} {}\n",
+                s.name, s.enters
+            ));
+        }
+        out.push_str("# TYPE mx_stage_sim_seconds counter\n");
+        for s in &self.stages {
+            out.push_str(&format!(
+                "mx_stage_sim_seconds{{stage=\"{}\"}} {}\n",
+                s.name, s.sim_secs
+            ));
+        }
+        out
+    }
+
     /// A terminal-friendly dump: the stage tree (with host time) then
     /// a metrics table, per-run entries marked `~`.
     pub fn human_dump(&self) -> String {
@@ -184,6 +244,20 @@ impl Snapshot {
             }
         }
     }
+}
+
+/// Map a dotted metric name to Prometheus form: `mx_` prefix, dots to
+/// underscores, anything outside `[a-zA-Z0-9_]` to `_`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::from("mx_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
 }
 
 /// Render host nanoseconds with a unit a human can read.
@@ -371,6 +445,33 @@ mod tests {
         assert!(text.contains("test.dump.root"));
         assert!(text.contains("  test.dump.root.child"), "{text}");
         assert!(text.contains("~ test.dump.volatile"), "{text}");
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn prometheus_text_renders_stable_only() {
+        let _g = crate::test_guard();
+        crate::set_enabled(true);
+        crate::reset();
+        Counter::register("test.prom.stable", Class::Stable).add(4);
+        Counter::register("test.prom.volatile", Class::PerRun).add(9);
+        static BOUNDS: &[u64] = &[2, 8];
+        let h = Histogram::register("test.prom.hist", Class::Stable, BOUNDS);
+        h.observe(1);
+        h.observe(5);
+        h.observe(100);
+        let st = Stage::register("test.prom.stage", None);
+        st.charge_sim(6);
+        let text = Snapshot::capture().prometheus_text();
+        assert!(text.contains("# TYPE mx_test_prom_stable counter"));
+        assert!(text.contains("mx_test_prom_stable 4"));
+        assert!(!text.contains("test_prom_volatile"), "per-run excluded");
+        assert!(text.contains("mx_test_prom_hist_bucket{le=\"2\"} 1"));
+        assert!(text.contains("mx_test_prom_hist_bucket{le=\"8\"} 2"), "cumulative");
+        assert!(text.contains("mx_test_prom_hist_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("mx_test_prom_hist_sum 106"));
+        assert!(text.contains("mx_test_prom_hist_count 3"));
+        assert!(text.contains("mx_stage_sim_seconds{stage=\"test.prom.stage\"} 6"));
         crate::set_enabled(false);
     }
 

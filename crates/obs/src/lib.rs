@@ -15,10 +15,20 @@
 //!   seconds (the `SimClock` cost model, deterministic) plus optional
 //!   monotonic host time (inherently per-run), forming a static
 //!   parent-child tree with per-stage totals.
+//! - **trace events** ([`trace`]): a bounded per-shard ring of
+//!   begin/end/instant events stamped with sim-time ticks (stable)
+//!   plus optional host nanoseconds (per-run), merged by canonical
+//!   sort into a timeline that is bit-identical across thread counts.
+//!   Exporters: `mx-obs-trace/1` JSON, Chrome Trace Event Format, and
+//!   folded stacks via [`attrib`].
+//! - **attribution** ([`attrib`]): inclusive/exclusive time per stage,
+//!   the serial fraction and Amdahl ceiling, and the critical path
+//!   through the static span tree (`mx-obs-attrib/1`).
 //! - **exporters** ([`export`]): a schema-versioned JSON snapshot
-//!   (`mx-obs/1`) whose deterministic form excludes per-run data, and a
-//!   human-readable tree/table dump. [`json`] is the crate's own small
-//!   JSON value/writer/parser so snapshots can be validated offline.
+//!   (`mx-obs/1`) whose deterministic form excludes per-run data, a
+//!   Prometheus text render, and a human-readable tree/table dump.
+//!   [`json`] is the crate's own small JSON value/writer/parser so
+//!   snapshots can be validated offline.
 //!
 //! Like `mx-par` and `mx-rng`, the crate has **zero dependencies** — it
 //! sits below every other crate in the workspace (the DNS resolver and
@@ -45,11 +55,13 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attrib;
 pub mod export;
 pub mod json;
 pub mod metrics;
 pub mod names;
 pub mod span;
+pub mod trace;
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -85,6 +97,32 @@ pub fn set_enabled(on: bool) {
     ENABLED.store(on, Ordering::Relaxed);
 }
 
+static TRACE_ENABLED: AtomicBool = AtomicBool::new(false);
+static TRACE_ENV_READ: Once = Once::new();
+
+/// Is trace-event recording on? Rides on top of [`enabled`]: events
+/// are only recorded when both gates are up. First call consults the
+/// `MX_OBS_TRACE` environment variable; afterwards this is one relaxed
+/// load. The env read lives here (next to `MX_OBS`) so the trace
+/// module itself contains no environment or clock access.
+pub fn trace_enabled() -> bool {
+    TRACE_ENV_READ.call_once(|| {
+        let on = std::env::var("MX_OBS_TRACE")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false);
+        TRACE_ENABLED.store(on, Ordering::Relaxed);
+    });
+    TRACE_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Programmatically enable/disable trace-event recording (e.g. the
+/// `--trace` CLI flag). Wins over `MX_OBS_TRACE`, same contract as
+/// [`set_enabled`].
+pub fn set_trace_enabled(on: bool) {
+    TRACE_ENV_READ.call_once(|| {});
+    TRACE_ENABLED.store(on, Ordering::Relaxed);
+}
+
 static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
 
 thread_local! {
@@ -111,6 +149,7 @@ pub(crate) fn shard_index() -> usize {
 pub fn reset() {
     metrics::reset_all();
     span::reset_all();
+    trace::reset_all();
 }
 
 /// Serialize tests that touch the process-global registry/enable gate.

@@ -168,8 +168,19 @@ pub const SERVE_LATENCY_PROVIDERS: &str = "serve.latency.providers";
 pub const SERVE_LATENCY_DIFF: &str = "serve.latency.diff";
 /// `/healthz` latency distribution (sim ms).
 pub const SERVE_LATENCY_HEALTHZ: &str = "serve.latency.healthz";
+/// `/metrics` + `/debug/*` introspection-endpoint latency (sim ms).
+pub const SERVE_LATENCY_DEBUG: &str = "serve.latency.debug";
 /// Bucket bounds for the `serve.latency.*` histograms (sim ms).
 pub const SERVE_LATENCY_BOUNDS: &[u64] = &[1, 2, 5, 10, 20, 50, 100, 200];
+
+// --- obs: the trace layer's own accounting (crates/obs/src/trace.rs) ---
+
+/// Stable trace events offered to the ring buffers. Stable events are
+/// deterministic in count, so this counter is itself stable.
+pub const OBS_TRACE_RECORDED: &str = "obs.trace.recorded";
+/// Trace events dropped by ring overflow — per-run (which shard
+/// overflows first depends on thread scheduling).
+pub const OBS_TRACE_DROPPED: &str = "obs.trace.dropped";
 
 // --- stages: the pipeline tree ---
 
@@ -211,3 +222,166 @@ pub const STAGE_STORE_WRITE: &str = "store.write";
 pub const STAGE_STORE_READ: &str = "store.read";
 /// One simulated-transport trace driven through the HTTP server.
 pub const STAGE_SERVE_TRACE: &str = "serve.trace";
+/// One request's life inside the serve kernel (sim-timed).
+pub const STAGE_SERVE_REQ: &str = "serve.req";
+/// Request-line + header parse completing in the serial loop.
+pub const STAGE_SERVE_REQ_PARSE: &str = "serve.req.parse";
+/// Tier-1/tier-2 cache probe at admission (arg carries hit/miss).
+pub const STAGE_SERVE_REQ_CACHE: &str = "serve.req.cache";
+/// Handler render: request final byte to response completing service.
+pub const STAGE_SERVE_REQ_RENDER: &str = "serve.req.render";
+/// Response bytes flushed onto a connection transcript.
+pub const STAGE_SERVE_REQ_WRITE: &str = "serve.req.write";
+/// Request shed with 503 at the queue-full admission check.
+pub const STAGE_SERVE_REQ_SHED: &str = "serve.req.shed";
+/// Request evicted with 408 at the read deadline.
+pub const STAGE_SERVE_REQ_EVICT: &str = "serve.req.evict";
+
+/// Stages whose work is fanned out by `mx-par`'s `par_map`: their
+/// exclusive time scales with threads, so serial-fraction accounting
+/// (see `attrib`) excludes them from the Amdahl-serial pool.
+pub const PARALLEL_STAGES: &[&str] = &[
+    STAGE_DNS_LOOKUP,
+    STAGE_NET_SCAN,
+    STAGE_NET_SCAN_IP,
+    STAGE_SMTP_SESSION,
+    STAGE_OBSERVE_RESOLVE,
+    STAGE_OBSERVE_SCAN,
+    STAGE_OBSERVE_JOIN,
+    STAGE_OBSERVE_ASSEMBLE,
+    STAGE_INFER_CERTGROUP,
+    STAGE_INFER_IPID,
+    STAGE_INFER_MXID,
+    STAGE_INFER_MISID,
+    STAGE_INFER_DOMAINID,
+];
+
+/// Register the complete vocabulary — every metric with its exact
+/// kind/class and every stage with its static parent — so snapshot
+/// renders (notably the live `/metrics` endpoint) do not depend on
+/// which call sites happened to run first in this process. Safe to
+/// call repeatedly: registration is first-wins and the classes/parents
+/// here are the same ones the call-site macros use.
+pub fn preregister() {
+    use crate::metrics::{Class, Counter, Gauge, Histogram};
+    use crate::span::Stage;
+
+    const STABLE_COUNTERS: &[&str] = &[
+        DNS_CACHE_HITS,
+        DNS_CACHE_NEGATIVE_HITS,
+        DNS_QUERIES,
+        DNS_RETRIES,
+        DNS_BACKOFF_SIM_SECS,
+        NET_SCAN_ATTEMPTS,
+        NET_SCAN_BLOCKED,
+        NET_SCAN_RECOVERED,
+        NET_SCAN_EXHAUSTED,
+        NET_SCAN_TLS_FAILED,
+        NET_SCAN_BACKOFF_SIM_SECS,
+        NET_SCAN_TARPIT_SIM_SECS,
+        FAULT_SCAN_COINS,
+        FAULT_SCAN_FIRED,
+        FAULT_DNS_COINS,
+        FAULT_DNS_FIRED,
+        FAULT_SMTP_COINS,
+        FAULT_SMTP_FIRED,
+        FAULT_CONN_COINS,
+        FAULT_CONN_FIRED,
+        SMTP_SESSIONS,
+        SMTP_BANNER_OK,
+        SMTP_EHLO,
+        SMTP_EHLO_OK,
+        SMTP_STARTTLS,
+        SMTP_STARTTLS_OK,
+        SMTP_STARTTLS_REFUSED,
+        SMTP_STARTTLS_FAILED,
+        STORE_WRITE_EPOCHS,
+        STORE_WRITE_ROWS,
+        STORE_WRITE_DELTA_OPS,
+        STORE_WRITE_BYTES,
+        SERVE_CONNS_ACCEPTED,
+        SERVE_CONNS_REFUSED,
+        SERVE_REQS_ACCEPTED,
+        SERVE_REQS_SERVED,
+        SERVE_REQS_ERRORED,
+        SERVE_REQS_SHED,
+        SERVE_REQS_EVICTED,
+        OBS_TRACE_RECORDED,
+    ];
+    const PER_RUN_COUNTERS: &[&str] = &[
+        PAR_MAP_PARALLEL,
+        PAR_MAP_SERIAL,
+        PAR_TASKS,
+        LINT_LEX_CACHE_HITS,
+        LINT_LEX_CACHE_MISSES,
+        STORE_READ_OPENS,
+        STORE_READ_LOOKUPS,
+        STORE_READ_ROWS,
+        STORE_READ_INDEX_QUERIES,
+        STORE_READ_POSTINGS_SCANS,
+        SERVE_CACHE_ROW_HITS,
+        SERVE_CACHE_ROW_MISSES,
+        SERVE_CACHE_JSON_HITS,
+        SERVE_CACHE_JSON_MISSES,
+        OBS_TRACE_DROPPED,
+    ];
+    const LATENCIES: &[&str] = &[
+        SERVE_LATENCY_LOOKUP,
+        SERVE_LATENCY_MARKET,
+        SERVE_LATENCY_SERIES,
+        SERVE_LATENCY_CHURN,
+        SERVE_LATENCY_PROVIDERS,
+        SERVE_LATENCY_DIFF,
+        SERVE_LATENCY_HEALTHZ,
+        SERVE_LATENCY_DEBUG,
+    ];
+    /// (stage, static parent) — must mirror the `stage!` call sites.
+    const STAGES: &[(&str, Option<&str>)] = &[
+        (STAGE_OBSERVE, None),
+        (STAGE_OBSERVE_RESOLVE, Some(STAGE_OBSERVE)),
+        (STAGE_OBSERVE_SCAN, Some(STAGE_OBSERVE)),
+        (STAGE_OBSERVE_JOIN, Some(STAGE_OBSERVE)),
+        (STAGE_OBSERVE_ASSEMBLE, Some(STAGE_OBSERVE)),
+        (STAGE_DNS_LOOKUP, Some(STAGE_OBSERVE_RESOLVE)),
+        (STAGE_NET_SCAN, Some(STAGE_OBSERVE_SCAN)),
+        (STAGE_NET_SCAN_IP, Some(STAGE_NET_SCAN)),
+        (STAGE_SMTP_SESSION, Some(STAGE_NET_SCAN_IP)),
+        (STAGE_INFER, None),
+        (STAGE_INFER_CERTGROUP, Some(STAGE_INFER)),
+        (STAGE_INFER_IPID, Some(STAGE_INFER)),
+        (STAGE_INFER_MXID, Some(STAGE_INFER)),
+        (STAGE_INFER_MISID, Some(STAGE_INFER)),
+        (STAGE_INFER_DOMAINID, Some(STAGE_INFER)),
+        (STAGE_REPORT_COVERAGE, None),
+        (STAGE_STORE_WRITE, None),
+        (STAGE_STORE_READ, None),
+        (STAGE_SERVE_TRACE, None),
+        (STAGE_SERVE_REQ, Some(STAGE_SERVE_TRACE)),
+        (STAGE_SERVE_REQ_PARSE, Some(STAGE_SERVE_REQ)),
+        (STAGE_SERVE_REQ_CACHE, Some(STAGE_SERVE_REQ)),
+        (STAGE_SERVE_REQ_RENDER, Some(STAGE_SERVE_REQ)),
+        (STAGE_SERVE_REQ_WRITE, Some(STAGE_SERVE_REQ)),
+        (STAGE_SERVE_REQ_SHED, Some(STAGE_SERVE_REQ)),
+        (STAGE_SERVE_REQ_EVICT, Some(STAGE_SERVE_REQ)),
+    ];
+
+    for name in STABLE_COUNTERS {
+        let _ = Counter::register(name, Class::Stable);
+    }
+    for name in PER_RUN_COUNTERS {
+        let _ = Counter::register(name, Class::PerRun);
+    }
+    let _ = Gauge::register(PAR_WORKERS_MAX, Class::PerRun);
+    let _ = Gauge::register(PAR_QUEUE_DEPTH_MAX, Class::PerRun);
+    let _ = Histogram::register(
+        NET_SCAN_ATTEMPTS_PER_IP,
+        Class::Stable,
+        NET_SCAN_ATTEMPTS_BOUNDS,
+    );
+    for name in LATENCIES {
+        let _ = Histogram::register(name, Class::Stable, SERVE_LATENCY_BOUNDS);
+    }
+    for (name, parent) in STAGES {
+        let _ = Stage::register(name, *parent);
+    }
+}

@@ -18,7 +18,24 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
+use crate::metrics::Class;
+use crate::trace::{self, EventKind, TraceEvent};
 use crate::{enabled, shard_index, SHARD_COUNT};
+
+/// The process span epoch: host timestamps in trace events are
+/// nanoseconds since the first one was taken, so Chrome traces start
+/// near zero. All host-clock access in the crate lives in this module
+/// (deliberately outside the lint's determinism scope); the trace
+/// module only ever sees plain numbers.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Monotonic host nanoseconds since the process span epoch.
+fn host_clock_ns() -> u64 {
+    u64::try_from(epoch().elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
 
 /// Slots per shard: enters, sim_secs, host_nanos.
 const SLOTS: usize = 3;
@@ -90,11 +107,32 @@ impl Stage {
     /// Enter the stage: bumps the enter count and returns a guard that
     /// charges elapsed *host* time on drop. No-op while disabled.
     pub fn enter(&self) -> SpanGuard {
+        self.enter_tagged(0, 0)
+    }
+
+    /// [`Self::enter`] with a deterministic sim stamp `t` and tag
+    /// `arg` carried into the trace event the guard emits on drop
+    /// (when tracing is on). The guard's event is host-timed and
+    /// therefore per-run.
+    pub fn enter_tagged(&self, t: u64, arg: u64) -> SpanGuard {
         if !enabled() {
             return SpanGuard(None);
         }
         self.0.add(SLOT_ENTERS, 1);
-        SpanGuard(Some((Arc::clone(&self.0), Instant::now())))
+        // `0` means "tracing was off at entry"; the first reading after
+        // the epoch initializes can legitimately be 0ns, so floor at 1.
+        let start_ns = if trace::active() {
+            host_clock_ns().max(1)
+        } else {
+            0
+        };
+        SpanGuard(Some(GuardInner {
+            entry: Arc::clone(&self.0),
+            started: Instant::now(),
+            start_ns,
+            t,
+            arg,
+        }))
     }
 
     /// Charge `secs` of *simulated* time to the stage — call alongside
@@ -105,18 +143,125 @@ impl Stage {
         }
         self.0.add(SLOT_SIM, secs);
     }
+
+    /// [`Self::charge_sim`] that also emits a *stable* charge event at
+    /// sim stamp `t` with tag `arg` (when tracing is on).
+    pub fn charge_sim_tagged(&self, secs: u64, t: u64, arg: u64) {
+        if !enabled() {
+            return;
+        }
+        self.0.add(SLOT_SIM, secs);
+        if trace::active() {
+            trace::record(TraceEvent {
+                stage: self.0.name,
+                kind: EventKind::Charge,
+                class: Class::Stable,
+                t,
+                dur: secs,
+                arg,
+                shard: shard_index() as u64,
+                host_start_ns: 0,
+                host_dur_ns: 0,
+            });
+        }
+    }
+
+    /// Record one sim-timed scope: bumps the enter count, charges
+    /// `dur` sim units, and emits a *stable* `sim_span` event at sim
+    /// stamp `t` (when tracing is on). The serve kernel uses this for
+    /// per-request phases whose start and duration come from the
+    /// simulated clock.
+    pub fn span_sim(&self, t: u64, dur: u64, arg: u64) {
+        if !enabled() {
+            return;
+        }
+        self.0.add(SLOT_ENTERS, 1);
+        self.0.add(SLOT_SIM, dur);
+        if trace::active() {
+            trace::record(TraceEvent {
+                stage: self.0.name,
+                kind: EventKind::SimSpan,
+                class: Class::Stable,
+                t,
+                dur,
+                arg,
+                shard: shard_index() as u64,
+                host_start_ns: 0,
+                host_dur_ns: 0,
+            });
+        }
+    }
+
+    /// Emit a *stable* point event at sim stamp `t` with tag `arg`
+    /// and bump the enter count (when tracing is on; the enter is
+    /// counted whenever recording is enabled).
+    pub fn instant(&self, t: u64, arg: u64) {
+        self.instant_with_class(t, arg, Class::Stable);
+    }
+
+    /// A per-run point event: same shape as [`Self::instant`] but
+    /// excluded from the deterministic export — for marks whose count
+    /// or placement varies with scheduling.
+    pub fn instant_volatile(&self, t: u64, arg: u64) {
+        self.instant_with_class(t, arg, Class::PerRun);
+    }
+
+    fn instant_with_class(&self, t: u64, arg: u64, class: Class) {
+        if !enabled() {
+            return;
+        }
+        self.0.add(SLOT_ENTERS, 1);
+        if trace::active() {
+            trace::record(TraceEvent {
+                stage: self.0.name,
+                kind: EventKind::Instant,
+                class,
+                t,
+                dur: 0,
+                arg,
+                shard: shard_index() as u64,
+                host_start_ns: 0,
+                host_dur_ns: 0,
+            });
+        }
+    }
+}
+
+#[derive(Debug)]
+struct GuardInner {
+    entry: Arc<StageEntry>,
+    started: Instant,
+    /// Host ns since the span epoch when the guard was taken; 0 when
+    /// tracing was off at entry (no event will be emitted).
+    start_ns: u64,
+    t: u64,
+    arg: u64,
 }
 
 /// Scope guard returned by [`Stage::enter`]; its drop charges the
-/// elapsed monotonic host time to the stage.
+/// elapsed monotonic host time to the stage and, when tracing is on,
+/// emits a per-run host-timed span event.
 #[derive(Debug)]
-pub struct SpanGuard(Option<(Arc<StageEntry>, Instant)>);
+pub struct SpanGuard(Option<GuardInner>);
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        if let Some((entry, started)) = self.0.take() {
-            let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
-            entry.add(SLOT_HOST, nanos);
+        if let Some(g) = self.0.take() {
+            let nanos = u64::try_from(g.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            g.entry.add(SLOT_HOST, nanos);
+            if g.start_ns > 0 && trace::active() {
+                trace::record(TraceEvent {
+                    stage: g.entry.name,
+                    kind: EventKind::Span,
+                    class: Class::PerRun,
+                    t: g.t,
+                    dur: 0,
+                    arg: g.arg,
+                    shard: shard_index() as u64,
+                    host_start_ns: g.start_ns,
+                    host_dur_ns: nanos,
+                });
+            }
         }
     }
 }

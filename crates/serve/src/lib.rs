@@ -39,6 +39,17 @@
 //! | `/providers/{name}/domains?epoch=E` | postings list |
 //! | `/epochs/{a}..{b}/diff` | added/removed/changed rows |
 //! | `/healthz` | liveness — answered even under saturation |
+//! | `/metrics[?format=json]` | live obs snapshot (Prometheus text, or the deterministic JSON) |
+//! | `/debug/trace?last=N` | the stable tail of the trace timeline |
+//! | `/debug/attribution` | per-stage inclusive/exclusive time + critical path |
+//!
+//! The three introspection endpoints are answered from the serial
+//! event loop (never cached, never shed), and their bodies are
+//! byte-identical across thread counts and reruns — `scripts/ci.sh`
+//! double-runs them and compares octets. Every request also leaves a
+//! deterministic trace of `serve.req.*` events (parse → cache probe →
+//! render → write, plus shed/evict marks) in the `mx_obs::trace` ring
+//! when `MX_OBS_TRACE=1`.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]

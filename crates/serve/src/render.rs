@@ -9,15 +9,24 @@
 
 use std::fmt::Write as _;
 
+/// The `Content-Type` every JSON endpoint sends.
+pub const CONTENT_TYPE_JSON: &str = "application/json";
+/// The `Content-Type` of the Prometheus text exposition format,
+/// returned by `/metrics`.
+pub const CONTENT_TYPE_PROM: &str = "text/plain; version=0.0.4; charset=utf-8";
+
 /// A response about to be encoded onto the wire.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
-    /// Body bytes (always JSON in this server).
+    /// Body bytes (JSON unless `content_type` says otherwise).
     pub body: Vec<u8>,
     /// `Retry-After` seconds, set on 503 load-shed responses.
     pub retry_after: Option<u64>,
+    /// The `Content-Type` header value (static: the server only ever
+    /// produces JSON or the Prometheus text format).
+    pub content_type: &'static str,
 }
 
 impl Response {
@@ -27,6 +36,18 @@ impl Response {
             status: 200,
             body: body.into_bytes(),
             retry_after: None,
+            content_type: CONTENT_TYPE_JSON,
+        }
+    }
+
+    /// A 200 response carrying the Prometheus text exposition format
+    /// (the `/metrics` endpoint).
+    pub fn text(body: String) -> Self {
+        Response {
+            status: 200,
+            body: body.into_bytes(),
+            retry_after: None,
+            content_type: CONTENT_TYPE_PROM,
         }
     }
 
@@ -36,6 +57,7 @@ impl Response {
             status,
             body: format!("{{\"error\":{}}}", json_str(message)).into_bytes(),
             retry_after: None,
+            content_type: CONTENT_TYPE_JSON,
         }
     }
 
@@ -45,6 +67,7 @@ impl Response {
             status: 503,
             body: b"{\"error\":\"overloaded\"}".to_vec(),
             retry_after: Some(retry_after_secs),
+            content_type: CONTENT_TYPE_JSON,
         }
     }
 
@@ -72,7 +95,7 @@ impl Response {
     pub fn encode(&self, head_only: bool, keep_alive: bool) -> Vec<u8> {
         let mut head = String::new();
         let _ = write!(head, "HTTP/1.1 {} {}\r\n", self.status, self.reason());
-        head.push_str("Content-Type: application/json\r\n");
+        let _ = write!(head, "Content-Type: {}\r\n", self.content_type);
         let _ = write!(head, "Content-Length: {}\r\n", self.body.len());
         if let Some(secs) = self.retry_after {
             let _ = write!(head, "Retry-After: {secs}\r\n");
@@ -176,6 +199,14 @@ mod tests {
         assert!(text.contains("Content-Length: 7\r\n")); // true length
         assert!(text.ends_with("\r\n\r\n")); // no body
         assert!(text.contains("Connection: close\r\n"));
+    }
+
+    #[test]
+    fn text_response_carries_prometheus_content_type() {
+        let text =
+            String::from_utf8(Response::text("mx_up 1\n".into()).encode(false, true)).unwrap();
+        assert!(text.contains("Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"));
+        assert!(text.ends_with("\r\n\r\nmx_up 1\n"));
     }
 
     #[test]

@@ -41,6 +41,15 @@ pub enum Endpoint {
     Diff,
     /// `/healthz` — liveness; bypasses admission control.
     Healthz,
+    /// `/metrics` — live deterministic snapshot (Prometheus text or
+    /// JSON); answered from the serial loop.
+    Metrics,
+    /// `/debug/trace` — the deterministic trace-event tail; answered
+    /// from the serial loop.
+    DebugTrace,
+    /// `/debug/attribution` — critical-path attribution over the stage
+    /// tree; answered from the serial loop.
+    DebugAttribution,
     /// Anything else (answered 404).
     Other,
 }
@@ -50,6 +59,12 @@ impl Endpoint {
     pub fn of(path: &str) -> Endpoint {
         if path == "/healthz" {
             Endpoint::Healthz
+        } else if path == "/metrics" {
+            Endpoint::Metrics
+        } else if path == "/debug/trace" {
+            Endpoint::DebugTrace
+        } else if path == "/debug/attribution" {
+            Endpoint::DebugAttribution
         } else if path == "/lookup" {
             Endpoint::Lookup
         } else if path == "/market" {
@@ -76,8 +91,21 @@ impl Endpoint {
             Endpoint::Churn => mx_obs::names::SERVE_LATENCY_CHURN,
             Endpoint::Providers => mx_obs::names::SERVE_LATENCY_PROVIDERS,
             Endpoint::Diff => mx_obs::names::SERVE_LATENCY_DIFF,
+            Endpoint::Metrics | Endpoint::DebugTrace | Endpoint::DebugAttribution => {
+                mx_obs::names::SERVE_LATENCY_DEBUG
+            }
             Endpoint::Healthz | Endpoint::Other => mx_obs::names::SERVE_LATENCY_HEALTHZ,
         }
+    }
+
+    /// Endpoints that read the live observability registries and must
+    /// therefore be answered in the serial loop (like `/healthz`), and
+    /// never from either cache — their bodies change between requests.
+    pub fn is_introspection(self) -> bool {
+        matches!(
+            self,
+            Endpoint::Metrics | Endpoint::DebugTrace | Endpoint::DebugAttribution
+        )
     }
 }
 
@@ -118,6 +146,9 @@ impl<'a> ServeState<'a> {
     pub fn handle(&self, req: &Request) -> Handled {
         match Endpoint::of(&req.path) {
             Endpoint::Healthz => Handled::plain(self.healthz()),
+            Endpoint::Metrics => Handled::plain(metrics(req)),
+            Endpoint::DebugTrace => Handled::plain(debug_trace(req)),
+            Endpoint::DebugAttribution => Handled::plain(debug_attribution()),
             Endpoint::Lookup => self.lookup(req),
             Endpoint::Market => Handled::plain(self.market(req)),
             Endpoint::Series => Handled::plain(self.series(req)),
@@ -377,6 +408,47 @@ impl<'a> ServeState<'a> {
     }
 }
 
+/// Default event count for `/debug/trace` when `last` is absent.
+pub const DEFAULT_TRACE_TAIL: usize = 256;
+/// Hard cap on the `/debug/trace?last=N` parameter.
+pub const MAX_TRACE_TAIL: usize = 4096;
+
+/// `/metrics`: the live observability snapshot, rendered from the
+/// deterministic (stable-only) view so the body depends only on what
+/// the serial loop has recorded — never on cache state or thread
+/// interleaving. `?format=json` selects the `mx-obs/1` JSON form;
+/// the default (or `format=prometheus`/`text`) is the Prometheus text
+/// exposition.
+fn metrics(req: &Request) -> Response {
+    match req.param("format") {
+        None | Some("prometheus") | Some("text") => {
+            Response::text(mx_obs::export::Snapshot::capture().prometheus_text())
+        }
+        Some("json") => Response::ok(mx_obs::export::Snapshot::capture().deterministic_json()),
+        Some(_) => Response::error(400, "bad format parameter"),
+    }
+}
+
+/// `/debug/trace?last=N`: the tail of the deterministic trace export
+/// (stable events only, canonical order).
+fn debug_trace(req: &Request) -> Response {
+    let last = match req.param("last") {
+        None => DEFAULT_TRACE_TAIL,
+        Some(s) => match parse_usize(s) {
+            Some(n) if n > 0 && n <= MAX_TRACE_TAIL => n,
+            _ => return Response::error(400, "bad last parameter"),
+        },
+    };
+    let snap = mx_obs::trace::TraceSnapshot::capture();
+    Response::ok(snap.deterministic_json_last(Some(last)))
+}
+
+/// `/debug/attribution`: inclusive/exclusive per-stage time, serial
+/// fraction and critical path, deterministic (sim-derived) form.
+fn debug_attribution() -> Response {
+    Response::ok(mx_obs::attrib::Attribution::capture().deterministic_json())
+}
+
 /// Build the `/lookup` response from a rendered row fragment — the one
 /// entry point both the live path and the hot-row cache path share, so
 /// their bytes cannot diverge.
@@ -417,10 +489,15 @@ pub fn row_cache_probe(state: &ServeState<'_>, req: &Request) -> Option<(String,
 
 /// Rendered-JSON cache key: the normalized request target. `None` for
 /// requests that must not be served from cache (`/healthz` stays live,
-/// unknown endpoints are cheap 404s).
+/// unknown endpoints are cheap 404s, and the `/metrics` + `/debug/*`
+/// introspection bodies change between requests).
 pub fn json_cache_key(req: &Request) -> Option<String> {
     match Endpoint::of(&req.path) {
-        Endpoint::Healthz | Endpoint::Other => None,
+        Endpoint::Healthz
+        | Endpoint::Metrics
+        | Endpoint::DebugTrace
+        | Endpoint::DebugAttribution
+        | Endpoint::Other => None,
         _ => {
             let mut key = req.path.clone();
             for (k, v) in &req.query {
@@ -497,6 +574,10 @@ mod tests {
     #[test]
     fn endpoint_classification() {
         assert_eq!(Endpoint::of("/healthz"), Endpoint::Healthz);
+        assert_eq!(Endpoint::of("/metrics"), Endpoint::Metrics);
+        assert_eq!(Endpoint::of("/debug/trace"), Endpoint::DebugTrace);
+        assert_eq!(Endpoint::of("/debug/attribution"), Endpoint::DebugAttribution);
+        assert_eq!(Endpoint::of("/debug/nope"), Endpoint::Other);
         assert_eq!(Endpoint::of("/lookup"), Endpoint::Lookup);
         assert_eq!(Endpoint::of("/providers/google/domains"), Endpoint::Providers);
         assert_eq!(Endpoint::of("/epochs/0..2/diff"), Endpoint::Diff);

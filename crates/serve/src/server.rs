@@ -186,6 +186,45 @@ struct Job {
     arrived_ms: u64,
 }
 
+// Trace-event tags: every per-request event carries a 48-bit packed
+// `(conn, seq, detail)` tag so a timeline can be grouped per request
+// offline. 48 bits keeps the value exact through the JSON f64 number.
+
+/// Outcome bit on cache-probe instants: hit.
+const ARG_HIT: u64 = 1;
+/// Outcome bit on cache-probe instants: miss.
+const ARG_MISS: u64 = 2;
+
+/// Stable small code per endpoint for event tags.
+fn ep_code(ep: Endpoint) -> u64 {
+    match ep {
+        Endpoint::Other => 0,
+        Endpoint::Lookup => 1,
+        Endpoint::Market => 2,
+        Endpoint::Series => 3,
+        Endpoint::Churn => 4,
+        Endpoint::Providers => 5,
+        Endpoint::Diff => 6,
+        Endpoint::Healthz => 7,
+        Endpoint::Metrics => 8,
+        Endpoint::DebugTrace => 9,
+        Endpoint::DebugAttribution => 10,
+    }
+}
+
+/// `(conn, seq, endpoint, outcome)` packed into 48 bits:
+/// `conn[16] | seq[16] | ep[8] | outcome[8]`.
+fn req_tag(conn_id: u64, seq: u64, ep: Endpoint, outcome: u64) -> u64 {
+    ((conn_id & 0xFFFF) << 32) | ((seq & 0xFFFF) << 16) | ((ep_code(ep) & 0xFF) << 8)
+        | (outcome & 0xFF)
+}
+
+/// `(conn, seq, status)` packed into 48 bits for write-flush instants:
+/// `conn[16] | seq[16] | status[16]`.
+fn write_tag(conn_id: u64, seq: u64, status: u16) -> u64 {
+    ((conn_id & 0xFFFF) << 32) | ((seq & 0xFFFF) << 16) | u64::from(status)
+}
+
 /// The server: store state, caches, clock, and the robustness kernel.
 pub struct Server<'a> {
     state: ServeState<'a>,
@@ -197,6 +236,11 @@ pub struct Server<'a> {
 impl<'a> Server<'a> {
     /// A server over an open store with the given tuning.
     pub fn new(reader: &'a StoreReader<'a>, cfg: ServerConfig) -> Server<'a> {
+        // Register the full metric/stage vocabulary up front so the
+        // live `/metrics` body is a function of recorded values only,
+        // never of which call sites happened to run first in this
+        // process — the CI double-run byte-compare depends on it.
+        mx_obs::names::preregister();
         Server {
             state: ServeState::new(reader),
             cfg,
@@ -375,6 +419,11 @@ impl<'s, 'a> Engine<'s, 'a> {
                 let Some(conn) = self.conns.get_mut(ci) else { return };
                 conn.out_bytes.extend_from_slice(&body);
                 conn.statuses.push(503);
+                // A refused conn writes its 503 directly (no enqueue),
+                // so mark the write here to keep the trace identity
+                // `write instants == flushed statuses` exact.
+                mx_obs::stage!(names::STAGE_SERVE_REQ_WRITE, names::STAGE_SERVE_REQ)
+                    .instant(now, write_tag(conn.id, 0, 503));
                 conn.closed = Some(CloseReason::Refused);
                 return;
             }
@@ -423,12 +472,31 @@ impl<'s, 'a> Engine<'s, 'a> {
         mx_obs::counter!(names::SERVE_REQS_ACCEPTED).incr();
         self.report.accepted += 1;
         let endpoint = Endpoint::of(&req.path);
+        let conn_id = self.conns.get(ci).map(|c| c.id).unwrap_or(0);
+        let tag = req_tag(conn_id, seq, endpoint, 0);
+        // Parse finished the moment admit runs: a zero-length sim span
+        // marks the request's arrival on the timeline.
+        mx_obs::stage!(names::STAGE_SERVE_REQ_PARSE, names::STAGE_SERVE_REQ).span_sim(now, 0, tag);
 
         // Liveness never queues: answered serially, even saturated.
         if endpoint == Endpoint::Healthz {
             let resp = self.srv.state.healthz();
             self.record_outcome(&resp, endpoint, 0);
-            self.queue_response(ci, seq, &resp, head_only(&req), !req.keep_alive);
+            self.queue_response(ci, seq, &resp, head_only(&req), !req.keep_alive, now);
+            return;
+        }
+
+        // Introspection (`/metrics`, `/debug/*`) is answered from the
+        // serial loop like healthz: the bodies snapshot global obs
+        // state, which only the serial loop mutates, so rendering here
+        // keeps them byte-deterministic — and observability must stay
+        // reachable while the data plane sheds.
+        if endpoint.is_introspection() {
+            let h = self.srv.state.handle(&req);
+            mx_obs::stage!(names::STAGE_SERVE_REQ_RENDER, names::STAGE_SERVE_REQ)
+                .span_sim(now, 0, tag);
+            self.record_outcome(&h.response, endpoint, 0);
+            self.queue_response(ci, seq, &h.response, head_only(&req), !req.keep_alive, now);
             return;
         }
 
@@ -436,28 +504,37 @@ impl<'s, 'a> Engine<'s, 'a> {
         if let Some(key) = json_cache_key(&req) {
             if let Some(body) = self.srv.caches.json.get(&key) {
                 mx_obs::counter_volatile!(names::SERVE_CACHE_JSON_HITS).incr();
+                mx_obs::stage!(names::STAGE_SERVE_REQ_CACHE, names::STAGE_SERVE_REQ)
+                    .instant(now, tag | ARG_HIT);
                 let resp = Response {
                     status: 200,
                     body,
                     retry_after: None,
+                    content_type: crate::render::CONTENT_TYPE_JSON,
                 };
                 self.record_outcome(&resp, endpoint, 0);
-                self.queue_response(ci, seq, &resp, head_only(&req), !req.keep_alive);
+                self.queue_response(ci, seq, &resp, head_only(&req), !req.keep_alive, now);
                 return;
             }
             mx_obs::counter_volatile!(names::SERVE_CACHE_JSON_MISSES).incr();
+            mx_obs::stage!(names::STAGE_SERVE_REQ_CACHE, names::STAGE_SERVE_REQ)
+                .instant(now, tag | ARG_MISS);
         }
 
         // Tier one: rendered lookup rows (also caches 404 rows).
         if let Some((key, domain, epoch)) = row_cache_probe(&self.srv.state, &req) {
             if let Some(fragment) = self.srv.caches.rows.get(&key) {
                 mx_obs::counter_volatile!(names::SERVE_CACHE_ROW_HITS).incr();
+                mx_obs::stage!(names::STAGE_SERVE_REQ_CACHE, names::STAGE_SERVE_REQ)
+                    .instant(now, tag | ARG_HIT);
                 let resp = lookup_response(&domain, epoch, &fragment);
                 self.record_outcome(&resp, endpoint, 0);
-                self.queue_response(ci, seq, &resp, head_only(&req), !req.keep_alive);
+                self.queue_response(ci, seq, &resp, head_only(&req), !req.keep_alive, now);
                 return;
             }
             mx_obs::counter_volatile!(names::SERVE_CACHE_ROW_MISSES).incr();
+            mx_obs::stage!(names::STAGE_SERVE_REQ_CACHE, names::STAGE_SERVE_REQ)
+                .instant(now, tag | ARG_MISS);
         }
 
         // Load shedding: bounded in-flight queue on the worker pool.
@@ -465,8 +542,9 @@ impl<'s, 'a> Engine<'s, 'a> {
         if self.in_flight_total >= capacity {
             mx_obs::counter!(names::SERVE_REQS_SHED).incr();
             self.report.shed += 1;
+            mx_obs::stage!(names::STAGE_SERVE_REQ_SHED, names::STAGE_SERVE_REQ).instant(now, tag);
             let resp = Response::shed(self.srv.cfg.retry_after_secs);
-            self.queue_response(ci, seq, &resp, head_only(&req), !req.keep_alive);
+            self.queue_response(ci, seq, &resp, head_only(&req), !req.keep_alive, now);
             return;
         }
 
@@ -518,6 +596,14 @@ impl<'s, 'a> Engine<'s, 'a> {
                 }
             }
             let endpoint = Endpoint::of(&job.req.path);
+            let conn_id = self.conns.get(job.conn).map(|c| c.id).unwrap_or(0);
+            // The render span covers queue wait + service time on the
+            // simulated clock: arrival to completion.
+            mx_obs::stage!(names::STAGE_SERVE_REQ_RENDER, names::STAGE_SERVE_REQ).span_sim(
+                job.arrived_ms,
+                now.saturating_sub(job.arrived_ms),
+                req_tag(conn_id, job.seq, endpoint, 0),
+            );
             self.record_outcome(&h.response, endpoint, now.saturating_sub(job.arrived_ms));
             self.queue_response(
                 job.conn,
@@ -525,6 +611,7 @@ impl<'s, 'a> Engine<'s, 'a> {
                 &h.response,
                 head_only(&job.req),
                 !job.req.keep_alive,
+                now,
             );
             self.schedule_check(job.conn, now);
         }
@@ -589,8 +676,7 @@ impl<'s, 'a> Engine<'s, 'a> {
             }
             None => return,
         };
-        self.enqueue(ci, seq, &resp, false, Some(CloseReason::ParseFailed));
-        let _ = now;
+        self.enqueue(ci, seq, &resp, false, Some(CloseReason::ParseFailed), now);
     }
 
     fn evict(&mut self, ci: usize, now: u64) {
@@ -599,17 +685,18 @@ impl<'s, 'a> Engine<'s, 'a> {
         self.report.accepted += 1;
         self.report.evicted += 1;
         let resp = Response::error(408, "request timed out");
-        let seq = match self.conns.get_mut(ci) {
+        let (seq, conn_id) = match self.conns.get_mut(ci) {
             Some(conn) => {
                 conn.reject_input = true;
                 let s = conn.seqs;
                 conn.seqs += 1;
-                s
+                (s, conn.id)
             }
             None => return,
         };
-        self.enqueue(ci, seq, &resp, false, Some(CloseReason::DeadlineEvicted));
-        let _ = now;
+        mx_obs::stage!(names::STAGE_SERVE_REQ_EVICT, names::STAGE_SERVE_REQ)
+            .instant(now, write_tag(conn_id, seq, 408));
+        self.enqueue(ci, seq, &resp, false, Some(CloseReason::DeadlineEvicted), now);
     }
 
     /// Count the outcome of a rendered response and record latency.
@@ -627,8 +714,16 @@ impl<'s, 'a> Engine<'s, 'a> {
 
     // ---- ordered response writing ---------------------------------
 
-    fn queue_response(&mut self, ci: usize, seq: u64, resp: &Response, head: bool, close: bool) {
-        self.enqueue(ci, seq, resp, head, close.then_some(CloseReason::ClientDone));
+    fn queue_response(
+        &mut self,
+        ci: usize,
+        seq: u64,
+        resp: &Response,
+        head: bool,
+        close: bool,
+        now: u64,
+    ) {
+        self.enqueue(ci, seq, resp, head, close.then_some(CloseReason::ClientDone), now);
     }
 
     /// Slot a response at its sequence number and flush every response
@@ -644,6 +739,7 @@ impl<'s, 'a> Engine<'s, 'a> {
         resp: &Response,
         head: bool,
         close: Option<CloseReason>,
+        now: u64,
     ) {
         let Some(conn) = self.conns.get_mut(ci) else { return };
         if conn.closed.is_some() {
@@ -655,6 +751,11 @@ impl<'s, 'a> Engine<'s, 'a> {
         while let Some((bytes, status, close)) = conn.pending_out.remove(&conn.next_out) {
             conn.out_bytes.extend_from_slice(&bytes);
             conn.statuses.push(status);
+            // Mark the actual flush, not the enqueue: a reordered
+            // pipelined response's write event fires when its bytes
+            // hit the transcript.
+            mx_obs::stage!(names::STAGE_SERVE_REQ_WRITE, names::STAGE_SERVE_REQ)
+                .instant(now, write_tag(conn.id, conn.next_out, status));
             conn.next_out += 1;
             if let Some(reason) = close {
                 closed_reason = Some(reason);

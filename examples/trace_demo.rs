@@ -1,0 +1,64 @@
+//! Trace a small study end to end and export the timeline in every
+//! supported shape: the deterministic `mx-obs-trace/1` JSON, a Chrome
+//! Trace Event file (load it at `chrome://tracing` or
+//! <https://ui.perfetto.dev>), and folded stacks for flamegraph
+//! tooling. Finishes with the critical-path attribution table and the
+//! top stages on the sim critical path.
+//!
+//! Run with: `cargo run --release --example trace_demo`
+
+use mxmap::analysis::observe::observe_world;
+use mxmap::corpus::{provider_knowledge, ScenarioConfig, Study};
+use mxmap::infer::Pipeline;
+use mxmap::obs::attrib::Attribution;
+use mxmap::obs::trace::TraceSnapshot;
+
+fn main() {
+    // 1. Turn the full observability stack on: counters + the trace
+    //    ring. (Outside a demo you'd set MX_OBS_TRACE=1 instead.)
+    mxmap::obs::set_enabled(true);
+    mxmap::obs::set_trace_enabled(true);
+    mxmap::obs::reset();
+
+    // 2. Run the measured pipeline over a small seeded study.
+    let study = Study::generate(ScenarioConfig::small(42));
+    let world = study.world_at(mxmap::corpus::SNAPSHOT_DATES.len() - 1);
+    let data = observe_world(&world);
+    let pipeline = Pipeline::priority_based(provider_knowledge(10));
+    for (ds, obs) in &data.per_dataset {
+        let result = pipeline.run(obs);
+        println!("{ds:?}: classified {} domains", result.domains.len());
+    }
+
+    // 3. Export the timeline three ways.
+    let snap = TraceSnapshot::capture();
+    println!(
+        "\ntrace ring: {} events kept, {} recorded, {} dropped",
+        snap.events.len(),
+        snap.recorded,
+        snap.dropped
+    );
+
+    let chrome = snap.chrome_trace_json();
+    std::fs::write("/tmp/mx_trace_demo.chrome.json", &chrome).expect("write chrome trace");
+    println!("chrome trace  -> /tmp/mx_trace_demo.chrome.json (open at chrome://tracing)");
+
+    let det = snap.deterministic_json();
+    std::fs::write("/tmp/mx_trace_demo.trace.json", &det).expect("write trace json");
+    println!("stable trace  -> /tmp/mx_trace_demo.trace.json (byte-identical across reruns)");
+
+    let attrib = Attribution::capture();
+    let folded = attrib.folded_stacks(true);
+    std::fs::write("/tmp/mx_trace_demo.folded", &folded).expect("write folded stacks");
+    println!("folded stacks -> /tmp/mx_trace_demo.folded (pipe through flamegraph.pl)");
+
+    // 4. Where did the time go?
+    println!("\n{}", attrib.human_table());
+    println!("top of the sim critical path:");
+    for (stage, inclusive) in attrib.critical_path_sim.iter().take(5) {
+        println!("  {stage:<22} {inclusive} sim-sec inclusive");
+    }
+
+    mxmap::obs::set_trace_enabled(false);
+    mxmap::obs::set_enabled(false);
+}

@@ -42,6 +42,15 @@ cargo test --release --test chaos_gate -q
 echo "==> obs gate (tests/obs_gate.rs)"
 cargo test --release --test obs_gate -q
 
+echo "==> trace gate (tests/trace_gate.rs: byte-identical timeline at 1/2/8 threads, ring overflow accounting, serve event reconciliation)"
+cargo test --release --test trace_gate -q
+
+echo "==> metrics endpoint determinism (two --metrics runs must serve byte-identical /metrics + /debug bodies)"
+cargo run --quiet --release -p mx-bench --bin bench_pipeline -- --metrics --metrics-out /tmp/mx_metrics_a.bin
+cargo run --quiet --release -p mx-bench --bin bench_pipeline -- --metrics --metrics-out /tmp/mx_metrics_b.bin
+cmp /tmp/mx_metrics_a.bin /tmp/mx_metrics_b.bin
+rm -f /tmp/mx_metrics_a.bin /tmp/mx_metrics_b.bin
+
 echo "==> obs snapshot determinism (two --obs runs must be byte-identical)"
 cargo run --quiet --release -p mx-bench --bin bench_pipeline -- --obs --obs-out /tmp/mx_obs_a.json
 cargo run --quiet --release -p mx-bench --bin bench_pipeline -- --obs --obs-out /tmp/mx_obs_b.json
@@ -65,6 +74,11 @@ cargo test --release --test serve_gate -q
 
 echo "==> serve shed (saturating burst sheds 503 while /healthz answers; refreshes results/BENCH_serve.json)"
 cargo run --quiet --release -p mx-bench --bin bench_pipeline -- --serve
+
+echo "==> attribution smoke (small-scale --attribution must produce a non-empty stage table)"
+MX_SCALE=small cargo run --quiet --release -p mx-bench --bin bench_pipeline -- --attribution --attrib-out /tmp/mx_attrib_smoke.json
+test -s /tmp/mx_attrib_smoke.json
+rm -f /tmp/mx_attrib_smoke.json
 
 echo "==> bench smoke (threads 1 vs 2 must agree; exercises the store round trip)"
 # MX_THREADS exercises the env-var configuration path; the binary's
