@@ -217,6 +217,23 @@ pub fn check(
     psl: &PublicSuffixList,
 ) -> MisidReport {
     let confidence = Confidence::compute(obs);
+    check_with_confidence(assignments, obs, knowledge, psl, &confidence)
+}
+
+/// [`check`] with the confidence counters supplied by the caller.
+///
+/// Incremental drivers already hold a fresh [`Confidence`] for the same
+/// observation set (they diff it between batches); this entry point lets
+/// them run the decision/apply phases without recomputing the counters.
+/// Passing the counters computed by [`Confidence::compute`] over the same
+/// `obs` makes this byte-for-byte identical to [`check`].
+pub fn check_with_confidence(
+    assignments: &mut HashMap<Name, MxAssignment>,
+    obs: &ObservationSet,
+    knowledge: &ProviderKnowledge,
+    psl: &PublicSuffixList,
+    confidence: &Confidence,
+) -> MisidReport {
     let mut report = MisidReport::default();
 
     let mut names: Vec<Name> = assignments.keys().cloned().collect();

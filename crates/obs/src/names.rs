@@ -124,6 +124,23 @@ pub const STORE_READ_INDEX_QUERIES: &str = "store.read.index_queries";
 /// Postings-list scans (domains-of-provider, set diffs) — per-run.
 pub const STORE_READ_POSTINGS_SCANS: &str = "store.read.postings_scans";
 
+// --- delta: incremental measurement (crates/delta) ---
+
+/// Zone-update events applied to the delta world state.
+pub const DELTA_EVENTS_APPLIED: &str = "delta.events.applied";
+/// Distinct domains marked dirty by event batches (after the
+/// reverse-index closure over shared hosts and IPs).
+pub const DELTA_DOMAINS_DIRTY: &str = "delta.domains.dirty";
+/// Domains actually re-resolved (equals the dirty domains that still
+/// exist after deletions).
+pub const DELTA_RERESOLVES: &str = "delta.reresolve.domains";
+/// IPs re-scanned because no cached observation covered them.
+pub const DELTA_RESCANS: &str = "delta.rescan.ips";
+/// Domains assembled from the measurement cache instead of the wire.
+pub const DELTA_REUSE_HITS: &str = "delta.reuse.hits";
+/// Delta epochs appended to store files.
+pub const DELTA_EPOCHS_APPENDED: &str = "delta.epochs.appended";
+
 // --- serve: HTTP query service (crates/serve) ---
 
 /// Connections the server accepted (transport handshake completed).
@@ -216,6 +233,9 @@ pub const STAGE_INFER_MISID: &str = "infer.misid";
 pub const STAGE_INFER_DOMAINID: &str = "infer.domainid";
 /// Coverage/resilience report assembly.
 pub const STAGE_REPORT_COVERAGE: &str = "report.coverage";
+/// One incremental-measurement batch: apply events, re-measure the
+/// dirty set, append a delta epoch.
+pub const STAGE_DELTA_BATCH: &str = "delta.batch";
 /// Encoding one study into a store file (all epochs).
 pub const STAGE_STORE_WRITE: &str = "store.write";
 /// Opening a store file: header, tables and block-index decode.
@@ -299,6 +319,12 @@ pub fn preregister() {
         STORE_WRITE_ROWS,
         STORE_WRITE_DELTA_OPS,
         STORE_WRITE_BYTES,
+        DELTA_EVENTS_APPLIED,
+        DELTA_DOMAINS_DIRTY,
+        DELTA_RERESOLVES,
+        DELTA_RESCANS,
+        DELTA_REUSE_HITS,
+        DELTA_EPOCHS_APPENDED,
         SERVE_CONNS_ACCEPTED,
         SERVE_CONNS_REFUSED,
         SERVE_REQS_ACCEPTED,
@@ -353,6 +379,7 @@ pub fn preregister() {
         (STAGE_INFER_MISID, Some(STAGE_INFER)),
         (STAGE_INFER_DOMAINID, Some(STAGE_INFER)),
         (STAGE_REPORT_COVERAGE, None),
+        (STAGE_DELTA_BATCH, None),
         (STAGE_STORE_WRITE, None),
         (STAGE_STORE_READ, None),
         (STAGE_SERVE_TRACE, None),

@@ -43,6 +43,13 @@
 //! | `/debug/trace?last=N` | the stable tail of the trace timeline |
 //! | `/debug/attribution` | per-stage inclusive/exclusive time + critical path |
 //!
+//! Every cacheable endpoint (the data-plane rows above `/healthz`)
+//! carries a strong `ETag` derived from the store's digest sections
+//! ([`store_etag`]); `If-None-Match` revalidation is answered `304`
+//! from the serial loop, cheaper than either cache tier. Appending an
+//! epoch to the store changes the fingerprint, so clients never
+//! revalidate stale data.
+//!
 //! The three introspection endpoints are answered from the serial
 //! event loop (never cached, never shed), and their bodies are
 //! byte-identical across thread counts and reruns — `scripts/ci.sh`
@@ -65,8 +72,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 pub use http::{HttpError, Method, Parsed, Request, RequestParser};
-pub use render::Response;
-pub use router::ServeState;
+pub use render::{etag_value, Response};
+pub use router::{store_etag, ServeState};
 pub use server::{RunReport, Server, ServerConfig};
 pub use transport::{apply_chaos, ClientConn, CloseReason, ConnTranscript, Trace};
 

@@ -27,6 +27,17 @@ pub struct Response {
     /// The `Content-Type` header value (static: the server only ever
     /// produces JSON or the Prometheus text format).
     pub content_type: &'static str,
+    /// Strong validator fingerprint, rendered as an `ETag` header.
+    /// Set on cacheable 200s (and echoed on 304s); the value is a pure
+    /// function of the store bytes, so it is replay-deterministic.
+    pub etag: Option<u64>,
+}
+
+/// Render an etag fingerprint as the quoted strong validator the wire
+/// carries — the one formatting both the `ETag` header and the
+/// `If-None-Match` comparison use.
+pub fn etag_value(tag: u64) -> String {
+    format!("\"mx-{tag:016x}\"")
 }
 
 impl Response {
@@ -37,6 +48,7 @@ impl Response {
             body: body.into_bytes(),
             retry_after: None,
             content_type: CONTENT_TYPE_JSON,
+            etag: None,
         }
     }
 
@@ -48,6 +60,7 @@ impl Response {
             body: body.into_bytes(),
             retry_after: None,
             content_type: CONTENT_TYPE_PROM,
+            etag: None,
         }
     }
 
@@ -58,6 +71,19 @@ impl Response {
             body: format!("{{\"error\":{}}}", json_str(message)).into_bytes(),
             retry_after: None,
             content_type: CONTENT_TYPE_JSON,
+            etag: None,
+        }
+    }
+
+    /// A 304 conditional answer: no body, but the current `ETag` so
+    /// the client can keep validating against it.
+    pub fn not_modified(tag: u64) -> Self {
+        Response {
+            status: 304,
+            body: Vec::new(),
+            retry_after: None,
+            content_type: CONTENT_TYPE_JSON,
+            etag: Some(tag),
         }
     }
 
@@ -68,6 +94,7 @@ impl Response {
             body: b"{\"error\":\"overloaded\"}".to_vec(),
             retry_after: Some(retry_after_secs),
             content_type: CONTENT_TYPE_JSON,
+            etag: None,
         }
     }
 
@@ -75,6 +102,7 @@ impl Response {
     pub fn reason(&self) -> &'static str {
         match self.status {
             200 => "OK",
+            304 => "Not Modified",
             400 => "Bad Request",
             404 => "Not Found",
             408 => "Request Timeout",
@@ -99,6 +127,9 @@ impl Response {
         let _ = write!(head, "Content-Length: {}\r\n", self.body.len());
         if let Some(secs) = self.retry_after {
             let _ = write!(head, "Retry-After: {secs}\r\n");
+        }
+        if let Some(tag) = self.etag {
+            let _ = write!(head, "ETag: {}\r\n", etag_value(tag));
         }
         head.push_str(if keep_alive {
             "Connection: keep-alive\r\n"
@@ -214,6 +245,21 @@ mod tests {
         let text = String::from_utf8(Response::shed(2).encode(false, false)).unwrap();
         assert!(text.contains("HTTP/1.1 503 Service Unavailable\r\n"));
         assert!(text.contains("Retry-After: 2\r\n"));
+    }
+
+    #[test]
+    fn etag_and_not_modified_shapes() {
+        let mut ok = Response::ok("{}".into());
+        ok.etag = Some(0xDEAD_BEEF);
+        let text = String::from_utf8(ok.encode(false, true)).unwrap();
+        assert!(text.contains("ETag: \"mx-00000000deadbeef\"\r\n"));
+
+        let nm = Response::not_modified(0xDEAD_BEEF);
+        let text = String::from_utf8(nm.encode(false, true)).unwrap();
+        assert!(text.starts_with("HTTP/1.1 304 Not Modified\r\n"));
+        assert!(text.contains("Content-Length: 0\r\n"));
+        assert!(text.contains("ETag: \"mx-00000000deadbeef\"\r\n"));
+        assert!(text.ends_with("\r\n\r\n")); // no body ever
     }
 
     #[test]

@@ -133,17 +133,56 @@ impl Handled {
 pub struct ServeState<'a> {
     /// The snapshot store every endpoint answers from.
     pub reader: &'a StoreReader<'a>,
+    /// Strong validator fingerprint of the store, computed once at
+    /// construction from the digest sections (see [`store_etag`]).
+    pub etag: u64,
 }
 
 impl<'a> ServeState<'a> {
     /// Serving state over an open reader.
     pub fn new(reader: &'a StoreReader<'a>) -> Self {
-        ServeState { reader }
+        let etag = store_etag(reader);
+        ServeState { reader, etag }
+    }
+
+    /// Does this request's `If-None-Match` revalidate the current
+    /// store etag? Only data-plane endpoints are conditional (the
+    /// cacheable set of [`json_cache_key`]); introspection bodies
+    /// change between requests and never carry a validator. Weak
+    /// comparison per RFC 7232: a `W/` prefix is ignored and `*`
+    /// matches any current representation.
+    pub fn revalidates(&self, req: &Request) -> bool {
+        if json_cache_key(req).is_none() {
+            return false;
+        }
+        let Some(header) = req.header("if-none-match") else {
+            return false;
+        };
+        let current = crate::render::etag_value(self.etag);
+        header
+            .split(',')
+            .map(str::trim)
+            .any(|t| t == "*" || t.strip_prefix("W/").unwrap_or(t) == current)
     }
 
     /// Dispatch a parsed request to its endpoint handler. Total: every
     /// path and parameter combination yields a response.
     pub fn handle(&self, req: &Request) -> Handled {
+        // Conditional fast path: a client holding the current etag is
+        // told "nothing changed" without rendering anything. The store
+        // is immutable while open, so one fingerprint covers every
+        // cacheable representation.
+        if self.revalidates(req) {
+            return Handled::plain(Response::not_modified(self.etag));
+        }
+        let mut handled = self.dispatch(req);
+        if handled.response.status == 200 && json_cache_key(req).is_some() {
+            handled.response.etag = Some(self.etag);
+        }
+        handled
+    }
+
+    fn dispatch(&self, req: &Request) -> Handled {
         match Endpoint::of(&req.path) {
             Endpoint::Healthz => Handled::plain(self.healthz()),
             Endpoint::Metrics => Handled::plain(metrics(req)),
@@ -447,6 +486,46 @@ fn debug_trace(req: &Request) -> Response {
 /// fraction and critical path, deterministic (sim-derived) form.
 fn debug_attribution() -> Response {
     Response::ok(mx_obs::attrib::Attribution::capture().deterministic_json())
+}
+
+/// FNV-1a step over a byte run, the same construction the rest of the
+/// codebase uses for content addressing.
+fn fnv(h: &mut u64, bytes: &[u8]) {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    for &b in bytes {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(PRIME);
+    }
+}
+
+/// A strong validator fingerprint for an open store, derived from the
+/// digest sections: epoch count, labels, kinds and entry counts, plus
+/// every digest record `(doc, flags, credit)` when the store carries
+/// indexes. Two stores that answer any cacheable endpoint differently
+/// differ in some digest record (the digest mirrors the resolved
+/// rows), so their etags differ; appending an epoch always changes the
+/// fingerprint.
+pub fn store_etag(reader: &StoreReader<'_>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let epochs = reader.epoch_count();
+    fnv(&mut h, &(epochs as u64).to_be_bytes());
+    for epoch in 0..epochs {
+        fnv(&mut h, reader.label(epoch).unwrap_or("").as_bytes());
+        fnv(&mut h, &[0, matches!(reader.epoch_kind(epoch), Some(mx_store::EpochKind::Base)) as u8]);
+        fnv(&mut h, &reader.entry_count(epoch).unwrap_or(0).to_be_bytes());
+        match reader.digest_rows(epoch) {
+            Err(_) => fnv(&mut h, b"\0noindex"),
+            Ok(rows) => {
+                for row in rows {
+                    fnv(&mut h, &(row.doc as u64).to_be_bytes());
+                    fnv(&mut h, &[row.has_smtp as u8, row.self_hosted as u8]);
+                    fnv(&mut h, row.credit.unwrap_or("").as_bytes());
+                    fnv(&mut h, &[0]);
+                }
+            }
+        }
+    }
+    h
 }
 
 /// Build the `/lookup` response from a rendered row fragment — the one

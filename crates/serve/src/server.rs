@@ -95,7 +95,7 @@ pub struct RunReport {
     pub transcripts: Vec<ConnTranscript>,
     /// Requests the server committed to an outcome for.
     pub accepted: u64,
-    /// 2xx responses.
+    /// 2xx responses, plus 304 conditional answers.
     pub served: u64,
     /// 4xx/5xx responses other than shed/evict.
     pub errored: u64,
@@ -500,6 +500,17 @@ impl<'s, 'a> Engine<'s, 'a> {
             return;
         }
 
+        // Conditional requests: a client revalidating with the current
+        // etag is answered 304 from the serial loop, before either
+        // cache tier and without touching a worker — cheaper than even
+        // a cache hit, which is the point of `If-None-Match`.
+        if self.srv.state.revalidates(&req) {
+            let resp = Response::not_modified(self.srv.state.etag);
+            self.record_outcome(&resp, endpoint, 0);
+            self.queue_response(ci, seq, &resp, head_only(&req), !req.keep_alive, now);
+            return;
+        }
+
         // Tier two: whole rendered bodies.
         if let Some(key) = json_cache_key(&req) {
             if let Some(body) = self.srv.caches.json.get(&key) {
@@ -511,6 +522,7 @@ impl<'s, 'a> Engine<'s, 'a> {
                     body,
                     retry_after: None,
                     content_type: crate::render::CONTENT_TYPE_JSON,
+                    etag: Some(self.srv.state.etag),
                 };
                 self.record_outcome(&resp, endpoint, 0);
                 self.queue_response(ci, seq, &resp, head_only(&req), !req.keep_alive, now);
@@ -527,7 +539,12 @@ impl<'s, 'a> Engine<'s, 'a> {
                 mx_obs::counter_volatile!(names::SERVE_CACHE_ROW_HITS).incr();
                 mx_obs::stage!(names::STAGE_SERVE_REQ_CACHE, names::STAGE_SERVE_REQ)
                     .instant(now, tag | ARG_HIT);
-                let resp = lookup_response(&domain, epoch, &fragment);
+                let mut resp = lookup_response(&domain, epoch, &fragment);
+                if resp.status == 200 {
+                    // The miss path got its etag from `handle`; the hot
+                    // path must produce the same bytes.
+                    resp.etag = Some(self.srv.state.etag);
+                }
                 self.record_outcome(&resp, endpoint, 0);
                 self.queue_response(ci, seq, &resp, head_only(&req), !req.keep_alive, now);
                 return;
@@ -700,8 +717,9 @@ impl<'s, 'a> Engine<'s, 'a> {
     }
 
     /// Count the outcome of a rendered response and record latency.
+    /// A 304 is a successful conditional answer, not an error.
     fn record_outcome(&mut self, resp: &Response, endpoint: Endpoint, latency_ms: u64) {
-        if resp.status == 200 {
+        if resp.status == 200 || resp.status == 304 {
             mx_obs::counter!(names::SERVE_REQS_SERVED).incr();
             self.report.served += 1;
         } else {

@@ -663,6 +663,45 @@ impl<'a> StoreReader<'a> {
         self.eix.get(epoch).ok_or(StoreError::NoIndex)
     }
 
+    /// The raw provider/company tables and the per-provider company
+    /// mapping (0 = none, else company index + 1), in stored order.
+    /// Writer-reopen support: interning the tables back in this exact
+    /// order is what keeps appended files byte-identical.
+    pub(crate) fn raw_tables(&self) -> (&[&'a str], &[&'a str], &[u32]) {
+        (&self.providers, &self.companies, &self.provider_company)
+    }
+
+    /// The raw pieces of one epoch section for writer reopen: label,
+    /// kind, entry count, entry bytes (after the count varint), and the
+    /// two sidecar slices with their entry counts.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn raw_epoch(
+        &self,
+        epoch: usize,
+    ) -> Option<(&'a str, EpochKind, u64, &'a [u8], usize, &'a [u8], usize, &'a [u8])> {
+        let e = self.epochs.get(epoch)?;
+        Some((
+            e.label,
+            e.kind,
+            e.entry_count,
+            e.entries,
+            e.ip_count,
+            e.side_ips,
+            e.dns_count,
+            e.side_dns,
+        ))
+    }
+
+    /// One epoch's decoded index block, if the file carries indexes.
+    pub(crate) fn raw_index(&self, epoch: usize) -> Option<&index::EpochIndexIx<'a>> {
+        self.eix.get(epoch)
+    }
+
+    /// Number of dictionary entries, when the v2 footer is present.
+    pub(crate) fn dict_count(&self) -> Option<usize> {
+        self.dict.as_ref().map(index::DictIx::count)
+    }
+
     fn credit_str(&self, kind: u8, id: u32) -> Option<&'a str> {
         if kind == CREDIT_COMPANY {
             self.companies.get(id as usize).copied()

@@ -204,6 +204,165 @@ impl StoreWriter {
         (CREDIT_PROVIDER, pix)
     }
 
+    /// Rebuild a writer from an already-written `mx-store/2` file so
+    /// more epochs can be appended (the incremental-measurement path).
+    ///
+    /// The reconstruction is byte-exact: interned tables are reloaded
+    /// in stored order, existing epoch sections are carried over as
+    /// raw bytes, the per-epoch index blocks are decoded back into the
+    /// writer's accumulation form (weights as exact bit patterns), and
+    /// the resolved view of the last epoch is replayed so the next
+    /// [`StoreWriter::add_epoch`] diffs against the true end state.
+    /// `finish` on the result therefore reproduces the input bytes
+    /// exactly when no epoch is added, and appending the same rows a
+    /// fresh full build would have written produces the same file that
+    /// full build produces.
+    ///
+    /// `mx-store/1` files carry no index footer to extend; they fail
+    /// with [`StoreError::NoIndex`].
+    pub fn reopen(reader: &crate::reader::StoreReader<'_>) -> Result<StoreWriter, StoreError> {
+        use crate::reader::EpochKind;
+
+        if !reader.has_indexes() {
+            return Err(StoreError::NoIndex);
+        }
+        let mut w = StoreWriter::new();
+
+        let (providers, companies, provider_company) = reader.raw_tables();
+        for (pix, p) in providers.iter().enumerate() {
+            w.providers.push((*p).to_string());
+            w.provider_ix
+                .insert((*p).to_string(), u32::try_from(pix).unwrap_or(u32::MAX));
+        }
+        w.provider_company.extend_from_slice(provider_company);
+        for (cix, c) in companies.iter().enumerate() {
+            w.companies.push((*c).to_string());
+            w.company_ix
+                .insert((*c).to_string(), u32::try_from(cix).unwrap_or(u32::MAX));
+        }
+
+        // Seed the dictionary in sorted (stored) order: provisional ids
+        // equal old ranks, and `finish` re-sorts the final name set, so
+        // the remap stays correct when appended epochs add names.
+        let dict_count = reader.dict_count().unwrap_or(0);
+        let mut buf = Vec::new();
+        for doc in 0..dict_count {
+            reader.doc_name_into(doc, &mut buf)?;
+            let name = std::str::from_utf8(&buf).map_err(|_bad| StoreError::BadUtf8)?;
+            w.intern_doc(name);
+        }
+
+        for e in 0..reader.epoch_count() {
+            let (label, kind, entry_count, entries, ip_count, side_ips, dns_count, side_dns) =
+                reader.raw_epoch(e).ok_or(StoreError::EpochOutOfRange {
+                    epoch: e,
+                    epochs: reader.epoch_count(),
+                })?;
+            let mut sidecar = Vec::new();
+            write_u64(&mut sidecar, ip_count as u64);
+            sidecar.extend_from_slice(side_ips);
+            write_u64(&mut sidecar, dns_count as u64);
+            sidecar.extend_from_slice(side_dns);
+            w.epochs.push(EpochEnc {
+                label: label.to_string(),
+                kind: match kind {
+                    EpochKind::Base => KIND_BASE,
+                    EpochKind::Delta => KIND_DELTA,
+                },
+                entry_count,
+                entries: entries.to_vec(),
+                sidecar,
+            });
+
+            let ix = reader.raw_index(e).ok_or(StoreError::NoIndex)?;
+            let mut enc = EpochIndexEnc {
+                total_rows: ix.total_rows,
+                ..EpochIndexEnc::default()
+            };
+            for (pid, rows, bits) in crate::index::SummaryIter::new(ix.summary, ix.summary_count)
+            {
+                enc.summary.insert(pid, (rows, f64::from_bits(bits)));
+            }
+            for (kind, id, bits) in crate::index::RollupIter::new(ix.rollup, ix.rollup_count) {
+                enc.rollup.insert((kind, id), f64::from_bits(bits));
+            }
+            for posting in &ix.postings {
+                let docs: Vec<u32> = crate::index::PostingDocs::new(posting)
+                    .map(|d| u32::try_from(d).unwrap_or(u32::MAX))
+                    .collect();
+                enc.postings.insert(posting.provider, docs);
+            }
+            for (doc, flags, credit) in crate::index::RawDigestIter::new(ix.digest, ix.total_rows)
+            {
+                enc.digest.push(DigestEnc {
+                    doc: u32::try_from(doc).unwrap_or(u32::MAX),
+                    has_smtp: flags & DIGEST_SMTP != 0,
+                    self_hosted: flags & DIGEST_SELF_HOSTED != 0,
+                    credit,
+                });
+            }
+            w.epoch_indexes.push(enc);
+        }
+
+        // Replay the resolved view of the last epoch as the diff base.
+        // The merge walk and the digest iterate the same rows in the
+        // same ascending-name order; the digest supplies the
+        // self-hosted bit the row encoding does not carry.
+        if reader.epoch_count() > 0 {
+            let last = reader.epoch_count() - 1;
+            let ix = reader.raw_index(last).ok_or(StoreError::NoIndex)?;
+            let mut digest = crate::index::RawDigestIter::new(ix.digest, ix.total_rows);
+            let mut prev: BTreeMap<String, CanonRow> = BTreeMap::new();
+            let provider_ix = &w.provider_ix;
+            reader.for_each_row(last, |name, row| {
+                let (_doc, flags, _credit) =
+                    digest.next().ok_or(StoreError::IndexMismatch { what: "digest rows" })?;
+                let mut shares = Vec::with_capacity(row.share_count());
+                for s in row.shares() {
+                    let pix = provider_ix
+                        .get(s.provider)
+                        .copied()
+                        .ok_or(StoreError::BadIndex { what: "provider" })?;
+                    shares.push(CanonShare {
+                        provider: pix,
+                        weight_bits: s.weight.to_bits(),
+                        source: s.source.code(),
+                    });
+                }
+                prev.insert(
+                    name.to_string(),
+                    CanonRow {
+                        has_smtp: row.has_smtp(),
+                        self_hosted: flags & DIGEST_SELF_HOSTED != 0,
+                        shares,
+                    },
+                );
+                Ok(())
+            })?;
+            w.prev = prev;
+        }
+        Ok(w)
+    }
+
+    /// Open an existing `mx-store/2` file, append `epochs` (label,
+    /// full resolved rows, acquisition sidecar — exactly the
+    /// [`StoreWriter::add_epoch`] inputs) as delta epochs, and return
+    /// the rewritten file with its index footer extended.
+    ///
+    /// The result is byte-identical to the file a single writer fed
+    /// every epoch from scratch would produce.
+    pub fn append_epochs(
+        bytes: &[u8],
+        epochs: Vec<(String, Vec<RowIn>, AcquisitionReport)>,
+    ) -> Result<Vec<u8>, StoreError> {
+        let reader = crate::reader::StoreReader::open(bytes)?;
+        let mut w = StoreWriter::reopen(&reader)?;
+        for (label, rows, acq) in epochs {
+            w.add_epoch(&label, rows, &acq)?;
+        }
+        Ok(w.finish())
+    }
+
     /// Add one epoch. `label` is the epoch's display name (e.g.
     /// `2021-06`); `rows` is the full resolved table for the epoch (the
     /// writer sorts it and computes the delta itself); `acq` is the
@@ -226,27 +385,31 @@ impl StoreWriter {
         }
 
         // Canonicalize in sorted order so table interning order is a
-        // function of the data alone.
-        let mut canon: BTreeMap<String, CanonRow> = BTreeMap::new();
-        for row in rows {
-            let shares = row
-                .shares
-                .iter()
-                .map(|s| CanonShare {
-                    provider: self.intern_provider(&s.provider, s.company.as_deref()),
-                    weight_bits: s.weight.to_bits(),
-                    source: s.source.code(),
-                })
-                .collect();
-            canon.insert(
-                row.name,
-                CanonRow {
-                    has_smtp: row.has_smtp,
-                    self_hosted: row.self_hosted,
-                    shares,
-                },
-            );
-        }
+        // function of the data alone. The rows are already name-sorted,
+        // so collecting bulk-builds the map instead of inserting one
+        // key at a time.
+        let canon: BTreeMap<String, CanonRow> = rows
+            .into_iter()
+            .map(|row| {
+                let shares = row
+                    .shares
+                    .iter()
+                    .map(|s| CanonShare {
+                        provider: self.intern_provider(&s.provider, s.company.as_deref()),
+                        weight_bits: s.weight.to_bits(),
+                        source: s.source.code(),
+                    })
+                    .collect();
+                (
+                    row.name,
+                    CanonRow {
+                        has_smtp: row.has_smtp,
+                        self_hosted: row.self_hosted,
+                        shares,
+                    },
+                )
+            })
+            .collect();
 
         // Accumulate the epoch's index block over the resolved view.
         // This walk (rows sorted by name, shares in stored order) is
@@ -381,8 +544,29 @@ impl StoreWriter {
     /// Assemble the final store bytes in the current (`mx-store/2`)
     /// format: header, tables, epochs, then the index footer.
     pub fn finish(self) -> Vec<u8> {
+        self.snapshot()
+    }
+
+    /// Encode the current contents as a complete `mx-store/2` file
+    /// *without* consuming the writer. The incremental-measurement
+    /// path keeps one writer hot across a whole delta series and
+    /// snapshots after every appended epoch; `snapshot` then
+    /// `add_epoch` then `snapshot` again yields exactly the two files
+    /// two separate full builds would produce.
+    pub fn snapshot(&self) -> Vec<u8> {
         let _span = mx_obs::stage!(mx_obs::names::STAGE_STORE_WRITE).enter();
-        let mut out = Vec::new();
+        // Size estimate up front: epoch sections dominate, the index
+        // footer adds dictionary + postings on top. Overshooting a bit
+        // beats a dozen doubling reallocs of a multi-megabyte buffer.
+        let est: usize = 256
+            + self
+                .epochs
+                .iter()
+                .map(|e| e.entries.len() + e.sidecar.len() + 64)
+                .sum::<usize>()
+            + self.doc_names.iter().map(|n| n.len() + 8).sum::<usize>()
+            + self.epoch_indexes.len() * 1024;
+        let mut out = Vec::with_capacity(est);
         out.extend_from_slice(MAGIC);
         out.extend_from_slice(&VERSION.to_le_bytes());
         out.extend_from_slice(&0u16.to_le_bytes()); // flags, reserved
@@ -592,4 +776,109 @@ fn encode_sidecar(acq: &AcquisitionReport) -> Vec<u8> {
         out.push(u8::from(d.exhausted));
     }
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::StoreReader;
+    use mx_acq::{AcqFault, DnsAcquisition, IpAcquisition};
+
+    fn share(provider: &str, company: Option<&str>, weight: f64) -> ShareIn {
+        ShareIn {
+            provider: provider.to_string(),
+            company: company.map(str::to_string),
+            weight,
+            source: ShareSource::MxRecord,
+        }
+    }
+
+    fn epoch_rows(k: usize) -> Vec<RowIn> {
+        let mut rows = vec![
+            RowIn {
+                name: "alpha.test".into(),
+                has_smtp: true,
+                self_hosted: false,
+                shares: vec![share("mail.example", Some("Example"), 1.0)],
+            },
+            RowIn {
+                name: "beta.test".into(),
+                has_smtp: k < 2,
+                self_hosted: true,
+                shares: vec![share("beta.test", None, 1.0)],
+            },
+        ];
+        if k >= 1 {
+            rows.push(RowIn {
+                name: "gamma.test".into(),
+                has_smtp: true,
+                self_hosted: false,
+                shares: vec![
+                    share("mail.example", Some("Example"), 0.5),
+                    share("other.example", None, 0.5),
+                ],
+            });
+        }
+        rows
+    }
+
+    fn epoch_acq(k: usize) -> AcquisitionReport {
+        let mut acq = AcquisitionReport::default();
+        acq.ips.insert(
+            format!("10.0.0.{}", k + 1).parse().expect("valid ip"),
+            IpAcquisition {
+                attempts: 2,
+                recovered: true,
+                exhausted: false,
+                blocked: false,
+                fault: Some(AcqFault::Transient),
+            },
+        );
+        acq.domains.insert(
+            mx_dns::dns_name!("beta.test"),
+            DnsAcquisition {
+                retries: k as u32,
+                exhausted: false,
+            },
+        );
+        acq
+    }
+
+    fn build_full(epochs: usize) -> Vec<u8> {
+        let mut w = StoreWriter::new();
+        for k in 0..epochs {
+            w.add_epoch(&format!("e{k}"), epoch_rows(k), &epoch_acq(k))
+                .expect("add epoch");
+        }
+        w.finish()
+    }
+
+    #[test]
+    fn reopen_without_appending_reproduces_the_file() {
+        let bytes = build_full(3);
+        let reader = StoreReader::open(&bytes).expect("open");
+        let again = StoreWriter::reopen(&reader).expect("reopen").finish();
+        assert_eq!(bytes, again, "reopen+finish must be the identity");
+    }
+
+    #[test]
+    fn append_matches_full_build() {
+        let full = build_full(3);
+        let base = build_full(2);
+        let appended = StoreWriter::append_epochs(
+            &base,
+            vec![("e2".to_string(), epoch_rows(2), epoch_acq(2))],
+        )
+        .expect("append");
+        assert_eq!(full, appended, "append diverges from the full build");
+    }
+
+    #[test]
+    fn append_refuses_v1_files() {
+        let mut w = StoreWriter::new();
+        w.add_epoch("e0", epoch_rows(0), &epoch_acq(0)).expect("add epoch");
+        let v1 = w.finish_v1();
+        let err = StoreWriter::append_epochs(&v1, Vec::new());
+        assert_eq!(err.unwrap_err(), StoreError::NoIndex);
+    }
 }

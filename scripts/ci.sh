@@ -72,6 +72,12 @@ rm -f /tmp/mx_store_a.bin /tmp/mx_store_b.bin
 echo "==> serve gate (tests/serve_gate.rs: byte-identical replay at 1/2/8 threads + chaos sweep at rates 0/0.1/0.3)"
 cargo test --release --test serve_gate -q
 
+echo "==> delta gate (tests/delta_gate.rs: incremental append byte-identical to full recompute across seeds, event rates, threads 1/2/8)"
+cargo test --release --test delta_gate -q
+
+echo "==> delta codec robustness (tests/malformed_input.rs: event-log decoding rejects corruption without panicking)"
+cargo test --release --test malformed_input -q
+
 echo "==> serve shed (saturating burst sheds 503 while /healthz answers; refreshes results/BENCH_serve.json)"
 cargo run --quiet --release -p mx-bench --bin bench_pipeline -- --serve
 

@@ -73,3 +73,6 @@ pub use mx_acq as acq;
 
 /// The fault-tolerant HTTP query service over the snapshot store.
 pub use mx_serve as serve;
+
+/// Event-sourced incremental measurement with append-only delta epochs.
+pub use mx_delta as delta;

@@ -744,6 +744,149 @@ fn v2_truncated_stores_error_cleanly() {
 }
 
 // ---------------------------------------------------------------------------
+// mx-delta: the event-log codec decodes replayed zone-update streams
+// from disk, so it is untrusted input like the wire parsers above.
+// Every corruption is one byte off a valid `mx-delta/1` log; the
+// contract is the usual one — a typed `DeltaError`, never a panic,
+// never a silently-wrong `Ok`.
+// ---------------------------------------------------------------------------
+
+use mx_delta::{encode_log, AddSpec, CertTarget, DeltaError, Event};
+
+/// A minimal one-event log plus the offsets its fixed-layout header
+/// pins: magic[0..4], version[4..6], flags[6..8], schema len at 8 and
+/// "mx-delta/1" at 9..19, name count at 19, name ("a.test") length at
+/// 20 and bytes at 21..27, then batch count, event count, tag, name id.
+fn tiny_event_log() -> Vec<u8> {
+    let bytes = encode_log(&[vec![Event::MxSwap {
+        domain: "a.test".into(),
+    }]]);
+    assert_eq!(&bytes[0..4], b"MXDL");
+    assert_eq!(bytes[8], 10); // schema length
+    assert_eq!(&bytes[9..19], b"mx-delta/1");
+    assert_eq!(&bytes[21..27], b"a.test");
+    bytes
+}
+
+fn decode(bytes: &[u8]) -> Result<Vec<Vec<Event>>, DeltaError> {
+    mx_delta::decode_log(bytes)
+}
+
+/// Header corruption: magic, version, reserved flags and the schema
+/// string each map to their own typed error.
+#[test]
+fn event_log_header_corruption_is_typed() {
+    let mut bad_magic = tiny_event_log();
+    bad_magic[0] = b'N';
+    assert_eq!(decode(&bad_magic), Err(DeltaError::BadMagic));
+
+    let mut bad_version = tiny_event_log();
+    bad_version[4] = 9;
+    assert_eq!(decode(&bad_version), Err(DeltaError::UnsupportedVersion(9)));
+
+    let mut bad_flags = tiny_event_log();
+    bad_flags[6] = 1;
+    assert_eq!(decode(&bad_flags), Err(DeltaError::BadFlags(1)));
+
+    let mut bad_schema = tiny_event_log();
+    bad_schema[18] = b'9'; // "mx-delta/1" -> "mx-delta/9"
+    assert_eq!(
+        decode(&bad_schema),
+        Err(DeltaError::BadSchema("mx-delta/9".into()))
+    );
+}
+
+/// Unknown discriminants: event tags, cert-rotation target kinds and
+/// domain-add hosting kinds from the future are rejected by value.
+#[test]
+fn event_log_unknown_discriminants_rejected() {
+    let mut bad_tag = tiny_event_log();
+    let at = bad_tag.len() - 2; // [.., tag, name id]
+    bad_tag[at] = 7; // tags stop at 6
+    assert_eq!(decode(&bad_tag), Err(DeltaError::UnknownTag(7)));
+
+    let mut bad_target = encode_log(&[vec![Event::CertRotation {
+        target: CertTarget::Domain("a.test".into()),
+    }]]);
+    let at = bad_target.len() - 2; // [.., tag, target kind, name id]
+    bad_target[at] = 9;
+    assert_eq!(decode(&bad_target), Err(DeltaError::UnknownTargetKind(9)));
+
+    let mut bad_add = encode_log(&[vec![Event::DomainAdd {
+        domain: "a.test".into(),
+        spec: AddSpec::SelfHosted,
+    }]]);
+    let at = bad_add.len() - 1; // [.., tag, name id, hosting kind]
+    bad_add[at] = 9;
+    assert_eq!(decode(&bad_add), Err(DeltaError::UnknownAddKind(9)));
+}
+
+/// Interning attacks: a name id past the table, a table entry that is
+/// not a DNS name, and a table entry that is not UTF-8.
+#[test]
+fn event_log_bad_interning_rejected() {
+    let mut bad_id = tiny_event_log();
+    let at = bad_id.len() - 1;
+    bad_id[at] = 5; // table has one name
+    assert_eq!(decode(&bad_id), Err(DeltaError::BadNameId(5)));
+
+    let mut bad_name = tiny_event_log();
+    bad_name[21..27].copy_from_slice(b"a..tst"); // empty label
+    assert_eq!(
+        decode(&bad_name),
+        Err(DeltaError::BadName("a..tst".into()))
+    );
+
+    let mut bad_utf8 = tiny_event_log();
+    bad_utf8[21] = 0xFF;
+    assert_eq!(decode(&bad_utf8), Err(DeltaError::BadUtf8));
+}
+
+/// Varint overruns must error, not spin or wrap; counts that promise
+/// more items than the input holds are truncation-class.
+#[test]
+fn event_log_varint_and_count_abuse_rejected() {
+    let mut overrun = tiny_event_log();
+    overrun.pop(); // drop the name-id varint…
+    overrun.extend_from_slice(&[0x80; 11]); // …replace with an unterminated chain
+    assert_eq!(decode(&overrun), Err(DeltaError::VarintOverflow));
+
+    let mut overclaim = tiny_event_log();
+    overclaim[27] = 0x7f; // 127 batches promised, 3 bytes remain
+    assert_eq!(decode(&overclaim), Err(DeltaError::Truncated));
+}
+
+/// Every proper prefix of a log exercising all seven event kinds is a
+/// typed error — the same sweep the DNS, store and HTTP parsers pin.
+#[test]
+fn event_log_truncation_sweep() {
+    let bytes = encode_log(&[
+        vec![
+            Event::MxSwap { domain: "a.test".into() },
+            Event::MxPriorityChange { domain: "a.test".into() },
+            Event::HostReIp { domain: "b.test".into() },
+            Event::CertRotation { target: CertTarget::Provider(0) },
+        ],
+        vec![
+            Event::CertRotation { target: CertTarget::Domain("b.test".into()) },
+            Event::ProviderMigration { domain: "a.test".into(), provider: 1 },
+            Event::ZoneDelete { domain: "b.test".into() },
+            Event::DomainAdd { domain: "c.test".into(), spec: AddSpec::Provider(2) },
+            Event::DomainAdd { domain: "d.test".into(), spec: AddSpec::NoMail },
+        ],
+    ]);
+    for cut in 0..bytes.len() {
+        let r = decode(&bytes[..cut]);
+        assert!(r.is_err(), "prefix of {cut} bytes decoded: {r:?}");
+    }
+    assert!(decode(&bytes).is_ok());
+
+    let mut trailing = bytes;
+    trailing.push(0);
+    assert_eq!(decode(&trailing), Err(DeltaError::TrailingBytes));
+}
+
+// ---------------------------------------------------------------------------
 // Hostile HTTP: the mx-serve request parser.
 //
 // Same contract as the DNS/SMTP/store cases above, now for the serving

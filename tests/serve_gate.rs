@@ -25,6 +25,7 @@
 
 use mx_analysis::store::StudyStoreExt;
 use mx_corpus::{company_map, provider_knowledge, Dataset, ScenarioConfig, Study};
+use mx_delta::{full_recompute, generate_events, run_incremental, EventStreamConfig, WorldState};
 use mx_infer::Pipeline;
 use mx_net::{ConnFault, ConnFaultPlan};
 use mx_obs::names;
@@ -430,6 +431,117 @@ fn obs_reconciliation(reader: &StoreReader) {
     mx_obs::set_enabled(false);
 }
 
+fn get_inm(target: &str, tag: &str) -> String {
+    format!("GET {target} HTTP/1.1\r\nIf-None-Match: {tag}\r\n\r\n")
+}
+
+/// Count occurrences of `needle` in `haystack`.
+fn count(haystack: &[u8], needle: &[u8]) -> usize {
+    haystack.windows(needle.len()).filter(|w| *w == needle).count()
+}
+
+/// Phase 5: conditional requests. Every cacheable 200 carries the
+/// strong store etag; `If-None-Match` with the current tag is a 304
+/// hit answered from the serial loop, a stale tag is a miss that
+/// re-renders in full, and appending delta epochs to the store changes
+/// the tag so old validators stop matching.
+fn conditional_requests() {
+    let initial = WorldState::seeded(5, 48);
+    let log = generate_events(
+        &initial,
+        &EventStreamConfig {
+            seed: 5,
+            batches: 1,
+            churn: 0.10,
+            adds_per_batch: 1,
+        },
+    );
+    let base = full_recompute(&initial, &[]).expect("base store");
+    let (grown, _) = run_incremental(&initial, &log).expect("grown store");
+
+    let reader = StoreReader::open(&base).expect("open base store");
+    let tag = mx_serve::etag_value(mx_serve::store_etag(&reader));
+    let stale = "\"mx-0000000000000000\"";
+    let mut domain = String::new();
+    reader
+        .for_each_row(0, |name, _| {
+            if domain.is_empty() {
+                domain = name.to_string();
+            }
+            Ok(())
+        })
+        .expect("scan base epoch");
+    let lookup = format!("/lookup?domain={domain}&epoch=0");
+
+    let trace = Trace::new()
+        .with(conn_of(
+            0,
+            0,
+            30,
+            &[
+                get("/market?epoch=0"),                      // 200 + ETag
+                get_inm("/market?epoch=0", &tag),            // hit: 304
+                get_inm("/market?epoch=0", stale),           // miss: full 200
+                get_inm("/market?epoch=0", &format!("W/{tag}")), // weak compare: 304
+                get_inm("/market?epoch=0", &format!("{stale}, {tag}")), // list: 304
+                get_close_inm("/market?epoch=0", "*"),       // wildcard: 304
+            ],
+        ))
+        .with(conn_of(
+            1,
+            5,
+            30,
+            &[
+                get(&lookup),          // row-cache miss: 200 + ETag
+                get(&lookup),          // row/json-cache hit: identical bytes
+                get_inm(&lookup, &tag), // hit: 304
+                // /healthz is live, never conditional: always a full 200.
+                get_close_inm("/healthz", &tag),
+            ],
+        ));
+    let rep = run(&reader, generous(), &trace);
+    assert!(rep.reconciles(), "conditional: accounting identity");
+    assert_eq!(rep.dropped_without_response, 0, "conditional: drain");
+    let c0 = rep.transcripts.iter().find(|t| t.id == 0).expect("conn 0");
+    assert_eq!(c0.statuses, vec![200, 304, 200, 304, 304, 304]);
+    let c1 = rep.transcripts.iter().find(|t| t.id == 1).expect("conn 1");
+    assert_eq!(c1.statuses, vec![200, 200, 304, 200]);
+    // Every 200 on a cacheable endpoint and every 304 carries the tag;
+    // the cache-hit 200 must be byte-identical to the miss, and the
+    // healthz answer stays unconditional and tagless.
+    let header = format!("ETag: {tag}\r\n");
+    assert_eq!(count(&c0.bytes, header.as_bytes()), 6, "conn 0 etags");
+    assert_eq!(count(&c1.bytes, header.as_bytes()), 3, "conn 1 etags");
+    assert!(contains(&c0.bytes, b"304 Not Modified\r\n"));
+    assert!(contains(&c1.bytes, b"\"status\":\"ok\""), "healthz served in full");
+
+    // Appending delta epochs rewrites the digest sections: the etag
+    // changes and the old validator stops revalidating.
+    let reader2 = StoreReader::open(&grown).expect("open grown store");
+    assert!(reader2.epoch_count() > reader.epoch_count(), "grown store appended");
+    let tag2 = mx_serve::etag_value(mx_serve::store_etag(&reader2));
+    assert_ne!(tag, tag2, "append must change the etag");
+    let trace2 = Trace::new().with(conn_of(
+        0,
+        0,
+        30,
+        &[
+            get_inm("/market?epoch=0", &tag),  // old tag: full 200 again
+            get_close_inm("/market?epoch=0", &tag2), // new tag: 304
+        ],
+    ));
+    let rep2 = run(&reader2, generous(), &trace2);
+    let c = rep2.transcripts.first().expect("grown conn");
+    assert_eq!(c.statuses, vec![200, 304], "after-append etag change");
+    let header2 = format!("ETag: {tag2}\r\n");
+    assert_eq!(count(&c.bytes, header2.as_bytes()), 2, "grown etags");
+    assert!(!contains(&c.bytes, header.as_bytes()), "old etag gone");
+}
+
+fn get_close_inm(target: &str, tag: &str) -> String {
+    format!("GET {target} HTTP/1.1\r\nIf-None-Match: {tag}\r\nConnection: close\r\n\r\n")
+}
+
 #[test]
 fn serve_gate() {
     let mut fired = 0usize;
@@ -447,4 +559,5 @@ fn serve_gate() {
     let bytes = build_store(1);
     let reader = StoreReader::open(&bytes).expect("open store");
     obs_reconciliation(&reader);
+    conditional_requests();
 }
